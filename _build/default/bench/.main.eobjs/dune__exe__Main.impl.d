@@ -1,0 +1,1 @@
+bench/main.ml: Array Edc_core Edc_ezk Edc_harness Edc_recipes Edc_simnet Edc_zookeeper Experiment Hashtbl List Micro Net Option Printf Proc Report Sim Sim_time String Sys Systems Unix Workload

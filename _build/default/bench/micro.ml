@@ -1,0 +1,125 @@
+(* Bechamel micro-benchmarks of the extension machinery: these measure the
+   real CPU cost of the components the paper argues are cheap —
+   registration-time verification (§4.2: "no verification overhead during
+   execution") and sandboxed execution. *)
+
+open Bechamel
+open Toolkit
+open Edc_core
+
+(* in-memory proxy over a plain hashtable (same shape as the test suite's) *)
+let mock_proxy () =
+  let store : (string, string * int * int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let record oid =
+    match Hashtbl.find_opt store oid with
+    | Some (data, version, ctime) -> Ok (Value.obj ~id:oid ~data ~version ~ctime)
+    | None -> Error ("no object " ^ oid)
+  in
+  let proxy =
+    {
+      Sandbox.p_read = record;
+      p_exists = (fun oid -> Hashtbl.mem store oid);
+      p_sub_objects =
+        (fun oid ->
+          let prefix = oid ^ "/" in
+          Ok
+            (Hashtbl.fold
+               (fun id (data, version, ctime) acc ->
+                 if
+                   String.length id > String.length prefix
+                   && String.sub id 0 (String.length prefix) = prefix
+                 then Value.obj ~id ~data ~version ~ctime :: acc
+                 else acc)
+               store []));
+      p_create =
+        (fun ~sequential:_ ~oid ~data ->
+          incr next;
+          Hashtbl.replace store oid (data, 0, !next);
+          Ok oid);
+      p_update =
+        (fun ~oid ~data ->
+          match Hashtbl.find_opt store oid with
+          | Some (_, v, c) ->
+              Hashtbl.replace store oid (data, v + 1, c);
+              Ok (v + 1)
+          | None -> Error "no object");
+      p_cas =
+        (fun ~oid ~expected ~data ->
+          match Hashtbl.find_opt store oid with
+          | Some (cur, v, c) when cur = expected ->
+              Hashtbl.replace store oid (data, v + 1, c);
+              Ok true
+          | Some _ -> Ok false
+          | None -> Error "no object");
+      p_delete = (fun oid -> Ok (Hashtbl.mem store oid && (Hashtbl.remove store oid; true)));
+      p_block = (fun _ -> Ok ());
+      p_monitor = (fun _ -> Ok ());
+      p_notify = (fun ~client:_ ~oid:_ -> Ok ());
+      p_clock = (fun () -> 0);
+    }
+  in
+  (proxy, store)
+
+let counter_code = Codec.serialize Edc_recipes.Counter.program
+let queue_code = Codec.serialize Edc_recipes.Queue.program
+
+let tests () =
+  let proxy, store = mock_proxy () in
+  Hashtbl.replace store "/ctr" ("0", 0, 0);
+  for i = 1 to 20 do
+    Hashtbl.replace store (Printf.sprintf "/queue/e%02d" i) ("x", 0, i)
+  done;
+  let counter_handler =
+    Option.get Edc_recipes.Counter.program.Program.on_operation
+  in
+  let tree =
+    let tr = Edc_zookeeper.Data_tree.create () in
+    Edc_zookeeper.Data_tree.apply_create tr ~path:"/a" ~data:"hello"
+      ~ephemeral_owner:None;
+    tr
+  in
+  let tuple = Edc_depspace.Tuple.[ Str "/q/item"; Str "data"; Int 0; Int 7 ] in
+  let template = Edc_depspace.Objects.sub_template "/q" in
+  [
+    Test.make ~name:"sandbox: counter handler"
+      (Staged.stage (fun () ->
+           ignore (Sandbox.run ~proxy ~params:[] counter_handler)));
+    Test.make ~name:"verify: counter program"
+      (Staged.stage (fun () ->
+           ignore (Verify.verify ~mode:Verify.Passive counter_code)));
+    Test.make ~name:"verify: queue program"
+      (Staged.stage (fun () ->
+           ignore (Verify.verify ~mode:Verify.Active queue_code)));
+    Test.make ~name:"codec: decode counter"
+      (Staged.stage (fun () -> ignore (Codec.deserialize counter_code)));
+    Test.make ~name:"data_tree: get_data"
+      (Staged.stage (fun () -> ignore (Edc_zookeeper.Data_tree.get_data tree "/a")));
+    Test.make ~name:"tuple: template match"
+      (Staged.stage (fun () -> ignore (Edc_depspace.Tuple.matches template tuple)));
+    Test.make ~name:"subscription: match"
+      (Staged.stage (fun () ->
+           ignore
+             (Subscription.oid_matches (Subscription.Under "/queue") "/queue/e17")));
+  ]
+
+let run_all () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.one ols (List.hd instances) raw with
+          | ols_result -> (
+              match Analyze.OLS.estimates ols_result with
+              | Some [ est ] -> Printf.printf "  %-28s %10.1f ns/call\n%!" name est
+              | _ -> Printf.printf "  %-28s (no estimate)\n%!" name))
+        results)
+    (tests ())

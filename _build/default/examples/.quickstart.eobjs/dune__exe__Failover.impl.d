@@ -1,0 +1,1 @@
+examples/failover.ml: Edc_core Edc_ezk Edc_recipes Edc_simnet Edc_zookeeper Fmt Manager Printf Proc Sim Sim_time String Value

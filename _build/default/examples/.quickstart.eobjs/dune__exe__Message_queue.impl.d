@@ -1,0 +1,1 @@
+examples/message_queue.ml: Coord_api Edc_harness Edc_recipes Edc_simnet Printf Proc Queue Sim Sim_time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coord_api Counter Edc_core Edc_harness Edc_recipes Edc_simnet Fmt Printf Proc Sim Sim_time

@@ -1,0 +1,1 @@
+examples/scfs_rename.ml: Ast Edc_core Edc_depspace Edc_eds Edc_simnet Fmt List Printf Proc Program Sim Sim_time Subscription Value

@@ -1,0 +1,1 @@
+examples/scfs_rename.mli:

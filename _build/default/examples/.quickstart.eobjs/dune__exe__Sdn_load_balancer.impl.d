@@ -1,0 +1,1 @@
+examples/sdn_load_balancer.ml: Array Coord_api Counter Edc_harness Edc_recipes Edc_simnet Printf Proc Sim Sim_time

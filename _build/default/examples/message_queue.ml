@@ -1,0 +1,77 @@
+(* §7 use case: a highly-available message queue ("a restricted
+   message-oriented middleware in the same line as ActiveMQ") built
+   directly on the coordination service, practical only because the
+   extension makes dequeue a single atomic RPC.
+
+   Producers pump messages through a work queue; consumers compete for
+   them.  The underlying EZK ensemble gives the queue the coordination
+   service's fault tolerance for free.
+
+   Run with:  dune exec examples/message_queue.exe *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+module Systems = Edc_harness.Systems
+
+let n_producers = 4
+let n_consumers = 4
+let messages_per_producer = 200
+
+let () =
+  Printf.printf "== Message queue on EXTENSIBLE ZOOKEEPER ==\n\n";
+  let sim = Sim.create ~seed:11 () in
+  let sys = Systems.make Systems.Ezk sim in
+  let produced = ref 0 and consumed = ref 0 in
+  let t_start = ref Sim_time.zero and t_end = ref Sim_time.zero in
+  Proc.spawn sim (fun () ->
+      let admin = fst (sys.Systems.new_api ()) in
+      (match Queue.setup admin with Ok () -> () | Error e -> failwith e);
+      (match Queue.register admin with Ok () -> () | Error e -> failwith e);
+      t_start := Sim.now sim;
+      (* producers *)
+      for p = 1 to n_producers do
+        Proc.spawn sim (fun () ->
+            let api = fst (sys.Systems.new_api ()) in
+            ignore ((Api.ext_exn api).Api.acknowledge Queue.extension_name);
+            for i = 1 to messages_per_producer do
+              let eid = Queue.make_eid api i in
+              let payload = Printf.sprintf "order-%d-%d" p i in
+              match Queue.add api ~eid ~data:payload with
+              | Ok () -> incr produced
+              | Error e -> failwith ("add: " ^ e)
+            done)
+      done;
+      (* consumers *)
+      for _ = 1 to n_consumers do
+        Proc.spawn sim (fun () ->
+            let api = fst (sys.Systems.new_api ()) in
+            ignore ((Api.ext_exn api).Api.acknowledge Queue.extension_name);
+            let rec drain () =
+              if !consumed < n_producers * messages_per_producer then begin
+                (match Queue.remove_ext api with
+                | Ok { Queue.data = Some _; _ } ->
+                    incr consumed;
+                    t_end := Sim.now sim
+                | Ok { Queue.data = None; _ } ->
+                    (* empty: the producers have not caught up *)
+                    Proc.sleep sim (Sim_time.ms 5)
+                | Error e -> failwith ("remove: " ^ e));
+                drain ()
+              end
+            in
+            drain ())
+      done);
+  Sim.run ~until:(Sim_time.sec 120) sim;
+  let total = n_producers * messages_per_producer in
+  Printf.printf "producers sent %d messages, consumers received %d (no loss, no dup)\n"
+    !produced !consumed;
+  assert (!produced = total && !consumed = total);
+  let elapsed = Sim_time.to_float_s (Sim_time.sub !t_end !t_start) in
+  Printf.printf "end-to-end: %d messages in %.2f s simulated = %.0f msg/s\n" total
+    elapsed
+    (float_of_int total /. elapsed);
+  Printf.printf
+    "\nEach dequeue is ONE atomic RPC (extension), so competing consumers\n\
+     never retry; with the traditional recipe every contended dequeue costs\n\
+     subObjects (k+1 RPCs) plus delete races (§6.1.2).\n"

@@ -1,0 +1,67 @@
+(* Quickstart: boot a simulated EXTENSIBLE ZOOKEEPER ensemble, register the
+   shared-counter extension from the paper's Figure 5 through the standard
+   API, and compare it with the traditional read/cas recipe.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+module Systems = Edc_harness.Systems
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  Printf.printf "== Extensible Distributed Coordination: quickstart ==\n\n";
+  (* Everything runs inside a deterministic discrete-event simulation: three
+     ZooKeeper replicas, Zab replication, and simulated clients. *)
+  let sim = Sim.create ~seed:1 () in
+  let sys = Systems.make Systems.Ezk sim in
+  Proc.spawn sim (fun () ->
+      let api = fst (sys.Systems.new_api ()) in
+      Printf.printf "connected to the ensemble (session %d)\n" api.Api.client_id;
+
+      (* 1. create the counter object *)
+      ok (Counter.setup api);
+      Printf.printf "created %s = \"0\"\n" Counter.counter_oid;
+
+      (* 2. register the increment extension: this is an ordinary create()
+            of /em/ctr-increment whose data is the serialized program —
+            verified, sandboxed, and replicated like any other update *)
+      ok (Counter.register api);
+      Printf.printf "registered extension %S via create(%s)\n"
+        Counter.extension_name
+        (Edc_core.Manager.extension_object Counter.extension_name);
+
+      (* 3. increment atomically with single RPCs *)
+      let t0 = Sim.now sim in
+      for _ = 1 to 5 do
+        let r = ok (Counter.increment_ext api) in
+        Printf.printf "  increment -> %d  (1 RPC, %d attempt)\n" r.Counter.value
+          r.Counter.attempts
+      done;
+      let ext_time = Sim_time.sub (Sim.now sim) t0 in
+
+      (* 4. the same thing the traditional way: read + conditional write,
+            with retries under contention *)
+      let t0 = Sim.now sim in
+      for _ = 1 to 5 do
+        let r = ok (Counter.increment_traditional api) in
+        Printf.printf "  traditional increment -> %d  (%d attempts)\n"
+          r.Counter.value r.Counter.attempts
+      done;
+      let trad_time = Sim_time.sub (Sim.now sim) t0 in
+
+      Printf.printf
+        "\n5 extension increments took %s of simulated time;\n\
+         5 traditional increments took %s (even without contention).\n"
+        (Fmt.str "%a" Sim_time.pp ext_time)
+        (Fmt.str "%a" Sim_time.pp trad_time);
+
+      (* 5. the counter object holds the total *)
+      match ok (api.Api.read ~oid:Counter.counter_oid) with
+      | Some obj -> Printf.printf "final counter value: %s\n" obj.Api.data
+      | None -> failwith "counter vanished");
+  Sim.run ~until:(Sim_time.sec 60) sim;
+  Printf.printf "\nquickstart finished at simulated t=%s\n"
+    (Fmt.str "%a" Sim_time.pp (Sim.now sim))

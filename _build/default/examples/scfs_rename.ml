@@ -1,0 +1,122 @@
+(* §7.2 use case: file-system metadata on a coordination service.
+
+   The SCFS cloud-backed file system stores file metadata in DepSpace: each
+   file/directory is a tuple whose fields include the *name of its parent
+   directory*.  POSIX rename() of a directory must atomically update the
+   parent field of all k children — impossible with the stock kernel
+   (k + 1 RPCs, not atomic), trivial with an EDS extension (1 RPC, atomic).
+
+   Run with:  dune exec examples/scfs_rename.exe *)
+
+open Edc_simnet
+open Edc_core
+module Ds = Edc_depspace
+module Eds = Edc_eds.Eds
+module Eds_cluster = Edc_eds.Eds_cluster
+module Eds_client = Edc_eds.Eds_client
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+(* Metadata objects: id = "/meta/<file>", data = parent directory name. *)
+let meta_oid file = "/meta/" ^ file
+
+(* The rename extension: triggered by an update/cas on the virtual object
+   "/fs-rename" whose payload is "olddir|newdir"; it rewrites the parent
+   field of every affected child — the hook SCFS had to hack into DepSpace
+   (§7.2), expressed as a verified extension. *)
+let rename_program =
+  let open Ast in
+  Program.make "fs-rename"
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_update; Subscription.K_cas ];
+          op_oid = Subscription.Exact "/fs-rename" } ]
+    ~on_operation:
+      [
+        Let ("sep", Call ("str_index", [ Param "data"; Str_lit "|" ]));
+        Let ("old", Call ("str_sub", [ Param "data"; Int_lit 0; Var "sep" ]));
+        Let ("new",
+             Call ("str_sub",
+               [ Param "data";
+                 Binop (Add, Var "sep", Int_lit 1);
+                 Binop (Sub, Call ("str_len", [ Param "data" ]),
+                   Binop (Add, Var "sep", Int_lit 1)) ]));
+        Let ("moved", Int_lit 0);
+        Let ("objs", Svc (Svc_sub_objects, [ Str_lit "/meta" ]));
+        For_each ("o", Var "objs",
+          [
+            If
+              ( Binop (Eq, Field (Var "o", "data"), Var "old"),
+                [
+                  Do (Svc (Svc_update, [ Field (Var "o", "id"); Var "new" ]));
+                  Assign ("moved", Binop (Add, Var "moved", Int_lit 1));
+                ],
+                [] );
+          ]);
+        Return (Var "moved");
+      ]
+    ()
+
+let () =
+  Printf.printf "== SCFS-style atomic directory rename on EDS (§7.2) ==\n\n";
+  let sim = Sim.create ~seed:3 () in
+  let cluster = Eds_cluster.create sim in
+  Proc.spawn sim (fun () ->
+      let c = Eds_cluster.client cluster () in
+      (* populate a directory with k children *)
+      let k = 12 in
+      for i = 1 to k do
+        ok
+          (Ds.Ds_client.out c
+             (Ds.Objects.tuple ~oid:(meta_oid (Printf.sprintf "file%02d" i))
+                ~data:"/photos" ~version:0 ~ctime:0))
+      done;
+      ok
+        (Ds.Ds_client.out c
+           (Ds.Objects.tuple ~oid:(meta_oid "unrelated") ~data:"/music"
+              ~version:0 ~ctime:0));
+      Printf.printf "created %d files under /photos (one metadata tuple each)\n" k;
+
+      ok (Eds_client.register c rename_program);
+      Printf.printf "registered the fs-rename extension\n\n";
+
+      (* rename /photos -> /pictures with ONE RPC *)
+      let rpc_before = Ds.Ds_client.requests_sent c in
+      let reply =
+        Ds.Ds_client.request c
+          (Ds.Ds_protocol.Replace
+             {
+               template = Ds.Objects.template "/fs-rename";
+               tuple =
+                 Ds.Objects.tuple ~oid:"/fs-rename" ~data:"/photos|/pictures"
+                   ~version:0 ~ctime:0;
+             })
+      in
+      let moved =
+        match reply with
+        | Ds.Ds_protocol.Ext_r s -> (
+            match Value.deserialize s with
+            | Ok (Value.Int n) -> n
+            | _ -> failwith "unexpected extension value")
+        | r -> failwith (Fmt.str "unexpected reply: %a" Ds.Ds_protocol.pp_result r)
+      in
+      let rpcs = Ds.Ds_client.requests_sent c - rpc_before in
+      Printf.printf
+        "rename(/photos -> /pictures): moved %d children ATOMICALLY in %d RPC\n"
+        moved rpcs;
+      Printf.printf "(the traditional implementation needs k + 1 = %d RPCs and\n\
+                    \ exposes mixed states to concurrent readers)\n\n" (k + 1);
+
+      (* verify *)
+      let children_of dir =
+        ok (Ds.Ds_client.rd_all c (Ds.Objects.sub_template "/meta"))
+        |> List.filter_map Ds.Objects.decode
+        |> List.filter (fun v -> v.Ds.Objects.data = dir)
+        |> List.length
+      in
+      Printf.printf "/photos now has %d children, /pictures has %d, /music has %d\n"
+        (children_of "/photos") (children_of "/pictures") (children_of "/music");
+      assert (children_of "/photos" = 0);
+      assert (children_of "/pictures" = 12);
+      assert (children_of "/music" = 1);
+      Printf.printf "\nPOSIX rename semantics preserved.\n");
+  Sim.run ~until:(Sim_time.sec 60) sim

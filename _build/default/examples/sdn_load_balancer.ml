@@ -1,0 +1,85 @@
+(* §7.1 use case: load balancing in a software-defined network.
+
+   A set of distributed SDN controller nodes assigns every new network
+   flow to a backend server.  For optimal round-robin balancing, each
+   controller needs a globally unique, dense sequence number per flow —
+   i.e., a shared counter in the coordination service, *on the flow
+   processing path*.
+
+   The paper's point: with plain ZooKeeper the counter caps the whole
+   control plane below ~2k flows/s, while the extension-based counter
+   sustains ~25k increments/s — more than reported for contemporary
+   distributed controllers.
+
+   Run with:  dune exec examples/sdn_load_balancer.exe *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+module Systems = Edc_harness.Systems
+
+let n_controllers = 8
+let n_backends = 4
+let window = Sim_time.sec 2
+
+let run_control_plane kind ~use_extension =
+  let sim = Sim.create ~seed:7 () in
+  let sys = Systems.make kind sim in
+  let flows_assigned = Array.make n_backends 0 in
+  let total = ref 0 in
+  let horizon = Sim_time.add (Sim.now sim) window in
+  Proc.spawn sim (fun () ->
+      let admin = fst (sys.Systems.new_api ()) in
+      (match Counter.setup admin with Ok () -> () | Error e -> failwith e);
+      if use_extension then (
+        match Counter.register admin with Ok () -> () | Error e -> failwith e);
+      for _ = 1 to n_controllers do
+        Proc.spawn sim (fun () ->
+            let api = fst (sys.Systems.new_api ()) in
+            if use_extension then
+              ignore ((Api.ext_exn api).Api.acknowledge Counter.extension_name);
+            (* each controller continuously processes incoming flows *)
+            let rec pump () =
+              if Sim_time.(Sim.now sim < horizon) then begin
+                let r =
+                  if use_extension then Counter.increment_ext api
+                  else Counter.increment_traditional api
+                in
+                (match r with
+                | Ok { Counter.value; _ } ->
+                    (* round-robin: the sequence number picks the backend *)
+                    let backend = value mod n_backends in
+                    flows_assigned.(backend) <- flows_assigned.(backend) + 1;
+                    incr total
+                | Error _ -> ());
+                pump ()
+              end
+            in
+            pump ())
+      done);
+  Sim.run ~until:(Sim_time.add horizon (Sim_time.sec 5)) sim;
+  (!total, flows_assigned)
+
+let () =
+  Printf.printf "== SDN load balancing on a coordination service (§7.1) ==\n\n";
+  Printf.printf
+    "%d controller nodes assign flows to %d backends via a shared counter.\n\n"
+    n_controllers n_backends;
+  let report label (total, assigned) =
+    let rate = float_of_int total /. Sim_time.to_float_s window in
+    let spread =
+      let mn = Array.fold_left min max_int assigned in
+      let mx = Array.fold_left max 0 assigned in
+      if mx = 0 then 0.0 else float_of_int (mx - mn) /. float_of_int mx *. 100.
+    in
+    Printf.printf "%-34s %8.0f flows/s   backend imbalance %.1f%%\n" label rate
+      spread
+  in
+  report "ZooKeeper, traditional recipe:"
+    (run_control_plane Systems.Zookeeper ~use_extension:false);
+  report "EZK, counter extension:"
+    (run_control_plane Systems.Ezk ~use_extension:true);
+  Printf.printf
+    "\nThe extension keeps the counter on the flow processing path while\n\
+     sustaining an order of magnitude more flow setups per second — above\n\
+     the 2k flows/s that would bottleneck a distributed controller (§7.1).\n"

@@ -1,0 +1,11 @@
+(* Regenerates the sample serialized extensions shipped with the repo:
+   the wire form (s-expressions) of the paper's four recipes. *)
+let write name program =
+  Out_channel.with_open_text name (fun oc ->
+      Out_channel.output_string oc (Edc_core.Codec.serialize program))
+
+let () =
+  write "counter.sexp" Edc_recipes.Counter.program;
+  write "queue.sexp" Edc_recipes.Queue.program;
+  write "barrier.sexp" Edc_recipes.Barrier.program;
+  write "election.sexp" (Edc_recipes.Election.program Edc_recipes.Election.election_roots)

@@ -1,0 +1,1 @@
+lib/core/builtins.ml: Format List Result Stdlib String Value

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Ast List Program Result Sexp Subscription

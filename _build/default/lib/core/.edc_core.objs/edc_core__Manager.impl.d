@@ -1,0 +1,1 @@
+lib/core/manager.ml: Codec Hashtbl Int List Program Result Sandbox String Subscription Verify

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Program Sandbox Subscription Value Verify

@@ -1,0 +1,1 @@
+lib/core/sandbox.ml: Ast Builtins Fmt Format Hashtbl Int List Printf Program String Value

@@ -1,0 +1,1 @@
+lib/core/sandbox.mli: Format Program Value

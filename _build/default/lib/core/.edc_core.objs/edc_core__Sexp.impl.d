@@ -1,0 +1,1 @@
+lib/core/sexp.ml: Buffer List Stdlib String

@@ -1,0 +1,1 @@
+lib/core/subscription.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Ast Builtins Codec Fmt List Printf Program String

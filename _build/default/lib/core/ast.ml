@@ -1,0 +1,136 @@
+(** Abstract syntax of the extension language.
+
+    The paper verifies Java extensions against a white list of APIs and
+    language constructs: no recursion, no unbounded loops (only for-each
+    over existing collections), only coordination-service calls plus basic
+    math/boolean/string operations (§4.1.1).  We make those guarantees
+    structural: the language *has* no recursion, no while, and no
+    user-defined functions.  Its only loop, {!For_each}, iterates a list
+    value that already exists — so every program terminates, with the
+    runtime fuel budget (§4.1.2) bounding total work.
+
+    Programs are data: they serialize to s-expressions ({!Codec}), travel
+    inside ordinary [create] operations, and are re-verified on every
+    replica before instantiation. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+(** Coordination-service calls available to extensions through the state
+    proxy — deliberately the same surface clients get (Table 2), which is
+    the paper's third sandbox advantage (§4.1.2). *)
+type svc_op =
+  | Svc_read  (** read(oid) -> object record; aborts if missing *)
+  | Svc_exists  (** exists(oid) -> bool *)
+  | Svc_sub_objects  (** subObjects(oid) -> list of object records *)
+  | Svc_create  (** create(oid, data) -> actual id *)
+  | Svc_create_sequential  (** create_seq(oid, data) -> actual id *)
+  | Svc_update  (** update(oid, data) -> new version *)
+  | Svc_cas  (** cas(oid, expected_data, new_data) -> bool *)
+  | Svc_delete  (** delete(oid) -> bool (false when already gone) *)
+  | Svc_block  (** block(oid): park the invoking client until oid exists *)
+  | Svc_monitor  (** monitor(oid): ephemeral/lease object for the client *)
+  | Svc_notify  (** notify(client, oid): custom notification *)
+
+type expr =
+  | Unit_lit
+  | Bool_lit of bool
+  | Int_lit of int
+  | Str_lit of string
+  | Var of string
+  | Param of string  (** request parameter: "oid", "data", "client", ... *)
+  | Field of expr * string  (** object-record field access *)
+  | Not of expr
+  | Neg of expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** white-listed builtin *)
+  | Svc of svc_op * expr list  (** service call through the proxy *)
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | For_each of string * expr * stmt list
+  | Return of expr
+  | Do of expr  (** evaluate for effect *)
+  | Abort of string  (** abort the extension; all state changes discarded *)
+
+(** Count AST nodes (verifier size bound). *)
+let rec expr_nodes = function
+  | Unit_lit | Bool_lit _ | Int_lit _ | Str_lit _ | Var _ | Param _ -> 1
+  | Field (e, _) | Not e | Neg e -> 1 + expr_nodes e
+  | Binop (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Call (_, args) | Svc (_, args) ->
+      1 + List.fold_left (fun acc e -> acc + expr_nodes e) 0 args
+
+let rec stmt_nodes = function
+  | Let (_, e) | Assign (_, e) | Return e | Do e -> 1 + expr_nodes e
+  | Abort _ -> 1
+  | If (c, a, b) -> 1 + expr_nodes c + stmts_nodes a + stmts_nodes b
+  | For_each (_, e, body) -> 1 + expr_nodes e + stmts_nodes body
+
+and stmts_nodes body = List.fold_left (fun acc s -> acc + stmt_nodes s) 0 body
+
+(** Nesting depth (verifier bound). *)
+let rec expr_depth = function
+  | Unit_lit | Bool_lit _ | Int_lit _ | Str_lit _ | Var _ | Param _ -> 1
+  | Field (e, _) | Not e | Neg e -> 1 + expr_depth e
+  | Binop (_, a, b) -> 1 + Stdlib.max (expr_depth a) (expr_depth b)
+  | Call (_, args) | Svc (_, args) ->
+      1 + List.fold_left (fun acc e -> Stdlib.max acc (expr_depth e)) 0 args
+
+let rec stmt_depth = function
+  | Let (_, e) | Assign (_, e) | Return e | Do e -> 1 + expr_depth e
+  | Abort _ -> 1
+  | If (c, a, b) ->
+      1 + Stdlib.max (expr_depth c) (Stdlib.max (stmts_depth a) (stmts_depth b))
+  | For_each (_, e, body) -> 1 + Stdlib.max (expr_depth e) (stmts_depth body)
+
+and stmts_depth body =
+  List.fold_left (fun acc s -> Stdlib.max acc (stmt_depth s)) 0 body
+
+(** For-each nesting level (the verifier bounds it: nested loops multiply
+    work even under fuel). *)
+let rec loop_nesting_stmt = function
+  | Let _ | Assign _ | Return _ | Do _ | Abort _ -> 0
+  | If (_, a, b) -> Stdlib.max (loop_nesting a) (loop_nesting b)
+  | For_each (_, _, body) -> 1 + loop_nesting body
+
+and loop_nesting body =
+  List.fold_left (fun acc s -> Stdlib.max acc (loop_nesting_stmt s)) 0 body
+
+(** Iterate all [Call] builtin names in a program fragment. *)
+let rec expr_calls acc = function
+  | Unit_lit | Bool_lit _ | Int_lit _ | Str_lit _ | Var _ | Param _ -> acc
+  | Field (e, _) | Not e | Neg e -> expr_calls acc e
+  | Binop (_, a, b) -> expr_calls (expr_calls acc a) b
+  | Call (name, args) -> List.fold_left expr_calls (name :: acc) args
+  | Svc (_, args) -> List.fold_left expr_calls acc args
+
+let rec stmt_calls acc = function
+  | Let (_, e) | Assign (_, e) | Return e | Do e -> expr_calls acc e
+  | Abort _ -> acc
+  | If (c, a, b) -> stmts_calls (stmts_calls (expr_calls acc c) a) b
+  | For_each (_, e, body) -> stmts_calls (expr_calls acc e) body
+
+and stmts_calls acc body = List.fold_left stmt_calls acc body
+
+(** Iterate all service ops used (the verifier restricts e.g. [Svc_notify]
+    to event handlers). *)
+let rec expr_svcs acc = function
+  | Unit_lit | Bool_lit _ | Int_lit _ | Str_lit _ | Var _ | Param _ -> acc
+  | Field (e, _) | Not e | Neg e -> expr_svcs acc e
+  | Binop (_, a, b) -> expr_svcs (expr_svcs acc a) b
+  | Call (_, args) -> List.fold_left expr_svcs acc args
+  | Svc (op, args) -> List.fold_left expr_svcs (op :: acc) args
+
+let rec stmt_svcs acc = function
+  | Let (_, e) | Assign (_, e) | Return e | Do e -> expr_svcs acc e
+  | Abort _ -> acc
+  | If (c, a, b) -> stmts_svcs (stmts_svcs (expr_svcs acc c) a) b
+  | For_each (_, e, body) -> stmts_svcs (expr_svcs acc e) body
+
+and stmts_svcs acc body = List.fold_left stmt_svcs acc body

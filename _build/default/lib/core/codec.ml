@@ -1,0 +1,300 @@
+(** Wire codec for extension programs.
+
+    Registration ships the *serialized* program as the data of an ordinary
+    [create] call (§3.6).  Every replica re-parses and re-verifies the
+    program before instantiating it, so the decoder treats all input as
+    untrusted: every malformed shape is a clean [Error]. *)
+
+open Ast
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  | And -> "and" | Or -> "or" | Concat -> "cat"
+
+let binop_of_name = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div" -> Some Div | "mod" -> Some Mod
+  | "eq" -> Some Eq | "ne" -> Some Ne | "lt" -> Some Lt | "le" -> Some Le
+  | "gt" -> Some Gt | "ge" -> Some Ge
+  | "and" -> Some And | "or" -> Some Or | "cat" -> Some Concat
+  | _ -> None
+
+let svc_name = function
+  | Svc_read -> "read"
+  | Svc_exists -> "exists"
+  | Svc_sub_objects -> "subobjects"
+  | Svc_create -> "create"
+  | Svc_create_sequential -> "createseq"
+  | Svc_update -> "update"
+  | Svc_cas -> "cas"
+  | Svc_delete -> "delete"
+  | Svc_block -> "block"
+  | Svc_monitor -> "monitor"
+  | Svc_notify -> "notify"
+
+let svc_of_name = function
+  | "read" -> Some Svc_read
+  | "exists" -> Some Svc_exists
+  | "subobjects" -> Some Svc_sub_objects
+  | "create" -> Some Svc_create
+  | "createseq" -> Some Svc_create_sequential
+  | "update" -> Some Svc_update
+  | "cas" -> Some Svc_cas
+  | "delete" -> Some Svc_delete
+  | "block" -> Some Svc_block
+  | "monitor" -> Some Svc_monitor
+  | "notify" -> Some Svc_notify
+  | _ -> None
+
+let rec expr_to_sexp e =
+  let open Sexp in
+  match e with
+  | Unit_lit -> Atom "unit"
+  | Bool_lit b -> List [ Atom "b"; Atom (string_of_bool b) ]
+  | Int_lit i -> List [ Atom "i"; Atom (string_of_int i) ]
+  | Str_lit s -> List [ Atom "s"; Atom s ]
+  | Var v -> List [ Atom "var"; Atom v ]
+  | Param p -> List [ Atom "param"; Atom p ]
+  | Field (e, name) -> List [ Atom "fld"; expr_to_sexp e; Atom name ]
+  | Not e -> List [ Atom "not"; expr_to_sexp e ]
+  | Neg e -> List [ Atom "neg"; expr_to_sexp e ]
+  | Binop (op, a, b) ->
+      List [ Atom "bin"; Atom (binop_name op); expr_to_sexp a; expr_to_sexp b ]
+  | Call (name, args) ->
+      List (Atom "call" :: Atom name :: List.map expr_to_sexp args)
+  | Svc (op, args) ->
+      List (Atom "svc" :: Atom (svc_name op) :: List.map expr_to_sexp args)
+
+let rec stmt_to_sexp s =
+  let open Sexp in
+  match s with
+  | Let (v, e) -> List [ Atom "let"; Atom v; expr_to_sexp e ]
+  | Assign (v, e) -> List [ Atom "set"; Atom v; expr_to_sexp e ]
+  | If (c, a, b) ->
+      List
+        [ Atom "if"; expr_to_sexp c;
+          List (List.map stmt_to_sexp a); List (List.map stmt_to_sexp b) ]
+  | For_each (v, e, body) ->
+      List (Atom "for" :: Atom v :: expr_to_sexp e :: List.map stmt_to_sexp body)
+  | Return e -> List [ Atom "ret"; expr_to_sexp e ]
+  | Do e -> List [ Atom "do"; expr_to_sexp e ]
+  | Abort msg -> List [ Atom "abort"; Atom msg ]
+
+let pattern_to_sexp p =
+  let open Sexp in
+  match p with
+  | Subscription.Exact s -> List [ Atom "exact"; Atom s ]
+  | Subscription.Under s -> List [ Atom "under"; Atom s ]
+  | Subscription.Starts_with s -> List [ Atom "pfx"; Atom s ]
+  | Subscription.Any_oid -> Atom "any"
+
+let op_sub_to_sexp (s : Subscription.operation_sub) =
+  let open Sexp in
+  List
+    [ List (Atom "kinds" :: List.map (fun k -> Atom (Subscription.op_kind_to_string k)) s.op_kinds);
+      pattern_to_sexp s.op_oid ]
+
+let ev_sub_to_sexp (s : Subscription.event_sub) =
+  let open Sexp in
+  List
+    [ List (Atom "kinds" :: List.map (fun k -> Atom (Subscription.event_kind_to_string k)) s.ev_kinds);
+      pattern_to_sexp s.ev_oid ]
+
+let handler_to_sexp = function
+  | None -> Sexp.Atom "none"
+  | Some body -> Sexp.List (List.map stmt_to_sexp body)
+
+let to_sexp (p : Program.t) =
+  let open Sexp in
+  List
+    [ Atom "ext"; Atom p.name;
+      List (Atom "opsubs" :: List.map op_sub_to_sexp p.op_subs);
+      List (Atom "evsubs" :: List.map ev_sub_to_sexp p.event_subs);
+      List [ Atom "onop"; handler_to_sexp p.on_operation ];
+      List [ Atom "onev"; handler_to_sexp p.on_event ] ]
+
+let serialize p = Sexp.to_string (to_sexp p)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_of_sexp sx =
+  let open Sexp in
+  match sx with
+  | Atom "unit" -> Ok Unit_lit
+  | List [ Atom "b"; Atom b ] -> (
+      match bool_of_string_opt b with Some b -> Ok (Bool_lit b) | None -> Error "bad bool")
+  | List [ Atom "i"; Atom i ] -> (
+      match int_of_string_opt i with Some i -> Ok (Int_lit i) | None -> Error "bad int")
+  | List [ Atom "s"; Atom s ] -> Ok (Str_lit s)
+  | List [ Atom "var"; Atom v ] -> Ok (Var v)
+  | List [ Atom "param"; Atom p ] -> Ok (Param p)
+  | List [ Atom "fld"; e; Atom name ] ->
+      let* e = expr_of_sexp e in
+      Ok (Field (e, name))
+  | List [ Atom "not"; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Not e)
+  | List [ Atom "neg"; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Neg e)
+  | List [ Atom "bin"; Atom op; a; b ] -> (
+      match binop_of_name op with
+      | None -> Error ("unknown binop " ^ op)
+      | Some op ->
+          let* a = expr_of_sexp a in
+          let* b = expr_of_sexp b in
+          Ok (Binop (op, a, b)))
+  | List (Atom "call" :: Atom name :: args) ->
+      let* args = exprs_of_sexps args in
+      Ok (Call (name, args))
+  | List (Atom "svc" :: Atom name :: args) -> (
+      match svc_of_name name with
+      | None -> Error ("unknown service op " ^ name)
+      | Some op ->
+          let* args = exprs_of_sexps args in
+          Ok (Svc (op, args)))
+  | _ -> Error "bad expression"
+
+and exprs_of_sexps sxs =
+  let rec conv acc = function
+    | [] -> Ok (List.rev acc)
+    | sx :: rest ->
+        let* e = expr_of_sexp sx in
+        conv (e :: acc) rest
+  in
+  conv [] sxs
+
+let rec stmt_of_sexp sx =
+  let open Sexp in
+  match sx with
+  | List [ Atom "let"; Atom v; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Let (v, e))
+  | List [ Atom "set"; Atom v; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Assign (v, e))
+  | List [ Atom "if"; c; List a; List b ] ->
+      let* c = expr_of_sexp c in
+      let* a = stmts_of_sexps a in
+      let* b = stmts_of_sexps b in
+      Ok (If (c, a, b))
+  | List (Atom "for" :: Atom v :: e :: body) ->
+      let* e = expr_of_sexp e in
+      let* body = stmts_of_sexps body in
+      Ok (For_each (v, e, body))
+  | List [ Atom "ret"; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Return e)
+  | List [ Atom "do"; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Do e)
+  | List [ Atom "abort"; Atom msg ] -> Ok (Abort msg)
+  | _ -> Error "bad statement"
+
+and stmts_of_sexps sxs =
+  let rec conv acc = function
+    | [] -> Ok (List.rev acc)
+    | sx :: rest ->
+        let* s = stmt_of_sexp sx in
+        conv (s :: acc) rest
+  in
+  conv [] sxs
+
+let pattern_of_sexp = function
+  | Sexp.Atom "any" -> Ok Subscription.Any_oid
+  | Sexp.List [ Sexp.Atom "exact"; Sexp.Atom s ] -> Ok (Subscription.Exact s)
+  | Sexp.List [ Sexp.Atom "under"; Sexp.Atom s ] -> Ok (Subscription.Under s)
+  | Sexp.List [ Sexp.Atom "pfx"; Sexp.Atom s ] -> Ok (Subscription.Starts_with s)
+  | _ -> Error "bad oid pattern"
+
+let op_sub_of_sexp = function
+  | Sexp.List [ Sexp.List (Sexp.Atom "kinds" :: kinds); pat ] ->
+      let* kinds =
+        List.fold_left
+          (fun acc k ->
+            let* acc = acc in
+            match k with
+            | Sexp.Atom name -> (
+                match Subscription.op_kind_of_string name with
+                | Some k -> Ok (k :: acc)
+                | None -> Error ("unknown op kind " ^ name))
+            | _ -> Error "bad kind")
+          (Ok []) kinds
+      in
+      let* pat = pattern_of_sexp pat in
+      Ok { Subscription.op_kinds = List.rev kinds; op_oid = pat }
+  | _ -> Error "bad operation subscription"
+
+let ev_sub_of_sexp = function
+  | Sexp.List [ Sexp.List (Sexp.Atom "kinds" :: kinds); pat ] ->
+      let* kinds =
+        List.fold_left
+          (fun acc k ->
+            let* acc = acc in
+            match k with
+            | Sexp.Atom name -> (
+                match Subscription.event_kind_of_string name with
+                | Some k -> Ok (k :: acc)
+                | None -> Error ("unknown event kind " ^ name))
+            | _ -> Error "bad kind")
+          (Ok []) kinds
+      in
+      let* pat = pattern_of_sexp pat in
+      Ok { Subscription.ev_kinds = List.rev kinds; ev_oid = pat }
+  | _ -> Error "bad event subscription"
+
+let handler_of_sexp = function
+  | Sexp.Atom "none" -> Ok None
+  | Sexp.List body ->
+      let* body = stmts_of_sexps body in
+      Ok (Some body)
+  | _ -> Error "bad handler"
+
+let of_sexp sx =
+  match sx with
+  | Sexp.List
+      [ Sexp.Atom "ext"; Sexp.Atom name;
+        Sexp.List (Sexp.Atom "opsubs" :: opsubs);
+        Sexp.List (Sexp.Atom "evsubs" :: evsubs);
+        Sexp.List [ Sexp.Atom "onop"; onop ];
+        Sexp.List [ Sexp.Atom "onev"; onev ] ] ->
+      let* op_subs =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* s = op_sub_of_sexp s in
+            Ok (s :: acc))
+          (Ok []) opsubs
+      in
+      let* event_subs =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* s = ev_sub_of_sexp s in
+            Ok (s :: acc))
+          (Ok []) evsubs
+      in
+      let* on_operation = handler_of_sexp onop in
+      let* on_event = handler_of_sexp onev in
+      Ok
+        {
+          Program.name;
+          op_subs = List.rev op_subs;
+          event_subs = List.rev event_subs;
+          on_operation;
+          on_event;
+        }
+  | _ -> Error "bad extension"
+
+let deserialize s =
+  let* sx = Sexp.of_string s in
+  of_sexp sx

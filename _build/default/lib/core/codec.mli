@@ -1,0 +1,18 @@
+(** Wire codec for extension programs (§3.6).
+
+    Registration ships the serialized program as the data of an ordinary
+    [create]; every replica re-parses and re-verifies before
+    instantiating.  The decoder treats all input as untrusted: malformed
+    shapes yield [Error], never exceptions. *)
+
+val expr_to_sexp : Ast.expr -> Sexp.t
+val stmt_to_sexp : Ast.stmt -> Sexp.t
+val to_sexp : Program.t -> Sexp.t
+
+(** [serialize p] — canonical bytes: equal programs serialize equally. *)
+val serialize : Program.t -> string
+
+val expr_of_sexp : Sexp.t -> (Ast.expr, string) result
+val stmt_of_sexp : Sexp.t -> (Ast.stmt, string) result
+val of_sexp : Sexp.t -> (Program.t, string) result
+val deserialize : string -> (Program.t, string) result

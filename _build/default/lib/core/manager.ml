@@ -1,0 +1,215 @@
+(** The extension manager (§3.5–§3.8).
+
+    One instance lives next to each replica of an extensible coordination
+    service.  It owns the registry of extensions and their acknowledgment
+    sets, matches incoming operations/events against subscriptions, and
+    defines the data-object conventions used for registration:
+
+    - ["/em"] — the manager's own object; creating ["/em/<name>"] with the
+      serialized program as data registers extension [name]; deleting it
+      deregisters (§3.6).
+    - ["/em/<name>/ack/<client>"] — created by a client to acknowledge an
+      extension registered by someone else; only acknowledged (or owned)
+      extensions apply to a client's operations.
+    - ["/em/index"] — the index object listing all registered extensions,
+      maintained so a recovering replica can find and reload them (§3.8).
+
+    The manager itself is *stateless across faults*: everything needed to
+    rebuild it lives in ordinary service data objects, protected by the
+    service's own fault-tolerance machinery.  The service glue (EZK/EDS)
+    calls {!apply_registration} / {!apply_deregistration} when it observes
+    those objects being created/deleted in the committed state — which
+    happens identically on every replica and again on recovery replay. *)
+
+type entry = {
+  program : Program.t;
+  owner : int;
+  mutable acked : int list;  (** clients that may trigger it (incl. owner) *)
+  reg_seq : int;  (** registration order; later registrations win (§3.3) *)
+}
+
+type t = {
+  mode : Verify.mode;
+  verify_limits : Verify.limits;
+  sandbox_limits : Sandbox.limits;
+  verification_enabled : bool;
+      (** §4.2 opens the possibility of disabling verification for
+          deployments whose constraints prove too restrictive; parsing and
+          the determinism check still run (consistency is not optional) *)
+  extensions : (string, entry) Hashtbl.t;
+  mutable next_reg_seq : int;
+}
+
+let em_root = "/em"
+let em_index = "/em/index"
+
+let extension_object name = em_root ^ "/" ^ name
+
+let ack_object name ~client = extension_object name ^ "/ack/" ^ string_of_int client
+
+(** [classify_path path] tells the service glue what a path under ["/em"]
+    means. *)
+type em_path = Not_em | Em_root | Em_index | Em_extension of string | Em_ack of string * int
+
+let classify_path path =
+  if not (String.length path >= 3 && String.sub path 0 3 = em_root) then Not_em
+  else if String.equal path em_root then Em_root
+  else if String.equal path em_index then Em_index
+  else
+    match String.split_on_char '/' path with
+    | [ ""; "em"; name ] -> Em_extension name
+    | [ ""; "em"; name; "ack"; client ] -> (
+        match int_of_string_opt client with
+        | Some c -> Em_ack (name, c)
+        | None -> Not_em)
+    | _ -> Not_em
+
+let create ?(verify_limits = Verify.default_limits)
+    ?(sandbox_limits = Sandbox.default_limits) ?(verification_enabled = true)
+    ~mode () =
+  {
+    mode;
+    verify_limits;
+    sandbox_limits;
+    verification_enabled;
+    extensions = Hashtbl.create 16;
+    next_reg_seq = 0;
+  }
+
+let sandbox_limits t = t.sandbox_limits
+let mode t = t.mode
+let extension_count t = Hashtbl.length t.extensions
+let find t name = Hashtbl.find_opt t.extensions name
+
+(** [verify_code t code] — registration-time admission check; used by the
+    glue *before* the create is even proposed, so a bad extension is
+    rejected without consuming a slot in the replicated log. *)
+let verify_code t code =
+  match Verify.verify ~limits:t.verify_limits ~mode:t.mode code with
+  | Ok program -> Ok program
+  | Error (`Parse e) -> Error ("parse error: " ^ e)
+  | Error (`Violations vs) ->
+      if t.verification_enabled then
+        Error (String.concat "; " (List.map Verify.violation_to_string vs))
+      else (
+        (* verification disabled (§4.2): still refuse nondeterminism under
+           active replication — that is a consistency requirement, not a
+           resource policy *)
+        match
+          List.filter
+            (function Verify.Nondeterministic_builtin _ -> true | _ -> false)
+            vs
+        with
+        | [] -> (
+            match Codec.deserialize code with
+            | Ok program -> Ok program
+            | Error e -> Error ("parse error: " ^ e))
+        | hard ->
+            Error (String.concat "; " (List.map Verify.violation_to_string hard)))
+
+(** [apply_registration t ~name ~owner ~code] — called when the committed
+    state gains ["/em/<name>"].  Runs on every replica (and again on
+    recovery reload); re-verifies because replicas never trust bytes. *)
+let apply_registration t ~name ~owner ~code =
+  match verify_code t code with
+  | Error _ as e -> e
+  | Ok program ->
+      if program.Program.name <> name then Error "name mismatch"
+      else begin
+        let reg_seq = t.next_reg_seq in
+        t.next_reg_seq <- reg_seq + 1;
+        Hashtbl.replace t.extensions name
+          { program; owner; acked = [ owner ]; reg_seq };
+        Ok program
+      end
+
+let apply_deregistration t ~name = Hashtbl.remove t.extensions name
+
+(** [clear t] drops all registrations (a replica about to reload from a
+    snapshot, §3.8). *)
+let clear t = Hashtbl.reset t.extensions
+
+(** [apply_ack t ~name ~client] — the client has acknowledged use of the
+    extension (one-time, §3.6). *)
+let apply_ack t ~name ~client =
+  match Hashtbl.find_opt t.extensions name with
+  | Some e -> if not (List.mem client e.acked) then e.acked <- client :: e.acked
+  | None -> ()
+
+let apply_unack t ~name ~client =
+  match Hashtbl.find_opt t.extensions name with
+  | Some e -> e.acked <- List.filter (fun c -> c <> client) e.acked
+  | None -> ()
+
+let client_acked e ~client = List.mem client e.acked
+
+(** [match_operation t ~client ~kind ~oid] finds the extension to run for a
+    client request: among extensions the client acknowledged whose
+    operation subscriptions match, the most recently registered wins
+    (execution model of §3.3). *)
+let match_operation t ~client ~kind ~oid =
+  Hashtbl.fold
+    (fun _ e best ->
+      if
+        client_acked e ~client
+        && e.program.Program.on_operation <> None
+        && List.exists
+             (fun sub -> Subscription.op_matches sub ~kind ~oid)
+             e.program.Program.op_subs
+      then
+        match best with
+        | Some b when b.reg_seq > e.reg_seq -> best
+        | _ -> Some e
+      else best)
+    t.extensions None
+
+(** [match_events t ~kind ~oid] returns all event extensions subscribed to
+    this state change, in registration order (§3.3: "one after another, in
+    the order of their registration"). *)
+let match_events t ~kind ~oid =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if
+        e.program.Program.on_event <> None
+        && List.exists
+             (fun sub -> Subscription.ev_matches sub ~kind ~oid)
+             e.program.Program.event_subs
+      then e :: acc
+      else acc)
+    t.extensions []
+  |> List.sort (fun a b -> Int.compare a.reg_seq b.reg_seq)
+
+(** [client_has_event_match t ~client ~kind ~oid] — used to decide whether
+    a client's original notification should be suppressed (§5.1.2). *)
+let client_has_event_match t ~client ~kind ~oid =
+  Hashtbl.fold
+    (fun _ e acc ->
+      acc
+      || (client_acked e ~client
+         && e.program.Program.on_event <> None
+         && List.exists
+              (fun sub -> Subscription.ev_matches sub ~kind ~oid)
+              e.program.Program.event_subs))
+    t.extensions false
+
+(** [run_operation t entry ~proxy ~params] executes the operation handler
+    in the sandbox. *)
+let run_operation t entry ~proxy ~params =
+  match entry.program.Program.on_operation with
+  | None -> Error (Sandbox.Aborted "no operation handler")
+  | Some handler ->
+      Result.map (fun (v, _, _) -> v)
+        (Sandbox.run ~limits:t.sandbox_limits ~proxy ~params handler)
+
+let run_event t entry ~proxy ~params =
+  match entry.program.Program.on_event with
+  | None -> Error (Sandbox.Aborted "no event handler")
+  | Some handler ->
+      Result.map (fun (v, _, _) -> v)
+        (Sandbox.run ~limits:t.sandbox_limits ~proxy ~params handler)
+
+let registered_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.extensions [] |> List.sort compare
+
+(** Serialized index-object content: one extension name per line. *)
+let index_data t = String.concat "\n" (registered_names t)

@@ -1,0 +1,107 @@
+(** The extension manager (§3.5–§3.8).
+
+    One instance per replica of an extensible coordination service.  Owns
+    the registry of extensions and acknowledgment sets, matches operations
+    and events against subscriptions, and defines the ["/em"] data-object
+    conventions through which registration travels (§3.6).  The manager is
+    stateless across faults: everything needed to rebuild it lives in
+    ordinary replicated data objects (§3.8). *)
+
+type entry = {
+  program : Program.t;
+  owner : int;  (** client that registered the extension *)
+  mutable acked : int list;  (** clients that may trigger it (incl. owner) *)
+  reg_seq : int;  (** registration order; later registrations win (§3.3) *)
+}
+
+type t
+
+(** The extension manager's own object and naming conventions. *)
+
+val em_root : string
+val em_index : string
+val extension_object : string -> string
+val ack_object : string -> client:int -> string
+
+type em_path =
+  | Not_em
+  | Em_root
+  | Em_index
+  | Em_extension of string
+  | Em_ack of string * int
+
+(** [classify_path path] tells the service glue what a path under ["/em"]
+    means. *)
+val classify_path : string -> em_path
+
+(** [create ~mode ()] — [verification_enabled:false] implements §4.2's
+    escape hatch: structural limits are waived, but nondeterministic
+    builtins remain rejected under active replication (consistency is not
+    a policy knob). *)
+val create :
+  ?verify_limits:Verify.limits ->
+  ?sandbox_limits:Sandbox.limits ->
+  ?verification_enabled:bool ->
+  mode:Verify.mode ->
+  unit ->
+  t
+
+val sandbox_limits : t -> Sandbox.limits
+val mode : t -> Verify.mode
+val extension_count : t -> int
+val find : t -> string -> entry option
+
+(** [verify_code t code] — admission check run before the registration is
+    even proposed, so bad extensions cost nothing in the replicated log. *)
+val verify_code : t -> string -> (Program.t, string) result
+
+(** [apply_registration t ~name ~owner ~code] — called when the committed
+    state gains the extension's data object; runs identically on every
+    replica (and again on recovery reload) and re-verifies the code. *)
+val apply_registration :
+  t -> name:string -> owner:int -> code:string -> (Program.t, string) result
+
+val apply_deregistration : t -> name:string -> unit
+
+(** Drop all registrations (before a snapshot-driven reload, §3.8). *)
+val clear : t -> unit
+
+(** One-time acknowledgment: lets [client] trigger the extension (§3.6). *)
+val apply_ack : t -> name:string -> client:int -> unit
+
+val apply_unack : t -> name:string -> client:int -> unit
+
+(** [match_operation t ~client ~kind ~oid] — the extension to run for a
+    client request: among extensions the client acknowledged whose
+    subscriptions match, the most recently registered wins (§3.3). *)
+val match_operation :
+  t -> client:int -> kind:Subscription.op_kind -> oid:string -> entry option
+
+(** [match_events t ~kind ~oid] — all subscribed event extensions, in
+    registration order (§3.3). *)
+val match_events :
+  t -> kind:Subscription.event_kind -> oid:string -> entry list
+
+(** Should this client's original notification be suppressed (§5.1.2)? *)
+val client_has_event_match :
+  t -> client:int -> kind:Subscription.event_kind -> oid:string -> bool
+
+val run_operation :
+  t ->
+  entry ->
+  proxy:Sandbox.proxy ->
+  params:(string * Value.t) list ->
+  (Value.t, Sandbox.error) result
+
+val run_event :
+  t ->
+  entry ->
+  proxy:Sandbox.proxy ->
+  params:(string * Value.t) list ->
+  (Value.t, Sandbox.error) result
+
+val registered_names : t -> string list
+
+(** Content of the ["/em/index"] object: the registered names, one per
+    line, so a recovering replica can find and reload everything (§3.8). *)
+val index_data : t -> string

@@ -1,0 +1,57 @@
+(** The extension sandbox (§4.1.2).
+
+    Executes a verified handler under hard resource budgets; all state
+    access goes through the host-provided {!proxy}, which mirrors the
+    client-visible API (Table 2).  Hosts implement the proxy so that all
+    changes apply atomically on success and vanish entirely on abort —
+    a crashing or over-budget extension never corrupts the service. *)
+
+type limits = {
+  max_steps : int;  (** interpreter steps (CPU bound) *)
+  max_service_calls : int;  (** proxied coordination-service calls *)
+  max_creates : int;  (** object creations per invocation *)
+  max_value_bytes : int;  (** size bound on any single value (memory) *)
+}
+
+val default_limits : limits
+
+type error =
+  | Fuel_exhausted
+  | Service_call_limit
+  | Create_limit
+  | Value_too_large of int
+  | Type_error of string
+  | Undefined_variable of string
+  | Unknown_builtin of string
+  | Service_error of string
+  | Aborted of string
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** Host-provided state proxy.  [oid]s are abstract object identifiers
+    (paths for EZK, tuple names for EDS). *)
+type proxy = {
+  p_read : string -> (Value.t, string) result;
+  p_exists : string -> bool;
+  p_sub_objects : string -> (Value.t list, string) result;
+  p_create : sequential:bool -> oid:string -> data:string -> (string, string) result;
+  p_update : oid:string -> data:string -> (int, string) result;
+  p_cas : oid:string -> expected:string -> data:string -> (bool, string) result;
+  p_delete : string -> (bool, string) result;
+  p_block : string -> (unit, string) result;
+  p_monitor : string -> (unit, string) result;
+  p_notify : client:int -> oid:string -> (unit, string) result;
+  p_clock : unit -> int;
+}
+
+(** [run ?limits ~proxy ~params handler] executes a handler; [params] bind
+    the request attributes ([oid], [data], [client], [kind]).  On success
+    returns the handler's value plus (steps, service calls) consumed; on
+    [Error] the host must discard all recorded state changes. *)
+val run :
+  ?limits:limits ->
+  proxy:proxy ->
+  params:(string * Value.t) list ->
+  Program.handler ->
+  (Value.t * int * int, error) result

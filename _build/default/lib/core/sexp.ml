@@ -1,0 +1,152 @@
+(** Canonical s-expressions: the wire format for extension code.
+
+    Extensions travel from client to server as data (inside an ordinary
+    [create] operation, §3.6), are persisted in coordination-service
+    objects, and are re-parsed and re-verified on every replica.  The
+    format is deliberately tiny: atoms and lists, with quoted atoms for
+    arbitrary strings. *)
+
+type t = Atom of string | List of t list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let atom_needs_quoting s =
+  String.length s = 0
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote_atom s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf (if atom_needs_quoting s then quote_atom s else s)
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string sexp =
+  let buf = Buffer.create 256 in
+  to_buffer buf sexp;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type parser_state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let parse_quoted st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> raise (Parse_error "unterminated string")
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; loop ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; loop ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; loop ()
+        | Some c -> advance st; Buffer.add_char buf c; loop ()
+        | None -> raise (Parse_error "dangling escape"))
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_bare st =
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"') | None -> ()
+    | Some _ ->
+        advance st;
+        loop ()
+  in
+  loop ();
+  String.sub st.input start (st.pos - start)
+
+let rec parse_one st =
+  skip_ws st;
+  match peek st with
+  | None -> raise (Parse_error "unexpected end of input")
+  | Some '(' ->
+      advance st;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws st;
+        match peek st with
+        | Some ')' -> advance st
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+            items := parse_one st :: !items;
+            loop ()
+      in
+      loop ();
+      List (List.rev !items)
+  | Some ')' -> raise (Parse_error "unexpected )")
+  | Some '"' -> Atom (parse_quoted st)
+  | Some _ -> Atom (parse_bare st)
+
+(** [of_string s] parses one s-expression; [Error] on malformed input
+    (malformed extensions must be rejected at registration, not crash the
+    server). *)
+let of_string s =
+  let st = { input = s; pos = 0 } in
+  match parse_one st with
+  | sexp ->
+      skip_ws st;
+      if st.pos <> String.length s then Error "trailing garbage"
+      else Ok sexp
+  | exception Parse_error msg -> Error msg
+
+(** Structural size: number of atoms and list nodes (used by the verifier's
+    size bound). *)
+let rec node_count = function
+  | Atom _ -> 1
+  | List items -> 1 + List.fold_left (fun acc i -> acc + node_count i) 0 items
+
+let rec depth = function
+  | Atom _ -> 1
+  | List items -> 1 + List.fold_left (fun acc i -> Stdlib.max acc (depth i)) 0 items

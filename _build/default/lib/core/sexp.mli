@@ -1,0 +1,23 @@
+(** Canonical s-expressions: the wire format for extension code (§3.6).
+
+    Atoms and lists only; atoms containing whitespace or delimiters are
+    quoted with C-style escapes.  The format is canonical: printing and
+    re-parsing any value yields the same value, and equal values print to
+    equal strings — which lets replicas compare and re-verify extension
+    code byte-for-byte. *)
+
+type t = Atom of string | List of t list
+
+(** [to_string sexp] prints canonically. *)
+val to_string : t -> string
+
+(** [of_string s] parses one s-expression.  All input is untrusted
+    (extensions arrive from clients): malformed input yields [Error],
+    never an exception. *)
+val of_string : string -> (t, string) result
+
+(** [node_count sexp] counts atoms plus list nodes (verifier size bound). *)
+val node_count : t -> int
+
+(** [depth sexp] is the nesting depth (verifier bound). *)
+val depth : t -> int

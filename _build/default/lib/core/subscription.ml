@@ -1,0 +1,83 @@
+(** Operation and event subscriptions (§3.4).
+
+    A subscription names the operations or events an extension wants to
+    intercept: a set of kinds plus a pattern over object ids.  The
+    extension manager matches incoming requests/events against the
+    subscriptions of extensions the requesting client has acknowledged. *)
+
+type oid_pattern =
+  | Exact of string
+  | Under of string  (** strict descendants (path-aware) *)
+  | Starts_with of string  (** plain string prefix *)
+  | Any_oid
+
+(** Client-visible operation classes of the abstract API (Table 2). *)
+type op_kind =
+  | K_read
+  | K_create
+  | K_update
+  | K_cas
+  | K_delete
+  | K_sub_objects
+  | K_block
+
+type event_kind = E_created | E_deleted | E_changed | E_unblocked
+
+type operation_sub = { op_kinds : op_kind list; op_oid : oid_pattern }
+type event_sub = { ev_kinds : event_kind list; ev_oid : oid_pattern }
+
+let oid_matches pattern oid =
+  match pattern with
+  | Any_oid -> true
+  | Exact p -> String.equal p oid
+  | Starts_with p ->
+      String.length oid >= String.length p && String.sub oid 0 (String.length p) = p
+  | Under prefix ->
+      let plen = String.length prefix in
+      String.length oid > plen
+      && String.sub oid 0 plen = prefix
+      && (plen = 0 || prefix.[plen - 1] = '/' || oid.[plen] = '/')
+
+let op_matches sub ~kind ~oid =
+  List.mem kind sub.op_kinds && oid_matches sub.op_oid oid
+
+let ev_matches sub ~kind ~oid =
+  List.mem kind sub.ev_kinds && oid_matches sub.ev_oid oid
+
+let op_kind_to_string = function
+  | K_read -> "read"
+  | K_create -> "create"
+  | K_update -> "update"
+  | K_cas -> "cas"
+  | K_delete -> "delete"
+  | K_sub_objects -> "subobjects"
+  | K_block -> "block"
+
+let op_kind_of_string = function
+  | "read" -> Some K_read
+  | "create" -> Some K_create
+  | "update" -> Some K_update
+  | "cas" -> Some K_cas
+  | "delete" -> Some K_delete
+  | "subobjects" -> Some K_sub_objects
+  | "block" -> Some K_block
+  | _ -> None
+
+let event_kind_to_string = function
+  | E_created -> "created"
+  | E_deleted -> "deleted"
+  | E_changed -> "changed"
+  | E_unblocked -> "unblocked"
+
+let event_kind_of_string = function
+  | "created" -> Some E_created
+  | "deleted" -> Some E_deleted
+  | "changed" -> Some E_changed
+  | "unblocked" -> Some E_unblocked
+  | _ -> None
+
+let pp_pattern ppf = function
+  | Exact s -> Fmt.pf ppf "=%s" s
+  | Under s -> Fmt.pf ppf "%s/*" s
+  | Starts_with s -> Fmt.pf ppf "%s*" s
+  | Any_oid -> Fmt.string ppf "*"

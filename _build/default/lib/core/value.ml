@@ -1,0 +1,111 @@
+(** Runtime values of the extension language. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Record of (string * t) list
+      (** coordination-service objects are surfaced to extensions as
+          records: [id], [data], [version], [ctime] *)
+
+(** The object record every state proxy hands to extensions. *)
+let obj ~id ~data ~version ~ctime =
+  Record [ ("id", Str id); ("data", Str data); ("version", Int version); ("ctime", Int ctime) ]
+
+let field r name =
+  match r with
+  | Record fields -> List.assoc_opt name fields
+  | Unit | Bool _ | Int _ | Str _ | List _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Record x, Record y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (nx, vx) (ny, vy) -> String.equal nx ny && equal vx vy)
+           x y
+  | (Unit | Bool _ | Int _ | Str _ | List _ | Record _), _ -> false
+
+(** Approximate in-memory footprint, for the sandbox's value-size budget. *)
+let rec size = function
+  | Unit | Bool _ -> 1
+  | Int _ -> 8
+  | Str s -> 8 + String.length s
+  | List items -> List.fold_left (fun acc v -> acc + size v) 8 items
+  | Record fields ->
+      List.fold_left (fun acc (n, v) -> acc + String.length n + size v) 8 fields
+
+let truthy = function
+  | Bool b -> b
+  | Unit -> false
+  | Int i -> i <> 0
+  | Str s -> s <> ""
+  | List l -> l <> []
+  | Record _ -> true
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | List l -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi pp) l
+  | Record fields ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:semi (pair ~sep:(any "=") string pp))
+        fields
+
+(* Wire codec (embedded in the extension wire format and in piggybacked
+   extension results). *)
+
+let rec to_sexp = function
+  | Unit -> Sexp.Atom "u"
+  | Bool b -> Sexp.List [ Sexp.Atom "b"; Sexp.Atom (string_of_bool b) ]
+  | Int i -> Sexp.List [ Sexp.Atom "i"; Sexp.Atom (string_of_int i) ]
+  | Str s -> Sexp.List [ Sexp.Atom "s"; Sexp.Atom s ]
+  | List items -> Sexp.List (Sexp.Atom "l" :: List.map to_sexp items)
+  | Record fields ->
+      Sexp.List
+        (Sexp.Atom "r"
+        :: List.map (fun (n, v) -> Sexp.List [ Sexp.Atom n; to_sexp v ]) fields)
+
+let rec of_sexp = function
+  | Sexp.Atom "u" -> Ok Unit
+  | Sexp.List [ Sexp.Atom "b"; Sexp.Atom b ] -> (
+      match bool_of_string_opt b with
+      | Some b -> Ok (Bool b)
+      | None -> Error "bad bool")
+  | Sexp.List [ Sexp.Atom "i"; Sexp.Atom i ] -> (
+      match int_of_string_opt i with
+      | Some i -> Ok (Int i)
+      | None -> Error "bad int")
+  | Sexp.List [ Sexp.Atom "s"; Sexp.Atom s ] -> Ok (Str s)
+  | Sexp.List (Sexp.Atom "l" :: items) ->
+      let rec conv acc = function
+        | [] -> Ok (List (List.rev acc))
+        | x :: rest -> (
+            match of_sexp x with Ok v -> conv (v :: acc) rest | Error e -> Error e)
+      in
+      conv [] items
+  | Sexp.List (Sexp.Atom "r" :: fields) ->
+      let rec conv acc = function
+        | [] -> Ok (Record (List.rev acc))
+        | Sexp.List [ Sexp.Atom n; v ] :: rest -> (
+            match of_sexp v with
+            | Ok v -> conv ((n, v) :: acc) rest
+            | Error e -> Error e)
+        | _ -> Error "bad record field"
+      in
+      conv [] fields
+  | _ -> Error "bad value"
+
+let serialize v = Sexp.to_string (to_sexp v)
+
+let deserialize s =
+  match Sexp.of_string s with Ok sx -> of_sexp sx | Error e -> Error e

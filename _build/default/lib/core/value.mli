@@ -1,0 +1,36 @@
+(** Runtime values of the extension language. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Record of (string * t) list
+      (** coordination-service objects are surfaced to extensions as
+          records with fields [id], [data], [version], [ctime] *)
+
+(** [obj ~id ~data ~version ~ctime] is the object record every state proxy
+    hands to extensions (the OBJECT of the paper's recipes). *)
+val obj : id:string -> data:string -> version:int -> ctime:int -> t
+
+(** [field r name] reads a record field. *)
+val field : t -> string -> t option
+
+val equal : t -> t -> bool
+
+(** [size v] approximates the in-memory footprint in bytes, for the
+    sandbox's value-size budget (§4.1.2). *)
+val size : t -> int
+
+(** [truthy v] is the boolean interpretation used by [If]. *)
+val truthy : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Wire codec (used for piggybacked extension results). *)
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> (t, string) result
+val serialize : t -> string
+val deserialize : string -> (t, string) result

@@ -1,0 +1,109 @@
+(** Registration-time verification (§4.1.1).
+
+    Before an extension is compiled and instantiated, the extension manager
+    checks it against a white list of constructs so that only extensions
+    performing non-critical operations are registered.  The check runs once
+    per registration (and once more on each replica that reloads the
+    extension after recovery); execution pays nothing (§4.2).
+
+    Because the language is loop-free by construction except for
+    [For_each] over existing lists, termination is structural; the
+    verifier's job is to bound size, nesting, and the builtin/service
+    surface, and — in actively-replicated mode — to reject
+    nondeterministic builtins (§4.1.1, determinism requirement). *)
+
+type mode =
+  | Active  (** all replicas execute the extension (EDS): deterministic only *)
+  | Passive  (** only the primary executes (EZK): nondeterminism permitted *)
+
+type limits = {
+  max_serialized_bytes : int;
+  max_nodes : int;
+  max_depth : int;
+  max_loop_nesting : int;
+}
+
+let default_limits =
+  {
+    max_serialized_bytes = 16 * 1024;
+    max_nodes = 768;
+    max_depth = 24;
+    max_loop_nesting = 2;
+  }
+
+type violation =
+  | Too_large of int
+  | Too_many_nodes of int
+  | Too_deep of int
+  | Loops_too_nested of int
+  | Unknown_builtin of string
+  | Nondeterministic_builtin of string
+  | Notify_outside_event_handler
+  | Missing_handlers
+  | Bad_name of string
+
+let violation_to_string = function
+  | Too_large n -> Printf.sprintf "serialized size %d exceeds limit" n
+  | Too_many_nodes n -> Printf.sprintf "AST has %d nodes, over the limit" n
+  | Too_deep n -> Printf.sprintf "nesting depth %d over the limit" n
+  | Loops_too_nested n -> Printf.sprintf "for-each nesting %d over the limit" n
+  | Unknown_builtin name -> Printf.sprintf "builtin %S is not white-listed" name
+  | Nondeterministic_builtin name ->
+      Printf.sprintf "builtin %S is nondeterministic; rejected under active replication" name
+  | Notify_outside_event_handler -> "notify may only be used in event handlers"
+  | Missing_handlers -> "extension defines no handler"
+  | Bad_name name -> Printf.sprintf "invalid extension name %S" name
+
+let pp_violation ppf v = Fmt.string ppf (violation_to_string v)
+
+let name_ok name =
+  String.length name > 0
+  && String.length name <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '-' || c = '_')
+       name
+
+(** [check ~mode ~limits ~serialized_size program] returns all violations
+    ([[]] means the extension is admissible). *)
+let check ?(limits = default_limits) ~mode ~serialized_size (p : Program.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  if not (name_ok p.Program.name) then add (Bad_name p.Program.name);
+  if p.Program.on_operation = None && p.Program.on_event = None then
+    add Missing_handlers;
+  if serialized_size > limits.max_serialized_bytes then
+    add (Too_large serialized_size);
+  let nodes = Program.nodes p in
+  if nodes > limits.max_nodes then add (Too_many_nodes nodes);
+  let depth = Program.depth p in
+  if depth > limits.max_depth then add (Too_deep depth);
+  let nesting = Program.loop_nesting p in
+  if nesting > limits.max_loop_nesting then add (Loops_too_nested nesting);
+  List.iter
+    (fun name ->
+      match Builtins.find name with
+      | None -> add (Unknown_builtin name)
+      | Some b ->
+          if mode = Active && not (b.Builtins.deterministic) then
+            add (Nondeterministic_builtin name))
+    (List.sort_uniq compare (Program.builtin_calls p));
+  (* notify pushes messages to clients: restrict it to event handlers,
+     where the suppressed original notification is being replaced. *)
+  (match p.Program.on_operation with
+  | Some body when List.mem Ast.Svc_notify (Ast.stmts_svcs [] body) ->
+      add Notify_outside_event_handler
+  | Some _ | None -> ());
+  List.rev !violations
+
+(** [verify ~mode serialized] — the full registration pipeline step: parse,
+    then check.  This is what both EZK and EDS call with the raw bytes the
+    client wrote to the extension manager's data object. *)
+let verify ?limits ~mode serialized =
+  match Codec.deserialize serialized with
+  | Error e -> Error (`Parse e)
+  | Ok program -> (
+      match check ?limits ~mode ~serialized_size:(String.length serialized) program with
+      | [] -> Ok program
+      | vs -> Error (`Violations vs))

@@ -1,0 +1,47 @@
+(** Registration-time verification (§4.1.1).
+
+    Admits an extension only if it stays within the white list: bounded
+    serialized size, bounded AST size and nesting, bounded for-each
+    nesting, only white-listed builtins, and — for actively-replicated
+    systems — only deterministic ones.  Verification runs once per
+    registration (and on recovery reload); execution pays nothing (§4.2). *)
+
+type mode =
+  | Active  (** all replicas execute the extension (EDS): deterministic only *)
+  | Passive  (** only the primary executes (EZK): nondeterminism permitted *)
+
+type limits = {
+  max_serialized_bytes : int;
+  max_nodes : int;
+  max_depth : int;
+  max_loop_nesting : int;
+}
+
+val default_limits : limits
+
+type violation =
+  | Too_large of int
+  | Too_many_nodes of int
+  | Too_deep of int
+  | Loops_too_nested of int
+  | Unknown_builtin of string
+  | Nondeterministic_builtin of string
+  | Notify_outside_event_handler
+  | Missing_handlers
+  | Bad_name of string
+
+val violation_to_string : violation -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check ~limits ~mode ~serialized_size program] returns every violation;
+    [[]] means admissible. *)
+val check :
+  ?limits:limits -> mode:mode -> serialized_size:int -> Program.t -> violation list
+
+(** [verify ~limits ~mode serialized] — the full admission step over raw
+    registration bytes: parse, then check. *)
+val verify :
+  ?limits:limits ->
+  mode:mode ->
+  string ->
+  (Program.t, [ `Parse of string | `Violations of violation list ]) result

@@ -1,0 +1,1 @@
+lib/depspace/access.ml: List String Tuple

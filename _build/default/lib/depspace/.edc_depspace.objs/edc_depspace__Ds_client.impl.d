@@ -1,0 +1,1 @@
+lib/depspace/ds_client.ml: Ds_protocol Edc_simnet Hashtbl List Net Proc Sim Sim_time Tuple

@@ -1,0 +1,1 @@
+lib/depspace/ds_client.mli: Ds_protocol Edc_simnet Net Sim Sim_time Tuple

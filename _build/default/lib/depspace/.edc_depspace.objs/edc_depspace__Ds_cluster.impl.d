@@ -1,0 +1,1 @@
+lib/depspace/ds_cluster.ml: Array Ds_client Ds_protocol Ds_server Edc_simnet Fun List Net Sim Sim_time

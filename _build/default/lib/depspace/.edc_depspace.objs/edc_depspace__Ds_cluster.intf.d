@@ -1,0 +1,1 @@
+lib/depspace/ds_cluster.mli: Ds_client Ds_protocol Ds_server Edc_replication Edc_simnet Net Sim Sim_time

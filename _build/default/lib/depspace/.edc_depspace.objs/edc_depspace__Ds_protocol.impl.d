@@ -1,0 +1,1 @@
+lib/depspace/ds_protocol.ml: Access Edc_replication Edc_simnet Fmt List Sim_time String Tuple

@@ -1,0 +1,1 @@
+lib/depspace/ds_protocol.mli: Access Edc_replication Edc_simnet Format Sim_time Tuple

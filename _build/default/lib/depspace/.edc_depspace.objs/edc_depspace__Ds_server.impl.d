@@ -1,0 +1,1 @@
+lib/depspace/ds_server.ml: Access Cpu Ds_protocol Edc_replication Edc_simnet List Net Objects Option Pbft Policy Sim Sim_time Space Tuple

@@ -1,0 +1,1 @@
+lib/depspace/ds_server.mli: Access Ds_protocol Edc_replication Edc_simnet Net Pbft Policy Sim Sim_time Space Tuple

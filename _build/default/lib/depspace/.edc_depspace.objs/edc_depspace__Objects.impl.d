@@ -1,0 +1,1 @@
+lib/depspace/objects.ml: Printf Tuple

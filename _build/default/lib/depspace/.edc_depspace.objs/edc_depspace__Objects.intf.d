@@ -1,0 +1,1 @@
+lib/depspace/objects.mli: Tuple

@@ -1,0 +1,1 @@
+lib/depspace/policy.ml: Access Printf Space String Tuple

@@ -1,0 +1,1 @@
+lib/depspace/policy.mli: Access Space Tuple

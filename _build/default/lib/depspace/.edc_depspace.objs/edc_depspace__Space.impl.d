@@ -1,0 +1,1 @@
+lib/depspace/space.ml: Edc_simnet Int List Map Option Seq Sim_time Tuple

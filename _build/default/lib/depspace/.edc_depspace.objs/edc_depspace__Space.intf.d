@@ -1,0 +1,1 @@
+lib/depspace/space.mli: Edc_simnet Sim_time Tuple

@@ -1,0 +1,1 @@
+lib/depspace/tuple.ml: Fmt Int List String

@@ -1,0 +1,1 @@
+lib/depspace/tuple.mli: Format

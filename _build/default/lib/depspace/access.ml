@@ -1,0 +1,61 @@
+(** Access-control layer.
+
+    DepSpace is designed for untrusted environments: every operation passes
+    an access-control check before reaching the tuple space.  We implement
+    the mechanism the paper relies on — per-operation-kind allow/deny with
+    optional tuple-name scoping — rather than the full credential system of
+    the original: what matters to EDS is that operations issued *by
+    extensions* traverse this layer again, so a client cannot gain
+    privileges by invoking an extension (§4.1.2). *)
+
+type op_kind = Read | Write | Take
+
+type rule = {
+  kinds : op_kind list;
+  name_prefix : string option;
+      (** restrict the rule to tuples/templates whose first field is a
+          string with this prefix; [None] = all *)
+  clients : int list option;  (** [None] = every client *)
+  allow : bool;
+}
+
+type t = { mutable rules : rule list; mutable default_allow : bool }
+
+let create ?(default_allow = true) () = { rules = []; default_allow }
+
+(** Rules are evaluated in order; the first applicable one decides. *)
+let add_rule t rule = t.rules <- t.rules @ [ rule ]
+
+let clear t = t.rules <- []
+
+let applies rule ~client ~kind ~name =
+  List.mem kind rule.kinds
+  && (match rule.clients with None -> true | Some cs -> List.mem client cs)
+  &&
+  match rule.name_prefix with
+  | None -> true
+  | Some p -> (
+      match name with
+      | Some n ->
+          String.length n >= String.length p && String.sub n 0 (String.length p) = p
+      | None -> false)
+
+(** [check t ~client ~kind ~name] decides whether the operation may
+    proceed. [name] is the first string field of the tuple/template when
+    there is one. *)
+let check t ~client ~kind ~name =
+  let rec eval = function
+    | [] -> t.default_allow
+    | r :: rest -> if applies r ~client ~kind ~name then r.allow else eval rest
+  in
+  eval t.rules
+
+(** First string field of a tuple (its conventional "name"). *)
+let tuple_name (tuple : Tuple.t) =
+  match tuple with Tuple.Str s :: _ -> Some s | _ -> None
+
+let template_name (template : Tuple.template) =
+  match template with
+  | Tuple.Exact (Tuple.Str s) :: _ -> Some s
+  | Tuple.Prefix s :: _ -> Some s
+  | _ -> None

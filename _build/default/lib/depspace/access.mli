@@ -1,0 +1,34 @@
+(** Access-control layer (DepSpace targets untrusted environments).
+
+    Ordered allow/deny rules over operation kinds, optionally scoped to a
+    tuple-name prefix and a client list.  EDS routes *extension-issued*
+    operations through this layer again, so extensions gain no privileges
+    (§4.1.2). *)
+
+type op_kind = Read | Write | Take
+
+type rule = {
+  kinds : op_kind list;
+  name_prefix : string option;
+      (** restrict to tuples whose first string field has this prefix *)
+  clients : int list option;  (** [None] = every client *)
+  allow : bool;
+}
+
+type t
+
+val create : ?default_allow:bool -> unit -> t
+
+(** Rules are evaluated in order; the first applicable one decides. *)
+val add_rule : t -> rule -> unit
+
+val clear : t -> unit
+
+(** [check t ~client ~kind ~name] decides whether the operation may
+    proceed ([name] = the tuple/template's first string field). *)
+val check : t -> client:int -> kind:op_kind -> name:string option -> bool
+
+(** Conventional "names" of tuples and templates. *)
+
+val tuple_name : Tuple.t -> string option
+val template_name : Tuple.template -> string option

@@ -1,0 +1,89 @@
+(** DepSpace client protocol: operations, results, wire messages, sizes. *)
+
+open Edc_simnet
+
+type op =
+  | Out of { tuple : Tuple.t; lease : Sim_time.t option }
+      (** insert; [lease] is a duration after which the tuple expires
+          unless renewed (Table 2's lease tuples) *)
+  | Rdp of Tuple.template  (** non-blocking read *)
+  | Inp of Tuple.template  (** non-blocking take *)
+  | Rd of Tuple.template  (** blocking read *)
+  | In_ of Tuple.template  (** blocking take *)
+  | Cas of { template : Tuple.template; tuple : Tuple.t }
+      (** insert [tuple] iff nothing matches [template] *)
+  | Replace of { template : Tuple.template; tuple : Tuple.t }
+      (** atomically take a match of [template] and insert [tuple];
+          fails (returning [Bool_r false]) when nothing matches *)
+  | Rd_all of Tuple.template  (** read every match *)
+  | Renew of { template : Tuple.template; lease : Sim_time.t }
+  | Noop  (** carries time for lease expiry; also used as a ping *)
+
+type result =
+  | Unit_r
+  | Tuple_opt of Tuple.t option
+  | Tuples of Tuple.t list
+  | Bool_r of bool
+  | Int_r of int
+  | Ext_r of string  (** serialized extension-produced value (EDS) *)
+  | Denied of string
+  | Err of string
+
+let op_kind : op -> Access.op_kind = function
+  | Out _ | Cas _ | Replace _ | Renew _ -> Access.Write
+  | Rdp _ | Rd _ | Rd_all _ | Noop -> Access.Read
+  | Inp _ | In_ _ -> Access.Take
+
+let op_size = function
+  | Out { tuple; _ } -> 12 + Tuple.size tuple
+  | Rdp t | Inp t | Rd t | In_ t | Rd_all t -> 8 + Tuple.template_size t
+  | Cas { template; tuple } | Replace { template; tuple } ->
+      8 + Tuple.template_size template + Tuple.size tuple
+  | Renew { template; _ } -> 12 + Tuple.template_size template
+  | Noop -> 8
+
+let result_size = function
+  | Unit_r -> 8
+  | Tuple_opt None -> 9
+  | Tuple_opt (Some t) -> 9 + Tuple.size t
+  | Tuples ts -> List.fold_left (fun acc t -> acc + Tuple.size t) 12 ts
+  | Bool_r _ -> 9
+  | Int_r _ -> 12
+  | Ext_r s -> 8 + String.length s
+  | Denied s | Err s -> 8 + String.length s
+
+(** Deployment wire format: requests are client multicasts; replicas reply
+    individually; replicas gossip PBFT messages. *)
+type request = { client : int; rseq : int; op : op }
+
+(** [fast = true] marks a read-only request served directly from each
+    replica's local state without total ordering (BFT-SMaRt's read-only
+    optimization); the client then needs [2f + 1] matching replies and
+    falls back to ordered execution on divergence. *)
+type wire =
+  | Ds_request of { rseq : int; op : op; fast : bool }
+  | Ds_reply of { rseq : int; result : result }
+  | Ds_pbft of request Edc_replication.Pbft.msg
+
+let request_size r = 16 + op_size r.op
+
+let is_read_only = function
+  | Rdp _ | Rd_all _ -> true
+  (* Noop stays ordered on purpose: it is the time carrier that drives
+     deterministic lease expiry at the replicas *)
+  | Noop | Out _ | Inp _ | Rd _ | In_ _ | Cas _ | Replace _ | Renew _ -> false
+
+let wire_size = function
+  | Ds_request { op; _ } -> 16 + op_size op
+  | Ds_reply { result; _ } -> 16 + result_size result
+  | Ds_pbft m -> Edc_replication.Pbft.msg_size ~payload_size:request_size m
+
+let pp_result ppf = function
+  | Unit_r -> Fmt.string ppf "ok"
+  | Tuple_opt t -> Fmt.pf ppf "tuple %a" Fmt.(option ~none:(any "none") Tuple.pp) t
+  | Tuples ts -> Fmt.pf ppf "tuples [%a]" Fmt.(list ~sep:semi Tuple.pp) ts
+  | Bool_r b -> Fmt.bool ppf b
+  | Int_r i -> Fmt.int ppf i
+  | Ext_r s -> Fmt.pf ppf "ext %S" s
+  | Denied s -> Fmt.pf ppf "denied: %s" s
+  | Err s -> Fmt.pf ppf "error: %s" s

@@ -1,0 +1,53 @@
+(** DepSpace client protocol: operations, results, wire messages, sizes. *)
+
+open Edc_simnet
+
+type op =
+  | Out of { tuple : Tuple.t; lease : Sim_time.t option }
+      (** insert; [lease] expires the tuple unless renewed (Table 2) *)
+  | Rdp of Tuple.template  (** non-blocking read *)
+  | Inp of Tuple.template  (** non-blocking take *)
+  | Rd of Tuple.template  (** blocking read *)
+  | In_ of Tuple.template  (** blocking take *)
+  | Cas of { template : Tuple.template; tuple : Tuple.t }
+      (** insert [tuple] iff nothing matches [template] *)
+  | Replace of { template : Tuple.template; tuple : Tuple.t }
+      (** atomically take a match and insert [tuple]; [Bool_r false] when
+          nothing matches *)
+  | Rd_all of Tuple.template
+  | Renew of { template : Tuple.template; lease : Sim_time.t }
+  | Noop  (** ordered time carrier: drives deterministic lease expiry *)
+
+type result =
+  | Unit_r
+  | Tuple_opt of Tuple.t option
+  | Tuples of Tuple.t list
+  | Bool_r of bool
+  | Int_r of int
+  | Ext_r of string  (** serialized extension-produced value (EDS) *)
+  | Denied of string
+  | Err of string
+
+val op_kind : op -> Access.op_kind
+
+(** Eligible for the unordered read fast path. *)
+val is_read_only : op -> bool
+
+val op_size : op -> int
+val result_size : result -> int
+
+(** Deployment wire format: clients multicast requests; every replica
+    replies; replicas gossip PBFT messages.  [fast] marks a read served
+    from local state without ordering (client then needs 2f+1 matching
+    replies). *)
+
+type request = { client : int; rseq : int; op : op }
+
+type wire =
+  | Ds_request of { rseq : int; op : op; fast : bool }
+  | Ds_reply of { rseq : int; result : result }
+  | Ds_pbft of request Edc_replication.Pbft.msg
+
+val request_size : request -> int
+val wire_size : wire -> int
+val pp_result : Format.formatter -> result -> unit

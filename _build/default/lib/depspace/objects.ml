@@ -1,0 +1,48 @@
+(** Data objects on top of tuples.
+
+    The paper's abstract API (Table 2) speaks of data objects with an id
+    and content; DepSpace represents them as tuples.  We use the
+    convention [<id, data, version, ctime>]: the [version] field gives
+    [cas]/[replace] semantics, [ctime] (the primary-assigned timestamp of
+    the creating request) gives the "creation time" ordering the queue and
+    election recipes sort by.  Sequential names use a sibling counter tuple
+    [<id ^ "#seq", n>]. *)
+
+let tuple ~oid ~data ~version ~ctime =
+  Tuple.[ Str oid; Str data; Int version; Int ctime ]
+
+(** Template matching the object [oid] regardless of content. *)
+let template oid = Tuple.[ Exact (Str oid); Any; Any; Any ]
+
+(** Template matching every sub-object of [oid]. *)
+let sub_template oid = Tuple.[ Prefix (oid ^ "/"); Any; Any; Any ]
+
+(** Template matching object [oid] with exactly [data] (content cas). *)
+let cas_template oid ~data = Tuple.[ Exact (Str oid); Exact (Str data); Any; Any ]
+
+let seq_counter_name oid = oid ^ "#seq"
+let seq_tuple ~oid ~n = Tuple.[ Str (seq_counter_name oid); Int n ]
+let seq_template oid = Tuple.[ Exact (Str (seq_counter_name oid)); Any ]
+
+let sequence_suffix n = Printf.sprintf "%010d" n
+
+(** [stamp_ctime tuple ~ctime] fills in the creation stamp of an object
+    tuple whose client left it at 0 (clients cannot know server time; the
+    server assigns a deterministic stamp at ordered-execution time). *)
+let stamp_ctime tuple ~ctime =
+  match tuple with
+  | Tuple.[ Str oid; Str data; Int version; Int 0 ] ->
+      Tuple.[ Str oid; Str data; Int version; Int ctime ]
+  | _ -> tuple
+
+type view = { oid : string; data : string; version : int; ctime : int }
+
+let decode = function
+  | Tuple.[ Str oid; Str data; Int version; Int ctime ] ->
+      Some { oid; data; version; ctime }
+  | _ -> None
+
+let decode_exn tuple =
+  match decode tuple with
+  | Some v -> v
+  | None -> invalid_arg "Objects.decode_exn: not an object tuple"

@@ -1,0 +1,33 @@
+(** Data objects on top of tuples: the convention
+    [<id, data, version, ctime>] realizing the paper's abstract data
+    objects (Table 2) in the tuple space.  [version] gives cas/replace
+    semantics; [ctime] — the server-assigned creation stamp — gives the
+    creation-order the queue and election recipes sort by. *)
+
+val tuple : oid:string -> data:string -> version:int -> ctime:int -> Tuple.t
+
+(** Template matching object [oid] regardless of content. *)
+val template : string -> Tuple.template
+
+(** Template matching every sub-object of [oid]. *)
+val sub_template : string -> Tuple.template
+
+(** Template matching [oid] with exactly [data] (content cas). *)
+val cas_template : string -> data:string -> Tuple.template
+
+(** Sequential-name support (a sibling counter tuple). *)
+
+val seq_counter_name : string -> string
+val seq_tuple : oid:string -> n:int -> Tuple.t
+val seq_template : string -> Tuple.template
+val sequence_suffix : int -> string
+
+(** [stamp_ctime tuple ~ctime] fills a zero creation stamp (clients cannot
+    know server time; replicas assign it deterministically at ordered
+    execution). *)
+val stamp_ctime : Tuple.t -> ctime:int -> Tuple.t
+
+type view = { oid : string; data : string; version : int; ctime : int }
+
+val decode : Tuple.t -> view option
+val decode_exn : Tuple.t -> view

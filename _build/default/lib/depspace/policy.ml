@@ -1,0 +1,71 @@
+(** Policy-enforcement layer.
+
+    DepSpace's fine-grained policies judge an operation against the
+    *current state* of the space (e.g. "a counter tuple may only be
+    replaced by one whose value is larger").  A policy is an ordered list
+    of named predicates; the first one that claims the operation decides
+    it.  Extensions' proxied operations pass through here too. *)
+
+type decision = Allow | Deny of string | Not_applicable
+
+type op_view = {
+  v_client : int;
+  v_kind : Access.op_kind;
+  v_tuple : Tuple.t option;  (** tuple being written, if any *)
+  v_template : Tuple.template option;  (** template being matched, if any *)
+}
+
+type rule = { name : string; judge : Space.t -> op_view -> decision }
+
+type t = { mutable rules : rule list }
+
+let create () = { rules = [] }
+
+let add_rule t name judge = t.rules <- t.rules @ [ { name; judge } ]
+
+let clear t = t.rules <- []
+
+(** [check t space view] is [Ok ()] or [Error reason]. *)
+let check t space view =
+  let rec eval = function
+    | [] -> Ok ()
+    | r :: rest -> (
+        match r.judge space view with
+        | Allow -> Ok ()
+        | Deny why -> Error (Printf.sprintf "%s: %s" r.name why)
+        | Not_applicable -> eval rest)
+  in
+  eval t.rules
+
+(* Convenience constructors used in tests and examples. *)
+
+(** Rule: tuples whose name has [prefix] may only grow monotonically in
+    their integer second field (e.g. fencing tokens). *)
+let monotonic_counter ~prefix =
+  {
+    name = "monotonic:" ^ prefix;
+    judge =
+      (fun space view ->
+        match (view.v_kind, view.v_tuple) with
+        | Access.Write, Some (Tuple.Str name :: Tuple.Int v :: _)
+          when String.length name >= String.length prefix
+               && String.sub name 0 (String.length prefix) = prefix -> (
+            match Space.find_tuple space Tuple.[ Exact (Str name); Any ] with
+            | Some (Tuple.Str _ :: Tuple.Int old :: _) when v < old ->
+                Deny (Printf.sprintf "%d < %d" v old)
+            | _ -> Allow)
+        | _ -> Not_applicable);
+  }
+
+(** Rule: cap the total number of tuples in the space (resource bounding
+    in the spirit of §4.1.2). *)
+let max_space_size ~limit =
+  {
+    name = "max-space-size";
+    judge =
+      (fun space view ->
+        match view.v_kind with
+        | Access.Write ->
+            if Space.tuple_count space >= limit then Deny "space full" else Allow
+        | Access.Read | Access.Take -> Not_applicable);
+  }

@@ -1,0 +1,35 @@
+(** Policy-enforcement layer: fine-grained predicates judging an operation
+    against the *current state* of the space (DepSpace's upper layer,
+    traversed by client and extension operations alike). *)
+
+type decision = Allow | Deny of string | Not_applicable
+
+type op_view = {
+  v_client : int;
+  v_kind : Access.op_kind;
+  v_tuple : Tuple.t option;  (** tuple being written, if any *)
+  v_template : Tuple.template option;  (** template being matched, if any *)
+}
+
+type rule = { name : string; judge : Space.t -> op_view -> decision }
+
+type t
+
+val create : unit -> t
+
+(** Ordered; the first rule that claims the operation decides it. *)
+val add_rule : t -> string -> (Space.t -> op_view -> decision) -> unit
+
+val clear : t -> unit
+
+(** [Ok ()] or [Error reason]. *)
+val check : t -> Space.t -> op_view -> (unit, string) result
+
+(** Sample rules (used by tests and examples). *)
+
+(** Tuples named with [prefix] may only grow monotonically in their
+    integer second field (fencing tokens). *)
+val monotonic_counter : prefix:string -> rule
+
+(** Cap the space's total tuple count. *)
+val max_space_size : limit:int -> rule

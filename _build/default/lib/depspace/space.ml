@@ -1,0 +1,167 @@
+(** The tuple-space state machine (replicated via PBFT).
+
+    All selection rules are deterministic — matching always picks the
+    oldest (lowest insertion sequence) matching tuple, parked blocking
+    operations unblock in registration order — so replicas that execute
+    the same ordered request stream stay identical.
+
+    Tuples may carry a lease (absolute expiry in primary-assigned
+    timestamps); expired tuples are purged at the start of every executed
+    request, which keeps expiry deterministic too (cf. the [ts] field on
+    PBFT pre-prepares). *)
+
+open Edc_simnet
+
+module Int_map = Map.Make (Int)
+
+type entry = {
+  tuple : Tuple.t;
+  expiry : Sim_time.t option;
+  owner : int;  (** client that inserted the tuple *)
+}
+
+type parked = {
+  p_client : int;
+  p_rseq : int;
+  p_template : Tuple.template;
+  p_take : bool;  (** true for [in], false for [rd] *)
+}
+
+type t = {
+  mutable entries : entry Int_map.t;
+  mutable next_seq : int;
+  mutable parked : parked Int_map.t;
+  mutable next_parked : int;
+}
+
+let create () =
+  { entries = Int_map.empty; next_seq = 0; parked = Int_map.empty; next_parked = 0 }
+
+let tuple_count t = Int_map.cardinal t.entries
+
+(** Next insertion sequence number: a deterministic, monotone stamp the
+    server uses as object creation time. *)
+let next_insert_seq t = t.next_seq
+let parked_count t = Int_map.cardinal t.parked
+
+(** [insert t ~owner ~expiry tuple] adds a tuple; returns its sequence. *)
+let insert t ~owner ~expiry tuple =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.entries <- Int_map.add seq { tuple; expiry; owner } t.entries;
+  seq
+
+(** [find t template] returns the oldest matching tuple. *)
+let find t template =
+  Int_map.to_seq t.entries
+  |> Seq.find (fun (_, e) -> Tuple.matches template e.tuple)
+
+let live e ~now =
+  match e.expiry with Some ts -> Sim_time.(now < ts) | None -> true
+
+(** [find_live t ~now template] — like {!find} but ignores tuples whose
+    lease has passed (used by the unordered read fast path, which must not
+    mutate state but must not surface expired leases either). *)
+let find_live t ~now template =
+  Int_map.to_seq t.entries
+  |> Seq.find (fun (_, e) -> live e ~now && Tuple.matches template e.tuple)
+  |> Option.map (fun (_, e) -> e.tuple)
+
+let read_all_live t ~now template =
+  Int_map.fold
+    (fun _ e acc ->
+      if live e ~now && Tuple.matches template e.tuple then e.tuple :: acc
+      else acc)
+    t.entries []
+  |> List.rev
+
+let find_tuple t template = Option.map (fun (_, e) -> e.tuple) (find t template)
+
+(** [take t template] removes and returns the oldest matching tuple. *)
+let take t template =
+  match find t template with
+  | None -> None
+  | Some (seq, e) ->
+      t.entries <- Int_map.remove seq t.entries;
+      Some e.tuple
+
+(** [read_all t template] returns every matching tuple in insertion
+    order. *)
+let read_all t template =
+  Int_map.fold
+    (fun _ e acc -> if Tuple.matches template e.tuple then e.tuple :: acc else acc)
+    t.entries []
+  |> List.rev
+
+(** [expire t ~now] removes all tuples whose lease has passed; returns them
+    (oldest first) so deletion events can fire. *)
+let expire t ~now =
+  let doomed =
+    Int_map.fold
+      (fun seq e acc ->
+        match e.expiry with
+        | Some ts when Sim_time.(ts <= now) -> (seq, e.tuple) :: acc
+        | _ -> acc)
+      t.entries []
+    |> List.rev
+  in
+  List.iter (fun (seq, _) -> t.entries <- Int_map.remove seq t.entries) doomed;
+  List.map snd doomed
+
+(** [renew t ~owner ~template ~expiry] refreshes the lease of every
+    matching tuple owned by [owner]; returns how many were renewed. *)
+let renew t ~owner ~template ~expiry =
+  let n = ref 0 in
+  t.entries <-
+    Int_map.map
+      (fun e ->
+        if e.owner = owner && e.expiry <> None && Tuple.matches template e.tuple
+        then begin
+          incr n;
+          { e with expiry = Some expiry }
+        end
+        else e)
+      t.entries;
+  !n
+
+(** [park t ~client ~rseq ~template ~take] registers a blocked [rd]/[in];
+    returns a handle usable with {!unpark}. *)
+let park t ~client ~rseq ~template ~take =
+  let seq = t.next_parked in
+  t.next_parked <- seq + 1;
+  t.parked <-
+    Int_map.add seq
+      { p_client = client; p_rseq = rseq; p_template = template; p_take = take }
+      t.parked;
+  seq
+
+let unpark t seq = t.parked <- Int_map.remove seq t.parked
+
+(** [unblockable t tuple] — called after an insert — returns, in
+    registration order, the parked operations this tuple wakes up: every
+    blocked [rd] that matches, up to and including the first blocked [in]
+    (which consumes the tuple).  The returned operations are removed from
+    the parked set; the caller must reinstate any the extension layer
+    decides to re-block (via {!park}). *)
+let unblockable t tuple =
+  let woken = ref [] in
+  let consumed = ref false in
+  Int_map.iter
+    (fun seq p ->
+      if (not !consumed) && Tuple.matches p.p_template tuple then
+        if p.p_take then begin
+          consumed := true;
+          woken := (seq, p) :: !woken
+        end
+        else woken := (seq, p) :: !woken)
+    t.parked;
+  let woken = List.rev !woken in
+  List.iter (fun (seq, _) -> t.parked <- Int_map.remove seq t.parked) woken;
+  (List.map snd woken, !consumed)
+
+(** [drop_parked t ~client] removes a departed client's blocked calls. *)
+let drop_parked t ~client =
+  t.parked <- Int_map.filter (fun _ p -> p.p_client <> client) t.parked
+
+(** Deterministic digest of the space contents (test observability). *)
+let contents t = Int_map.fold (fun _ e acc -> e.tuple :: acc) t.entries [] |> List.rev

@@ -1,0 +1,76 @@
+(** The tuple-space state machine (replicated via PBFT).
+
+    All selection rules are deterministic — matching picks the oldest
+    (lowest insertion sequence) tuple, parked blocking operations unblock
+    in registration order — so replicas executing the same ordered request
+    stream stay identical.  Tuples may carry a lease (absolute expiry in
+    primary-assigned timestamps); {!expire} purges them deterministically
+    at request execution time. *)
+
+open Edc_simnet
+
+type entry = { tuple : Tuple.t; expiry : Sim_time.t option; owner : int }
+
+type parked = {
+  p_client : int;
+  p_rseq : int;
+  p_template : Tuple.template;
+  p_take : bool;  (** [true] for blocking [in], [false] for [rd] *)
+}
+
+type t
+
+val create : unit -> t
+val tuple_count : t -> int
+val parked_count : t -> int
+
+(** Next insertion sequence (the deterministic stamp used as an object's
+    creation time). *)
+val next_insert_seq : t -> int
+
+(** [insert t ~owner ~expiry tuple] returns the tuple's sequence. *)
+val insert : t -> owner:int -> expiry:Sim_time.t option -> Tuple.t -> int
+
+(** Oldest matching tuple, with / without its entry metadata. *)
+val find : t -> Tuple.template -> (int * entry) option
+
+val find_tuple : t -> Tuple.template -> Tuple.t option
+
+(** Like {!find_tuple} but skipping expired leases (the read-only fast
+    path must not surface dead leases, yet cannot purge). *)
+val find_live : t -> now:Sim_time.t -> Tuple.template -> Tuple.t option
+
+(** [take t template] removes and returns the oldest match. *)
+val take : t -> Tuple.template -> Tuple.t option
+
+(** Matches in insertion order. *)
+val read_all : t -> Tuple.template -> Tuple.t list
+
+val read_all_live : t -> now:Sim_time.t -> Tuple.template -> Tuple.t list
+
+(** [expire t ~now] removes all leases that have passed; returns them
+    (oldest first) so deletion events can fire. *)
+val expire : t -> now:Sim_time.t -> Tuple.t list
+
+(** [renew t ~owner ~template ~expiry] refreshes matching leases owned by
+    [owner]; returns how many. *)
+val renew : t -> owner:int -> template:Tuple.template -> expiry:Sim_time.t -> int
+
+(** [park t ~client ~rseq ~template ~take] registers a blocked [rd]/[in];
+    returns a handle for {!unpark}. *)
+val park : t -> client:int -> rseq:int -> template:Tuple.template -> take:bool -> int
+
+val unpark : t -> int -> unit
+
+(** [unblockable t tuple] — after an insert: the parked operations this
+    tuple wakes, in registration order — every matching [rd] up to and
+    including the first matching [in] (which consumes the tuple).  The
+    returned entries are removed; re-park any the extension layer decides
+    to re-block. *)
+val unblockable : t -> Tuple.t -> parked list * bool
+
+(** Remove a departed client's blocked calls. *)
+val drop_parked : t -> client:int -> unit
+
+(** Deterministic digest of contents (test observability). *)
+val contents : t -> Tuple.t list

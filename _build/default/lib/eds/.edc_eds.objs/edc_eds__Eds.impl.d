@@ -1,0 +1,1 @@
+lib/eds/eds.ml: Access Ds_protocol Ds_server Edc_core Edc_depspace Edc_simnet Fun List Logs Manager Objects Option Policy Program Result Sandbox Sim_time Space String Subscription Tuple Value Verify

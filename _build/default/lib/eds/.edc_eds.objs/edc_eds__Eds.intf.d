@@ -1,0 +1,1 @@
+lib/eds/eds.mli: Ds_server Edc_core Edc_depspace Edc_simnet Manager Sim_time

@@ -1,0 +1,1 @@
+lib/eds/eds_client.ml: Codec Ds_client Ds_protocol Edc_core Edc_depspace Manager Objects Program Value

@@ -1,0 +1,1 @@
+lib/eds/eds_client.mli: Ds_client Edc_core Edc_depspace Edc_simnet Program Sim_time Tuple Value

@@ -1,0 +1,1 @@
+lib/eds/eds_cluster.ml: Array Ds_cluster Edc_depspace Eds

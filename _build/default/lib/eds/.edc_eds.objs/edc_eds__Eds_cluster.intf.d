@@ -1,0 +1,1 @@
+lib/eds/eds_cluster.mli: Ds_client Ds_cluster Ds_protocol Ds_server Edc_depspace Edc_replication Edc_simnet Eds Net Sim Sim_time

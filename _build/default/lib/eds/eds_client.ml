@@ -1,0 +1,61 @@
+(** Client-side conveniences EDS adds to the DepSpace client library
+    (§5.2.2): registration, acknowledgment, and extension invocation. *)
+
+open Edc_depspace
+open Edc_core
+module P = Ds_protocol
+
+let registration_tuple (program : Program.t) =
+  Objects.tuple
+    ~oid:(Manager.extension_object program.Program.name)
+    ~data:(Codec.serialize program) ~version:0 ~ctime:0
+
+(** [register c program] ships the serialized program as an ordinary
+    tuple-space write. *)
+let register c (program : Program.t) = Ds_client.out c (registration_tuple program)
+
+let deregister c name =
+  match
+    Ds_client.inp c (Objects.template (Manager.extension_object name))
+  with
+  | Ok (Some _) -> Ok ()
+  | Ok None -> Error "unknown extension"
+  | Error e -> Error e
+
+(** [acknowledge c name] — one-time acknowledgment (§3.6). *)
+let acknowledge c name =
+  Ds_client.out c
+    (Objects.tuple
+       ~oid:(Manager.ack_object name ~client:(Ds_client.addr c))
+       ~data:"" ~version:0 ~ctime:0)
+
+(** [ext_read c oid] — trigger a read-subscribed operation extension. *)
+let ext_read c oid =
+  match Ds_client.request c (P.Rdp (Objects.template oid)) with
+  | P.Ext_r s -> Value.deserialize s
+  | P.Denied why | P.Err why -> Error why
+  | P.Tuple_opt (Some tuple) -> (
+      (* extension vanished: plain read *)
+      match Objects.decode tuple with
+      | Some v -> Ok (Value.Str v.Objects.data)
+      | None -> Error "not an object")
+  | _ -> Error "unexpected reply"
+
+(** [block c oid] — single-RPC blocking call served by an operation
+    extension; returns when the awaited object exists. *)
+let block ?timeout c oid =
+  match Ds_client.request ?timeout c (P.Rd (Objects.template oid)) with
+  | P.Tuple_opt (Some tuple) -> (
+      match Objects.decode tuple with
+      | Some v -> Ok v.Objects.data
+      | None -> Ok "")
+  | P.Ext_r _ -> Ok "" (* the object already existed; handler replied directly *)
+  | P.Denied why | P.Err why -> Error why
+  | _ -> Error "unexpected reply"
+
+(** Start client-side renewal of a lease object created server-side on our
+    behalf by an extension's [monitor] call (the DepSpace half of
+    Table 2's monitor: the service deletes the object if we stop
+    renewing).  Idempotent; runs until {!Ds_client.close}. *)
+let keep_alive c ~oid ~lease =
+  Ds_client.ensure_renewing c (Objects.template oid) lease

@@ -1,0 +1,28 @@
+(** Client-side conveniences EDS adds to the DepSpace client library
+    (§5.2.2). *)
+
+open Edc_simnet
+open Edc_depspace
+open Edc_core
+
+(** The registration object for a program (an ordinary 4-field tuple). *)
+val registration_tuple : Program.t -> Tuple.t
+
+(** [register c program] — an ordinary tuple-space write (§3.6). *)
+val register : Ds_client.t -> Program.t -> (unit, string) result
+
+val deregister : Ds_client.t -> string -> (unit, string) result
+
+(** One-time acknowledgment (§3.6). *)
+val acknowledge : Ds_client.t -> string -> (unit, string) result
+
+(** Trigger a read-subscribed operation extension. *)
+val ext_read : Ds_client.t -> string -> (Value.t, string) result
+
+(** Single-RPC blocking call served by an operation extension; returns the
+    awaited object's data when it appears. *)
+val block : ?timeout:Sim_time.t -> Ds_client.t -> string -> (string, string) result
+
+(** Keep a liveness object created server-side by an extension's [monitor]
+    alive (idempotent per object; runs until {!Ds_client.close}). *)
+val keep_alive : Ds_client.t -> oid:string -> lease:Sim_time.t -> unit

@@ -1,0 +1,1 @@
+lib/ezk/ezk.ml: Data_tree Edc_core Edc_simnet Edc_zookeeper List Logs Manager Option Program Result Sandbox Server Sim Sim_time Spec_view String Subscription Txn Value Verify Zerror Znode

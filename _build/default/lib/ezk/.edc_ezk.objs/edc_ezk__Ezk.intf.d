@@ -1,0 +1,1 @@
+lib/ezk/ezk.mli: Edc_core Edc_zookeeper Manager Server

@@ -1,0 +1,1 @@
+lib/ezk/ezk_client.ml: Client Codec Edc_core Edc_zookeeper Manager Program Value Zerror

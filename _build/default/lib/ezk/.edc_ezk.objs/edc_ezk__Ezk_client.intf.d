@@ -1,0 +1,1 @@
+lib/ezk/ezk_client.mli: Client Edc_core Edc_zookeeper Program Value Zerror

@@ -1,0 +1,1 @@
+lib/ezk/ezk_cluster.ml: Array Cluster Edc_zookeeper Ezk

@@ -1,0 +1,1 @@
+lib/ezk/ezk_cluster.mli: Client Cluster Edc_replication Edc_simnet Edc_zookeeper Ezk Net Server Sim Sim_time

@@ -1,0 +1,487 @@
+(** EXTENSIBLE ZOOKEEPER (EZK, §5.1).
+
+    Installs an extension manager next to a ZooKeeper server replica using
+    the server's hook points, mirroring the paper's modifications:
+
+    - the manager is invoked at the *preprocessor* stage, intercepting
+      requests whose (kind, object id) matches an acknowledged extension's
+      subscription; the extension runs in the sandbox against the leader's
+      speculative view; its recorded state changes become one
+      multi-transaction, with the produced value piggybacked so the
+      client's replica can include it in the reply (§5.1.2);
+    - a replica-local predicate redirects extension-matched *reads* to the
+      leader, while regular clients keep the untouched read fast path
+      (§6.2);
+    - registration and deregistration travel through standard [create] /
+      [delete] operations on ["/em/<name>"]; the manager's entire state
+      lives in data objects (code, an [owner] child, an [ack] directory,
+      and the ["/em/index"] object), so recovery just reloads the tree
+      (§3.6, §3.8);
+    - event extensions run at the leader when a committed transaction
+      changes matching state; their changes are proposed as follow-up
+      (quiet) transactions, and original watch notifications to clients
+      holding a matching acked event extension are suppressed (§5.1.2). *)
+
+open Edc_simnet
+open Edc_zookeeper
+open Edc_core
+module P = Edc_zookeeper.Protocol
+
+type t = { server : Server.t; manager : Manager.t }
+
+let manager t = t.manager
+let server t = t.server
+
+(* ------------------------------------------------------------------ *)
+(* Operation classification                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [(kind, oid, payload)] of a client operation, for subscription
+    matching and handler parameters. *)
+let op_info = function
+  | P.Create { path; data; _ } -> Some (Subscription.K_create, path, data)
+  | P.Delete { path; _ } -> Some (Subscription.K_delete, path, "")
+  | P.Set_data { path; data; expected_version = None } ->
+      Some (Subscription.K_update, path, data)
+  | P.Set_data { path; data; expected_version = Some _ } ->
+      Some (Subscription.K_cas, path, data)
+  | P.Get_data { path; _ } -> Some (Subscription.K_read, path, "")
+  | P.Get_children { path; _ } -> Some (Subscription.K_sub_objects, path, "")
+  | P.Exists { path; _ } -> Some (Subscription.K_read, path, "")
+  | P.Block { path } -> Some (Subscription.K_block, path, "")
+  | P.Sync -> None
+
+(* ------------------------------------------------------------------ *)
+(* The state proxy (Figure 2)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Builds a sandbox proxy over the leader's speculative view.  All
+    mutations are recorded into [ops] (newest first) — the future
+    multi-transaction — while reads see both committed state and the
+    recorded mutations (read-your-writes within one extension run).
+    [blocker] carries the identity of the intercepted request when the
+    extension is allowed to park its client ([Svc_block]); event handlers
+    pass [None]. *)
+let make_proxy t ~session ~blocker ~ops ~has_block =
+  let sv = Server.spec t.server in
+  let ze = Zerror.to_string in
+  let push op = ops := op :: !ops in
+  {
+    Sandbox.p_read =
+      (fun oid ->
+        match Spec_view.read sv oid with
+        | Ok (data, stat) ->
+            Ok (Value.obj ~id:oid ~data ~version:stat.Znode.version ~ctime:stat.Znode.czxid)
+        | Error e -> Error (ze e));
+    p_exists = (fun oid -> Spec_view.exists sv oid <> None);
+    p_sub_objects =
+      (fun oid ->
+        match Spec_view.children_with_data sv oid with
+        | Ok kids ->
+            Ok
+              (List.map
+                 (fun (id, data, (s : Znode.stat)) ->
+                   Value.obj ~id ~data ~version:s.Znode.version ~ctime:s.Znode.czxid)
+                 kids)
+        | Error e -> Error (ze e));
+    p_create =
+      (fun ~sequential ~oid ~data ->
+        match
+          Spec_view.create_node sv ~path:oid ~data ~ephemeral_owner:None ~sequential
+        with
+        | Ok (actual, op) ->
+            push op;
+            Ok actual
+        | Error e -> Error (ze e));
+    p_update =
+      (fun ~oid ~data ->
+        match Spec_view.set_node sv ~path:oid ~data ~expected_version:None with
+        | Ok (op, version) ->
+            push op;
+            Ok version
+        | Error e -> Error (ze e));
+    p_cas =
+      (fun ~oid ~expected ~data ->
+        match Spec_view.read sv oid with
+        | Error e -> Error (ze e)
+        | Ok (current, _) ->
+            if not (String.equal current expected) then Ok false
+            else (
+              match Spec_view.set_node sv ~path:oid ~data ~expected_version:None with
+              | Ok (op, _) ->
+                  push op;
+                  Ok true
+              | Error e -> Error (ze e)));
+    p_delete =
+      (fun oid ->
+        match Spec_view.delete_node sv ~path:oid ~version:None with
+        | Ok op ->
+            push op;
+            Ok true
+        | Error Zerror.No_node -> Ok false
+        | Error e -> Error (ze e));
+    p_block =
+      (fun oid ->
+        match blocker with
+        | Some (origin, xid) ->
+            has_block := true;
+            push (Txn.Tblock { session; origin; xid; path = oid });
+            Ok ()
+        | None -> Error "block is only available to operation extensions");
+    p_monitor =
+      (fun oid ->
+        if session = 0 then Error "monitor needs an invoking client"
+        else
+          match
+            Spec_view.create_node sv ~path:oid ~data:""
+              ~ephemeral_owner:(Some session) ~sequential:false
+          with
+          | Ok (_, op) ->
+              push op;
+              Ok ()
+          | Error Zerror.Node_exists -> Ok () (* already monitored *)
+          | Error e -> Error (ze e));
+    p_notify =
+      (fun ~client ~oid ->
+        push (Txn.Tnotify { session = client; path = oid; kind = P.Node_created });
+        Ok ());
+    p_clock = (fun () -> Sim_time.to_ns (Sim.now (Server.sim t.server)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extension-manager operations on /em (registration lifecycle)        *)
+(* ------------------------------------------------------------------ *)
+
+let owner_object name = Manager.extension_object name ^ "/owner"
+let ack_dir name = Manager.extension_object name ^ "/ack"
+
+let index_txn t ~names =
+  let sv = Server.spec t.server in
+  match
+    Spec_view.set_node sv ~path:Manager.em_index
+      ~data:(String.concat "\n" (List.sort compare names))
+      ~expected_version:None
+  with
+  | Ok (op, _) -> [ op ]
+  | Error _ -> [] (* index missing: tolerated, the tree itself is scanned on reload *)
+
+let register_txn t ~session ~name ~code =
+  let sv = Server.spec t.server in
+  Spec_view.begin_txn sv;
+  let ( let* ) = Result.bind in
+  let create path data =
+    Result.map snd
+      (Spec_view.create_node sv ~path ~data ~ephemeral_owner:None ~sequential:false)
+  in
+  let result =
+    let* ext = create (Manager.extension_object name) code in
+    let* owner = create (owner_object name) (string_of_int session) in
+    let* ack = create (ack_dir name) "" in
+    let names = name :: Manager.registered_names t.manager in
+    Ok ([ ext; owner; ack ] @ index_txn t ~names)
+  in
+  match result with
+  | Ok ops ->
+      Spec_view.commit_txn sv;
+      Server.Handled (ops, P.Created (Manager.extension_object name))
+  | Error e ->
+      Spec_view.rollback_txn sv;
+      Server.Reject e
+
+let deregister_txn t ~name =
+  let sv = Server.spec t.server in
+  Spec_view.begin_txn sv;
+  let delete path =
+    Result.map (fun op -> [ op ]) (Spec_view.delete_node sv ~path ~version:None)
+  in
+  let acks =
+    match Spec_view.children sv (ack_dir name) with
+    | Ok kids -> List.map (fun k -> ack_dir name ^ "/" ^ k) kids
+    | Error _ -> []
+  in
+  let ( let* ) = Result.bind in
+  let rec delete_all acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | p :: rest ->
+        let* ops = delete p in
+        delete_all (ops :: acc) rest
+  in
+  let result =
+    let* ops =
+      delete_all []
+        (acks @ [ ack_dir name; owner_object name; Manager.extension_object name ])
+    in
+    let names = List.filter (( <> ) name) (Manager.registered_names t.manager) in
+    Ok (ops @ index_txn t ~names)
+  in
+  match result with
+  | Ok ops ->
+      Spec_view.commit_txn sv;
+      Server.Handled (ops, P.Deleted)
+  | Error e ->
+      Spec_view.rollback_txn sv;
+      Server.Reject e
+
+(** Requests touching the manager's namespace. *)
+let em_intercept t ~session op =
+  match op with
+  | P.Create { path; data; _ } -> (
+      match Manager.classify_path path with
+      | Manager.Em_extension name -> (
+          match Manager.verify_code t.manager data with
+          | Error msg -> Some (Server.Reject (Zerror.Extension_error msg))
+          | Ok program ->
+              if program.Program.name <> name then
+                Some (Server.Reject (Zerror.Extension_error "name mismatch"))
+              else if Manager.find t.manager name <> None then
+                Some (Server.Reject (Zerror.Extension_error "already registered"))
+              else Some (register_txn t ~session ~name ~code:data))
+      | Manager.Em_ack (name, client) ->
+          if client <> session then
+            Some (Server.Reject (Zerror.Extension_error "may only ack for oneself"))
+          else if Manager.find t.manager name = None then
+            Some (Server.Reject (Zerror.Extension_error "unknown extension"))
+          else None (* ordinary create; bookkeeping happens on apply *)
+      | Manager.Em_root | Manager.Em_index | Manager.Not_em -> None)
+  | P.Delete { path; _ } -> (
+      match Manager.classify_path path with
+      | Manager.Em_extension name -> (
+          match Manager.find t.manager name with
+          | None -> Some (Server.Reject (Zerror.Extension_error "unknown extension"))
+          | Some entry ->
+              if entry.Manager.owner <> session then
+                Some (Server.Reject (Zerror.Extension_error "only the owner may deregister"))
+              else Some (deregister_txn t ~name))
+      | Manager.Em_ack _ -> None (* un-ack: ordinary delete *)
+      | Manager.Em_root | Manager.Em_index ->
+          Some (Server.Reject (Zerror.Extension_error "reserved object"))
+      | Manager.Not_em -> None)
+  | P.Set_data { path; _ } -> (
+      match Manager.classify_path path with
+      | Manager.Not_em -> None
+      | _ -> Some (Server.Reject (Zerror.Extension_error "extension objects are immutable")))
+  | P.Get_data _ | P.Get_children _ | P.Exists _ | P.Block _ | P.Sync -> None
+
+(* ------------------------------------------------------------------ *)
+(* Operation extensions at the preprocessor                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_operation_extension t ~origin ~session ~xid ~entry ~kind ~oid ~data =
+  let sv = Server.spec t.server in
+  let ops = ref [] in
+  let has_block = ref false in
+  let proxy =
+    make_proxy t ~session ~blocker:(Some (origin, xid)) ~ops ~has_block
+  in
+  let params =
+    [
+      ("oid", Value.Str oid);
+      ("data", Value.Str data);
+      ("client", Value.Int session);
+      ("kind", Value.Str (Subscription.op_kind_to_string kind));
+    ]
+  in
+  Spec_view.begin_txn sv;
+  match Manager.run_operation t.manager entry ~proxy ~params with
+  | Ok value ->
+      Spec_view.commit_txn sv;
+      let ops = List.rev !ops in
+      if !has_block then Server.Handled_deferred ops
+      else Server.Handled (ops, P.Ext (Value.serialize value))
+  | Error e ->
+      Spec_view.rollback_txn sv;
+      Server.Reject (Zerror.Extension_error (Sandbox.error_to_string e))
+
+let intercept t server ~origin ~session ~xid op =
+  ignore server;
+  match em_intercept t ~session op with
+  | Some action -> action
+  | None -> (
+      match op_info op with
+      | None -> Server.Pass
+      | Some (kind, oid, data) -> (
+          match Manager.match_operation t.manager ~client:session ~kind ~oid with
+          | Some entry ->
+              run_operation_extension t ~origin ~session ~xid ~entry ~kind ~oid ~data
+          | None -> Server.Pass))
+
+(* ------------------------------------------------------------------ *)
+(* Post-apply: manager bookkeeping + event extensions                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_event_extensions t ~kind ~oid ~trigger_session =
+  let entries = Manager.match_events t.manager ~kind ~oid in
+  List.iter
+    (fun (entry : Manager.entry) ->
+      let sv = Server.spec t.server in
+      let ops = ref [] in
+      let has_block = ref false in
+      let proxy = make_proxy t ~session:0 ~blocker:None ~ops ~has_block in
+      let params =
+        [
+          ("oid", Value.Str oid);
+          ("kind", Value.Str (Subscription.event_kind_to_string kind));
+          ("client", Value.Int trigger_session);
+        ]
+      in
+      Spec_view.begin_txn sv;
+      match Manager.run_event t.manager entry ~proxy ~params with
+      | Ok _ ->
+          Spec_view.commit_txn sv;
+          let ops = List.rev !ops in
+          if ops <> [] then Server.propose_internal t.server ~quiet:true ops
+      | Error e ->
+          Spec_view.rollback_txn sv;
+          Logs.warn (fun m ->
+              m "event extension %s failed: %s" entry.Manager.program.Program.name
+                (Sandbox.error_to_string e)))
+    entries
+
+let on_applied t server (txn : Txn.t) =
+  (* Registry bookkeeping: runs identically on every replica, which is how
+     all replicas' extension managers stay consistent. *)
+  List.iter
+    (fun op ->
+      match op with
+      | Txn.Tcreate { path; data; _ } -> (
+          match Manager.classify_path path with
+          | Manager.Em_extension name ->
+              (match
+                 Manager.apply_registration t.manager ~name ~owner:txn.session
+                   ~code:data
+               with
+              | Ok _ -> ()
+              | Error msg ->
+                  Logs.warn (fun m -> m "replica refused extension %s: %s" name msg))
+          | Manager.Em_ack (name, client) -> Manager.apply_ack t.manager ~name ~client
+          | Manager.Em_root | Manager.Em_index | Manager.Not_em -> ())
+      | Txn.Tdelete { path } -> (
+          match Manager.classify_path path with
+          | Manager.Em_extension name -> Manager.apply_deregistration t.manager ~name
+          | Manager.Em_ack (name, client) -> Manager.apply_unack t.manager ~name ~client
+          | Manager.Em_root | Manager.Em_index | Manager.Not_em -> ())
+      | Txn.Tset _ | Txn.Tsession_open _ | Txn.Tsession_close _
+      | Txn.Tsession_move _ | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror ->
+          ())
+    txn.ops;
+  (* Event extensions execute at the leader (passive replication: one
+     execution, replicated effects), in commit order, skipping follow-ups
+     of event extensions themselves. *)
+  if Server.is_leader server && not txn.quiet then
+    List.iter
+      (fun op ->
+        let ev =
+          match op with
+          | Txn.Tcreate { path; _ } -> Some (Subscription.E_created, path)
+          | Txn.Tdelete { path } -> Some (Subscription.E_deleted, path)
+          | Txn.Tset { path; _ } -> Some (Subscription.E_changed, path)
+          | Txn.Tsession_open _ | Txn.Tsession_close _ | Txn.Tsession_move _
+          | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror ->
+              None
+        in
+        match ev with
+        | Some (kind, oid) when Manager.classify_path oid = Manager.Not_em ->
+            run_event_extensions t ~kind ~oid ~trigger_session:txn.session
+        | Some _ | None -> ())
+      txn.ops
+
+(* ------------------------------------------------------------------ *)
+(* Remaining hooks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_needs_leader t _server ~session op =
+  match op_info op with
+  | Some (kind, oid, _) ->
+      Manager.match_operation t.manager ~client:session ~kind ~oid <> None
+  | None -> false
+
+let watch_event_kind = function
+  | P.Node_created -> Subscription.E_created
+  | P.Node_deleted -> Subscription.E_deleted
+  | P.Node_changed -> Subscription.E_changed
+  | P.Children_changed -> Subscription.E_changed
+
+let suppress_watch t _server ~session ~path kind =
+  Manager.client_has_event_match t.manager ~client:session
+    ~kind:(watch_event_kind kind) ~oid:path
+
+(* ------------------------------------------------------------------ *)
+(* Installation and recovery                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [install server] attaches an extension manager to one replica. *)
+let rec install server =
+  let manager = Manager.create ~mode:Verify.Passive () in
+  let t = { server; manager } in
+  Server.set_hook_intercept server (fun srv ~origin ~session ~xid op ->
+      intercept t srv ~origin ~session ~xid op);
+  Server.set_hook_read_needs_leader server (fun srv ~session op ->
+      read_needs_leader t srv ~session op);
+  Server.set_hook_on_applied server (fun srv txn -> on_applied t srv txn);
+  Server.set_hook_suppress_watch server (fun srv ~session ~path kind ->
+      suppress_watch t srv ~session ~path kind);
+  Server.set_hook_on_snapshot_installed server (fun _srv ->
+      (* the registry is derived state: rebuild it from the freshly
+         installed tree (§3.8) *)
+      Manager.clear t.manager;
+      reload t);
+  t
+
+(** [reload t] rebuilds the manager from the committed tree (§3.8): reads
+    the index object, then each extension's code, owner and acks from
+    their data objects.  Called after a replica restart or snapshot
+    install. *)
+and reload t =
+  let tree = Server.tree t.server in
+  let names =
+    match Data_tree.get_data tree Manager.em_index with
+    | Ok (data, _) when data <> "" -> String.split_on_char '\n' data
+    | Ok _ -> []
+    | Error _ -> (
+        (* no index: scan the /em children directly *)
+        match Data_tree.get_children tree Manager.em_root with
+        | Ok kids -> List.filter (fun k -> k <> "index") kids
+        | Error _ -> [])
+  in
+  List.iter
+    (fun name ->
+      match Data_tree.get_data tree (Manager.extension_object name) with
+      | Error _ -> ()
+      | Ok (code, _) ->
+          let owner =
+            match Data_tree.get_data tree (owner_object name) with
+            | Ok (d, _) -> Option.value ~default:0 (int_of_string_opt d)
+            | Error _ -> 0
+          in
+          (match Manager.apply_registration t.manager ~name ~owner ~code with
+          | Ok _ -> ()
+          | Error msg ->
+              Logs.warn (fun m -> m "reload refused extension %s: %s" name msg));
+          (match Data_tree.get_children tree (ack_dir name) with
+          | Ok kids ->
+              List.iter
+                (fun k ->
+                  match int_of_string_opt k with
+                  | Some client -> Manager.apply_ack t.manager ~name ~client
+                  | None -> ())
+                kids
+          | Error _ -> ()))
+    names
+
+(** Bootstrap the manager's objects (["/em"], ["/em/index"]) — run once at
+    the initial leader. *)
+let bootstrap server =
+  let sv = Server.spec server in
+  let mint path =
+    match Spec_view.exists sv path with
+    | Some _ -> []
+    | None -> (
+        match
+          Spec_view.create_node sv ~path ~data:"" ~ephemeral_owner:None
+            ~sequential:false
+        with
+        | Ok (_, op) -> [ op ]
+        | Error _ -> [])
+  in
+  let ops = mint Manager.em_root @ mint Manager.em_index in
+  if ops <> [] then Server.propose_internal server ops

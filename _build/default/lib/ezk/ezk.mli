@@ -1,0 +1,33 @@
+(** EXTENSIBLE ZOOKEEPER (EZK, §5.1): the extension manager wired into a
+    ZooKeeper replica through the server's hook points.
+
+    Operation extensions run at the leader's preprocessor against the
+    speculative view; their recorded changes become one multi-transaction
+    with the produced value piggybacked to the client's replica (§5.1.2).
+    Extension-matched reads are redirected to the leader, while regular
+    clients keep the untouched read fast path (§6.2).  Registration
+    travels through standard [create]/[delete] on ["/em/<name>"]; all
+    manager state lives in data objects (code, owner, acks, index), so
+    recovery reloads from the tree (§3.6, §3.8).  Event extensions run at
+    the leader on committed changes, their effects proposed as follow-up
+    (quiet) transactions; matching clients' original watch notifications
+    are suppressed. *)
+
+open Edc_zookeeper
+open Edc_core
+
+type t
+
+val manager : t -> Manager.t
+val server : t -> Server.t
+
+(** [install server] attaches a fresh extension manager to one replica. *)
+val install : Server.t -> t
+
+(** [reload t] rebuilds the manager from the committed tree (§3.8): index
+    object, then each extension's code, owner, and acknowledgments. *)
+val reload : t -> unit
+
+(** [bootstrap server] creates the ["/em"] and ["/em/index"] objects — run
+    once at the initial leader. *)
+val bootstrap : Server.t -> unit

@@ -1,0 +1,51 @@
+(** Client-side conveniences EZK adds to the ZooKeeper client library
+    (§5.1.2: "EZK introduces two methods for registering and deregistering
+    extensions into the ZooKeeper client library" — plus helpers for
+    invoking them). *)
+
+open Edc_zookeeper
+open Edc_core
+module P = Edc_zookeeper.Protocol
+
+(** [register c program] ships the serialized program through a standard
+    [create] on the extension manager's data object. *)
+let register c (program : Program.t) =
+  Client.create_node c
+    (Manager.extension_object program.Program.name)
+    (Codec.serialize program)
+
+let deregister c name = Client.delete c (Manager.extension_object name)
+
+(** [acknowledge c name] — one-time acknowledgment allowing this client to
+    trigger an extension registered by someone else (§3.6). *)
+let acknowledge c name =
+  Client.create_node c (Manager.ack_object name ~client:(Client.session c)) ""
+
+(** [ext_read c oid] — invoke a read-triggered operation extension and
+    decode its piggybacked value. *)
+let ext_read c oid =
+  match Client.request c (P.Get_data { path = oid; watch = false }) with
+  | P.Ext s -> Value.deserialize s
+  | P.Error e -> Error (Zerror.to_string e)
+  | P.Data (d, _) -> Ok (Value.Str d) (* extension vanished: plain read *)
+  | _ -> Error "unexpected reply"
+
+(** [ext_update c oid data] — invoke an update-triggered extension. *)
+let ext_update c oid data =
+  match
+    Client.request c (P.Set_data { path = oid; data; expected_version = None })
+  with
+  | P.Ext s -> Value.deserialize s
+  | P.Error e -> Error (Zerror.to_string e)
+  | _ -> Error "unexpected reply"
+
+(** [block c oid] — EZK's single-RPC blocking call (served by an operation
+    extension); returns the awaited object's data.  When the handler
+    completes without parking (e.g. the caller was the last one into a
+    barrier), the piggybacked extension value arrives instead. *)
+let block c oid =
+  match Client.request c (P.Block { path = oid }) with
+  | P.Unblocked data -> Ok data
+  | P.Ext _ -> Ok ""
+  | P.Error e -> Error e
+  | _ -> Error Zerror.Unsupported

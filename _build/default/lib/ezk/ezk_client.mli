@@ -1,0 +1,27 @@
+(** Client-side conveniences EZK adds to the ZooKeeper client library
+    (§5.1.2): registration/deregistration and extension invocation. *)
+
+open Edc_zookeeper
+open Edc_core
+
+(** [register c program] ships the serialized program through a standard
+    [create] of the extension manager's data object (§3.6). *)
+val register : Client.t -> Program.t -> (string, Zerror.t) result
+
+val deregister : Client.t -> string -> (unit, Zerror.t) result
+
+(** One-time acknowledgment allowing this client to trigger an extension
+    registered by another client (§3.6). *)
+val acknowledge : Client.t -> string -> (string, Zerror.t) result
+
+(** Invoke a read-triggered operation extension; decodes the piggybacked
+    value.  Falls back to the plain read result if the extension is gone. *)
+val ext_read : Client.t -> string -> (Value.t, string) result
+
+(** Invoke an update-triggered operation extension. *)
+val ext_update : Client.t -> string -> string -> (Value.t, string) result
+
+(** EZK's single-RPC blocking call (served by an operation extension);
+    returns the awaited object's data, or [""] when the handler completed
+    without parking. *)
+val block : Client.t -> string -> (string, Zerror.t) result

@@ -1,0 +1,35 @@
+(** An EXTENSIBLE ZOOKEEPER deployment: a ZooKeeper cluster with an
+    extension manager installed on every replica and the ["/em"] objects
+    bootstrapped. *)
+
+open Edc_simnet
+open Edc_zookeeper
+
+type t
+
+val create :
+  ?n_replicas:int ->
+  ?net_config:Net.config ->
+  ?server_config:Server.config ->
+  ?zab_config:Edc_replication.Zab.config ->
+  Sim.t ->
+  t
+
+val cluster : t -> Cluster.t
+val sim : t -> Sim.t
+val net : t -> Server.wire Net.t
+val ezk : t -> int -> Ezk.t
+val servers : t -> Server.t array
+
+val client : ?config:Client.config -> ?replica:int -> t -> unit -> Client.t
+
+val connected_client :
+  ?config:Client.config -> ?replica:int -> t -> unit -> Client.t
+
+val crash_server : t -> int -> unit
+
+(** Restart a replica and rebuild its extension manager from the
+    replicated tree (§3.8). *)
+val restart_server : t -> int -> unit
+
+val run_for : t -> Sim_time.t -> unit

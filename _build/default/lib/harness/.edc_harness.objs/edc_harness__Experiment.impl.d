@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Barrier Coord_api Counter Edc_recipes Edc_simnet Election List Printf Proc Queue Result Sim Sim_time Stats String Systems Workload

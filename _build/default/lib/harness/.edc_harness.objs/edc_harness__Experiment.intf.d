@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Edc_simnet Net Sim_time Systems

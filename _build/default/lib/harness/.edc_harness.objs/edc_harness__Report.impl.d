@@ -1,0 +1,1 @@
+lib/harness/report.ml: Experiment List Printf String Systems

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Array Coord_api Coord_ds Coord_zk Edc_depspace Edc_eds Edc_ezk Edc_recipes Edc_simnet Edc_zookeeper Net Sim

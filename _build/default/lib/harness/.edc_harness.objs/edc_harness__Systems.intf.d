@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Coord_api Edc_recipes Edc_simnet Net Sim

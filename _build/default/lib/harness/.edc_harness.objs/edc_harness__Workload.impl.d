@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Coord_api Edc_recipes Edc_simnet Fmt List Printf Proc Sim Sim_time Stats Systems

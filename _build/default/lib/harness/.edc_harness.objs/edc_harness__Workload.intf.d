@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Coord_api Edc_recipes Edc_simnet Format Sim_time Systems

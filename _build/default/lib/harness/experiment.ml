@@ -1,0 +1,424 @@
+(** The paper's evaluation experiments (§6): one function per figure, each
+    returning the data series the figure plots.  Every experiment runs a
+    fresh deterministic simulation per (system, client-count) point. *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+
+let default_client_counts = [ 1; 10; 20; 30; 40; 50 ]
+let paired_client_counts = [ 2; 10; 20; 30; 40; 50 ]
+
+type point = {
+  kind : Systems.kind;
+  clients : int;
+  throughput : float;  (** ops per second *)
+  latency_ms : float;
+  p99_ms : float;
+  kb_per_op : float;  (** client-transmitted data per completed op *)
+  attempts : float;
+  errors : int;
+}
+
+let point_of_results kind clients (r : Workload.results) =
+  {
+    kind;
+    clients;
+    throughput = r.Workload.throughput;
+    latency_ms = r.Workload.mean_latency_ms;
+    p99_ms = r.Workload.p99_latency_ms;
+    kb_per_op = r.Workload.kb_per_op;
+    attempts = r.Workload.attempts_per_op;
+    errors = r.Workload.errors;
+  }
+
+let ack_if_ext (api : Api.t) name =
+  match api.Api.ext with
+  | Some ext -> (
+      match ext.Api.acknowledge name with
+      | Ok () -> ()
+      | Error e -> failwith ("acknowledge: " ^ e))
+  | None -> ()
+
+let fail_on_error what = function Ok _ -> () | Error e -> failwith (what ^ ": " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: shared counter                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter_point ?(seed = 42) ?net_config ~warmup ~measure kind n_clients =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let extensible = Systems.is_extensible kind in
+  let r =
+    Workload.run sys
+      {
+        Workload.n_clients;
+        warmup;
+        measure;
+        ops_per_iteration = 1;
+        setup =
+          (fun api ->
+            fail_on_error "counter setup" (Counter.setup api);
+            if extensible then fail_on_error "register" (Counter.register api));
+        prepare =
+          (fun api -> if extensible then ack_if_ext api Counter.extension_name);
+        op =
+          (fun api ->
+            let r =
+              if extensible then Counter.increment_ext api
+              else Counter.increment_traditional api
+            in
+            Result.map (fun (r : Counter.result) -> r.Counter.attempts) r);
+      }
+  in
+  point_of_results kind n_clients r
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: distributed queue (add + remove per iteration)            *)
+(* ------------------------------------------------------------------ *)
+
+let queue_point ?(seed = 42) ?net_config ~warmup ~measure kind n_clients =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let extensible = Systems.is_extensible kind in
+  let iteration_counter = ref 0 in
+  let r =
+    Workload.run sys
+      {
+        Workload.n_clients;
+        warmup;
+        measure;
+        ops_per_iteration = 2;
+        setup =
+          (fun api ->
+            fail_on_error "queue setup" (Queue.setup api);
+            if extensible then fail_on_error "register" (Queue.register api));
+        prepare =
+          (fun api -> if extensible then ack_if_ext api Queue.extension_name);
+        op =
+          (fun api ->
+            incr iteration_counter;
+            let eid = Queue.make_eid api !iteration_counter in
+            (* empty payload: the cost measured is pure coordination
+               overhead (§6.1.2) *)
+            match Queue.add api ~eid ~data:"" with
+            | Error e -> Error e
+            | Ok () -> (
+                let r =
+                  if extensible then Queue.remove_ext api
+                  else Queue.remove_traditional api
+                in
+                match r with
+                | Ok rem -> Ok (1 + rem.Queue.attempts)
+                | Error e -> Error e));
+      }
+  in
+  point_of_results kind n_clients r
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: distributed barrier (round-based)                        *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_point ?(seed = 42) ?net_config ?(rounds = 30) ?(warmup_rounds = 5)
+    kind n_clients =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let extensible = Systems.is_extensible kind in
+  let latencies = Stats.Series.create () in
+  let enters = ref 0 in
+  let bytes_start = ref 0 and bytes_end = ref 0 in
+  let apis = ref [] in
+  let addrs = ref [] in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        if extensible then fail_on_error "register" (Barrier.register admin);
+        for _ = 1 to n_clients do
+          let api, addr = sys.Systems.new_api () in
+          if extensible then ack_if_ext api Barrier.extension_name;
+          apis := api :: !apis;
+          addrs := addr :: !addrs
+        done;
+        let snapshot () =
+          List.fold_left (fun acc a -> acc + sys.Systems.bytes_sent_by a) 0 !addrs
+        in
+        for round = 1 to rounds do
+          if round = warmup_rounds + 1 then bytes_start := snapshot ();
+          let base = Printf.sprintf "/bar%06d" round in
+          fail_on_error "barrier setup" (Barrier.setup admin ~base ~threshold:n_clients);
+          let fibers =
+            List.map
+              (fun api ->
+                Proc.async sim (fun () ->
+                    let t0 = Sim.now sim in
+                    (if extensible then
+                       fail_on_error "enter" (Barrier.enter_ext api ~base)
+                     else
+                       fail_on_error "enter"
+                         (Barrier.enter_traditional api ~base ~threshold:n_clients));
+                    if round > warmup_rounds then begin
+                      incr enters;
+                      Stats.Series.add latencies
+                        (Sim_time.to_float_ms (Sim_time.sub (Sim.now sim) t0))
+                    end))
+              !apis
+          in
+          Proc.join fibers
+        done;
+        bytes_end := snapshot ()
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 3600) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  {
+    kind;
+    clients = n_clients;
+    throughput = 0.0;
+    latency_ms = Stats.Series.mean latencies;
+    p99_ms = Stats.Series.p99 latencies;
+    kb_per_op =
+      (if !enters = 0 then 0.0
+       else float_of_int (!bytes_end - !bytes_start) /. 1024.0 /. float_of_int !enters);
+    attempts = 1.0;
+    errors = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: leader election (become + immediately abdicate)          *)
+(* ------------------------------------------------------------------ *)
+
+let election_point ?(seed = 42) ?net_config ~warmup ~measure kind n_clients =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let extensible = Systems.is_extensible kind in
+  let roots = Election.election_roots in
+  let window_start = Sim_time.add (Sim.now sim) warmup in
+  let window_end = Sim_time.add window_start measure in
+  let changes = ref 0 in
+  let signaling = Stats.Series.create () in
+  let last_abdication = ref None in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        fail_on_error "election setup" (Election.setup admin roots);
+        if extensible then fail_on_error "register" (Election.register admin roots);
+        for _ = 1 to n_clients do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_api () in
+              let handle = Election.new_handle () in
+              if extensible then ack_if_ext api roots.Election.name;
+              let rec loop () =
+                if Sim_time.(Sim.now sim < window_end) then begin
+                  (if extensible then
+                     fail_on_error "become" (Election.become_leader_ext api roots)
+                   else
+                     fail_on_error "become"
+                       (Election.become_leader_traditional api roots handle));
+                  let now = Sim.now sim in
+                  if Sim_time.(window_start <= now) && Sim_time.(now <= window_end)
+                  then begin
+                    incr changes;
+                    match !last_abdication with
+                    | Some t ->
+                        Stats.Series.add signaling
+                          (Sim_time.to_float_ms (Sim_time.sub now t));
+                        last_abdication := None
+                    | None -> ()
+                  end;
+                  (* the newly appointed leader immediately abdicates *)
+                  last_abdication := Some (Sim.now sim);
+                  (if extensible then
+                     fail_on_error "abdicate" (Election.abdicate_ext api roots)
+                   else
+                     fail_on_error "abdicate"
+                       (Election.abdicate_traditional api roots handle));
+                  loop ()
+                end
+              in
+              loop ())
+        done
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.add window_end (Sim_time.sec 30)) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  {
+    kind;
+    clients = n_clients;
+    throughput = float_of_int !changes /. Sim_time.to_float_s measure;
+    latency_ms = Stats.Series.mean signaling;
+    p99_ms = Stats.Series.p99 signaling;
+    kb_per_op = 0.0;
+    attempts = 1.0;
+    errors = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: impact of the queue extension on regular clients         *)
+(* ------------------------------------------------------------------ *)
+
+type fig13_point = {
+  f13_kind : Systems.kind;
+  f13_queue_clients : int;
+  f13_queue_throughput : float;  (** kOps/s equivalent: ops/s *)
+  f13_read_ms : float;
+  f13_write_ms : float;
+}
+
+let fig13_point ?(seed = 42) ?net_config ~warmup ~measure kind n_queue_clients =
+  assert (Systems.is_extensible kind);
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let window_start = Sim_time.add (Sim.now sim) warmup in
+  let window_end = Sim_time.add window_start measure in
+  let queue_ops = ref 0 in
+  let read_lat = Stats.Series.create () and write_lat = Stats.Series.create () in
+  let payload = String.make 256 'x' in
+  let failure = ref None in
+  let in_window t0 t1 =
+    Sim_time.(window_start <= t0) && Sim_time.(t1 <= window_end)
+  in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        fail_on_error "queue setup" (Queue.setup admin);
+        fail_on_error "register" (Queue.register admin);
+        (match admin.Api.create ~oid:"/regular" ~data:"" with
+        | Ok _ | Error ("exists" | "node exists") -> ()
+        | Error e -> failwith ("regular parent: " ^ e));
+        (* queue stress clients *)
+        for _ = 1 to n_queue_clients do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_api () in
+              ack_if_ext api Queue.extension_name;
+              let i = ref 0 in
+              let rec loop () =
+                if Sim_time.(Sim.now sim < window_end) then begin
+                  incr i;
+                  let t0 = Sim.now sim in
+                  (match Queue.add api ~eid:(Queue.make_eid api !i) ~data:"" with
+                  | Ok () -> (
+                      match Queue.remove_ext api with
+                      | Ok _ ->
+                          if in_window t0 (Sim.now sim) then queue_ops := !queue_ops + 2
+                      | Error _ -> ())
+                  | Error _ -> ());
+                  loop ()
+                end
+              in
+              loop ())
+        done;
+        (* 30 regular clients: 15 readers, 15 writers on private 256-byte
+           objects (§6.2) *)
+        for k = 1 to 30 do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_api () in
+              let oid = Printf.sprintf "/regular/obj%02d" k in
+              (match api.Api.create ~oid ~data:payload with
+              | Ok _ | Error ("exists" | "node exists") -> ()
+              | Error e -> failwith ("regular setup: " ^ e));
+              let writer = k > 15 in
+              let rec loop () =
+                if Sim_time.(Sim.now sim < window_end) then begin
+                  let t0 = Sim.now sim in
+                  (if writer then
+                     match api.Api.update ~oid ~data:payload with
+                     | Ok () ->
+                         if in_window t0 (Sim.now sim) then
+                           Stats.Series.add write_lat
+                             (Sim_time.to_float_ms (Sim_time.sub (Sim.now sim) t0))
+                     | Error _ -> ()
+                   else
+                     match api.Api.read ~oid with
+                     | Ok _ ->
+                         if in_window t0 (Sim.now sim) then
+                           Stats.Series.add read_lat
+                             (Sim_time.to_float_ms (Sim_time.sub (Sim.now sim) t0))
+                     | Error _ -> ());
+                  loop ()
+                end
+              in
+              loop ())
+        done
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.add window_end (Sim_time.sec 10)) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  {
+    f13_kind = kind;
+    f13_queue_clients = n_queue_clients;
+    f13_queue_throughput = float_of_int !queue_ops /. Sim_time.to_float_s measure;
+    f13_read_ms = Stats.Series.mean read_lat;
+    f13_write_ms = Stats.Series.mean write_lat;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §6.2: extensibility overhead on regular operations                  *)
+(* ------------------------------------------------------------------ *)
+
+type overhead_point = {
+  oh_kind : Systems.kind;
+  oh_read_ms : float;
+  oh_write_ms : float;
+}
+
+(** Regular read/write latency with no extension triggered; on the
+    extensible systems an unrelated extension is registered so the
+    manager's matching path is live. *)
+let overhead_point ?(seed = 42) ?net_config ~warmup ~measure kind =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let extensible = Systems.is_extensible kind in
+  let window_start = Sim_time.add (Sim.now sim) warmup in
+  let window_end = Sim_time.add window_start measure in
+  let read_lat = Stats.Series.create () and write_lat = Stats.Series.create () in
+  let payload = String.make 256 'x' in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        if extensible then begin
+          fail_on_error "counter setup" (Counter.setup admin);
+          fail_on_error "register" (Counter.register admin)
+        end;
+        (match admin.Api.create ~oid:"/regular" ~data:"" with
+        | Ok _ | Error ("exists" | "node exists") -> ()
+        | Error e -> failwith ("regular parent: " ^ e));
+        for k = 1 to 20 do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_api () in
+              let oid = Printf.sprintf "/regular/obj%02d" k in
+              (match api.Api.create ~oid ~data:payload with
+              | Ok _ | Error ("exists" | "node exists") -> ()
+              | Error e -> failwith ("setup: " ^ e));
+              let writer = k > 10 in
+              let rec loop () =
+                if Sim_time.(Sim.now sim < window_end) then begin
+                  let t0 = Sim.now sim in
+                  let record series =
+                    let t1 = Sim.now sim in
+                    if Sim_time.(window_start <= t0) && Sim_time.(t1 <= window_end)
+                    then
+                      Stats.Series.add series
+                        (Sim_time.to_float_ms (Sim_time.sub t1 t0))
+                  in
+                  (if writer then
+                     match api.Api.update ~oid ~data:payload with
+                     | Ok () -> record write_lat
+                     | Error _ -> ()
+                   else
+                     match api.Api.read ~oid with
+                     | Ok _ -> record read_lat
+                     | Error _ -> ());
+                  loop ()
+                end
+              in
+              loop ())
+        done
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.add window_end (Sim_time.sec 10)) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  {
+    oh_kind = kind;
+    oh_read_ms = Stats.Series.mean read_lat;
+    oh_write_ms = Stats.Series.mean write_lat;
+  }

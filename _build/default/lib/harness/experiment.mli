@@ -1,0 +1,95 @@
+(** The paper's evaluation experiments (§6): one function per figure, each
+    running a fresh deterministic simulation per (system, client-count)
+    point and returning what the figure plots. *)
+
+open Edc_simnet
+
+val default_client_counts : int list
+val paired_client_counts : int list
+
+type point = {
+  kind : Systems.kind;
+  clients : int;
+  throughput : float;  (** ops per second *)
+  latency_ms : float;
+  p99_ms : float;
+  kb_per_op : float;  (** client-transmitted data per completed op *)
+  attempts : float;
+  errors : int;
+}
+
+(** Figure 6: shared counter under contention. *)
+val counter_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  Systems.kind ->
+  int ->
+  point
+
+(** Figure 8: distributed queue (add + remove per iteration). *)
+val queue_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  Systems.kind ->
+  int ->
+  point
+
+(** Figure 10: distributed barrier (round-based; [latency_ms] = avg per
+    enter, [kb_per_op] over measured rounds). *)
+val barrier_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  ?rounds:int ->
+  ?warmup_rounds:int ->
+  Systems.kind ->
+  int ->
+  point
+
+(** Figure 12: leader election ([throughput] = leader changes/s,
+    [latency_ms] = signaling latency). *)
+val election_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  Systems.kind ->
+  int ->
+  point
+
+(** Figure 13: queue extension load vs regular clients. *)
+type fig13_point = {
+  f13_kind : Systems.kind;
+  f13_queue_clients : int;
+  f13_queue_throughput : float;
+  f13_read_ms : float;
+  f13_write_ms : float;
+}
+
+val fig13_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  Systems.kind ->
+  int ->
+  fig13_point
+
+(** §6.2: regular-operation latency with extensibility installed but not
+    triggered. *)
+type overhead_point = {
+  oh_kind : Systems.kind;
+  oh_read_ms : float;
+  oh_write_ms : float;
+}
+
+val overhead_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  Systems.kind ->
+  overhead_point

@@ -1,0 +1,44 @@
+(** Paper-style text output: metric tables per figure plus the two static
+    tables. *)
+
+val hline : int -> unit
+val section : string -> unit
+
+(** Rows = client counts, columns = systems. *)
+val metric_table :
+  title:string ->
+  unit:string ->
+  clients:int list ->
+  systems:Systems.kind list ->
+  value:(Systems.kind -> int -> float) ->
+  unit
+
+(** Find a metric in a list of points ([nan] if absent). *)
+val lookup :
+  Experiment.point list ->
+  Systems.kind ->
+  int ->
+  (Experiment.point -> float) ->
+  float
+
+(** Table 1 (static). *)
+val table1 : unit -> unit
+
+(** Table 2 (static; the mapping itself is exercised by the tests). *)
+val table2 : unit -> unit
+
+(** Run [point_fn] over the sweep with progress output. *)
+val figure_points :
+  title:string ->
+  clients:int list ->
+  systems:Systems.kind list ->
+  point_fn:(Systems.kind -> int -> Experiment.point) ->
+  Experiment.point list
+
+val summarize_speedup :
+  Experiment.point list ->
+  clients:int ->
+  base:Systems.kind ->
+  ext:Systems.kind ->
+  what:string ->
+  unit

@@ -1,0 +1,108 @@
+(** Uniform construction of the four evaluated deployments: ZooKeeper,
+    EXTENSIBLE ZOOKEEPER, DepSpace, and EXTENSIBLE DEPSPACE — each
+    configured to tolerate one fault as in §6 (three replicas for the
+    crash-tolerant systems, four for the BFT ones). *)
+
+open Edc_simnet
+open Edc_recipes
+module Zk = Edc_zookeeper
+module Ds = Edc_depspace
+module Ezk_cluster = Edc_ezk.Ezk_cluster
+
+type kind = Zookeeper | Ezk | Depspace | Eds
+
+let kind_name = function
+  | Zookeeper -> "ZooKeeper"
+  | Ezk -> "EZK"
+  | Depspace -> "DepSpace"
+  | Eds -> "EDS"
+
+let is_extensible = function Ezk | Eds -> true | Zookeeper | Depspace -> false
+
+let all = [ Zookeeper; Ezk; Depspace; Eds ]
+
+type t = {
+  sim : Sim.t;
+  kind : kind;
+  new_api : unit -> Coord_api.t * int;
+      (** fresh connected client (call from a fiber); returns the abstract
+          API plus the client's network address (for byte accounting) *)
+  bytes_sent_by : int -> int;
+  total_bytes : unit -> int;
+  crash_replica : int -> unit;
+  n_replicas : int;
+  anomalies : unit -> int;
+      (** replication-safety violations detected by the state machines
+          (must stay 0 in every run) *)
+}
+
+let make ?net_config kind sim =
+  match kind with
+  | Zookeeper ->
+      let cluster = Zk.Cluster.create ?net_config sim in
+      {
+        sim;
+        kind;
+        new_api =
+          (fun () ->
+            let c = Zk.Cluster.connected_client cluster () in
+            (Coord_zk.of_client ~extensible:false c, Zk.Client.addr c));
+        bytes_sent_by = Net.bytes_sent_by (Zk.Cluster.net cluster);
+        total_bytes = (fun () -> Net.total_bytes_sent (Zk.Cluster.net cluster));
+        crash_replica = Zk.Cluster.crash_server cluster;
+        n_replicas = 3;
+        anomalies =
+          (fun () ->
+            Array.fold_left
+              (fun acc s -> acc + Zk.Data_tree.anomalies (Zk.Server.tree s))
+              0 (Zk.Cluster.servers cluster));
+      }
+  | Ezk ->
+      let cluster = Ezk_cluster.create ?net_config sim in
+      {
+        sim;
+        kind;
+        new_api =
+          (fun () ->
+            let c = Ezk_cluster.connected_client cluster () in
+            (Coord_zk.of_client ~extensible:true c, Zk.Client.addr c));
+        bytes_sent_by = Net.bytes_sent_by (Ezk_cluster.net cluster);
+        total_bytes = (fun () -> Net.total_bytes_sent (Ezk_cluster.net cluster));
+        crash_replica = Ezk_cluster.crash_server cluster;
+        n_replicas = 3;
+        anomalies =
+          (fun () ->
+            Array.fold_left
+              (fun acc s -> acc + Zk.Data_tree.anomalies (Zk.Server.tree s))
+              0 (Ezk_cluster.servers cluster));
+      }
+  | Depspace ->
+      let cluster = Ds.Ds_cluster.create ?net_config sim in
+      {
+        sim;
+        kind;
+        new_api =
+          (fun () ->
+            let c = Ds.Ds_cluster.client cluster () in
+            (Coord_ds.of_client ~extensible:false c, Ds.Ds_client.addr c));
+        bytes_sent_by = Net.bytes_sent_by (Ds.Ds_cluster.net cluster);
+        total_bytes = (fun () -> Net.total_bytes_sent (Ds.Ds_cluster.net cluster));
+        crash_replica = Ds.Ds_cluster.crash_server cluster;
+        n_replicas = 4;
+        anomalies = (fun () -> 0);
+      }
+  | Eds ->
+      let cluster = Edc_eds.Eds_cluster.create ?net_config sim in
+      {
+        sim;
+        kind;
+        new_api =
+          (fun () ->
+            let c = Edc_eds.Eds_cluster.client cluster () in
+            (Coord_ds.of_client ~extensible:true c, Ds.Ds_client.addr c));
+        bytes_sent_by = Net.bytes_sent_by (Edc_eds.Eds_cluster.net cluster);
+        total_bytes = (fun () -> Net.total_bytes_sent (Edc_eds.Eds_cluster.net cluster));
+        crash_replica = Edc_eds.Eds_cluster.crash_server cluster;
+        n_replicas = 4;
+        anomalies = (fun () -> 0);
+      }

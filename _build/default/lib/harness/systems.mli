@@ -1,0 +1,31 @@
+(** Uniform construction of the four evaluated deployments (§6): ZooKeeper,
+    EZK, DepSpace, EDS — each configured to tolerate one fault (three
+    replicas crash-tolerant, four BFT). *)
+
+open Edc_simnet
+open Edc_recipes
+
+type kind = Zookeeper | Ezk | Depspace | Eds
+
+val kind_name : kind -> string
+val is_extensible : kind -> bool
+
+(** All four, in the paper's presentation order. *)
+val all : kind list
+
+type t = {
+  sim : Sim.t;
+  kind : kind;
+  new_api : unit -> Coord_api.t * int;
+      (** fresh connected client (call from a fiber): the abstract API plus
+          the client's network address for byte accounting *)
+  bytes_sent_by : int -> int;
+  total_bytes : unit -> int;
+  crash_replica : int -> unit;
+  n_replicas : int;
+  anomalies : unit -> int;
+      (** replication-safety violations detected by the state machines
+          (must stay 0 in every run) *)
+}
+
+val make : ?net_config:Net.config -> kind -> Sim.t -> t

@@ -1,0 +1,35 @@
+(** Closed-loop stress workload (§6): each client continuously invokes the
+    operation under test with at most one request pending; measurements are
+    confined to a steady-state window, with client byte counters
+    snapshotted at the window edges (the paper's per-op data cost). *)
+
+open Edc_simnet
+open Edc_recipes
+
+type results = {
+  ops : int;
+  errors : int;
+  duration : Sim_time.t;
+  throughput : float;  (** ops per simulated second *)
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  client_bytes : int;
+  kb_per_op : float;
+  attempts_per_op : float;  (** retry amplification (1.0 = none) *)
+}
+
+val pp_results : Format.formatter -> results -> unit
+
+type spec = {
+  n_clients : int;
+  warmup : Sim_time.t;
+  measure : Sim_time.t;
+  setup : Coord_api.t -> unit;  (** one admin client, before the stress *)
+  prepare : Coord_api.t -> unit;  (** per-client (e.g. acknowledge) *)
+  op : Coord_api.t -> (int, string) result;
+      (** one closed-loop iteration; returns its attempt count *)
+  ops_per_iteration : int;
+}
+
+(** Deterministic for a fixed simulator seed. *)
+val run : Systems.t -> spec -> results

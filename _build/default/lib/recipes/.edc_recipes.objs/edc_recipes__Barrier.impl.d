@@ -1,0 +1,1 @@
+lib/recipes/barrier.ml: Ast Coord_api Edc_core List Program Result Subscription

@@ -1,0 +1,1 @@
+lib/recipes/barrier.mli: Coord_api Edc_core Program

@@ -1,0 +1,1 @@
+lib/recipes/coord_api.ml: Edc_core List Program Value

@@ -1,0 +1,1 @@
+lib/recipes/coord_ds.ml: Coord_api Ds_client Edc_depspace Edc_eds Edc_simnet Eds_client List Objects Option Printf Tuple

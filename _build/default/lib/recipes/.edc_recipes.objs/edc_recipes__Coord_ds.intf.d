@@ -1,0 +1,1 @@
+lib/recipes/coord_ds.mli: Coord_api Edc_depspace Edc_simnet

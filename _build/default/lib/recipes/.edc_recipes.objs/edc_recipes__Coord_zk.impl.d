@@ -1,0 +1,1 @@
+lib/recipes/coord_zk.ml: Client Coord_api Edc_ezk Edc_simnet Edc_zookeeper Ezk_client List Protocol Zerror Znode Zpath

@@ -1,0 +1,1 @@
+lib/recipes/coord_zk.mli: Coord_api Edc_zookeeper

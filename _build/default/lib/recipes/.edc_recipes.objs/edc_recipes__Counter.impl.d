@@ -1,0 +1,1 @@
+lib/recipes/counter.ml: Ast Coord_api Edc_core Fmt Program Subscription Value

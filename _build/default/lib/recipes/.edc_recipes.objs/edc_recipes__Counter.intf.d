@@ -1,0 +1,1 @@
+lib/recipes/counter.mli: Coord_api Edc_core Program Stdlib

@@ -1,0 +1,1 @@
+lib/recipes/election.ml: Ast Coord_api Edc_core List Printf Program Result String Subscription

@@ -1,0 +1,1 @@
+lib/recipes/election.mli: Coord_api Edc_core Program

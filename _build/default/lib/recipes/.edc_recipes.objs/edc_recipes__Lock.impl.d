@@ -1,0 +1,1 @@
+lib/recipes/lock.ml: Coord_api Election String

@@ -1,0 +1,1 @@
+lib/recipes/lock.mli: Coord_api Edc_core Election

@@ -1,0 +1,1 @@
+lib/recipes/queue.ml: Ast Coord_api Edc_core Fmt Printf Program Subscription Value

@@ -1,0 +1,1 @@
+lib/recipes/queue.mli: Coord_api Edc_core Program

@@ -1,0 +1,1 @@
+lib/recipes/semaphore.ml: Ast Coord_api Edc_core List Printf Program Result String Subscription

@@ -1,0 +1,1 @@
+lib/recipes/semaphore.mli: Coord_api Edc_core Program

@@ -1,0 +1,87 @@
+(** Distributed barrier (paper Figure 9).
+
+    A barrier instance lives under a base object (the experiment uses
+    ["/bar<round>"]) whose data holds the threshold; entries are
+    sub-objects of [base ^ "/e"]; the ready flag is [base ^ "/ready"].
+
+    Traditional enter: register (create), count entries (1–2 RPCs), then
+    either block on the ready object or create it.  Extension-based enter:
+    one blocking RPC on [base ^ "/go"]; the extension registers, counts,
+    and either parks the client for the ready-creation event (the block is
+    non-blocking server-side, §6.1.3) or creates the ready flag, which
+    unblocks everyone at once. *)
+
+open Edc_core
+module Api = Coord_api
+
+let extension_name = "barrier-enter"
+
+(** Bases must start with this prefix for the subscription to match. *)
+let base_prefix = "/bar"
+
+let entries base = base ^ "/e"
+let ready base = base ^ "/ready"
+let go base = base ^ "/go"
+
+(** The extension of Figure 9 (right): the oid is [base ^ "/go"], the
+    threshold is read from the base object's data (written at setup). *)
+let program =
+  let open Ast in
+  Program.make extension_name
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_block ];
+          op_oid = Subscription.Starts_with base_prefix } ]
+    ~on_operation:
+      [
+        (* base = oid minus the trailing "/go" *)
+        Let ("base",
+             Call ("str_sub",
+               [ Param "oid"; Int_lit 0;
+                 Binop (Sub, Call ("str_len", [ Param "oid" ]), Int_lit 3) ]));
+        Do (Svc (Svc_create,
+             [ Binop (Concat, Var "base",
+                 Binop (Concat, Str_lit "/e/",
+                   Call ("str_of_int", [ Param "client" ]))); Str_lit "" ]));
+        Let ("objs",
+             Svc (Svc_sub_objects, [ Binop (Concat, Var "base", Str_lit "/e") ]));
+        Let ("thr",
+             Call ("int_of_str",
+               [ Field (Svc (Svc_read, [ Var "base" ]), "data") ]));
+        If
+          ( Binop (Lt, Call ("list_len", [ Var "objs" ]), Var "thr"),
+            [ Do (Svc (Svc_block, [ Binop (Concat, Var "base", Str_lit "/ready") ])) ],
+            [ Do (Svc (Svc_create, [ Binop (Concat, Var "base", Str_lit "/ready"); Str_lit "" ])) ] );
+      ]
+    ()
+
+(** [setup api ~base ~threshold] creates the barrier instance (admin-side,
+    not part of the measured client cost). *)
+let setup (api : Api.t) ~base ~threshold =
+  let ( let* ) = Result.bind in
+  let* _ = api.create ~oid:base ~data:(string_of_int threshold) in
+  let* _ = api.create ~oid:(entries base) ~data:"" in
+  Ok ()
+
+(** Figure 9 (left): the traditional client implementation. *)
+let enter_traditional (api : Api.t) ~base ~threshold =
+  let ( let* ) = Result.bind in
+  let* _ =
+    api.create
+      ~oid:(entries base ^ "/" ^ string_of_int api.Api.client_id)
+      ~data:""
+  in
+  let* ids = api.sub_object_ids ~oid:(entries base) in
+  if List.length ids < threshold then api.block ~oid:(ready base)
+  else
+    match api.create ~oid:(ready base) ~data:"" with
+    | Ok _ -> Ok ()
+    | Error ("exists" | "node exists") -> Ok () (* raced with another completer *)
+    | Error e -> Error e
+
+(** Figure 9 (right): one blocking remote call. *)
+let enter_ext (api : Api.t) ~base =
+  match (Api.ext_exn api).Api.invoke_block (go base) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let register (api : Api.t) = (Api.ext_exn api).Api.register program

@@ -1,0 +1,32 @@
+(** Distributed barrier (paper Figure 9).
+
+    An instance lives under a base object (must start with ["/bar"] for
+    the extension subscription) whose data holds the threshold; entries
+    are sub-objects of [base ^ "/e"], the ready flag is [base ^ "/ready"],
+    and the extension's blocking trigger is [base ^ "/go"]. *)
+
+open Edc_core
+module Api = Coord_api
+
+val extension_name : string
+val base_prefix : string
+val entries : string -> string
+val ready : string -> string
+val go : string -> string
+
+(** The extension of Figure 9 (right): registers the caller, counts
+    entries, and either parks the caller for the ready-creation event or
+    creates the ready flag (unblocking everyone at once). *)
+val program : Program.t
+
+(** Create a barrier instance (admin-side; not a measured client cost). *)
+val setup : Api.t -> base:string -> threshold:int -> (unit, string) result
+
+(** Figure 9 (left): create entry, count, block-or-complete (2-3 RPCs). *)
+val enter_traditional :
+  Api.t -> base:string -> threshold:int -> (unit, string) result
+
+(** Figure 9 (right): one blocking remote call. *)
+val enter_ext : Api.t -> base:string -> (unit, string) result
+
+val register : Api.t -> (unit, string) result

@@ -1,0 +1,70 @@
+(** The abstract coordination-service client API of Table 2.
+
+    Recipes are written once against this interface and run on all four
+    systems (ZooKeeper, EZK, DepSpace, EDS); {!Coord_zk} and {!Coord_ds}
+    provide the per-system mappings, with exactly the RPC cost structure
+    the table prescribes (e.g. [sub_objects] is [k + 1] calls on ZooKeeper
+    but a single [rdAll] on DepSpace). *)
+
+open Edc_core
+
+type obj = { oid : string; data : string; version : int; ctime : int }
+
+(** Extension operations (only on EZK/EDS deployments). *)
+type ext_api = {
+  register : Program.t -> (unit, string) result;
+      (** ship an extension through the standard API (§3.6) *)
+  acknowledge : string -> (unit, string) result;
+      (** one-time acknowledgment of someone else's extension *)
+  invoke_read : string -> (Value.t, string) result;
+      (** trigger a read-subscribed operation extension *)
+  invoke_block : string -> (string, string) result;
+      (** single-RPC blocking call served by an operation extension;
+          returns the awaited object's data *)
+  keep_alive : string -> unit;
+      (** keep a liveness object created server-side by an extension's
+          [monitor] call alive (no-op on ZooKeeper, where the session's
+          pings already do; lease renewal on DepSpace) *)
+}
+
+type t = {
+  client_id : int;
+      (** unique client identity (ZooKeeper session / DepSpace address) *)
+  create : oid:string -> data:string -> (string, string) result;
+  delete : oid:string -> (bool, string) result;
+      (** [Ok false] when the object was already gone *)
+  read : oid:string -> (obj option, string) result;
+  update : oid:string -> data:string -> (unit, string) result;
+  cas : expected:obj -> data:string -> (bool, string) result;
+      (** conditional update against the previously read object ([Ok
+          false] = lost the race) *)
+  sub_objects : oid:string -> (obj list, string) result;
+      (** contents of all sub-objects (ZooKeeper: k+1 RPCs) *)
+  sub_object_ids : oid:string -> (string list, string) result;
+      (** ids only ("step 2 omitted", Table 2) *)
+  block : oid:string -> (unit, string) result;
+      (** wait until the object exists (ZooKeeper: exists-watch dance;
+          DepSpace: blocking [rd]) *)
+  await_change : oid:string -> seen:string list -> (unit, string) result;
+      (** wait until the membership under [oid] differs from [seen] (the
+          sub-object ids the caller just observed).  ZooKeeper: arm a
+          children watch and compare its atomically returned snapshot
+          against [seen] — the watch-arming read IS a read, so no event
+          can be lost between observation and arming.  DepSpace: blocking
+          read of the next epoch token (see {!Coord_ds}). *)
+  signal_change : oid:string -> (unit, string) result;
+      (** make [await_change] observers wake up (no-op on ZooKeeper where
+          watches fire automatically; epoch-token bump on DepSpace) *)
+  monitor : oid:string -> (unit, string) result;
+      (** create [oid] tied to this client's liveness (ephemeral node /
+          renewed lease tuple): the service deletes it if we die *)
+  ext : ext_api option;
+}
+
+let ext_exn t =
+  match t.ext with
+  | Some e -> e
+  | None -> invalid_arg "this deployment is not extensible"
+
+let sort_by_ctime objs =
+  List.sort (fun a b -> compare (a.ctime, a.oid) (b.ctime, b.oid)) objs

@@ -1,0 +1,166 @@
+(** Table 2, DepSpace column: the abstract API over the DepSpace (and EDS)
+    client library, using the object-tuple convention of
+    {!Edc_depspace.Objects}.
+
+    [await_change]/[signal_change] use an epoch-token scheme in the spirit
+    of DepSpace's blocking reads (§5.2.1: clients wait by issuing a read
+    that blocks until the object is created): the signaller replaces an
+    epoch tuple [<oid ^ "#epoch", n>] with [n + 1]; waiters read the
+    current epoch and issue a blocking [rd] for the tuple carrying the
+    *next* value. *)
+
+open Edc_depspace
+open Edc_eds
+
+let epoch_name oid = oid ^ "#epoch"
+let epoch_tuple ~oid ~n = Tuple.[ Str (epoch_name oid); Int n ]
+let epoch_template oid = Tuple.[ Exact (Str (epoch_name oid)); Any ]
+
+(* one token tuple per epoch; tokens are never removed, so a waiter that
+   read epoch [n] can always complete its blocking read for token [n+1]
+   even if further bumps happen concurrently *)
+let token_name oid n = Printf.sprintf "%s#tok%d" oid n
+let token_tuple ~oid ~n = Tuple.[ Str (token_name oid n) ]
+let token_exact oid ~n = Tuple.[ Exact (Str (token_name oid n)) ]
+
+let obj_of (v : Objects.view) =
+  {
+    Coord_api.oid = v.Objects.oid;
+    data = v.Objects.data;
+    version = v.Objects.version;
+    ctime = v.Objects.ctime;
+  }
+
+(** [of_client ~extensible ~monitor_lease c] builds the API. *)
+let of_client ~extensible ?(monitor_lease = Edc_simnet.Sim_time.sec 8) c =
+  let create ~oid ~data =
+    (* the paper's create(o) maps to out(o); keep create semantics by
+       refusing to duplicate via cas *)
+    match
+      Ds_client.cas c (Objects.template oid)
+        (Objects.tuple ~oid ~data ~version:0 ~ctime:0)
+    with
+    | Ok true -> Ok oid
+    | Ok false -> Error "exists"
+    | Error e -> Error e
+  in
+  let delete ~oid =
+    match Ds_client.inp c (Objects.template oid) with
+    | Ok (Some _) -> Ok true
+    | Ok None -> Ok false
+    | Error e -> Error e
+  in
+  let read ~oid =
+    match Ds_client.rdp c (Objects.template oid) with
+    | Ok (Some t) -> Ok (Option.map obj_of (Objects.decode t))
+    | Ok None -> Ok None
+    | Error e -> Error e
+  in
+  let update ~oid ~data =
+    match
+      Ds_client.replace c (Objects.template oid)
+        (Objects.tuple ~oid ~data ~version:0 ~ctime:0)
+    with
+    | Ok true -> Ok ()
+    | Ok false -> Error "no object"
+    | Error e -> Error e
+  in
+  let cas ~expected ~data =
+    (* replace(o, cc, nc): only replace if the current content is cc *)
+    let oid = expected.Coord_api.oid in
+    Ds_client.replace c
+      (Objects.cas_template oid ~data:expected.Coord_api.data)
+      (Objects.tuple ~oid ~data
+         ~version:(expected.Coord_api.version + 1)
+         ~ctime:expected.Coord_api.ctime)
+  in
+  let sub_objects ~oid =
+    (* rdAll(<o, SUB_ANY>): one RPC *)
+    match Ds_client.rd_all c (Objects.sub_template oid) with
+    | Ok tuples -> Ok (List.filter_map Objects.decode tuples |> List.map obj_of)
+    | Error e -> Error e
+  in
+  let sub_object_ids ~oid =
+    match Ds_client.rd_all c (Objects.sub_template oid) with
+    | Ok tuples ->
+        Ok
+          (List.filter_map
+             (fun t -> Option.map (fun v -> v.Objects.oid) (Objects.decode t))
+             tuples)
+    | Error e -> Error e
+  in
+  let block ~oid =
+    match Ds_client.rd c (Objects.template oid) with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+  in
+  let read_epoch oid =
+    match Ds_client.rdp c (epoch_template oid) with
+    | Ok (Some Tuple.[ Str _; Int n ]) -> n
+    | _ -> 0
+  in
+  let await_change ~oid ~seen =
+    ignore seen;
+    let n = read_epoch oid in
+    match Ds_client.rd c (token_exact oid ~n:(n + 1)) with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+  in
+  let signal_change ~oid =
+    (* atomically advance the epoch counter (retry on races), then create
+       the matching token; token creation is idempotent via cas *)
+    let rec bump tries =
+      if tries > 64 then Error "epoch bump starved"
+      else
+        let n = read_epoch oid in
+        if n = 0 && Ds_client.cas c (epoch_template oid) (epoch_tuple ~oid ~n:1) = Ok true
+        then Ok 1
+        else
+          match
+            Ds_client.replace c
+              Tuple.[ Exact (Str (epoch_name oid)); Exact (Int n) ]
+              (epoch_tuple ~oid ~n:(n + 1))
+          with
+          | Ok true -> Ok (n + 1)
+          | Ok false -> bump (tries + 1)
+          | Error e -> Error e
+    in
+    match bump 0 with
+    | Error e -> Error e
+    | Ok n -> (
+        match Ds_client.cas c (token_exact oid ~n) (token_tuple ~oid ~n) with
+        | Ok _ -> Ok ()
+        | Error e -> Error e)
+  in
+  let monitor ~oid =
+    Ds_client.monitor c
+      (Objects.tuple ~oid ~data:"" ~version:0 ~ctime:0)
+      ~lease:monitor_lease
+  in
+  let ext =
+    if not extensible then None
+    else
+      Some
+        {
+          Coord_api.register = (fun program -> Eds_client.register c program);
+          acknowledge = (fun name -> Eds_client.acknowledge c name);
+          invoke_read = (fun oid -> Eds_client.ext_read c oid);
+          invoke_block = (fun oid -> Eds_client.block c oid);
+          keep_alive = (fun oid -> Eds_client.keep_alive c ~oid ~lease:monitor_lease);
+        }
+  in
+  {
+    Coord_api.client_id = Ds_client.addr c;
+    create;
+    delete;
+    read;
+    update;
+    cas;
+    sub_objects;
+    sub_object_ids;
+    block;
+    await_change;
+    signal_change;
+    monitor;
+    ext;
+  }

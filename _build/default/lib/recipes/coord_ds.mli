@@ -1,0 +1,17 @@
+(** Table 2, DepSpace column: the abstract API over the DepSpace (and EDS)
+    client library via the object-tuple convention
+    ({!Edc_depspace.Objects}).
+
+    [await_change]/[signal_change] use an epoch-token scheme in the spirit
+    of DepSpace's blocking reads (§5.2.1): the signaller atomically bumps
+    an epoch counter tuple and creates a per-epoch token; waiters read the
+    counter and issue a blocking [rd] for the *next* token (tokens are
+    never removed, so no wakeup can be lost to concurrent bumps). *)
+
+(** [of_client ~extensible ~monitor_lease c] builds the abstract API;
+    [extensible] enables the extension operations (EDS). *)
+val of_client :
+  extensible:bool ->
+  ?monitor_lease:Edc_simnet.Sim_time.t ->
+  Edc_depspace.Ds_client.t ->
+  Coord_api.t

@@ -1,0 +1,125 @@
+(** Table 2, ZooKeeper column: the abstract API over the ZooKeeper (and
+    EZK) client library. *)
+
+open Edc_zookeeper
+open Edc_ezk
+
+let zerr e = Error (Zerror.to_string e)
+
+let obj_of ~oid ~data (s : Znode.stat) =
+  {
+    Coord_api.oid;
+    data;
+    version = s.Znode.version;
+    ctime = s.Znode.czxid;
+  }
+
+(** [of_client ~extensible c] builds the API for a connected client. *)
+let of_client ~extensible c =
+  let create ~oid ~data =
+    match Client.create_node c oid data with Ok p -> Ok p | Error e -> zerr e
+  in
+  let delete ~oid =
+    match Client.delete c oid with
+    | Ok () -> Ok true
+    | Error Zerror.No_node -> Ok false
+    | Error e -> zerr e
+  in
+  let read ~oid =
+    match Client.get_data c oid with
+    | Ok (data, s) -> Ok (Some (obj_of ~oid ~data s))
+    | Error Zerror.No_node -> Ok None
+    | Error e -> zerr e
+  in
+  let update ~oid ~data =
+    match Client.set_data c oid data with Ok _ -> Ok () | Error e -> zerr e
+  in
+  let cas ~expected ~data =
+    (* "int v = object version observed by last read(o); setData(o, nc, v)" *)
+    match
+      Client.set_data c ~expected_version:expected.Coord_api.version
+        expected.Coord_api.oid data
+    with
+    | Ok _ -> Ok true
+    | Error Zerror.Bad_version -> Ok false
+    | Error e -> zerr e
+  in
+  let sub_object_ids ~oid =
+    match Client.get_children c oid with
+    | Ok names -> Ok (List.map (Zpath.child oid) names)
+    | Error e -> zerr e
+  in
+  let sub_objects ~oid =
+    (* step 1: getChildren; step 2: one getData per child (k+1 RPCs) *)
+    match Client.get_children c oid with
+    | Error e -> zerr e
+    | Ok names ->
+        Ok
+          (List.filter_map
+             (fun name ->
+               let child = Zpath.child oid name in
+               match Client.get_data c child with
+               | Ok (data, s) -> Some (obj_of ~oid:child ~data s)
+               | Error _ -> None (* vanished between the two steps *))
+             names)
+  in
+  let block ~oid =
+    match Client.block c oid with Ok () -> Ok () | Error e -> zerr e
+  in
+  let await_change ~oid ~seen =
+    (* Arm the children watch; the arming read returns the current
+       membership atomically, so if it already differs from what the
+       caller saw, the change has happened and we return at once (this
+       closes the classic lost-wakeup race). *)
+    let waiter = Client.watch_waiter c oid in
+    match Client.get_children c ~watch:true oid with
+    | Error e -> zerr e
+    | Ok names ->
+        let current = List.sort compare (List.map (Zpath.child oid) names) in
+        if current <> List.sort compare seen then Ok ()
+        else begin
+          let (_ : string * Protocol.watch_kind) = Edc_simnet.Proc.await waiter in
+          Ok ()
+        end
+  in
+  let signal_change ~oid = ignore oid; Ok () (* watches fire automatically *) in
+  let monitor ~oid =
+    match Client.monitor c oid with Ok _ -> Ok () | Error e -> zerr e
+  in
+  let ext =
+    if not extensible then None
+    else
+      Some
+        {
+          Coord_api.register =
+            (fun program ->
+              match Ezk_client.register c program with
+              | Ok _ -> Ok ()
+              | Error e -> zerr e);
+          acknowledge =
+            (fun name ->
+              match Ezk_client.acknowledge c name with
+              | Ok _ -> Ok ()
+              | Error e -> zerr e);
+          invoke_read = (fun oid -> Ezk_client.ext_read c oid);
+          invoke_block =
+            (fun oid ->
+              match Ezk_client.block c oid with Ok d -> Ok d | Error e -> zerr e);
+          keep_alive = (fun _ -> () (* session pings keep ephemerals alive *));
+        }
+  in
+  {
+    Coord_api.client_id = Client.session c;
+    create;
+    delete;
+    read;
+    update;
+    cas;
+    sub_objects;
+    sub_object_ids;
+    block;
+    await_change;
+    signal_change;
+    monitor;
+    ext;
+  }

@@ -1,0 +1,8 @@
+(** Table 2, ZooKeeper column: the abstract API over the ZooKeeper (and
+    EZK) client library, preserving the table's RPC cost structure
+    ([sub_objects] = getChildren + k × getData; [block] = exists-watch +
+    notification; [monitor] = ephemeral node). *)
+
+(** [of_client ~extensible c] builds the abstract API for a connected
+    client; [extensible] enables the extension operations (EZK). *)
+val of_client : extensible:bool -> Edc_zookeeper.Client.t -> Coord_api.t

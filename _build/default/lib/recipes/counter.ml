@@ -1,0 +1,64 @@
+(** Shared counter (paper Figure 5).
+
+    Traditional: read the counter, add one locally, write back with
+    compare-and-swap; retry on contention.  Extension-based: one RPC to the
+    trigger object; the extension increments atomically server-side. *)
+
+open Edc_core
+module Api = Coord_api
+
+let counter_oid = "/ctr"
+let trigger_oid = "/ctr-increment"
+let extension_name = "ctr-increment"
+
+(** The extension of Figure 5 (bottom), in the DSL. *)
+let program =
+  let open Ast in
+  Program.make extension_name
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_read ];
+          op_oid = Subscription.Exact trigger_oid } ]
+    ~on_operation:
+      [
+        Let ("c", Call ("int_of_str", [ Field (Svc (Svc_read, [ Str_lit counter_oid ]), "data") ]));
+        Do (Svc (Svc_update,
+             [ Str_lit counter_oid;
+               Call ("str_of_int", [ Binop (Add, Var "c", Int_lit 1) ]) ]));
+        Return (Binop (Add, Var "c", Int_lit 1));
+      ]
+    ()
+
+(** [setup api] creates the counter object (idempotent). *)
+let setup (api : Api.t) =
+  match api.create ~oid:counter_oid ~data:"0" with
+  | Ok _ -> Ok ()
+  | Error "exists" -> Ok ()
+  | Error e -> if e = "node exists" then Ok () else Error e
+
+type result = { value : int; attempts : int }
+
+(** Figure 5 (top): the traditional client implementation. *)
+let increment_traditional (api : Api.t) =
+  let rec go attempts =
+    match api.read ~oid:counter_oid with
+    | Error e -> Error e
+    | Ok None -> Error "counter missing"
+    | Ok (Some obj) -> (
+        match int_of_string_opt obj.Api.data with
+        | None -> Error "corrupt counter"
+        | Some c -> (
+            match api.cas ~expected:obj ~data:(string_of_int (c + 1)) with
+            | Ok true -> Ok { value = c + 1; attempts }
+            | Ok false -> go (attempts + 1)
+            | Error e -> Error e))
+  in
+  go 1
+
+(** Figure 5 (bottom): one remote call. *)
+let increment_ext (api : Api.t) =
+  match (Api.ext_exn api).Api.invoke_read trigger_oid with
+  | Ok (Value.Int n) -> Ok { value = n; attempts = 1 }
+  | Ok v -> Error (Fmt.str "unexpected extension value %a" Value.pp v)
+  | Error e -> Error e
+
+let register (api : Api.t) = (Api.ext_exn api).Api.register program

@@ -1,0 +1,25 @@
+(** Shared counter (paper Figure 5): read + compare-and-swap with retries
+    vs. a single-RPC server-side extension. *)
+
+open Edc_core
+module Api = Coord_api
+
+val counter_oid : string
+val trigger_oid : string
+val extension_name : string
+
+(** The extension of Figure 5 (bottom). *)
+val program : Program.t
+
+(** Create the counter object (idempotent). *)
+val setup : Api.t -> (unit, string) result
+
+type result = { value : int; attempts : int }
+
+(** Figure 5 (top): the traditional client loop. *)
+val increment_traditional : Api.t -> (result, string) Stdlib.result
+
+(** Figure 5 (bottom): one remote call. *)
+val increment_ext : Api.t -> (result, string) Stdlib.result
+
+val register : Api.t -> (unit, string) Stdlib.result

@@ -1,0 +1,173 @@
+(** Leader election (paper Figure 11) — parameterized over its two roots so
+    the same machinery also implements the lock recipe (a lock is an
+    election over a waiter queue).
+
+    Traditional: each candidate creates a liveness-bound object under
+    [member_root]; the member with the lowest creation time is the leader;
+    non-leaders wait for membership changes and re-check (k+1 RPCs each
+    round on ZooKeeper).  Extension-based: one blocking RPC; a combined
+    operation/event extension (§6.1.4) monitors the caller, parks it until
+    its grant object appears, and — when a member object dies — appoints
+    the next leader server-side. *)
+
+open Edc_core
+module Api = Coord_api
+
+type roots = {
+  member_root : string;  (** liveness-bound member objects live here *)
+  grant_root : string;  (** grant markers: [grant_root ^ "/<id>"] *)
+  name : string;  (** extension name *)
+}
+
+let election_roots = { member_root = "/clients"; grant_root = "/leader"; name = "leader-elect" }
+
+let member roots id = roots.member_root ^ "/" ^ string_of_int id
+let grant roots id = roots.grant_root ^ "/" ^ string_of_int id
+
+(** The combined operation/event extension of Figure 11 (right). *)
+let program roots =
+  let open Ast in
+  let concat a b = Binop (Concat, a, b) in
+  Program.make roots.name
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_block ];
+          op_oid = Subscription.Under roots.grant_root } ]
+    ~event_subs:
+      [ { Subscription.ev_kinds = [ Subscription.E_deleted ];
+          ev_oid = Subscription.Under roots.member_root } ]
+    ~on_operation:
+      [
+        (* E2-E4: monitor the calling client, then park it until its grant
+           object exists.  If it is already the oldest member, grant
+           immediately (corner case the paper omits). *)
+        Let ("me", Call ("str_of_int", [ Param "client" ]));
+        Do (Svc (Svc_monitor, [ concat (Str_lit (roots.member_root ^ "/")) (Var "me") ]));
+        Do (Svc (Svc_block, [ Param "oid" ]));
+        Let ("objs", Svc (Svc_sub_objects, [ Str_lit roots.member_root ]));
+        Let ("ldr", Call ("min_by_ctime", [ Var "objs" ]));
+        If
+          ( Binop (Eq, Field (Var "ldr", "id"),
+              concat (Str_lit (roots.member_root ^ "/")) (Var "me")),
+            [
+              If
+                ( Not (Svc (Svc_exists, [ Param "oid" ])),
+                  [ Do (Svc (Svc_create, [ Param "oid"; Str_lit "" ])) ],
+                  [] );
+            ],
+            [] );
+      ]
+    ~on_event:
+      [
+        (* E7-E11: a member object disappeared (abdication or failure).
+           Clean up the departed member's grant marker, then appoint the
+           now-oldest member by creating its grant object — which unblocks
+           its parked call. *)
+        Let ("gone", Call ("str_suffix_after", [ Param "oid"; Str_lit "/" ]));
+        Do (Svc (Svc_delete, [ concat (Str_lit (roots.grant_root ^ "/")) (Var "gone") ]));
+        Let ("objs", Svc (Svc_sub_objects, [ Str_lit roots.member_root ]));
+        If
+          ( Not (Call ("list_empty", [ Var "objs" ])),
+            [
+              Let ("ldr", Call ("min_by_ctime", [ Var "objs" ]));
+              Let ("lid", Call ("str_suffix_after", [ Field (Var "ldr", "id"); Str_lit "/" ]));
+              If
+                ( Not (Svc (Svc_exists, [ concat (Str_lit (roots.grant_root ^ "/")) (Var "lid") ])),
+                  [ Do (Svc (Svc_create,
+                       [ concat (Str_lit (roots.grant_root ^ "/")) (Var "lid"); Str_lit "" ])) ],
+                  [] );
+            ],
+            [] );
+      ]
+    ()
+
+(** [setup api roots] creates the two root objects (idempotent). *)
+let setup (api : Api.t) roots =
+  let mk oid =
+    match api.create ~oid ~data:"" with
+    | Ok _ | Error ("exists" | "node exists") -> Ok ()
+    | Error e -> Error e
+  in
+  Result.bind (mk roots.member_root) (fun () -> mk roots.grant_root)
+
+(* ------------------------------------------------------------------ *)
+(* Traditional implementation (Figure 11, left)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-client state of the traditional recipe.  Member objects carry a
+    fresh per-incarnation name: reusing the same name across abdications
+    makes a delete-then-recreate invisible to membership-set comparison
+    and loses wakeups (the corner-case handling the paper's Figure 11
+    omits; ZooKeeper's production recipes use sequential nodes for the
+    same reason). *)
+type handle = { mutable incarnation : int; mutable entry : string option }
+
+let new_handle () = { incarnation = 0; entry = None }
+
+(** [become_leader_traditional api roots handle] blocks (from the calling
+    fiber) until this client is the leader. *)
+let become_leader_traditional (api : Api.t) roots handle =
+  let ( let* ) = Result.bind in
+  let* me =
+    match handle.entry with
+    | Some me -> Ok me
+    | None ->
+        handle.incarnation <- handle.incarnation + 1;
+        let me =
+          Printf.sprintf "%s/%d-%06d" roots.member_root api.Api.client_id
+            handle.incarnation
+        in
+        let* () =
+          match api.monitor ~oid:me with
+          | Ok () -> Ok ()
+          | Error e -> Error e
+        in
+        handle.entry <- Some me;
+        Ok me
+  in
+  let rec wait_turn () =
+    let* objs = api.sub_objects ~oid:roots.member_root in
+    match Api.sort_by_ctime objs with
+    | [] -> Error "not registered"
+    | leader :: _ ->
+        if String.equal leader.Api.oid me then Ok ()
+        else
+          let seen = List.map (fun (o : Api.obj) -> o.Api.oid) objs in
+          let* () = api.await_change ~oid:roots.member_root ~seen in
+          wait_turn ()
+  in
+  wait_turn ()
+
+(** [abdicate_traditional api roots handle] deletes the member object (the
+    service notifies the others). *)
+let abdicate_traditional (api : Api.t) roots handle =
+  let ( let* ) = Result.bind in
+  match handle.entry with
+  | None -> Ok ()
+  | Some me ->
+      handle.entry <- None;
+      let* _ = api.delete ~oid:me in
+      let* () = api.signal_change ~oid:roots.member_root in
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Extension-based implementation (Figure 11, right)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [become_leader_ext api roots] — one blocking remote call (C2).  The
+    extension's [monitor] creates our liveness object server-side; we keep
+    it alive client-side (lease renewal where the system needs it). *)
+let become_leader_ext (api : Api.t) roots =
+  let ext = Api.ext_exn api in
+  ext.Api.keep_alive (member roots api.Api.client_id);
+  match ext.Api.invoke_block (grant roots api.Api.client_id) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+(** [abdicate_ext api roots] — delete the member object; the event
+    extension cleans up the grant marker and appoints the successor. *)
+let abdicate_ext (api : Api.t) roots =
+  match api.delete ~oid:(member roots api.Api.client_id) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let register (api : Api.t) roots = (Api.ext_exn api).Api.register (program roots)

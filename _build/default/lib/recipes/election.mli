@@ -1,0 +1,51 @@
+(** Leader election (paper Figure 11), parameterized over its roots so the
+    same machinery implements the lock recipe.
+
+    Traditional: liveness-bound member objects; the oldest member leads;
+    others watch for membership changes and re-check.  Extension: one
+    blocking RPC; a combined operation/event extension (§6.1.4) monitors
+    the caller, parks it until its grant object appears, and appoints
+    successors server-side when members die. *)
+
+open Edc_core
+module Api = Coord_api
+
+type roots = {
+  member_root : string;  (** liveness-bound member objects *)
+  grant_root : string;  (** grant markers [grant_root ^ "/<id>"] *)
+  name : string;  (** extension name *)
+}
+
+val election_roots : roots
+val member : roots -> int -> string
+val grant : roots -> int -> string
+
+(** The combined operation/event extension of Figure 11 (right). *)
+val program : roots -> Program.t
+
+(** Create the two root objects (idempotent). *)
+val setup : Api.t -> roots -> (unit, string) result
+
+(** Per-client state of the traditional recipe.  Member objects get fresh
+    per-incarnation names: reusing names across abdications makes a
+    delete+recreate invisible to membership comparison and loses wakeups —
+    the corner case Figure 11 omits (ZooKeeper's production recipes use
+    sequential nodes for the same reason). *)
+type handle
+
+val new_handle : unit -> handle
+
+(** Blocks (from the calling fiber) until this client leads. *)
+val become_leader_traditional : Api.t -> roots -> handle -> (unit, string) result
+
+val abdicate_traditional : Api.t -> roots -> handle -> (unit, string) result
+
+(** One blocking remote call (C2); the extension's [monitor] creates the
+    liveness object server-side and we keep it alive client-side. *)
+val become_leader_ext : Api.t -> roots -> (unit, string) result
+
+(** One RPC; the event extension cleans the grant marker and appoints the
+    successor. *)
+val abdicate_ext : Api.t -> roots -> (unit, string) result
+
+val register : Api.t -> roots -> (unit, string) result

@@ -1,0 +1,31 @@
+(** Distributed lock — a mutual-exclusion recipe built on the election
+    machinery (a lock is leader election over a waiter queue; cf. the
+    Chubby-vs-ZooKeeper discussion in §2).
+
+    The holder's queue entry is liveness-bound (ephemeral node / lease
+    tuple), so a crashed holder releases the lock automatically. *)
+
+module Api = Coord_api
+
+let lock_roots ?(name = "/lock") () =
+  {
+    Election.member_root = name ^ "q";
+    grant_root = name ^ "g";
+    name = "lock" ^ String.map (fun c -> if c = '/' then '-' else c) name;
+  }
+
+let setup = Election.setup
+let register = Election.register
+let program = Election.program
+
+(** [acquire_traditional api roots] blocks until the lock is held. *)
+let acquire_traditional = Election.become_leader_traditional
+
+(** [release_traditional api roots] frees the lock. *)
+let release_traditional = Election.abdicate_traditional
+
+(** [acquire_ext api roots] — single blocking RPC. *)
+let acquire_ext = Election.become_leader_ext
+
+(** [release_ext api roots] — single RPC. *)
+let release_ext = Election.abdicate_ext

@@ -1,0 +1,25 @@
+(** Distributed lock — mutual exclusion built on the election machinery (a
+    lock is leader election over a waiter queue; cf. the Chubby discussion
+    in §2).  The holder's queue entry is liveness-bound, so a crashed
+    holder releases the lock automatically. *)
+
+module Api = Coord_api
+
+val lock_roots : ?name:string -> unit -> Election.roots
+
+val setup : Api.t -> Election.roots -> (unit, string) result
+val register : Api.t -> Election.roots -> (unit, string) result
+val program : Election.roots -> Edc_core.Program.t
+
+(** Blocks until the lock is held. *)
+val acquire_traditional :
+  Api.t -> Election.roots -> Election.handle -> (unit, string) result
+
+val release_traditional :
+  Api.t -> Election.roots -> Election.handle -> (unit, string) result
+
+(** Single blocking RPC. *)
+val acquire_ext : Api.t -> Election.roots -> (unit, string) result
+
+(** Single RPC. *)
+val release_ext : Api.t -> Election.roots -> (unit, string) result

@@ -1,0 +1,84 @@
+(** Distributed queue (paper Figure 7).
+
+    Adding an element is one [create] in both variants.  Removing the head
+    traditionally takes [subObjects] (k+1 RPCs on ZooKeeper), a client-side
+    sort by creation time, and a delete race against other consumers; the
+    extension collapses removal to a single RPC that deletes the head
+    atomically server-side. *)
+
+open Edc_core
+module Api = Coord_api
+
+let root = "/queue"
+let head_trigger = "/queue/head"
+let extension_name = "queue-remove"
+
+(** The extension of Figure 7 (right), in the DSL. *)
+let program =
+  let open Ast in
+  Program.make extension_name
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_read ];
+          op_oid = Subscription.Exact head_trigger } ]
+    ~on_operation:
+      [
+        Let ("objs", Svc (Svc_sub_objects, [ Str_lit root ]));
+        If
+          ( Call ("list_empty", [ Var "objs" ]),
+            [ Return Unit_lit ],
+            [
+              Let ("head", Call ("min_by_ctime", [ Var "objs" ]));
+              Do (Svc (Svc_delete, [ Field (Var "head", "id") ]));
+              Return (Field (Var "head", "data"));
+            ] );
+      ]
+    ()
+
+let setup (api : Api.t) =
+  match api.create ~oid:root ~data:"" with
+  | Ok _ -> Ok ()
+  | Error ("exists" | "node exists") -> Ok ()
+  | Error e -> Error e
+
+(** Unique element ids, as in the paper's [add(ELEMENTID eid, data)]. *)
+let make_eid (api : Api.t) seq = Printf.sprintf "c%d-%06d" api.Api.client_id seq
+
+(** [add api ~eid ~data] — identical in both variants (T3 / C2). *)
+let add (api : Api.t) ~eid ~data =
+  match api.create ~oid:(root ^ "/" ^ eid) ~data with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+type removal = { data : string option; attempts : int; rpc_note : int }
+
+(** Figure 7 (left): learn all elements, sort by creation time, try to
+    delete the head; on a lost race try subsequent elements, then start
+    over. *)
+let remove_traditional (api : Api.t) =
+  let rec go attempts =
+    match api.sub_objects ~oid:root with
+    | Error e -> Error e
+    | Ok [] -> Ok { data = None; attempts; rpc_note = 1 }
+    | Ok objs ->
+        let sorted = Api.sort_by_ctime objs in
+        let rec try_delete = function
+          | [] -> go (attempts + 1)
+          | (obj : Api.obj) :: rest -> (
+              match api.delete ~oid:obj.Api.oid with
+              | Ok true -> Ok { data = Some obj.Api.data; attempts; rpc_note = 0 }
+              | Ok false -> try_delete rest
+              | Error e -> Error e)
+        in
+        try_delete sorted
+  in
+  go 1
+
+(** Figure 7 (right): a single remote call. *)
+let remove_ext (api : Api.t) =
+  match (Api.ext_exn api).Api.invoke_read head_trigger with
+  | Ok (Value.Str data) -> Ok { data = Some data; attempts = 1; rpc_note = 0 }
+  | Ok Value.Unit -> Ok { data = None; attempts = 1; rpc_note = 0 }
+  | Ok v -> Error (Fmt.str "unexpected extension value %a" Value.pp v)
+  | Error e -> Error e
+
+let register (api : Api.t) = (Api.ext_exn api).Api.register program

@@ -1,0 +1,35 @@
+(** Distributed queue (paper Figure 7): enqueue is one create in both
+    variants; traditional dequeue is subObjects + sort + racy delete,
+    extension dequeue is one atomic RPC. *)
+
+open Edc_core
+module Api = Coord_api
+
+val root : string
+val head_trigger : string
+val extension_name : string
+
+(** The extension of Figure 7 (right). *)
+val program : Program.t
+
+val setup : Api.t -> (unit, string) result
+
+(** Unique element ids (the paper's [add(ELEMENTID eid, data)]). *)
+val make_eid : Api.t -> int -> string
+
+(** Identical in both variants (T3 / C2). *)
+val add : Api.t -> eid:string -> data:string -> (unit, string) result
+
+type removal = {
+  data : string option;  (** [None] = queue empty *)
+  attempts : int;  (** full restarts of the traditional loop *)
+  rpc_note : int;
+}
+
+(** Figure 7 (left): learn, sort by creation time, race to delete. *)
+val remove_traditional : Api.t -> (removal, string) result
+
+(** Figure 7 (right): a single remote call. *)
+val remove_ext : Api.t -> (removal, string) result
+
+val register : Api.t -> (unit, string) result

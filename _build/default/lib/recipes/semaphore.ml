@@ -1,0 +1,202 @@
+(** Counting semaphore — a fifth recipe beyond the paper's four (§6.1.1
+    names semaphores as a primary use of shared counters).
+
+    Capacity K, stored in a config object.  Holders own liveness-bound
+    member objects; the K members with the oldest creation times hold the
+    permits.  The extension-based acquire is a single blocking RPC; the
+    server-side event extension re-computes the permit set whenever a
+    member departs (release or crash), exercising the DSL's nested
+    for-each (rank computation) within the verifier's nesting bound. *)
+
+open Edc_core
+module Api = Coord_api
+
+type roots = {
+  member_root : string;
+  grant_root : string;
+  config_oid : string;  (** object whose data is the capacity K *)
+  name : string;
+}
+
+let semaphore_roots ?(base = "/sem") () =
+  {
+    member_root = base ^ "q";
+    grant_root = base ^ "g";
+    config_oid = base ^ "cfg";
+    name = "sem" ^ String.map (fun c -> if c = '/' then '-' else c) base;
+  }
+
+let member roots id = roots.member_root ^ "/" ^ string_of_int id
+let grant roots id = roots.grant_root ^ "/" ^ string_of_int id
+
+(** Rank of entry [o] among [objs] by (ctime) — the number of strictly
+    older members — computed in the DSL. *)
+let rank_of ~objs_var ~obj_var ~rank_var =
+  let open Ast in
+  [
+    Let (rank_var, Int_lit 0);
+    For_each ("p", Var objs_var,
+      [
+        If
+          ( Binop (Lt, Field (Var "p", "ctime"), Field (Var obj_var, "ctime")),
+            [ Assign (rank_var, Binop (Add, Var rank_var, Int_lit 1)) ],
+            [] );
+      ]);
+  ]
+
+let program roots =
+  let open Ast in
+  let concat a b = Binop (Concat, a, b) in
+  let capacity =
+    Call ("int_of_str", [ Field (Svc (Svc_read, [ Str_lit roots.config_oid ]), "data") ])
+  in
+  Program.make roots.name
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_block ];
+          op_oid = Subscription.Under roots.grant_root } ]
+    ~event_subs:
+      [ { Subscription.ev_kinds = [ Subscription.E_deleted ];
+          ev_oid = Subscription.Under roots.member_root } ]
+    ~on_operation:
+      ([
+         Let ("me", Call ("str_of_int", [ Param "client" ]));
+         Do (Svc (Svc_monitor, [ concat (Str_lit (roots.member_root ^ "/")) (Var "me") ]));
+         Do (Svc (Svc_block, [ Param "oid" ]));
+         Let ("k", capacity);
+         Let ("objs", Svc (Svc_sub_objects, [ Str_lit roots.member_root ]));
+         Let ("mine",
+              Svc (Svc_read, [ concat (Str_lit (roots.member_root ^ "/")) (Var "me") ]));
+       ]
+      @ rank_of ~objs_var:"objs" ~obj_var:"mine" ~rank_var:"rank"
+      @ [
+          If
+            ( Binop (Lt, Var "rank", Var "k"),
+              [
+                If
+                  ( Not (Svc (Svc_exists, [ Param "oid" ])),
+                    [ Do (Svc (Svc_create, [ Param "oid"; Str_lit "" ])) ],
+                    [] );
+              ],
+              [] );
+        ])
+    ~on_event:
+      [
+        (* a member departed: retire its grant, then hand permits to the
+           K oldest members that lack one *)
+        Let ("gone", Call ("str_suffix_after", [ Param "oid"; Str_lit "/" ]));
+        Do (Svc (Svc_delete, [ concat (Str_lit (roots.grant_root ^ "/")) (Var "gone") ]));
+        Let ("k", capacity);
+        Let ("objs", Svc (Svc_sub_objects, [ Str_lit roots.member_root ]));
+        For_each ("o", Var "objs",
+          Ast.[
+            Let ("rank", Int_lit 0);
+            For_each ("p", Var "objs",
+              [
+                If
+                  ( Binop (Lt, Field (Var "p", "ctime"), Field (Var "o", "ctime")),
+                    [ Assign ("rank", Binop (Add, Var "rank", Int_lit 1)) ],
+                    [] );
+              ]);
+            If
+              ( Binop (Lt, Var "rank", Var "k"),
+                [
+                  Let ("lid", Call ("str_suffix_after", [ Field (Var "o", "id"); Str_lit "/" ]));
+                  If
+                    ( Not (Svc (Svc_exists,
+                          [ Binop (Concat, Str_lit (roots.grant_root ^ "/"), Var "lid") ])),
+                      [ Do (Svc (Svc_create,
+                            [ Binop (Concat, Str_lit (roots.grant_root ^ "/"), Var "lid");
+                              Str_lit "" ])) ],
+                      [] );
+                ],
+                [] );
+          ]);
+      ]
+    ()
+
+(** [setup api roots ~capacity] creates roots and the config object. *)
+let setup (api : Api.t) roots ~capacity =
+  let mk oid data =
+    match api.create ~oid ~data with
+    | Ok _ | Error ("exists" | "node exists") -> Ok ()
+    | Error e -> Error e
+  in
+  let ( let* ) = Result.bind in
+  let* () = mk roots.member_root "" in
+  let* () = mk roots.grant_root "" in
+  mk roots.config_oid (string_of_int capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Traditional implementation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type handle = { mutable incarnation : int; mutable entry : string option }
+
+let new_handle () = { incarnation = 0; entry = None }
+
+let obj_rank objs (mine : Api.obj) =
+  List.length
+    (List.filter
+       (fun (o : Api.obj) ->
+         (o.Api.ctime, o.Api.oid) < (mine.Api.ctime, mine.Api.oid))
+       objs)
+
+(** [acquire_traditional api roots handle ~capacity] blocks until one of
+    the K permits is held. *)
+let acquire_traditional (api : Api.t) roots handle ~capacity =
+  let ( let* ) = Result.bind in
+  let* me =
+    match handle.entry with
+    | Some me -> Ok me
+    | None ->
+        handle.incarnation <- handle.incarnation + 1;
+        let me =
+          Printf.sprintf "%s/%d-%06d" roots.member_root api.Api.client_id
+            handle.incarnation
+        in
+        let* () = api.monitor ~oid:me in
+        handle.entry <- Some me;
+        Ok me
+  in
+  let rec wait_turn () =
+    let* objs = api.sub_objects ~oid:roots.member_root in
+    match List.find_opt (fun (o : Api.obj) -> o.Api.oid = me) objs with
+    | None -> Error "not registered"
+    | Some mine ->
+        if obj_rank objs mine < capacity then Ok ()
+        else
+          let seen = List.map (fun (o : Api.obj) -> o.Api.oid) objs in
+          let* () = api.await_change ~oid:roots.member_root ~seen in
+          wait_turn ()
+  in
+  wait_turn ()
+
+let release_traditional (api : Api.t) roots handle =
+  let ( let* ) = Result.bind in
+  match handle.entry with
+  | None -> Ok ()
+  | Some me ->
+      handle.entry <- None;
+      let* _ = api.delete ~oid:me in
+      api.signal_change ~oid:roots.member_root
+
+(* ------------------------------------------------------------------ *)
+(* Extension-based implementation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** [acquire_ext api roots] — one blocking RPC. *)
+let acquire_ext (api : Api.t) roots =
+  let ext = Api.ext_exn api in
+  ext.Api.keep_alive (member roots api.Api.client_id);
+  match ext.Api.invoke_block (grant roots api.Api.client_id) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+(** [release_ext api roots] — one RPC; the event extension retires the
+    grant and promotes the next waiter. *)
+let release_ext (api : Api.t) roots =
+  match api.delete ~oid:(member roots api.Api.client_id) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let register (api : Api.t) roots = (Api.ext_exn api).Api.register (program roots)

@@ -1,0 +1,44 @@
+(** Counting semaphore — a fifth recipe (§6.1.1 motivates counters via
+    semaphores).  Capacity K lives in a config object; the K oldest
+    liveness-bound members hold the permits.  The extension-based acquire
+    is a single blocking RPC; a server-side event extension re-computes
+    the permit set whenever a member departs, exercising nested for-each
+    in the DSL. *)
+
+open Edc_core
+module Api = Coord_api
+
+type roots = {
+  member_root : string;
+  grant_root : string;
+  config_oid : string;  (** object whose data is the capacity K *)
+  name : string;
+}
+
+val semaphore_roots : ?base:string -> unit -> roots
+val member : roots -> int -> string
+val grant : roots -> int -> string
+
+val program : roots -> Program.t
+
+(** Create roots and the config object. *)
+val setup : Api.t -> roots -> capacity:int -> (unit, string) result
+
+(** Per-client state (fresh per-incarnation member names, as in
+    {!Election.handle}). *)
+type handle
+
+val new_handle : unit -> handle
+
+val acquire_traditional :
+  Api.t -> roots -> handle -> capacity:int -> (unit, string) result
+
+val release_traditional : Api.t -> roots -> handle -> (unit, string) result
+
+(** One blocking RPC. *)
+val acquire_ext : Api.t -> roots -> (unit, string) result
+
+(** One RPC; the event extension promotes the next waiter. *)
+val release_ext : Api.t -> roots -> (unit, string) result
+
+val register : Api.t -> roots -> (unit, string) result

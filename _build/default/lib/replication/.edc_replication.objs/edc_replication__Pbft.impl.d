@@ -1,0 +1,1 @@
+lib/replication/pbft.ml: Edc_simnet Fmt Hashtbl Int List Sim Sim_time Trace

@@ -1,0 +1,1 @@
+lib/replication/pbft.mli: Edc_simnet Format Sim Sim_time

@@ -1,0 +1,1 @@
+lib/replication/zab.ml: Edc_simnet Fmt Hashtbl Int List Sim Sim_time Stdlib String Trace Vec

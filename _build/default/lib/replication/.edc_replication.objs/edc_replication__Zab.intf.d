@@ -1,0 +1,1 @@
+lib/replication/zab.mli: Edc_simnet Format Sim Sim_time

@@ -1,0 +1,84 @@
+(** PBFT-style Byzantine fault-tolerant state machine replication (the
+    DepSpace/BFT-SMaRt substrate).
+
+    [n = 3f + 1] replicas; clients multicast requests to all of them; the
+    view's primary assigns sequence numbers and runs the three-phase
+    exchange (pre-prepare / prepare / commit with [2f] and [2f + 1]
+    quorums); replicas execute in order and reply directly to the client,
+    which masks faults by collecting [f + 1] matching replies.
+
+    Each ordered request carries a primary-assigned timestamp, giving
+    replicas a deterministic shared clock for lease expiry.
+
+    The view change is simplified for crash/silent faults (it transfers
+    the longest delivered history among [2f + 1] VIEW-CHANGE messages
+    instead of prepared certificates); see DESIGN.md. *)
+
+open Edc_simnet
+
+type request_id = { client : int; rseq : int }
+
+val request_id_compare : request_id -> request_id -> int
+val pp_request_id : Format.formatter -> request_id -> unit
+
+type 'p msg =
+  | Pre_prepare of {
+      view : int;
+      seq : int;
+      rid : request_id;
+      payload : 'p;
+      ts : Sim_time.t;
+    }
+  | Prepare of { view : int; seq : int; rid : request_id }
+  | Commit of { view : int; seq : int; rid : request_id }
+  | View_change of {
+      new_view : int;
+      delivered : (request_id * 'p) list;
+      pending : (request_id * 'p) list;
+    }
+  | New_view of { view : int }
+
+type config = {
+  order_timeout : Sim_time.t;
+      (** backup patience before suspecting the primary *)
+  check_interval : Sim_time.t;
+}
+
+val default_config : config
+
+type 'p t
+
+(** [create ~sim ~id ~peers ~f ~send ~on_deliver ()] — one replica.
+    [on_deliver] receives each request exactly once, in total order, with
+    the primary's timestamp. *)
+val create :
+  ?config:config ->
+  sim:Sim.t ->
+  id:int ->
+  peers:int list ->
+  f:int ->
+  send:(dst:int -> 'p msg -> unit) ->
+  on_deliver:(request_id -> 'p -> ts:Sim_time.t -> unit) ->
+  unit ->
+  'p t
+
+val start : 'p t -> unit
+
+(** [submit t rid payload] — a client request reached this replica (clients
+    multicast); the primary orders it, backups watch for it. *)
+val submit : 'p t -> request_id -> 'p -> unit
+
+val handle : 'p t -> src:int -> 'p msg -> unit
+
+val is_primary : 'p t -> bool
+val view : 'p t -> int
+
+(** [crash t] silences the replica (crash or Byzantine-mute). *)
+val crash : 'p t -> unit
+
+val delivered_count : 'p t -> int
+
+(** Delivered history, oldest first (test observability). *)
+val delivered_log : 'p t -> (request_id * 'p) list
+
+val msg_size : payload_size:('p -> int) -> 'p msg -> int

@@ -1,0 +1,549 @@
+(** Zab-like primary-backup atomic broadcast.
+
+    Reproduces the replication substrate that ZooKeeper (and therefore the
+    paper's EZK) runs on: a single primary orders all state transactions,
+    disseminates them to backups, commits on a majority quorum, and backups
+    apply the committed prefix in order (Junqueira et al., "Zab:
+    High-performance broadcast for primary-backup systems", DSN '11).
+
+    For leader recovery we use a vote-based election (a la Raft): a replica
+    that stops hearing the leader's heartbeats becomes a candidate for the
+    next epoch; voters grant at most one vote per epoch and only to
+    candidates whose log is at least as up to date as theirs, which
+    guarantees the winner holds every committed transaction.  The winner
+    then synchronizes followers by shipping its log suffix.  This differs
+    from ZooKeeper's Fast Leader Election in mechanism but provides the
+    same guarantee the paper relies on (committed state survives primary
+    failure, cf. §3.8), which is what our fault-tolerance experiments
+    exercise.
+
+    The module is transport-agnostic: the deployment supplies a [send]
+    function and feeds incoming messages to {!handle}.  All timers run on
+    the shared simulator. *)
+
+open Edc_simnet
+
+type zxid = { epoch : int; counter : int }
+
+let zxid_zero = { epoch = 0; counter = 0 }
+
+let zxid_compare a b =
+  match Int.compare a.epoch b.epoch with
+  | 0 -> Int.compare a.counter b.counter
+  | c -> c
+
+let zxid_geq a b = zxid_compare a b >= 0
+
+let pp_zxid ppf z = Fmt.pf ppf "%d.%d" z.epoch z.counter
+
+type 'p entry = { zxid : zxid; payload : 'p }
+
+type 'p msg =
+  | Ping of { epoch : int; committed : int }
+      (** leader heartbeat; also carries the commit horizon so idle
+          followers still learn about commits *)
+  | Propose of { epoch : int; zxid : zxid; index : int; payload : 'p }
+  | Ack of { epoch : int; index : int }
+  | Commit of { epoch : int; index : int }
+  | Request_vote of { epoch : int; candidate : int; last_zxid : zxid }
+  | Vote of { epoch : int }
+  | Sync_request of { epoch : int; have : int }
+      (** follower asks the leader for entries from index [have] *)
+  | Sync of { epoch : int; from : int; entries : 'p entry list; committed : int }
+  | Snapshot_install of {
+      epoch : int;
+      base : int;  (** the snapshot covers entries [0, base) *)
+      blob : string;  (** opaque application snapshot *)
+      entries : 'p entry list;  (** log suffix starting at [base] *)
+      committed : int;
+    }
+      (** state transfer for followers that lag behind the leader's log
+          compaction horizon (ZooKeeper's snapshot + txn-log recovery) *)
+
+type role = Leader | Follower | Candidate
+
+let pp_role ppf = function
+  | Leader -> Fmt.string ppf "leader"
+  | Follower -> Fmt.string ppf "follower"
+  | Candidate -> Fmt.string ppf "candidate"
+
+type config = {
+  heartbeat_interval : Sim_time.t;
+  election_timeout : Sim_time.t;
+      (** base timeout; each replica adds [id * election_stagger] so that
+          timeouts are staggered deterministically *)
+  election_stagger : Sim_time.t;
+}
+
+let default_config =
+  {
+    heartbeat_interval = Sim_time.ms 50;
+    election_timeout = Sim_time.ms 200;
+    election_stagger = Sim_time.ms 40;
+  }
+
+type 'p t = {
+  sim : Sim.t;
+  id : int;
+  peers : int list;  (** all replica ids, including [id] *)
+  send : dst:int -> 'p msg -> unit;
+  on_deliver : zxid -> 'p -> unit;
+  mutable on_role_change : role -> unit;
+  config : config;
+  (* --- persistent state (survives crash/restart) --- *)
+  log : 'p entry Vec.t;  (** entries [base, base + Vec.length log) *)
+  mutable base : int;  (** log-compaction horizon: absolute index of log.(0) *)
+  mutable last_compacted_zxid : zxid;
+  mutable snapshot_blob : string;  (** app snapshot covering [0, base) *)
+  mutable install_snapshot : (string -> unit) option;
+  mutable current_epoch : int;
+  mutable voted_epoch : int;  (** highest epoch we granted a vote in *)
+  mutable committed : int;  (** length of the committed log prefix *)
+  (* --- volatile state --- *)
+  mutable role : role;
+  mutable leader_hint : int option;
+  mutable alive : bool;
+  mutable generation : int;  (** invalidates timers across crash/restart *)
+  mutable votes : int list;  (** voters for us in [current_epoch] *)
+  mutable next_counter : int;  (** leader: next zxid counter to assign *)
+  acks : (int, int list ref) Hashtbl.t;  (** log index -> acking replicas *)
+  mutable delivered : int;  (** length of the prefix passed to on_deliver *)
+  mutable last_leader_contact : Sim_time.t;
+}
+
+let quorum t = (List.length t.peers / 2) + 1
+
+(* absolute log length and indexed access over the compacted log *)
+let abs_len t = t.base + Vec.length t.log
+let log_get t i = Vec.get t.log (i - t.base)
+
+let last_zxid t =
+  match Vec.last_opt t.log with
+  | Some e -> e.zxid
+  | None -> t.last_compacted_zxid
+
+let is_leader t = t.role = Leader
+let role t = t.role
+let leader_hint t = t.leader_hint
+let epoch t = t.current_epoch
+let log_length t = abs_len t
+let committed_length t = t.committed
+let compaction_base t = t.base
+
+let set_install_snapshot t f = t.install_snapshot <- Some f
+
+let others t = List.filter (fun p -> p <> t.id) t.peers
+
+let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
+
+let deliver_ready t =
+  while t.delivered < t.committed do
+    let e = log_get t t.delivered in
+    t.delivered <- t.delivered + 1;
+    t.on_deliver e.zxid e.payload
+  done
+
+let set_role t role =
+  if t.role <> role then begin
+    t.role <- role;
+    Trace.debugf t.sim "zab[%d] -> %a (epoch %d)" t.id pp_role role
+      t.current_epoch;
+    t.on_role_change role
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let leader_commit_check t =
+  (* Advance the commit horizon over every prefix entry acknowledged by a
+     quorum (our own log append counts as an implicit ack). *)
+  let advanced = ref false in
+  let continue_ = ref true in
+  while !continue_ && t.committed < abs_len t do
+    let index = t.committed in
+    let entry = log_get t index in
+    if entry.zxid.epoch < t.current_epoch then begin
+      (* Entries inherited from previous epochs are committed once the
+         current epoch commits anything after them; to keep things simple
+         the leader re-counts acks for them like for its own entries. *)
+      ()
+    end;
+    let acks =
+      match Hashtbl.find_opt t.acks index with Some l -> !l | None -> []
+    in
+    if List.length acks + 1 >= quorum t then begin
+      t.committed <- t.committed + 1;
+      advanced := true
+    end
+    else continue_ := false
+  done;
+  if !advanced then begin
+    broadcast t (Commit { epoch = t.current_epoch; index = t.committed });
+    deliver_ready t
+  end
+
+(** [propose t payload] — leader only — assigns the next zxid, appends to
+    the local log and disseminates.  Returns the assigned zxid, or [None]
+    if this replica is not the leader. *)
+let propose t payload =
+  if (not t.alive) || t.role <> Leader then None
+  else begin
+    let zxid = { epoch = t.current_epoch; counter = t.next_counter } in
+    t.next_counter <- t.next_counter + 1;
+    let index = abs_len t in
+    Vec.push t.log { zxid; payload };
+    broadcast t (Propose { epoch = t.current_epoch; zxid; index; payload });
+    (* A single-replica ensemble commits immediately. *)
+    leader_commit_check t;
+    Some zxid
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Election                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let start_election t =
+  t.current_epoch <- t.current_epoch + 1;
+  t.voted_epoch <- t.current_epoch;
+  t.votes <- [ t.id ];
+  t.leader_hint <- None;
+  set_role t Candidate;
+  Trace.debugf t.sim "zab[%d] starts election for epoch %d" t.id
+    t.current_epoch;
+  broadcast t
+    (Request_vote
+       { epoch = t.current_epoch; candidate = t.id; last_zxid = last_zxid t });
+  if List.length t.votes >= quorum t then begin
+    (* Single-replica ensemble. *)
+    t.votes <- []
+  end
+
+let become_leader t =
+  set_role t Leader;
+  t.leader_hint <- Some t.id;
+  t.next_counter <- 0;
+  Hashtbl.reset t.acks;
+  (* Re-count acks for every entry not yet committed: followers will ack
+     them again after Sync. *)
+  (* Synchronize followers: ship the retained log suffix, preceded by the
+     snapshot when entries before the compaction horizon are gone. *)
+  List.iter
+    (fun dst ->
+      if t.base = 0 then
+        t.send ~dst
+          (Sync
+             {
+               epoch = t.current_epoch;
+               from = 0;
+               entries = Vec.to_list t.log;
+               committed = t.committed;
+             })
+      else
+        t.send ~dst
+          (Snapshot_install
+             {
+               epoch = t.current_epoch;
+               base = t.base;
+               blob = t.snapshot_blob;
+               entries = Vec.to_list t.log;
+               committed = t.committed;
+             }))
+    (others t);
+  broadcast t (Ping { epoch = t.current_epoch; committed = t.committed })
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let note_leader t ~src ~epoch =
+  if epoch > t.current_epoch then begin
+    t.current_epoch <- epoch;
+    set_role t Follower
+  end;
+  if epoch = t.current_epoch then begin
+    if t.role <> Follower then set_role t Follower;
+    t.leader_hint <- Some src;
+    t.last_leader_contact <- Sim.now t.sim
+  end
+
+let follower_commit t upto =
+  let upto = Stdlib.min upto (abs_len t) in
+  if upto > t.committed then begin
+    t.committed <- upto;
+    deliver_ready t
+  end
+
+(* Graft a leader-shipped suffix starting at absolute index [from] onto our
+   (possibly compacted) log, acking what we now hold. *)
+let graft_entries t ~src ~epoch ~from entries =
+  if from >= t.base then begin
+    Vec.replace_from t.log (from - t.base) entries;
+    List.iteri
+      (fun i _ -> t.send ~dst:src (Ack { epoch; index = from + i }))
+      entries
+  end
+  else begin
+    (* the shipped suffix starts before our own compaction horizon: drop
+       what we already snapshotted *)
+    let drop = t.base - from in
+    if List.length entries >= drop then begin
+      let keep = List.filteri (fun i _ -> i >= drop) entries in
+      Vec.replace_from t.log 0 keep;
+      List.iteri
+        (fun i _ -> t.send ~dst:src (Ack { epoch; index = t.base + i }))
+        keep
+    end
+  end
+
+let handle t ~src msg =
+  if t.alive then
+    match msg with
+    | Ping { epoch; committed } ->
+        if epoch >= t.current_epoch then begin
+          note_leader t ~src ~epoch;
+          follower_commit t committed
+        end
+    | Propose { epoch; zxid = _; index; payload = _ } when epoch < t.current_epoch ->
+        ignore index (* stale leader; drop *)
+    | Propose { epoch; zxid; index; payload } ->
+        note_leader t ~src ~epoch;
+        if index = abs_len t then begin
+          Vec.push t.log { zxid; payload };
+          t.send ~dst:src (Ack { epoch; index })
+        end
+        else if index < t.base then
+          (* behind our compaction horizon: necessarily committed *)
+          t.send ~dst:src (Ack { epoch; index })
+        else if index < abs_len t then begin
+          (* Duplicate of an entry we already hold (e.g. resent after
+             sync); ack it again. *)
+          if zxid_compare (log_get t index).zxid zxid = 0 then
+            t.send ~dst:src (Ack { epoch; index })
+        end
+        else
+          (* Gap: we missed entries (fresh restart). Ask for a sync. *)
+          t.send ~dst:src (Sync_request { epoch; have = abs_len t })
+    | Ack { epoch; index } ->
+        if t.role = Leader && epoch = t.current_epoch then begin
+          let acks =
+            match Hashtbl.find_opt t.acks index with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace t.acks index l;
+                l
+          in
+          if not (List.mem src !acks) then acks := src :: !acks;
+          leader_commit_check t
+        end
+    | Commit { epoch; index } ->
+        if epoch = t.current_epoch && t.role = Follower then begin
+          t.last_leader_contact <- Sim.now t.sim;
+          follower_commit t index
+        end
+    | Request_vote { epoch; candidate; last_zxid = candidate_last } ->
+        if
+          epoch > t.current_epoch && epoch > t.voted_epoch
+          && zxid_geq candidate_last (last_zxid t)
+        then begin
+          t.voted_epoch <- epoch;
+          t.current_epoch <- epoch;
+          set_role t Follower;
+          t.leader_hint <- None;
+          (* Reset the clock so we do not immediately start a competing
+             election while the new leader synchronizes. *)
+          t.last_leader_contact <- Sim.now t.sim;
+          t.send ~dst:candidate (Vote { epoch })
+        end
+    | Vote { epoch } ->
+        if t.role = Candidate && epoch = t.current_epoch then begin
+          if not (List.mem src t.votes) then t.votes <- src :: t.votes;
+          if List.length t.votes >= quorum t then become_leader t
+        end
+    | Sync_request { epoch; have } ->
+        if t.role = Leader && epoch = t.current_epoch then
+          let have = Stdlib.min have (abs_len t) in
+          if have < t.base then
+            (* the follower needs entries we compacted away: state
+               transfer via snapshot (§3.8's recovery path) *)
+            t.send ~dst:src
+              (Snapshot_install
+                 {
+                   epoch;
+                   base = t.base;
+                   blob = t.snapshot_blob;
+                   entries = Vec.to_list t.log;
+                   committed = t.committed;
+                 })
+          else
+            t.send ~dst:src
+              (Sync
+                 {
+                   epoch;
+                   from = have;
+                   entries = Vec.sub t.log (have - t.base) (abs_len t - have);
+                   committed = t.committed;
+                 })
+    | Sync { epoch; from; entries; committed } ->
+        if epoch >= t.current_epoch then begin
+          note_leader t ~src ~epoch;
+          (* Replace our log from [from] with the leader's suffix.  The
+             election rule guarantees the leader holds every committed
+             entry, so truncation never loses committed state. *)
+          if from <= abs_len t then begin
+            graft_entries t ~src ~epoch ~from entries;
+            follower_commit t committed
+          end
+          else t.send ~dst:src (Sync_request { epoch; have = abs_len t })
+        end
+    | Snapshot_install { epoch; base; blob; entries; committed } ->
+        if epoch >= t.current_epoch then begin
+          note_leader t ~src ~epoch;
+          if base > abs_len t || t.delivered < base then begin
+            (* we cannot bridge the gap from our own state: jump to the
+               leader's snapshot, then apply the shipped suffix *)
+            (match t.install_snapshot with Some f -> f blob | None -> ());
+            t.base <- base;
+            t.delivered <- base;
+            t.committed <- base;
+            Vec.clear t.log;
+            List.iter (Vec.push t.log) entries;
+            List.iteri
+              (fun i _ -> t.send ~dst:src (Ack { epoch; index = base + i }))
+              entries;
+            follower_commit t committed
+          end
+          else begin
+            (* our state already covers the snapshot: just graft *)
+            graft_entries t ~src ~epoch ~from:base entries;
+            follower_commit t committed
+          end
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let election_deadline t =
+  Sim_time.add t.config.election_timeout
+    (Sim_time.scale t.config.election_stagger (float_of_int t.id))
+
+let rec tick t generation () =
+  if t.alive && generation = t.generation then begin
+    (match t.role with
+    | Leader ->
+        broadcast t (Ping { epoch = t.current_epoch; committed = t.committed })
+    | Follower | Candidate ->
+        let silence = Sim_time.sub (Sim.now t.sim) t.last_leader_contact in
+        if Sim_time.(election_deadline t <= silence) then begin
+          t.last_leader_contact <- Sim.now t.sim;
+          start_election t
+        end);
+    Sim.schedule t.sim ~after:t.config.heartbeat_interval (tick t generation)
+  end
+
+(** [start t] begins heartbeats/election timers.  If [t.id] matches
+    [initial_leader] given at [create], the replica starts as leader of
+    epoch 1 immediately (mirrors a freshly booted ensemble that has already
+    elected its first leader, so experiments skip the cold election). *)
+let start t =
+  t.generation <- t.generation + 1;
+  t.last_leader_contact <- Sim.now t.sim;
+  Sim.schedule t.sim ~after:Sim_time.zero (tick t t.generation)
+
+let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
+    ~on_deliver () =
+  let t =
+    {
+      sim;
+      id;
+      peers;
+      send;
+      on_deliver;
+      on_role_change = (fun _ -> ());
+      config;
+      log = Vec.create ();
+      base = 0;
+      last_compacted_zxid = zxid_zero;
+      snapshot_blob = "";
+      install_snapshot = None;
+      current_epoch = 0;
+      voted_epoch = 0;
+      committed = 0;
+      role = Follower;
+      leader_hint = None;
+      alive = true;
+      generation = 0;
+      votes = [];
+      next_counter = 0;
+      acks = Hashtbl.create 64;
+      delivered = 0;
+      last_leader_contact = Sim.now sim;
+    }
+  in
+  (match initial_leader with
+  | Some leader ->
+      t.current_epoch <- 1;
+      t.voted_epoch <- 1;
+      t.leader_hint <- Some leader;
+      if leader = id then t.role <- Leader
+  | None -> ());
+  t
+
+let set_on_role_change t f = t.on_role_change <- f
+
+(** [crash t] stops the replica.  Persistent state (log, epoch, committed
+    prefix) is retained, modeling ZooKeeper's on-disk transaction log. *)
+let crash t =
+  t.alive <- false;
+  t.generation <- t.generation + 1;
+  t.role <- Follower;
+  t.votes <- [];
+  Hashtbl.reset t.acks
+
+(** [restart t] brings a crashed replica back as a follower; it will catch
+    up via [Sync_request] when it hears from the current leader. *)
+let restart t =
+  t.alive <- true;
+  t.leader_hint <- None;
+  t.last_leader_contact <- Sim.now t.sim;
+  start t;
+  (* Proactively ask whoever leads now for the missing suffix: we cannot
+     address them yet, so we ask everyone; non-leaders ignore it. *)
+  List.iter
+    (fun dst ->
+      t.send ~dst (Sync_request { epoch = t.current_epoch; have = abs_len t }))
+    (others t)
+
+(** [compact t ~take] discards the delivered log prefix after capturing an
+    application snapshot that covers exactly the delivered entries
+    (ZooKeeper's fuzzy-snapshot-plus-log made crisp by the simulator's
+    synchronous apply).  Future state transfer ships the snapshot plus the
+    retained suffix. *)
+let compact t ~take =
+  if t.alive && t.delivered > t.base then begin
+    t.snapshot_blob <- take ();
+    t.last_compacted_zxid <- (log_get t (t.delivered - 1)).zxid;
+    let suffix = Vec.sub t.log (t.delivered - t.base) (abs_len t - t.delivered) in
+    Vec.replace_from t.log 0 suffix;
+    t.base <- t.delivered
+  end
+
+(** [msg_size ~payload_size msg] models the wire size of a protocol
+    message: a fixed header plus the payload. *)
+let msg_size ~payload_size = function
+  | Ping _ -> 24
+  | Propose { payload; _ } -> 48 + payload_size payload
+  | Ack _ -> 24
+  | Commit _ -> 24
+  | Request_vote _ -> 32
+  | Vote _ -> 16
+  | Sync_request _ -> 24
+  | Sync { entries; _ } ->
+      List.fold_left (fun acc e -> acc + 48 + payload_size e.payload) 32 entries
+  | Snapshot_install { blob; entries; _ } ->
+      List.fold_left
+        (fun acc e -> acc + 48 + payload_size e.payload)
+        (48 + String.length blob)
+        entries

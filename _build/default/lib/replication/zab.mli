@@ -1,0 +1,106 @@
+(** Zab-like primary-backup atomic broadcast (the ZooKeeper substrate).
+
+    A single leader orders all transactions, disseminates them to backups,
+    and commits on a majority quorum; backups apply the committed prefix in
+    order.  Leader recovery uses a vote-based election (Raft-style) whose
+    log-completeness rule guarantees the winner holds every committed
+    transaction, followed by log synchronization — the property §3.8 of
+    the paper relies on.
+
+    Transport-agnostic: the deployment supplies [send] and feeds incoming
+    messages to {!handle}; timers run on the shared simulator. *)
+
+open Edc_simnet
+
+type zxid = { epoch : int; counter : int }
+
+val zxid_zero : zxid
+val zxid_compare : zxid -> zxid -> int
+val pp_zxid : Format.formatter -> zxid -> unit
+
+type 'p entry = { zxid : zxid; payload : 'p }
+
+type 'p msg =
+  | Ping of { epoch : int; committed : int }
+  | Propose of { epoch : int; zxid : zxid; index : int; payload : 'p }
+  | Ack of { epoch : int; index : int }
+  | Commit of { epoch : int; index : int }
+  | Request_vote of { epoch : int; candidate : int; last_zxid : zxid }
+  | Vote of { epoch : int }
+  | Sync_request of { epoch : int; have : int }
+  | Sync of { epoch : int; from : int; entries : 'p entry list; committed : int }
+  | Snapshot_install of {
+      epoch : int;
+      base : int;  (** the snapshot covers entries [0, base) *)
+      blob : string;  (** opaque application snapshot *)
+      entries : 'p entry list;  (** retained log suffix starting at [base] *)
+      committed : int;
+    }
+
+type role = Leader | Follower | Candidate
+
+val pp_role : Format.formatter -> role -> unit
+
+type config = {
+  heartbeat_interval : Sim_time.t;
+  election_timeout : Sim_time.t;
+  election_stagger : Sim_time.t;  (** per-replica deterministic stagger *)
+}
+
+val default_config : config
+
+type 'p t
+
+(** [create ~sim ~id ~peers ~send ~on_deliver ()] — one replica.
+    [on_deliver] receives committed payloads in order, exactly once per
+    lifetime.  With [initial_leader] the ensemble boots with an elected
+    leader of epoch 1 (skips the cold election). *)
+val create :
+  ?config:config ->
+  ?initial_leader:int ->
+  sim:Sim.t ->
+  id:int ->
+  peers:int list ->
+  send:(dst:int -> 'p msg -> unit) ->
+  on_deliver:(zxid -> 'p -> unit) ->
+  unit ->
+  'p t
+
+val set_on_role_change : 'p t -> (role -> unit) -> unit
+
+(** [start t] begins heartbeat/election timers. *)
+val start : 'p t -> unit
+
+(** [propose t payload] — leader only; returns the assigned zxid, [None]
+    if this replica does not lead. *)
+val propose : 'p t -> 'p -> zxid option
+
+val handle : 'p t -> src:int -> 'p msg -> unit
+
+val is_leader : 'p t -> bool
+val role : 'p t -> role
+val leader_hint : 'p t -> int option
+val epoch : 'p t -> int
+val log_length : 'p t -> int
+val committed_length : 'p t -> int
+
+(** Absolute index of the oldest retained log entry. *)
+val compaction_base : 'p t -> int
+
+(** [set_install_snapshot t f] — the application hook that replaces local
+    state with a received snapshot blob. *)
+val set_install_snapshot : 'p t -> (string -> unit) -> unit
+
+(** [compact t ~take] snapshots the delivered prefix via [take] and drops
+    it from the log; lagging replicas then recover via
+    [Snapshot_install]. *)
+val compact : 'p t -> take:(unit -> string) -> unit
+
+(** [crash t] stops the replica; the log/epoch persist (the on-disk
+    transaction log).  [restart t] rejoins as a follower and catches up. *)
+val crash : 'p t -> unit
+
+val restart : 'p t -> unit
+
+(** Modelled wire size of a protocol message. *)
+val msg_size : payload_size:('p -> int) -> 'p msg -> int

@@ -1,0 +1,1 @@
+lib/simnet/cpu.ml: Rng Sim Sim_time

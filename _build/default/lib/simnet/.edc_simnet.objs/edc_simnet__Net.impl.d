@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Hashtbl List Rng Sim Sim_time

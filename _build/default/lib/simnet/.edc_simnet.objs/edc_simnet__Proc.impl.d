@@ -1,0 +1,1 @@
+lib/simnet/proc.ml: Effect List Sim Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/proc.mli: Sim Sim_time

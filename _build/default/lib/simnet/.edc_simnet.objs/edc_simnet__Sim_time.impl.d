@@ -1,0 +1,1 @@
+lib/simnet/sim_time.ml: Float Fmt Int Stdlib

@@ -1,0 +1,1 @@
+lib/simnet/trace.ml: Format Logs Logs_fmt Sim Sim_time

@@ -1,0 +1,1 @@
+lib/simnet/vec.ml: Array List Stdlib

@@ -1,0 +1,28 @@
+(** A serial CPU resource.
+
+    Work submitted through {!exec} occupies the processor for its cost,
+    one task at a time, in submission order: under load, completion times
+    queue up behind each other, which is what actually caps a server's
+    throughput (a plain scheduled delay would let any number of requests
+    "process" in parallel and never saturate). *)
+
+type t = { sim : Sim.t; rng : Rng.t; mutable busy_until : Sim_time.t }
+
+let create sim = { sim; rng = Rng.split (Sim.rng sim); busy_until = Sim_time.zero }
+
+(** [exec t ~cost f] runs [f] when the processor has spent [cost] on this
+    task, after finishing everything submitted before it.  Costs carry
+    ±25% multiplicative jitter: without it, uniform deterministic service
+    times phase-lock closed-loop clients into artificial convoys in which
+    conditional updates never conflict — real CPUs (and the paper's
+    contention results) do not behave that way. *)
+let exec t ~cost f =
+  let cost = Sim_time.scale cost (0.75 +. (0.5 *. Rng.float t.rng)) in
+  let start = Sim_time.max (Sim.now t.sim) t.busy_until in
+  let finish = Sim_time.add start cost in
+  t.busy_until <- finish;
+  Sim.schedule_at t.sim ~at:finish f
+
+(** Current backlog (how far in the future new work would start). *)
+let backlog t =
+  Sim_time.max Sim_time.zero (Sim_time.sub t.busy_until (Sim.now t.sim))

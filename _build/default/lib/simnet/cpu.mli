@@ -1,0 +1,18 @@
+(** A serial CPU resource.
+
+    Work submitted through {!exec} occupies the processor one task at a
+    time in submission order — under load, completions queue behind each
+    other, which is what actually caps a server's throughput.  Costs carry
+    ±25% deterministic jitter: uniform service times would phase-lock
+    closed-loop clients into artificial convoys. *)
+
+type t
+
+val create : Sim.t -> t
+
+(** [exec t ~cost f] runs [f] once the processor has finished everything
+    submitted earlier plus [cost] for this task. *)
+val exec : t -> cost:Sim_time.t -> (unit -> unit) -> unit
+
+(** How far in the future newly submitted work would start. *)
+val backlog : t -> Sim_time.t

@@ -1,0 +1,20 @@
+(** Priority queue of timed events: a binary min-heap keyed by
+    [(time, seq)].  The insertion-order tie-break gives equal-time events
+    a stable firing order — the root of the whole simulator's
+    determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push q ~time payload] inserts; equal times pop in insertion order. *)
+val push : 'a t -> time:Sim_time.t -> 'a -> unit
+
+val peek_time : 'a t -> Sim_time.t option
+
+(** [pop q] removes and returns the earliest event. *)
+val pop : 'a t -> (Sim_time.t * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generator.
+
+    SplitMix64: small state, good statistical quality, and — crucially for a
+    deterministic simulator — supports cheap splitting so that independent
+    components (network jitter, client think times, ...) can each own a
+    stream whose draws do not perturb the others. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(** [split t] derives an independent generator; [t] advances by one step. *)
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_raw t }
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (next_raw t) land max_int in
+  r mod bound
+
+(** [float t] draws uniformly from [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** [uniform t lo hi] draws a float uniformly from [lo, hi). *)
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+(** [bool t] draws a fair coin flip. *)
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+(** [pick t arr] draws a uniformly random element of a non-empty array. *)
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+(** [exponential t ~mean] draws from an exponential distribution; used for
+    memoryless think times and jitter. *)
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log (1.0 -. u)

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Cheap splitting lets independent components (network jitter, CPU
+    jitter, client think times) each own a stream whose draws do not
+    perturb the others — a prerequisite for reproducible simulations. *)
+
+type t
+
+val create : int -> t
+
+(** [split t] derives an independent generator; [t] advances one step. *)
+val split : t -> t
+
+(** [int t bound] draws uniformly from [0, bound); requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [uniform t lo hi] draws uniformly from [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+val bool : t -> bool
+
+(** [pick t arr] draws a uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [exponential t ~mean] — memoryless durations / long-tailed jitter. *)
+val exponential : t -> mean:float -> float

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    One virtual clock and one event heap drive the whole repository —
+    network delivery, server CPU, client think time, protocol timers —
+    which is what makes entire-cluster runs bit-for-bit reproducible from
+    a seed. *)
+
+type t
+
+(** [create ~seed ()] — a fresh simulation; equal seeds give equal runs. *)
+val create : ?seed:int -> unit -> t
+
+(** Current virtual time. *)
+val now : t -> Sim_time.t
+
+(** The root deterministic generator; split it per component. *)
+val rng : t -> Rng.t
+
+(** Events processed so far (runaway guard / test observability). *)
+val executed_events : t -> int
+
+(** [schedule t ~after f] runs [f] at [now + after] (clamped to now). *)
+val schedule : t -> after:Sim_time.t -> (unit -> unit) -> unit
+
+(** [schedule_at t ~at f] runs [f] at absolute time [at] (clamped to now). *)
+val schedule_at : t -> at:Sim_time.t -> (unit -> unit) -> unit
+
+(** [stop t] makes {!run} return after the current event. *)
+val stop : t -> unit
+
+(** [step t] executes the earliest event; [false] when the heap is empty. *)
+val step : t -> bool
+
+(** [run ?until ?max_events t] drains events in timestamp order.  Stops at
+    an empty heap, past [until] (later events stay queued; the clock
+    advances to [until]), after [max_events], or on {!stop}. *)
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+
+(** Queued events. *)
+val pending : t -> int

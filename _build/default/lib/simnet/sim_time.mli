@@ -1,0 +1,39 @@
+(** Simulated time: integer nanoseconds since simulation start.
+
+    Integers (not floats) keep event ordering exact and runs bit-for-bit
+    deterministic. *)
+
+type t = int
+
+val zero : t
+
+(** Constructors. *)
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+val of_float_s : float -> t
+
+(** Conversions. *)
+
+val to_ns : t -> int
+val to_float_us : t -> float
+val to_float_ms : t -> float
+val to_float_s : t -> float
+
+(** Arithmetic and comparison. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** [scale t f] multiplies a duration by a float factor (jitter). *)
+val scale : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

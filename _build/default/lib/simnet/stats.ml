@@ -1,0 +1,113 @@
+(** Measurement accumulators for the evaluation harness. *)
+
+(** Streaming summary statistics (Welford's algorithm). *)
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+
+  let variance t =
+    if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = if t.count = 0 then 0.0 else t.min
+  let max t = if t.count = 0 then 0.0 else t.max
+
+  let pp ppf t =
+    Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count (mean t)
+      (stddev t) (min t) (max t)
+end
+
+(** Sample series with exact percentiles (sorted on demand). *)
+module Series = struct
+  type t = {
+    mutable data : float array;
+    mutable size : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 64 0.0; size = 0; sorted = false }
+
+  let add t x =
+    if t.size >= Array.length t.data then begin
+      let bigger = Array.make (2 * Array.length t.data) 0.0 in
+      Array.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- false
+
+  let count t = t.size
+
+  let mean t =
+    if t.size = 0 then 0.0
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        sum := !sum +. t.data.(i)
+      done;
+      !sum /. float_of_int t.size
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let slice = Array.sub t.data 0 t.size in
+      Array.sort Float.compare slice;
+      Array.blit slice 0 t.data 0 t.size;
+      t.sorted <- true
+    end
+
+  (** [percentile t p] for [p] in [0, 100]; nearest-rank method. *)
+  let percentile t p =
+    if t.size = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      let rank =
+        int_of_float (Float.round (p /. 100.0 *. float_of_int (t.size - 1)))
+      in
+      let rank = Stdlib.max 0 (Stdlib.min (t.size - 1) rank) in
+      t.data.(rank)
+    end
+
+  let median t = percentile t 50.0
+  let p99 t = percentile t 99.0
+  let min t = percentile t 0.0
+  let max t = percentile t 100.0
+  let clear t = t.size <- 0
+end
+
+(** Event counter with a helper for converting to a rate over a simulated
+    measurement window. *)
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let get t = t.n
+  let clear t = t.n <- 0
+
+  (** [rate t ~window] is events per second of simulated time. *)
+  let rate t ~window =
+    let seconds = Sim_time.to_float_s window in
+    if seconds <= 0.0 then 0.0 else float_of_int t.n /. seconds
+end

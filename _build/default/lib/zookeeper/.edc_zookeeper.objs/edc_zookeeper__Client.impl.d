@@ -1,0 +1,1 @@
+lib/zookeeper/client.ml: Edc_simnet Hashtbl List Net Proc Protocol Server Sim Sim_time Zerror

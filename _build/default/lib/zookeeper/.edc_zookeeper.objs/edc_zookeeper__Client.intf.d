@@ -1,0 +1,1 @@
+lib/zookeeper/client.mli: Edc_simnet Net Proc Protocol Server Sim Sim_time Zerror Znode

@@ -1,0 +1,1 @@
+lib/zookeeper/cluster.ml: Array Client Edc_simnet Fun List Net Server Sim Sim_time

@@ -1,0 +1,1 @@
+lib/zookeeper/cluster.mli: Client Edc_replication Edc_simnet Net Server Sim Sim_time

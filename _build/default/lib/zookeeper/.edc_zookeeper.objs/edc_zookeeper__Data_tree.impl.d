@@ -1,0 +1,1 @@
+lib/zookeeper/data_tree.ml: Hashtbl List Logs Option Printf Zerror Znode Zpath

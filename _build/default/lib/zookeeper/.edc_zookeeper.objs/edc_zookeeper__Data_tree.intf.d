@@ -1,0 +1,1 @@
+lib/zookeeper/data_tree.mli: Zerror Znode

@@ -1,0 +1,1 @@
+lib/zookeeper/protocol.ml: Fmt List String Zerror Znode

@@ -1,0 +1,1 @@
+lib/zookeeper/protocol.mli: Format Zerror Znode

@@ -1,0 +1,1 @@
+lib/zookeeper/server.ml: Cpu Data_tree Edc_replication Edc_simnet Hashtbl List Marshal Net Option Protocol Sim Sim_time Spec_view Txn Watch_manager Zab Zerror Zpath

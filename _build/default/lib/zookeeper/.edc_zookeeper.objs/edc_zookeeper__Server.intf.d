@@ -1,0 +1,1 @@
+lib/zookeeper/server.mli: Data_tree Edc_replication Edc_simnet Net Protocol Sim Sim_time Spec_view Txn Zab Zerror

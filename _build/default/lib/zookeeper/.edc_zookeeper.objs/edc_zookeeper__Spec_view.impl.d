@@ -1,0 +1,1 @@
+lib/zookeeper/spec_view.ml: Data_tree Hashtbl List String Txn Zerror Znode Zpath

@@ -1,0 +1,1 @@
+lib/zookeeper/spec_view.mli: Data_tree Txn Zerror Znode

@@ -1,0 +1,1 @@
+lib/zookeeper/txn.ml: Fmt List Protocol String

@@ -1,0 +1,1 @@
+lib/zookeeper/txn.mli: Format Protocol

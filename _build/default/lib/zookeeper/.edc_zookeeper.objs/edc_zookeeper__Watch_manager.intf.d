@@ -1,0 +1,1 @@
+lib/zookeeper/watch_manager.mli:

@@ -1,0 +1,1 @@
+lib/zookeeper/znode.ml: Fmt Set String

@@ -1,0 +1,1 @@
+lib/zookeeper/znode.mli: Format Set

@@ -1,0 +1,1 @@
+lib/zookeeper/zpath.ml: List Printf String

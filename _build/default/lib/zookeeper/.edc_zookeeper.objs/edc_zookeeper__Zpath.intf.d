@@ -1,0 +1,1 @@
+lib/zookeeper/zpath.mli:

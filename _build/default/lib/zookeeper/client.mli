@@ -1,0 +1,70 @@
+(** ZooKeeper client library.
+
+    One client object = one network endpoint = one session.  Calls block
+    the calling fiber (direct style over {!Edc_simnet.Proc}), mirroring the
+    synchronous client API the paper's recipes are written against. *)
+
+open Edc_simnet
+module P = Protocol
+
+type config = { request_timeout : Sim_time.t; ping_interval : Sim_time.t }
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  sim:Sim.t ->
+  net:Server.wire Net.t ->
+  addr:int ->
+  replica:int ->
+  unit ->
+  t
+
+val session : t -> int
+val addr : t -> int
+val requests_sent : t -> int
+val is_connected : t -> bool
+
+(** [connect t] establishes the session; retries until the cluster
+    answers. *)
+val connect : t -> unit
+
+(** [reconnect t ~replica] re-attaches the existing session to another
+    replica (client failover). *)
+val reconnect : t -> replica:int -> bool
+
+(** [request t op] — one raw operation; blocking calls ([Block]) wait
+    indefinitely, everything else times out with [Error Timeout]. *)
+val request : t -> P.op -> P.result
+
+(** [watch_waiter t path] registers interest in the next event on [path];
+    call it *before* the read that arms the server-side watch. *)
+val watch_waiter : t -> string -> (string * P.watch_kind) Proc.promise
+
+(** Convenience wrappers (Table 2, ZooKeeper column). *)
+
+val create_node :
+  t -> ?ephemeral:bool -> ?sequential:bool -> string -> string ->
+  (string, Zerror.t) result
+
+val delete : t -> ?version:int -> string -> (unit, Zerror.t) result
+val set_data : t -> ?expected_version:int -> string -> string -> (int, Zerror.t) result
+val get_data : t -> ?watch:bool -> string -> (string * Znode.stat, Zerror.t) result
+val get_children : t -> ?watch:bool -> string -> (string list, Zerror.t) result
+val exists : t -> ?watch:bool -> string -> (Znode.stat option, Zerror.t) result
+
+(** [block t path] — Table 2's [block(o)] for plain ZooKeeper: exists-watch
+    plus wait for the creation event (client-side, multiple steps). *)
+val block : t -> string -> (unit, Zerror.t) result
+
+(** [server_block t path] — EZK's single-RPC blocking read (needs a
+    matching operation extension); returns the created object's data. *)
+val server_block : t -> string -> (string, Zerror.t) result
+
+(** [monitor t path] — Table 2's [monitor(x, o)]: an ephemeral node tied to
+    this session's liveness. *)
+val monitor : t -> string -> (string, Zerror.t) result
+
+val close : t -> unit

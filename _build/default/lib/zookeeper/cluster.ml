@@ -1,0 +1,82 @@
+(** Deployment assembly: a simulated ZooKeeper ensemble plus clients.
+
+    As in the paper's evaluation: [2f + 1] server replicas (three for
+    [f = 1]), each client connected to one replica, with connections spread
+    round-robin to balance load. *)
+
+open Edc_simnet
+
+type t = {
+  sim : Sim.t;
+  net : Server.wire Net.t;
+  servers : Server.t array;
+  mutable next_client_addr : int;
+  mutable next_replica : int;
+}
+
+let client_addr_base = 1000
+
+let create ?(n_replicas = 3) ?net_config ?server_config ?zab_config sim =
+  let net = Net.create ?config:net_config sim in
+  let replica_ids = List.init n_replicas Fun.id in
+  let servers =
+    Array.init n_replicas (fun id ->
+        Server.create ?config:server_config ?zab_config ~sim ~net ~id
+          ~replica_ids ~initial_leader:0 ())
+  in
+  Array.iter Server.start servers;
+  {
+    sim;
+    net;
+    servers;
+    next_client_addr = client_addr_base;
+    next_replica = 0;
+  }
+
+let sim t = t.sim
+let net t = t.net
+let servers t = t.servers
+let n_replicas t = Array.length t.servers
+
+let leader t =
+  let rec find i =
+    if i >= Array.length t.servers then None
+    else if Server.is_leader t.servers.(i) then Some t.servers.(i)
+    else find (i + 1)
+  in
+  find 0
+
+(** [client t ()] allocates a client endpoint attached round-robin to a
+    replica.  The session is established by calling {!Client.connect} from
+    a fiber. *)
+let client ?config ?replica t () =
+  let addr = t.next_client_addr in
+  t.next_client_addr <- t.next_client_addr + 1;
+  let replica =
+    match replica with
+    | Some r -> r
+    | None ->
+        let r = t.next_replica in
+        t.next_replica <- (t.next_replica + 1) mod Array.length t.servers;
+        r
+  in
+  Client.create ?config ~sim:t.sim ~net:t.net ~addr ~replica ()
+
+(** [connected_client t ()] spawns nothing: call from within a fiber; it
+    allocates and connects in one step. *)
+let connected_client ?config ?replica t () =
+  let c = client ?config ?replica t () in
+  Client.connect c;
+  c
+
+(** [crash_server t i] fails replica [i] (process + network). *)
+let crash_server t i =
+  Server.crash t.servers.(i);
+  Net.set_node_down t.net i
+
+let restart_server t i =
+  Net.set_node_up t.net i;
+  Server.restart t.servers.(i)
+
+(** [run_until_quiet t ~timeout] drains the simulation up to a horizon. *)
+let run_for t d = Sim.run ~until:(Sim_time.add (Sim.now t.sim) d) t.sim

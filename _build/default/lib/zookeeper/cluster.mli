@@ -1,0 +1,37 @@
+(** Deployment assembly: a simulated ZooKeeper ensemble plus clients —
+    [2f + 1] replicas (three for the paper's [f = 1]), clients spread
+    round-robin across replicas as in §6. *)
+
+open Edc_simnet
+
+type t
+
+val create :
+  ?n_replicas:int ->
+  ?net_config:Net.config ->
+  ?server_config:Server.config ->
+  ?zab_config:Edc_replication.Zab.config ->
+  Sim.t ->
+  t
+
+val sim : t -> Sim.t
+val net : t -> Server.wire Net.t
+val servers : t -> Server.t array
+val n_replicas : t -> int
+val leader : t -> Server.t option
+
+(** [client t ()] allocates a client endpoint (round-robin replica unless
+    [replica] pins one); connect it with {!Client.connect} from a fiber. *)
+val client : ?config:Client.config -> ?replica:int -> t -> unit -> Client.t
+
+(** Allocate and connect in one step (call from a fiber). *)
+val connected_client :
+  ?config:Client.config -> ?replica:int -> t -> unit -> Client.t
+
+(** Failure injection (process + network). *)
+
+val crash_server : t -> int -> unit
+val restart_server : t -> int -> unit
+
+(** Advance the simulation by a duration. *)
+val run_for : t -> Sim_time.t -> unit

@@ -1,0 +1,179 @@
+(** The replicated hierarchical data store (committed state).
+
+    This is the state machine that transactions (produced by the leader's
+    preprocessor) are applied to, in commit order, on every replica.  All
+    apply functions are unconditional: validation happened at the leader.
+    If an apply precondition is nevertheless violated (which would indicate
+    a replication bug), the operation is skipped and reported as an anomaly
+    rather than corrupting the tree. *)
+
+module String_set = Znode.String_set
+
+type t = {
+  nodes : (string, Znode.t) Hashtbl.t;
+  ephemerals : (int, String_set.t ref) Hashtbl.t;  (** session -> paths *)
+  mutable next_czxid : int;
+  mutable anomalies : int;
+}
+
+let create () =
+  let nodes = Hashtbl.create 256 in
+  Hashtbl.replace nodes Zpath.root
+    (Znode.create ~data:"" ~czxid:0 ~ephemeral_owner:None);
+  { nodes; ephemerals = Hashtbl.create 16; next_czxid = 1; anomalies = 0 }
+
+let find_opt t path = Hashtbl.find_opt t.nodes path
+let mem t path = Hashtbl.mem t.nodes path
+let node_count t = Hashtbl.length t.nodes
+let anomalies t = t.anomalies
+let next_czxid t = t.next_czxid
+
+let anomaly t what =
+  t.anomalies <- t.anomalies + 1;
+  Logs.warn (fun m -> m "data_tree anomaly: %s" what)
+
+(* ------------------------------------------------------------------ *)
+(* Queries (served from committed state)                               *)
+(* ------------------------------------------------------------------ *)
+
+let get_data t path =
+  match find_opt t path with
+  | None -> Error Zerror.No_node
+  | Some n -> Ok (n.Znode.data, Znode.stat n)
+
+let exists t path = Option.map Znode.stat (find_opt t path)
+
+(** Children names, sorted (ZooKeeper returns them unordered; sorting keeps
+    replies deterministic). *)
+let get_children t path =
+  match find_opt t path with
+  | None -> Error Zerror.No_node
+  | Some n -> Ok (String_set.elements n.Znode.children)
+
+(** Children with data and stat, sorted by name: the expensive multi-RPC
+    [subObjects] pattern collapsed to one server-side scan (extensions use
+    this via the state proxy). *)
+let children_with_data t path =
+  match find_opt t path with
+  | None -> Error Zerror.No_node
+  | Some n ->
+      Ok
+        (String_set.elements n.Znode.children
+        |> List.filter_map (fun name ->
+               let child = Zpath.child path name in
+               match find_opt t child with
+               | None -> None
+               | Some cn -> Some (child, cn.Znode.data, Znode.stat cn)))
+
+let ephemeral_paths t session =
+  match Hashtbl.find_opt t.ephemerals session with
+  | None -> []
+  | Some set -> String_set.elements !set
+
+(* ------------------------------------------------------------------ *)
+(* Transaction application                                             *)
+(* ------------------------------------------------------------------ *)
+
+let register_ephemeral t session path =
+  let set =
+    match Hashtbl.find_opt t.ephemerals session with
+    | Some s -> s
+    | None ->
+        let s = ref String_set.empty in
+        Hashtbl.replace t.ephemerals session s;
+        s
+  in
+  set := String_set.add path !set
+
+let unregister_ephemeral t session path =
+  match Hashtbl.find_opt t.ephemerals session with
+  | None -> ()
+  | Some s -> s := String_set.remove path !s
+
+(** [apply_create t ~path ~data ~ephemeral_owner] adds a node whose parent
+    must exist.  Assigns the next creation id. *)
+let apply_create t ~path ~data ~ephemeral_owner =
+  match Zpath.parent path with
+  | None -> anomaly t "create of root"
+  | Some parent_path -> (
+      if Hashtbl.mem t.nodes path then
+        anomaly t (Printf.sprintf "create of existing %s" path)
+      else
+        match find_opt t parent_path with
+        | None -> anomaly t (Printf.sprintf "create under missing %s" parent_path)
+        | Some parent ->
+            let czxid = t.next_czxid in
+            t.next_czxid <- t.next_czxid + 1;
+            Hashtbl.replace t.nodes path
+              (Znode.create ~data ~czxid ~ephemeral_owner);
+            parent.Znode.children <-
+              String_set.add (Zpath.basename path) parent.Znode.children;
+            parent.Znode.cversion <- parent.Znode.cversion + 1;
+            (match ephemeral_owner with
+            | Some session -> register_ephemeral t session path
+            | None -> ()))
+
+let apply_delete t ~path =
+  match find_opt t path with
+  | None -> anomaly t (Printf.sprintf "delete of missing %s" path)
+  | Some n ->
+      if not (String_set.is_empty n.Znode.children) then
+        anomaly t (Printf.sprintf "delete of non-empty %s" path)
+      else begin
+        Hashtbl.remove t.nodes path;
+        (match n.Znode.ephemeral_owner with
+        | Some session -> unregister_ephemeral t session path
+        | None -> ());
+        match Zpath.parent path with
+        | None -> ()
+        | Some parent_path -> (
+            match find_opt t parent_path with
+            | None -> ()
+            | Some parent ->
+                parent.Znode.children <-
+                  String_set.remove (Zpath.basename path) parent.Znode.children;
+                parent.Znode.cversion <- parent.Znode.cversion + 1)
+      end
+
+(** [apply_set t ~path ~data ~version] overwrites data; [version] is the
+    new version computed by the leader. *)
+let apply_set t ~path ~data ~version =
+  match find_opt t path with
+  | None -> anomaly t (Printf.sprintf "set of missing %s" path)
+  | Some n ->
+      n.Znode.data <- data;
+      n.Znode.version <- version
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot images (state transfer, §3.8)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** A serializable image of the whole tree.  The image shares the live
+    [Znode.t] records, so it must be serialized (e.g. [Marshal]ed into a
+    snapshot blob) before the tree mutates again. *)
+type image = { img_nodes : (string * Znode.t) list; img_next_czxid : int }
+
+let export t =
+  {
+    img_nodes = Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.nodes [];
+    img_next_czxid = t.next_czxid;
+  }
+
+(** [import t image] replaces the tree's contents (ephemeral index
+    rebuilt from the nodes). *)
+let import t image =
+  Hashtbl.reset t.nodes;
+  Hashtbl.reset t.ephemerals;
+  List.iter (fun (p, n) -> Hashtbl.replace t.nodes p n) image.img_nodes;
+  List.iter
+    (fun (p, (n : Znode.t)) ->
+      match n.Znode.ephemeral_owner with
+      | Some session -> register_ephemeral t session p
+      | None -> ())
+    image.img_nodes;
+  t.next_czxid <- image.img_next_czxid
+
+(** [cversion t path] is the parent-child version used to mint sequential
+    names at the leader ([0] for missing nodes). *)
+let cversion t path =
+  match find_opt t path with None -> 0 | Some n -> n.Znode.cversion

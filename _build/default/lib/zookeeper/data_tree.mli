@@ -1,0 +1,53 @@
+(** The replicated hierarchical data store (committed state).
+
+    The state machine that transactions are applied to, in commit order,
+    on every replica.  Apply functions are unconditional (validation
+    happened at the leader's {!Spec_view}); violated preconditions are
+    counted as anomalies and skipped rather than corrupting the tree. *)
+
+type t
+
+val create : unit -> t
+
+val find_opt : t -> string -> Znode.t option
+val mem : t -> string -> bool
+val node_count : t -> int
+val anomalies : t -> int
+
+(** Next creation id (deterministic across replicas). *)
+val next_czxid : t -> int
+
+(** Queries (served from committed state). *)
+
+val get_data : t -> string -> (string * Znode.stat, Zerror.t) result
+val exists : t -> string -> Znode.stat option
+
+(** Children names, sorted. *)
+val get_children : t -> string -> (string list, Zerror.t) result
+
+(** Children with data and stat — the [subObjects] scan extensions get in
+    one step through the state proxy. *)
+val children_with_data :
+  t -> string -> ((string * string * Znode.stat) list, Zerror.t) result
+
+(** Ephemeral paths owned by a session, sorted. *)
+val ephemeral_paths : t -> int -> string list
+
+(** Child version of a node ([0] if missing): mints sequential names. *)
+val cversion : t -> string -> int
+
+(** Transaction application. *)
+
+val apply_create :
+  t -> path:string -> data:string -> ephemeral_owner:int option -> unit
+
+val apply_delete : t -> path:string -> unit
+val apply_set : t -> path:string -> data:string -> version:int -> unit
+
+(** Snapshot images (state transfer, §3.8).  [export]'s image shares live
+    node records: serialize it before the tree mutates again. *)
+
+type image = { img_nodes : (string * Znode.t) list; img_next_czxid : int }
+
+val export : t -> image
+val import : t -> image -> unit

@@ -1,0 +1,667 @@
+(** ZooKeeper server replica.
+
+    Mirrors the architecture in the paper's Figure 3: a chain of request
+    processors — preprocessor (validation, txn minting, and the EZK
+    extension-manager hook), proposer (the Zab substrate), and final
+    processor (apply to the tree, fire watches, route the reply from the
+    replica the client is connected to).  Reads are served locally from
+    committed state (ZooKeeper's read fast path, which §6.2 of the paper
+    shows is unaffected by extensions); updates are forwarded to the
+    leader.
+
+    Extensibility is provided through {!hooks}: EZK installs an intercept
+    at the preprocessor stage, a replica-local predicate that redirects
+    extension-matched reads to the leader, a post-apply callback for
+    extension-manager bookkeeping and event extensions, and a watch
+    suppression predicate.  A plain ZooKeeper deployment leaves the hooks
+    at their defaults and pays nothing for them. *)
+
+open Edc_simnet
+open Edc_replication
+module P = Protocol
+
+(* ------------------------------------------------------------------ *)
+(* Wire format shared by the whole deployment                          *)
+(* ------------------------------------------------------------------ *)
+
+type wire =
+  | Client_msg of P.client_to_server
+  | Server_msg of P.server_to_client
+  | Zab_msg of Txn.t Zab.msg
+  | Forward of { origin : int; session : int; xid : int; op : P.op }
+  | Forward_connect of { origin : int; client_addr : int }
+  | Forward_reconnect of { origin : int; session : int }
+  | Forward_close of { session : int }
+  | Touch of { session : int }
+
+let wire_size = function
+  | Client_msg m -> P.client_msg_size m
+  | Server_msg m -> P.server_msg_size m
+  | Zab_msg m -> Zab.msg_size ~payload_size:Txn.size m
+  | Forward { op; _ } -> 24 + P.op_size op
+  | Forward_connect _ -> 24
+  | Forward_reconnect _ -> 24
+  | Forward_close _ -> 16
+  | Touch _ -> 16
+
+(* ------------------------------------------------------------------ *)
+(* Hooks (extension points used by EZK)                                *)
+(* ------------------------------------------------------------------ *)
+
+type hook_action =
+  | Pass  (** process the request normally *)
+  | Handled of Txn.op list * P.result
+      (** replace normal processing: multi-transaction + piggybacked
+          result (the paper's operation extensions) *)
+  | Handled_deferred of Txn.op list
+      (** like [Handled], but no immediate reply: the multi-transaction
+          contains a [Tblock] and the client is answered when the awaited
+          object appears *)
+  | Reject of Zerror.t
+
+type session_info = { client_addr : int; mutable owner_replica : int }
+
+type config = {
+  session_timeout : Sim_time.t;
+  expiry_check_interval : Sim_time.t;
+  snapshot_interval : int;
+      (** take a snapshot and compact the replicated log every N applied
+          transactions; [0] disables (ZooKeeper's snapCount) *)
+  preprocess_cost : Sim_time.t;  (** CPU cost of validating one update *)
+  read_cost : Sim_time.t;  (** CPU cost of serving one local read *)
+}
+
+let default_config =
+  {
+    session_timeout = Sim_time.sec 10;
+    expiry_check_interval = Sim_time.ms 500;
+    snapshot_interval = 1000;
+    (* calibrated so a saturated leader sustains ~28k updates/s, matching
+       the throughput envelope of the paper's 4-core testbed (§6, §7.1) *)
+    preprocess_cost = Sim_time.us 35;
+    read_cost = Sim_time.us 10;
+  }
+
+type t = {
+  sim : Sim.t;
+  net : wire Net.t;
+  id : int;
+  replica_ids : int list;
+  config : config;
+  tree : Data_tree.t;
+  mutable zab : Txn.t Zab.t option;  (** set right after creation *)
+  watch : Watch_manager.t;
+  sessions : (int, session_info) Hashtbl.t;  (** replicated via txns *)
+  blocked : (string, (int * int * int) list ref) Hashtbl.t;
+      (** path -> (session, origin, xid): replicated blocked-call table *)
+  spec : Spec_view.t;
+  (* leader-volatile state *)
+  mutable leader_ready : bool;
+  mutable ready_barrier : int;
+  mutable deferred : (int * int * int * P.op) list;  (** queued while not ready *)
+  last_touch : (int, Sim_time.t) Hashtbl.t;
+  mutable session_counter : int;
+  mutable outstanding : int;  (** proposed but not yet applied txns *)
+  mutable generation : int;
+  cpu : Cpu.t;
+  (* hooks *)
+  mutable hook_intercept : t -> origin:int -> session:int -> xid:int -> P.op -> hook_action;
+  mutable hook_read_needs_leader : t -> session:int -> P.op -> bool;
+  mutable hook_on_applied : t -> Txn.t -> unit;
+  mutable hook_suppress_watch : t -> session:int -> path:string -> P.watch_kind -> bool;
+  mutable hook_on_snapshot_installed : t -> unit;
+  (* statistics *)
+  mutable reads_served : int;
+  mutable txns_applied : int;
+  mutable proposals : int;
+}
+
+let tree t = t.tree
+let zab t = match t.zab with Some z -> z | None -> invalid_arg "server not wired"
+let is_leader t = Zab.is_leader (zab t)
+let id t = t.id
+let sim t = t.sim
+let spec t = t.spec
+let reads_served t = t.reads_served
+let txns_applied t = t.txns_applied
+let proposals t = t.proposals
+let session_exists t session = Hashtbl.mem t.sessions session
+
+let session_owned_here t session =
+  match Hashtbl.find_opt t.sessions session with
+  | Some info -> info.owner_replica = t.id
+  | None -> false
+
+let client_addr_of t session =
+  Option.map (fun i -> i.client_addr) (Hashtbl.find_opt t.sessions session)
+
+let send_to_client t session msg =
+  match client_addr_of t session with
+  | Some addr -> Net.send t.net ~src:t.id ~dst:addr ~size:(wire_size (Server_msg msg)) (Server_msg msg)
+  | None -> ()
+
+let send_wire t ~dst msg = Net.send t.net ~src:t.id ~dst ~size:(wire_size msg) msg
+
+(* ------------------------------------------------------------------ *)
+(* Final processor: apply committed transactions                       *)
+(* ------------------------------------------------------------------ *)
+
+let fire_watches t path kind =
+  let sessions = Watch_manager.fire t.watch Watch_manager.Data path in
+  List.iter
+    (fun session ->
+      if
+        session_owned_here t session
+        && not (t.hook_suppress_watch t ~session ~path kind)
+      then send_to_client t session (P.Watch_event { path; kind }))
+    sessions
+
+let fire_child_watches t path =
+  let sessions = Watch_manager.fire t.watch Watch_manager.Children path in
+  List.iter
+    (fun session ->
+      if
+        session_owned_here t session
+        && not (t.hook_suppress_watch t ~session ~path P.Children_changed)
+      then send_to_client t session (P.Watch_event { path; kind = P.Children_changed }))
+    sessions
+
+let unblock_waiters t path =
+  match Hashtbl.find_opt t.blocked path with
+  | None -> ()
+  | Some waiters ->
+      Hashtbl.remove t.blocked path;
+      let data =
+        match Data_tree.get_data t.tree path with Ok (d, _) -> d | Error _ -> ""
+      in
+      List.iter
+        (fun (session, origin, xid) ->
+          if origin = t.id && session_owned_here t session then
+            send_to_client t session
+              (P.Reply { xid; result = P.Unblocked data }))
+        (List.rev !waiters)
+
+let drop_blocked_session t session =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun path waiters ->
+      waiters := List.filter (fun (s, _, _) -> s <> session) !waiters;
+      if !waiters = [] then doomed := path :: !doomed)
+    t.blocked;
+  List.iter (Hashtbl.remove t.blocked) !doomed
+
+let apply_op t op =
+  match op with
+  | Txn.Tcreate { path; data; ephemeral_owner } ->
+      Data_tree.apply_create t.tree ~path ~data ~ephemeral_owner;
+      fire_watches t path P.Node_created;
+      (match Zpath.parent path with
+      | Some parent -> fire_child_watches t parent
+      | None -> ());
+      unblock_waiters t path
+  | Txn.Tdelete { path } ->
+      Data_tree.apply_delete t.tree ~path;
+      fire_watches t path P.Node_deleted;
+      (match Zpath.parent path with
+      | Some parent -> fire_child_watches t parent
+      | None -> ())
+  | Txn.Tset { path; data; version } ->
+      Data_tree.apply_set t.tree ~path ~data ~version;
+      fire_watches t path P.Node_changed
+  | Txn.Tsession_open { session; client_addr; owner_replica } ->
+      Hashtbl.replace t.sessions session { client_addr; owner_replica };
+      if is_leader t then Hashtbl.replace t.last_touch session (Sim.now t.sim);
+      if owner_replica = t.id then
+        send_to_client t session (P.Connect_ok { session })
+  | Txn.Tsession_move { session; owner_replica } -> (
+      match Hashtbl.find_opt t.sessions session with
+      | Some info ->
+          info.owner_replica <- owner_replica;
+          if owner_replica = t.id then
+            send_to_client t session (P.Connect_ok { session })
+      | None -> ())
+  | Txn.Tsession_close { session } ->
+      Hashtbl.remove t.sessions session;
+      Hashtbl.remove t.last_touch session;
+      Watch_manager.drop_session t.watch session;
+      drop_blocked_session t session
+  | Txn.Tblock { session; origin; xid; path } -> (
+      (* If the node exists by now it can only be because the same txn
+         created it earlier in the multi-txn; unblock immediately. *)
+      match Data_tree.get_data t.tree path with
+      | Ok (data, _) ->
+          if origin = t.id && session_owned_here t session then
+            send_to_client t session (P.Reply { xid; result = P.Unblocked data })
+      | Error _ ->
+          let waiters =
+            match Hashtbl.find_opt t.blocked path with
+            | Some w -> w
+            | None ->
+                let w = ref [] in
+                Hashtbl.replace t.blocked path w;
+                w
+          in
+          waiters := (session, origin, xid) :: !waiters)
+  | Txn.Tnotify { session; path; kind } ->
+      if session_owned_here t session then
+        send_to_client t session (P.Watch_event { path; kind })
+  | Txn.Terror -> ()
+
+(* --- snapshots (§3.8 state transfer) --- *)
+
+type snapshot = {
+  snap_tree : Data_tree.image;
+  snap_sessions : (int * session_info) list;
+  snap_blocked : (string * (int * int * int) list) list;
+}
+
+(** Serialize the replica's whole replicated state (tree, sessions, parked
+    blocking calls).  Must correspond exactly to the delivered prefix —
+    guaranteed because the simulator applies transactions synchronously. *)
+let take_snapshot t =
+  let snap =
+    {
+      snap_tree = Data_tree.export t.tree;
+      snap_sessions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sessions [];
+      snap_blocked = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.blocked [];
+    }
+  in
+  Marshal.to_string snap []
+
+let install_snapshot t blob =
+  let snap : snapshot = Marshal.from_string blob 0 in
+  Data_tree.import t.tree snap.snap_tree;
+  Hashtbl.reset t.sessions;
+  List.iter (fun (k, v) -> Hashtbl.replace t.sessions k v) snap.snap_sessions;
+  Hashtbl.reset t.blocked;
+  List.iter (fun (k, v) -> Hashtbl.replace t.blocked k (ref v)) snap.snap_blocked;
+  t.hook_on_snapshot_installed t
+
+let maybe_compact t =
+  if
+    t.config.snapshot_interval > 0
+    && t.txns_applied mod t.config.snapshot_interval = 0
+  then Zab.compact (zab t) ~take:(fun () -> take_snapshot t)
+
+let final_process t (txn : Txn.t) =
+  List.iter (apply_op t) txn.ops;
+  t.txns_applied <- t.txns_applied + 1;
+  maybe_compact t;
+  if is_leader t then begin
+    List.iter (Spec_view.on_applied_op t.spec) txn.ops;
+    if t.outstanding > 0 then t.outstanding <- t.outstanding - 1;
+    (* Quiescent leader: speculation equals committed state, so the pending
+       table can be dropped (bounds its growth). *)
+    if t.outstanding = 0 then Spec_view.reset t.spec
+  end;
+  (* Reply from the replica the client is connected to, with the
+     piggybacked result (paper §5.1.2). *)
+  (match txn.origin with
+  | Some origin when origin = t.id && txn.session <> 0 ->
+      send_to_client t txn.session (P.Reply { xid = txn.xid; result = txn.result })
+  | _ -> ());
+  t.hook_on_applied t txn
+
+(* ------------------------------------------------------------------ *)
+(* Proposer stage                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reply_direct t ~session ~xid result =
+  (* Used for errors detected before ordering and for leader-served reads:
+     the reply goes straight to the client. *)
+  match client_addr_of t session with
+  | Some addr ->
+      let msg = Server_msg (P.Reply { xid; result }) in
+      Net.send t.net ~src:t.id ~dst:addr ~size:(wire_size msg) msg
+  | None -> ()
+
+let propose t (txn : Txn.t) =
+  t.proposals <- t.proposals + 1;
+  t.outstanding <- t.outstanding + 1;
+  match Zab.propose (zab t) txn with
+  | Some _ -> ()
+  | None ->
+      t.outstanding <- t.outstanding - 1;
+      if txn.session <> 0 then
+        reply_direct t ~session:txn.session ~xid:txn.xid
+          (P.Error Zerror.Not_leader)
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessor stage (leader only)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let preprocess_normal t ~origin ~session ~xid op =
+  match op with
+  | P.Create { path; data; ephemeral; sequential } -> (
+      let ephemeral_owner = if ephemeral then Some session else None in
+      match Spec_view.create_node t.spec ~path ~data ~ephemeral_owner ~sequential with
+      | Ok (actual, top) ->
+          propose t
+            { origin = Some origin; session; xid; ops = [ top ]; result = P.Created actual; quiet = false }
+      | Error e ->
+          propose t
+            { origin = Some origin; session; xid; ops = [ Txn.Terror ]; result = P.Error e; quiet = false })
+  | P.Delete { path; version } -> (
+      match Spec_view.delete_node t.spec ~path ~version with
+      | Ok top ->
+          propose t
+            { origin = Some origin; session; xid; ops = [ top ]; result = P.Deleted; quiet = false }
+      | Error e ->
+          propose t
+            { origin = Some origin; session; xid; ops = [ Txn.Terror ]; result = P.Error e; quiet = false })
+  | P.Set_data { path; data; expected_version } -> (
+      match Spec_view.set_node t.spec ~path ~data ~expected_version with
+      | Ok (top, version) ->
+          propose t
+            { origin = Some origin; session; xid; ops = [ top ]; result = P.Set { version }; quiet = false }
+      | Error e ->
+          propose t
+            { origin = Some origin; session; xid; ops = [ Txn.Terror ]; result = P.Error e; quiet = false })
+  | P.Get_data { path; _ } ->
+      (* An extension-matched read whose extension vanished: serve from
+         committed state here at the leader. *)
+      let result =
+        match Data_tree.get_data t.tree path with
+        | Ok (d, s) -> P.Data (d, s)
+        | Error e -> P.Error e
+      in
+      reply_direct t ~session ~xid result
+  | P.Get_children { path; _ } ->
+      let result =
+        match Data_tree.get_children t.tree path with
+        | Ok c -> P.Children c
+        | Error e -> P.Error e
+      in
+      reply_direct t ~session ~xid result
+  | P.Exists { path; _ } ->
+      reply_direct t ~session ~xid (P.Stat_of (Data_tree.exists t.tree path))
+  | P.Block _ ->
+      (* Blocking calls only exist through operation extensions. *)
+      reply_direct t ~session ~xid (P.Error Zerror.Unsupported)
+  | P.Sync -> reply_direct t ~session ~xid P.Synced
+
+let preprocess t ~origin ~session ~xid op =
+  if not (session_exists t session) then
+    reply_direct t ~session ~xid (P.Error Zerror.Session_expired)
+  else begin
+    Hashtbl.replace t.last_touch session (Sim.now t.sim);
+    match t.hook_intercept t ~origin ~session ~xid op with
+    | Handled (ops, result) ->
+        propose t { origin = Some origin; session; xid; ops; result; quiet = false }
+    | Handled_deferred ops ->
+        propose t { origin = None; session; xid; ops; result = P.Synced; quiet = false }
+    | Reject e -> reply_direct t ~session ~xid (P.Error e)
+    | Pass -> preprocess_normal t ~origin ~session ~xid op
+  end
+
+let enqueue_preprocess t ~origin ~session ~xid op =
+  if t.leader_ready then
+    (* The preprocessor is a serial stage: its CPU cost is what saturates
+       the leader under load. *)
+    Cpu.exec t.cpu ~cost:t.config.preprocess_cost (fun () ->
+        if is_leader t then preprocess t ~origin ~session ~xid op)
+  else t.deferred <- (origin, session, xid, op) :: t.deferred
+
+let drain_deferred t =
+  let ds = List.rev t.deferred in
+  t.deferred <- [];
+  List.iter (fun (origin, session, xid, op) -> enqueue_preprocess t ~origin ~session ~xid op) ds
+
+(** [propose_internal t ?quiet ops] — leader-side entry point for
+    service-internal multi-transactions (bootstrap objects, event-extension
+    follow-ups). *)
+let propose_internal t ?(quiet = false) ops =
+  if is_leader t then propose t (Txn.internal ~quiet ops)
+
+(* --- session lifecycle at the leader --- *)
+
+let preprocess_connect t ~origin ~client_addr =
+  t.session_counter <- t.session_counter + 1;
+  let session = (Zab.epoch (zab t) * 1_000_000) + t.session_counter in
+  propose t
+    {
+      origin = None;
+      session = 0;
+      xid = 0;
+      ops = [ Txn.Tsession_open { session; client_addr; owner_replica = origin } ];
+      result = P.Synced;
+      quiet = false;
+    }
+
+let preprocess_reconnect t ~origin ~session =
+  if session_exists t session then begin
+    Hashtbl.replace t.last_touch session (Sim.now t.sim);
+    propose t
+      (Txn.internal [ Txn.Tsession_move { session; owner_replica = origin } ])
+  end
+
+let preprocess_close t ~session =
+  if session_exists t session then begin
+    let deletes =
+      Spec_view.ephemerals_of_session t.spec session
+      |> List.filter_map (fun path ->
+             match Spec_view.delete_node t.spec ~path ~version:None with
+             | Ok top -> Some top
+             | Error _ -> None)
+    in
+    propose t (Txn.internal (deletes @ [ Txn.Tsession_close { session } ]))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Local read path                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_read t ~session ~xid op =
+  t.reads_served <- t.reads_served + 1;
+  let reply result = send_to_client t session (P.Reply { xid; result }) in
+  match op with
+  | P.Get_data { path; watch } ->
+      (match Data_tree.get_data t.tree path with
+      | Ok (d, s) ->
+          if watch then Watch_manager.add t.watch Watch_manager.Data path session;
+          reply (P.Data (d, s))
+      | Error e ->
+          (* A data watch on a missing node is an exists-style watch. *)
+          if watch then Watch_manager.add t.watch Watch_manager.Data path session;
+          reply (P.Error e))
+  | P.Get_children { path; watch } ->
+      (match Data_tree.get_children t.tree path with
+      | Ok c ->
+          if watch then Watch_manager.add t.watch Watch_manager.Children path session;
+          reply (P.Children c)
+      | Error e -> reply (P.Error e))
+  | P.Exists { path; watch } ->
+      if watch then Watch_manager.add t.watch Watch_manager.Data path session;
+      reply (P.Stat_of (Data_tree.exists t.tree path))
+  | P.Sync -> reply P.Synced
+  | P.Block _ | P.Create _ | P.Delete _ | P.Set_data _ ->
+      reply (P.Error Zerror.Unsupported)
+
+(* ------------------------------------------------------------------ *)
+(* Request routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let forward_to_leader t msg =
+  match Zab.leader_hint (zab t) with
+  | Some leader when leader = t.id -> (
+      (* We are the leader: loop the message back to ourselves. *)
+      match msg with
+      | Forward { origin; session; xid; op } ->
+          enqueue_preprocess t ~origin ~session ~xid op
+      | Forward_connect { origin; client_addr } ->
+          preprocess_connect t ~origin ~client_addr
+      | Forward_reconnect { origin; session } ->
+          preprocess_reconnect t ~origin ~session
+      | Forward_close { session } -> preprocess_close t ~session
+      | Touch { session } ->
+          if session_exists t session then
+            Hashtbl.replace t.last_touch session (Sim.now t.sim)
+      | Client_msg _ | Server_msg _ | Zab_msg _ -> ())
+  | Some leader -> send_wire t ~dst:leader msg
+  | None -> () (* no leader known; the client will time out and retry *)
+
+let is_read_op = function
+  | P.Get_data _ | P.Get_children _ | P.Exists _ | P.Sync -> true
+  | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ -> false
+
+let handle_request t ~src ~session ~xid op =
+  if not (session_exists t session) then
+    let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Session_expired }) in
+    Net.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
+  else if is_read_op op && not (t.hook_read_needs_leader t ~session op) then
+    Cpu.exec t.cpu ~cost:t.config.read_cost (fun () ->
+        serve_read t ~session ~xid op)
+  else forward_to_leader t (Forward { origin = t.id; session; xid; op })
+
+let handle_client_msg t ~src = function
+  | P.Connect -> forward_to_leader t (Forward_connect { origin = t.id; client_addr = src })
+  | P.Reconnect { session } ->
+      forward_to_leader t (Forward_reconnect { origin = t.id; session })
+  | P.Request { session; xid; op } -> handle_request t ~src ~session ~xid op
+  | P.Ping { session } ->
+      if session_exists t session then forward_to_leader t (Touch { session })
+      else
+        Net.send t.net ~src:t.id ~dst:src
+          ~size:(wire_size (Server_msg P.Expired))
+          (Server_msg P.Expired)
+  | P.Close_session { session } -> forward_to_leader t (Forward_close { session })
+
+let handle_wire t ~src msg =
+  match msg with
+  | Client_msg m -> handle_client_msg t ~src m
+  | Zab_msg m -> Zab.handle (zab t) ~src m
+  | Forward _ | Forward_connect _ | Forward_reconnect _ | Forward_close _
+  | Touch _ ->
+      if is_leader t then forward_to_leader t msg
+      else forward_to_leader t msg (* re-forward toward current leader *)
+  | Server_msg _ -> () (* not addressed to servers *)
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec expiry_tick t generation () =
+  if generation = t.generation then begin
+    if is_leader t && t.leader_ready then begin
+      let now = Sim.now t.sim in
+      let expired =
+        Hashtbl.fold
+          (fun session last acc ->
+            if
+              Sim_time.(t.config.session_timeout <= Sim_time.sub now last)
+              && session_exists t session
+            then session :: acc
+            else acc)
+          t.last_touch []
+        |> List.sort compare
+      in
+      List.iter (fun session -> preprocess_close t ~session) expired
+    end;
+    Sim.schedule t.sim ~after:t.config.expiry_check_interval (expiry_tick t generation)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let on_role_change t role =
+  match role with
+  | Zab.Leader ->
+      t.ready_barrier <- Zab.log_length (zab t);
+      Spec_view.reset t.spec;
+      t.outstanding <- 0;
+      t.leader_ready <- Zab.committed_length (zab t) >= t.ready_barrier;
+      if t.leader_ready then drain_deferred t;
+      (* Sessions: adopt last_touch for all known sessions so they do not
+         expire instantly under a fresh leader. *)
+      Hashtbl.iter
+        (fun session _ -> Hashtbl.replace t.last_touch session (Sim.now t.sim))
+        t.sessions
+  | Zab.Follower | Zab.Candidate ->
+      t.leader_ready <- false;
+      t.deferred <- []
+
+let check_ready t =
+  if
+    is_leader t && (not t.leader_ready)
+    && Zab.committed_length (zab t) >= t.ready_barrier
+  then begin
+    t.leader_ready <- true;
+    drain_deferred t
+  end
+
+let create ?(config = default_config) ?zab_config ~sim ~net ~id ~replica_ids
+    ~initial_leader () =
+  let t =
+    {
+      sim;
+      net;
+      id;
+      replica_ids;
+      config;
+      tree = Data_tree.create ();
+      zab = None;
+      watch = Watch_manager.create ();
+      sessions = Hashtbl.create 64;
+      blocked = Hashtbl.create 64;
+      spec = Spec_view.create (Data_tree.create ());
+      leader_ready = false;
+      ready_barrier = 0;
+      deferred = [];
+      last_touch = Hashtbl.create 64;
+      session_counter = 0;
+      outstanding = 0;
+      generation = 0;
+      cpu = Cpu.create sim;
+      hook_intercept = (fun _ ~origin:_ ~session:_ ~xid:_ _ -> Pass);
+      hook_read_needs_leader = (fun _ ~session:_ _ -> false);
+      hook_on_applied = (fun _ _ -> ());
+      hook_suppress_watch = (fun _ ~session:_ ~path:_ _ -> false);
+      hook_on_snapshot_installed = (fun _ -> ());
+      reads_served = 0;
+      txns_applied = 0;
+      proposals = 0;
+    }
+  in
+  (* The spec view must wrap the server's own tree. *)
+  let t = { t with spec = Spec_view.create t.tree } in
+  let send ~dst msg = send_wire t ~dst (Zab_msg msg) in
+  let z =
+    Zab.create ?config:zab_config ~sim ~id ~peers:replica_ids ~send
+      ~on_deliver:(fun _zxid txn ->
+        final_process t txn;
+        check_ready t)
+      ~initial_leader ()
+  in
+  t.zab <- Some z;
+  Zab.set_install_snapshot z (fun blob -> install_snapshot t blob);
+  Zab.set_on_role_change z (fun role -> on_role_change t role);
+  t.leader_ready <- Zab.is_leader z;
+  Net.register net id (fun ~src ~size:_ msg -> handle_wire t ~src msg);
+  t
+
+let start t =
+  t.generation <- t.generation + 1;
+  Zab.start (zab t);
+  Sim.schedule t.sim ~after:t.config.expiry_check_interval
+    (expiry_tick t t.generation)
+
+(** [crash t] takes the replica down (network detached by the caller). *)
+let crash t =
+  t.generation <- t.generation + 1;
+  Zab.crash (zab t);
+  t.leader_ready <- false;
+  t.deferred <- []
+
+let restart t =
+  t.generation <- t.generation + 1;
+  Zab.restart (zab t);
+  Sim.schedule t.sim ~after:t.config.expiry_check_interval
+    (expiry_tick t t.generation)
+
+(* Hook installation (used by EZK) *)
+let set_hook_intercept t f = t.hook_intercept <- f
+let set_hook_read_needs_leader t f = t.hook_read_needs_leader <- f
+let set_hook_on_applied t f = t.hook_on_applied <- f
+let set_hook_suppress_watch t f = t.hook_suppress_watch <- f
+let set_hook_on_snapshot_installed t f = t.hook_on_snapshot_installed <- f

@@ -1,0 +1,102 @@
+(** ZooKeeper server replica (the paper's Figure 3 chain): preprocessor
+    (validation, txn minting, the EZK intercept), proposer (Zab), final
+    processor (apply, watches, reply routing from the client's replica).
+    Reads are served locally from committed state; updates are forwarded
+    to the leader.  Extensibility enters only through {!section-hooks}. *)
+
+open Edc_simnet
+open Edc_replication
+module P = Protocol
+
+(** Wire format shared by the whole deployment. *)
+type wire =
+  | Client_msg of P.client_to_server
+  | Server_msg of P.server_to_client
+  | Zab_msg of Txn.t Zab.msg
+  | Forward of { origin : int; session : int; xid : int; op : P.op }
+  | Forward_connect of { origin : int; client_addr : int }
+  | Forward_reconnect of { origin : int; session : int }
+  | Forward_close of { session : int }
+  | Touch of { session : int }
+
+val wire_size : wire -> int
+
+(** {2:hooks Hooks (extension points used by EZK)} *)
+
+type hook_action =
+  | Pass  (** process the request normally *)
+  | Handled of Txn.op list * P.result
+      (** replace normal processing: one multi-transaction plus the
+          piggybacked result (operation extensions, §5.1.2) *)
+  | Handled_deferred of Txn.op list
+      (** like [Handled] but without an immediate reply: the transaction
+          contains a [Tblock] and the client is answered when the awaited
+          object appears *)
+  | Reject of Zerror.t
+
+type session_info = { client_addr : int; mutable owner_replica : int }
+
+type config = {
+  session_timeout : Sim_time.t;
+  expiry_check_interval : Sim_time.t;
+  snapshot_interval : int;
+      (** snapshot + compact the replicated log every N applied
+          transactions; [0] disables (ZooKeeper's snapCount) *)
+  preprocess_cost : Sim_time.t;  (** serial CPU per validated update *)
+  read_cost : Sim_time.t;  (** serial CPU per locally served read *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?zab_config:Zab.config ->
+  sim:Sim.t ->
+  net:wire Net.t ->
+  id:int ->
+  replica_ids:int list ->
+  initial_leader:int ->
+  unit ->
+  t
+
+val start : t -> unit
+
+(** Process crash (network detachment is the caller's job); the tree and
+    log persist, modeling durable storage. *)
+val crash : t -> unit
+
+val restart : t -> unit
+
+val tree : t -> Data_tree.t
+val zab : t -> Txn.t Zab.t
+val spec : t -> Spec_view.t
+val is_leader : t -> bool
+val id : t -> int
+val sim : t -> Sim.t
+val session_exists : t -> int -> bool
+
+(** Statistics. *)
+
+val reads_served : t -> int
+val txns_applied : t -> int
+val proposals : t -> int
+
+(** Leader-side entry point for service-internal multi-transactions
+    (bootstrap objects, event-extension follow-ups).  [quiet] transactions
+    do not trigger event extensions. *)
+val propose_internal : t -> ?quiet:bool -> Txn.op list -> unit
+
+(** Hook installation (used by EZK). *)
+
+val set_hook_intercept :
+  t -> (t -> origin:int -> session:int -> xid:int -> P.op -> hook_action) -> unit
+
+val set_hook_read_needs_leader : t -> (t -> session:int -> P.op -> bool) -> unit
+val set_hook_on_applied : t -> (t -> Txn.t -> unit) -> unit
+
+val set_hook_suppress_watch :
+  t -> (t -> session:int -> path:string -> P.watch_kind -> bool) -> unit
+
+val set_hook_on_snapshot_installed : t -> (t -> unit) -> unit

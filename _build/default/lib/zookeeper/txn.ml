@@ -1,0 +1,66 @@
+(** State transactions.
+
+    The leader's preprocessor validates each client operation against its
+    speculative view and translates it into an idempotent transaction: all
+    conditions are already resolved (sequential names minted, versions
+    computed), so replicas apply transactions unconditionally in commit
+    order.  A transaction may carry several operations — the
+    multi-transaction that EZK builds from one extension run (§5.1.2) —
+    plus the piggybacked client result and reply routing information. *)
+
+type op =
+  | Tcreate of { path : string; data : string; ephemeral_owner : int option }
+  | Tdelete of { path : string }
+  | Tset of { path : string; data : string; version : int }
+  | Tsession_open of { session : int; client_addr : int; owner_replica : int }
+  | Tsession_close of { session : int }
+  | Tsession_move of { session : int; owner_replica : int }
+  | Tblock of { session : int; origin : int; xid : int; path : string }
+      (** park the client's call until [path] is created; the replicated
+          blocked-table makes server-side blocking calls survive failover *)
+  | Tnotify of { session : int; path : string; kind : Protocol.watch_kind }
+      (** custom notification emitted by an event extension *)
+  | Terror  (** ordered no-op carrying an error result back to the client *)
+
+type t = {
+  origin : int option;
+      (** replica that owns the originating request and must reply *)
+  session : int;  (** requesting session; [0] for internal transactions *)
+  xid : int;
+  ops : op list;
+  result : Protocol.result;  (** piggybacked reply payload *)
+  quiet : bool;
+      (** produced by an event extension: must not trigger further event
+          extensions (breaks feedback loops) *)
+}
+
+let internal ?(quiet = false) ops =
+  { origin = None; session = 0; xid = 0; ops; result = Protocol.Synced; quiet }
+
+let op_size = function
+  | Tcreate { path; data; _ } -> 24 + String.length path + String.length data
+  | Tdelete { path } -> 16 + String.length path
+  | Tset { path; data; _ } -> 24 + String.length path + String.length data
+  | Tsession_open _ -> 24
+  | Tsession_close _ -> 16
+  | Tsession_move _ -> 20
+  | Tblock { path; _ } -> 24 + String.length path
+  | Tnotify { path; _ } -> 20 + String.length path
+  | Terror -> 8
+
+let size t =
+  List.fold_left (fun acc op -> acc + op_size op) (24 + Protocol.result_size t.result) t.ops
+
+let pp_op ppf = function
+  | Tcreate { path; _ } -> Fmt.pf ppf "create %s" path
+  | Tdelete { path } -> Fmt.pf ppf "delete %s" path
+  | Tset { path; version; _ } -> Fmt.pf ppf "set %s v%d" path version
+  | Tsession_open { session; _ } -> Fmt.pf ppf "session+ %d" session
+  | Tsession_close { session } -> Fmt.pf ppf "session- %d" session
+  | Tsession_move { session; owner_replica } ->
+      Fmt.pf ppf "session> %d@%d" session owner_replica
+  | Tblock { path; session; _ } -> Fmt.pf ppf "block %s by %d" path session
+  | Tnotify { path; session; _ } -> Fmt.pf ppf "notify %d about %s" session path
+  | Terror -> Fmt.string ppf "error"
+
+let pp ppf t = Fmt.pf ppf "txn[%a]" Fmt.(list ~sep:comma pp_op) t.ops

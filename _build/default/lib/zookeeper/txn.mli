@@ -1,0 +1,41 @@
+(** State transactions.
+
+    The leader's preprocessor validates each operation against its
+    speculative view and emits an *idempotent* transaction: sequential
+    names minted, versions resolved — replicas apply unconditionally in
+    commit order.  A transaction may carry several operations (the
+    multi-transaction EZK builds from one extension run, §5.1.2), plus the
+    piggybacked client result and reply routing. *)
+
+type op =
+  | Tcreate of { path : string; data : string; ephemeral_owner : int option }
+  | Tdelete of { path : string }
+  | Tset of { path : string; data : string; version : int }
+  | Tsession_open of { session : int; client_addr : int; owner_replica : int }
+  | Tsession_close of { session : int }
+  | Tsession_move of { session : int; owner_replica : int }
+  | Tblock of { session : int; origin : int; xid : int; path : string }
+      (** park the client's call until [path] is created; the replicated
+          blocked-table makes server-side blocking survive failover *)
+  | Tnotify of { session : int; path : string; kind : Protocol.watch_kind }
+      (** custom notification emitted by an event extension *)
+  | Terror  (** ordered no-op carrying an error result to the client *)
+
+type t = {
+  origin : int option;  (** replica that owns the request and must reply *)
+  session : int;  (** requesting session; [0] for internal transactions *)
+  xid : int;
+  ops : op list;
+  result : Protocol.result;  (** piggybacked reply payload *)
+  quiet : bool;
+      (** produced by an event extension: must not trigger further event
+          extensions (breaks feedback loops) *)
+}
+
+(** A service-internal transaction (no reply routing). *)
+val internal : ?quiet:bool -> op list -> t
+
+val op_size : op -> int
+val size : t -> int
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** Per-replica watch registry.
+
+    Watches are one-shot and replica-local (as in ZooKeeper: a client's
+    watches live on the server it is connected to and are lost if that
+    server fails).  Data watches fire on node creation, change, and
+    deletion; child watches fire when the children set of a node changes. *)
+
+type target = Data | Children
+
+type t = {
+  data_watches : (string, int list ref) Hashtbl.t;  (** path -> sessions *)
+  child_watches : (string, int list ref) Hashtbl.t;
+}
+
+let create () =
+  { data_watches = Hashtbl.create 64; child_watches = Hashtbl.create 64 }
+
+let table t = function Data -> t.data_watches | Children -> t.child_watches
+
+(** [add t target path session] registers a one-shot watch. *)
+let add t target path session =
+  let tbl = table t target in
+  match Hashtbl.find_opt tbl path with
+  | Some sessions ->
+      if not (List.mem session !sessions) then sessions := session :: !sessions
+  | None -> Hashtbl.replace tbl path (ref [ session ])
+
+(** [fire t target path] removes and returns all sessions watching
+    [path]. *)
+let fire t target path =
+  let tbl = table t target in
+  match Hashtbl.find_opt tbl path with
+  | None -> []
+  | Some sessions ->
+      Hashtbl.remove tbl path;
+      List.rev !sessions
+
+(** [drop_session t session] removes all watches of a departed session. *)
+let drop_session t session =
+  let clean tbl =
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun path sessions ->
+        sessions := List.filter (fun s -> s <> session) !sessions;
+        if !sessions = [] then doomed := path :: !doomed)
+      tbl;
+    List.iter (Hashtbl.remove tbl) !doomed
+  in
+  clean t.data_watches;
+  clean t.child_watches
+
+let watch_count t =
+  let count tbl = Hashtbl.fold (fun _ s acc -> acc + List.length !s) tbl 0 in
+  count t.data_watches + count t.child_watches

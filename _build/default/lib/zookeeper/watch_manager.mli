@@ -1,0 +1,23 @@
+(** Per-replica watch registry.
+
+    Watches are one-shot and replica-local, as in ZooKeeper: a client's
+    watches live on the server it is connected to.  Data watches fire on
+    node creation/change/deletion; child watches fire when a node's
+    children set changes. *)
+
+type target = Data | Children
+
+type t
+
+val create : unit -> t
+
+(** [add t target path session] registers a one-shot watch. *)
+val add : t -> target -> string -> int -> unit
+
+(** [fire t target path] removes and returns all watching sessions. *)
+val fire : t -> target -> string -> int list
+
+(** Remove all watches of a departed session. *)
+val drop_session : t -> int -> unit
+
+val watch_count : t -> int

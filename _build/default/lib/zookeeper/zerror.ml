@@ -1,0 +1,30 @@
+(** ZooKeeper-style error codes. *)
+
+type t =
+  | No_node  (** target path does not exist *)
+  | Node_exists  (** create on an existing path *)
+  | Bad_version  (** conditional update lost the race *)
+  | Not_empty  (** delete of a node that still has children *)
+  | No_children_for_ephemerals  (** ephemeral nodes cannot have children *)
+  | Invalid_path
+  | Session_expired
+  | Not_leader  (** internal: update reached a non-leader and could not be forwarded *)
+  | Unsupported  (** operation not available without a matching extension *)
+  | Extension_error of string  (** extension rejected/crashed, §4 sandbox *)
+  | Timeout
+
+let to_string = function
+  | No_node -> "no node"
+  | Node_exists -> "node exists"
+  | Bad_version -> "bad version"
+  | Not_empty -> "not empty"
+  | No_children_for_ephemerals -> "no children for ephemerals"
+  | Invalid_path -> "invalid path"
+  | Session_expired -> "session expired"
+  | Not_leader -> "not leader"
+  | Unsupported -> "unsupported operation"
+  | Extension_error msg -> "extension error: " ^ msg
+  | Timeout -> "timeout"
+
+let pp ppf e = Fmt.string ppf (to_string e)
+let equal (a : t) b = a = b

@@ -1,0 +1,18 @@
+(** ZooKeeper-style error codes. *)
+
+type t =
+  | No_node  (** target path does not exist *)
+  | Node_exists  (** create on an existing path *)
+  | Bad_version  (** conditional update lost the race *)
+  | Not_empty  (** delete of a node that still has children *)
+  | No_children_for_ephemerals
+  | Invalid_path
+  | Session_expired
+  | Not_leader  (** an update could not reach the current leader *)
+  | Unsupported  (** operation unavailable without a matching extension *)
+  | Extension_error of string  (** extension rejected or crashed (§4) *)
+  | Timeout
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

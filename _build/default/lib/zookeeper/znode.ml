@@ -1,0 +1,50 @@
+(** Data nodes (znodes) and their metadata. *)
+
+module String_set = Set.Make (String)
+
+(** Node metadata returned to clients (a subset of ZooKeeper's Stat). *)
+type stat = {
+  version : int;  (** data version, bumped by each set *)
+  czxid : int;  (** global creation order; recipes sort by it *)
+  ephemeral_owner : int option;  (** owning session for ephemeral nodes *)
+  num_children : int;
+  data_length : int;
+}
+
+type t = {
+  mutable data : string;
+  mutable version : int;
+  mutable children : String_set.t;
+  mutable cversion : int;
+      (** child version: bumped by every child create/delete; doubles as the
+          sequential-name counter (as in ZooKeeper), so it survives leader
+          changes via the replicated tree *)
+  czxid : int;
+  ephemeral_owner : int option;
+}
+
+let create ~data ~czxid ~ephemeral_owner =
+  {
+    data;
+    version = 0;
+    children = String_set.empty;
+    cversion = 0;
+    czxid;
+    ephemeral_owner;
+  }
+
+let is_ephemeral n = n.ephemeral_owner <> None
+
+let stat n =
+  {
+    version = n.version;
+    czxid = n.czxid;
+    ephemeral_owner = n.ephemeral_owner;
+    num_children = String_set.cardinal n.children;
+    data_length = String.length n.data;
+  }
+
+let pp_stat ppf (s : stat) =
+  Fmt.pf ppf "{v=%d czxid=%d eph=%a children=%d len=%d}" s.version s.czxid
+    Fmt.(option ~none:(any "-") int)
+    s.ephemeral_owner s.num_children s.data_length

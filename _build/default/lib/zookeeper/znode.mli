@@ -1,0 +1,28 @@
+(** Data nodes (znodes) and their client-visible metadata. *)
+
+module String_set : Set.S with type elt = string
+
+(** Node metadata returned to clients (a subset of ZooKeeper's Stat). *)
+type stat = {
+  version : int;  (** data version, bumped by each set *)
+  czxid : int;  (** global creation order; recipes sort by it *)
+  ephemeral_owner : int option;  (** owning session for ephemeral nodes *)
+  num_children : int;
+  data_length : int;
+}
+
+type t = {
+  mutable data : string;
+  mutable version : int;
+  mutable children : String_set.t;
+  mutable cversion : int;
+      (** child version, bumped by child creates/deletes; doubles as the
+          sequential-name counter, so it survives leader changes *)
+  czxid : int;
+  ephemeral_owner : int option;
+}
+
+val create : data:string -> czxid:int -> ephemeral_owner:int option -> t
+val is_ephemeral : t -> bool
+val stat : t -> stat
+val pp_stat : Format.formatter -> stat -> unit

@@ -1,0 +1,69 @@
+(** Path algebra for the hierarchical namespace.
+
+    Paths are absolute, slash-separated, with no trailing slash (except the
+    root ["/"]) and no empty components. *)
+
+let root = "/"
+
+let is_root p = String.equal p root
+
+let is_valid p =
+  String.length p > 0
+  && p.[0] = '/'
+  && (is_root p
+     || (p.[String.length p - 1] <> '/'
+        &&
+        let ok = ref true in
+        let last_slash = ref false in
+        String.iteri
+          (fun _ c ->
+            if c = '/' then begin
+              if !last_slash then ok := false;
+              last_slash := true
+            end
+            else last_slash := false)
+          p;
+        !ok))
+
+(** [components "/a/b"] is [["a"; "b"]]; the root has no components. *)
+let components p =
+  if is_root p then []
+  else String.split_on_char '/' (String.sub p 1 (String.length p - 1))
+
+(** [parent "/a/b"] is ["/a"]; [parent "/a"] is ["/"]; the root has no
+    parent. *)
+let parent p =
+  if is_root p then None
+  else
+    match String.rindex_opt p '/' with
+    | None | Some 0 -> Some root
+    | Some i -> Some (String.sub p 0 i)
+
+(** [basename "/a/b"] is ["b"]. *)
+let basename p =
+  if is_root p then ""
+  else
+    match String.rindex_opt p '/' with
+    | None -> p
+    | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+
+(** [child parent name] joins a parent path with a child name. *)
+let child p name = if is_root p then "/" ^ name else p ^ "/" ^ name
+
+(** [is_ancestor ~ancestor p]: strict ancestry. *)
+let is_ancestor ~ancestor p =
+  (not (String.equal ancestor p))
+  && (is_root ancestor
+     || String.length p > String.length ancestor
+        && String.sub p 0 (String.length ancestor) = ancestor
+        && p.[String.length ancestor] = '/')
+
+(** [has_prefix ~prefix p]: [p] equals or descends from [prefix]. *)
+let has_prefix ~prefix p = String.equal prefix p || is_ancestor ~ancestor:prefix p
+
+(** [depth "/a/b"] is [2]. *)
+let depth p = List.length (components p)
+
+(** [sequence_suffix counter] formats a sequential-node suffix the way
+    ZooKeeper does (zero-padded to ten digits). *)
+let sequence_suffix counter = Printf.sprintf "%010d" counter

@@ -1,0 +1,29 @@
+(** Path algebra for the hierarchical namespace: absolute, slash-separated
+    paths with no trailing slash (except the root ["/"]). *)
+
+val root : string
+val is_root : string -> bool
+val is_valid : string -> bool
+
+(** [components "/a/b"] is [["a"; "b"]]. *)
+val components : string -> string list
+
+(** [parent "/a/b"] is [Some "/a"]; the root has no parent. *)
+val parent : string -> string option
+
+(** [basename "/a/b"] is ["b"]. *)
+val basename : string -> string
+
+(** [child parent name] joins. *)
+val child : string -> string -> string
+
+(** Strict ancestry. *)
+val is_ancestor : ancestor:string -> string -> bool
+
+(** [p] equals or descends from [prefix]. *)
+val has_prefix : prefix:string -> string -> bool
+
+val depth : string -> int
+
+(** ZooKeeper-style zero-padded sequential suffix. *)
+val sequence_suffix : int -> string

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Coord_api Coord_zk Counter Edc_ezk Edc_recipes Edc_simnet Edc_zookeeper Election List Printf Proc Queue Sim Sim_time

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ast Builtins Codec Edc_core Hashtbl List Manager Option Printf Program QCheck QCheck_alcotest Sandbox Sexp String Subscription Value Verify

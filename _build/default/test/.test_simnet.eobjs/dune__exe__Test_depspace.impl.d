@@ -1,0 +1,1 @@
+test/test_depspace.ml: Access Alcotest Array Ds_client Ds_cluster Ds_protocol Ds_server Edc_depspace Edc_simnet Gen List Net Policy Proc QCheck QCheck_alcotest Sim Sim_time Space Tuple

@@ -1,0 +1,1 @@
+test/test_ezk_eds.ml: Alcotest Array Ast Edc_core Edc_depspace Edc_eds Edc_ezk Edc_simnet Edc_zookeeper List Option Printf Proc Program Sim Sim_time Subscription Value

@@ -1,0 +1,1 @@
+test/test_ezk_eds.mli:

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Coord_api Counter Edc_harness Edc_recipes Edc_simnet List Printf Result Sim Sim_time

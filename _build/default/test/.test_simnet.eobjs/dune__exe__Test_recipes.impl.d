@@ -1,0 +1,1 @@
+test/test_recipes.ml: Alcotest Barrier Coord_api Coord_zk Counter Edc_ezk Edc_harness Edc_recipes Edc_simnet Edc_zookeeper Election List Lock Printf Proc Queue Semaphore Sim Sim_time

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Edc_replication Edc_simnet Fun List Marshal Net Pbft Printf QCheck QCheck_alcotest Sim Sim_time String Zab

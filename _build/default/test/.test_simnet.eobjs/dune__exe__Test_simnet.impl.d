@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Cpu Edc_simnet Event_queue Fun Gen List Net Proc QCheck QCheck_alcotest Rng Sim Sim_time Stats Vec

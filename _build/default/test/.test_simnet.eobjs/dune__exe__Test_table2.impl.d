@@ -1,0 +1,1 @@
+test/test_table2.ml: Alcotest Coord_api Coord_ds Coord_zk Counter Edc_depspace Edc_ezk Edc_recipes Edc_simnet Edc_zookeeper List Option Printf Proc Queue Sim Sim_time

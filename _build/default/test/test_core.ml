@@ -1,0 +1,695 @@
+(* Tests for the extension model: wire format, values, verifier, sandbox,
+   and extension manager. *)
+
+open Edc_core
+
+(* ------------------------------------------------------------------ *)
+(* Sexp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sexp_roundtrip_basic () =
+  let cases =
+    [
+      Sexp.Atom "hello";
+      Sexp.Atom "with space";
+      Sexp.Atom "";
+      Sexp.Atom "quo\"te";
+      Sexp.Atom "new\nline";
+      Sexp.List [];
+      Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ] ];
+    ]
+  in
+  List.iter
+    (fun sx ->
+      match Sexp.of_string (Sexp.to_string sx) with
+      | Ok sx' -> Alcotest.(check bool) "roundtrip" true (sx = sx')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    cases
+
+let test_sexp_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Sexp.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" s)
+    [ "("; ")"; "(a"; "\"unterminated"; "a b"; "" ]
+
+let sexp_arb =
+  let open QCheck.Gen in
+  let atom = map (fun s -> Sexp.Atom s) (string_size ~gen:printable (int_range 0 8)) in
+  let rec gen depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [ (3, atom); (1, map (fun l -> Sexp.List l) (list_size (int_range 0 4) (gen (depth - 1)))) ]
+  in
+  QCheck.make (gen 4)
+
+let prop_sexp_roundtrip =
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:300 sexp_arb
+    (fun sx -> Sexp.of_string (Sexp.to_string sx) = Ok sx)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_roundtrip () =
+  let v =
+    Value.List
+      [
+        Value.Int 42; Value.Str "x y"; Value.Bool true; Value.Unit;
+        Value.obj ~id:"/q/a" ~data:"payload" ~version:3 ~ctime:17;
+      ]
+  in
+  match Value.deserialize (Value.serialize v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (Value.equal v v')
+  | Error e -> Alcotest.failf "deserialize: %s" e
+
+let test_value_field_access () =
+  let o = Value.obj ~id:"/a" ~data:"d" ~version:1 ~ctime:9 in
+  Alcotest.(check bool) "data field" true
+    (Value.field o "data" = Some (Value.Str "d"));
+  Alcotest.(check bool) "missing field" true (Value.field o "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Codec: program roundtrip                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* the shared-counter extension from Figure 5, in our DSL *)
+let counter_program =
+  let open Ast in
+  Program.make "ctr-increment"
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_read ];
+          op_oid = Subscription.Exact "/ctr-increment" } ]
+    ~on_operation:
+      [
+        Let ("c", Call ("int_of_str", [ Field (Svc (Svc_read, [ Str_lit "/ctr" ]), "data") ]));
+        Do (Svc (Svc_update, [ Str_lit "/ctr"; Call ("str_of_int", [ Binop (Add, Var "c", Int_lit 1) ]) ]));
+        Return (Binop (Add, Var "c", Int_lit 1));
+      ]
+    ()
+
+(* a queue-remove extension exercising for-each and min_by_ctime *)
+let queue_program =
+  let open Ast in
+  Program.make "queue-remove"
+    ~op_subs:
+      [ { Subscription.op_kinds = [ Subscription.K_read ];
+          op_oid = Subscription.Exact "/queue/head" } ]
+    ~on_operation:
+      [
+        Let ("objs", Svc (Svc_sub_objects, [ Str_lit "/queue" ]));
+        If
+          ( Call ("list_empty", [ Var "objs" ]),
+            [ Return Unit_lit ],
+            [
+              Let ("head", Call ("min_by_ctime", [ Var "objs" ]));
+              Do (Svc (Svc_delete, [ Field (Var "head", "id") ]));
+              Return (Field (Var "head", "data"));
+            ] );
+      ]
+    ()
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = Codec.serialize p in
+      match Codec.deserialize s with
+      | Ok p' ->
+          Alcotest.(check bool)
+            ("roundtrip " ^ p.Program.name)
+            true
+            (Codec.serialize p' = s)
+      | Error e -> Alcotest.failf "deserialize %s: %s" p.Program.name e)
+    [ counter_program; queue_program ]
+
+let test_codec_rejects_unknown_ops () =
+  let bad = "(ext x (opsubs) (evsubs) (onop ((do (svc format_disk)))) (onev none))" in
+  match Codec.deserialize bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must reject unknown service op"
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let serialized p = Codec.serialize p
+
+let verify_ok ?(mode = Verify.Active) p =
+  Verify.check ~mode ~serialized_size:(String.length (serialized p)) p
+
+let test_verify_accepts_recipes () =
+  Alcotest.(check (list string)) "counter clean" []
+    (List.map Verify.violation_to_string (verify_ok counter_program));
+  Alcotest.(check (list string)) "queue clean" []
+    (List.map Verify.violation_to_string (verify_ok queue_program))
+
+let test_verify_rejects_unknown_builtin () =
+  let p =
+    Program.make "bad" ~op_subs:[]
+      ~on_operation:[ Ast.Do (Ast.Call ("exec_shell", [])) ] ()
+  in
+  match verify_ok p with
+  | [ Verify.Unknown_builtin "exec_shell" ] -> ()
+  | vs -> Alcotest.failf "unexpected: %s"
+            (String.concat "," (List.map Verify.violation_to_string vs))
+
+let test_verify_determinism_mode () =
+  let p =
+    Program.make "timey"
+      ~on_operation:[ Ast.Return (Ast.Call ("clock", [])) ] ()
+  in
+  (match verify_ok ~mode:Verify.Active p with
+  | [ Verify.Nondeterministic_builtin "clock" ] -> ()
+  | vs -> Alcotest.failf "active should reject clock: %d violations" (List.length vs));
+  Alcotest.(check int) "passive allows clock" 0
+    (List.length (verify_ok ~mode:Verify.Passive p))
+
+let test_verify_size_limits () =
+  let huge_body =
+    List.init 1000 (fun i -> Ast.Let (Printf.sprintf "v%d" i, Ast.Int_lit i))
+  in
+  let p = Program.make "huge" ~on_operation:huge_body () in
+  let vs = verify_ok p in
+  Alcotest.(check bool) "node limit triggered" true
+    (List.exists (function Verify.Too_many_nodes _ -> true | _ -> false) vs)
+
+let test_verify_loop_nesting () =
+  let deep_loop =
+    Ast.For_each ("a", Ast.Var "xs",
+      [ Ast.For_each ("b", Ast.Var "xs",
+          [ Ast.For_each ("c", Ast.Var "xs", [ Ast.Do (Ast.Var "c") ]) ]) ])
+  in
+  let p = Program.make "nested" ~on_operation:[ Ast.Let ("xs", Ast.Unit_lit); deep_loop ] () in
+  let vs = verify_ok p in
+  Alcotest.(check bool) "nesting bound" true
+    (List.exists (function Verify.Loops_too_nested 3 -> true | _ -> false) vs)
+
+let test_verify_notify_placement () =
+  let notify = Ast.Do (Ast.Svc (Ast.Svc_notify, [ Ast.Int_lit 1; Ast.Str_lit "/x" ])) in
+  let in_op = Program.make "n1" ~on_operation:[ notify ] () in
+  Alcotest.(check bool) "notify rejected in op handler" true
+    (List.mem Verify.Notify_outside_event_handler (verify_ok in_op));
+  let in_ev = Program.make "n2" ~event_subs:[] ~on_event:[ notify ] () in
+  Alcotest.(check bool) "notify fine in event handler" false
+    (List.mem Verify.Notify_outside_event_handler (verify_ok in_ev))
+
+let test_verify_bad_names () =
+  List.iter
+    (fun name ->
+      let p = Program.make name ~on_operation:[ Ast.Return Ast.Unit_lit ] () in
+      Alcotest.(check bool) ("reject " ^ name) true
+        (List.exists (function Verify.Bad_name _ -> true | _ -> false) (verify_ok p)))
+    [ ""; "has space"; "has/slash"; String.make 100 'x' ]
+
+let test_verify_rejects_handlerless () =
+  let p = Program.make "empty" () in
+  Alcotest.(check bool) "no handlers" true
+    (List.mem Verify.Missing_handlers (verify_ok p))
+
+(* ------------------------------------------------------------------ *)
+(* Sandbox                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* in-memory mock proxy over a string map *)
+let mock_proxy () =
+  let store : (string, string * int * int) Hashtbl.t = Hashtbl.create 8 in
+  let next_ctime = ref 0 in
+  let record oid =
+    match Hashtbl.find_opt store oid with
+    | Some (data, version, ctime) -> Ok (Value.obj ~id:oid ~data ~version ~ctime)
+    | None -> Error ("no object " ^ oid)
+  in
+  let blocked = ref [] in
+  let proxy =
+    {
+      Sandbox.p_read = record;
+      p_exists = (fun oid -> Hashtbl.mem store oid);
+      p_sub_objects =
+        (fun oid ->
+          let prefix = oid ^ "/" in
+          Ok
+            (Hashtbl.fold
+               (fun id (data, version, ctime) acc ->
+                 if String.length id > String.length prefix
+                    && String.sub id 0 (String.length prefix) = prefix
+                 then Value.obj ~id ~data ~version ~ctime :: acc
+                 else acc)
+               store []
+            |> List.sort compare));
+      p_create =
+        (fun ~sequential ~oid ~data ->
+          let oid = if sequential then Printf.sprintf "%s%010d" oid !next_ctime else oid in
+          if Hashtbl.mem store oid then Error "exists"
+          else begin
+            incr next_ctime;
+            Hashtbl.replace store oid (data, 0, !next_ctime);
+            Ok oid
+          end);
+      p_update =
+        (fun ~oid ~data ->
+          match Hashtbl.find_opt store oid with
+          | Some (_, v, c) ->
+              Hashtbl.replace store oid (data, v + 1, c);
+              Ok (v + 1)
+          | None -> Error "no object");
+      p_cas =
+        (fun ~oid ~expected ~data ->
+          match Hashtbl.find_opt store oid with
+          | Some (cur, v, c) when cur = expected ->
+              Hashtbl.replace store oid (data, v + 1, c);
+              Ok true
+          | Some _ -> Ok false
+          | None -> Error "no object");
+      p_delete = (fun oid -> Ok (Hashtbl.mem store oid && (Hashtbl.remove store oid; true)));
+      p_block = (fun oid -> blocked := oid :: !blocked; Ok ());
+      p_monitor = (fun oid -> Hashtbl.replace store oid ("", 0, 0); Ok ());
+      p_notify = (fun ~client:_ ~oid:_ -> Ok ());
+      p_clock = (fun () -> 12345);
+    }
+  in
+  (proxy, store, blocked)
+
+let run_handler ?limits proxy handler params =
+  Sandbox.run ?limits ~proxy ~params handler
+
+let test_sandbox_counter_increments () =
+  let proxy, store, _ = mock_proxy () in
+  Hashtbl.replace store "/ctr" ("41", 0, 0);
+  match run_handler proxy (Option.get counter_program.Program.on_operation) [] with
+  | Ok (Value.Int 42, _, _) ->
+      let data, _, _ = Hashtbl.find store "/ctr" in
+      Alcotest.(check string) "stored" "42" data
+  | Ok (v, _, _) -> Alcotest.failf "unexpected value %a" Value.pp v
+  | Error e -> Alcotest.failf "sandbox error: %s" (Sandbox.error_to_string e)
+
+let test_sandbox_queue_removes_head () =
+  let proxy, store, _ = mock_proxy () in
+  Hashtbl.replace store "/queue/b" ("second", 0, 5);
+  Hashtbl.replace store "/queue/a" ("first", 0, 2);
+  match run_handler proxy (Option.get queue_program.Program.on_operation) [] with
+  | Ok (Value.Str "first", _, _) ->
+      Alcotest.(check bool) "head removed" false (Hashtbl.mem store "/queue/a");
+      Alcotest.(check bool) "tail kept" true (Hashtbl.mem store "/queue/b")
+  | Ok (v, _, _) -> Alcotest.failf "unexpected %a" Value.pp v
+  | Error e -> Alcotest.failf "error: %s" (Sandbox.error_to_string e)
+
+let test_sandbox_fuel_exhaustion () =
+  let proxy, store, _ = mock_proxy () in
+  for i = 1 to 100 do
+    Hashtbl.replace store (Printf.sprintf "/big/o%03d" i) ("", 0, i)
+  done;
+  (* a long but legal loop over a big list *)
+  let body =
+    [
+      Ast.Let ("xs", Ast.Svc (Ast.Svc_sub_objects, [ Ast.Str_lit "/big" ]));
+      Ast.For_each ("x", Ast.Var "xs", [ Ast.Do (Ast.Var "x") ]);
+      Ast.Return (Ast.Int_lit 0);
+    ]
+  in
+  let limits = { Sandbox.default_limits with max_steps = 10 } in
+  match run_handler ~limits proxy body [] with
+  | Error Sandbox.Fuel_exhausted -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Sandbox.error_to_string e)
+  | Ok _ -> Alcotest.fail "should exhaust fuel"
+
+let test_sandbox_service_call_budget () =
+  let proxy, store, _ = mock_proxy () in
+  Hashtbl.replace store "/x" ("v", 0, 0);
+  let body =
+    List.init 100 (fun _ -> Ast.Do (Ast.Svc (Ast.Svc_read, [ Ast.Str_lit "/x" ])))
+  in
+  let limits = { Sandbox.default_limits with max_service_calls = 5 } in
+  match run_handler ~limits proxy body [] with
+  | Error Sandbox.Service_call_limit -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Sandbox.error_to_string e)
+  | Ok _ -> Alcotest.fail "should hit service-call cap"
+
+let test_sandbox_create_budget () =
+  let proxy, _, _ = mock_proxy () in
+  let body =
+    List.init 100 (fun i ->
+        Ast.Do (Ast.Svc (Ast.Svc_create, [ Ast.Str_lit (Printf.sprintf "/o%d" i); Ast.Str_lit "" ])))
+  in
+  let limits = { Sandbox.default_limits with max_creates = 3; max_service_calls = 1000 } in
+  match run_handler ~limits proxy body [] with
+  | Error Sandbox.Create_limit -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Sandbox.error_to_string e)
+  | Ok _ -> Alcotest.fail "should hit create cap"
+
+let test_sandbox_value_size_budget () =
+  let proxy, _, _ = mock_proxy () in
+  (* doubling concat: 2^20 bytes exceeds a 1KB budget quickly *)
+  let body =
+    Ast.Let ("s", Ast.Str_lit (String.make 64 'a'))
+    :: List.init 20 (fun _ -> Ast.Let ("s", Ast.Binop (Ast.Concat, Ast.Var "s", Ast.Var "s")))
+  in
+  let limits = { Sandbox.default_limits with max_value_bytes = 1024 } in
+  match run_handler ~limits proxy body [] with
+  | Error (Sandbox.Value_too_large _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Sandbox.error_to_string e)
+  | Ok _ -> Alcotest.fail "should hit value-size cap"
+
+let test_sandbox_type_errors_isolated () =
+  let proxy, _, _ = mock_proxy () in
+  let body = [ Ast.Return (Ast.Binop (Ast.Add, Ast.Str_lit "x", Ast.Int_lit 1)) ] in
+  match run_handler proxy body [] with
+  | Error (Sandbox.Type_error _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Sandbox.error_to_string e)
+  | Ok _ -> Alcotest.fail "should be a type error"
+
+let test_sandbox_division_by_zero () =
+  let proxy, _, _ = mock_proxy () in
+  let body = [ Ast.Return (Ast.Binop (Ast.Div, Ast.Int_lit 1, Ast.Int_lit 0)) ] in
+  match run_handler proxy body [] with
+  | Error (Sandbox.Type_error _) -> ()
+  | _ -> Alcotest.fail "division by zero must abort the extension"
+
+let test_sandbox_abort_stmt () =
+  let proxy, store, _ = mock_proxy () in
+  Hashtbl.replace store "/x" ("v", 0, 0);
+  let body =
+    [ Ast.Do (Ast.Svc (Ast.Svc_update, [ Ast.Str_lit "/x"; Ast.Str_lit "changed" ]));
+      Ast.Abort "deliberate" ]
+  in
+  (match run_handler proxy body [] with
+  | Error (Sandbox.Aborted "deliberate") -> ()
+  | _ -> Alcotest.fail "abort must surface");
+  (* NOTE: the mock proxy applies eagerly; real hosts discard on abort —
+     covered by the EZK/EDS integration tests. *)
+  ()
+
+let test_sandbox_params () =
+  let proxy, _, _ = mock_proxy () in
+  let body = [ Ast.Return (Ast.Binop (Ast.Concat, Ast.Param "oid", Ast.Param "data")) ] in
+  match
+    run_handler proxy body
+      [ ("oid", Value.Str "/a"); ("data", Value.Str "!") ]
+  with
+  | Ok (Value.Str "/a!", _, _) -> ()
+  | _ -> Alcotest.fail "params must be bound"
+
+let test_sandbox_foreach_scoping () =
+  let proxy, _, _ = mock_proxy () in
+  let body =
+    [
+      Ast.Let ("x", Ast.Int_lit 99);
+      Ast.Let ("sum", Ast.Int_lit 0);
+      Ast.For_each ("x", Ast.Call ("list_nth", [ Ast.Var "wrap"; Ast.Int_lit 0 ]), []);
+    ]
+  in
+  ignore body;
+  (* simpler: verify loop variable restoration with a direct program *)
+  let body =
+    [
+      Ast.Let ("x", Ast.Int_lit 99);
+      Ast.For_each ("x", Ast.Svc (Ast.Svc_sub_objects, [ Ast.Str_lit "/none" ]), [])
+      ;
+      Ast.Return (Ast.Var "x");
+    ]
+  in
+  match run_handler proxy body [] with
+  | Ok (Value.Int 99, _, _) -> ()
+  | Ok (v, _, _) -> Alcotest.failf "loop var leaked: %a" Value.pp v
+  | Error e -> Alcotest.failf "error: %s" (Sandbox.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Manager                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_manager_register_and_match () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  (match Manager.apply_registration m ~name:"ctr-increment" ~owner:7
+           ~code:(Codec.serialize counter_program) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "register: %s" e);
+  Alcotest.(check int) "registered" 1 (Manager.extension_count m);
+  (* owner matches *)
+  Alcotest.(check bool) "owner triggers" true
+    (Manager.match_operation m ~client:7 ~kind:Subscription.K_read
+       ~oid:"/ctr-increment" <> None);
+  (* stranger does not *)
+  Alcotest.(check bool) "stranger bypasses" true
+    (Manager.match_operation m ~client:8 ~kind:Subscription.K_read
+       ~oid:"/ctr-increment" = None);
+  (* after ack, stranger matches *)
+  Manager.apply_ack m ~name:"ctr-increment" ~client:8;
+  Alcotest.(check bool) "acked client triggers" true
+    (Manager.match_operation m ~client:8 ~kind:Subscription.K_read
+       ~oid:"/ctr-increment" <> None);
+  (* wrong oid/kind do not *)
+  Alcotest.(check bool) "wrong oid" true
+    (Manager.match_operation m ~client:7 ~kind:Subscription.K_read ~oid:"/other" = None);
+  Alcotest.(check bool) "wrong kind" true
+    (Manager.match_operation m ~client:7 ~kind:Subscription.K_delete
+       ~oid:"/ctr-increment" = None)
+
+let test_manager_last_registration_wins () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  let mk name ret =
+    Program.make name
+      ~op_subs:[ { Subscription.op_kinds = [ Subscription.K_read ];
+                   op_oid = Subscription.Exact "/x" } ]
+      ~on_operation:[ Ast.Return (Ast.Int_lit ret) ] ()
+  in
+  ignore (Manager.apply_registration m ~name:"first" ~owner:1 ~code:(Codec.serialize (mk "first" 1)));
+  ignore (Manager.apply_registration m ~name:"second" ~owner:1 ~code:(Codec.serialize (mk "second" 2)));
+  match Manager.match_operation m ~client:1 ~kind:Subscription.K_read ~oid:"/x" with
+  | Some e -> Alcotest.(check string) "latest wins" "second" e.Manager.program.Program.name
+  | None -> Alcotest.fail "no match"
+
+let test_manager_deregistration () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  ignore (Manager.apply_registration m ~name:"ctr-increment" ~owner:1
+            ~code:(Codec.serialize counter_program));
+  Manager.apply_deregistration m ~name:"ctr-increment";
+  Alcotest.(check int) "gone" 0 (Manager.extension_count m);
+  Alcotest.(check bool) "no match" true
+    (Manager.match_operation m ~client:1 ~kind:Subscription.K_read
+       ~oid:"/ctr-increment" = None)
+
+let test_manager_rejects_bad_code () =
+  let m = Manager.create ~mode:Verify.Active () in
+  (match Manager.apply_registration m ~name:"x" ~owner:1 ~code:"(((" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse garbage accepted");
+  let nondet = Program.make "x" ~on_operation:[ Ast.Return (Ast.Call ("clock", [])) ] () in
+  match Manager.apply_registration m ~name:"x" ~owner:1 ~code:(Codec.serialize nondet) with
+  | Error _ -> Alcotest.(check int) "nothing registered" 0 (Manager.extension_count m)
+  | Ok _ -> Alcotest.fail "nondeterministic extension accepted in active mode"
+
+let test_manager_path_classification () =
+  Alcotest.(check bool) "root" true (Manager.classify_path "/em" = Manager.Em_root);
+  Alcotest.(check bool) "index" true (Manager.classify_path "/em/index" = Manager.Em_index);
+  Alcotest.(check bool) "ext" true
+    (Manager.classify_path "/em/foo" = Manager.Em_extension "foo");
+  Alcotest.(check bool) "ack" true
+    (Manager.classify_path "/em/foo/ack/42" = Manager.Em_ack ("foo", 42));
+  Alcotest.(check bool) "other" true (Manager.classify_path "/queue/a" = Manager.Not_em)
+
+let test_manager_event_matching_order () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  let mk name =
+    Program.make name
+      ~event_subs:[ { Subscription.ev_kinds = [ Subscription.E_deleted ];
+                      ev_oid = Subscription.Under "/clients" } ]
+      ~on_event:[ Ast.Return Ast.Unit_lit ] ()
+  in
+  ignore (Manager.apply_registration m ~name:"ev-b" ~owner:1 ~code:(Codec.serialize (mk "ev-b")));
+  ignore (Manager.apply_registration m ~name:"ev-a" ~owner:1 ~code:(Codec.serialize (mk "ev-a")));
+  let matched =
+    Manager.match_events m ~kind:Subscription.E_deleted ~oid:"/clients/7"
+  in
+  Alcotest.(check (list string)) "registration order"
+    [ "ev-b"; "ev-a" ]
+    (List.map (fun (e : Manager.entry) -> e.Manager.program.Program.name) matched);
+  Alcotest.(check int) "non-matching oid" 0
+    (List.length (Manager.match_events m ~kind:Subscription.E_deleted ~oid:"/other/7"))
+
+let test_manager_verification_disabled () =
+  (* §4.2: the escape hatch waives structural limits but never the
+     determinism requirement of active replication *)
+  let huge_body =
+    List.init 1000 (fun i -> Ast.Let (Printf.sprintf "v%d" i, Ast.Int_lit i))
+  in
+  let huge = Program.make "huge" ~on_operation:huge_body () in
+  let strict = Manager.create ~mode:Verify.Active () in
+  (match Manager.apply_registration strict ~name:"huge" ~owner:1
+           ~code:(Codec.serialize huge) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict manager must reject oversize programs");
+  let lax = Manager.create ~mode:Verify.Active ~verification_enabled:false () in
+  (match Manager.apply_registration lax ~name:"huge" ~owner:1
+           ~code:(Codec.serialize huge) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "lax manager should accept oversize: %s" e);
+  let nondet =
+    Program.make "timey" ~on_operation:[ Ast.Return (Ast.Call ("clock", [])) ] ()
+  in
+  match Manager.apply_registration lax ~name:"timey" ~owner:1
+          ~code:(Codec.serialize nondet) with
+  | Error _ -> ()
+  | Ok _ ->
+      Alcotest.fail "nondeterminism must stay rejected under active replication"
+
+let test_manager_index_data () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  ignore (Manager.apply_registration m ~name:"ctr-increment" ~owner:1
+            ~code:(Codec.serialize counter_program));
+  ignore (Manager.apply_registration m ~name:"queue-remove" ~owner:1
+            ~code:(Codec.serialize queue_program));
+  Alcotest.(check string) "index lists extensions"
+    "ctr-increment\nqueue-remove" (Manager.index_data m)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins (table-driven)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builtins_arity_enforced () =
+  (* every white-listed builtin must reject a wrong argument count via the
+     sandbox (never raise) *)
+  let proxy, _, _ = mock_proxy () in
+  List.iter
+    (fun (name, (b : Builtins.t)) ->
+      let wrong = List.init (b.Builtins.arity + 1) (fun i -> Ast.Int_lit i) in
+      let body = [ Ast.Return (Ast.Call (name, wrong)) ] in
+      match Sandbox.run ~proxy ~params:[] body with
+      | Error (Sandbox.Type_error _) -> ()
+      | Error e ->
+          Alcotest.failf "%s wrong-arity gave %s" name (Sandbox.error_to_string e)
+      | Ok _ -> Alcotest.failf "%s accepted wrong arity" name)
+    Builtins.table
+
+let test_builtins_semantics () =
+  let cases =
+    [
+      ("str_len", [ Value.Str "abcd" ], Ok (Value.Int 4));
+      ("str_sub", [ Value.Str "hello"; Value.Int 1; Value.Int 3 ], Ok (Value.Str "ell"));
+      ("str_sub", [ Value.Str "hi"; Value.Int 1; Value.Int 5 ], Error ());
+      ("str_index", [ Value.Str "a/b"; Value.Str "/" ], Ok (Value.Int 1));
+      ("str_index", [ Value.Str "ab"; Value.Str "/" ], Ok (Value.Int (-1)));
+      ("str_suffix_after", [ Value.Str "/a/b/c"; Value.Str "/" ], Ok (Value.Str "c"));
+      ("str_suffix_after", [ Value.Str "nope"; Value.Str "/" ], Ok (Value.Str "nope"));
+      ("int_of_str", [ Value.Str " 42 " ], Ok (Value.Int 42));
+      ("int_of_str", [ Value.Str "x" ], Error ());
+      ("str_of_int", [ Value.Int (-7) ], Ok (Value.Str "-7"));
+      ("min", [ Value.Int 3; Value.Int 5 ], Ok (Value.Int 3));
+      ("max", [ Value.Int 3; Value.Int 5 ], Ok (Value.Int 5));
+      ("abs", [ Value.Int (-9) ], Ok (Value.Int 9));
+      ("list_len", [ Value.List [ Value.Int 1; Value.Int 2 ] ], Ok (Value.Int 2));
+      ("list_nth", [ Value.List [ Value.Str "a" ]; Value.Int 0 ], Ok (Value.Str "a"));
+      ("list_nth", [ Value.List []; Value.Int 0 ], Error ());
+      ("list_empty", [ Value.List [] ], Ok (Value.Bool true));
+      ("field", [ Value.obj ~id:"/x" ~data:"d" ~version:1 ~ctime:2; Value.Str "version" ],
+       Ok (Value.Int 1));
+      ("field", [ Value.obj ~id:"/x" ~data:"d" ~version:1 ~ctime:2; Value.Str "zzz" ],
+       Error ());
+      ("min_by_ctime",
+       [ Value.List
+           [ Value.obj ~id:"/b" ~data:"" ~version:0 ~ctime:9;
+             Value.obj ~id:"/a" ~data:"" ~version:0 ~ctime:3 ] ],
+       Ok (Value.obj ~id:"/a" ~data:"" ~version:0 ~ctime:3));
+      ("min_by_ctime", [ Value.List [] ], Ok Value.Unit);
+    ]
+  in
+  List.iter
+    (fun (name, args, expected) ->
+      let b = Option.get (Builtins.find name) in
+      match (b.Builtins.fn args, expected) with
+      | Ok got, Ok want ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s result" name)
+            true (Value.equal got want)
+      | Error _, Error () -> ()
+      | Ok got, Error () ->
+          Alcotest.failf "%s should fail, got %a" name Value.pp got
+      | Error e, Ok _ -> Alcotest.failf "%s failed: %s" name e)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Subscription patterns                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_subscription_patterns () =
+  Alcotest.(check bool) "exact" true
+    (Subscription.oid_matches (Subscription.Exact "/a") "/a");
+  Alcotest.(check bool) "exact miss" false
+    (Subscription.oid_matches (Subscription.Exact "/a") "/a/b");
+  Alcotest.(check bool) "under hit" true
+    (Subscription.oid_matches (Subscription.Under "/q") "/q/item1");
+  Alcotest.(check bool) "under self miss" false
+    (Subscription.oid_matches (Subscription.Under "/q") "/q");
+  Alcotest.(check bool) "under sibling miss" false
+    (Subscription.oid_matches (Subscription.Under "/q") "/qq/x");
+  Alcotest.(check bool) "any" true
+    (Subscription.oid_matches Subscription.Any_oid "/whatever")
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "edc_core"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_sexp_roundtrip_basic;
+          Alcotest.test_case "rejects garbage" `Quick test_sexp_rejects_garbage;
+          qc prop_sexp_roundtrip;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "field access" `Quick test_value_field_access;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "program roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "rejects unknown ops" `Quick test_codec_rejects_unknown_ops;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "accepts recipes" `Quick test_verify_accepts_recipes;
+          Alcotest.test_case "unknown builtin" `Quick test_verify_rejects_unknown_builtin;
+          Alcotest.test_case "determinism modes" `Quick test_verify_determinism_mode;
+          Alcotest.test_case "size limits" `Quick test_verify_size_limits;
+          Alcotest.test_case "loop nesting" `Quick test_verify_loop_nesting;
+          Alcotest.test_case "notify placement" `Quick test_verify_notify_placement;
+          Alcotest.test_case "bad names" `Quick test_verify_bad_names;
+          Alcotest.test_case "handlerless" `Quick test_verify_rejects_handlerless;
+        ] );
+      ( "sandbox",
+        [
+          Alcotest.test_case "counter increments" `Quick test_sandbox_counter_increments;
+          Alcotest.test_case "queue removes head" `Quick test_sandbox_queue_removes_head;
+          Alcotest.test_case "fuel exhaustion" `Quick test_sandbox_fuel_exhaustion;
+          Alcotest.test_case "service-call budget" `Quick test_sandbox_service_call_budget;
+          Alcotest.test_case "create budget" `Quick test_sandbox_create_budget;
+          Alcotest.test_case "value-size budget" `Quick test_sandbox_value_size_budget;
+          Alcotest.test_case "type error isolated" `Quick test_sandbox_type_errors_isolated;
+          Alcotest.test_case "division by zero" `Quick test_sandbox_division_by_zero;
+          Alcotest.test_case "abort statement" `Quick test_sandbox_abort_stmt;
+          Alcotest.test_case "parameters" `Quick test_sandbox_params;
+          Alcotest.test_case "for-each scoping" `Quick test_sandbox_foreach_scoping;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "register and match" `Quick test_manager_register_and_match;
+          Alcotest.test_case "last registration wins" `Quick
+            test_manager_last_registration_wins;
+          Alcotest.test_case "deregistration" `Quick test_manager_deregistration;
+          Alcotest.test_case "rejects bad code" `Quick test_manager_rejects_bad_code;
+          Alcotest.test_case "path classification" `Quick test_manager_path_classification;
+          Alcotest.test_case "event ordering" `Quick test_manager_event_matching_order;
+          Alcotest.test_case "verification disabled (§4.2)" `Quick
+            test_manager_verification_disabled;
+          Alcotest.test_case "index data" `Quick test_manager_index_data;
+        ] );
+      ( "builtins",
+        [
+          Alcotest.test_case "arity enforced for every builtin" `Quick
+            test_builtins_arity_enforced;
+          Alcotest.test_case "semantics table" `Quick test_builtins_semantics;
+        ] );
+      ( "subscription",
+        [ Alcotest.test_case "patterns" `Quick test_subscription_patterns ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the DepSpace substrate: tuple matching, the space state
+   machine, access/policy layers, and BFT integration via the cluster. *)
+
+open Edc_simnet
+open Edc_depspace
+module P = Ds_protocol
+
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+(* ------------------------------------------------------------------ *)
+(* Tuple matching                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuple_matching () =
+  let t = Tuple.[ Str "ctr"; Int 5 ] in
+  Alcotest.(check bool) "exact" true (Tuple.matches (Tuple.exact t) t);
+  Alcotest.(check bool) "any" true (Tuple.matches Tuple.[ Any; Any ] t);
+  Alcotest.(check bool) "mixed" true
+    (Tuple.matches Tuple.[ Exact (Str "ctr"); Any ] t);
+  Alcotest.(check bool) "wrong value" false
+    (Tuple.matches Tuple.[ Exact (Str "ctr"); Exact (Int 6) ] t);
+  Alcotest.(check bool) "arity mismatch" false (Tuple.matches Tuple.[ Any ] t);
+  Alcotest.(check bool) "prefix hit" true
+    (Tuple.matches Tuple.[ Prefix "ct"; Any ] t);
+  Alcotest.(check bool) "prefix miss" false
+    (Tuple.matches Tuple.[ Prefix "queue/"; Any ] t);
+  Alcotest.(check bool) "prefix on int" false
+    (Tuple.matches Tuple.[ Any; Prefix "5" ] t)
+
+let field_arb =
+  let mk_int i = Edc_depspace.Tuple.Int i in
+  let mk_str s = Edc_depspace.Tuple.Str s in
+  QCheck.(oneof [ map mk_int int; map mk_str string ])
+
+let prop_exact_template_matches =
+  QCheck.Test.make ~name:"exact template always matches its tuple" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 5) field_arb)
+    (fun t -> Tuple.matches (Tuple.exact t) t)
+
+(* ------------------------------------------------------------------ *)
+(* Space                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_space_oldest_first () =
+  let s = Space.create () in
+  ignore (Space.insert s ~owner:1 ~expiry:None Tuple.[ Str "q"; Int 1 ] : int);
+  ignore (Space.insert s ~owner:1 ~expiry:None Tuple.[ Str "q"; Int 2 ] : int);
+  (match Space.find_tuple s Tuple.[ Exact (Str "q"); Any ] with
+  | Some t -> Alcotest.check tuple "oldest match" Tuple.[ Str "q"; Int 1 ] t
+  | None -> Alcotest.fail "no match");
+  (match Space.take s Tuple.[ Exact (Str "q"); Any ] with
+  | Some t -> Alcotest.check tuple "take oldest" Tuple.[ Str "q"; Int 1 ] t
+  | None -> Alcotest.fail "no take");
+  match Space.take s Tuple.[ Exact (Str "q"); Any ] with
+  | Some t -> Alcotest.check tuple "then next" Tuple.[ Str "q"; Int 2 ] t
+  | None -> Alcotest.fail "no second take"
+
+let test_space_read_all_order () =
+  let s = Space.create () in
+  List.iter
+    (fun i -> ignore (Space.insert s ~owner:1 ~expiry:None Tuple.[ Str "x"; Int i ] : int))
+    [ 3; 1; 2 ];
+  let got = Space.read_all s Tuple.[ Exact (Str "x"); Any ] in
+  Alcotest.(check (list int)) "insertion order"
+    [ 3; 1; 2 ]
+    (List.map (function Tuple.[ Str _; Int i ] -> i | _ -> -1) got)
+
+let test_space_expiry () =
+  let s = Space.create () in
+  ignore (Space.insert s ~owner:1 ~expiry:(Some (Sim_time.ms 100)) Tuple.[ Str "lease" ] : int);
+  ignore (Space.insert s ~owner:1 ~expiry:None Tuple.[ Str "forever" ] : int);
+  Alcotest.(check int) "nothing expired early" 0
+    (List.length (Space.expire s ~now:(Sim_time.ms 50)));
+  let dead = Space.expire s ~now:(Sim_time.ms 100) in
+  Alcotest.(check int) "one expired" 1 (List.length dead);
+  Alcotest.(check int) "one left" 1 (Space.tuple_count s)
+
+let test_space_renew () =
+  let s = Space.create () in
+  ignore (Space.insert s ~owner:7 ~expiry:(Some (Sim_time.ms 100)) Tuple.[ Str "l" ] : int);
+  let n =
+    Space.renew s ~owner:7 ~template:Tuple.[ Exact (Str "l") ]
+      ~expiry:(Sim_time.ms 500)
+  in
+  Alcotest.(check int) "renewed" 1 n;
+  Alcotest.(check int) "survives old deadline" 0
+    (List.length (Space.expire s ~now:(Sim_time.ms 200)));
+  (* only the owner may renew *)
+  let n2 =
+    Space.renew s ~owner:8 ~template:Tuple.[ Exact (Str "l") ]
+      ~expiry:(Sim_time.sec 10)
+  in
+  Alcotest.(check int) "foreign renew ignored" 0 n2
+
+let test_space_unblockable_semantics () =
+  let s = Space.create () in
+  ignore (Space.park s ~client:1 ~rseq:1 ~template:Tuple.[ Exact (Str "t") ] ~take:false : int);
+  ignore (Space.park s ~client:2 ~rseq:1 ~template:Tuple.[ Exact (Str "t") ] ~take:true : int);
+  ignore (Space.park s ~client:3 ~rseq:1 ~template:Tuple.[ Exact (Str "t") ] ~take:false : int);
+  let woken, consumed = Space.unblockable s Tuple.[ Str "t" ] in
+  (* the rd before the in wakes; the in consumes; the rd after stays *)
+  Alcotest.(check bool) "consumed by in" true consumed;
+  Alcotest.(check (list int)) "waker order stops at the take"
+    [ 1; 2 ]
+    (List.map (fun (p : Space.parked) -> p.p_client) woken);
+  Alcotest.(check int) "third stays parked" 1 (Space.parked_count s)
+
+let test_space_drop_parked () =
+  let s = Space.create () in
+  ignore (Space.park s ~client:1 ~rseq:1 ~template:Tuple.[ Any ] ~take:false : int);
+  ignore (Space.park s ~client:2 ~rseq:1 ~template:Tuple.[ Any ] ~take:false : int);
+  Space.drop_parked s ~client:1;
+  Alcotest.(check int) "one left" 1 (Space.parked_count s)
+
+(* ------------------------------------------------------------------ *)
+(* Access control                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_access_rules () =
+  let a = Access.create () in
+  Access.add_rule a
+    {
+      Access.kinds = [ Access.Take ];
+      name_prefix = Some "protected/";
+      clients = None;
+      allow = false;
+    };
+  Alcotest.(check bool) "take denied" false
+    (Access.check a ~client:1 ~kind:Access.Take ~name:(Some "protected/x"));
+  Alcotest.(check bool) "read allowed" true
+    (Access.check a ~client:1 ~kind:Access.Read ~name:(Some "protected/x"));
+  Alcotest.(check bool) "other name allowed" true
+    (Access.check a ~client:1 ~kind:Access.Take ~name:(Some "open/x"))
+
+let test_access_client_scoping () =
+  let a = Access.create ~default_allow:false () in
+  Access.add_rule a
+    { Access.kinds = [ Access.Read; Access.Write; Access.Take ];
+      name_prefix = None; clients = Some [ 42 ]; allow = true };
+  Alcotest.(check bool) "whitelisted" true
+    (Access.check a ~client:42 ~kind:Access.Write ~name:None);
+  Alcotest.(check bool) "stranger denied" false
+    (Access.check a ~client:7 ~kind:Access.Write ~name:None)
+
+(* ------------------------------------------------------------------ *)
+(* Policy layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_monotonic () =
+  let s = Space.create () in
+  ignore (Space.insert s ~owner:1 ~expiry:None Tuple.[ Str "fence"; Int 5 ] : int);
+  let p = Policy.create () in
+  let rule = Policy.monotonic_counter ~prefix:"fence" in
+  Policy.add_rule p rule.Policy.name rule.Policy.judge;
+  let view v =
+    {
+      Policy.v_client = 1;
+      v_kind = Access.Write;
+      v_tuple = Some Tuple.[ Str "fence"; Int v ];
+      v_template = None;
+    }
+  in
+  Alcotest.(check bool) "larger allowed" true (Policy.check p s (view 6) = Ok ());
+  Alcotest.(check bool) "smaller denied" true
+    (match Policy.check p s (view 4) with Error _ -> true | Ok () -> false)
+
+let test_policy_space_cap () =
+  let s = Space.create () in
+  ignore (Space.insert s ~owner:1 ~expiry:None Tuple.[ Str "a" ] : int);
+  let p = Policy.create () in
+  let rule = Policy.max_space_size ~limit:1 in
+  Policy.add_rule p rule.Policy.name rule.Policy.judge;
+  let view =
+    { Policy.v_client = 1; v_kind = Access.Write;
+      v_tuple = Some Tuple.[ Str "b" ]; v_template = None }
+  in
+  Alcotest.(check bool) "full space denies writes" true
+    (match Policy.check p s view with Error _ -> true | Ok () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let in_cluster ?(horizon = Sim_time.sec 60) ?(seed = 3) f =
+  let sim = Sim.create ~seed () in
+  let cluster = Ds_cluster.create sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () -> try f cluster with e -> failure := Some e);
+  Sim.run ~until:horizon sim;
+  match !failure with Some e -> raise e | None -> ()
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let test_ds_out_rdp_inp () =
+  in_cluster (fun cluster ->
+      let c = Ds_cluster.client cluster () in
+      ok "out" (Ds_client.out c Tuple.[ Str "obj"; Str "hello" ]);
+      (match ok "rdp" (Ds_client.rdp c Tuple.[ Exact (Str "obj"); Any ]) with
+      | Some t -> Alcotest.check tuple "read back" Tuple.[ Str "obj"; Str "hello" ] t
+      | None -> Alcotest.fail "tuple missing");
+      (match ok "inp" (Ds_client.inp c Tuple.[ Exact (Str "obj"); Any ]) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "take failed");
+      match ok "rdp2" (Ds_client.rdp c Tuple.[ Exact (Str "obj"); Any ]) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "tuple should be gone")
+
+let test_ds_blocking_rd () =
+  in_cluster (fun cluster ->
+      let sim = Ds_cluster.sim cluster in
+      let waiter = Ds_cluster.client cluster () in
+      let producer = Ds_cluster.client cluster () in
+      let got =
+        Proc.async sim (fun () ->
+            ok "rd" (Ds_client.rd waiter Tuple.[ Exact (Str "ready") ]))
+      in
+      Proc.sleep sim (Sim_time.ms 300);
+      Alcotest.(check bool) "still blocked" false (Proc.is_fulfilled got);
+      ok "out" (Ds_client.out producer Tuple.[ Str "ready" ]);
+      let t = Proc.await got in
+      Alcotest.check tuple "unblocked with tuple" Tuple.[ Str "ready" ] t)
+
+let test_ds_blocking_in_consumes_once () =
+  in_cluster (fun cluster ->
+      let sim = Ds_cluster.sim cluster in
+      let a = Ds_cluster.client cluster () in
+      let b = Ds_cluster.client cluster () in
+      let producer = Ds_cluster.client cluster () in
+      let ga = Proc.async sim (fun () -> ok "in a" (Ds_client.in_ a Tuple.[ Exact (Str "job"); Any ])) in
+      let gb = Proc.async sim (fun () -> ok "in b" (Ds_client.in_ b Tuple.[ Exact (Str "job"); Any ])) in
+      Proc.sleep sim (Sim_time.ms 200);
+      ok "out1" (Ds_client.out producer Tuple.[ Str "job"; Int 1 ]);
+      ok "out2" (Ds_client.out producer Tuple.[ Str "job"; Int 2 ]);
+      let ta = Proc.await ga and tb = Proc.await gb in
+      Alcotest.(check bool) "distinct jobs" true (not (Tuple.equal ta tb)))
+
+let test_ds_replace_contention () =
+  in_cluster (fun cluster ->
+      let sim = Ds_cluster.sim cluster in
+      let init = Ds_cluster.client cluster () in
+      ok "init" (Ds_client.out init Tuple.[ Str "ctr"; Int 0 ]);
+      let wins = ref 0 and losses = ref 0 in
+      let contender () =
+        let c = Ds_cluster.client cluster () in
+        match
+          ok "replace"
+            (Ds_client.replace c
+               Tuple.[ Exact (Str "ctr"); Exact (Int 0) ]
+               Tuple.[ Str "ctr"; Int 1 ])
+        with
+        | true -> incr wins
+        | false -> incr losses
+      in
+      Proc.join (List.init 4 (fun _ -> Proc.async sim contender));
+      Alcotest.(check int) "one replace wins" 1 !wins;
+      Alcotest.(check int) "three lose" 3 !losses)
+
+let test_ds_rd_all_prefix () =
+  in_cluster (fun cluster ->
+      let c = Ds_cluster.client cluster () in
+      ok "o1" (Ds_client.out c Tuple.[ Str "queue/a"; Int 1 ]);
+      ok "o2" (Ds_client.out c Tuple.[ Str "queue/b"; Int 2 ]);
+      ok "o3" (Ds_client.out c Tuple.[ Str "other"; Int 3 ]);
+      let got = ok "rdAll" (Ds_client.rd_all c Tuple.[ Prefix "queue/"; Any ]) in
+      Alcotest.(check int) "two sub-objects" 2 (List.length got))
+
+let test_ds_lease_expiry () =
+  in_cluster ~horizon:(Sim_time.sec 120) (fun cluster ->
+      let sim = Ds_cluster.sim cluster in
+      let owner = Ds_cluster.client cluster () in
+      let observer = Ds_cluster.client cluster () in
+      ok "monitor"
+        (Ds_client.monitor owner Tuple.[ Str "alive/1" ] ~lease:(Sim_time.sec 5));
+      Proc.sleep sim (Sim_time.sec 12);
+      (* still alive: renewals keep it *)
+      (match ok "rdp live" (Ds_client.rdp observer Tuple.[ Exact (Str "alive/1") ]) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "lease should be renewed while client lives");
+      Ds_client.close owner;
+      Proc.sleep sim (Sim_time.sec 12);
+      (* ordered traffic drives expiry *)
+      ok "noop" (Ds_client.noop observer);
+      (match ok "rdp dead" (Ds_client.rdp observer Tuple.[ Exact (Str "alive/1") ]) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "lease should have expired after close"))
+
+let test_ds_byzantine_replica_masked () =
+  in_cluster (fun cluster ->
+      Ds_server.set_byzantine (Ds_cluster.servers cluster).(3);
+      let c = Ds_cluster.client cluster () in
+      ok "out despite liar" (Ds_client.out c Tuple.[ Str "x" ]);
+      match ok "rdp despite liar" (Ds_client.rdp c Tuple.[ Exact (Str "x") ]) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "value lost")
+
+let test_ds_crashed_replica_progress () =
+  in_cluster (fun cluster ->
+      Ds_cluster.crash_server cluster 2;
+      let c = Ds_cluster.client cluster () in
+      ok "out with 3/4" (Ds_client.out c Tuple.[ Str "y" ]);
+      match ok "rdp with 3/4" (Ds_client.rdp c Tuple.[ Exact (Str "y") ]) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "value lost")
+
+let test_ds_deterministic () =
+  let run () =
+    let sim = Sim.create ~seed:21 () in
+    let cluster = Ds_cluster.create sim in
+    let log = ref [] in
+    Proc.spawn sim (fun () ->
+        let c = Ds_cluster.client cluster () in
+        for i = 1 to 10 do
+          (match Ds_client.out c Tuple.[ Str "k"; Int i ] with
+          | Ok () -> log := i :: !log
+          | Error _ -> ());
+          match Ds_client.inp c Tuple.[ Exact (Str "k"); Any ] with
+          | Ok (Some Tuple.[ Str _; Int v ]) -> log := -v :: !log
+          | _ -> ()
+        done);
+    Sim.run ~until:(Sim_time.sec 30) sim;
+    (!log, Sim.now sim, Net.total_bytes_sent (Ds_cluster.net cluster))
+  in
+  Alcotest.(check bool) "identical reruns" true (run () = run ())
+
+let test_ds_client_bytes_multicast () =
+  in_cluster (fun cluster ->
+      let c = Ds_cluster.client cluster () in
+      let before = Net.bytes_sent_by (Ds_cluster.net cluster) (Ds_client.addr c) in
+      ok "out" (Ds_client.out c Tuple.[ Str "m" ]);
+      let after = Net.bytes_sent_by (Ds_cluster.net cluster) (Ds_client.addr c) in
+      let per_replica = P.wire_size (P.Ds_request { rseq = 1; op = P.Out { tuple = Tuple.[ Str "m" ]; lease = None }; fast = false }) in
+      Alcotest.(check int) "request sent to all four replicas"
+        (4 * per_replica) (after - before))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "edc_depspace"
+    [
+      ( "tuple",
+        [
+          Alcotest.test_case "matching" `Quick test_tuple_matching;
+          qc prop_exact_template_matches;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "oldest first" `Quick test_space_oldest_first;
+          Alcotest.test_case "read_all order" `Quick test_space_read_all_order;
+          Alcotest.test_case "expiry" `Quick test_space_expiry;
+          Alcotest.test_case "renew" `Quick test_space_renew;
+          Alcotest.test_case "unblock semantics" `Quick test_space_unblockable_semantics;
+          Alcotest.test_case "drop parked" `Quick test_space_drop_parked;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "rules" `Quick test_access_rules;
+          Alcotest.test_case "client scoping" `Quick test_access_client_scoping;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "monotonic counter" `Quick test_policy_monotonic;
+          Alcotest.test_case "space cap" `Quick test_policy_space_cap;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "out/rdp/inp" `Quick test_ds_out_rdp_inp;
+          Alcotest.test_case "blocking rd" `Quick test_ds_blocking_rd;
+          Alcotest.test_case "blocking in consumes once" `Quick
+            test_ds_blocking_in_consumes_once;
+          Alcotest.test_case "replace contention" `Quick test_ds_replace_contention;
+          Alcotest.test_case "rdAll prefix" `Quick test_ds_rd_all_prefix;
+          Alcotest.test_case "lease expiry" `Quick test_ds_lease_expiry;
+          Alcotest.test_case "byzantine masked" `Quick test_ds_byzantine_replica_masked;
+          Alcotest.test_case "crash progress" `Quick test_ds_crashed_replica_progress;
+          Alcotest.test_case "deterministic" `Quick test_ds_deterministic;
+          Alcotest.test_case "multicast bytes" `Quick test_ds_client_bytes_multicast;
+        ] );
+    ]

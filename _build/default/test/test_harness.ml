@@ -1,0 +1,101 @@
+(* Sanity tests for the measurement harness itself: the workload driver's
+   accounting must be self-consistent, since every figure depends on it. *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+module Systems = Edc_harness.Systems
+module Workload = Edc_harness.Workload
+
+let counter_spec ~extensible ~n_clients =
+  {
+    Workload.n_clients;
+    warmup = Sim_time.ms 300;
+    measure = Sim_time.sec 1;
+    ops_per_iteration = 1;
+    setup =
+      (fun api ->
+        (match Counter.setup api with Ok () -> () | Error e -> failwith e);
+        if extensible then
+          match Counter.register api with Ok () -> () | Error e -> failwith e);
+    prepare =
+      (fun api ->
+        if extensible then
+          match (Api.ext_exn api).Api.acknowledge Counter.extension_name with
+          | Ok () -> ()
+          | Error e -> failwith e);
+    op =
+      (fun api ->
+        let r =
+          if extensible then Counter.increment_ext api
+          else Counter.increment_traditional api
+        in
+        Result.map (fun (r : Counter.result) -> r.Counter.attempts) r);
+  }
+
+let run_counter kind n_clients =
+  let sim = Sim.create ~seed:77 () in
+  let sys = Systems.make kind sim in
+  Workload.run sys (counter_spec ~extensible:(Systems.is_extensible kind) ~n_clients)
+
+let test_workload_accounting kind () =
+  let r = run_counter kind 5 in
+  Alcotest.(check bool) "made progress" true (r.Workload.ops > 50);
+  Alcotest.(check int) "no errors" 0 r.Workload.errors;
+  Alcotest.(check (float 0.01)) "throughput = ops / window"
+    (float_of_int r.Workload.ops /. Sim_time.to_float_s r.Workload.duration)
+    r.Workload.throughput;
+  Alcotest.(check bool) "latency positive" true (r.Workload.mean_latency_ms > 0.0);
+  Alcotest.(check bool) "p99 >= mean" true
+    (r.Workload.p99_latency_ms >= r.Workload.mean_latency_ms *. 0.99);
+  Alcotest.(check bool) "bytes were counted" true (r.Workload.client_bytes > 0);
+  Alcotest.(check bool) "attempts >= 1" true (r.Workload.attempts_per_op >= 1.0)
+
+let test_littles_law () =
+  (* closed loop: concurrency = throughput × latency ≈ n_clients (within a
+     factor accounting for window-edge exclusion) *)
+  let n = 10 in
+  let r = run_counter Systems.Ezk n in
+  let concurrency =
+    r.Workload.throughput *. (r.Workload.mean_latency_ms /. 1000.0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "Little's law holds (concurrency %.2f for %d clients)"
+       concurrency n)
+    true
+    (concurrency > float_of_int n *. 0.5 && concurrency < float_of_int n *. 1.5)
+
+let test_more_clients_more_throughput_ext () =
+  (* extension counters scale until CPU saturation *)
+  let r1 = run_counter Systems.Ezk 1 in
+  let r10 = run_counter Systems.Ezk 10 in
+  Alcotest.(check bool) "10 clients beat 1" true
+    (r10.Workload.throughput > r1.Workload.throughput *. 5.0)
+
+let test_traditional_contention_amplifies_attempts () =
+  let r1 = run_counter Systems.Zookeeper 1 in
+  let r10 = run_counter Systems.Zookeeper 10 in
+  Alcotest.(check (float 0.01)) "solo never retries" 1.0 r1.Workload.attempts_per_op;
+  Alcotest.(check bool) "contention forces retries" true
+    (r10.Workload.attempts_per_op > 2.0)
+
+let () =
+  Alcotest.run "edc_harness"
+    [
+      ( "workload",
+        List.map
+          (fun kind ->
+            Alcotest.test_case
+              ("accounting on " ^ Systems.kind_name kind)
+              `Quick
+              (test_workload_accounting kind))
+          Systems.all );
+      ( "physics",
+        [
+          Alcotest.test_case "little's law" `Quick test_littles_law;
+          Alcotest.test_case "extension scaling" `Quick
+            test_more_clients_more_throughput_ext;
+          Alcotest.test_case "contention amplification" `Quick
+            test_traditional_contention_amplifies_attempts;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Correctness tests for the coordination recipes (§6.1) on all four
+   systems: shared counter, distributed queue, distributed barrier, leader
+   election, and the lock.  Traditional variants run on ZooKeeper and
+   DepSpace; extension variants on EZK and EDS. *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+module Systems = Edc_harness.Systems
+module Zk = Edc_zookeeper
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let run_in ?(horizon = Sim_time.sec 600) ?(seed = 17) kind f =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make kind sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () -> try f sys with e -> failure := Some e);
+  Sim.run ~until:horizon sim;
+  match !failure with Some e -> raise e | None -> ()
+
+let new_api sys = fst (sys.Systems.new_api ())
+
+let for_all_systems name f =
+  List.map
+    (fun kind ->
+      Alcotest.test_case
+        (Printf.sprintf "%s on %s" name (Systems.kind_name kind))
+        `Quick
+        (fun () -> run_in kind f))
+    Systems.all
+
+(* ------------------------------------------------------------------ *)
+(* Shared counter                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let counter_scenario sys =
+  let sim = sys.Systems.sim in
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let admin = new_api sys in
+  ok "setup" (Counter.setup admin);
+  if extensible then ok "register" (Counter.register admin);
+  let values = ref [] in
+  let worker () =
+    let api = new_api sys in
+    if extensible then
+      ok "ack" ((Api.ext_exn api).Api.acknowledge Counter.extension_name);
+    for _ = 1 to 5 do
+      let r =
+        if extensible then ok "inc" (Counter.increment_ext api)
+        else ok "inc" (Counter.increment_traditional api)
+      in
+      values := r.Counter.value :: !values
+    done
+  in
+  Proc.join (List.init 3 (fun _ -> Proc.async sim worker));
+  let sorted = List.sort compare !values in
+  Alcotest.(check (list int)) "15 dense, unique increments"
+    (List.init 15 (fun i -> i + 1))
+    sorted;
+  match ok "final read" (admin.Api.read ~oid:Counter.counter_oid) with
+  | Some obj -> Alcotest.(check string) "stored value" "15" obj.Api.data
+  | None -> Alcotest.fail "counter vanished"
+
+(* ------------------------------------------------------------------ *)
+(* Distributed queue                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let queue_fifo_scenario sys =
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let api = new_api sys in
+  ok "setup" (Queue.setup api);
+  if extensible then ok "register" (Queue.register api);
+  for i = 1 to 10 do
+    ok "add" (Queue.add api ~eid:(Queue.make_eid api i) ~data:(string_of_int i))
+  done;
+  let removed = ref [] in
+  for _ = 1 to 10 do
+    let r =
+      if extensible then ok "remove" (Queue.remove_ext api)
+      else ok "remove" (Queue.remove_traditional api)
+    in
+    match r.Queue.data with
+    | Some d -> removed := d :: !removed
+    | None -> Alcotest.fail "queue empty too early"
+  done;
+  Alcotest.(check (list string)) "FIFO order"
+    (List.init 10 (fun i -> string_of_int (i + 1)))
+    (List.rev !removed);
+  let r =
+    if extensible then ok "empty remove" (Queue.remove_ext api)
+    else ok "empty remove" (Queue.remove_traditional api)
+  in
+  Alcotest.(check bool) "drained" true (r.Queue.data = None)
+
+let queue_concurrent_scenario sys =
+  let sim = sys.Systems.sim in
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let admin = new_api sys in
+  ok "setup" (Queue.setup admin);
+  if extensible then ok "register" (Queue.register admin);
+  let produced = ref [] and consumed = ref [] in
+  let producer p () =
+    let api = new_api sys in
+    if extensible then
+      ok "ack" ((Api.ext_exn api).Api.acknowledge Queue.extension_name);
+    for i = 1 to 8 do
+      let data = Printf.sprintf "p%d-%d" p i in
+      ok "add" (Queue.add api ~eid:(Queue.make_eid api i) ~data);
+      produced := data :: !produced
+    done
+  in
+  let consumer () =
+    let api = new_api sys in
+    if extensible then
+      ok "ack" ((Api.ext_exn api).Api.acknowledge Queue.extension_name);
+    let got = ref 0 in
+    while !got < 8 do
+      let r =
+        if extensible then ok "remove" (Queue.remove_ext api)
+        else ok "remove" (Queue.remove_traditional api)
+      in
+      match r.Queue.data with
+      | Some d ->
+          consumed := d :: !consumed;
+          incr got
+      | None -> Proc.sleep sim (Sim_time.ms 20)
+    done
+  in
+  Proc.join
+    (List.init 2 (fun p -> Proc.async sim (producer (p + 1)))
+    @ List.init 2 (fun _ -> Proc.async sim consumer));
+  Alcotest.(check (list string)) "no loss, no duplication"
+    (List.sort compare !produced)
+    (List.sort compare !consumed)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed barrier                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_scenario sys =
+  let sim = sys.Systems.sim in
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let n = 4 in
+  let admin = new_api sys in
+  if extensible then ok "register" (Barrier.register admin);
+  (* two consecutive rounds to check reusability of the machinery *)
+  for round = 1 to 2 do
+    let base = Printf.sprintf "/bar%04d" round in
+    ok "setup" (Barrier.setup admin ~base ~threshold:n);
+    let last_arrival = ref Sim_time.zero in
+    let releases = ref [] in
+    let participant i () =
+      let api = new_api sys in
+      if extensible then
+        ok "ack" ((Api.ext_exn api).Api.acknowledge Barrier.extension_name);
+      (* stagger arrivals *)
+      Proc.sleep sim (Sim_time.ms (100 * i));
+      if Sim_time.(!last_arrival < Sim.now sim) then last_arrival := Sim.now sim;
+      (if extensible then ok "enter" (Barrier.enter_ext api ~base)
+       else ok "enter" (Barrier.enter_traditional api ~base ~threshold:n));
+      releases := Sim.now sim :: !releases
+    in
+    Proc.join (List.init n (fun i -> Proc.async sim (participant i)));
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: all released" round)
+      n (List.length !releases);
+    List.iter
+      (fun t ->
+        Alcotest.(check bool) "nobody released before the last arrival" true
+          Sim_time.(!last_arrival <= t))
+      !releases
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Leader election                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let election_scenario sys =
+  let sim = sys.Systems.sim in
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let roots = Election.election_roots in
+  let admin = new_api sys in
+  ok "setup" (Election.setup admin roots);
+  if extensible then ok "register" (Election.register admin roots);
+  let in_power = ref 0 in
+  let max_in_power = ref 0 in
+  let leaderships = ref 0 in
+  let candidate () =
+    let api = new_api sys in
+    let handle = Election.new_handle () in
+    if extensible then
+      ok "ack" ((Api.ext_exn api).Api.acknowledge roots.Election.name);
+    for _ = 1 to 3 do
+      (if extensible then ok "become" (Election.become_leader_ext api roots)
+       else ok "become" (Election.become_leader_traditional api roots handle));
+      incr in_power;
+      incr leaderships;
+      if !in_power > !max_in_power then max_in_power := !in_power;
+      (* hold power briefly *)
+      Proc.sleep sim (Sim_time.ms 20);
+      decr in_power;
+      if extensible then ok "abdicate" (Election.abdicate_ext api roots)
+      else ok "abdicate" (Election.abdicate_traditional api roots handle)
+    done
+  in
+  Proc.join (List.init 3 (fun _ -> Proc.async sim candidate));
+  Alcotest.(check int) "every candidacy succeeded" 9 !leaderships;
+  Alcotest.(check int) "never two leaders at once" 1 !max_in_power
+
+(* ------------------------------------------------------------------ *)
+(* Lock                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lock_scenario sys =
+  let sim = sys.Systems.sim in
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let roots = Lock.lock_roots () in
+  let admin = new_api sys in
+  ok "setup" (Lock.setup admin roots);
+  if extensible then ok "register" (Lock.register admin roots);
+  let holders = ref 0 and violations = ref 0 and acquisitions = ref 0 in
+  let contender () =
+    let api = new_api sys in
+    let handle = Election.new_handle () in
+    if extensible then
+      ok "ack" ((Api.ext_exn api).Api.acknowledge roots.Election.name);
+    for _ = 1 to 3 do
+      (if extensible then ok "acquire" (Lock.acquire_ext api roots)
+       else ok "acquire" (Lock.acquire_traditional api roots handle));
+      incr holders;
+      if !holders > 1 then incr violations;
+      incr acquisitions;
+      Proc.sleep sim (Sim_time.ms 15);
+      decr holders;
+      if extensible then ok "release" (Lock.release_ext api roots)
+      else ok "release" (Lock.release_traditional api roots handle)
+    done
+  in
+  Proc.join (List.init 4 (fun _ -> Proc.async sim contender));
+  Alcotest.(check int) "mutual exclusion" 0 !violations;
+  Alcotest.(check int) "all acquisitions served" 12 !acquisitions
+
+(* ------------------------------------------------------------------ *)
+(* Counting semaphore (capacity 2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let semaphore_scenario sys =
+  let sim = sys.Systems.sim in
+  let extensible = Systems.is_extensible sys.Systems.kind in
+  let roots = Semaphore.semaphore_roots () in
+  let capacity = 2 in
+  let admin = new_api sys in
+  ok "setup" (Semaphore.setup admin roots ~capacity);
+  if extensible then ok "register" (Semaphore.register admin roots);
+  let holders = ref 0 and peak = ref 0 and acquisitions = ref 0 in
+  let worker () =
+    let api = new_api sys in
+    let handle = Semaphore.new_handle () in
+    if extensible then
+      ok "ack" ((Api.ext_exn api).Api.acknowledge roots.Semaphore.name);
+    for _ = 1 to 3 do
+      (if extensible then ok "acquire" (Semaphore.acquire_ext api roots)
+       else ok "acquire" (Semaphore.acquire_traditional api roots handle ~capacity));
+      incr holders;
+      incr acquisitions;
+      if !holders > !peak then peak := !holders;
+      Proc.sleep sim (Sim_time.ms 25);
+      decr holders;
+      if extensible then ok "release" (Semaphore.release_ext api roots)
+      else ok "release" (Semaphore.release_traditional api roots handle)
+    done
+  in
+  Proc.join (List.init 5 (fun _ -> Proc.async sim worker));
+  Alcotest.(check int) "all acquisitions served" 15 !acquisitions;
+  Alcotest.(check bool) "never more than 2 holders" true (!peak <= capacity);
+  Alcotest.(check bool) "concurrency actually happened" true (!peak = capacity)
+
+(* crash of a lock holder releases the lock (liveness-bound member
+   objects): EZK variant, where the holder's session expires *)
+let test_lock_crash_release () =
+  let sim = Sim.create ~seed:23 () in
+  let cluster = Edc_ezk.Ezk_cluster.create sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let roots = Lock.lock_roots () in
+        (* the doomed holder never pings: its session will expire *)
+        let lazy_config =
+          { Zk.Client.default_config with ping_interval = Sim_time.sec 3600 }
+        in
+        let doomed_client =
+          Edc_ezk.Ezk_cluster.connected_client ~config:lazy_config cluster ()
+        in
+        let doomed = Coord_zk.of_client ~extensible:true doomed_client in
+        let patient_client = Edc_ezk.Ezk_cluster.connected_client cluster () in
+        let patient = Coord_zk.of_client ~extensible:true patient_client in
+        ok "setup" (Lock.setup doomed roots);
+        ok "register" (Lock.register doomed roots);
+        ok "ack" ((Api.ext_exn patient).Api.acknowledge roots.Election.name);
+        ok "doomed acquires" (Lock.acquire_ext doomed roots);
+        let got_lock =
+          Proc.async sim (fun () -> ok "patient acquires" (Lock.acquire_ext patient roots))
+        in
+        Proc.sleep sim (Sim_time.sec 2);
+        Alcotest.(check bool) "lock still held" false (Proc.is_fulfilled got_lock);
+        (* the doomed holder stops responding; session expiry (10s) breaks
+           the lock *)
+        Proc.await got_lock;
+        Alcotest.(check bool) "lock recovered after holder crash" true true
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 120) sim;
+  match !failure with Some e -> raise e | None -> ()
+
+let () =
+  Alcotest.run "edc_recipes"
+    [
+      ("counter", for_all_systems "counter" counter_scenario);
+      ("queue_fifo", for_all_systems "queue fifo" queue_fifo_scenario);
+      ("queue_concurrent", for_all_systems "queue concurrent" queue_concurrent_scenario);
+      ("barrier", for_all_systems "barrier" barrier_scenario);
+      ("election", for_all_systems "election" election_scenario);
+      ("lock", for_all_systems "lock" lock_scenario);
+      ("semaphore", for_all_systems "semaphore" semaphore_scenario);
+      ( "fault",
+        [ Alcotest.test_case "crashed lock holder releases" `Quick test_lock_crash_release ] );
+    ]

@@ -1,0 +1,397 @@
+(* Tests for the replication substrates: Zab-like primary-backup broadcast
+   and PBFT-like BFT state machine replication. *)
+
+open Edc_simnet
+open Edc_replication
+
+(* ------------------------------------------------------------------ *)
+(* Zab harness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type zab_cluster = {
+  zsim : Sim.t;
+  znet : string Zab.msg Net.t;
+  zreplicas : string Zab.t array;
+  zdelivered : (Zab.zxid * string) list array;  (* newest first *)
+}
+
+let make_zab_cluster ?(n = 3) ?(seed = 1) () =
+  let sim = Sim.create ~seed () in
+  let net = Net.create sim in
+  let peers = List.init n Fun.id in
+  let delivered = Array.make n [] in
+  let send_from i ~dst msg =
+    Net.send net ~src:i ~dst
+      ~size:(Zab.msg_size ~payload_size:String.length msg)
+      msg
+  in
+  let replicas =
+    Array.init n (fun i ->
+        Zab.create ~sim ~id:i ~peers ~send:(send_from i)
+          ~on_deliver:(fun zxid p ->
+            delivered.(i) <- (zxid, p) :: delivered.(i))
+          ~initial_leader:0 ())
+  in
+  Array.iteri
+    (fun i r ->
+      Net.register net i (fun ~src ~size:_ msg -> Zab.handle r ~src msg);
+      Zab.start r)
+    replicas;
+  { zsim = sim; znet = net; zreplicas = replicas; zdelivered = delivered }
+
+let zab_log c i = List.rev_map snd c.zdelivered.(i)
+
+let crash_zab c i =
+  Zab.crash c.zreplicas.(i);
+  Net.set_node_down c.znet i
+
+let run_for c d = Sim.run ~until:(Sim_time.add (Sim.now c.zsim) d) c.zsim
+
+(* ------------------------------------------------------------------ *)
+(* Zab tests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_zab_basic_agreement () =
+  let c = make_zab_cluster () in
+  run_for c (Sim_time.ms 10);
+  for k = 1 to 10 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "op%d" k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  let expected = List.init 10 (fun k -> Printf.sprintf "op%d" (k + 1)) in
+  for i = 0 to 2 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d delivered all in order" i)
+      expected (zab_log c i)
+  done
+
+let test_zab_propose_on_follower_fails () =
+  let c = make_zab_cluster () in
+  run_for c (Sim_time.ms 10);
+  Alcotest.(check bool) "follower refuses" true
+    (Zab.propose c.zreplicas.(1) "x" = None);
+  Alcotest.(check bool) "leader accepts" true
+    (Zab.propose c.zreplicas.(0) "x" <> None)
+
+let test_zab_zxids_are_monotonic () =
+  let c = make_zab_cluster () in
+  run_for c (Sim_time.ms 10);
+  for k = 1 to 5 do
+    ignore (Zab.propose c.zreplicas.(0) (string_of_int k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  let zxids = List.rev_map fst c.zdelivered.(1) in
+  let sorted = List.sort Zab.zxid_compare zxids in
+  Alcotest.(check bool) "delivered in zxid order" true (zxids = sorted)
+
+let test_zab_leader_failover () =
+  let c = make_zab_cluster () in
+  run_for c (Sim_time.ms 10);
+  for k = 1 to 5 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "a%d" k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  crash_zab c 0;
+  run_for c (Sim_time.sec 2);
+  (* one of the survivors must now lead *)
+  let leaders =
+    List.filter (fun i -> Zab.is_leader c.zreplicas.(i)) [ 1; 2 ]
+  in
+  Alcotest.(check int) "exactly one new leader" 1 (List.length leaders);
+  let leader = List.hd leaders in
+  (* committed entries survived *)
+  let expected = List.init 5 (fun k -> Printf.sprintf "a%d" (k + 1)) in
+  Alcotest.(check (list string)) "committed ops survive failover" expected
+    (zab_log c leader);
+  (* and the new leader can make progress *)
+  for k = 1 to 5 do
+    ignore
+      (Zab.propose c.zreplicas.(leader) (Printf.sprintf "b%d" k)
+        : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  let expected2 = expected @ List.init 5 (fun k -> Printf.sprintf "b%d" (k + 1)) in
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "replica %d converged" i)
+        expected2 (zab_log c i))
+    [ 1; 2 ]
+
+let test_zab_follower_restart_catches_up () =
+  let c = make_zab_cluster () in
+  run_for c (Sim_time.ms 10);
+  ignore (Zab.propose c.zreplicas.(0) "one" : Zab.zxid option);
+  run_for c (Sim_time.ms 500);
+  crash_zab c 2;
+  ignore (Zab.propose c.zreplicas.(0) "two" : Zab.zxid option);
+  ignore (Zab.propose c.zreplicas.(0) "three" : Zab.zxid option);
+  run_for c (Sim_time.sec 1);
+  Alcotest.(check (list string)) "lagging replica missed ops" [ "one" ]
+    (zab_log c 2);
+  Net.set_node_up c.znet 2;
+  Zab.restart c.zreplicas.(2);
+  run_for c (Sim_time.sec 1);
+  Alcotest.(check (list string)) "caught up after restart"
+    [ "one"; "two"; "three" ] (zab_log c 2)
+
+let test_zab_no_commit_without_quorum () =
+  let c = make_zab_cluster () in
+  run_for c (Sim_time.ms 10);
+  crash_zab c 1;
+  crash_zab c 2;
+  ignore (Zab.propose c.zreplicas.(0) "lonely" : Zab.zxid option);
+  run_for c (Sim_time.sec 2);
+  Alcotest.(check (list string)) "no delivery without quorum" []
+    (zab_log c 0)
+
+let test_zab_single_replica_ensemble () =
+  let c = make_zab_cluster ~n:1 () in
+  run_for c (Sim_time.ms 10);
+  ignore (Zab.propose c.zreplicas.(0) "solo" : Zab.zxid option);
+  run_for c (Sim_time.ms 100);
+  Alcotest.(check (list string)) "self-quorum commits" [ "solo" ] (zab_log c 0)
+
+let test_zab_snapshot_recovery () =
+  (* the app state is the delivered list; snapshots marshal it.  A
+     follower that missed everything before the leader compacted must
+     recover through Snapshot_install, ending with identical app state. *)
+  let c = make_zab_cluster () in
+  let app_state = Array.map (fun l -> ref (List.rev l)) c.zdelivered in
+  ignore app_state;
+  run_for c (Sim_time.ms 10);
+  crash_zab c 2;
+  for k = 1 to 40 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "s%02d" k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  (* compact the survivors: blob = their delivered history *)
+  List.iter
+    (fun i ->
+      Zab.compact c.zreplicas.(i) ~take:(fun () ->
+          Marshal.to_string c.zdelivered.(i) []))
+    [ 0; 1 ];
+  Alcotest.(check bool) "leader log compacted" true
+    (Zab.compaction_base c.zreplicas.(0) > 0);
+  (* the restarting follower installs the snapshot into its app state *)
+  Zab.set_install_snapshot c.zreplicas.(2) (fun blob ->
+      let history : (Zab.zxid * string) list = Marshal.from_string blob 0 in
+      c.zdelivered.(2) <- history);
+  Net.set_node_up c.znet 2;
+  Zab.restart c.zreplicas.(2);
+  run_for c (Sim_time.sec 2);
+  ignore (Zab.propose c.zreplicas.(0) "after" : Zab.zxid option);
+  run_for c (Sim_time.sec 1);
+  let expected =
+    List.init 40 (fun k -> Printf.sprintf "s%02d" (k + 1)) @ [ "after" ]
+  in
+  for i = 0 to 2 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d app state complete" i)
+      expected (zab_log c i)
+  done
+
+let test_zab_deterministic_runs () =
+  let run () =
+    let c = make_zab_cluster ~seed:99 () in
+    run_for c (Sim_time.ms 10);
+    for k = 1 to 20 do
+      ignore (Zab.propose c.zreplicas.(0) (string_of_int k) : Zab.zxid option)
+    done;
+    run_for c (Sim_time.sec 1);
+    (Sim.now c.zsim, zab_log c 1, Net.total_bytes_sent c.znet)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let prop_zab_prefix_agreement =
+  QCheck.Test.make ~name:"zab replicas deliver identical sequences"
+    ~count:20
+    QCheck.(pair small_int (int_range 1 30))
+    (fun (seed, nops) ->
+      let c = make_zab_cluster ~seed () in
+      Sim.run ~until:(Sim_time.ms 10) c.zsim;
+      for k = 1 to nops do
+        ignore (Zab.propose c.zreplicas.(0) (string_of_int k) : Zab.zxid option)
+      done;
+      Sim.run ~until:(Sim_time.sec 2) c.zsim;
+      let l0 = zab_log c 0 and l1 = zab_log c 1 and l2 = zab_log c 2 in
+      List.length l0 = nops && l0 = l1 && l1 = l2)
+
+(* ------------------------------------------------------------------ *)
+(* PBFT harness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type pbft_cluster = {
+  psim : Sim.t;
+  pnet : string Pbft.msg Net.t;
+  preplicas : string Pbft.t array;
+  pdelivered : (Pbft.request_id * string) list array;  (* newest first *)
+}
+
+let make_pbft_cluster ?(f = 1) ?(seed = 1) () =
+  let n = (3 * f) + 1 in
+  let sim = Sim.create ~seed () in
+  let net = Net.create sim in
+  let peers = List.init n Fun.id in
+  let delivered = Array.make n [] in
+  let send_from i ~dst msg =
+    Net.send net ~src:i ~dst
+      ~size:(Pbft.msg_size ~payload_size:String.length msg)
+      msg
+  in
+  let replicas =
+    Array.init n (fun i ->
+        Pbft.create ~sim ~id:i ~peers ~f ~send:(send_from i)
+          ~on_deliver:(fun rid p ~ts:_ ->
+            delivered.(i) <- (rid, p) :: delivered.(i))
+          ())
+  in
+  Array.iteri
+    (fun i r ->
+      Net.register net i (fun ~src ~size:_ msg -> Pbft.handle r ~src msg);
+      Pbft.start r)
+    replicas;
+  { psim = sim; pnet = net; preplicas = replicas; pdelivered = delivered }
+
+let pbft_log c i = List.rev_map snd c.pdelivered.(i)
+
+(* A client multicast: hand the request to every replica (the network-level
+   multicast is exercised by the DepSpace tests). *)
+let pbft_submit c rid payload =
+  Array.iter (fun r -> Pbft.submit r rid payload) c.preplicas
+
+let prun_for c d = Sim.run ~until:(Sim_time.add (Sim.now c.psim) d) c.psim
+
+(* ------------------------------------------------------------------ *)
+(* PBFT tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rid client rseq = { Pbft.client; rseq }
+
+let test_pbft_basic_total_order () =
+  let c = make_pbft_cluster () in
+  for k = 1 to 10 do
+    pbft_submit c (rid 7 k) (Printf.sprintf "op%d" k)
+  done;
+  prun_for c (Sim_time.sec 1);
+  let expected = List.init 10 (fun k -> Printf.sprintf "op%d" (k + 1)) in
+  for i = 0 to 3 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d total order" i)
+      expected (pbft_log c i)
+  done
+
+let test_pbft_duplicate_submission () =
+  let c = make_pbft_cluster () in
+  pbft_submit c (rid 7 1) "once";
+  pbft_submit c (rid 7 1) "once";
+  prun_for c (Sim_time.sec 1);
+  Alcotest.(check (list string)) "delivered exactly once" [ "once" ]
+    (pbft_log c 0)
+
+let test_pbft_silent_backup () =
+  let c = make_pbft_cluster () in
+  Pbft.crash c.preplicas.(3);
+  Net.set_node_down c.pnet 3;
+  for k = 1 to 5 do
+    pbft_submit c (rid 9 k) (Printf.sprintf "v%d" k)
+  done;
+  prun_for c (Sim_time.sec 1);
+  let expected = List.init 5 (fun k -> Printf.sprintf "v%d" (k + 1)) in
+  for i = 0 to 2 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d progressed despite silent backup" i)
+      expected (pbft_log c i)
+  done
+
+let test_pbft_primary_crash_view_change () =
+  let c = make_pbft_cluster () in
+  pbft_submit c (rid 3 1) "before";
+  prun_for c (Sim_time.sec 1);
+  Pbft.crash c.preplicas.(0);
+  Net.set_node_down c.pnet 0;
+  (* submit to the survivors only (the client would multicast to all) *)
+  Array.iteri
+    (fun i r -> if i > 0 then Pbft.submit r (rid 3 2) "after")
+    c.preplicas;
+  prun_for c (Sim_time.sec 3);
+  for i = 1 to 3 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d delivered across view change" i)
+      [ "before"; "after" ] (pbft_log c i)
+  done;
+  Alcotest.(check bool) "view advanced" true (Pbft.view c.preplicas.(1) >= 1)
+
+let test_pbft_order_preserved_across_view_change () =
+  let c = make_pbft_cluster () in
+  for k = 1 to 5 do
+    pbft_submit c (rid 2 k) (Printf.sprintf "x%d" k)
+  done;
+  prun_for c (Sim_time.sec 1);
+  Pbft.crash c.preplicas.(0);
+  Net.set_node_down c.pnet 0;
+  for k = 6 to 8 do
+    Array.iteri
+      (fun i r -> if i > 0 then Pbft.submit r (rid 2 k) (Printf.sprintf "x%d" k))
+      c.preplicas
+  done;
+  prun_for c (Sim_time.sec 3);
+  let expected = List.init 8 (fun k -> Printf.sprintf "x%d" (k + 1)) in
+  for i = 1 to 3 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d history prefix preserved" i)
+      expected (pbft_log c i)
+  done
+
+let prop_pbft_agreement =
+  QCheck.Test.make ~name:"pbft replicas agree on delivery order" ~count:10
+    QCheck.(pair small_int (int_range 1 15))
+    (fun (seed, nops) ->
+      let c = make_pbft_cluster ~seed () in
+      for k = 1 to nops do
+        pbft_submit c (rid 1 k) (string_of_int k)
+      done;
+      Sim.run ~until:(Sim_time.sec 2) c.psim;
+      let logs = List.init 4 (fun i -> pbft_log c i) in
+      match logs with
+      | l0 :: rest -> List.length l0 = nops && List.for_all (( = ) l0) rest
+      | [] -> false)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "edc_replication"
+    [
+      ( "zab",
+        [
+          Alcotest.test_case "basic agreement" `Quick test_zab_basic_agreement;
+          Alcotest.test_case "follower refuses proposals" `Quick
+            test_zab_propose_on_follower_fails;
+          Alcotest.test_case "zxid monotonicity" `Quick test_zab_zxids_are_monotonic;
+          Alcotest.test_case "leader failover" `Quick test_zab_leader_failover;
+          Alcotest.test_case "restart catch-up" `Quick
+            test_zab_follower_restart_catches_up;
+          Alcotest.test_case "no quorum, no commit" `Quick
+            test_zab_no_commit_without_quorum;
+          Alcotest.test_case "single-replica ensemble" `Quick
+            test_zab_single_replica_ensemble;
+          Alcotest.test_case "snapshot recovery" `Quick test_zab_snapshot_recovery;
+          Alcotest.test_case "deterministic reruns" `Quick
+            test_zab_deterministic_runs;
+          qc prop_zab_prefix_agreement;
+        ] );
+      ( "pbft",
+        [
+          Alcotest.test_case "total order" `Quick test_pbft_basic_total_order;
+          Alcotest.test_case "duplicate submission" `Quick
+            test_pbft_duplicate_submission;
+          Alcotest.test_case "silent backup tolerated" `Quick
+            test_pbft_silent_backup;
+          Alcotest.test_case "primary crash view change" `Quick
+            test_pbft_primary_crash_view_change;
+          Alcotest.test_case "order across view change" `Quick
+            test_pbft_order_preserved_across_view_change;
+          qc prop_pbft_agreement;
+        ] );
+    ]

@@ -1,0 +1,468 @@
+(* Robustness and model-equivalence property tests.
+
+   The threat model of §4 says servers must survive arbitrary client-
+   supplied bytes and arbitrary (verified) extension programs.  These
+   tests throw random inputs at the codec and the sandbox, check the
+   leader's speculative view against a replay model, and exercise the
+   replication substrate under randomized fault schedules. *)
+
+open Edc_core
+open Edc_simnet
+open Edc_replication
+
+let qc = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Codec fuzzing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sexp_parser_total =
+  QCheck.Test.make ~name:"Sexp.of_string is total on random bytes" ~count:1000
+    QCheck.(string_gen Gen.(char_range '\000' '\255'))
+    (fun s ->
+      match Sexp.of_string s with Ok _ | Error _ -> true)
+
+let prop_codec_total_on_sexps =
+  (* random well-formed sexps: the decoder must reject or accept, never
+     raise *)
+  let sexp_gen =
+    let open QCheck.Gen in
+    let atom =
+      map (fun s -> Sexp.Atom s)
+        (oneof
+           [ string_size ~gen:printable (int_range 0 6);
+             oneofl [ "ext"; "opsubs"; "evsubs"; "onop"; "onev"; "let"; "if";
+                      "svc"; "call"; "bin"; "add"; "read"; "i"; "s"; "var" ] ])
+    in
+    let rec go d =
+      if d = 0 then atom
+      else
+        frequency
+          [ (2, atom); (1, map (fun l -> Sexp.List l) (list_size (int_range 0 5) (go (d - 1)))) ]
+    in
+    go 4
+  in
+  QCheck.Test.make ~name:"Codec.of_sexp is total on random sexps" ~count:500
+    (QCheck.make sexp_gen)
+    (fun sx -> match Codec.of_sexp sx with Ok _ | Error _ -> true)
+
+let prop_value_roundtrip =
+  let value_gen =
+    let open QCheck.Gen in
+    let scalar =
+      oneof
+        [ return Value.Unit;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) int;
+          map (fun s -> Value.Str s) (string_size ~gen:(char_range '\000' '\255') (int_range 0 12)) ]
+    in
+    let rec go d =
+      if d = 0 then scalar
+      else
+        frequency
+          [ (3, scalar);
+            (1, map (fun l -> Value.List l) (list_size (int_range 0 4) (go (d - 1))));
+            (1,
+             map
+               (fun kvs -> Value.Record kvs)
+               (list_size (int_range 0 3)
+                  (pair (string_size ~gen:printable (int_range 1 6)) (go (d - 1))))) ]
+    in
+    go 3
+  in
+  QCheck.Test.make ~name:"Value serialize/deserialize roundtrip" ~count:500
+    (QCheck.make value_gen)
+    (fun v ->
+      match Value.deserialize (Value.serialize v) with
+      | Ok v' -> Value.equal v v'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Program generation + sandbox fuzzing                                *)
+(* ------------------------------------------------------------------ *)
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Ast.Int_lit i) (int_range (-100) 100);
+        map (fun s -> Ast.Str_lit s) (oneofl [ "/a"; "/b"; "/q/x"; "hello"; "" ]);
+        map (fun b -> Ast.Bool_lit b) bool;
+        oneofl [ Ast.Var "x"; Ast.Var "y"; Ast.Param "oid"; Ast.Param "client";
+                 Ast.Unit_lit ] ]
+  in
+  let rec go d =
+    if d = 0 then leaf
+    else
+      frequency
+        [ (4, leaf);
+          (2,
+           map3
+             (fun op a b -> Ast.Binop (op, a, b))
+             (oneofl Ast.[ Add; Sub; Mul; Div; Mod; Eq; Ne; Lt; Le; Gt; Ge; And; Or; Concat ])
+             (go (d - 1)) (go (d - 1)));
+          (1, map (fun e -> Ast.Not e) (go (d - 1)));
+          (1, map (fun e -> Ast.Field (e, "data")) (go (d - 1)));
+          (1, map (fun e -> Ast.Call ("str_len", [ e ])) (go (d - 1)));
+          (1, map2 (fun a b -> Ast.Call ("min", [ a; b ])) (go (d - 1)) (go (d - 1)));
+          (1, map (fun e -> Ast.Svc (Ast.Svc_read, [ e ])) (go (d - 1)));
+          (1, map (fun e -> Ast.Svc (Ast.Svc_exists, [ e ])) (go (d - 1)));
+          (1, map (fun e -> Ast.Svc (Ast.Svc_sub_objects, [ e ])) (go (d - 1)));
+          (1,
+           map2
+             (fun a b -> Ast.Svc (Ast.Svc_create, [ a; b ]))
+             (go (d - 1)) (go (d - 1)));
+          (1,
+           map2
+             (fun a b -> Ast.Svc (Ast.Svc_update, [ a; b ]))
+             (go (d - 1)) (go (d - 1)));
+          (1, map (fun e -> Ast.Svc (Ast.Svc_delete, [ e ])) (go (d - 1))) ]
+  in
+  go 3
+
+let stmt_gen =
+  let open QCheck.Gen in
+  let rec go d =
+    let simple =
+      oneof
+        [ map (fun e -> Ast.Let ("x", e)) expr_gen;
+          map (fun e -> Ast.Let ("y", e)) expr_gen;
+          map (fun e -> Ast.Do e) expr_gen;
+          map (fun e -> Ast.Return e) expr_gen;
+          return (Ast.Abort "fuzz") ]
+    in
+    if d = 0 then simple
+    else
+      frequency
+        [ (4, simple);
+          (1,
+           map3
+             (fun c a b -> Ast.If (c, a, b))
+             expr_gen
+             (list_size (int_range 0 3) (go (d - 1)))
+             (list_size (int_range 0 3) (go (d - 1))));
+          (1,
+           map2
+             (fun e body -> Ast.For_each ("i", e, body))
+             expr_gen
+             (list_size (int_range 0 3) (go (d - 1)))) ]
+  in
+  go 2
+
+let program_gen =
+  let open QCheck.Gen in
+  map
+    (fun body ->
+      Program.make "fuzz"
+        ~op_subs:[ { Subscription.op_kinds = [ Subscription.K_read ];
+                     op_oid = Subscription.Any_oid } ]
+        ~on_operation:body ())
+    (list_size (int_range 1 6) stmt_gen)
+
+(* a tiny in-memory proxy, as in test_core *)
+let mock_proxy () =
+  let store : (string, string * int * int) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace store "/a" ("va", 0, 1);
+  Hashtbl.replace store "/q/x" ("queued", 0, 2);
+  let record oid =
+    match Hashtbl.find_opt store oid with
+    | Some (data, version, ctime) -> Ok (Value.obj ~id:oid ~data ~version ~ctime)
+    | None -> Error ("no object " ^ oid)
+  in
+  {
+    Sandbox.p_read = record;
+    p_exists = (fun oid -> Hashtbl.mem store oid);
+    p_sub_objects = (fun _ -> Ok []);
+    p_create =
+      (fun ~sequential:_ ~oid ~data ->
+        if Hashtbl.mem store oid then Error "exists"
+        else begin
+          Hashtbl.replace store oid (data, 0, Hashtbl.length store);
+          Ok oid
+        end);
+    p_update =
+      (fun ~oid ~data ->
+        match Hashtbl.find_opt store oid with
+        | Some (_, v, c) ->
+            Hashtbl.replace store oid (data, v + 1, c);
+            Ok (v + 1)
+        | None -> Error "no object");
+    p_cas = (fun ~oid:_ ~expected:_ ~data:_ -> Ok false);
+    p_delete = (fun oid -> Ok (Hashtbl.mem store oid && (Hashtbl.remove store oid; true)));
+    p_block = (fun _ -> Ok ());
+    p_monitor = (fun _ -> Ok ());
+    p_notify = (fun ~client:_ ~oid:_ -> Ok ());
+    p_clock = (fun () -> 1);
+  }
+
+let prop_sandbox_never_raises =
+  QCheck.Test.make ~name:"sandbox never raises on random programs" ~count:500
+    (QCheck.make program_gen)
+    (fun program ->
+      (* the program may or may not pass verification; the sandbox must
+         return Ok/Error either way (verification protects servers from
+         expensive programs, not from interpreter crashes) *)
+      let proxy = mock_proxy () in
+      let params = [ ("oid", Value.Str "/a"); ("client", Value.Int 7) ] in
+      match program.Program.on_operation with
+      | None -> true
+      | Some handler -> (
+          match Sandbox.run ~proxy ~params handler with
+          | Ok _ | Error _ -> true))
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~name:"random programs survive the wire format" ~count:300
+    (QCheck.make program_gen)
+    (fun program ->
+      match Codec.deserialize (Codec.serialize program) with
+      | Ok p' -> Codec.serialize p' = Codec.serialize program
+      | Error _ -> false)
+
+let prop_verified_programs_within_budget =
+  QCheck.Test.make
+    ~name:"programs the verifier admits respect structural bounds" ~count:300
+    (QCheck.make program_gen)
+    (fun program ->
+      let code = Codec.serialize program in
+      match Verify.verify ~mode:Verify.Active code with
+      | Error _ -> true
+      | Ok p ->
+          Program.nodes p <= Verify.default_limits.Verify.max_nodes
+          && Program.depth p <= Verify.default_limits.Verify.max_depth
+          && Program.loop_nesting p
+             <= Verify.default_limits.Verify.max_loop_nesting)
+
+(* ------------------------------------------------------------------ *)
+(* Spec_view vs replay model                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* random operation scripts applied through the leader's speculative view;
+   the minted transactions replayed on a fresh tree must produce exactly
+   the state the speculation predicted *)
+type script_op =
+  | S_create of string * string
+  | S_delete of string
+  | S_set of string * string
+  | S_cas of string * string
+
+let script_gen =
+  let open QCheck.Gen in
+  let path = oneofl [ "/a"; "/b"; "/a/x"; "/a/y"; "/b/z" ] in
+  let data = oneofl [ ""; "v1"; "v2"; "payload" ] in
+  list_size (int_range 1 40)
+    (oneof
+       [ map2 (fun p d -> S_create (p, d)) path data;
+         map (fun p -> S_delete p) path;
+         map2 (fun p d -> S_set (p, d)) path data;
+         map2 (fun p d -> S_cas (p, d)) path data ])
+
+let prop_spec_view_matches_replay =
+  QCheck.Test.make ~name:"speculative view = committed replay of minted txns"
+    ~count:300 (QCheck.make script_gen)
+    (fun script ->
+      let module Zk = Edc_zookeeper in
+      let tree = Zk.Data_tree.create () in
+      let sv = Zk.Spec_view.create tree in
+      let txns = ref [] in
+      let mint = function
+        | S_create (path, data) -> (
+            match
+              Zk.Spec_view.create_node sv ~path ~data ~ephemeral_owner:None
+                ~sequential:false
+            with
+            | Ok (_, op) -> txns := op :: !txns
+            | Error _ -> ())
+        | S_delete path -> (
+            match Zk.Spec_view.delete_node sv ~path ~version:None with
+            | Ok op -> txns := op :: !txns
+            | Error _ -> ())
+        | S_set (path, data) -> (
+            match Zk.Spec_view.set_node sv ~path ~data ~expected_version:None with
+            | Ok (op, _) -> txns := op :: !txns
+            | Error _ -> ())
+        | S_cas (path, data) -> (
+            (* conditional against the currently speculated version *)
+            match Zk.Spec_view.read sv path with
+            | Error _ -> ()
+            | Ok (_, stat) -> (
+                match
+                  Zk.Spec_view.set_node sv ~path ~data
+                    ~expected_version:(Some stat.Zk.Znode.version)
+                with
+                | Ok (op, _) -> txns := op :: !txns
+                | Error _ -> ()))
+      in
+      List.iter mint script;
+      (* replay on a fresh tree *)
+      let replay = Zk.Data_tree.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | Zk.Txn.Tcreate { path; data; ephemeral_owner } ->
+              Zk.Data_tree.apply_create replay ~path ~data ~ephemeral_owner
+          | Zk.Txn.Tdelete { path } -> Zk.Data_tree.apply_delete replay ~path
+          | Zk.Txn.Tset { path; data; version } ->
+              Zk.Data_tree.apply_set replay ~path ~data ~version
+          | _ -> ())
+        (List.rev !txns);
+      (* the replayed tree must agree with the speculation on every path *)
+      Zk.Data_tree.anomalies replay = 0
+      && List.for_all
+           (fun path ->
+             match (Zk.Spec_view.read sv path, Zk.Data_tree.get_data replay path) with
+             | Ok (d1, s1), Ok (d2, s2) ->
+                 d1 = d2
+                 && s1.Zk.Znode.version = s2.Zk.Znode.version
+                 && s1.Zk.Znode.czxid = s2.Zk.Znode.czxid
+             | Error _, Error _ -> true
+             | _ -> false)
+           [ "/a"; "/b"; "/a/x"; "/a/y"; "/b/z" ])
+
+(* ------------------------------------------------------------------ *)
+(* Replication under random fault schedules                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Zab: random single-replica crash/restart points during a proposal
+   stream must never lose a committed entry nor fork the logs *)
+let prop_zab_safety_under_faults =
+  QCheck.Test.make ~name:"zab: no committed entry lost under crash/restart"
+    ~count:25
+    QCheck.(triple small_int (int_range 0 2) (int_range 1 15))
+    (fun (seed, victim, crash_after) ->
+      let sim = Sim.create ~seed () in
+      let net = Net.create sim in
+      let peers = [ 0; 1; 2 ] in
+      let delivered = Array.make 3 [] in
+      let send_from i ~dst msg =
+        Net.send net ~src:i ~dst ~size:(Zab.msg_size ~payload_size:String.length msg) msg
+      in
+      let replicas =
+        Array.init 3 (fun i ->
+            Zab.create ~sim ~id:i ~peers ~send:(send_from i)
+              ~on_deliver:(fun _ p -> delivered.(i) <- p :: delivered.(i))
+              ~initial_leader:0 ())
+      in
+      Array.iteri
+        (fun i r ->
+          Net.register net i (fun ~src ~size:_ msg -> Zab.handle r ~src msg);
+          Zab.start r)
+        replicas;
+      (* proposal stream with a crash of [victim] partway, restart later *)
+      let proposed = ref [] in
+      let counter = ref 0 in
+      let propose_one () =
+        (* always propose at whichever replica currently leads *)
+        Array.iter
+          (fun r ->
+            if Zab.is_leader r then begin
+              incr counter;
+              let p = string_of_int !counter in
+              if Zab.propose r p <> None then proposed := p :: !proposed
+            end)
+          replicas
+      in
+      for k = 1 to 30 do
+        Sim.run ~until:(Sim_time.add (Sim.now sim) (Sim_time.ms 100)) sim;
+        if k = crash_after then begin
+          Zab.crash replicas.(victim);
+          Net.set_node_down net victim
+        end;
+        if k = crash_after + 8 then begin
+          Net.set_node_up net victim;
+          Zab.restart replicas.(victim)
+        end;
+        propose_one ()
+      done;
+      Sim.run ~until:(Sim_time.add (Sim.now sim) (Sim_time.sec 5)) sim;
+      let logs = Array.to_list (Array.map (fun l -> List.rev l) delivered) in
+      (* prefix consistency across all replicas *)
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: a', y :: b' -> x = y && is_prefix a' b'
+        | _ -> false
+      in
+      let pairwise_ok =
+        List.for_all
+          (fun l1 -> List.for_all (fun l2 -> is_prefix l1 l2 || is_prefix l2 l1) logs)
+          logs
+      in
+      (* every entry present on a majority is on the longest log *)
+      let longest =
+        List.fold_left (fun acc l -> if List.length l > List.length acc then l else acc)
+          [] logs
+      in
+      let majority_entries =
+        List.filter
+          (fun p -> List.length (List.filter (fun l -> List.mem p l) logs) >= 2)
+          !proposed
+      in
+      pairwise_ok && List.for_all (fun p -> List.mem p longest) majority_entries)
+
+(* PBFT: a randomly chosen silent replica must not prevent agreement *)
+let prop_pbft_with_random_silent_replica =
+  QCheck.Test.make ~name:"pbft: agreement with any one silent replica" ~count:15
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, victim) ->
+      let sim = Sim.create ~seed () in
+      let net = Net.create sim in
+      let peers = [ 0; 1; 2; 3 ] in
+      let delivered = Array.make 4 [] in
+      let send_from i ~dst msg =
+        Net.send net ~src:i ~dst ~size:(Pbft.msg_size ~payload_size:String.length msg) msg
+      in
+      let replicas =
+        Array.init 4 (fun i ->
+            Pbft.create ~sim ~id:i ~peers ~f:1 ~send:(send_from i)
+              ~on_deliver:(fun _ p ~ts:_ -> delivered.(i) <- p :: delivered.(i))
+              ())
+      in
+      Array.iteri
+        (fun i r ->
+          Net.register net i (fun ~src ~size:_ msg -> Pbft.handle r ~src msg);
+          Pbft.start r)
+        replicas;
+      Pbft.crash replicas.(victim);
+      Net.set_node_down net victim;
+      for k = 1 to 10 do
+        Array.iter (fun r -> Pbft.submit r { Pbft.client = 9; rseq = k } (string_of_int k)) replicas
+      done;
+      Sim.run ~until:(Sim_time.sec 10) sim;
+      let expected = List.init 10 (fun i -> string_of_int (i + 1)) in
+      List.for_all
+        (fun i -> i = victim || List.rev delivered.(i) = expected)
+        [ 0; 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end experiment determinism                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiment_determinism () =
+  (* the whole stack — simulator, protocols, extensions, workload — must
+     be bit-for-bit reproducible from a seed *)
+  let module E = Edc_harness.Experiment in
+  let module S = Edc_harness.Systems in
+  let run () =
+    let p =
+      E.counter_point ~seed:123 ~warmup:(Sim_time.ms 200)
+        ~measure:(Sim_time.ms 500) S.Ezk 8
+    in
+    (p.E.throughput, p.E.latency_ms, p.E.kb_per_op, p.E.errors)
+  in
+  Alcotest.(check bool) "two identical runs" true (run () = run ())
+
+let () =
+  Alcotest.run "edc_robustness"
+    [
+      ( "codec",
+        [ qc prop_sexp_parser_total; qc prop_codec_total_on_sexps; qc prop_value_roundtrip ] );
+      ( "sandbox",
+        [ qc prop_sandbox_never_raises; qc prop_program_roundtrip;
+          qc prop_verified_programs_within_budget ] );
+      ("spec_view", [ qc prop_spec_view_matches_replay ]);
+      ( "replication",
+        [ qc prop_zab_safety_under_faults; qc prop_pbft_with_random_silent_replica ] );
+      ( "determinism",
+        [ Alcotest.test_case "experiment reproducibility" `Quick
+            test_experiment_determinism ] );
+    ]

@@ -1,0 +1,176 @@
+(* Quantitative validation of Table 2: the RPC cost of every abstract
+   operation on each mapping.  The table's cost structure is the paper's
+   whole argument — e.g. subObjects is k+1 calls on ZooKeeper but a single
+   rdAll on DepSpace — so we count actual client requests per call. *)
+
+open Edc_simnet
+open Edc_recipes
+module Api = Coord_api
+module Zk = Edc_zookeeper
+module Ds = Edc_depspace
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* ------------------------------------------------------------------ *)
+(* ZooKeeper column                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_zk_rpc_costs () =
+  let sim = Sim.create ~seed:31 () in
+  let cluster = Zk.Cluster.create sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let zc = Zk.Cluster.connected_client cluster () in
+        let api = Coord_zk.of_client ~extensible:false zc in
+        let cost what f =
+          let before = Zk.Client.requests_sent zc in
+          f ();
+          (what, Zk.Client.requests_sent zc - before)
+        in
+        (* a parent with k = 5 children *)
+        ignore (ok "mk" (api.Api.create ~oid:"/d" ~data:"x"));
+        for i = 1 to 5 do
+          ignore (ok "mk" (api.Api.create ~oid:(Printf.sprintf "/d/c%d" i) ~data:""))
+        done;
+        let costs =
+          [
+            cost "create" (fun () -> ignore (ok "create" (api.Api.create ~oid:"/t1" ~data:"")));
+            cost "read" (fun () -> ignore (ok "read" (api.Api.read ~oid:"/d")));
+            cost "update" (fun () -> ok "update" (api.Api.update ~oid:"/d" ~data:"y"));
+            cost "cas" (fun () ->
+                let obj = Option.get (ok "read" (api.Api.read ~oid:"/d")) in
+                ignore (ok "cas" (api.Api.cas ~expected:obj ~data:"z")));
+            cost "delete" (fun () -> ignore (ok "delete" (api.Api.delete ~oid:"/t1")));
+            cost "subObjects(k=5)" (fun () ->
+                ignore (ok "sub" (api.Api.sub_objects ~oid:"/d")));
+            cost "subObjectIds" (fun () ->
+                ignore (ok "ids" (api.Api.sub_object_ids ~oid:"/d")));
+            cost "monitor" (fun () -> ok "monitor" (api.Api.monitor ~oid:"/m1"));
+          ]
+        in
+        let expected =
+          [
+            ("create", 1);
+            ("read", 1);
+            ("update", 1);
+            (* cas itself is 1 RPC; the preceding read is counted in its
+               own row *)
+            ("cas", 2);
+            ("delete", 1);
+            (* getChildren + one getData per child *)
+            ("subObjects(k=5)", 6);
+            ("subObjectIds", 1);
+            ("monitor", 1);
+          ]
+        in
+        List.iter2
+          (fun (what, got) (_, want) ->
+            Alcotest.(check int) ("ZooKeeper " ^ what ^ " RPCs") want got)
+          costs expected
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 60) sim;
+  match !failure with Some e -> raise e | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* DepSpace column                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ds_rpc_costs () =
+  let sim = Sim.create ~seed:33 () in
+  let cluster = Ds.Ds_cluster.create sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let dc = Ds.Ds_cluster.client cluster () in
+        let api = Coord_ds.of_client ~extensible:false dc in
+        let cost what f =
+          let before = Ds.Ds_client.requests_sent dc in
+          f ();
+          (what, Ds.Ds_client.requests_sent dc - before)
+        in
+        ignore (ok "mk" (api.Api.create ~oid:"/d" ~data:"x"));
+        for i = 1 to 5 do
+          ignore (ok "mk" (api.Api.create ~oid:(Printf.sprintf "/d/c%d" i) ~data:""))
+        done;
+        let costs =
+          [
+            cost "create" (fun () -> ignore (ok "create" (api.Api.create ~oid:"/t1" ~data:"")));
+            cost "read" (fun () -> ignore (ok "read" (api.Api.read ~oid:"/d")));
+            cost "update" (fun () -> ok "update" (api.Api.update ~oid:"/d" ~data:"y"));
+            cost "cas" (fun () ->
+                let obj = Option.get (ok "read" (api.Api.read ~oid:"/d")) in
+                ignore (ok "cas" (api.Api.cas ~expected:obj ~data:"z")));
+            cost "delete" (fun () -> ignore (ok "delete" (api.Api.delete ~oid:"/t1")));
+            (* THE Table 2 point: one rdAll regardless of k *)
+            cost "subObjects(k=5)" (fun () ->
+                ignore (ok "sub" (api.Api.sub_objects ~oid:"/d")));
+            cost "monitor" (fun () -> ok "monitor" (api.Api.monitor ~oid:"/m1"));
+          ]
+        in
+        let expected =
+          [
+            ("create", 1); ("read", 1); ("update", 1); ("cas", 2);
+            ("delete", 1); ("subObjects(k=5)", 1); ("monitor", 1);
+          ]
+        in
+        List.iter2
+          (fun (what, got) (_, want) ->
+            Alcotest.(check int) ("DepSpace " ^ what ^ " RPCs") want got)
+          costs expected
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 60) sim;
+  match !failure with Some e -> raise e | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Extension single-RPC claims (§6.1)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ezk_extension_rpc_costs () =
+  let sim = Sim.create ~seed:35 () in
+  let cluster = Edc_ezk.Ezk_cluster.create sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let zc = Edc_ezk.Ezk_cluster.connected_client cluster () in
+        let api = Coord_zk.of_client ~extensible:true zc in
+        ignore (ok "setup" (Counter.setup api));
+        ignore (ok "reg ctr" (Counter.register api));
+        ignore (ok "setup q" (Queue.setup api));
+        ignore (ok "reg q" (Queue.register api));
+        for i = 1 to 5 do
+          ignore (ok "add" (Queue.add api ~eid:(Queue.make_eid api i) ~data:""))
+        done;
+        let cost what f =
+          let before = Zk.Client.requests_sent zc in
+          f ();
+          (what, Zk.Client.requests_sent zc - before)
+        in
+        let increments =
+          cost "extension increment" (fun () ->
+              ignore (ok "inc" (Counter.increment_ext api)))
+        in
+        let removal =
+          cost "extension queue remove (k=5)" (fun () ->
+              ignore (ok "rm" (Queue.remove_ext api)))
+        in
+        List.iter
+          (fun (what, got) -> Alcotest.(check int) (what ^ " = single RPC") 1 got)
+          [ increments; removal ]
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 60) sim;
+  match !failure with Some e -> raise e | None -> ()
+
+let () =
+  Alcotest.run "edc_table2"
+    [
+      ( "rpc-costs",
+        [
+          Alcotest.test_case "ZooKeeper column" `Quick test_zk_rpc_costs;
+          Alcotest.test_case "DepSpace column" `Quick test_ds_rpc_costs;
+          Alcotest.test_case "extensions are single-RPC" `Quick
+            test_ezk_extension_rpc_costs;
+        ] );
+    ]
