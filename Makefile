@@ -1,0 +1,19 @@
+# Tier-1 verification in one command (see ROADMAP.md).
+.PHONY: all build test check bench-quick clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build && dune runtest
+
+bench-quick:
+	dune exec bench/main.exe -- all --quick
+
+clean:
+	dune clean

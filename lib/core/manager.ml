@@ -57,11 +57,12 @@ let classify_path path =
   else if String.equal path em_index then Em_index
   else
     match String.split_on_char '/' path with
-    | [ ""; "em"; name ] -> Em_extension name
-    | [ ""; "em"; name; "ack"; client ] -> (
+    | [ ""; "em"; name ] when name <> "" -> Em_extension name
+    | [ ""; "em"; name; "ack"; client ] when name <> "" -> (
+        (* client ids are non-negative; "/em/x/ack/-1" is not an ack *)
         match int_of_string_opt client with
-        | Some c -> Em_ack (name, c)
-        | None -> Not_em)
+        | Some c when c >= 0 -> Em_ack (name, c)
+        | Some _ | None -> Not_em)
     | _ -> Not_em
 
 let create ?(verify_limits = Verify.default_limits)

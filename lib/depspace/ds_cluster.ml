@@ -15,9 +15,20 @@ type t = {
 
 let client_addr_base = 1000
 
-let create ?(f = 1) ?net_config ?server_config ?pbft_config sim =
+let create ?(f = 1) ?net_config ?server_config ?pbft_config ?batch sim =
   let n = (3 * f) + 1 in
   let net = Net.create ?config:net_config sim in
+  let pbft_config =
+    (* [?batch] overrides just the batching knob of the pbft config in
+       effect (see Cluster.create). *)
+    match batch with
+    | None -> pbft_config
+    | Some b ->
+        let base =
+          Option.value pbft_config ~default:Edc_replication.Pbft.default_config
+        in
+        Some { base with Edc_replication.Pbft.batch = b }
+  in
   let replica_ids = List.init n Fun.id in
   let servers =
     Array.init n (fun id ->

@@ -11,6 +11,7 @@ val create :
   ?net_config:Net.config ->
   ?server_config:Ds_server.config ->
   ?pbft_config:Edc_replication.Pbft.config ->
+  ?batch:Edc_replication.Batching.config ->
   Sim.t ->
   t
 

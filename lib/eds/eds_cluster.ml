@@ -5,8 +5,11 @@ open Edc_depspace
 
 type t = { cluster : Ds_cluster.t; edss : Eds.t array }
 
-let create ?f ?net_config ?server_config ?pbft_config ?monitor_lease sim =
-  let cluster = Ds_cluster.create ?f ?net_config ?server_config ?pbft_config sim in
+let create ?f ?net_config ?server_config ?pbft_config ?batch ?monitor_lease
+    sim =
+  let cluster =
+    Ds_cluster.create ?f ?net_config ?server_config ?pbft_config ?batch sim
+  in
   let edss =
     Array.map (fun s -> Eds.install ?monitor_lease s) (Ds_cluster.servers cluster)
   in

@@ -6,9 +6,10 @@ open Edc_zookeeper
 
 type t = { cluster : Cluster.t; ezks : Ezk.t array }
 
-let create ?n_replicas ?net_config ?server_config ?zab_config sim =
+let create ?n_replicas ?net_config ?server_config ?zab_config ?batch sim =
   let cluster =
-    Cluster.create ?n_replicas ?net_config ?server_config ?zab_config sim
+    Cluster.create ?n_replicas ?net_config ?server_config ?zab_config ?batch
+      sim
   in
   let ezks = Array.map Ezk.install (Cluster.servers cluster) in
   (* replica 0 is the initial leader *)

@@ -46,9 +46,10 @@ let fail_on_error what = function Ok _ -> () | Error e -> failwith (what ^ ": " 
 (* Figure 6: shared counter                                            *)
 (* ------------------------------------------------------------------ *)
 
-let counter_point ?(seed = 42) ?net_config ~warmup ~measure kind n_clients =
+let counter_point ?(seed = 42) ?net_config ?batch ~warmup ~measure kind
+    n_clients =
   let sim = Sim.create ~seed () in
-  let sys = Systems.make ?net_config kind sim in
+  let sys = Systems.make ?net_config ?batch kind sim in
   let extensible = Systems.is_extensible kind in
   let r =
     Workload.run sys
@@ -78,9 +79,10 @@ let counter_point ?(seed = 42) ?net_config ~warmup ~measure kind n_clients =
 (* Figure 8: distributed queue (add + remove per iteration)            *)
 (* ------------------------------------------------------------------ *)
 
-let queue_point ?(seed = 42) ?net_config ~warmup ~measure kind n_clients =
+let queue_point ?(seed = 42) ?net_config ?batch ~warmup ~measure kind
+    n_clients =
   let sim = Sim.create ~seed () in
-  let sys = Systems.make ?net_config kind sim in
+  let sys = Systems.make ?net_config ?batch kind sim in
   let extensible = Systems.is_extensible kind in
   let iteration_counter = ref 0 in
   let r =

@@ -18,10 +18,12 @@ type point = {
   errors : int;
 }
 
-(** Figure 6: shared counter under contention. *)
+(** Figure 6: shared counter under contention.  [batch] configures
+    replication group commit (off when omitted). *)
 val counter_point :
   ?seed:int ->
   ?net_config:Net.config ->
+  ?batch:Edc_replication.Batching.config ->
   warmup:Sim_time.t ->
   measure:Sim_time.t ->
   Systems.kind ->
@@ -32,6 +34,7 @@ val counter_point :
 val queue_point :
   ?seed:int ->
   ?net_config:Net.config ->
+  ?batch:Edc_replication.Batching.config ->
   warmup:Sim_time.t ->
   measure:Sim_time.t ->
   Systems.kind ->

@@ -36,10 +36,10 @@ type t = {
           (must stay 0 in every run) *)
 }
 
-let make ?net_config kind sim =
+let make ?net_config ?batch kind sim =
   match kind with
   | Zookeeper ->
-      let cluster = Zk.Cluster.create ?net_config sim in
+      let cluster = Zk.Cluster.create ?net_config ?batch sim in
       {
         sim;
         kind;
@@ -58,7 +58,7 @@ let make ?net_config kind sim =
               0 (Zk.Cluster.servers cluster));
       }
   | Ezk ->
-      let cluster = Ezk_cluster.create ?net_config sim in
+      let cluster = Ezk_cluster.create ?net_config ?batch sim in
       {
         sim;
         kind;
@@ -77,7 +77,7 @@ let make ?net_config kind sim =
               0 (Ezk_cluster.servers cluster));
       }
   | Depspace ->
-      let cluster = Ds.Ds_cluster.create ?net_config sim in
+      let cluster = Ds.Ds_cluster.create ?net_config ?batch sim in
       {
         sim;
         kind;
@@ -92,7 +92,7 @@ let make ?net_config kind sim =
         anomalies = (fun () -> 0);
       }
   | Eds ->
-      let cluster = Edc_eds.Eds_cluster.create ?net_config sim in
+      let cluster = Edc_eds.Eds_cluster.create ?net_config ?batch sim in
       {
         sim;
         kind;

@@ -28,4 +28,12 @@ type t = {
           (must stay 0 in every run) *)
 }
 
-val make : ?net_config:Net.config -> kind -> Sim.t -> t
+(** [make ?net_config ?batch kind sim] — [batch] configures replication
+    group commit uniformly across deployments ({!Edc_replication.Batching.off}
+    when omitted). *)
+val make :
+  ?net_config:Net.config ->
+  ?batch:Edc_replication.Batching.config ->
+  kind ->
+  Sim.t ->
+  t

@@ -36,14 +36,16 @@ type 'p msg =
   | Pre_prepare of {
       view : int;
       seq : int;
-      rid : request_id;
-      payload : 'p;
+      batch : (request_id * 'p) list;
+          (** the requests agreed on as one consensus instance, in
+              execution order (BFT-SMaRt packs every request that arrived
+              during the previous instance into the next proposal) *)
       ts : Sim_time.t;
           (** primary-assigned timestamp: gives replicas a deterministic
               shared notion of time for lease expiry (DepSpace) *)
     }
-  | Prepare of { view : int; seq : int; rid : request_id }
-  | Commit of { view : int; seq : int; rid : request_id }
+  | Prepare of { view : int; seq : int }
+  | Commit of { view : int; seq : int }
   | View_change of {
       new_view : int;
       delivered : (request_id * 'p) list;  (** full delivered history *)
@@ -56,14 +58,20 @@ type config = {
       (** how long a backup waits for a submitted request to be ordered
           before suspecting the primary *)
   check_interval : Sim_time.t;
+  batch : Batching.config;
+      (** primary-side request batching: requests arriving while the
+          previous instance syncs ride the next pre-prepare *)
 }
 
 let default_config =
-  { order_timeout = Sim_time.ms 400; check_interval = Sim_time.ms 50 }
+  {
+    order_timeout = Sim_time.ms 400;
+    check_interval = Sim_time.ms 50;
+    batch = Batching.off;
+  }
 
 type 'p slot = {
-  s_rid : request_id;
-  s_payload : 'p;
+  s_batch : (request_id * 'p) list;
   s_ts : Sim_time.t;
   mutable prepares : int list;
   mutable commits : int list;
@@ -83,8 +91,10 @@ type 'p t = {
   mutable generation : int;
   slots : (int, 'p slot) Hashtbl.t;  (** seq -> in-flight slot (current view) *)
   in_flight : (request_id, unit) Hashtbl.t;
-      (** requests ordered but not yet delivered (primary-side index that
-          keeps [submit]'s duplicate check O(1)) *)
+      (** requests enqueued or ordered but not yet delivered (primary-side
+          index that keeps [submit]'s duplicate check O(1)) *)
+  mutable batcher : (request_id * 'p) Batching.t option;
+      (** set right after create *)
   mutable next_seq : int;  (** primary: next sequence number to assign *)
   mutable delivered : (request_id * 'p) list;  (** newest first *)
   executed : (request_id, unit) Hashtbl.t;
@@ -107,15 +117,24 @@ let commit_quorum t = (2 * t.f) + 1
 let others t = List.filter (fun p -> p <> t.id) t.peers
 let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
 
+let batcher t =
+  match t.batcher with Some b -> b | None -> invalid_arg "pbft not wired"
+
+(* Execute a committed slot: every request of the batch, in batch order,
+   within one simulation event — the batch is atomic on every replica.
+   Re-proposed requests that already executed are deduplicated here. *)
 let deliver_slot t seq slot =
   Hashtbl.remove t.slots seq;
-  Hashtbl.remove t.in_flight slot.s_rid;
-  if not (Hashtbl.mem t.executed slot.s_rid) then begin
-    Hashtbl.replace t.executed slot.s_rid ();
-    t.delivered <- (slot.s_rid, slot.s_payload) :: t.delivered;
-    Hashtbl.remove t.pending slot.s_rid;
-    t.on_deliver slot.s_rid slot.s_payload ~ts:slot.s_ts
-  end
+  List.iter
+    (fun (rid, payload) ->
+      Hashtbl.remove t.in_flight rid;
+      if not (Hashtbl.mem t.executed rid) then begin
+        Hashtbl.replace t.executed rid ();
+        t.delivered <- (rid, payload) :: t.delivered;
+        Hashtbl.remove t.pending rid;
+        t.on_deliver rid payload ~ts:slot.s_ts
+      end)
+    slot.s_batch
 
 let try_deliver t =
   let continue_ = ref true in
@@ -127,13 +146,13 @@ let try_deliver t =
     | _ -> continue_ := false
   done
 
-let slot_for t seq rid payload ts =
+let slot_for t seq batch ts =
   match Hashtbl.find_opt t.slots seq with
   | Some s -> s
   | None ->
       let s =
-        { s_rid = rid; s_payload = payload; s_ts = ts; prepares = [];
-          commits = []; sent_commit = false }
+        { s_batch = batch; s_ts = ts; prepares = []; commits = [];
+          sent_commit = false }
       in
       Hashtbl.replace t.slots seq s;
       s
@@ -143,8 +162,7 @@ let record_prepare t seq slot src =
   if (not slot.sent_commit) && List.length slot.prepares >= prepared_quorum t
   then begin
     slot.sent_commit <- true;
-    let m = Commit { view = t.view; seq; rid = slot.s_rid } in
-    broadcast t m;
+    broadcast t (Commit { view = t.view; seq });
     (* count our own commit *)
     if not (List.mem t.id slot.commits) then slot.commits <- t.id :: slot.commits;
     try_deliver t
@@ -154,28 +172,37 @@ let record_commit t slot src =
   if not (List.mem src slot.commits) then slot.commits <- src :: slot.commits;
   try_deliver t
 
-let order t rid payload =
-  (* primary: assign the next sequence number, stamp the request with the
-     primary's clock, and start the three-phase exchange *)
+let order_batch t batch =
+  (* primary: assign the next sequence number to the whole batch, stamp it
+     with the primary's clock, and start the three-phase exchange *)
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
   let ts = Sim.now t.sim in
-  let slot = slot_for t seq rid payload ts in
-  Hashtbl.replace t.in_flight rid ();
-  broadcast t (Pre_prepare { view = t.view; seq; rid; payload; ts });
+  let slot = slot_for t seq batch ts in
+  List.iter (fun (rid, _) -> Hashtbl.replace t.in_flight rid ()) batch;
+  broadcast t (Pre_prepare { view = t.view; seq; batch; ts });
   (* The primary's pre-prepare doubles as its prepare. *)
   record_prepare t seq slot t.id
 
+(* Flush callback of the request batcher. *)
+let propose_batch t items =
+  if t.alive && is_primary t then
+    match items with [] -> () | batch -> order_batch t batch
+
 (** [submit t rid payload] hands a client request to this replica (clients
-    multicast to all replicas).  The primary orders it; backups remember it
-    and watch for it to be ordered. *)
+    multicast to all replicas).  The primary batches and orders it; backups
+    remember it and watch for it to be ordered. *)
 let submit t rid payload =
   if t.alive && not (Hashtbl.mem t.executed rid) then begin
     if not (Hashtbl.mem t.pending rid) then
       Hashtbl.replace t.pending rid (payload, Sim.now t.sim);
     if is_primary t then begin
-      (* Avoid double-ordering a request that is already in flight. *)
-      if not (Hashtbl.mem t.in_flight rid) then order t rid payload
+      (* Avoid double-ordering a request that is already enqueued or in
+         flight. *)
+      if not (Hashtbl.mem t.in_flight rid) then begin
+        Hashtbl.replace t.in_flight rid ();
+        Batching.add (batcher t) (rid, payload)
+      end
     end
   end
 
@@ -189,6 +216,7 @@ let start_view_change t =
   t.view <- new_view;
   Hashtbl.reset t.slots;
   Hashtbl.reset t.in_flight;
+  Batching.reset (batcher t);
   t.deliver_horizon <- 0;
   t.next_seq <- 0;
   t.collecting_view <- new_view;
@@ -222,6 +250,7 @@ let maybe_install_view t =
     t.deliver_horizon <- 0;
     Hashtbl.reset t.slots;
     Hashtbl.reset t.in_flight;
+    Batching.reset (batcher t);
     let pending_union =
       List.concat_map (fun (_, _, p) -> p) t.view_changes
       |> List.sort_uniq (fun (a, _) (b, _) -> request_id_compare a b)
@@ -233,15 +262,11 @@ let maybe_install_view t =
             not (List.exists (fun (r, _) -> request_id_compare r rid = 0) longest))
           pending_union
     in
-    List.iter
-      (fun (rid, payload) ->
-        if not (Hashtbl.mem t.executed rid) then order t rid payload
-        else begin
-          (* Already executed here: still re-propose so lagging replicas
-             converge; execution is deduplicated by [executed]. *)
-          order t rid payload
-        end)
-      reproposals;
+    (* Re-propose synchronously (bypassing the batcher): the new view must
+       converge before fresh client traffic is batched behind it.  Requests
+       already executed here are re-proposed too, so lagging replicas
+       converge; execution is deduplicated by [executed]. *)
+    List.iter (fun (rid, payload) -> order_batch t [ (rid, payload) ]) reproposals;
     t.view_changes <- []
   end
 
@@ -252,15 +277,15 @@ let maybe_install_view t =
 let handle t ~src msg =
   if t.alive then
     match msg with
-    | Pre_prepare { view; seq; rid; payload; ts } ->
+    | Pre_prepare { view; seq; batch; ts } ->
         if view = t.view && src = primary_of t view then begin
-          let slot = slot_for t seq rid payload ts in
-          broadcast t (Prepare { view; seq; rid });
+          let slot = slot_for t seq batch ts in
+          broadcast t (Prepare { view; seq });
           (* our own prepare counts *)
           record_prepare t seq slot t.id;
           record_prepare t seq slot src
         end
-    | Prepare { view; seq; rid = _ } ->
+    | Prepare { view; seq } ->
         if view = t.view then begin
           match Hashtbl.find_opt t.slots seq with
           | Some slot -> record_prepare t seq slot src
@@ -273,7 +298,7 @@ let handle t ~src msg =
                  need every vote. *)
               ()
         end
-    | Commit { view; seq; rid = _ } ->
+    | Commit { view; seq } ->
         if view = t.view then (
           match Hashtbl.find_opt t.slots seq with
           | Some slot -> record_commit t slot src
@@ -294,6 +319,7 @@ let handle t ~src msg =
           t.view <- view;
           Hashtbl.reset t.slots;
           Hashtbl.reset t.in_flight;
+          Batching.reset (batcher t);
           t.deliver_horizon <- 0;
           (* Reset pending timers: give the new primary a fresh window. *)
           let now = Sim.now t.sim in
@@ -331,32 +357,41 @@ let start t =
 let create ?(config = default_config) ~sim ~id ~peers ~f ~send ~on_deliver ()
     =
   assert (List.length peers >= (3 * f) + 1);
-  {
-    sim;
-    id;
-    peers;
-    f;
-    send;
-    on_deliver;
-    config;
-    view = 0;
-    alive = true;
-    generation = 0;
-    slots = Hashtbl.create 64;
-    in_flight = Hashtbl.create 64;
-    next_seq = 0;
-    delivered = [];
-    executed = Hashtbl.create 64;
-    deliver_horizon = 0;
-    pending = Hashtbl.create 64;
-    view_changes = [];
-    collecting_view = 0;
-  }
+  let t =
+    {
+      sim;
+      id;
+      peers;
+      f;
+      send;
+      on_deliver;
+      config;
+      view = 0;
+      alive = true;
+      generation = 0;
+      slots = Hashtbl.create 64;
+      in_flight = Hashtbl.create 64;
+      batcher = None;
+      next_seq = 0;
+      delivered = [];
+      executed = Hashtbl.create 64;
+      deliver_horizon = 0;
+      pending = Hashtbl.create 64;
+      view_changes = [];
+      collecting_view = 0;
+    }
+  in
+  t.batcher <-
+    Some
+      (Batching.create ~sim ~config:config.batch ~flush:(fun items ->
+           propose_batch t items));
+  t
 
 (** [crash t] silences the replica (crash or Byzantine-mute fault). *)
 let crash t =
   t.alive <- false;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  Batching.reset (batcher t)
 
 let delivered_count t = List.length t.delivered
 
@@ -366,7 +401,8 @@ let delivered_log t = List.rev t.delivered
 (** [msg_size ~payload_size msg] models wire sizes; View_change carries a
     full history so its size reflects that. *)
 let msg_size ~payload_size = function
-  | Pre_prepare { payload; _ } -> 56 + payload_size payload
+  | Pre_prepare { batch; _ } ->
+      List.fold_left (fun acc (_, p) -> acc + 16 + payload_size p) 40 batch
   | Prepare _ -> 40
   | Commit _ -> 40
   | View_change { delivered; pending; _ } ->

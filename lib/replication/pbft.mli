@@ -25,12 +25,13 @@ type 'p msg =
   | Pre_prepare of {
       view : int;
       seq : int;
-      rid : request_id;
-      payload : 'p;
+      batch : (request_id * 'p) list;
+          (** one consensus instance orders a whole batch, executed
+              atomically in batch order on every replica *)
       ts : Sim_time.t;
     }
-  | Prepare of { view : int; seq : int; rid : request_id }
-  | Commit of { view : int; seq : int; rid : request_id }
+  | Prepare of { view : int; seq : int }
+  | Commit of { view : int; seq : int }
   | View_change of {
       new_view : int;
       delivered : (request_id * 'p) list;
@@ -42,6 +43,9 @@ type config = {
   order_timeout : Sim_time.t;
       (** backup patience before suspecting the primary *)
   check_interval : Sim_time.t;
+  batch : Batching.config;
+      (** primary-side request batching; {!Batching.off} reproduces
+          unbatched behaviour exactly *)
 }
 
 val default_config : config
@@ -65,7 +69,7 @@ val create :
 val start : 'p t -> unit
 
 (** [submit t rid payload] — a client request reached this replica (clients
-    multicast); the primary orders it, backups watch for it. *)
+    multicast); the primary batches and orders it, backups watch for it. *)
 val submit : 'p t -> request_id -> 'p -> unit
 
 val handle : 'p t -> src:int -> 'p msg -> unit

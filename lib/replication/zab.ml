@@ -42,8 +42,12 @@ type 'p msg =
   | Ping of { epoch : int; committed : int }
       (** leader heartbeat; also carries the commit horizon so idle
           followers still learn about commits *)
-  | Propose of { epoch : int; zxid : zxid; index : int; payload : 'p }
-  | Ack of { epoch : int; index : int }
+  | Propose of { epoch : int; index : int; entries : 'p entry list }
+      (** a group-committed batch of consecutive entries starting at
+          absolute index [index]; each entry carries its own zxid *)
+  | Ack of { epoch : int; upto : int }
+      (** cumulative: the follower durably holds the log prefix of length
+          [upto] (FIFO links make per-entry acks redundant) *)
   | Commit of { epoch : int; index : int }
   | Request_vote of { epoch : int; candidate : int; last_zxid : zxid }
   | Vote of { epoch : int }
@@ -73,6 +77,9 @@ type config = {
       (** base timeout; each replica adds [id * election_stagger] so that
           timeouts are staggered deterministically *)
   election_stagger : Sim_time.t;
+  batch : Batching.config;
+      (** leader-side group commit: proposals accumulated while the
+          previous batch syncs ride the next one *)
 }
 
 let default_config =
@@ -80,6 +87,7 @@ let default_config =
     heartbeat_interval = Sim_time.ms 50;
     election_timeout = Sim_time.ms 200;
     election_stagger = Sim_time.ms 40;
+    batch = Batching.off;
   }
 
 type 'p t = {
@@ -106,7 +114,9 @@ type 'p t = {
   mutable generation : int;  (** invalidates timers across crash/restart *)
   mutable votes : int list;  (** voters for us in [current_epoch] *)
   mutable next_counter : int;  (** leader: next zxid counter to assign *)
-  acks : (int, int list ref) Hashtbl.t;  (** log index -> acking replicas *)
+  match_len : (int, int) Hashtbl.t;
+      (** leader: per-follower acked prefix length in [current_epoch] *)
+  mutable batcher : (zxid * 'p) Batching.t option;  (** set right after create *)
   mutable delivered : int;  (** length of the prefix passed to on_deliver *)
   mutable last_leader_contact : Sim_time.t;
 }
@@ -132,6 +142,9 @@ let compaction_base t = t.base
 
 let set_install_snapshot t f = t.install_snapshot <- Some f
 
+let batcher t =
+  match t.batcher with Some b -> b | None -> invalid_arg "zab not wired"
+
 let others t = List.filter (fun p -> p <> t.id) t.peers
 
 let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
@@ -145,6 +158,7 @@ let deliver_ready t =
 
 let set_role t role =
   if t.role <> role then begin
+    if t.role = Leader then Batching.reset (batcher t);
     t.role <- role;
     Trace.debugf t.sim "zab[%d] -> %a (epoch %d)" t.id pp_role role
       t.current_epoch;
@@ -156,46 +170,54 @@ let set_role t role =
 (* ------------------------------------------------------------------ *)
 
 let leader_commit_check t =
-  (* Advance the commit horizon over every prefix entry acknowledged by a
-     quorum (our own log append counts as an implicit ack). *)
-  let advanced = ref false in
-  let continue_ = ref true in
-  while !continue_ && t.committed < abs_len t do
-    let index = t.committed in
-    let entry = log_get t index in
-    if entry.zxid.epoch < t.current_epoch then begin
-      (* Entries inherited from previous epochs are committed once the
-         current epoch commits anything after them; to keep things simple
-         the leader re-counts acks for them like for its own entries. *)
-      ()
-    end;
-    let acks =
-      match Hashtbl.find_opt t.acks index with Some l -> !l | None -> []
-    in
-    if List.length acks + 1 >= quorum t then begin
-      t.committed <- t.committed + 1;
-      advanced := true
-    end
-    else continue_ := false
-  done;
-  if !advanced then begin
+  (* Advance the commit horizon to the longest prefix held by a quorum
+     (our own log counts as an implicit ack; followers report cumulative
+     acked prefix lengths, so the quorum-th largest is committed). *)
+  let lens =
+    List.map
+      (fun p ->
+        if p = t.id then abs_len t
+        else match Hashtbl.find_opt t.match_len p with Some n -> n | None -> 0)
+      t.peers
+  in
+  let sorted = List.sort (fun a b -> Int.compare b a) lens in
+  let target = List.nth sorted (quorum t - 1) in
+  if target > t.committed then begin
+    t.committed <- target;
     broadcast t (Commit { epoch = t.current_epoch; index = t.committed });
     deliver_ready t
   end
 
-(** [propose t payload] — leader only — assigns the next zxid, appends to
-    the local log and disseminates.  Returns the assigned zxid, or [None]
-    if this replica is not the leader. *)
+(* Flush callback of the group-commit batcher: append the batch to the
+   leader's log as consecutive entries and disseminate it as ONE proposal.
+   Replicas apply its entries in order within a single simulation event, so
+   a batch is atomic on every replica. *)
+let commit_batch t items =
+  if t.alive && t.role = Leader then begin
+    (* a stale flush can straddle a re-election; drop foreign-epoch items *)
+    let items =
+      List.filter (fun (zxid, _) -> zxid.epoch = t.current_epoch) items
+    in
+    if items <> [] then begin
+      let index = abs_len t in
+      let entries = List.map (fun (zxid, payload) -> { zxid; payload }) items in
+      List.iter (Vec.push t.log) entries;
+      broadcast t (Propose { epoch = t.current_epoch; index; entries });
+      (* A single-replica ensemble commits immediately. *)
+      leader_commit_check t
+    end
+  end
+
+(** [propose t payload] — leader only — assigns the next zxid and hands the
+    payload to the group-commit batcher (with batching off it is appended
+    and disseminated synchronously, exactly as without a batcher).  Returns
+    the assigned zxid, or [None] if this replica is not the leader. *)
 let propose t payload =
   if (not t.alive) || t.role <> Leader then None
   else begin
     let zxid = { epoch = t.current_epoch; counter = t.next_counter } in
     t.next_counter <- t.next_counter + 1;
-    let index = abs_len t in
-    Vec.push t.log { zxid; payload };
-    broadcast t (Propose { epoch = t.current_epoch; zxid; index; payload });
-    (* A single-replica ensemble commits immediately. *)
-    leader_commit_check t;
+    Batching.add (batcher t) (zxid, payload);
     Some zxid
   end
 
@@ -223,9 +245,7 @@ let become_leader t =
   set_role t Leader;
   t.leader_hint <- Some t.id;
   t.next_counter <- 0;
-  Hashtbl.reset t.acks;
-  (* Re-count acks for every entry not yet committed: followers will ack
-     them again after Sync. *)
+  Hashtbl.reset t.match_len;
   (* Synchronize followers: ship the retained log suffix, preceded by the
      snapshot when entries before the compaction horizon are gone. *)
   List.iter
@@ -275,13 +295,11 @@ let follower_commit t upto =
   end
 
 (* Graft a leader-shipped suffix starting at absolute index [from] onto our
-   (possibly compacted) log, acking what we now hold. *)
+   (possibly compacted) log, then cumulatively ack the prefix we now hold. *)
 let graft_entries t ~src ~epoch ~from entries =
   if from >= t.base then begin
     Vec.replace_from t.log (from - t.base) entries;
-    List.iteri
-      (fun i _ -> t.send ~dst:src (Ack { epoch; index = from + i }))
-      entries
+    t.send ~dst:src (Ack { epoch; upto = abs_len t })
   end
   else begin
     (* the shipped suffix starts before our own compaction horizon: drop
@@ -290,9 +308,7 @@ let graft_entries t ~src ~epoch ~from entries =
     if List.length entries >= drop then begin
       let keep = List.filteri (fun i _ -> i >= drop) entries in
       Vec.replace_from t.log 0 keep;
-      List.iteri
-        (fun i _ -> t.send ~dst:src (Ack { epoch; index = t.base + i }))
-        keep
+      t.send ~dst:src (Ack { epoch; upto = abs_len t })
     end
   end
 
@@ -304,38 +320,37 @@ let handle t ~src msg =
           note_leader t ~src ~epoch;
           follower_commit t committed
         end
-    | Propose { epoch; zxid = _; index; payload = _ } when epoch < t.current_epoch ->
+    | Propose { epoch; index; entries = _ } when epoch < t.current_epoch ->
         ignore index (* stale leader; drop *)
-    | Propose { epoch; zxid; index; payload } ->
+    | Propose { epoch; index; entries } ->
         note_leader t ~src ~epoch;
-        if index = abs_len t then begin
-          Vec.push t.log { zxid; payload };
-          t.send ~dst:src (Ack { epoch; index })
-        end
-        else if index < t.base then
-          (* behind our compaction horizon: necessarily committed *)
-          t.send ~dst:src (Ack { epoch; index })
-        else if index < abs_len t then begin
-          (* Duplicate of an entry we already hold (e.g. resent after
-             sync); ack it again. *)
-          if zxid_compare (log_get t index).zxid zxid = 0 then
-            t.send ~dst:src (Ack { epoch; index })
-        end
-        else
+        let len = List.length entries in
+        if index > abs_len t then
           (* Gap: we missed entries (fresh restart). Ask for a sync. *)
           t.send ~dst:src (Sync_request { epoch; have = abs_len t })
-    | Ack { epoch; index } ->
-        if t.role = Leader && epoch = t.current_epoch then begin
-          let acks =
-            match Hashtbl.find_opt t.acks index with
-            | Some l -> l
-            | None ->
-                let l = ref [] in
-                Hashtbl.replace t.acks index l;
-                l
+        else if index + len <= abs_len t then
+          (* Entirely a duplicate (e.g. resent around a sync); re-ack. *)
+          t.send ~dst:src (Ack { epoch; upto = abs_len t })
+        else begin
+          (* Append the suffix of the batch we are missing, in one event so
+             the batch lands atomically.  Within an epoch the leader's log
+             is append-only, so overlapping entries are identical and a
+             duplicate never truncates what we already hold. *)
+          let fresh =
+            List.filteri (fun i _ -> index + i >= abs_len t) entries
           in
-          if not (List.mem src !acks) then acks := src :: !acks;
-          leader_commit_check t
+          List.iter (Vec.push t.log) fresh;
+          t.send ~dst:src (Ack { epoch; upto = abs_len t })
+        end
+    | Ack { epoch; upto } ->
+        if t.role = Leader && epoch = t.current_epoch then begin
+          let prev =
+            match Hashtbl.find_opt t.match_len src with Some n -> n | None -> 0
+          in
+          if upto > prev then begin
+            Hashtbl.replace t.match_len src upto;
+            leader_commit_check t
+          end
         end
     | Commit { epoch; index } ->
         if epoch = t.current_epoch && t.role = Follower then begin
@@ -409,9 +424,7 @@ let handle t ~src msg =
             t.committed <- base;
             Vec.clear t.log;
             List.iter (Vec.push t.log) entries;
-            List.iteri
-              (fun i _ -> t.send ~dst:src (Ack { epoch; index = base + i }))
-              entries;
+            t.send ~dst:src (Ack { epoch; upto = abs_len t });
             follower_commit t committed
           end
           else begin
@@ -477,11 +490,16 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
       generation = 0;
       votes = [];
       next_counter = 0;
-      acks = Hashtbl.create 64;
+      match_len = Hashtbl.create 8;
+      batcher = None;
       delivered = 0;
       last_leader_contact = Sim.now sim;
     }
   in
+  t.batcher <-
+    Some
+      (Batching.create ~sim ~config:config.batch ~flush:(fun items ->
+           commit_batch t items));
   (match initial_leader with
   | Some leader ->
       t.current_epoch <- 1;
@@ -500,7 +518,8 @@ let crash t =
   t.generation <- t.generation + 1;
   t.role <- Follower;
   t.votes <- [];
-  Hashtbl.reset t.acks
+  Hashtbl.reset t.match_len;
+  Batching.reset (batcher t)
 
 (** [restart t] brings a crashed replica back as a follower; it will catch
     up via [Sync_request] when it hears from the current leader. *)
@@ -534,7 +553,8 @@ let compact t ~take =
     message: a fixed header plus the payload. *)
 let msg_size ~payload_size = function
   | Ping _ -> 24
-  | Propose { payload; _ } -> 48 + payload_size payload
+  | Propose { entries; _ } ->
+      List.fold_left (fun acc e -> acc + 48 + payload_size e.payload) 0 entries
   | Ack _ -> 24
   | Commit _ -> 24
   | Request_vote _ -> 32

@@ -22,8 +22,12 @@ type 'p entry = { zxid : zxid; payload : 'p }
 
 type 'p msg =
   | Ping of { epoch : int; committed : int }
-  | Propose of { epoch : int; zxid : zxid; index : int; payload : 'p }
-  | Ack of { epoch : int; index : int }
+  | Propose of { epoch : int; index : int; entries : 'p entry list }
+      (** a group-committed batch of consecutive entries starting at
+          absolute index [index] *)
+  | Ack of { epoch : int; upto : int }
+      (** cumulative: the sender durably holds the prefix of length
+          [upto] *)
   | Commit of { epoch : int; index : int }
   | Request_vote of { epoch : int; candidate : int; last_zxid : zxid }
   | Vote of { epoch : int }
@@ -45,6 +49,9 @@ type config = {
   heartbeat_interval : Sim_time.t;
   election_timeout : Sim_time.t;
   election_stagger : Sim_time.t;  (** per-replica deterministic stagger *)
+  batch : Batching.config;
+      (** leader-side group commit; {!Batching.off} reproduces unbatched
+          behaviour exactly *)
 }
 
 val default_config : config
@@ -71,8 +78,10 @@ val set_on_role_change : 'p t -> (role -> unit) -> unit
 (** [start t] begins heartbeat/election timers. *)
 val start : 'p t -> unit
 
-(** [propose t payload] — leader only; returns the assigned zxid, [None]
-    if this replica does not lead. *)
+(** [propose t payload] — leader only; assigns a zxid and enqueues the
+    payload on the group-commit batcher (with batching off it is
+    disseminated synchronously).  Returns the assigned zxid, [None] if
+    this replica does not lead. *)
 val propose : 'p t -> 'p -> zxid option
 
 val handle : 'p t -> src:int -> 'p msg -> unit

@@ -76,13 +76,16 @@ module Series = struct
       t.sorted <- true
     end
 
-  (** [percentile t p] for [p] in [0, 100]; nearest-rank method. *)
+  (** [percentile t p] for [p] in [0, 100]; standard nearest-rank method:
+      the smallest value with at least [p]% of the sample at or below it
+      (rank [ceil (p/100 * n)], 1-based).  [p = 0] is the minimum and
+      [p = 100] the maximum, both exact. *)
   let percentile t p =
     if t.size = 0 then 0.0
     else begin
       ensure_sorted t;
       let rank =
-        int_of_float (Float.round (p /. 100.0 *. float_of_int (t.size - 1)))
+        int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.size)) - 1
       in
       let rank = Stdlib.max 0 (Stdlib.min (t.size - 1) rank) in
       t.data.(rank)

@@ -16,8 +16,21 @@ type t = {
 
 let client_addr_base = 1000
 
-let create ?(n_replicas = 3) ?net_config ?server_config ?zab_config sim =
+let create ?(n_replicas = 3) ?net_config ?server_config ?zab_config ?batch sim
+    =
   let net = Net.create ?config:net_config sim in
+  let zab_config =
+    (* [?batch] overrides the batching knob of whatever zab config is in
+       effect, so callers can toggle group commit without restating the
+       timing parameters. *)
+    match batch with
+    | None -> zab_config
+    | Some b ->
+        let base =
+          Option.value zab_config ~default:Edc_replication.Zab.default_config
+        in
+        Some { base with Edc_replication.Zab.batch = b }
+  in
   let replica_ids = List.init n_replicas Fun.id in
   let servers =
     Array.init n_replicas (fun id ->

@@ -11,6 +11,7 @@ val create :
   ?net_config:Net.config ->
   ?server_config:Server.config ->
   ?zab_config:Edc_replication.Zab.config ->
+  ?batch:Edc_replication.Batching.config ->
   Sim.t ->
   t
 

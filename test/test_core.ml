@@ -486,7 +486,18 @@ let test_manager_path_classification () =
     (Manager.classify_path "/em/foo" = Manager.Em_extension "foo");
   Alcotest.(check bool) "ack" true
     (Manager.classify_path "/em/foo/ack/42" = Manager.Em_ack ("foo", 42));
-  Alcotest.(check bool) "other" true (Manager.classify_path "/queue/a" = Manager.Not_em)
+  Alcotest.(check bool) "other" true (Manager.classify_path "/queue/a" = Manager.Not_em);
+  (* malformed paths under /em must not classify as registrations/acks *)
+  Alcotest.(check bool) "empty extension name" true
+    (Manager.classify_path "/em/" = Manager.Not_em);
+  Alcotest.(check bool) "empty name with ack" true
+    (Manager.classify_path "/em//ack/1" = Manager.Not_em);
+  Alcotest.(check bool) "negative ack client" true
+    (Manager.classify_path "/em/x/ack/-1" = Manager.Not_em);
+  Alcotest.(check bool) "non-numeric ack client" true
+    (Manager.classify_path "/em/x/ack/notanint" = Manager.Not_em);
+  Alcotest.(check bool) "empty ack segment" true
+    (Manager.classify_path "/em/x/ack/" = Manager.Not_em)
 
 let test_manager_event_matching_order () =
   let m = Manager.create ~mode:Verify.Passive () in

@@ -15,7 +15,7 @@ type zab_cluster = {
   zdelivered : (Zab.zxid * string) list array;  (* newest first *)
 }
 
-let make_zab_cluster ?(n = 3) ?(seed = 1) () =
+let make_zab_cluster ?(n = 3) ?(seed = 1) ?zab_config () =
   let sim = Sim.create ~seed () in
   let net = Net.create sim in
   let peers = List.init n Fun.id in
@@ -27,7 +27,7 @@ let make_zab_cluster ?(n = 3) ?(seed = 1) () =
   in
   let replicas =
     Array.init n (fun i ->
-        Zab.create ~sim ~id:i ~peers ~send:(send_from i)
+        Zab.create ?config:zab_config ~sim ~id:i ~peers ~send:(send_from i)
           ~on_deliver:(fun zxid p ->
             delivered.(i) <- (zxid, p) :: delivered.(i))
           ~initial_leader:0 ())
@@ -229,7 +229,7 @@ type pbft_cluster = {
   pdelivered : (Pbft.request_id * string) list array;  (* newest first *)
 }
 
-let make_pbft_cluster ?(f = 1) ?(seed = 1) () =
+let make_pbft_cluster ?(f = 1) ?(seed = 1) ?pbft_config () =
   let n = (3 * f) + 1 in
   let sim = Sim.create ~seed () in
   let net = Net.create sim in
@@ -242,7 +242,8 @@ let make_pbft_cluster ?(f = 1) ?(seed = 1) () =
   in
   let replicas =
     Array.init n (fun i ->
-        Pbft.create ~sim ~id:i ~peers ~f ~send:(send_from i)
+        Pbft.create ?config:pbft_config ~sim ~id:i ~peers ~f
+          ~send:(send_from i)
           ~on_deliver:(fun rid p ~ts:_ ->
             delivered.(i) <- (rid, p) :: delivered.(i))
           ())
@@ -358,6 +359,233 @@ let prop_pbft_agreement =
       | l0 :: rest -> List.length l0 = nops && List.for_all (( = ) l0) rest
       | [] -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Group-commit batching                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The Batching engine itself, on a bare simulator. *)
+
+let test_batching_size_trigger () =
+  let sim = Sim.create ~seed:3 () in
+  let flushed = ref [] in
+  let config =
+    Batching.group_commit ~max_batch:3 ~max_delay:(Sim_time.sec 1) ()
+  in
+  let b =
+    Batching.create ~sim ~config ~flush:(fun xs -> flushed := !flushed @ [ xs ])
+  in
+  Batching.add b 1;
+  Batching.add b 2;
+  Alcotest.(check int) "waiting for a full batch" 2 (Batching.pending b);
+  Batching.add b 3;
+  Alcotest.(check (list (list int))) "full batch flushed in arrival order"
+    [ [ 1; 2; 3 ] ] !flushed
+
+let test_batching_delay_trigger () =
+  let sim = Sim.create ~seed:3 () in
+  let flushed = ref [] in
+  let config =
+    Batching.group_commit ~max_batch:100 ~max_delay:(Sim_time.ms 5) ()
+  in
+  let b =
+    Batching.create ~sim ~config ~flush:(fun xs ->
+        flushed := !flushed @ [ (Sim.now sim, xs) ])
+  in
+  Batching.add b "a";
+  Batching.add b "b";
+  Sim.run ~until:(Sim_time.ms 20) sim;
+  Alcotest.(check bool) "partial batch flushed when the oldest item expires"
+    true
+    (!flushed = [ (Sim_time.ms 5, [ "a"; "b" ]) ])
+
+let test_batching_sync_self_clocking () =
+  let sim = Sim.create ~seed:3 () in
+  let flushed = ref [] in
+  let config = Batching.group_commit ~max_batch:100 ~sync_cost:(Sim_time.ms 1) () in
+  let b =
+    Batching.create ~sim ~config ~flush:(fun xs -> flushed := !flushed @ [ xs ])
+  in
+  Batching.add b "a";
+  (* arrivals during the 1 ms sync must ride the next batch *)
+  Sim.schedule sim ~after:(Sim_time.us 500) (fun () ->
+      Batching.add b "b";
+      Batching.add b "c");
+  Sim.run ~until:(Sim_time.ms 10) sim;
+  Alcotest.(check (list (list string))) "second batch groups the stragglers"
+    [ [ "a" ]; [ "b"; "c" ] ]
+    !flushed
+
+let test_batching_reset_drops_pending () =
+  let sim = Sim.create ~seed:3 () in
+  let flushed = ref [] in
+  let config = Batching.group_commit ~max_batch:100 ~sync_cost:(Sim_time.ms 1) () in
+  let b =
+    Batching.create ~sim ~config ~flush:(fun xs -> flushed := !flushed @ [ xs ])
+  in
+  Batching.add b "doomed";
+  Batching.reset b;
+  Sim.run ~until:(Sim_time.ms 10) sim;
+  Alcotest.(check (list (list string))) "reset cancels the in-flight sync" []
+    !flushed;
+  Alcotest.(check int) "nothing pending" 0 (Batching.pending b)
+
+(* Batched and unbatched replication runs must end in identical state. *)
+
+let test_zab_batched_equals_unbatched () =
+  let run batch =
+    let c =
+      make_zab_cluster ~zab_config:{ Zab.default_config with Zab.batch } ()
+    in
+    run_for c (Sim_time.ms 10);
+    for k = 1 to 50 do
+      ignore
+        (Zab.propose c.zreplicas.(0) (Printf.sprintf "op%02d" k)
+          : Zab.zxid option)
+    done;
+    run_for c (Sim_time.sec 1);
+    List.init 3 (zab_log c)
+  in
+  let unbatched = run Batching.off in
+  List.iter
+    (fun batch ->
+      Alcotest.(check (list (list string)))
+        "batched run converges to the unbatched final state" unbatched
+        (run batch))
+    [
+      Batching.group_commit ~max_batch:8 ~sync_cost:(Sim_time.us 200) ();
+      Batching.group_commit ~max_batch:128 ~max_delay:(Sim_time.ms 2) ();
+    ]
+
+let test_zab_batch_applies_atomically () =
+  (* every entry of a batch reaches the application together, in order, on
+     every replica *)
+  let c =
+    make_zab_cluster
+      ~zab_config:
+        {
+          Zab.default_config with
+          Zab.batch =
+            Batching.group_commit ~max_batch:5 ~sync_cost:(Sim_time.us 100) ();
+        }
+      ()
+  in
+  run_for c (Sim_time.ms 10);
+  (* 11 proposals in one instant: batches of 1 (leading sync), then 5, 5 *)
+  for k = 1 to 11 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "t%02d" k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  (* group replica 1's deliveries by commit instant: with max_batch = 5 no
+     gap may split a batch, i.e. every op is present and ordered *)
+  let log = zab_log c 1 in
+  Alcotest.(check (list string))
+    "all batched entries applied in order"
+    (List.init 11 (fun k -> Printf.sprintf "t%02d" (k + 1)))
+    log;
+  Alcotest.(check int) "nothing lost or duplicated" 11 (List.length log)
+
+let test_pbft_batched_equals_unbatched () =
+  let run batch =
+    let c =
+      make_pbft_cluster ~pbft_config:{ Pbft.default_config with Pbft.batch } ()
+    in
+    for k = 1 to 30 do
+      pbft_submit c (rid 4 k) (Printf.sprintf "op%02d" k)
+    done;
+    prun_for c (Sim_time.sec 2);
+    List.init 4 (pbft_log c)
+  in
+  let unbatched = run Batching.off in
+  let batched =
+    run (Batching.group_commit ~max_batch:8 ~sync_cost:(Sim_time.us 200) ())
+  in
+  Alcotest.(check (list (list string)))
+    "batched pbft converges to the unbatched final state" unbatched batched
+
+let test_pbft_batched_view_change () =
+  (* a primary crash with a batched configuration must still converge *)
+  let batch = Batching.group_commit ~max_batch:8 ~sync_cost:(Sim_time.us 200) () in
+  let c =
+    make_pbft_cluster ~pbft_config:{ Pbft.default_config with Pbft.batch } ()
+  in
+  pbft_submit c (rid 3 1) "before";
+  prun_for c (Sim_time.sec 1);
+  Pbft.crash c.preplicas.(0);
+  Net.set_node_down c.pnet 0;
+  Array.iteri
+    (fun i r -> if i > 0 then Pbft.submit r (rid 3 2) "after")
+    c.preplicas;
+  prun_for c (Sim_time.sec 3);
+  for i = 1 to 3 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d delivered across view change" i)
+      [ "before"; "after" ] (pbft_log c i)
+  done
+
+(* A batch containing extension triggers applies atomically: full EZK
+   stack, batched replication, concurrent extension-based increments. *)
+
+let test_ezk_batched_extension_atomic () =
+  let module Zk = Edc_zookeeper in
+  let module R = Edc_recipes in
+  let sim = Sim.create ~seed:11 () in
+  let batch = Batching.group_commit ~max_batch:16 ~sync_cost:(Sim_time.us 200) () in
+  let cluster = Edc_ezk.Ezk_cluster.create ~batch sim in
+  let n_clients = 5 and per_client = 10 in
+  let successes = ref 0 in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin =
+          R.Coord_zk.of_client ~extensible:true
+            (Edc_ezk.Ezk_cluster.connected_client cluster ())
+        in
+        (match R.Counter.setup admin with Ok () -> () | Error e -> failwith e);
+        (match R.Counter.register admin with Ok () -> () | Error e -> failwith e);
+        let fibers =
+          List.init n_clients (fun _ ->
+              Proc.async sim (fun () ->
+                  let api =
+                    R.Coord_zk.of_client ~extensible:true
+                      (Edc_ezk.Ezk_cluster.connected_client cluster ())
+                  in
+                  (match
+                     (R.Coord_api.ext_exn api).R.Coord_api.acknowledge
+                       R.Counter.extension_name
+                   with
+                  | Ok () -> ()
+                  | Error e -> failwith e);
+                  for _ = 1 to per_client do
+                    match R.Counter.increment_ext api with
+                    | Ok _ -> incr successes
+                    | Error e -> failwith ("increment: " ^ e)
+                  done))
+        in
+        Proc.join fibers
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 60) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  Alcotest.(check int) "all increments succeeded" (n_clients * per_client)
+    !successes;
+  (* every replica holds the same counter value = total increments, and no
+     replica detected a replication anomaly: the batched extension
+     triggers applied atomically and identically everywhere *)
+  Array.iteri
+    (fun i s ->
+      let tree = Zk.Server.tree s in
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d anomaly-free" i)
+        0
+        (Zk.Data_tree.anomalies tree);
+      match Zk.Data_tree.get_data tree R.Counter.counter_oid with
+      | Ok (data, _) ->
+          Alcotest.(check string)
+            (Printf.sprintf "replica %d counter value" i)
+            (string_of_int !successes) data
+      | Error e ->
+          Alcotest.failf "replica %d: %s" i (Zk.Zerror.to_string e))
+    (Edc_ezk.Ezk_cluster.servers cluster)
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -393,5 +621,24 @@ let () =
           Alcotest.test_case "order across view change" `Quick
             test_pbft_order_preserved_across_view_change;
           qc prop_pbft_agreement;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "size trigger" `Quick test_batching_size_trigger;
+          Alcotest.test_case "delay trigger" `Quick test_batching_delay_trigger;
+          Alcotest.test_case "sync self-clocking" `Quick
+            test_batching_sync_self_clocking;
+          Alcotest.test_case "reset drops pending" `Quick
+            test_batching_reset_drops_pending;
+          Alcotest.test_case "zab batched = unbatched" `Quick
+            test_zab_batched_equals_unbatched;
+          Alcotest.test_case "zab batch atomic" `Quick
+            test_zab_batch_applies_atomically;
+          Alcotest.test_case "pbft batched = unbatched" `Quick
+            test_pbft_batched_equals_unbatched;
+          Alcotest.test_case "pbft batched view change" `Quick
+            test_pbft_batched_view_change;
+          Alcotest.test_case "ezk batched extension atomic" `Quick
+            test_ezk_batched_extension_atomic;
         ] );
     ]

@@ -441,11 +441,24 @@ let test_stats_series_percentiles () =
   for i = 1 to 100 do
     Stats.Series.add s (float_of_int i)
   done;
-  Alcotest.(check (float 1.0)) "median" 50.0 (Stats.Series.median s);
-  Alcotest.(check (float 1.5)) "p99" 99.0 (Stats.Series.p99 s);
+  Alcotest.(check (float 1e-9)) "median" 50.0 (Stats.Series.median s);
+  (* nearest-rank: p99 of 1..100 is exactly 99 *)
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.Series.p99 s);
   Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Series.min s);
   Alcotest.(check (float 1e-9)) "max" 100.0 (Stats.Series.max s);
-  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.Series.mean s)
+  Alcotest.(check (float 1e-9)) "percentile 0 = min" 1.0
+    (Stats.Series.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "percentile 100 = max" 100.0
+    (Stats.Series.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.Series.mean s);
+  (* small samples: high percentiles must not under-select (the old
+     rounding made p99 of a 5-sample series pick the 4th value) *)
+  let small = Stats.Series.create () in
+  List.iter (Stats.Series.add small) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check (float 1e-9)) "p99 of 5 samples is the max" 5.0
+    (Stats.Series.percentile small 99.0);
+  Alcotest.(check (float 1e-9)) "p50 of 5 samples (nearest rank)" 3.0
+    (Stats.Series.percentile small 50.0)
 
 let test_stats_series_interleaved_reads () =
   let s = Stats.Series.create () in
