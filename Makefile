@@ -1,5 +1,5 @@
 # Tier-1 verification in one command (see ROADMAP.md).
-.PHONY: all build test check bench-quick clean
+.PHONY: all build test check bench-quick chaos clean
 
 all: build
 
@@ -14,6 +14,11 @@ check:
 
 bench-quick:
 	dune exec bench/main.exe -- all --quick
+
+# Seeded fault-injection sweep on EZK and EDS (counter + queue recipes
+# under the standard nemesis schedule; asserts invariants + determinism).
+chaos:
+	dune exec bench/main.exe -- chaos
 
 clean:
 	dune clean

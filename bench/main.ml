@@ -5,7 +5,7 @@
    Usage:
      bench/main.exe [targets] [--quick]
    where targets ⊆ {table1 table2 fig6 fig8 fig10 fig12 fig13 overhead
-                    ablation batching micro all}; default: all. *)
+                    ablation batching chaos micro all}; default: all. *)
 
 open Edc_simnet
 open Edc_harness
@@ -406,6 +406,56 @@ let batching cfg =
     \   self-clocks: operations arriving during a sync ride the next batch)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: availability under fault injection                           *)
+(* ------------------------------------------------------------------ *)
+
+let chaos quick =
+  Report.section
+    "Chaos: availability under fault injection (counter + queue on resilient sessions)";
+  let seeds = if quick then [ 42 ] else [ 42; 43; 44 ] in
+  Printf.printf
+    "  standard nemesis schedule (crashes, leader kills, partitions,\n\
+    \  asymmetric partitions, drop storms); seeds %s on EZK and EDS\n%!"
+    (String.concat ", " (List.map string_of_int seeds));
+  let points =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun seed ->
+            let p = E.chaos_point ~seed kind in
+            Printf.printf "  %-10s seed=%d done\n%!" (S.kind_name kind) seed;
+            p)
+          seeds)
+      [ S.Ezk; S.Eds ]
+  in
+  Report.availability_table points;
+  Report.fault_summary points;
+  Report.error_taxonomy points;
+  Report.invariant_failures points;
+  Report.fault_trace (List.hd points);
+  (* Determinism: the same seed must reproduce the same fault trace. *)
+  let p0 = List.hd points in
+  let rerun = E.chaos_point ~seed:p0.E.ch_seed p0.E.ch_kind in
+  Printf.printf "\nsame-seed rerun reproduces the fault trace: %b\n"
+    (String.equal rerun.E.ch_trace p0.E.ch_trace);
+  let broken =
+    List.exists (fun p -> p.E.ch_invariant_failures <> []) points
+  in
+  let lkills = List.fold_left (fun a p -> a + p.E.ch_leader_kills) 0 points in
+  let healed =
+    List.fold_left (fun a p -> a + p.E.ch_partitions_healed) 0 points
+  in
+  Printf.printf
+    "coverage: %d leader kills, %d healed partitions across all runs\n" lkills
+    healed;
+  if broken || lkills = 0 || healed = 0
+     || not (String.equal rerun.E.ch_trace p0.E.ch_trace)
+  then begin
+    Printf.printf "CHAOS RUN FAILED ACCEPTANCE CHECKS\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,7 +474,7 @@ let () =
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
-        "overhead"; "ablation"; "batching"; "micro" ]
+        "overhead"; "ablation"; "batching"; "chaos"; "micro" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -441,6 +491,7 @@ let () =
       | "overhead" -> overhead cfg
       | "ablation" -> ablation cfg
       | "batching" -> batching cfg
+      | "chaos" -> chaos quick
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown target %S (skipped)\n" other)
     targets;

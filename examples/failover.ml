@@ -47,16 +47,30 @@ let () =
       Ezk_cluster.crash_server cluster 0;
       Proc.sleep sim (Sim_time.sec 3);
 
-      let rec retry n =
-        match Ezk_client.ext_read c "/ctr-increment" with
-        | Ok (Value.Int v) -> v
-        | Ok _ -> failwith "unexpected value"
-        | Error _ when n > 0 ->
-            Proc.sleep sim (Sim_time.ms 500);
-            retry (n - 1)
-        | Error e -> failwith ("extension lost after failover: " ^ e)
+      (* the counter extension tolerates re-execution, so failover retries
+         can use the shared transient-retry policy *)
+      let v =
+        match
+          Retry.run ~sim
+            ~rng:(Edc_simnet.Rng.split (Sim.rng sim))
+            ~policy:
+              {
+                Retry.default_policy with
+                Retry.base = Sim_time.ms 500;
+                max_attempts = 20;
+              }
+            (fun ~attempt:_ ->
+              match Ezk_client.ext_read c "/ctr-increment" with
+              | Ok (Value.Int v) -> Ok v
+              | Ok _ -> Error (Retry.Permanent "unexpected value")
+              | Error e -> Error (Retry.Transient e))
+        with
+        | Retry.Done { value; _ } -> value
+        | Retry.Maybe_applied { error; _ }
+        | Retry.Gave_up { error; _ }
+        | Retry.Rejected { error; _ } ->
+            failwith ("extension lost after failover: " ^ error)
       in
-      let v = retry 20 in
       Printf.printf
         "[%-8s] increment -> %d under the NEW leader: the extension and its\n\
         \            counter state were replicated, nothing was lost\n"

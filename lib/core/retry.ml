@@ -1,0 +1,63 @@
+open Edc_simnet
+
+type policy = {
+  base : Sim_time.t;
+  cap : Sim_time.t;
+  deadline : Sim_time.t option;
+  max_attempts : int;
+}
+
+let default_policy =
+  {
+    base = Sim_time.ms 50;
+    cap = Sim_time.sec 2;
+    deadline = Some (Sim_time.sec 30);
+    max_attempts = 64;
+  }
+
+type 'e clazz = Transient of 'e | Ambiguous of 'e | Permanent of 'e
+
+type ('a, 'e) outcome =
+  | Done of { value : 'a; attempts : int }
+  | Maybe_applied of { error : 'e; attempts : int }
+  | Gave_up of { error : 'e; attempts : int }
+  | Rejected of { error : 'e; attempts : int }
+
+(* Decorrelated jitter (Brooker, "Exponential Backoff And Jitter"):
+   d0 = base; d(n+1) = min cap (uniform base (3 * dn)).  Each delay
+   depends only on the previous one, so competing clients decorrelate
+   after a single round instead of retrying in lockstep. *)
+let next_backoff rng ~policy ~prev =
+  match prev with
+  | None -> Sim_time.min policy.base policy.cap
+  | Some prev ->
+      let lo = Sim_time.to_ns policy.base in
+      let hi = 3 * Sim_time.to_ns prev in
+      let d = if hi <= lo then lo else lo + Rng.int rng (hi - lo) in
+      Sim_time.min (Sim_time.ns d) policy.cap
+
+let run ~sim ~rng ?(policy = default_policy) ?(on_retry = fun ~attempt:_ ~delay:_ -> ()) f =
+  let start = Sim.now sim in
+  let rec go ~attempt ~prev =
+    match f ~attempt with
+    | Ok value -> Done { value; attempts = attempt }
+    | Error (Permanent error) -> Rejected { error; attempts = attempt }
+    | Error (Ambiguous error) -> Maybe_applied { error; attempts = attempt }
+    | Error (Transient error) ->
+        if attempt >= policy.max_attempts then Gave_up { error; attempts = attempt }
+        else
+          let delay = next_backoff rng ~policy ~prev in
+          let past_deadline =
+            match policy.deadline with
+            | None -> false
+            | Some d ->
+                Sim_time.(Sim_time.add start d < Sim_time.add (Sim.now sim) delay)
+          in
+          if past_deadline then Gave_up { error; attempts = attempt }
+          else begin
+            on_retry ~attempt ~delay;
+            Proc.sleep sim delay;
+            go ~attempt:(attempt + 1) ~prev:(Some delay)
+          end
+  in
+  go ~attempt:1 ~prev:None

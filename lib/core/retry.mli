@@ -1,0 +1,57 @@
+(** Retry policy with deadlines and decorrelated-jitter backoff.
+
+    One place for the client-side resubmission contract (the paper treats
+    retry/failover as part of the client API, not test scaffolding):
+
+    - every attempt classifies its error as {i transient} (safe to retry),
+      {i ambiguous} (the request may have been applied — never resubmit
+      non-idempotent operations blindly), or {i permanent} (a logical
+      error; retrying cannot help);
+    - delays follow decorrelated jitter
+      [d0 = base; d(n+1) = min cap (uniform base (3 * dn))], which spreads
+      competing clients apart without synchronized retry storms;
+    - a deadline bounds the total time spent, counting the sleep that
+      would precede the next attempt. *)
+
+open Edc_simnet
+
+type policy = {
+  base : Sim_time.t;  (** first backoff delay, and the jitter floor *)
+  cap : Sim_time.t;  (** upper bound for any single delay *)
+  deadline : Sim_time.t option;
+      (** give up once [now + next_delay] would exceed [start + deadline] *)
+  max_attempts : int;  (** hard bound on attempts (>= 1) *)
+}
+
+val default_policy : policy
+
+(** Classification of an attempt's failure. *)
+type 'e clazz =
+  | Transient of 'e  (** not applied; safe to retry *)
+  | Ambiguous of 'e  (** possibly applied (e.g. timeout on a write) *)
+  | Permanent of 'e  (** logical error; retrying cannot help *)
+
+type ('a, 'e) outcome =
+  | Done of { value : 'a; attempts : int }
+  | Maybe_applied of { error : 'e; attempts : int }
+      (** an ambiguous failure: the operation may or may not have taken
+          effect, and resubmitting it could double-apply *)
+  | Gave_up of { error : 'e; attempts : int }
+      (** transient failures persisted past the deadline / attempt budget *)
+  | Rejected of { error : 'e; attempts : int }  (** permanent error *)
+
+(** [next_backoff rng ~policy ~prev] — the delay following a sleep of
+    [prev] ([None] for the first retry).  Exposed for property tests. *)
+val next_backoff : Rng.t -> policy:policy -> prev:Sim_time.t option -> Sim_time.t
+
+(** [run ~sim ~rng ?policy ?on_retry f] calls [f ~attempt] (1-based) until
+    it succeeds, fails permanently or ambiguously, or the policy is
+    exhausted.  Sleeps between attempts, so it must run inside a fiber.
+    [on_retry] observes each backoff decision. *)
+val run :
+  sim:Sim.t ->
+  rng:Rng.t ->
+  ?policy:policy ->
+  ?on_retry:(attempt:int -> delay:Sim_time.t -> unit) ->
+  (attempt:int -> ('a, 'e clazz) result) ->
+  ('a, 'e) outcome

@@ -54,4 +54,8 @@ let crash_server t i =
   Ds_server.crash t.servers.(i);
   Net.set_node_down t.net i
 
+let restart_server t i =
+  Net.set_node_up t.net i;
+  Ds_server.restart t.servers.(i)
+
 let run_for t d = Sim.run ~until:(Sim_time.add (Sim.now t.sim) d) t.sim

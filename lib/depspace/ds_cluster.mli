@@ -25,4 +25,7 @@ val client : ?config:Ds_client.config -> t -> unit -> Ds_client.t
 (** Crash a replica (process + network). *)
 val crash_server : t -> int -> unit
 
+(** Revive a crashed replica (network + PBFT view/state recovery). *)
+val restart_server : t -> int -> unit
+
 val run_for : t -> Sim_time.t -> unit

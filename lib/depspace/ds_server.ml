@@ -301,6 +301,11 @@ let start t = Pbft.start (pbft t)
 
 let crash t = Pbft.crash (pbft t)
 
+(* The replica's durable state (space, access, policy, hook state) survives
+   the crash; PBFT recovery re-delivers the ordered suffix it missed, and
+   [deliver] applies it through the same execution path as live traffic. *)
+let restart t = Pbft.restart (pbft t)
+
 let set_byzantine t = t.byzantine <- true
 
 (* Hook installation (used by EDS) *)

@@ -38,6 +38,10 @@ val create :
 val start : t -> unit
 val crash : t -> unit
 
+(** Revive a crashed replica: durable state is kept, PBFT recovery
+    re-delivers the ordered suffix the replica missed. *)
+val restart : t -> unit
+
 (** Make this replica corrupt its replies (masked by client voting). *)
 val set_byzantine : t -> unit
 

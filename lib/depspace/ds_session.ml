@@ -1,0 +1,75 @@
+open Edc_simnet
+module Retry = Edc_core.Retry
+
+type op_kind = Read | Write of { idempotent : bool }
+
+type stats = {
+  mutable calls : int;
+  mutable retries : int;
+  mutable maybe_applied : int;
+  mutable gave_up : int;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  client : Ds_client.t;
+  policy : Retry.policy;
+  mutable degraded : bool;
+  stats : stats;
+}
+
+let wrap ?(policy = Retry.default_policy) client =
+  let sim = Ds_client.sim client in
+  {
+    sim;
+    rng = Rng.split (Sim.rng sim);
+    client;
+    policy;
+    degraded = false;
+    stats = { calls = 0; retries = 0; maybe_applied = 0; gave_up = 0 };
+  }
+
+let client t = t.client
+let stats t = t.stats
+let degraded t = t.degraded
+
+(* A timeout is the only transient condition the vote-based client
+   reports: either fewer than [f + 1] replicas answered in time (view
+   change, partition, restarts) or the request never got ordered.  Every
+   other error is a logical reply agreed on by a quorum. *)
+let classify ~op e =
+  if e = "timeout" then
+    match op with
+    | Read | Write { idempotent = true } -> Retry.Transient e
+    | Write { idempotent = false } -> Retry.Ambiguous e
+  else Retry.Permanent e
+
+let call t ~op f =
+  t.stats.calls <- t.stats.calls + 1;
+  let attempt ~attempt:_ =
+    match f t.client with
+    | Ok v ->
+        (match op with
+        | Write _ -> t.degraded <- false
+        | Read -> ());
+        Ok v
+    | Error e -> Error (classify ~op e)
+  in
+  match
+    Retry.run ~sim:t.sim ~rng:t.rng ~policy:t.policy
+      ~on_retry:(fun ~attempt:_ ~delay:_ ->
+        t.stats.retries <- t.stats.retries + 1)
+      attempt
+  with
+  | Retry.Done { value; _ } -> Ok value
+  | Retry.Maybe_applied _ ->
+      t.stats.maybe_applied <- t.stats.maybe_applied + 1;
+      Error "maybe applied"
+  | Retry.Gave_up { error; _ } ->
+      t.stats.gave_up <- t.stats.gave_up + 1;
+      (match op with
+      | Write _ -> t.degraded <- true
+      | Read -> ());
+      Error error
+  | Retry.Rejected { error; _ } -> Error error

@@ -1,0 +1,34 @@
+(** Resilient session over {!Ds_client}: deadline, decorrelated-jitter
+    backoff, and a safe-resubmission policy.
+
+    The DepSpace client already multicasts every request to all replicas
+    and votes on replies, so there is no replica to fail over to — retry
+    with backoff rides out view changes and restarts instead.  The
+    resubmission contract matches {!Session}: reads and idempotent writes
+    retry until the deadline; a non-idempotent write that times out
+    surfaces as ["maybe applied"] and is never resubmitted blindly; after
+    writes exhaust their budget the session turns on its {!degraded}
+    (read-only) signal until a write succeeds again. *)
+
+type op_kind = Read | Write of { idempotent : bool }
+
+type stats = {
+  mutable calls : int;
+  mutable retries : int;
+  mutable maybe_applied : int;
+  mutable gave_up : int;
+}
+
+type t
+
+val wrap : ?policy:Edc_core.Retry.policy -> Ds_client.t -> t
+val client : t -> Ds_client.t
+val stats : t -> stats
+val degraded : t -> bool
+
+(** [call t ~op f] runs [f client] under the retry policy.  Do not wrap
+    blocking reads ([rd]/[in_] without a timeout): they park until
+    matched. *)
+val call :
+  t -> op:op_kind -> (Ds_client.t -> ('a, string) result) ->
+  ('a, string) result

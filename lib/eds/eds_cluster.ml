@@ -1,9 +1,14 @@
 (** An EXTENSIBLE DEPSPACE deployment: a DepSpace cluster with the
     extension layer installed on every replica. *)
 
+open Edc_simnet
 open Edc_depspace
 
-type t = { cluster : Ds_cluster.t; edss : Eds.t array }
+type t = {
+  cluster : Ds_cluster.t;
+  edss : Eds.t array;
+  monitor_lease : Sim_time.t option;  (* re-used when a replica restarts *)
+}
 
 let create ?f ?net_config ?server_config ?pbft_config ?batch ?monitor_lease
     sim =
@@ -13,7 +18,7 @@ let create ?f ?net_config ?server_config ?pbft_config ?batch ?monitor_lease
   let edss =
     Array.map (fun s -> Eds.install ?monitor_lease s) (Ds_cluster.servers cluster)
   in
-  { cluster; edss }
+  { cluster; edss; monitor_lease }
 
 let cluster t = t.cluster
 let sim t = Ds_cluster.sim t.cluster
@@ -22,4 +27,43 @@ let eds t i = t.edss.(i)
 let servers t = Ds_cluster.servers t.cluster
 let client ?config t () = Ds_cluster.client ?config t.cluster ()
 let crash_server t i = Ds_cluster.crash_server t.cluster i
+
+(** Restart a replica and rebuild its extension manager from the
+    replicated space (§3.8): the durable tuples survive the crash, the
+    volatile manager state is rescanned from them. *)
+let restart_server t i =
+  Ds_cluster.restart_server t.cluster i;
+  let fresh =
+    Eds.install ?monitor_lease:t.monitor_lease (Ds_cluster.servers t.cluster).(i)
+  in
+  Eds.reload fresh;
+  t.edss.(i) <- fresh
+
+let nemesis_target t =
+  let net = Ds_cluster.net t.cluster in
+  let servers = Ds_cluster.servers t.cluster in
+  let n = Array.length servers in
+  {
+    Nemesis.name = "eds";
+    nodes = List.init n Fun.id;
+    leader =
+      (fun () ->
+        (* the primary of the current PBFT view, if it is alive *)
+        let rec find i =
+          if i >= n then None
+          else if Edc_replication.Pbft.is_primary (Ds_server.pbft servers.(i))
+          then Some i
+          else find (i + 1)
+        in
+        find 0);
+    crash = crash_server t;
+    restart = restart_server t;
+    cut = Net.cut_link net;
+    heal = Net.heal_link net;
+    cut_one_way = (fun ~src ~dst -> Net.cut_link_one_way net ~src ~dst);
+    heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
+    silence = Net.set_node_down net;
+    unsilence = Net.set_node_up net;
+  }
+
 let run_for t d = Ds_cluster.run_for t.cluster d

@@ -23,4 +23,12 @@ val eds : t -> int -> Eds.t
 val servers : t -> Ds_server.t array
 val client : ?config:Ds_client.config -> t -> unit -> Ds_client.t
 val crash_server : t -> int -> unit
+
+(** Restart a replica and rebuild its extension manager from the
+    replicated space (§3.8). *)
+val restart_server : t -> int -> unit
+
+(** Bind nemesis actions to this deployment (leader = PBFT primary). *)
+val nemesis_target : t -> Nemesis.target
+
 val run_for : t -> Sim_time.t -> unit

@@ -2,6 +2,7 @@
     extension manager installed on every replica and the ["/em"] objects
     bootstrapped. *)
 
+open Edc_simnet
 open Edc_zookeeper
 
 type t = { cluster : Cluster.t; ezks : Ezk.t array }
@@ -38,5 +39,30 @@ let restart_server t i =
   let fresh = Ezk.install (Cluster.servers t.cluster).(i) in
   Ezk.reload fresh;
   t.ezks.(i) <- fresh
+
+let nemesis_target t =
+  let net = Cluster.net t.cluster in
+  let servers = Cluster.servers t.cluster in
+  let n = Array.length servers in
+  {
+    Nemesis.name = "ezk";
+    nodes = List.init n Fun.id;
+    leader =
+      (fun () ->
+        let rec find i =
+          if i >= n then None
+          else if Server.is_leader servers.(i) then Some i
+          else find (i + 1)
+        in
+        find 0);
+    crash = crash_server t;
+    restart = restart_server t;
+    cut = Net.cut_link net;
+    heal = Net.heal_link net;
+    cut_one_way = (fun ~src ~dst -> Net.cut_link_one_way net ~src ~dst);
+    heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
+    silence = Net.set_node_down net;
+    unsilence = Net.set_node_up net;
+  }
 
 let run_for t d = Cluster.run_for t.cluster d

@@ -33,4 +33,7 @@ val crash_server : t -> int -> unit
     replicated tree (§3.8). *)
 val restart_server : t -> int -> unit
 
+(** Bind nemesis actions to this deployment (leader = Zab leader). *)
+val nemesis_target : t -> Nemesis.target
+
 val run_for : t -> Sim_time.t -> unit

@@ -424,3 +424,278 @@ let overhead_point ?(seed = 42) ?net_config ~warmup ~measure kind =
     oh_read_ms = Stats.Series.mean read_lat;
     oh_write_ms = Stats.Series.mean write_lat;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: availability under the nemesis fault schedule               *)
+(* ------------------------------------------------------------------ *)
+
+type chaos_point = {
+  ch_kind : Systems.kind;
+  ch_seed : int;
+  ch_ops_ok : int;
+  ch_ops_maybe : int;  (** concluded [Maybe_applied] (ambiguous writes) *)
+  ch_ops_failed : int;
+  ch_success_rate : float;
+  ch_errors : (string * int) list;  (** taxonomy of non-ok outcomes *)
+  ch_counter_confirmed : int;
+  ch_counter_maybe : int;
+  ch_counter_final : int;
+  ch_adds_confirmed : int;
+  ch_adds_maybe : int;
+  ch_consumed : int;
+  ch_remaining : int;
+  ch_removes_maybe : int;
+  ch_crashes : int;
+  ch_leader_kills : int;
+  ch_partitions : int;
+  ch_partitions_healed : int;
+  ch_storms : int;
+  ch_faults : int;
+  ch_dropped : int;  (** messages discarded by the simulated network *)
+  ch_recovery_ms : Stats.Series.t;
+      (** per-disruption time to the next successful client operation *)
+  ch_unrecovered : int;
+  ch_anomalies : int;
+  ch_invariant_failures : string list;  (** empty = all invariants intact *)
+  ch_trace : string;
+}
+
+(** Counter incrementers plus queue producers/consumers on resilient
+    sessions while the nemesis runs the fault [schedule]; afterwards the
+    final state is read back and checked against what clients were told.
+
+    The safety invariants tolerate exactly the ambiguity the session layer
+    surfaces: every [Maybe_applied] write may or may not have executed, so
+    [confirmed <= final <= confirmed + maybe] for the counter, and a
+    confirmed queue element may only be missing if some remove concluded
+    ambiguously. *)
+let chaos_point ?(seed = 42) ?net_config
+    ?(schedule = Nemesis.standard_schedule) ?(horizon = Sim_time.sec 22) kind
+    =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make ?net_config kind sim in
+  let extensible = Systems.is_extensible kind in
+  let ops_end = Sim_time.add horizon (Sim_time.sec 3) in
+  (* every resilient op concludes within the session deadline of its
+     start, so final-state verification waits that long after [ops_end] *)
+  let deadline =
+    Option.value Edc_core.Retry.default_policy.Edc_core.Retry.deadline
+      ~default:(Sim_time.sec 30)
+  in
+  let verify_at = Sim_time.add ops_end (Sim_time.add deadline (Sim_time.sec 1)) in
+  let ok = ref 0 and maybe = ref 0 and failed = ref 0 in
+  let taxonomy : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let tax e =
+    Hashtbl.replace taxonomy e
+      (1 + Option.value ~default:0 (Hashtbl.find_opt taxonomy e))
+  in
+  let success_times = ref [] in
+  let succeed () =
+    incr ok;
+    success_times := Sim.now sim :: !success_times
+  in
+  let classify e ~on_maybe =
+    if e = "maybe applied" then begin
+      on_maybe ();
+      incr maybe
+    end
+    else incr failed;
+    tax e
+  in
+  let confirmed_incr = ref 0 and maybe_incr = ref 0 in
+  let confirmed_adds : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let maybe_adds : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let consumed = ref [] in
+  let maybe_removes = ref 0 in
+  let nemesis = ref None in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        fail_on_error "counter setup" (Counter.setup admin);
+        fail_on_error "queue setup" (Queue.setup admin);
+        if extensible then begin
+          fail_on_error "register counter" (Counter.register admin);
+          fail_on_error "register queue" (Queue.register admin)
+        end;
+        nemesis :=
+          Some
+            (Nemesis.start ~sim ~target:(sys.Systems.nemesis_target ())
+               ~horizon schedule);
+        (* three counter incrementers *)
+        for _ = 1 to 3 do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_resilient_api () in
+              if extensible then ack_if_ext api Counter.extension_name;
+              let rec loop () =
+                if Sim_time.(Sim.now sim < ops_end) then begin
+                  (match
+                     if extensible then Counter.increment_ext api
+                     else Counter.increment_traditional api
+                   with
+                  | Ok _ ->
+                      incr confirmed_incr;
+                      succeed ()
+                  | Error e ->
+                      classify e ~on_maybe:(fun () -> incr maybe_incr));
+                  Proc.sleep sim (Sim_time.ms 20);
+                  loop ()
+                end
+              in
+              loop ())
+        done;
+        (* two producers: element data = eid, so consumed elements are
+           identifiable for the conservation check *)
+        for _ = 1 to 2 do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_resilient_api () in
+              if extensible then ack_if_ext api Queue.extension_name;
+              let i = ref 0 in
+              let rec loop () =
+                if Sim_time.(Sim.now sim < ops_end) then begin
+                  incr i;
+                  let eid = Queue.make_eid api !i in
+                  (match Queue.add api ~eid ~data:eid with
+                  | Ok () ->
+                      Hashtbl.replace confirmed_adds eid ();
+                      succeed ()
+                  | Error e ->
+                      classify e ~on_maybe:(fun () ->
+                          Hashtbl.replace maybe_adds eid ()));
+                  Proc.sleep sim (Sim_time.ms 40);
+                  loop ()
+                end
+              in
+              loop ())
+        done;
+        (* two consumers *)
+        for _ = 1 to 2 do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_resilient_api () in
+              if extensible then ack_if_ext api Queue.extension_name;
+              let rec loop () =
+                if Sim_time.(Sim.now sim < ops_end) then begin
+                  (match
+                     if extensible then Queue.remove_ext api
+                     else Queue.remove_traditional api
+                   with
+                  | Ok { Queue.data = Some d; _ } ->
+                      consumed := d :: !consumed;
+                      succeed ()
+                  | Ok { Queue.data = None; _ } ->
+                      (* an empty poll is still a served request *)
+                      succeed ();
+                      Proc.sleep sim (Sim_time.ms 60)
+                  | Error e ->
+                      classify e ~on_maybe:(fun () -> incr maybe_removes));
+                  Proc.sleep sim (Sim_time.ms 30);
+                  loop ()
+                end
+              in
+              loop ())
+        done
+      with e -> failure := Some e);
+  Sim.run ~until:verify_at sim;
+  (match !failure with Some e -> raise e | None -> ());
+  (* read back the final state through a fresh client *)
+  let final_counter = ref 0 in
+  let remaining = ref [] in
+  Proc.spawn sim (fun () ->
+      try
+        let api, _ = sys.Systems.new_resilient_api () in
+        (match api.Api.read ~oid:Counter.counter_oid with
+        | Ok (Some o) -> final_counter := int_of_string o.Api.data
+        | Ok None -> failwith "counter object vanished"
+        | Error e -> failwith ("final counter read: " ^ e));
+        match api.Api.sub_objects ~oid:Queue.root with
+        | Ok objs ->
+            remaining := List.map (fun (o : Api.obj) -> o.Api.data) objs
+        | Error e -> failwith ("final queue read: " ^ e)
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.add verify_at (Sim_time.sec 10)) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  let nem = Option.get !nemesis in
+  (* invariants *)
+  let invariant_failures = ref [] in
+  let check name cond =
+    if not cond then invariant_failures := name :: !invariant_failures
+  in
+  let anomalies = sys.Systems.anomalies () in
+  check "replication anomalies = 0" (anomalies = 0);
+  check "counter >= confirmed increments" (!final_counter >= !confirmed_incr);
+  check "counter <= confirmed + ambiguous increments"
+    (!final_counter <= !confirmed_incr + !maybe_incr);
+  let sorted_consumed = List.sort compare !consumed in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | _ -> false
+  in
+  check "no queue element consumed twice" (not (has_dup sorted_consumed));
+  check "consumed elements were added"
+    (List.for_all
+       (fun d -> Hashtbl.mem confirmed_adds d || Hashtbl.mem maybe_adds d)
+       !consumed);
+  let consumed_set : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace consumed_set d ()) !consumed;
+  let remaining_set : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace remaining_set d ()) !remaining;
+  let missing =
+    Hashtbl.fold
+      (fun eid () acc ->
+        if Hashtbl.mem consumed_set eid || Hashtbl.mem remaining_set eid then
+          acc
+        else acc + 1)
+      confirmed_adds 0
+  in
+  check "lost queue elements covered by ambiguous removes"
+    (missing <= !maybe_removes);
+  (* per-disruption recovery: time to the next successful client op *)
+  let successes = List.rev !success_times in
+  let recovery = Stats.Series.create () in
+  let unrecovered = ref 0 in
+  List.iter
+    (fun { Nemesis.at; fault } ->
+      match fault with
+      | Nemesis.Crash _ | Nemesis.Partition _ | Nemesis.Storm_start _ -> (
+          match List.find_opt (fun ts -> Sim_time.(at <= ts)) successes with
+          | Some ts ->
+              Stats.Series.add recovery
+                (Sim_time.to_float_ms (Sim_time.sub ts at))
+          | None -> incr unrecovered)
+      | _ -> ())
+    (Nemesis.trace nem);
+  let total = !ok + !maybe + !failed in
+  let errors =
+    Hashtbl.fold (fun e n acc -> (e, n) :: acc) taxonomy []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    ch_kind = kind;
+    ch_seed = seed;
+    ch_ops_ok = !ok;
+    ch_ops_maybe = !maybe;
+    ch_ops_failed = !failed;
+    ch_success_rate =
+      (if total = 0 then 0. else float_of_int !ok /. float_of_int total);
+    ch_errors = errors;
+    ch_counter_confirmed = !confirmed_incr;
+    ch_counter_maybe = !maybe_incr;
+    ch_counter_final = !final_counter;
+    ch_adds_confirmed = Hashtbl.length confirmed_adds;
+    ch_adds_maybe = Hashtbl.length maybe_adds;
+    ch_consumed = List.length !consumed;
+    ch_remaining = List.length !remaining;
+    ch_removes_maybe = !maybe_removes;
+    ch_crashes = Nemesis.crashes nem;
+    ch_leader_kills = Nemesis.leader_kills nem;
+    ch_partitions = Nemesis.partitions nem;
+    ch_partitions_healed = Nemesis.partitions_healed nem;
+    ch_storms = Nemesis.storms nem;
+    ch_faults = Nemesis.faults_injected nem;
+    ch_dropped = sys.Systems.dropped_messages ();
+    ch_recovery_ms = recovery;
+    ch_unrecovered = !unrecovered;
+    ch_anomalies = anomalies;
+    ch_invariant_failures = List.rev !invariant_failures;
+    ch_trace = Nemesis.trace_to_string nem;
+  }

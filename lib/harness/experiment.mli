@@ -96,3 +96,46 @@ val overhead_point :
   measure:Sim_time.t ->
   Systems.kind ->
   overhead_point
+
+(** Availability under fault injection: counter + queue recipes on
+    resilient sessions while a {!Edc_simnet.Nemesis} runs [schedule] until
+    [horizon]; final state is read back and checked against what clients
+    were told (see the fault model in DESIGN.md). *)
+type chaos_point = {
+  ch_kind : Systems.kind;
+  ch_seed : int;
+  ch_ops_ok : int;
+  ch_ops_maybe : int;  (** concluded [Maybe_applied] (ambiguous writes) *)
+  ch_ops_failed : int;
+  ch_success_rate : float;
+  ch_errors : (string * int) list;  (** taxonomy of non-ok outcomes *)
+  ch_counter_confirmed : int;
+  ch_counter_maybe : int;
+  ch_counter_final : int;
+  ch_adds_confirmed : int;
+  ch_adds_maybe : int;
+  ch_consumed : int;
+  ch_remaining : int;
+  ch_removes_maybe : int;
+  ch_crashes : int;
+  ch_leader_kills : int;
+  ch_partitions : int;
+  ch_partitions_healed : int;
+  ch_storms : int;
+  ch_faults : int;
+  ch_dropped : int;  (** messages discarded by the simulated network *)
+  ch_recovery_ms : Stats.Series.t;
+      (** per-disruption time to the next successful client operation *)
+  ch_unrecovered : int;
+  ch_anomalies : int;
+  ch_invariant_failures : string list;  (** empty = all invariants intact *)
+  ch_trace : string;  (** equal seeds produce equal traces *)
+}
+
+val chaos_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  ?schedule:Nemesis.schedule ->
+  ?horizon:Sim_time.t ->
+  Systems.kind ->
+  chaos_point

@@ -1,6 +1,8 @@
 (** Paper-style text output: one table per figure, plus the two static
     tables. *)
 
+open Edc_simnet
+
 let hline width = print_endline (String.make width '-')
 
 let section title =
@@ -106,3 +108,78 @@ let summarize_speedup points ~clients ~base ~ext ~what =
   if b > 0.0 then
     Printf.printf "%s at %d clients: %s %.0f ops/s vs %s %.0f ops/s -> %.1fx\n"
       what clients (Systems.kind_name ext) e (Systems.kind_name base) b (e /. b)
+
+(* ------------------------------------------------------------------ *)
+(* Availability under fault injection                                  *)
+(* ------------------------------------------------------------------ *)
+
+let availability_table points =
+  Printf.printf "\n%-10s %5s | %6s %5s %4s %6s | %7s %9s | %5s %6s\n" "system"
+    "seed" "ok" "maybe" "fail" "rate" "dropped" "recov ms" "unrec" "invar";
+  hline 86;
+  List.iter
+    (fun (p : Experiment.chaos_point) ->
+      let r = p.Experiment.ch_recovery_ms in
+      let recov =
+        if Stats.Series.count r = 0 then "-"
+        else
+          Printf.sprintf "%.0f/%.0f" (Stats.Series.mean r) (Stats.Series.max r)
+      in
+      Printf.printf "%-10s %5d | %6d %5d %4d %5.1f%% | %7d %9s | %5d %6s\n"
+        (Systems.kind_name p.Experiment.ch_kind)
+        p.Experiment.ch_seed p.Experiment.ch_ops_ok p.Experiment.ch_ops_maybe
+        p.Experiment.ch_ops_failed
+        (100.0 *. p.Experiment.ch_success_rate)
+        p.Experiment.ch_dropped recov p.Experiment.ch_unrecovered
+        (if p.Experiment.ch_invariant_failures = [] then "OK" else "BROKEN"))
+    points
+
+let fault_summary points =
+  Printf.printf
+    "\n%-10s %5s | %6s %7s %10s %6s %6s | %8s %8s %9s\n" "system" "seed"
+    "faults" "crashes" "ldr-kills" "parts" "storms" "healed" "ctr" "queue";
+  hline 96;
+  List.iter
+    (fun (p : Experiment.chaos_point) ->
+      Printf.printf
+        "%-10s %5d | %6d %7d %10d %6d %6d | %8d %4d/%-4d %4d/%-4d\n"
+        (Systems.kind_name p.Experiment.ch_kind)
+        p.Experiment.ch_seed p.Experiment.ch_faults p.Experiment.ch_crashes
+        p.Experiment.ch_leader_kills p.Experiment.ch_partitions
+        p.Experiment.ch_storms p.Experiment.ch_partitions_healed
+        p.Experiment.ch_counter_final p.Experiment.ch_counter_confirmed
+        p.Experiment.ch_consumed p.Experiment.ch_adds_confirmed)
+    points
+
+let error_taxonomy points =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Experiment.chaos_point) ->
+      List.iter
+        (fun (e, n) ->
+          Hashtbl.replace tbl e
+            (n + Option.value ~default:0 (Hashtbl.find_opt tbl e)))
+        p.Experiment.ch_errors)
+    points;
+  let all = Hashtbl.fold (fun e n acc -> (e, n) :: acc) tbl [] in
+  let all = List.sort (fun (_, a) (_, b) -> Int.compare b a) all in
+  if all <> [] then begin
+    Printf.printf "\nerror taxonomy (all runs):\n";
+    List.iter (fun (e, n) -> Printf.printf "  %6d  %s\n" n e) all
+  end
+
+let invariant_failures points =
+  List.iter
+    (fun (p : Experiment.chaos_point) ->
+      List.iter
+        (fun f ->
+          Printf.printf "INVARIANT VIOLATED [%s seed=%d]: %s\n"
+            (Systems.kind_name p.Experiment.ch_kind)
+            p.Experiment.ch_seed f)
+        p.Experiment.ch_invariant_failures)
+    points
+
+let fault_trace (p : Experiment.chaos_point) =
+  Printf.printf "\nfault trace (%s, seed %d):\n%s"
+    (Systems.kind_name p.Experiment.ch_kind)
+    p.Experiment.ch_seed p.Experiment.ch_trace

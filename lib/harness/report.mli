@@ -42,3 +42,19 @@ val summarize_speedup :
   ext:Systems.kind ->
   what:string ->
   unit
+
+(** Availability under fault injection: one row per chaos run (success
+    counts, success rate, drops, recovery times, invariant verdict). *)
+val availability_table : Experiment.chaos_point list -> unit
+
+(** Fault counts per run plus confirmed-vs-observed state recap. *)
+val fault_summary : Experiment.chaos_point list -> unit
+
+(** Aggregate non-ok outcome counts across runs, most frequent first. *)
+val error_taxonomy : Experiment.chaos_point list -> unit
+
+(** Print every broken invariant (silent when all runs are intact). *)
+val invariant_failures : Experiment.chaos_point list -> unit
+
+(** The timestamped fault schedule of one run (deterministic per seed). *)
+val fault_trace : Experiment.chaos_point -> unit

@@ -27,14 +27,83 @@ type t = {
   new_api : unit -> Coord_api.t * int;
       (** fresh connected client (call from a fiber); returns the abstract
           API plus the client's network address (for byte accounting) *)
+  new_resilient_api : unit -> Coord_api.t * int;
+      (** like [new_api], but through the resilient session layer
+          (deadlines, backoff, failover, safe resubmission) with timeouts
+          tightened for fault-heavy runs *)
   bytes_sent_by : int -> int;
   total_bytes : unit -> int;
   crash_replica : int -> unit;
+  restart_replica : int -> unit;
+  nemesis_target : unit -> Nemesis.target;
+  dropped_messages : unit -> int;
   n_replicas : int;
   anomalies : unit -> int;
       (** replication-safety violations detected by the state machines
           (must stay 0 in every run) *)
 }
+
+(* Fault-heavy runs want clients that notice a dead replica quickly; the
+   4 s defaults would dominate every recovery-time measurement. *)
+let chaos_zk_client_config =
+  { Zk.Client.request_timeout = Sim_time.sec 1; ping_interval = Sim_time.ms 500 }
+
+let chaos_ds_client_config =
+  {
+    Ds.Ds_client.default_config with
+    Ds.Ds_client.request_timeout = Sim_time.sec 1;
+  }
+
+let zk_nemesis_target name net servers ~crash ~restart =
+  let n = Array.length servers in
+  {
+    Nemesis.name;
+    nodes = List.init n Fun.id;
+    leader =
+      (fun () ->
+        let rec find i =
+          if i >= n then None
+          else if Zk.Server.is_leader servers.(i) then Some i
+          else find (i + 1)
+        in
+        find 0);
+    crash;
+    restart;
+    cut = Net.cut_link net;
+    heal = Net.heal_link net;
+    cut_one_way = (fun ~src ~dst -> Net.cut_link_one_way net ~src ~dst);
+    heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
+    silence = Net.set_node_down net;
+    unsilence = Net.set_node_up net;
+  }
+
+let ds_nemesis_target name net servers ~crash ~restart =
+  let n = Array.length servers in
+  {
+    Nemesis.name;
+    nodes = List.init n Fun.id;
+    leader =
+      (fun () ->
+        let rec find i =
+          if i >= n then None
+          else if
+            Edc_replication.Pbft.is_primary (Ds.Ds_server.pbft servers.(i))
+          then Some i
+          else find (i + 1)
+        in
+        find 0);
+    crash;
+    restart;
+    cut = Net.cut_link net;
+    heal = Net.heal_link net;
+    cut_one_way = (fun ~src ~dst -> Net.cut_link_one_way net ~src ~dst);
+    heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
+    silence = Net.set_node_down net;
+    unsilence = Net.set_node_up net;
+  }
+
+let zk_replica_ids cluster =
+  List.init (Array.length (Zk.Cluster.servers cluster)) Fun.id
 
 let make ?net_config ?batch kind sim =
   match kind with
@@ -47,9 +116,28 @@ let make ?net_config ?batch kind sim =
           (fun () ->
             let c = Zk.Cluster.connected_client cluster () in
             (Coord_zk.of_client ~extensible:false c, Zk.Client.addr c));
+        new_resilient_api =
+          (fun () ->
+            let c =
+              Zk.Cluster.connected_client ~config:chaos_zk_client_config
+                cluster ()
+            in
+            let s =
+              Zk.Session.wrap ~sim ~replicas:(zk_replica_ids cluster) c
+            in
+            (Coord_zk.of_session ~extensible:false s, Zk.Client.addr c));
         bytes_sent_by = Net.bytes_sent_by (Zk.Cluster.net cluster);
         total_bytes = (fun () -> Net.total_bytes_sent (Zk.Cluster.net cluster));
         crash_replica = Zk.Cluster.crash_server cluster;
+        restart_replica = Zk.Cluster.restart_server cluster;
+        nemesis_target =
+          (fun () ->
+            zk_nemesis_target "zookeeper" (Zk.Cluster.net cluster)
+              (Zk.Cluster.servers cluster)
+              ~crash:(Zk.Cluster.crash_server cluster)
+              ~restart:(Zk.Cluster.restart_server cluster));
+        dropped_messages =
+          (fun () -> Net.dropped_messages (Zk.Cluster.net cluster));
         n_replicas = 3;
         anomalies =
           (fun () ->
@@ -66,9 +154,22 @@ let make ?net_config ?batch kind sim =
           (fun () ->
             let c = Ezk_cluster.connected_client cluster () in
             (Coord_zk.of_client ~extensible:true c, Zk.Client.addr c));
+        new_resilient_api =
+          (fun () ->
+            let c =
+              Ezk_cluster.connected_client ~config:chaos_zk_client_config
+                cluster ()
+            in
+            let n = Array.length (Ezk_cluster.servers cluster) in
+            let s = Zk.Session.wrap ~sim ~replicas:(List.init n Fun.id) c in
+            (Coord_zk.of_session ~extensible:true s, Zk.Client.addr c));
         bytes_sent_by = Net.bytes_sent_by (Ezk_cluster.net cluster);
         total_bytes = (fun () -> Net.total_bytes_sent (Ezk_cluster.net cluster));
         crash_replica = Ezk_cluster.crash_server cluster;
+        restart_replica = Ezk_cluster.restart_server cluster;
+        nemesis_target = (fun () -> Ezk_cluster.nemesis_target cluster);
+        dropped_messages =
+          (fun () -> Net.dropped_messages (Ezk_cluster.net cluster));
         n_replicas = 3;
         anomalies =
           (fun () ->
@@ -85,9 +186,25 @@ let make ?net_config ?batch kind sim =
           (fun () ->
             let c = Ds.Ds_cluster.client cluster () in
             (Coord_ds.of_client ~extensible:false c, Ds.Ds_client.addr c));
+        new_resilient_api =
+          (fun () ->
+            let c =
+              Ds.Ds_cluster.client ~config:chaos_ds_client_config cluster ()
+            in
+            let s = Ds.Ds_session.wrap c in
+            (Coord_ds.of_session ~extensible:false s, Ds.Ds_client.addr c));
         bytes_sent_by = Net.bytes_sent_by (Ds.Ds_cluster.net cluster);
         total_bytes = (fun () -> Net.total_bytes_sent (Ds.Ds_cluster.net cluster));
         crash_replica = Ds.Ds_cluster.crash_server cluster;
+        restart_replica = Ds.Ds_cluster.restart_server cluster;
+        nemesis_target =
+          (fun () ->
+            ds_nemesis_target "depspace" (Ds.Ds_cluster.net cluster)
+              (Ds.Ds_cluster.servers cluster)
+              ~crash:(Ds.Ds_cluster.crash_server cluster)
+              ~restart:(Ds.Ds_cluster.restart_server cluster));
+        dropped_messages =
+          (fun () -> Net.dropped_messages (Ds.Ds_cluster.net cluster));
         n_replicas = 4;
         anomalies = (fun () -> 0);
       }
@@ -100,9 +217,22 @@ let make ?net_config ?batch kind sim =
           (fun () ->
             let c = Edc_eds.Eds_cluster.client cluster () in
             (Coord_ds.of_client ~extensible:true c, Ds.Ds_client.addr c));
+        new_resilient_api =
+          (fun () ->
+            let c =
+              Edc_eds.Eds_cluster.client ~config:chaos_ds_client_config
+                cluster ()
+            in
+            let s = Ds.Ds_session.wrap c in
+            (Coord_ds.of_session ~extensible:true s, Ds.Ds_client.addr c));
         bytes_sent_by = Net.bytes_sent_by (Edc_eds.Eds_cluster.net cluster);
         total_bytes = (fun () -> Net.total_bytes_sent (Edc_eds.Eds_cluster.net cluster));
         crash_replica = Edc_eds.Eds_cluster.crash_server cluster;
+        restart_replica = Edc_eds.Eds_cluster.restart_server cluster;
+        nemesis_target =
+          (fun () -> Edc_eds.Eds_cluster.nemesis_target cluster);
+        dropped_messages =
+          (fun () -> Net.dropped_messages (Edc_eds.Eds_cluster.net cluster));
         n_replicas = 4;
         anomalies = (fun () -> 0);
       }

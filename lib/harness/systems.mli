@@ -19,9 +19,20 @@ type t = {
   new_api : unit -> Coord_api.t * int;
       (** fresh connected client (call from a fiber): the abstract API plus
           the client's network address for byte accounting *)
+  new_resilient_api : unit -> Coord_api.t * int;
+      (** like [new_api], but routed through the resilient session layer
+          (deadlines, backoff, replica failover, safe resubmission) with
+          client timeouts tightened for fault-heavy runs *)
   bytes_sent_by : int -> int;
   total_bytes : unit -> int;
   crash_replica : int -> unit;
+  restart_replica : int -> unit;
+  nemesis_target : unit -> Nemesis.target;
+      (** adapter handing the deployment's replicas, leader probe and
+          network knobs to the {!Edc_simnet.Nemesis} fault injector *)
+  dropped_messages : unit -> int;
+      (** messages discarded so far by the simulated network (down nodes,
+          cut links, loss) *)
   n_replicas : int;
   anomalies : unit -> int;
       (** replication-safety violations detected by the state machines

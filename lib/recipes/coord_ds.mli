@@ -15,3 +15,14 @@ val of_client :
   ?monitor_lease:Edc_simnet.Sim_time.t ->
   Edc_depspace.Ds_client.t ->
   Coord_api.t
+
+(** [of_session ~extensible s] builds the same API over a resilient
+    session: every timeout-bounded operation gets the deadline, backoff
+    and safe-resubmission policy of {!Edc_depspace.Ds_session}; blocking
+    reads ([block], [await_change], [invoke_block]) pass through
+    untouched. *)
+val of_session :
+  extensible:bool ->
+  ?monitor_lease:Edc_simnet.Sim_time.t ->
+  Edc_depspace.Ds_session.t ->
+  Coord_api.t

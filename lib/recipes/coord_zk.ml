@@ -14,54 +14,91 @@ let obj_of ~oid ~data (s : Znode.stat) =
     ctime = s.Znode.czxid;
   }
 
-(** [of_client ~extensible c] builds the API for a connected client. *)
-let of_client ~extensible c =
+(* How each call reaches the wire: directly ([of_client]) or through a
+   resilient session ([of_session]).  The [op] kind drives the session's
+   safe-resubmission policy; the direct runner ignores it.  Operations
+   that park indefinitely (block / await_change / invoke_block) never go
+   through the runner — they have no timeout for a retry policy to act
+   on. *)
+type runner = {
+  run :
+    'a.
+    op:Session.op_kind -> (unit -> ('a, string) result) -> ('a, string) result;
+}
+
+let direct_runner = { run = (fun ~op:_ f -> f ()) }
+
+let session_runner s = { run = (fun ~op f -> Session.call_str s ~op (fun _ -> f ())) }
+
+let rd = Session.Read
+let wr_idem = Session.Write { idempotent = true }
+let wr = Session.Write { idempotent = false }
+
+let build ~extensible ~runner c =
+  let { run } = runner in
   let create ~oid ~data =
-    match Client.create_node c oid data with Ok p -> Ok p | Error e -> zerr e
+    (* Non-idempotent: a resubmitted create that already applied would
+       misreport Node_exists. *)
+    run ~op:wr (fun () ->
+        match Client.create_node c oid data with
+        | Ok p -> Ok p
+        | Error e -> zerr e)
   in
   let delete ~oid =
-    match Client.delete c oid with
-    | Ok () -> Ok true
-    | Error Zerror.No_node -> Ok false
-    | Error e -> zerr e
+    (* Idempotent in effect: deleting twice converges on "gone". *)
+    run ~op:wr_idem (fun () ->
+        match Client.delete c oid with
+        | Ok () -> Ok true
+        | Error Zerror.No_node -> Ok false
+        | Error e -> zerr e)
   in
   let read ~oid =
-    match Client.get_data c oid with
-    | Ok (data, s) -> Ok (Some (obj_of ~oid ~data s))
-    | Error Zerror.No_node -> Ok None
-    | Error e -> zerr e
+    run ~op:rd (fun () ->
+        match Client.get_data c oid with
+        | Ok (data, s) -> Ok (Some (obj_of ~oid ~data s))
+        | Error Zerror.No_node -> Ok None
+        | Error e -> zerr e)
   in
   let update ~oid ~data =
-    match Client.set_data c oid data with Ok _ -> Ok () | Error e -> zerr e
+    (* Blind overwrite: re-applying the same data is harmless. *)
+    run ~op:wr_idem (fun () ->
+        match Client.set_data c oid data with
+        | Ok _ -> Ok ()
+        | Error e -> zerr e)
   in
   let cas ~expected ~data =
-    (* "int v = object version observed by last read(o); setData(o, nc, v)" *)
-    match
-      Client.set_data c ~expected_version:expected.Coord_api.version
-        expected.Coord_api.oid data
-    with
-    | Ok _ -> Ok true
-    | Error Zerror.Bad_version -> Ok false
-    | Error e -> zerr e
+    (* "int v = object version observed by last read(o); setData(o, nc, v)".
+       Non-idempotent: if the first try applied, a resubmission would hit
+       Bad_version and misreport a lost race. *)
+    run ~op:wr (fun () ->
+        match
+          Client.set_data c ~expected_version:expected.Coord_api.version
+            expected.Coord_api.oid data
+        with
+        | Ok _ -> Ok true
+        | Error Zerror.Bad_version -> Ok false
+        | Error e -> zerr e)
   in
   let sub_object_ids ~oid =
-    match Client.get_children c oid with
-    | Ok names -> Ok (List.map (Zpath.child oid) names)
-    | Error e -> zerr e
+    run ~op:rd (fun () ->
+        match Client.get_children c oid with
+        | Ok names -> Ok (List.map (Zpath.child oid) names)
+        | Error e -> zerr e)
   in
   let sub_objects ~oid =
     (* step 1: getChildren; step 2: one getData per child (k+1 RPCs) *)
-    match Client.get_children c oid with
-    | Error e -> zerr e
-    | Ok names ->
-        Ok
-          (List.filter_map
-             (fun name ->
-               let child = Zpath.child oid name in
-               match Client.get_data c child with
-               | Ok (data, s) -> Some (obj_of ~oid:child ~data s)
-               | Error _ -> None (* vanished between the two steps *))
-             names)
+    run ~op:rd (fun () ->
+        match Client.get_children c oid with
+        | Error e -> zerr e
+        | Ok names ->
+            Ok
+              (List.filter_map
+                 (fun name ->
+                   let child = Zpath.child oid name in
+                   match Client.get_data c child with
+                   | Ok (data, s) -> Some (obj_of ~oid:child ~data s)
+                   | Error _ -> None (* vanished between the two steps *))
+                 names))
   in
   let block ~oid =
     match Client.block c oid with Ok () -> Ok () | Error e -> zerr e
@@ -84,7 +121,8 @@ let of_client ~extensible c =
   in
   let signal_change ~oid = ignore oid; Ok () (* watches fire automatically *) in
   let monitor ~oid =
-    match Client.monitor c oid with Ok _ -> Ok () | Error e -> zerr e
+    run ~op:wr (fun () ->
+        match Client.monitor c oid with Ok _ -> Ok () | Error e -> zerr e)
   in
   let ext =
     if not extensible then None
@@ -93,15 +131,24 @@ let of_client ~extensible c =
         {
           Coord_api.register =
             (fun program ->
-              match Ezk_client.register c program with
-              | Ok _ -> Ok ()
-              | Error e -> zerr e);
+              run ~op:wr (fun () ->
+                  match Ezk_client.register c program with
+                  | Ok _ -> Ok ()
+                  | Error e -> zerr e));
           acknowledge =
             (fun name ->
-              match Ezk_client.acknowledge c name with
-              | Ok _ -> Ok ()
-              | Error e -> zerr e);
-          invoke_read = (fun oid -> Ezk_client.ext_read c oid);
+              (* Acknowledging twice is the same acknowledgment, so the
+                 duplicate create folds into success — which makes this
+                 safe to resubmit. *)
+              run ~op:wr_idem (fun () ->
+                  match Ezk_client.acknowledge c name with
+                  | Ok _ | Error Zerror.Node_exists -> Ok ()
+                  | Error e -> zerr e));
+          invoke_read =
+            (fun oid ->
+              (* An operation extension may mutate state (e.g. the counter's
+                 increment), so a timed-out invocation is ambiguous. *)
+              run ~op:wr (fun () -> Ezk_client.ext_read c oid));
           invoke_block =
             (fun oid ->
               match Ezk_client.block c oid with Ok d -> Ok d | Error e -> zerr e);
@@ -123,3 +170,11 @@ let of_client ~extensible c =
     monitor;
     ext;
   }
+
+(** [of_client ~extensible c] builds the API for a connected client. *)
+let of_client ~extensible c = build ~extensible ~runner:direct_runner c
+
+(** [of_session ~extensible s] — same API, with every timeout-bounded call
+    routed through the resilient session. *)
+let of_session ~extensible s =
+  build ~extensible ~runner:(session_runner s) (Session.client s)

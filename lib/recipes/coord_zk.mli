@@ -6,3 +6,10 @@
 (** [of_client ~extensible c] builds the abstract API for a connected
     client; [extensible] enables the extension operations (EZK). *)
 val of_client : extensible:bool -> Edc_zookeeper.Client.t -> Coord_api.t
+
+(** [of_session ~extensible s] builds the same API over a resilient
+    session: every timeout-bounded operation gets deadlines, backoff,
+    replica failover and the safe-resubmission policy of
+    {!Edc_zookeeper.Session}; parking operations ([block], [await_change],
+    [invoke_block]) are passed through untouched. *)
+val of_session : extensible:bool -> Edc_zookeeper.Session.t -> Coord_api.t

@@ -52,6 +52,8 @@ type 'p msg =
       pending : (request_id * 'p) list;
     }
   | New_view of { view : int }
+  | Recover_request
+  | Recover_reply of { view : int }
 
 type config = {
   order_timeout : Sim_time.t;
@@ -105,6 +107,8 @@ type 'p t = {
       (** (from, delivered, pending) messages for view [view + 1 ...] ,
           keyed implicitly by the new view we are collecting for *)
   mutable collecting_view : int;  (** the view we are collecting VCs for *)
+  mutable recovering : bool;  (** restarted, waiting for recover replies *)
+  mutable recover_views : (int * int) list;  (** (replica, its view) *)
 }
 
 let n t = List.length t.peers
@@ -314,6 +318,26 @@ let handle t ~src msg =
             t.view_changes <- (src, delivered, pending) :: t.view_changes;
           maybe_install_view t
         end
+    | Recover_request ->
+        if not t.recovering then t.send ~dst:src (Recover_reply { view = t.view })
+    | Recover_reply { view } ->
+        if t.recovering then begin
+          if not (List.mem_assoc src t.recover_views) then
+            t.recover_views <- (src, view) :: t.recover_views;
+          if List.length t.recover_views >= t.f + 1 then begin
+            (* [f + 1] answers include at least one correct replica, so the
+               max view we heard is no older than the ensemble's.  Jump
+               there and force a view change: its history transfer is what
+               brings us (and only costs the ensemble one view bump). *)
+            t.recovering <- false;
+            let v =
+              List.fold_left (fun acc (_, v) -> max acc v) t.view t.recover_views
+            in
+            t.recover_views <- [];
+            t.view <- v;
+            start_view_change t
+          end
+        end
     | New_view { view } ->
         if view >= t.view && src = primary_of t view then begin
           t.view <- view;
@@ -336,7 +360,9 @@ let handle t ~src msg =
 
 let rec tick t generation () =
   if t.alive && generation = t.generation then begin
-    if not (is_primary t) then begin
+    (* While recovering we do not know the real view yet, so suspecting the
+       primary from a stale view would only add noise. *)
+    if (not (is_primary t)) && not t.recovering then begin
       let now = Sim.now t.sim in
       let stuck =
         Hashtbl.fold
@@ -379,6 +405,8 @@ let create ?(config = default_config) ~sim ~id ~peers ~f ~send ~on_deliver ()
       pending = Hashtbl.create 64;
       view_changes = [];
       collecting_view = 0;
+      recovering = false;
+      recover_views = [];
     }
   in
   t.batcher <-
@@ -391,7 +419,36 @@ let create ?(config = default_config) ~sim ~id ~peers ~f ~send ~on_deliver ()
 let crash t =
   t.alive <- false;
   t.generation <- t.generation + 1;
+  t.recovering <- false;
+  t.recover_views <- [];
   Batching.reset (batcher t)
+
+let rec recover_tick t generation () =
+  if t.alive && t.recovering && generation = t.generation then begin
+    (* Re-ask until enough of the ensemble is reachable; requests are lost
+       if we restarted into a partition. *)
+    broadcast t Recover_request;
+    Sim.schedule t.sim ~after:t.config.order_timeout (recover_tick t generation)
+  end
+
+(** [restart t] revives a crashed replica with its durable state (delivered
+    history, execution dedup table) and kicks off view recovery. *)
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    Hashtbl.reset t.slots;
+    Hashtbl.reset t.in_flight;
+    Hashtbl.reset t.pending;
+    Batching.reset (batcher t);
+    t.view_changes <- [];
+    t.deliver_horizon <- 0;
+    t.next_seq <- 0;
+    t.recovering <- true;
+    t.recover_views <- [];
+    Trace.debugf t.sim "pbft[%d] restarting (view %d)" t.id t.view;
+    start t;
+    Sim.schedule t.sim ~after:Sim_time.zero (recover_tick t t.generation)
+  end
 
 let delivered_count t = List.length t.delivered
 
@@ -409,3 +466,5 @@ let msg_size ~payload_size = function
       let cost = List.fold_left (fun acc (_, p) -> acc + 16 + payload_size p) 0 in
       48 + cost delivered + cost pending
   | New_view _ -> 24
+  | Recover_request -> 16
+  | Recover_reply _ -> 24

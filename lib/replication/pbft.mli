@@ -38,6 +38,9 @@ type 'p msg =
       pending : (request_id * 'p) list;
     }
   | New_view of { view : int }
+  | Recover_request
+      (** a restarted replica asking the ensemble for the current view *)
+  | Recover_reply of { view : int }
 
 type config = {
   order_timeout : Sim_time.t;
@@ -79,6 +82,14 @@ val view : 'p t -> int
 
 (** [crash t] silences the replica (crash or Byzantine-mute). *)
 val crash : 'p t -> unit
+
+(** [restart t] brings a crashed replica back.  It keeps its durable state
+    (delivered history and execution dedup table), asks the ensemble for
+    the current view ([Recover_request]), and once [f + 1] replicas answer
+    it forces a view change from the highest view it heard; the simplified
+    view change transfers the full delivered history, so the rejoiner
+    re-executes exactly the suffix it missed (dedup by request id). *)
+val restart : 'p t -> unit
 
 val delivered_count : 'p t -> int
 

@@ -42,9 +42,17 @@ type 'p msg =
   | Ping of { epoch : int; committed : int }
       (** leader heartbeat; also carries the commit horizon so idle
           followers still learn about commits *)
-  | Propose of { epoch : int; index : int; entries : 'p entry list }
+  | Propose of {
+      epoch : int;
+      index : int;
+      prev_zxid : zxid;  (** zxid of the leader's entry at [index - 1] *)
+      entries : 'p entry list;
+    }
       (** a group-committed batch of consecutive entries starting at
-          absolute index [index]; each entry carries its own zxid *)
+          absolute index [index]; each entry carries its own zxid.
+          [prev_zxid] is the log-matching check (Raft's AppendEntries
+          rule): a follower whose entry at [index - 1] differs holds a
+          divergent tail and must re-sync instead of acking *)
   | Ack of { epoch : int; upto : int }
       (** cumulative: the follower durably holds the log prefix of length
           [upto] (FIFO links make per-entry acks redundant) *)
@@ -107,6 +115,14 @@ type 'p t = {
   mutable current_epoch : int;
   mutable voted_epoch : int;  (** highest epoch we granted a vote in *)
   mutable committed : int;  (** length of the committed log prefix *)
+  mutable verified : int;
+      (** length of the log prefix known to match the current epoch's
+          leader.  Entries above it may be a divergent uncommitted tail
+          from a deposed leader, so acks and commit advancement are both
+          clamped to it; grafts and matching proposals extend it.  Resets
+          to [committed] (always consistent, by the election rule) when a
+          new epoch is adopted.  Invariant: committed <= verified <=
+          abs_len. *)
   (* --- volatile state --- *)
   mutable role : role;
   mutable leader_hint : int option;
@@ -200,9 +216,11 @@ let commit_batch t items =
     in
     if items <> [] then begin
       let index = abs_len t in
+      let prev_zxid = last_zxid t in
       let entries = List.map (fun (zxid, payload) -> { zxid; payload }) items in
       List.iter (Vec.push t.log) entries;
-      broadcast t (Propose { epoch = t.current_epoch; index; entries });
+      broadcast t
+        (Propose { epoch = t.current_epoch; index; prev_zxid; entries });
       (* A single-replica ensemble commits immediately. *)
       leader_commit_check t
     end
@@ -245,6 +263,7 @@ let become_leader t =
   set_role t Leader;
   t.leader_hint <- Some t.id;
   t.next_counter <- 0;
+  t.verified <- abs_len t;
   Hashtbl.reset t.match_len;
   (* Synchronize followers: ship the retained log suffix, preceded by the
      snapshot when entries before the compaction horizon are gone. *)
@@ -288,7 +307,10 @@ let note_leader t ~src ~epoch =
   end
 
 let follower_commit t upto =
-  let upto = Stdlib.min upto (abs_len t) in
+  (* Never commit past the verified prefix: entries above it may be a
+     divergent tail that merely occupies the same indices as what the
+     leader actually committed. *)
+  let upto = Stdlib.min upto t.verified in
   if upto > t.committed then begin
     t.committed <- upto;
     deliver_ready t
@@ -299,6 +321,7 @@ let follower_commit t upto =
 let graft_entries t ~src ~epoch ~from entries =
   if from >= t.base then begin
     Vec.replace_from t.log (from - t.base) entries;
+    t.verified <- abs_len t;
     t.send ~dst:src (Ack { epoch; upto = abs_len t })
   end
   else begin
@@ -308,29 +331,95 @@ let graft_entries t ~src ~epoch ~from entries =
     if List.length entries >= drop then begin
       let keep = List.filteri (fun i _ -> i >= drop) entries in
       Vec.replace_from t.log 0 keep;
+      t.verified <- abs_len t;
       t.send ~dst:src (Ack { epoch; upto = abs_len t })
     end
   end
 
+let epoch_of_msg = function
+  | Ping { epoch; _ }
+  | Propose { epoch; _ }
+  | Ack { epoch; _ }
+  | Commit { epoch; _ }
+  | Request_vote { epoch; _ }
+  | Vote { epoch }
+  | Sync_request { epoch; _ }
+  | Sync { epoch; _ }
+  | Snapshot_install { epoch; _ } ->
+      epoch
+
+(* Raft's term rule, applied to every message: a higher epoch proves our
+   current role is stale, so adopt it and fall back to follower even when
+   the message itself is refused (e.g. a vote request from a lagging log).
+   Without this, a deposed replica that restarts with a stale log can
+   campaign at ever-higher epochs that nobody adopts: the old leader —
+   whose uncommitted tail makes it refuse every vote — keeps serving an
+   epoch its followers have moved past, the healthy follower's campaign
+   epoch never catches the straggler's [voted_epoch], and no election
+   converges. *)
+let maybe_adopt_epoch t epoch =
+  if epoch > t.current_epoch then begin
+    t.current_epoch <- epoch;
+    t.votes <- [];
+    (* the new epoch's leader may hold a different tail: only the
+       committed prefix is known consistent *)
+    t.verified <- t.committed;
+    if t.role <> Follower then begin
+      t.leader_hint <- None;
+      set_role t Follower
+    end
+  end
+
 let handle t ~src msg =
-  if t.alive then
+  if t.alive then begin
+    maybe_adopt_epoch t (epoch_of_msg msg);
     match msg with
     | Ping { epoch; committed } ->
         if epoch >= t.current_epoch then begin
           note_leader t ~src ~epoch;
-          follower_commit t committed
+          follower_commit t committed;
+          if committed > t.verified then
+            (* the leader has committed past what we know matches its log
+               (e.g. the post-election sync was lost): re-sync from the
+               verified prefix so the graft can repair our tail *)
+            t.send ~dst:src (Sync_request { epoch; have = t.verified })
         end
-    | Propose { epoch; index; entries = _ } when epoch < t.current_epoch ->
-        ignore index (* stale leader; drop *)
-    | Propose { epoch; index; entries } ->
+    | Propose { epoch; index = _; _ } when epoch < t.current_epoch ->
+        () (* stale leader; drop *)
+    | Propose { epoch; index; prev_zxid; entries } ->
         note_leader t ~src ~epoch;
         let len = List.length entries in
+        (* Log matching: the entry before the batch, and any entry the
+           batch overlaps, must agree with ours.  A mismatch means our
+           uncommitted tail came from a deposed leader and the
+           post-election sync that should have repaired it was lost. *)
+        let prev_matches =
+          index <= t.base || index = 0
+          || index > abs_len t
+          || (log_get t (index - 1)).zxid = prev_zxid
+        in
+        let first_matches =
+          match entries with
+          | e :: _ when t.base <= index && index < abs_len t ->
+              (log_get t index).zxid = e.zxid
+          | _ -> true
+        in
         if index > abs_len t then
-          (* Gap: we missed entries (fresh restart). Ask for a sync. *)
-          t.send ~dst:src (Sync_request { epoch; have = abs_len t })
-        else if index + len <= abs_len t then
-          (* Entirely a duplicate (e.g. resent around a sync); re-ack. *)
-          t.send ~dst:src (Ack { epoch; upto = abs_len t })
+          (* Gap: we missed entries (fresh restart).  Ask for a sync from
+             our committed prefix — anything above it may be a divergent
+             tail the graft must be allowed to truncate. *)
+          t.send ~dst:src (Sync_request { epoch; have = t.committed })
+        else if not (prev_matches && first_matches) then
+          (* divergent tail: re-sync from the committed prefix, which the
+             leader's graft will repair by truncation *)
+          t.send ~dst:src (Sync_request { epoch; have = t.committed })
+        else if index + len <= abs_len t then begin
+          (* Entirely a duplicate (e.g. resent around a sync).  The prev
+             and first checks passed, so the batch's span matches; re-ack
+             it, but no further — anything above may still diverge. *)
+          t.verified <- Stdlib.max t.verified (index + len);
+          t.send ~dst:src (Ack { epoch; upto = t.verified })
+        end
         else begin
           (* Append the suffix of the batch we are missing, in one event so
              the batch lands atomically.  Within an epoch the leader's log
@@ -340,6 +429,7 @@ let handle t ~src msg =
             List.filteri (fun i _ -> index + i >= abs_len t) entries
           in
           List.iter (Vec.push t.log) fresh;
+          t.verified <- abs_len t;
           t.send ~dst:src (Ack { epoch; upto = abs_len t })
         end
     | Ack { epoch; upto } ->
@@ -358,13 +448,13 @@ let handle t ~src msg =
           follower_commit t index
         end
     | Request_vote { epoch; candidate; last_zxid = candidate_last } ->
+        (* the epoch itself was adopted above; grant at most one vote per
+           epoch, and only to a log at least as up to date as ours *)
         if
-          epoch > t.current_epoch && epoch > t.voted_epoch
+          epoch = t.current_epoch && epoch > t.voted_epoch
           && zxid_geq candidate_last (last_zxid t)
         then begin
           t.voted_epoch <- epoch;
-          t.current_epoch <- epoch;
-          set_role t Follower;
           t.leader_hint <- None;
           (* Reset the clock so we do not immediately start a competing
              election while the new leader synchronizes. *)
@@ -410,7 +500,7 @@ let handle t ~src msg =
             graft_entries t ~src ~epoch ~from entries;
             follower_commit t committed
           end
-          else t.send ~dst:src (Sync_request { epoch; have = abs_len t })
+          else t.send ~dst:src (Sync_request { epoch; have = t.committed })
         end
     | Snapshot_install { epoch; base; blob; entries; committed } ->
         if epoch >= t.current_epoch then begin
@@ -433,6 +523,7 @@ let handle t ~src msg =
             follower_commit t committed
           end
         end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Timers                                                              *)
@@ -484,6 +575,7 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
       current_epoch = 0;
       voted_epoch = 0;
       committed = 0;
+      verified = 0;
       role = Follower;
       leader_hint = None;
       alive = true;
@@ -526,13 +618,16 @@ let crash t =
 let restart t =
   t.alive <- true;
   t.leader_hint <- None;
+  t.verified <- t.committed;
   t.last_leader_contact <- Sim.now t.sim;
   start t;
   (* Proactively ask whoever leads now for the missing suffix: we cannot
      address them yet, so we ask everyone; non-leaders ignore it. *)
   List.iter
     (fun dst ->
-      t.send ~dst (Sync_request { epoch = t.current_epoch; have = abs_len t }))
+      (* ask from the committed prefix: our uncommitted tail may predate
+         the crash and diverge from the current leader's log *)
+      t.send ~dst (Sync_request { epoch = t.current_epoch; have = t.committed }))
     (others t)
 
 (** [compact t ~take] discards the delivered log prefix after capturing an

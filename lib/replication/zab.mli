@@ -22,7 +22,15 @@ type 'p entry = { zxid : zxid; payload : 'p }
 
 type 'p msg =
   | Ping of { epoch : int; committed : int }
-  | Propose of { epoch : int; index : int; entries : 'p entry list }
+  | Propose of {
+      epoch : int;
+      index : int;
+      prev_zxid : zxid;
+          (** zxid of the entry just below [index] (log-matching check:
+              a follower whose log disagrees must resync rather than
+              append onto a divergent tail) *)
+      entries : 'p entry list;
+    }
       (** a group-committed batch of consecutive entries starting at
           absolute index [index] *)
   | Ack of { epoch : int; upto : int }

@@ -1,0 +1,233 @@
+(** Deterministic fault injection over the simulator.  See the interface
+    for the model; the one invariant maintained here is the single-active-
+    disruption interlock, which keeps quorum recoverable and makes
+    per-fault recovery time well-defined. *)
+
+type target = {
+  name : string;
+  nodes : int list;
+  leader : unit -> int option;
+  crash : int -> unit;
+  restart : int -> unit;
+  cut : int -> int -> unit;
+  heal : int -> int -> unit;
+  cut_one_way : src:int -> dst:int -> unit;
+  heal_one_way : src:int -> dst:int -> unit;
+  silence : int -> unit;
+  unsilence : int -> unit;
+}
+
+type fault =
+  | Crash of { node : int; leader : bool }
+  | Restart of { node : int }
+  | Partition of { isolated : int; rest : int list; asymmetric : bool }
+  | Heal of { isolated : int }
+  | Storm_start of { node : int }
+  | Storm_end of { node : int }
+
+type event = { at : Sim_time.t; fault : fault }
+
+type victim = Any_replica | Leader | Node of int
+
+type action =
+  | Crash_restart of { downtime : Sim_time.t; victim : victim }
+  | Isolate of { duration : Sim_time.t; victim : victim; asymmetric : bool }
+  | Storm of { duration : Sim_time.t; victim : victim }
+
+type item = {
+  start : Sim_time.t;
+  period : Sim_time.t option;
+  action : action;
+}
+
+type schedule = item list
+
+(* Spaced so that, under the interlock and the 300 ms re-arm delay, a 20 s
+   horizon sees several random crashes, at least two leader kills and two
+   healed partitions (one asymmetric), and a couple of drop storms. *)
+let standard_schedule =
+  [
+    {
+      start = Sim_time.sec 2;
+      period = Some (Sim_time.sec 8);
+      action =
+        Crash_restart
+          { downtime = Sim_time.ms 1500; victim = Any_replica };
+    };
+    {
+      start = Sim_time.sec 5;
+      period = Some (Sim_time.sec 10);
+      action = Crash_restart { downtime = Sim_time.sec 2; victim = Leader };
+    };
+    {
+      start = Sim_time.sec 11;
+      period = Some (Sim_time.sec 10);
+      action =
+        Isolate
+          {
+            duration = Sim_time.ms 1500;
+            victim = Any_replica;
+            asymmetric = false;
+          };
+    };
+    {
+      start = Sim_time.sec 13;
+      period = Some (Sim_time.sec 10);
+      action =
+        Isolate
+          { duration = Sim_time.sec 1; victim = Leader; asymmetric = true };
+    };
+    {
+      start = Sim_time.ms 7500;
+      period = Some (Sim_time.sec 9);
+      action = Storm { duration = Sim_time.ms 300; victim = Any_replica };
+    };
+  ]
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  target : target;
+  horizon : Sim_time.t;
+  mutable events : event list;  (* newest first *)
+  mutable busy : bool;
+  mutable crashes : int;
+  mutable leader_kills : int;
+  mutable partitions : int;
+  mutable healed : int;
+  mutable storms : int;
+}
+
+let retry_delay = Sim_time.ms 300
+
+let record t fault =
+  t.events <- { at = Sim.now t.sim; fault } :: t.events;
+  Trace.debugf t.sim "nemesis[%s] %s" t.target.name
+    (match fault with
+    | Crash { node; leader } ->
+        Printf.sprintf "crash node=%d%s" node (if leader then " (leader)" else "")
+    | Restart { node } -> Printf.sprintf "restart node=%d" node
+    | Partition { isolated; asymmetric; _ } ->
+        Printf.sprintf "partition node=%d%s" isolated
+          (if asymmetric then " (asymmetric)" else "")
+    | Heal { isolated } -> Printf.sprintf "heal node=%d" isolated
+    | Storm_start { node } -> Printf.sprintf "storm start node=%d" node
+    | Storm_end { node } -> Printf.sprintf "storm end node=%d" node)
+
+let pick_victim t = function
+  | Node n -> Some n
+  | Leader -> t.target.leader ()
+  | Any_replica -> Some (Rng.pick t.rng (Array.of_list t.target.nodes))
+
+let peers_of t node = List.filter (fun n -> n <> node) t.target.nodes
+
+(* Every disruption sets [busy] and schedules its own undo; undo always
+   runs, even past the horizon, so the cluster ends whole. *)
+let perform t action node =
+  t.busy <- true;
+  match action with
+  | Crash_restart { downtime; _ } ->
+      let leader = t.target.leader () = Some node in
+      t.crashes <- t.crashes + 1;
+      if leader then t.leader_kills <- t.leader_kills + 1;
+      t.target.crash node;
+      record t (Crash { node; leader });
+      Sim.schedule t.sim ~after:downtime (fun () ->
+          t.target.restart node;
+          record t (Restart { node });
+          t.busy <- false)
+  | Isolate { duration; asymmetric; _ } ->
+      let rest = peers_of t node in
+      t.partitions <- t.partitions + 1;
+      if asymmetric then
+        List.iter (fun o -> t.target.cut_one_way ~src:node ~dst:o) rest
+      else List.iter (fun o -> t.target.cut node o) rest;
+      record t (Partition { isolated = node; rest; asymmetric });
+      Sim.schedule t.sim ~after:duration (fun () ->
+          if asymmetric then
+            List.iter (fun o -> t.target.heal_one_way ~src:node ~dst:o) rest
+          else List.iter (fun o -> t.target.heal node o) rest;
+          t.healed <- t.healed + 1;
+          record t (Heal { isolated = node });
+          t.busy <- false)
+  | Storm { duration; _ } ->
+      t.storms <- t.storms + 1;
+      t.target.silence node;
+      record t (Storm_start { node });
+      Sim.schedule t.sim ~after:duration (fun () ->
+          t.target.unsilence node;
+          record t (Storm_end { node });
+          t.busy <- false)
+
+let rec fire t item () =
+  if Sim_time.(Sim.now t.sim <= t.horizon) then begin
+    let fired =
+      (not t.busy)
+      &&
+      match pick_victim t (match item.action with
+          | Crash_restart { victim; _ } | Isolate { victim; _ }
+          | Storm { victim; _ } -> victim)
+      with
+      | None -> false  (* e.g. leader-targeted mid-election: re-arm below *)
+      | Some node -> perform t item.action node; true
+    in
+    let next =
+      if fired then Option.map (Sim_time.add (Sim.now t.sim)) item.period
+      else Some (Sim_time.add (Sim.now t.sim) retry_delay)
+    in
+    match next with
+    | Some at when Sim_time.(at <= t.horizon) ->
+        Sim.schedule_at t.sim ~at (fire t item)
+    | _ -> ()
+  end
+
+let start ?rng ~sim ~target ~horizon schedule =
+  let rng = match rng with Some r -> r | None -> Rng.split (Sim.rng sim) in
+  let t =
+    {
+      sim;
+      rng;
+      target;
+      horizon;
+      events = [];
+      busy = false;
+      crashes = 0;
+      leader_kills = 0;
+      partitions = 0;
+      healed = 0;
+      storms = 0;
+    }
+  in
+  List.iter
+    (fun item ->
+      if Sim_time.(item.start <= horizon) then
+        Sim.schedule_at sim ~at:item.start (fire t item))
+    schedule;
+  t
+
+let trace t = List.rev t.events
+let faults_injected t = t.crashes + t.partitions + t.storms
+let crashes t = t.crashes
+let leader_kills t = t.leader_kills
+let partitions t = t.partitions
+let partitions_healed t = t.healed
+let storms t = t.storms
+let busy t = t.busy
+
+let pp_fault ppf = function
+  | Crash { node; leader } ->
+      Fmt.pf ppf "crash node=%d%s" node (if leader then " leader" else "")
+  | Restart { node } -> Fmt.pf ppf "restart node=%d" node
+  | Partition { isolated; rest; asymmetric } ->
+      Fmt.pf ppf "partition node=%d%s rest=[%s]" isolated
+        (if asymmetric then " asym" else "")
+        (String.concat "," (List.map string_of_int rest))
+  | Heal { isolated } -> Fmt.pf ppf "heal node=%d" isolated
+  | Storm_start { node } -> Fmt.pf ppf "storm-start node=%d" node
+  | Storm_end { node } -> Fmt.pf ppf "storm-end node=%d" node
+
+let pp_event ppf { at; fault } =
+  Fmt.pf ppf "%9.4fs %a" (Sim_time.to_float_s at) pp_fault fault
+
+let trace_to_string t =
+  String.concat "\n" (List.map (Fmt.str "%a" pp_event) (trace t))

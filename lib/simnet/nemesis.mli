@@ -1,0 +1,99 @@
+(** Nemesis: deterministic, seed-driven fault injection over {!Sim.t}.
+
+    A nemesis runs a {e schedule} of disruption items against an abstract
+    {!target} (a cluster seen through closures): periodic crash+restart of
+    a random or leader replica, symmetric and asymmetric partitions that
+    isolate one replica from its peers, and drop storms that silence a
+    node's network without killing the process.  Every action is recorded
+    in a timestamped fault trace, so experiments can report per-fault
+    recovery and tests can assert that equal seeds give identical traces.
+
+    At most one disruption is active at a time (the interlock): a fault
+    plan that permanently destroys quorum measures nothing, and overlap
+    would make "recovery time per fault" ill-defined.  An item that fires
+    while another disruption is active (or while a leader-targeted item
+    finds no leader, e.g. mid-election) deterministically re-arms itself a
+    short delay later. *)
+
+type target = {
+  name : string;
+  nodes : int list;  (** replica network addresses *)
+  leader : unit -> int option;  (** current leader/primary, if any *)
+  crash : int -> unit;  (** kill process + network *)
+  restart : int -> unit;  (** revive process + network *)
+  cut : int -> int -> unit;  (** symmetric link cut *)
+  heal : int -> int -> unit;
+  cut_one_way : src:int -> dst:int -> unit;
+  heal_one_way : src:int -> dst:int -> unit;
+  silence : int -> unit;  (** drop the node's traffic, process keeps running *)
+  unsilence : int -> unit;
+}
+
+(** One entry of the fault trace. *)
+type fault =
+  | Crash of { node : int; leader : bool }
+  | Restart of { node : int }
+  | Partition of { isolated : int; rest : int list; asymmetric : bool }
+      (** [asymmetric]: only traffic {e from} [isolated] is dropped — it
+          still hears its peers (the classic half-open failure) *)
+  | Heal of { isolated : int }
+  | Storm_start of { node : int }
+  | Storm_end of { node : int }
+
+type event = { at : Sim_time.t; fault : fault }
+
+(** Who a disruption hits. *)
+type victim =
+  | Any_replica  (** uniform draw from [target.nodes] *)
+  | Leader
+  | Node of int
+
+type action =
+  | Crash_restart of { downtime : Sim_time.t; victim : victim }
+  | Isolate of { duration : Sim_time.t; victim : victim; asymmetric : bool }
+  | Storm of { duration : Sim_time.t; victim : victim }
+
+type item = {
+  start : Sim_time.t;  (** first firing time *)
+  period : Sim_time.t option;  (** [None] = one-shot *)
+  action : action;
+}
+
+type schedule = item list
+
+(** The standard chaos mix used by the harness: periodic random and
+    leader-targeted crash+restarts, a symmetric and an asymmetric
+    partition, and short drop storms.  Over a ~20 s horizon it yields
+    multiple leader kills and healed partitions. *)
+val standard_schedule : schedule
+
+type t
+
+(** [start ?rng ~sim ~target ~horizon schedule] arms every item.  No new
+    disruption starts after [horizon], but in-flight restarts/heals always
+    complete, so the cluster is whole again shortly after.  [rng] defaults
+    to a split of [sim]'s root generator; victim draws are its only
+    randomness, so equal seeds give identical traces. *)
+val start :
+  ?rng:Rng.t -> sim:Sim.t -> target:target -> horizon:Sim_time.t ->
+  schedule -> t
+
+(** Chronological fault trace. *)
+val trace : t -> event list
+
+(** Disruptions started (crashes + partitions + storms). *)
+val faults_injected : t -> int
+
+val crashes : t -> int
+val leader_kills : t -> int
+val partitions : t -> int
+val partitions_healed : t -> int
+val storms : t -> int
+
+(** [true] while a disruption is in flight. *)
+val busy : t -> bool
+
+val pp_event : Format.formatter -> event -> unit
+
+(** One line per event — equal seeds must produce equal strings. *)
+val trace_to_string : t -> string

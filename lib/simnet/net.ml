@@ -45,6 +45,7 @@ type 'm t = {
   handlers : (addr, 'm handler) Hashtbl.t;
   down : (addr, unit) Hashtbl.t;
   cut : (addr * addr, unit) Hashtbl.t;
+  cut_one_way : (addr * addr, unit) Hashtbl.t;  (* directed (src, dst) *)
   node_counters : (addr, counters) Hashtbl.t;
   last_delivery : (addr * addr, Sim_time.t) Hashtbl.t;
   mutable total_sent_bytes : int;
@@ -60,6 +61,7 @@ let create ?(config = lan_config) sim =
     handlers = Hashtbl.create 64;
     down = Hashtbl.create 8;
     cut = Hashtbl.create 8;
+    cut_one_way = Hashtbl.create 8;
     node_counters = Hashtbl.create 64;
     last_delivery = Hashtbl.create 64;
     total_sent_bytes = 0;
@@ -83,7 +85,8 @@ let node_is_down t addr = Hashtbl.mem t.down addr
 
 let link_key a b = if a <= b then (a, b) else (b, a)
 
-let link_is_cut t a b = Hashtbl.mem t.cut (link_key a b)
+let link_is_cut t a b =
+  Hashtbl.mem t.cut (link_key a b) || Hashtbl.mem t.cut_one_way (a, b)
 
 (** [set_node_down t addr] makes the node unreachable: messages to or from
     it are silently dropped (crash model). *)
@@ -95,6 +98,13 @@ let set_node_up t addr = Hashtbl.remove t.down addr
 let cut_link t a b = Hashtbl.replace t.cut (link_key a b) ()
 
 let heal_link t a b = Hashtbl.remove t.cut (link_key a b)
+
+(** [cut_link_one_way t ~src ~dst] drops only [src]→[dst] traffic, leaving
+    the reverse direction intact (asymmetric partition: the victim can
+    hear the cluster but nobody hears the victim). *)
+let cut_link_one_way t ~src ~dst = Hashtbl.replace t.cut_one_way (src, dst) ()
+
+let heal_link_one_way t ~src ~dst = Hashtbl.remove t.cut_one_way (src, dst)
 
 let delay_for t ~src ~dst ~size =
   let base =

@@ -46,6 +46,12 @@ val set_node_up : 'm t -> addr -> unit
 val cut_link : 'm t -> addr -> addr -> unit
 val heal_link : 'm t -> addr -> addr -> unit
 
+(** [cut_link_one_way t ~src ~dst] drops only [src]→[dst] traffic
+    (asymmetric partition); the reverse direction keeps flowing. *)
+val cut_link_one_way : 'm t -> src:addr -> dst:addr -> unit
+
+val heal_link_one_way : 'm t -> src:addr -> dst:addr -> unit
+
 (** Accounting. *)
 
 val bytes_sent_by : 'm t -> addr -> int

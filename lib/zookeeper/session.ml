@@ -1,0 +1,143 @@
+open Edc_simnet
+module Retry = Edc_core.Retry
+
+type op_kind = Read | Write of { idempotent : bool }
+
+type stats = {
+  mutable calls : int;
+  mutable retries : int;
+  mutable failovers : int;
+  mutable maybe_applied : int;
+  mutable gave_up : int;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  client : Client.t;
+  replicas : int array;
+  policy : Retry.policy;
+  mutable current : int;  (* round-robin failover cursor *)
+  mutable pending_failover : bool;  (* switch replica before next attempt *)
+  mutable reconnect_failures : int;
+  mutable degraded : bool;
+  stats : stats;
+}
+
+let wrap ?(policy = Retry.default_policy) ~sim ~replicas client =
+  {
+    sim;
+    rng = Rng.split (Sim.rng sim);
+    client;
+    replicas = Array.of_list replicas;
+    policy;
+    current = 0;
+    pending_failover = false;
+    reconnect_failures = 0;
+    degraded = false;
+    stats =
+      { calls = 0; retries = 0; failovers = 0; maybe_applied = 0; gave_up = 0 };
+  }
+
+let client t = t.client
+let stats t = t.stats
+let degraded t = t.degraded
+
+let next_replica t =
+  t.current <- (t.current + 1) mod Array.length t.replicas;
+  t.replicas.(t.current)
+
+(* Re-attach the session to the next replica when the previous attempt
+   asked for a failover or the server expired us.  After a full cycle of
+   failed re-attaches the session is presumed gone (or the ensemble was
+   unreachable throughout); [Client.connect] then opens a fresh session —
+   losing ephemerals, which is exactly what a real expiry does. *)
+let ensure_connected t =
+  if t.pending_failover || not (Client.is_connected t.client) then begin
+    t.pending_failover <- false;
+    t.stats.failovers <- t.stats.failovers + 1;
+    let r = next_replica t in
+    if Client.reconnect t.client ~replica:r then t.reconnect_failures <- 0
+    else begin
+      t.reconnect_failures <- t.reconnect_failures + 1;
+      if t.reconnect_failures > Array.length t.replicas then begin
+        Client.connect t.client;
+        t.reconnect_failures <- 0
+      end
+    end
+  end
+
+let classify t ~op (e : Zerror.t) =
+  match e with
+  | Zerror.Timeout -> (
+      (* The request may be executing server-side; try elsewhere, and only
+         resubmit what is safe to apply twice. *)
+      t.pending_failover <- true;
+      match op with
+      | Read | Write { idempotent = true } -> Retry.Transient e
+      | Write { idempotent = false } -> Retry.Ambiguous e)
+  | Zerror.Not_leader ->
+      (* Rejected before execution; safe to retry against a new leader. *)
+      t.pending_failover <- true;
+      Retry.Transient e
+  | Zerror.Session_expired ->
+      (* Rejected at the session check; [ensure_connected] re-attaches. *)
+      Retry.Transient e
+  | e -> Retry.Permanent e
+
+let call t ~op f =
+  t.stats.calls <- t.stats.calls + 1;
+  let attempt ~attempt:_ =
+    ensure_connected t;
+    if not (Client.is_connected t.client) then
+      Error (Retry.Transient Zerror.Session_expired)
+    else
+      match f t.client with
+      | Ok v ->
+          (match op with
+          | Write _ -> t.degraded <- false
+          | Read -> ());
+          Ok v
+      | Error e -> Error (classify t ~op e)
+  in
+  match
+    Retry.run ~sim:t.sim ~rng:t.rng ~policy:t.policy
+      ~on_retry:(fun ~attempt:_ ~delay:_ ->
+        t.stats.retries <- t.stats.retries + 1)
+      attempt
+  with
+  | Retry.Done { value; _ } -> Ok value
+  | Retry.Maybe_applied _ ->
+      t.stats.maybe_applied <- t.stats.maybe_applied + 1;
+      Error Zerror.Maybe_applied
+  | Retry.Gave_up { error; _ } ->
+      t.stats.gave_up <- t.stats.gave_up + 1;
+      (match op with
+      | Write _ -> t.degraded <- true
+      | Read -> ());
+      Error error
+  | Retry.Rejected { error; _ } -> Error error
+
+(* Extension results carry stringified errors; map the retriable ones back
+   onto the typed classification so one policy governs both paths. *)
+let call_str t ~op f =
+  let to_err s =
+    if s = Zerror.to_string Zerror.Timeout then Zerror.Timeout
+    else if s = Zerror.to_string Zerror.Not_leader then Zerror.Not_leader
+    else if s = Zerror.to_string Zerror.Session_expired then
+      Zerror.Session_expired
+    else Zerror.Extension_error s
+  in
+  let keep = ref "" in
+  let res =
+    call t ~op (fun c ->
+        match f c with
+        | Ok v -> Ok v
+        | Error s ->
+            keep := s;
+            Error (to_err s))
+  in
+  match res with
+  | Ok v -> Ok v
+  | Error (Zerror.Extension_error _) -> Error !keep
+  | Error e -> Error (Zerror.to_string e)

@@ -1,0 +1,60 @@
+(** Resilient session over {!Client}: deadlines, decorrelated-jitter
+    backoff, replica failover, and a safe-resubmission policy.
+
+    The retry contract (the paper treats this as part of the client API):
+
+    - reads and idempotent writes are retried across replicas until the
+      policy's deadline;
+    - a non-idempotent write that times out is {e never} resubmitted — the
+      update may have executed before the reply was lost — and surfaces as
+      {!Zerror.Maybe_applied};
+    - logical errors (node exists, bad version, …) return immediately;
+    - on timeout or leader loss the session re-attaches to the next
+      replica in round-robin order, falling back to a fresh session only
+      after a full unsuccessful cycle;
+    - when writes keep failing past the deadline the session raises its
+      {!degraded} (read-only) signal, cleared by the next write success —
+      local reads on a reachable replica keep working even when no write
+      quorum answers. *)
+
+open Edc_simnet
+
+(** Retry classification of the wrapped operation. *)
+type op_kind =
+  | Read
+  | Write of { idempotent : bool }
+
+type stats = {
+  mutable calls : int;
+  mutable retries : int;
+  mutable failovers : int;  (** replica switches attempted *)
+  mutable maybe_applied : int;
+  mutable gave_up : int;
+}
+
+type t
+
+(** [wrap ~sim ~replicas client] — [replicas] are the server ids eligible
+    for failover.  The client should already be connected. *)
+val wrap :
+  ?policy:Edc_core.Retry.policy -> sim:Sim.t -> replicas:int list ->
+  Client.t -> t
+
+val client : t -> Client.t
+val stats : t -> stats
+
+(** Read-only degradation signal: writes have exhausted their retry budget
+    and are failing cluster-wide. *)
+val degraded : t -> bool
+
+(** [call t ~op f] runs [f client] under the retry policy.  Do not wrap
+    operations that park indefinitely ([Client.block], watches): they have
+    no timeout for the policy to act on. *)
+val call :
+  t -> op:op_kind -> (Client.t -> ('a, Zerror.t) result) ->
+  ('a, Zerror.t) result
+
+(** Same, for operations reporting stringified errors (the extension call
+    path); ambiguous outcomes surface as ["maybe applied"]. *)
+val call_str :
+  t -> op:op_kind -> (Client.t -> ('a, string) result) -> ('a, string) result

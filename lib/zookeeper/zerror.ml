@@ -12,6 +12,9 @@ type t =
   | Unsupported  (** operation not available without a matching extension *)
   | Extension_error of string  (** extension rejected/crashed, §4 sandbox *)
   | Timeout
+  | Maybe_applied
+      (** a non-idempotent update timed out: it may or may not have
+          executed, and resubmitting could double-apply (Session layer) *)
 
 let to_string = function
   | No_node -> "no node"
@@ -25,6 +28,7 @@ let to_string = function
   | Unsupported -> "unsupported operation"
   | Extension_error msg -> "extension error: " ^ msg
   | Timeout -> "timeout"
+  | Maybe_applied -> "maybe applied"
 
 let pp ppf e = Fmt.string ppf (to_string e)
 let equal (a : t) b = a = b

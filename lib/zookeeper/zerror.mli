@@ -12,6 +12,9 @@ type t =
   | Unsupported  (** operation unavailable without a matching extension *)
   | Extension_error of string  (** extension rejected or crashed (§4) *)
   | Timeout
+  | Maybe_applied
+      (** a non-idempotent update timed out: it may or may not have
+          executed, and resubmitting could double-apply ({!Session}) *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

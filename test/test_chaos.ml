@@ -26,18 +26,30 @@ let test_chaos_mixed_workload_with_crashes () =
   let leaderships = ref 0 and in_power = ref 0 and power_violations = ref 0 in
   let guard f = try f () with e -> failure := Some e in
 
-  (* a client factory that retries transient failures (crashing replicas
-     time requests out; real clients retry) *)
+  (* retry transient failures through the shared policy (crashing replicas
+     time requests out; real clients back off and retry).  The recipes here
+     are written to tolerate re-execution, so every error is transient. *)
+  let retry_rng = Rng.split (Sim.rng sim) in
+  let retry_policy =
+    {
+      Edc_core.Retry.default_policy with
+      Edc_core.Retry.base = Sim_time.ms 200;
+      deadline = None;
+      max_attempts = 50;
+    }
+  in
   let with_retries what f =
-    let rec go n =
-      match f () with
-      | Ok v -> v
-      | Error _ when n > 0 ->
-          Proc.sleep sim (Sim_time.ms 200);
-          go (n - 1)
-      | Error e -> Alcotest.failf "%s: %s (out of retries)" what e
-    in
-    go 50
+    match
+      Edc_core.Retry.run ~sim ~rng:retry_rng ~policy:retry_policy
+        (fun ~attempt:_ ->
+          Result.map_error (fun e -> Edc_core.Retry.Transient e) (f ()))
+    with
+    | Edc_core.Retry.Done { value; _ } -> value
+    | Edc_core.Retry.Gave_up { error; _ } ->
+        Alcotest.failf "%s: %s (out of retries)" what error
+    | Edc_core.Retry.Maybe_applied { error; _ }
+    | Edc_core.Retry.Rejected { error; _ } ->
+        Alcotest.failf "%s: %s" what error
   in
   let new_api ~replica =
     let c = Ezk_cluster.connected_client ~replica cluster () in

@@ -434,6 +434,88 @@ let prop_pbft_with_random_silent_replica =
         [ 0; 1; 2; 3 ])
 
 (* ------------------------------------------------------------------ *)
+(* Retry backoff properties                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_backoff_within_envelope =
+  (* decorrelated jitter: base <= d <= min cap (max base (3 * prev)) *)
+  QCheck.Test.make
+    ~name:"backoff delays stay within the decorrelated-jitter envelope"
+    ~count:1000
+    QCheck.(
+      quad (int_range 1 500) (int_range 1 5000)
+        (option (int_range 0 8000))
+        (int_range 0 10000))
+    (fun (base_ms, cap_ms, prev_ms, seed) ->
+      let policy =
+        {
+          Retry.default_policy with
+          Retry.base = Sim_time.ms base_ms;
+          cap = Sim_time.ms cap_ms;
+        }
+      in
+      let rng = Rng.create seed in
+      let prev = Option.map Sim_time.ms prev_ms in
+      let d = Retry.next_backoff rng ~policy ~prev in
+      let cap_bound = Sim_time.(d <= policy.Retry.cap) in
+      let floor_bound =
+        Sim_time.(Sim_time.min policy.Retry.base policy.Retry.cap <= d)
+      in
+      let envelope =
+        match prev with
+        | None -> Sim_time.(d <= Sim_time.min policy.Retry.cap policy.Retry.base)
+        | Some p ->
+            let three_p = Sim_time.scale p 3.0 in
+            Sim_time.(
+              d <= Sim_time.min policy.Retry.cap (Sim_time.max policy.Retry.base three_p))
+      in
+      cap_bound && floor_bound && envelope)
+
+let prop_retry_respects_deadline_and_attempts =
+  (* a persistently transient operation gives up without sleeping past the
+     deadline or exceeding the attempt budget *)
+  QCheck.Test.make ~name:"retry loop honors deadline and attempt budget"
+    ~count:200
+    QCheck.(
+      quad (int_range 1 100) (int_range 1 2000) (int_range 1 20)
+        (int_range 0 10000))
+    (fun (base_ms, deadline_ms, max_attempts, seed) ->
+      (* shrinking can step outside int_range; keep the policy well formed
+         (base > 0, max_attempts >= 1) *)
+      let base_ms = Stdlib.max 1 base_ms
+      and deadline_ms = Stdlib.max 0 deadline_ms
+      and max_attempts = Stdlib.max 1 max_attempts
+      and seed = Stdlib.abs seed in
+      let sim = Sim.create ~seed ()
+      and deadline = Sim_time.ms deadline_ms in
+      let policy =
+        {
+          Retry.base = Sim_time.ms base_ms;
+          cap = Sim_time.ms (4 * base_ms);
+          deadline = Some deadline;
+          max_attempts;
+        }
+      in
+      let attempts_seen = ref 0
+      and outcome = ref None
+      and gave_up_at = ref Sim_time.zero in
+      Proc.spawn sim (fun () ->
+          outcome :=
+            Some
+              (Retry.run ~sim ~rng:(Rng.create (seed + 1)) ~policy
+                 (fun ~attempt ->
+                   attempts_seen := attempt;
+                   Error (Retry.Transient "unavailable")));
+          gave_up_at := Sim.now sim);
+      Sim.run ~until:(Sim_time.sec 3600) sim;
+      match !outcome with
+      | Some (Retry.Gave_up { attempts; _ }) ->
+          attempts = !attempts_seen
+          && attempts <= max_attempts
+          && Sim_time.(!gave_up_at <= deadline)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end experiment determinism                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -462,6 +544,9 @@ let () =
       ("spec_view", [ qc prop_spec_view_matches_replay ]);
       ( "replication",
         [ qc prop_zab_safety_under_faults; qc prop_pbft_with_random_silent_replica ] );
+      ( "retry",
+        [ qc prop_backoff_within_envelope;
+          qc prop_retry_respects_deadline_and_attempts ] );
       ( "determinism",
         [ Alcotest.test_case "experiment reproducibility" `Quick
             test_experiment_determinism ] );
