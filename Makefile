@@ -1,5 +1,5 @@
 # Tier-1 verification in one command (see ROADMAP.md).
-.PHONY: all build test check bench-quick chaos clean
+.PHONY: all build test check bench-quick chaos linearize clean
 
 all: build
 
@@ -10,7 +10,7 @@ test:
 	dune runtest
 
 check:
-	dune build && dune runtest
+	dune build @all && dune runtest
 
 bench-quick:
 	dune exec bench/main.exe -- all --quick
@@ -19,6 +19,12 @@ bench-quick:
 # under the standard nemesis schedule; asserts invariants + determinism).
 chaos:
 	dune exec bench/main.exe -- chaos
+
+# Linearizability: WGL search over client histories captured by the
+# chaos harness and stress workloads, plus the Zab mutation self-test
+# (re-enables the divergent-tail bug and asserts the checker convicts).
+linearize:
+	dune exec bench/main.exe -- linearize
 
 clean:
 	dune clean

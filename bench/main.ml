@@ -5,7 +5,8 @@
    Usage:
      bench/main.exe [targets] [--quick]
    where targets ⊆ {table1 table2 fig6 fig8 fig10 fig12 fig13 overhead
-                    ablation batching chaos micro all}; default: all. *)
+                    ablation batching chaos linearize micro all};
+   default: all. *)
 
 open Edc_simnet
 open Edc_harness
@@ -456,6 +457,211 @@ let chaos quick =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Linearizability: WGL checks over captured histories                  *)
+(* ------------------------------------------------------------------ *)
+
+module Ck_history = Edc_checker.History
+module Ck_model = Edc_checker.Model
+module Ck_wgl = Edc_checker.Wgl
+module Instrument = Edc_checker.Instrument
+module Counter = Edc_recipes.Counter
+module Queue = Edc_recipes.Queue
+
+let fail_on_error what = function
+  | Ok _ -> ()
+  | Error e -> failwith (what ^ ": " ^ e)
+
+let ack_if_ext (api : Edc_recipes.Coord_api.t) name =
+  match api.Edc_recipes.Coord_api.ext with
+  | Some ext -> (
+      match ext.Edc_recipes.Coord_api.acknowledge name with
+      | Ok () -> ()
+      | Error e -> failwith ("acknowledge: " ^ e))
+  | None -> ()
+
+let verdict_cell = function
+  | Ck_wgl.Linearizable { states; _ } -> Printf.sprintf "ok(%d states)" states
+  | Ck_wgl.Non_linearizable _ -> "VIOLATION"
+  | Ck_wgl.Budget_exhausted _ -> "INCONCLUSIVE"
+
+(* A partitioned leader keeps accepting writes it cannot commit, so on
+   heal it holds a divergent uncommitted tail — the state log matching
+   exists to repair.  Used by the mutation demonstration below. *)
+let isolation_schedule =
+  [
+    {
+      Nemesis.start = Sim_time.ms 500;
+      period = Some (Sim_time.ms 2500);
+      action =
+        Nemesis.Isolate
+          {
+            duration = Sim_time.ms 1200;
+            victim = Nemesis.Leader;
+            asymmetric = false;
+          };
+    };
+  ]
+
+let linearize quick =
+  Report.section
+    "Linearizability: WGL search over histories captured in the chaos harness";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let assert_verdicts ~what verdicts =
+    List.iter
+      (fun (obj, v) ->
+        if not (Ck_wgl.is_ok v) then begin
+          fail "%s: object %s not linearizable" what obj;
+          Fmt.pr "    %s %s:@,    %a@." what obj Ck_wgl.pp_verdict v
+        end)
+      verdicts
+  in
+  (* 1. Chaos sweeps with the checker on: the captured counter + queue
+     histories (including the final verification reads) must admit a
+     legal sequential ordering on every seed. *)
+  let seeds = if quick then [ 42; 43 ] else [ 42; 43; 44; 45; 46 ] in
+  Printf.printf "\n  chaos sweeps (standard schedule, checker on):\n";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let p = E.chaos_point ~seed kind in
+          Printf.printf "  %-10s seed=%d  %5d events  %s\n%!" (S.kind_name kind)
+            seed p.E.ch_history_events
+            (String.concat "  "
+               (List.map
+                  (fun (obj, v) -> obj ^ "=" ^ verdict_cell v)
+                  p.E.ch_lin));
+          assert_verdicts
+            ~what:(Printf.sprintf "%s seed=%d" (S.kind_name kind) seed)
+            p.E.ch_lin)
+        seeds)
+    [ S.Ezk; S.Eds ];
+  (* 2. Healthy stress workloads on every system, history-wrapped via
+     Workload.run's checker pass.  Queue elements carry data = eid so
+     dequeue responses identify elements exactly. *)
+  Printf.printf "\n  healthy stress workloads (checker pass on Workload.run):\n";
+  let stress_seconds = if quick then 2 else 5 in
+  List.iter
+    (fun kind ->
+      let extensible = S.is_extensible kind in
+      let sim = Sim.create ~seed:11 () in
+      let sys = S.make kind sim in
+      let history = Ck_history.create ~sim () in
+      let iteration = ref 0 in
+      let _r =
+        Workload.run ~wrap_api:(Instrument.wrap history) sys
+          {
+            Workload.n_clients = 4;
+            warmup = Sim_time.ms 500;
+            measure = Sim_time.sec stress_seconds;
+            ops_per_iteration = 3;
+            setup =
+              (fun api ->
+                fail_on_error "counter setup" (Counter.setup api);
+                fail_on_error "queue setup" (Queue.setup api);
+                if extensible then begin
+                  fail_on_error "register" (Counter.register api);
+                  fail_on_error "register" (Queue.register api)
+                end);
+            prepare =
+              (fun api ->
+                if extensible then begin
+                  ack_if_ext api Counter.extension_name;
+                  ack_if_ext api Queue.extension_name
+                end);
+            op =
+              (fun api ->
+                incr iteration;
+                let r =
+                  if extensible then Counter.increment_ext api
+                  else Counter.increment_traditional api
+                in
+                match r with
+                | Error e -> Error e
+                | Ok _ -> (
+                    let eid = Queue.make_eid api !iteration in
+                    match Queue.add api ~eid ~data:eid with
+                    | Error e -> Error e
+                    | Ok () -> (
+                        let r =
+                          if extensible then Queue.remove_ext api
+                          else Queue.remove_traditional api
+                        in
+                        match r with Ok _ -> Ok 3 | Error e -> Error e)));
+          }
+      in
+      let verdicts =
+        Ck_history.entries history
+        |> Ck_history.split
+        |> List.filter_map (fun (obj, es) ->
+               Ck_model.for_object obj
+               |> Option.map (fun m -> (obj, Ck_wgl.check m es)))
+      in
+      Printf.printf "  %-10s %5d events  %s\n%!" (S.kind_name kind)
+        (Ck_history.n_events history)
+        (String.concat "  "
+           (List.map (fun (obj, v) -> obj ^ "=" ^ verdict_cell v) verdicts));
+      assert_verdicts ~what:(S.kind_name kind ^ " stress") verdicts)
+    S.all;
+  (* 3. Blocking recipes at recipe granularity: leadership as a mutex,
+     barrier rounds as the real-time gate property. *)
+  Printf.printf "\n  blocking recipes (leader election + barrier):\n";
+  List.iter
+    (fun kind ->
+      let p = E.lin_recipes_point ~seed:5 kind in
+      Printf.printf "  %-10s %5d events  lock=%s  barrier=%s\n%!"
+        (S.kind_name kind) p.E.lp_events
+        (verdict_cell p.E.lp_lock)
+        (match p.E.lp_barrier with Ok () -> "ok" | Error _ -> "VIOLATION");
+      assert_verdicts ~what:(S.kind_name kind ^ " recipes")
+        [ ("lock", p.E.lp_lock) ];
+      match p.E.lp_barrier with
+      | Ok () -> ()
+      | Error e -> fail "%s: barrier gate violated: %s" (S.kind_name kind) e)
+    [ S.Ezk; S.Eds ];
+  (* 4. The mutation demonstration: re-enable the divergent-tail bug
+     (skipped Zab log matching) and demand a conviction with a printed
+     counterexample window.  A checker that cannot re-find a known
+     consistency bug is not a correctness oracle. *)
+  Printf.printf "\n  mutation self-test (unsafe_skip_log_matching = true):\n";
+  let zab_config =
+    {
+      Edc_replication.Zab.default_config with
+      Edc_replication.Zab.unsafe_skip_log_matching = true;
+    }
+  in
+  let mutation_seeds = if quick then [ 42 ] else [ 42; 43; 44 ] in
+  let convicted =
+    List.find_map
+      (fun seed ->
+        let p =
+          E.chaos_point ~seed ~zab_config ~schedule:isolation_schedule
+            ~horizon:(Sim_time.sec 12) S.Ezk
+        in
+        List.find_map
+          (fun (obj, v) ->
+            match v with
+            | Ck_wgl.Non_linearizable cx -> Some (seed, obj, cx)
+            | _ -> None)
+          p.E.ch_lin)
+      mutation_seeds
+  in
+  (match convicted with
+  | Some (seed, obj, cx) ->
+      Fmt.pr "  seed %d convicted object %S:@.  %a@." seed obj
+        Ck_wgl.pp_verdict (Ck_wgl.Non_linearizable cx)
+  | None ->
+      fail
+        "mutation NOT caught: no seed produced a non-linearizable verdict");
+  if !failures <> [] then begin
+    Printf.printf "\nLINEARIZABILITY CHECKS FAILED:\n";
+    List.iter (Printf.printf "  - %s\n") (List.rev !failures);
+    exit 1
+  end
+  else Printf.printf "\nall linearizability checks passed\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -474,7 +680,7 @@ let () =
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
-        "overhead"; "ablation"; "batching"; "chaos"; "micro" ]
+        "overhead"; "ablation"; "batching"; "chaos"; "linearize"; "micro" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -492,6 +698,7 @@ let () =
       | "ablation" -> ablation cfg
       | "batching" -> batching cfg
       | "chaos" -> chaos quick
+      | "linearize" -> linearize quick
       | "micro" -> micro ()
       | other -> Printf.eprintf "unknown target %S (skipped)\n" other)
     targets;

@@ -1,0 +1,165 @@
+(** History recorder: invoke / return / fail / info events with virtual
+    timestamps.  See history.mli for the event model. *)
+
+open Edc_simnet
+
+type op =
+  | Incr
+  | Ctr_read
+  | Ctr_cas of { expected_data : string; data : string }
+  | Enq of { eid : string; data : string }
+  | Deq
+  | Deq_elem of string
+  | Q_read
+  | Acquire
+  | Release
+  | Enter of string
+
+type response =
+  | R_unit
+  | R_int of int
+  | R_bool of bool
+  | R_obj of { data : string; version : int }
+  | R_opt of string option
+  | R_multiset of string list
+  | R_other of string
+
+type event =
+  | Invoke of { id : int; client : int; at : Sim_time.t; op : op }
+  | Return of { id : int; at : Sim_time.t; response : response }
+  | Fail of { id : int; at : Sim_time.t; error : string }
+  | Info of { id : int; at : Sim_time.t; error : string }
+
+type outcome = Done of response | Failed of string | Open of string option
+
+type entry = {
+  id : int;
+  client : int;
+  op : op;
+  inv : Sim_time.t;
+  ret : Sim_time.t option;
+  outcome : outcome;
+}
+
+type t = {
+  sim : Sim.t;
+  mutable next_id : int;
+  mutable rev_events : event list;
+  mutable count : int;
+}
+
+let create ~sim () = { sim; next_id = 0; rev_events = []; count = 0 }
+
+let push t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let invoke t ~client op =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  push t (Invoke { id; client; at = Sim.now t.sim; op });
+  id
+
+let ok t id response = push t (Return { id; at = Sim.now t.sim; response })
+let fail t id error = push t (Fail { id; at = Sim.now t.sim; error })
+let info t id error = push t (Info { id; at = Sim.now t.sim; error })
+let events t = List.rev t.rev_events
+let n_events t = t.count
+
+let entries t =
+  let tbl : (int, entry) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Invoke { id; client; at; op } ->
+          order := id :: !order;
+          Hashtbl.replace tbl id
+            { id; client; op; inv = at; ret = None; outcome = Open None }
+      | Return { id; at; response } -> (
+          match Hashtbl.find_opt tbl id with
+          | Some e ->
+              Hashtbl.replace tbl id
+                { e with ret = Some at; outcome = Done response }
+          | None -> ())
+      | Fail { id; error; _ } -> (
+          match Hashtbl.find_opt tbl id with
+          | Some e -> Hashtbl.replace tbl id { e with outcome = Failed error }
+          | None -> ())
+      | Info { id; error; _ } -> (
+          match Hashtbl.find_opt tbl id with
+          | Some e ->
+              Hashtbl.replace tbl id { e with outcome = Open (Some error) }
+          | None -> ()))
+    (events t);
+  !order |> List.rev
+  |> List.map (Hashtbl.find tbl)
+  |> List.stable_sort (fun a b -> compare (a.inv, a.id) (b.inv, b.id))
+
+let object_of_op = function
+  | Incr | Ctr_read | Ctr_cas _ -> "counter"
+  | Enq _ | Deq | Deq_elem _ | Q_read -> "queue"
+  | Acquire | Release -> "lock"
+  | Enter _ -> "barrier"
+
+let split entries =
+  let tbl : (string, entry list ref) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let obj = object_of_op e.op in
+      match Hashtbl.find_opt tbl obj with
+      | Some r -> r := e :: !r
+      | None ->
+          order := obj :: !order;
+          Hashtbl.replace tbl obj (ref [ e ]))
+    entries;
+  List.rev_map (fun obj -> (obj, List.rev !(Hashtbl.find tbl obj))) !order
+  |> List.rev
+
+let pp_op ppf = function
+  | Incr -> Fmt.string ppf "incr"
+  | Ctr_read -> Fmt.string ppf "ctr-read"
+  | Ctr_cas { expected_data; data } ->
+      Fmt.pf ppf "ctr-cas(%s->%s)" expected_data data
+  | Enq { eid; _ } -> Fmt.pf ppf "enq(%s)" eid
+  | Deq -> Fmt.string ppf "deq"
+  | Deq_elem eid -> Fmt.pf ppf "deq-elem(%s)" eid
+  | Q_read -> Fmt.string ppf "q-read"
+  | Acquire -> Fmt.string ppf "acquire"
+  | Release -> Fmt.string ppf "release"
+  | Enter base -> Fmt.pf ppf "enter(%s)" base
+
+let pp_response ppf = function
+  | R_unit -> Fmt.string ppf "()"
+  | R_int n -> Fmt.int ppf n
+  | R_bool b -> Fmt.bool ppf b
+  | R_obj { data; version } -> Fmt.pf ppf "{%S v%d}" data version
+  | R_opt None -> Fmt.string ppf "none"
+  | R_opt (Some d) -> Fmt.pf ppf "some %S" d
+  | R_multiset ds -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) ds
+  | R_other s -> Fmt.pf ppf "other:%s" s
+
+let pp_time ppf at = Fmt.pf ppf "%10.3fms" (Sim_time.to_float_ms at)
+
+let pp_entry ppf e =
+  let pp_ret ppf = function
+    | Some at -> pp_time ppf at
+    | None -> Fmt.string ppf "       ...  "
+  in
+  let pp_outcome ppf = function
+    | Done r -> Fmt.pf ppf "-> %a" pp_response r
+    | Failed err -> Fmt.pf ppf "!! %s" err
+    | Open None -> Fmt.string ppf "?? no conclusion"
+    | Open (Some err) -> Fmt.pf ppf "?? %s" err
+  in
+  Fmt.pf ppf "[%a .. %a] c%-3d %-24s %a" pp_time e.inv pp_ret e.ret e.client
+    (Fmt.str "%a" pp_op e.op) pp_outcome e.outcome
+
+let pp_event ppf = function
+  | Invoke { id; client; at; op } ->
+      Fmt.pf ppf "%a #%d c%d invoke %a" pp_time at id client pp_op op
+  | Return { id; at; response } ->
+      Fmt.pf ppf "%a #%d return %a" pp_time at id pp_response response
+  | Fail { id; at; error } -> Fmt.pf ppf "%a #%d fail %s" pp_time at id error
+  | Info { id; at; error } -> Fmt.pf ppf "%a #%d info %s" pp_time at id error

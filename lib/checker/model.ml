@@ -1,0 +1,163 @@
+(** Sequential recipe specifications (see model.mli for the conventions:
+    versions are backend metadata and excluded from all models). *)
+
+open History
+
+type state =
+  | S_counter of int
+  | S_queue of (string * string) list
+  | S_mutex of int option
+
+type t = {
+  name : string;
+  init : state;
+  step : state -> client:int -> History.op -> (History.response * state) list;
+  matches : observed:History.response -> candidate:History.response -> bool;
+  droppable_open :
+    (History.op -> required:(History.op * History.response) list -> bool)
+    option;
+}
+
+(* Structural matching, except: object versions are ignored and multisets
+   were sorted at capture time, so plain equality is order-insensitive. *)
+let default_matches ~observed ~candidate =
+  match (observed, candidate) with
+  | R_obj { data = d1; _ }, R_obj { data = d2; _ } -> String.equal d1 d2
+  | o, c -> o = c
+
+let counter =
+  let step state ~client:_ op =
+    match (state, op) with
+    | S_counter v, Incr -> [ (R_int (v + 1), S_counter (v + 1)) ]
+    | S_counter v, Ctr_read ->
+        [ (R_obj { data = string_of_int v; version = 0 }, state) ]
+    | S_counter v, Ctr_cas { expected_data; data } ->
+        if String.equal expected_data (string_of_int v) then
+          let v' = try int_of_string data with _ -> v in
+          [ (R_bool true, S_counter v') ]
+        else [ (R_bool false, state) ]
+    | _ -> []
+  in
+  {
+    name = "counter";
+    init = S_counter 0;
+    step;
+    matches = default_matches;
+    droppable_open = None;
+  }
+
+let queue =
+  let step state ~client:_ op =
+    match (state, op) with
+    | S_queue q, Enq { eid; data } ->
+        if List.mem_assoc eid q then []
+        else [ (R_unit, S_queue (q @ [ (eid, data) ])) ]
+    | S_queue [], Deq -> [ (R_opt None, state) ]
+    | S_queue ((_, d) :: rest), Deq -> [ (R_opt (Some d), S_queue rest) ]
+    | S_queue q, Deq_elem eid -> (
+        match q with
+        | (e, _) :: rest when String.equal e eid ->
+            [ (R_bool true, S_queue rest) ]
+        | _ ->
+            if List.mem_assoc eid q then
+              [] (* deleting a present non-head element breaks FIFO *)
+            else [ (R_bool false, state) ])
+    | S_queue q, Q_read ->
+        [ (R_multiset (List.sort compare (List.map snd q)), state) ]
+    | _ -> []
+  in
+  (* An ambiguous (unconstrained, optional) Enq whose element is never
+     mentioned by any constrained operation — no Deq returned its data,
+     no Deq_elem targeted its eid, no Q_read snapshot contains it — can
+     be dropped from the search: including it can only block other ops
+     (it sits in FIFO order, obstructing heads and emptiness), never
+     help, so a witness using it yields a witness without it.  Without
+     this prune, k ambiguous adds force a 2^k "which subset applied"
+     exploration that memoization cannot collapse (each subset is a
+     distinct queue state). *)
+  let droppable_open op ~required =
+    match op with
+    | Enq { eid; data } ->
+        not
+          (List.exists
+             (fun (rop, resp) ->
+               match (rop, resp) with
+               | Deq_elem e, _ -> String.equal e eid
+               | _, R_opt (Some d) -> String.equal d data
+               | _, R_multiset ds -> List.exists (String.equal data) ds
+               | _ -> false)
+             required)
+    | _ -> false
+  in
+  {
+    name = "queue";
+    init = S_queue [];
+    step;
+    matches = default_matches;
+    droppable_open = Some droppable_open;
+  }
+
+let mutex =
+  let step state ~client op =
+    match (state, op) with
+    | S_mutex None, Acquire -> [ (R_unit, S_mutex (Some client)) ]
+    | S_mutex (Some _), Acquire -> []
+    | S_mutex (Some c), Release when c = client -> [ (R_unit, S_mutex None) ]
+    | S_mutex _, Release -> []
+    | _ -> []
+  in
+  {
+    name = "mutex";
+    init = S_mutex None;
+    step;
+    matches = default_matches;
+    droppable_open = None;
+  }
+
+let for_object = function
+  | "counter" -> Some counter
+  | "queue" -> Some queue
+  | "lock" -> Some mutex
+  | _ -> None
+
+let check_gate ~threshold entries =
+  (* group Enter entries per barrier object *)
+  let groups : (string, History.entry list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : History.entry) ->
+      match e.op with
+      | Enter base -> (
+          match Hashtbl.find_opt groups base with
+          | Some r -> r := e :: !r
+          | None -> Hashtbl.replace groups base (ref [ e ]))
+      | _ -> ())
+    entries;
+  Hashtbl.fold
+    (fun base group acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+          let invs =
+            List.map (fun (e : History.entry) -> e.inv) !group
+            |> List.sort compare
+          in
+          let opens_at =
+            if List.length invs < threshold then None
+            else Some (List.nth invs (threshold - 1))
+          in
+          let premature =
+            List.find_opt
+              (fun (e : History.entry) ->
+                match (e.ret, opens_at) with
+                | Some r, Some opened -> Edc_simnet.Sim_time.(r < opened)
+                | Some _, None -> true (* returned though never full *)
+                | None, _ -> false)
+              !group
+          in
+          match premature with
+          | None -> Ok ()
+          | Some e ->
+              Error
+                (Fmt.str "barrier %s: %a returned before %d clients entered"
+                   base History.pp_entry e threshold)))
+    groups (Ok ())

@@ -5,6 +5,10 @@
 open Edc_simnet
 open Edc_recipes
 module Api = Coord_api
+module Ck_history = Edc_checker.History
+module Ck_model = Edc_checker.Model
+module Ck_wgl = Edc_checker.Wgl
+module Instrument = Edc_checker.Instrument
 
 let default_client_counts = [ 1; 10; 20; 30; 40; 50 ]
 let paired_client_counts = [ 2; 10; 20; 30; 40; 50 ]
@@ -426,6 +430,109 @@ let overhead_point ?(seed = 42) ?net_config ~warmup ~measure kind =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Linearizability of the blocking recipes (election-as-lock, barrier) *)
+(* ------------------------------------------------------------------ *)
+
+type lin_point = {
+  lp_kind : Systems.kind;
+  lp_seed : int;
+  lp_events : int;  (** history events captured *)
+  lp_lock : Edc_checker.Wgl.verdict;
+      (** mutual exclusion: leadership checked against the mutex model *)
+  lp_barrier : (unit, string) result;
+      (** gate property: nobody passes before the threshold-th entry *)
+}
+
+(** Healthy-cluster check of the recipes whose semantic unit is a whole
+    blocking call rather than a single API operation: leadership
+    acquire/release against the mutex model, barrier rounds against the
+    real-time gate property.  Histories are captured with
+    {!Edc_checker.Instrument.record} at recipe granularity. *)
+let lin_recipes_point ?(seed = 42) ?(contenders = 3) ?(rounds = 6)
+    ?(barrier_clients = 4) ?(barrier_rounds = 5) ?lin_max_steps kind =
+  let sim = Sim.create ~seed () in
+  let sys = Systems.make kind sim in
+  let extensible = Systems.is_extensible kind in
+  let history = Ck_history.create ~sim () in
+  let roots = Election.election_roots in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        fail_on_error "election setup" (Election.setup admin roots);
+        if extensible then begin
+          fail_on_error "election reg" (Election.register admin roots);
+          fail_on_error "barrier reg" (Barrier.register admin)
+        end;
+        (* leadership contenders: leadership = the lock *)
+        for _ = 1 to contenders do
+          Proc.spawn sim (fun () ->
+              let api, _ = sys.Systems.new_api () in
+              let handle = Election.new_handle () in
+              if extensible then ack_if_ext api roots.Election.name;
+              let client = api.Api.client_id in
+              for _ = 1 to rounds do
+                fail_on_error "become"
+                  (Instrument.record history ~client ~op:Ck_history.Acquire
+                     ~response:(fun () -> Ck_history.R_unit)
+                     (fun () ->
+                       if extensible then Election.become_leader_ext api roots
+                       else
+                         Election.become_leader_traditional api roots handle));
+                Proc.sleep sim (Sim_time.ms 5);
+                fail_on_error "abdicate"
+                  (Instrument.record history ~client ~op:Ck_history.Release
+                     ~response:(fun () -> Ck_history.R_unit)
+                     (fun () ->
+                       if extensible then Election.abdicate_ext api roots
+                       else Election.abdicate_traditional api roots handle))
+              done)
+        done;
+        (* barrier rounds (base must start with "/bar", the extension's
+           subscription prefix) *)
+        let apis =
+          List.init barrier_clients (fun _ ->
+              let api, _ = sys.Systems.new_api () in
+              if extensible then ack_if_ext api Barrier.extension_name;
+              api)
+        in
+        for round = 1 to barrier_rounds do
+          let base = Printf.sprintf "/barlin%04d" round in
+          fail_on_error "barrier setup"
+            (Barrier.setup admin ~base ~threshold:barrier_clients);
+          let fibers =
+            List.map
+              (fun (api : Api.t) ->
+                Proc.async sim (fun () ->
+                    fail_on_error "enter"
+                      (Instrument.record history ~client:api.Api.client_id
+                         ~op:(Ck_history.Enter base)
+                         ~response:(fun () -> Ck_history.R_unit)
+                         (fun () ->
+                           if extensible then Barrier.enter_ext api ~base
+                           else
+                             Barrier.enter_traditional api ~base
+                               ~threshold:barrier_clients))))
+              apis
+          in
+          Proc.join fibers
+        done
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 600) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  let parts = Ck_history.split (Ck_history.entries history) in
+  let part obj = Option.value ~default:[] (List.assoc_opt obj parts) in
+  {
+    lp_kind = kind;
+    lp_seed = seed;
+    lp_events = Ck_history.n_events history;
+    lp_lock =
+      Ck_wgl.check ?max_steps:lin_max_steps Ck_model.mutex (part "lock");
+    lp_barrier =
+      Ck_model.check_gate ~threshold:barrier_clients (part "barrier");
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Chaos: availability under the nemesis fault schedule               *)
 (* ------------------------------------------------------------------ *)
 
@@ -458,6 +565,10 @@ type chaos_point = {
   ch_anomalies : int;
   ch_invariant_failures : string list;  (** empty = all invariants intact *)
   ch_trace : string;
+  ch_lin : (string * Ck_wgl.verdict) list;
+      (** per-object linearizability verdicts over the captured history
+          (empty when the run was started with [~check:false]) *)
+  ch_history_events : int;
 }
 
 (** Counter incrementers plus queue producers/consumers on resilient
@@ -469,11 +580,13 @@ type chaos_point = {
     [confirmed <= final <= confirmed + maybe] for the counter, and a
     confirmed queue element may only be missing if some remove concluded
     ambiguously. *)
-let chaos_point ?(seed = 42) ?net_config
-    ?(schedule = Nemesis.standard_schedule) ?(horizon = Sim_time.sec 22) kind
-    =
+let chaos_point ?(seed = 42) ?net_config ?zab_config
+    ?(schedule = Nemesis.standard_schedule) ?(horizon = Sim_time.sec 22)
+    ?(check = true) ?lin_max_steps kind =
   let sim = Sim.create ~seed () in
-  let sys = Systems.make ?net_config kind sim in
+  let sys = Systems.make ?net_config ?zab_config kind sim in
+  let history = Ck_history.create ~sim () in
+  let maybe_wrap api = if check then Instrument.wrap history api else api in
   let extensible = Systems.is_extensible kind in
   let ops_end = Sim_time.add horizon (Sim_time.sec 3) in
   (* every resilient op concludes within the session deadline of its
@@ -525,7 +638,7 @@ let chaos_point ?(seed = 42) ?net_config
         (* three counter incrementers *)
         for _ = 1 to 3 do
           Proc.spawn sim (fun () ->
-              let api, _ = sys.Systems.new_resilient_api () in
+              let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
               if extensible then ack_if_ext api Counter.extension_name;
               let rec loop () =
                 if Sim_time.(Sim.now sim < ops_end) then begin
@@ -548,7 +661,7 @@ let chaos_point ?(seed = 42) ?net_config
            identifiable for the conservation check *)
         for _ = 1 to 2 do
           Proc.spawn sim (fun () ->
-              let api, _ = sys.Systems.new_resilient_api () in
+              let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
               if extensible then ack_if_ext api Queue.extension_name;
               let i = ref 0 in
               let rec loop () =
@@ -571,7 +684,7 @@ let chaos_point ?(seed = 42) ?net_config
         (* two consumers *)
         for _ = 1 to 2 do
           Proc.spawn sim (fun () ->
-              let api, _ = sys.Systems.new_resilient_api () in
+              let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
               if extensible then ack_if_ext api Queue.extension_name;
               let rec loop () =
                 if Sim_time.(Sim.now sim < ops_end) then begin
@@ -602,7 +715,10 @@ let chaos_point ?(seed = 42) ?net_config
   let remaining = ref [] in
   Proc.spawn sim (fun () ->
       try
-        let api, _ = sys.Systems.new_resilient_api () in
+        (* the final reads go through the instrumented wrapper too: they
+           pin the final state in the recorded history, so a lost or
+           double-applied write has to show up as a non-linearizable read *)
+        let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
         (match api.Api.read ~oid:Counter.counter_oid with
         | Ok (Some o) -> final_counter := int_of_string o.Api.data
         | Ok None -> failwith "counter object vanished"
@@ -617,21 +733,21 @@ let chaos_point ?(seed = 42) ?net_config
   let nem = Option.get !nemesis in
   (* invariants *)
   let invariant_failures = ref [] in
-  let check name cond =
+  let invariant name cond =
     if not cond then invariant_failures := name :: !invariant_failures
   in
   let anomalies = sys.Systems.anomalies () in
-  check "replication anomalies = 0" (anomalies = 0);
-  check "counter >= confirmed increments" (!final_counter >= !confirmed_incr);
-  check "counter <= confirmed + ambiguous increments"
+  invariant "replication anomalies = 0" (anomalies = 0);
+  invariant "counter >= confirmed increments" (!final_counter >= !confirmed_incr);
+  invariant "counter <= confirmed + ambiguous increments"
     (!final_counter <= !confirmed_incr + !maybe_incr);
   let sorted_consumed = List.sort compare !consumed in
   let rec has_dup = function
     | a :: (b :: _ as rest) -> a = b || has_dup rest
     | _ -> false
   in
-  check "no queue element consumed twice" (not (has_dup sorted_consumed));
-  check "consumed elements were added"
+  invariant "no queue element consumed twice" (not (has_dup sorted_consumed));
+  invariant "consumed elements were added"
     (List.for_all
        (fun d -> Hashtbl.mem confirmed_adds d || Hashtbl.mem maybe_adds d)
        !consumed);
@@ -647,7 +763,7 @@ let chaos_point ?(seed = 42) ?net_config
         else acc + 1)
       confirmed_adds 0
   in
-  check "lost queue elements covered by ambiguous removes"
+  invariant "lost queue elements covered by ambiguous removes"
     (missing <= !maybe_removes);
   (* per-disruption recovery: time to the next successful client op *)
   let successes = List.rev !success_times in
@@ -668,6 +784,17 @@ let chaos_point ?(seed = 42) ?net_config
   let errors =
     Hashtbl.fold (fun e n acc -> (e, n) :: acc) taxonomy []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  (* linearizability pass: compositional, one WGL search per object *)
+  let lin =
+    if not check then []
+    else
+      Ck_history.entries history
+      |> Ck_history.split
+      |> List.filter_map (fun (obj, es) ->
+             Ck_model.for_object obj
+             |> Option.map (fun m ->
+                    (obj, Ck_wgl.check ?max_steps:lin_max_steps m es)))
   in
   {
     ch_kind = kind;
@@ -698,4 +825,6 @@ let chaos_point ?(seed = 42) ?net_config
     ch_anomalies = anomalies;
     ch_invariant_failures = List.rev !invariant_failures;
     ch_trace = Nemesis.trace_to_string nem;
+    ch_lin = lin;
+    ch_history_events = Ck_history.n_events history;
   }

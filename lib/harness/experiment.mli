@@ -97,6 +97,28 @@ val overhead_point :
   Systems.kind ->
   overhead_point
 
+(** Healthy-cluster linearizability of the blocking recipes, captured at
+    recipe granularity: leadership acquire/release checked against the
+    mutex sequential model, barrier rounds against the real-time gate
+    property. *)
+type lin_point = {
+  lp_kind : Systems.kind;
+  lp_seed : int;
+  lp_events : int;
+  lp_lock : Edc_checker.Wgl.verdict;
+  lp_barrier : (unit, string) result;
+}
+
+val lin_recipes_point :
+  ?seed:int ->
+  ?contenders:int ->
+  ?rounds:int ->
+  ?barrier_clients:int ->
+  ?barrier_rounds:int ->
+  ?lin_max_steps:int ->
+  Systems.kind ->
+  lin_point
+
 (** Availability under fault injection: counter + queue recipes on
     resilient sessions while a {!Edc_simnet.Nemesis} runs [schedule] until
     [horizon]; final state is read back and checked against what clients
@@ -130,12 +152,26 @@ type chaos_point = {
   ch_anomalies : int;
   ch_invariant_failures : string list;  (** empty = all invariants intact *)
   ch_trace : string;  (** equal seeds produce equal traces *)
+  ch_lin : (string * Edc_checker.Wgl.verdict) list;
+      (** per-object linearizability verdicts over the history captured
+          by {!Edc_checker.Instrument} (empty with [~check:false]): the
+          recorded counter and queue operations, including the final
+          state reads, must admit a legal sequential ordering *)
+  ch_history_events : int;
 }
 
+(** [check] (default [true]) wraps every chaos client in the
+    history-capturing instrument and runs a WGL linearizability search
+    per object after the run.  [zab_config] reaches the Zab deployments
+    only — the mutation self-test uses it to re-enable a known-bad
+    behaviour and assert the checker notices. *)
 val chaos_point :
   ?seed:int ->
   ?net_config:Net.config ->
+  ?zab_config:Edc_replication.Zab.config ->
   ?schedule:Nemesis.schedule ->
   ?horizon:Sim_time.t ->
+  ?check:bool ->
+  ?lin_max_steps:int ->
   Systems.kind ->
   chaos_point

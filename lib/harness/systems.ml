@@ -105,10 +105,10 @@ let ds_nemesis_target name net servers ~crash ~restart =
 let zk_replica_ids cluster =
   List.init (Array.length (Zk.Cluster.servers cluster)) Fun.id
 
-let make ?net_config ?batch kind sim =
+let make ?net_config ?batch ?zab_config kind sim =
   match kind with
   | Zookeeper ->
-      let cluster = Zk.Cluster.create ?net_config ?batch sim in
+      let cluster = Zk.Cluster.create ?net_config ?zab_config ?batch sim in
       {
         sim;
         kind;
@@ -146,7 +146,7 @@ let make ?net_config ?batch kind sim =
               0 (Zk.Cluster.servers cluster));
       }
   | Ezk ->
-      let cluster = Ezk_cluster.create ?net_config ?batch sim in
+      let cluster = Ezk_cluster.create ?net_config ?zab_config ?batch sim in
       {
         sim;
         kind;
@@ -178,6 +178,7 @@ let make ?net_config ?batch kind sim =
               0 (Ezk_cluster.servers cluster));
       }
   | Depspace ->
+      ignore zab_config (* BFT deployments do not run Zab *);
       let cluster = Ds.Ds_cluster.create ?net_config ?batch sim in
       {
         sim;
@@ -209,6 +210,7 @@ let make ?net_config ?batch kind sim =
         anomalies = (fun () -> 0);
       }
   | Eds ->
+      ignore zab_config;
       let cluster = Edc_eds.Eds_cluster.create ?net_config ?batch sim in
       {
         sim;

@@ -39,12 +39,16 @@ type t = {
           (must stay 0 in every run) *)
 }
 
-(** [make ?net_config ?batch kind sim] — [batch] configures replication
-    group commit uniformly across deployments ({!Edc_replication.Batching.off}
-    when omitted). *)
+(** [make ?net_config ?batch ?zab_config kind sim] — [batch] configures
+    replication group commit uniformly across deployments
+    ({!Edc_replication.Batching.off} when omitted).  [zab_config] applies
+    to the Zab-replicated deployments only (ZooKeeper/EZK; ignored for
+    the BFT ones) — the linearizability mutation self-test uses it to
+    re-enable a known-bad protocol behaviour. *)
 val make :
   ?net_config:Net.config ->
   ?batch:Edc_replication.Batching.config ->
+  ?zab_config:Edc_replication.Zab.config ->
   kind ->
   Sim.t ->
   t

@@ -37,9 +37,12 @@ type spec = {
           add with a remove, §6.1.2) *)
 }
 
-(** [run sys spec] drives the workload and returns windowed results.
-    Deterministic for a fixed simulator seed. *)
-let run (sys : Systems.t) spec =
+(** [run ?wrap_api sys spec] drives the workload and returns windowed
+    results.  [wrap_api] decorates each stress client's API before use —
+    the hook the linearizability checker's {!Edc_checker.Instrument}
+    plugs into (the admin client is not wrapped: setup precedes the
+    recorded history).  Deterministic for a fixed simulator seed. *)
+let run ?(wrap_api = fun api -> api) (sys : Systems.t) spec =
   let sim = sys.Systems.sim in
   let start = Sim.now sim in
   let window_start = Sim_time.add start spec.warmup in
@@ -67,6 +70,7 @@ let run (sys : Systems.t) spec =
     Proc.spawn sim (fun () ->
         Proc.await setup_done;
         let api, addr = sys.Systems.new_api () in
+        let api = wrap_api api in
         client_addrs := addr :: !client_addrs;
         spec.prepare api;
         let rec loop () =

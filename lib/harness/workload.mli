@@ -31,5 +31,8 @@ type spec = {
   ops_per_iteration : int;
 }
 
-(** Deterministic for a fixed simulator seed. *)
-val run : Systems.t -> spec -> results
+(** Deterministic for a fixed simulator seed.  [wrap_api] decorates each
+    stress client's API before use (e.g. {!Edc_checker.Instrument.wrap}
+    for history capture); the admin/setup client is not wrapped. *)
+val run :
+  ?wrap_api:(Coord_api.t -> Coord_api.t) -> Systems.t -> spec -> results

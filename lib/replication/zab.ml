@@ -88,6 +88,10 @@ type config = {
   batch : Batching.config;
       (** leader-side group commit: proposals accumulated while the
           previous batch syncs ride the next one *)
+  unsafe_skip_log_matching : bool;
+      (** TEST ONLY: disable the follower-side log-matching checks below,
+          resurrecting the divergent-tail double-apply bug for the
+          linearizability checker's mutation self-test *)
 }
 
 let default_config =
@@ -96,6 +100,7 @@ let default_config =
     election_timeout = Sim_time.ms 200;
     election_stagger = Sim_time.ms 40;
     batch = Batching.off;
+    unsafe_skip_log_matching = false;
   }
 
 type 'p t = {
@@ -394,11 +399,14 @@ let handle t ~src msg =
            uncommitted tail came from a deposed leader and the
            post-election sync that should have repaired it was lost. *)
         let prev_matches =
-          index <= t.base || index = 0
+          t.config.unsafe_skip_log_matching
+          || index <= t.base || index = 0
           || index > abs_len t
           || (log_get t (index - 1)).zxid = prev_zxid
         in
         let first_matches =
+          t.config.unsafe_skip_log_matching
+          ||
           match entries with
           | e :: _ when t.base <= index && index < abs_len t ->
               (log_get t index).zxid = e.zxid

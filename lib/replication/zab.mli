@@ -60,6 +60,14 @@ type config = {
   batch : Batching.config;
       (** leader-side group commit; {!Batching.off} reproduces unbatched
           behaviour exactly *)
+  unsafe_skip_log_matching : bool;
+      (** TEST ONLY — resurrects a historical bug: followers accept
+          proposals without checking [prev_zxid]/overlap agreement, so a
+          divergent uncommitted tail left by a deposed leader can be
+          acked and committed (double/ghost applies).  Used by the
+          linearizability checker's mutation self-test to prove the
+          checker catches real consistency violations; never enable
+          outside tests. *)
 }
 
 val default_config : config

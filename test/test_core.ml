@@ -130,6 +130,123 @@ let test_codec_rejects_unknown_ops () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "must reject unknown service op"
 
+(* Generators for whole programs, used by the codec properties below.
+   Identifiers are kept alphanumeric (that is all the verifier admits
+   anyway); expression/statement shapes cover every constructor. *)
+let program_arb =
+  let open QCheck.Gen in
+  let ident = map (Printf.sprintf "v%d") (int_range 0 9) in
+  let binop =
+    oneofl
+      Ast.[ Add; Sub; Mul; Div; Mod; Eq; Ne; Lt; Le; Gt; Ge; And; Or; Concat ]
+  in
+  let svc_op =
+    oneofl
+      Ast.
+        [
+          Svc_read; Svc_exists; Svc_sub_objects; Svc_create;
+          Svc_create_sequential; Svc_update; Svc_cas; Svc_delete; Svc_block;
+          Svc_monitor; Svc_notify;
+        ]
+  in
+  let base_expr =
+    oneof
+      [
+        return Ast.Unit_lit;
+        map (fun b -> Ast.Bool_lit b) bool;
+        map (fun i -> Ast.Int_lit i) small_signed_int;
+        map (fun s -> Ast.Str_lit s) (string_size ~gen:printable (int_range 0 6));
+        map (fun s -> Ast.Var s) ident;
+        map (fun s -> Ast.Param s) ident;
+      ]
+  in
+  let rec expr d =
+    if d = 0 then base_expr
+    else
+      frequency
+        [
+          (3, base_expr);
+          (1, map (fun e -> Ast.Not e) (expr (d - 1)));
+          (1, map (fun e -> Ast.Neg e) (expr (d - 1)));
+          ( 1,
+            map3 (fun op a b -> Ast.Binop (op, a, b)) binop (expr (d - 1))
+              (expr (d - 1)) );
+          (1, map2 (fun e f -> Ast.Field (e, f)) (expr (d - 1)) ident);
+          ( 1,
+            map2
+              (fun n args -> Ast.Call (n, args))
+              ident
+              (list_size (int_range 0 2) (expr (d - 1))) );
+          ( 1,
+            map2
+              (fun op args -> Ast.Svc (op, args))
+              svc_op
+              (list_size (int_range 0 2) (expr (d - 1))) );
+        ]
+  in
+  let rec stmt d =
+    let flat =
+      oneof
+        [
+          map2 (fun x e -> Ast.Let (x, e)) ident (expr 2);
+          map2 (fun x e -> Ast.Assign (x, e)) ident (expr 2);
+          map (fun e -> Ast.Return e) (expr 2);
+          map (fun e -> Ast.Do e) (expr 2);
+          map (fun s -> Ast.Abort s) (string_size ~gen:printable (int_range 0 6));
+        ]
+    in
+    if d = 0 then flat
+    else
+      frequency
+        [
+          (4, flat);
+          ( 1,
+            map3
+              (fun c a b -> Ast.If (c, a, b))
+              (expr 2)
+              (list_size (int_range 0 2) (stmt (d - 1)))
+              (list_size (int_range 0 2) (stmt (d - 1))) );
+          ( 1,
+            map3
+              (fun x e body -> Ast.For_each (x, e, body))
+              ident (expr 2)
+              (list_size (int_range 1 2) (stmt (d - 1))) );
+        ]
+  in
+  let body = list_size (int_range 1 4) (stmt 2) in
+  let program =
+    map2
+      (fun op ev -> Program.make "gen-ext" ~on_operation:op ?on_event:ev ())
+      body (option body)
+  in
+  QCheck.make program
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec serialize/deserialize identity" ~count:300
+    program_arb (fun p -> Codec.deserialize (Codec.serialize p) = Ok p)
+
+(* Any strict prefix of a serialized program leaves the top-level form
+   unclosed, so deserialization must return a graceful [Error] — never an
+   exception, never a bogus [Ok]. *)
+let prop_codec_rejects_truncated =
+  QCheck.Test.make ~name:"codec rejects truncated input" ~count:300
+    QCheck.(pair program_arb (float_bound_inclusive 1.))
+    (fun (p, frac) ->
+      let s = Codec.serialize p in
+      let k = min (String.length s - 1) (int_of_float (frac *. float_of_int (String.length s))) in
+      match Codec.deserialize (String.sub s 0 k) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* Arbitrary bytes must produce [Ok] or [Error], never an exception — for
+   the parser and for the full codec pipeline. *)
+let prop_codec_garbage_is_graceful =
+  QCheck.Test.make ~name:"codec survives garbage input" ~count:500
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s ->
+      (match Sexp.of_string s with Ok _ | Error _ -> true)
+      && match Codec.deserialize s with Ok _ | Error _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Verifier                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -154,6 +271,184 @@ let test_verify_rejects_unknown_builtin () =
   | [ Verify.Unknown_builtin "exec_shell" ] -> ()
   | vs -> Alcotest.failf "unexpected: %s"
             (String.concat "," (List.map Verify.violation_to_string vs))
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* One row per violation constructor: the offending program, the expected
+   violation, and a fragment its documented rendering must contain.  Every
+   way the verifier can say "no" is exercised and produces a readable
+   diagnostic. *)
+let test_verify_rejection_table () =
+  let simple = [ Ast.Return Ast.Unit_lit ] in
+  let notify =
+    Ast.Do (Ast.Svc (Ast.Svc_notify, [ Ast.Int_lit 1; Ast.Str_lit "/x" ]))
+  in
+  let rec nots k e = if k = 0 then e else nots (k - 1) (Ast.Not e) in
+  let rec nest_loops k =
+    if k = 0 then [ Ast.Do (Ast.Var "xs") ]
+    else [ Ast.For_each ("x", Ast.Var "xs", nest_loops (k - 1)) ]
+  in
+  let cases =
+    [
+      ( "oversized payload",
+        Program.make "big" ~on_operation:simple (),
+        Verify.Active,
+        Verify.default_limits.Verify.max_serialized_bytes + 1,
+        (function Verify.Too_large _ -> true | _ -> false),
+        "size" );
+      ( "too many nodes",
+        Program.make "nodes"
+          ~on_operation:
+            (List.init 400 (fun i ->
+                 Ast.Let (Printf.sprintf "v%d" i, Ast.Int_lit i)))
+          (),
+        Verify.Active,
+        64,
+        (function Verify.Too_many_nodes _ -> true | _ -> false),
+        "nodes" );
+      ( "too deep",
+        Program.make "deep"
+          ~on_operation:[ Ast.Do (nots 30 (Ast.Int_lit 0)) ]
+          (),
+        Verify.Active,
+        64,
+        (function Verify.Too_deep _ -> true | _ -> false),
+        "depth" );
+      ( "loops too nested",
+        Program.make "loopy" ~on_operation:(nest_loops 3) (),
+        Verify.Active,
+        64,
+        (function Verify.Loops_too_nested 3 -> true | _ -> false),
+        "nesting" );
+      ( "unknown builtin",
+        Program.make "what"
+          ~on_operation:[ Ast.Do (Ast.Call ("exec_shell", [])) ]
+          (),
+        Verify.Active,
+        64,
+        (function Verify.Unknown_builtin "exec_shell" -> true | _ -> false),
+        "white-listed" );
+      ( "nondeterministic builtin under active replication",
+        Program.make "timey"
+          ~on_operation:[ Ast.Return (Ast.Call ("clock", [])) ]
+          (),
+        Verify.Active,
+        64,
+        (function Verify.Nondeterministic_builtin "clock" -> true | _ -> false),
+        "nondeterministic" );
+      ( "notify outside event handler",
+        Program.make "pushy" ~on_operation:[ notify ] (),
+        Verify.Active,
+        64,
+        (function Verify.Notify_outside_event_handler -> true | _ -> false),
+        "event handler" );
+      ( "no handlers",
+        Program.make "empty" (),
+        Verify.Active,
+        64,
+        (function Verify.Missing_handlers -> true | _ -> false),
+        "handler" );
+      ( "bad name",
+        Program.make "no spaces!" ~on_operation:simple (),
+        Verify.Active,
+        64,
+        (function Verify.Bad_name _ -> true | _ -> false),
+        "name" );
+    ]
+  in
+  List.iter
+    (fun (what, p, mode, serialized_size, expect, doc_fragment) ->
+      let vs = Verify.check ~mode ~serialized_size p in
+      match List.find_opt expect vs with
+      | None ->
+          Alcotest.failf "%s: expected violation missing (got: %s)" what
+            (String.concat "; " (List.map Verify.violation_to_string vs))
+      | Some v ->
+          Alcotest.(check bool)
+            (what ^ ": diagnostic mentions " ^ doc_fragment)
+            true
+            (contains_substring (Verify.violation_to_string v) doc_fragment))
+    cases
+
+(* §4 size limits, exactly at the boundary: a program AT each default
+   limit is admissible, one past it is rejected. *)
+let test_verify_limit_boundaries () =
+  let l = Verify.default_limits in
+  let has p vs = List.exists p vs in
+  let small = [ Ast.Return Ast.Unit_lit ] in
+  let check_p ~serialized_size p =
+    Verify.check ~mode:Verify.Active ~serialized_size p
+  in
+  (* serialized bytes *)
+  let p = Program.make "p" ~on_operation:small () in
+  Alcotest.(check bool) "at byte limit passes" false
+    (has
+       (function Verify.Too_large _ -> true | _ -> false)
+       (check_p ~serialized_size:l.Verify.max_serialized_bytes p));
+  Alcotest.(check bool) "byte limit + 1 rejected" true
+    (has
+       (function Verify.Too_large _ -> true | _ -> false)
+       (check_p ~serialized_size:(l.Verify.max_serialized_bytes + 1) p));
+  (* AST nodes: Let (_, Int_lit) counts 2 nodes, Do (Not (Int_lit))
+     counts 3, letting us hit the limit and limit+1 exactly *)
+  let lets n =
+    List.init n (fun i -> Ast.Let (Printf.sprintf "v%d" i, Ast.Int_lit i))
+  in
+  let p_at = Program.make "n" ~on_operation:(lets (l.Verify.max_nodes / 2)) () in
+  Alcotest.(check int) "node construction at limit" l.Verify.max_nodes
+    (Program.nodes p_at);
+  Alcotest.(check bool) "at node limit passes" false
+    (has
+       (function Verify.Too_many_nodes _ -> true | _ -> false)
+       (check_p ~serialized_size:64 p_at));
+  let p_over =
+    Program.make "n"
+      ~on_operation:
+        (Ast.Do (Ast.Not (Ast.Int_lit 0)) :: lets ((l.Verify.max_nodes / 2) - 1))
+      ()
+  in
+  Alcotest.(check int) "node construction at limit + 1"
+    (l.Verify.max_nodes + 1) (Program.nodes p_over);
+  Alcotest.(check bool) "node limit + 1 rejected" true
+    (has
+       (function
+         | Verify.Too_many_nodes n -> n = l.Verify.max_nodes + 1
+         | _ -> false)
+       (check_p ~serialized_size:64 p_over));
+  (* nesting depth: Do (Not^k (Int_lit)) has depth k + 2 *)
+  let rec nots k e = if k = 0 then e else nots (k - 1) (Ast.Not e) in
+  let p_depth k = Program.make "d" ~on_operation:[ Ast.Do (nots k (Ast.Int_lit 0)) ] () in
+  Alcotest.(check int) "depth construction at limit" l.Verify.max_depth
+    (Program.depth (p_depth (l.Verify.max_depth - 2)));
+  Alcotest.(check bool) "at depth limit passes" false
+    (has
+       (function Verify.Too_deep _ -> true | _ -> false)
+       (check_p ~serialized_size:64 (p_depth (l.Verify.max_depth - 2))));
+  Alcotest.(check bool) "depth limit + 1 rejected" true
+    (has
+       (function
+         | Verify.Too_deep n -> n = l.Verify.max_depth + 1
+         | _ -> false)
+       (check_p ~serialized_size:64 (p_depth (l.Verify.max_depth - 1))));
+  (* for-each nesting *)
+  let rec nest_loops k =
+    if k = 0 then [ Ast.Do (Ast.Var "xs") ]
+    else [ Ast.For_each ("x", Ast.Var "xs", nest_loops (k - 1)) ]
+  in
+  let p_loops k = Program.make "l" ~on_operation:(nest_loops k) () in
+  Alcotest.(check bool) "at loop-nesting limit passes" false
+    (has
+       (function Verify.Loops_too_nested _ -> true | _ -> false)
+       (check_p ~serialized_size:64 (p_loops l.Verify.max_loop_nesting)));
+  Alcotest.(check bool) "loop nesting + 1 rejected" true
+    (has
+       (function
+         | Verify.Loops_too_nested n -> n = l.Verify.max_loop_nesting + 1
+         | _ -> false)
+       (check_p ~serialized_size:64 (p_loops (l.Verify.max_loop_nesting + 1))))
 
 let test_verify_determinism_mode () =
   let p =
@@ -656,6 +951,9 @@ let () =
         [
           Alcotest.test_case "program roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "rejects unknown ops" `Quick test_codec_rejects_unknown_ops;
+          qc prop_codec_roundtrip;
+          qc prop_codec_rejects_truncated;
+          qc prop_codec_garbage_is_graceful;
         ] );
       ( "verify",
         [
@@ -663,6 +961,8 @@ let () =
           Alcotest.test_case "unknown builtin" `Quick test_verify_rejects_unknown_builtin;
           Alcotest.test_case "determinism modes" `Quick test_verify_determinism_mode;
           Alcotest.test_case "size limits" `Quick test_verify_size_limits;
+          Alcotest.test_case "rejection table" `Quick test_verify_rejection_table;
+          Alcotest.test_case "limit boundaries" `Quick test_verify_limit_boundaries;
           Alcotest.test_case "loop nesting" `Quick test_verify_loop_nesting;
           Alcotest.test_case "notify placement" `Quick test_verify_notify_placement;
           Alcotest.test_case "bad names" `Quick test_verify_bad_names;

@@ -326,6 +326,99 @@ let test_cluster_watch_fires_on_change () =
       Alcotest.(check string) "event path" "/w" path;
       Alcotest.(check bool) "changed event" true (kind = P.Node_changed))
 
+(* Regression: a server-side watch is one-shot.  The triggering write
+   produces exactly one notification; later writes stay silent until the
+   client re-arms with another watched read. *)
+let test_cluster_watch_one_shot_delivery () =
+  in_cluster (fun cluster ->
+      let sim = Cluster.sim cluster in
+      let watcher = Cluster.connected_client cluster () in
+      let writer = Cluster.connected_client cluster () in
+      ignore (ok "create" (Client.create_node writer "/w" "0"));
+      Proc.sleep sim (Sim_time.ms 50);
+      let waiter = Client.watch_waiter watcher "/w" in
+      ignore (ok "armed read" (Client.get_data watcher ~watch:true "/w"));
+      ignore (ok "set1" (Client.set_data writer "/w" "1"));
+      let path, _ = Proc.await waiter in
+      Alcotest.(check string) "first write notifies" "/w" path;
+      (* no re-arm: the next write must not produce an event *)
+      let second = Client.watch_waiter watcher "/w" in
+      ignore (ok "set2" (Client.set_data writer "/w" "2"));
+      Proc.sleep sim (Sim_time.ms 300);
+      Alcotest.(check bool) "one-shot: no event without re-arm" false
+        (Proc.is_fulfilled second))
+
+(* Regression: the notification/re-arm cycle loses no update.  A write
+   racing the re-armed read is either seen by that read directly or
+   caught by the new watch — over a chain of writes, the watcher always
+   converges on the final value. *)
+let test_cluster_watch_not_lost_across_write () =
+  in_cluster (fun cluster ->
+      let sim = Cluster.sim cluster in
+      let watcher = Cluster.connected_client cluster () in
+      let writer = Cluster.connected_client cluster () in
+      ignore (ok "create" (Client.create_node writer "/w" "0"));
+      Proc.sleep sim (Sim_time.ms 50);
+      let generations = 5 in
+      let seen = ref [] in
+      let observer =
+        Proc.async sim (fun () ->
+            let rec loop n last =
+              if n > 0 then begin
+                let waiter = Client.watch_waiter watcher "/w" in
+                let d, _ = ok "armed read" (Client.get_data watcher ~watch:true "/w") in
+                if d <> last then seen := d :: !seen;
+                if d <> string_of_int generations then begin
+                  ignore (Proc.await waiter);
+                  loop (n - 1) d
+                end
+              end
+            in
+            loop (generations + 1) "")
+      in
+      Proc.sleep sim (Sim_time.ms 100);
+      for i = 1 to generations do
+        ignore (ok "set" (Client.set_data writer "/w" (string_of_int i)));
+        Proc.sleep sim (Sim_time.ms 120)
+      done;
+      Proc.await observer;
+      (* every re-armed generation observed the write that triggered it:
+         nothing was lost between the notification and the next read *)
+      Alcotest.(check string) "converged on the final value"
+        (string_of_int generations)
+        (match !seen with last :: _ -> last | [] -> "");
+      Alcotest.(check (list string)) "no update skipped"
+        (List.init generations (fun i -> string_of_int (i + 1)))
+        (List.rev (List.filter (fun d -> d <> "0") !seen)))
+
+(* Regression: notifications are delivered in transaction order — the
+   order events fire equals the commit order of the writes that caused
+   them, across distinct watched nodes. *)
+let test_cluster_watch_order_follows_txn_order () =
+  in_cluster (fun cluster ->
+      let sim = Cluster.sim cluster in
+      let watcher = Cluster.connected_client cluster () in
+      let writer = Cluster.connected_client cluster () in
+      ignore (ok "create a" (Client.create_node writer "/wa" "0"));
+      ignore (ok "create b" (Client.create_node writer "/wb" "0"));
+      Proc.sleep sim (Sim_time.ms 50);
+      let arrivals = ref [] in
+      let arm path =
+        let waiter = Client.watch_waiter watcher path in
+        ignore (ok ("arm " ^ path) (Client.get_data watcher ~watch:true path));
+        Proc.async sim (fun () ->
+            let p, _ = Proc.await waiter in
+            arrivals := p :: !arrivals)
+      in
+      let fa = arm "/wa" in
+      let fb = arm "/wb" in
+      (* commit order: /wb first, then /wa *)
+      ignore (ok "set b" (Client.set_data writer "/wb" "1"));
+      ignore (ok "set a" (Client.set_data writer "/wa" "1"));
+      Proc.join [ fa; fb ];
+      Alcotest.(check (list string)) "delivery order = txn order"
+        [ "/wb"; "/wa" ] (List.rev !arrivals))
+
 let test_cluster_block_unblocks_on_create () =
   in_cluster (fun cluster ->
       let sim = Cluster.sim cluster in
@@ -506,6 +599,12 @@ let () =
           Alcotest.test_case "sequential nodes" `Quick
             test_cluster_sequential_unique_ordered;
           Alcotest.test_case "watch fires" `Quick test_cluster_watch_fires_on_change;
+          Alcotest.test_case "watch one-shot" `Quick
+            test_cluster_watch_one_shot_delivery;
+          Alcotest.test_case "watch not lost" `Quick
+            test_cluster_watch_not_lost_across_write;
+          Alcotest.test_case "watch order" `Quick
+            test_cluster_watch_order_follows_txn_order;
           Alcotest.test_case "block unblocks" `Quick test_cluster_block_unblocks_on_create;
           Alcotest.test_case "ephemeral cleanup" `Quick
             test_cluster_ephemeral_cleanup_on_close;
