@@ -32,6 +32,27 @@ let quick_config =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_<suite>.json, schema in EXPERIMENTS.md) *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_point (p : E.point) =
+  Bench_json.Obj
+    [
+      ("system", Bench_json.Str (S.kind_name p.E.kind));
+      ("clients", Bench_json.Int p.E.clients);
+      ("throughput_ops_s", Bench_json.Float p.E.throughput);
+      ("latency_ms", Bench_json.Float p.E.latency_ms);
+      ("p99_ms", Bench_json.Float p.E.p99_ms);
+      ("kb_per_op", Bench_json.Float p.E.kb_per_op);
+      ("attempts", Bench_json.Float p.E.attempts);
+      ("errors", Bench_json.Int p.E.errors);
+    ]
+
+let write_points_suite ~suite points =
+  Bench_json.write_suite ~suite
+    [ ("points", Bench_json.List (List.map json_of_point points)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -57,7 +78,8 @@ let fig6 cfg =
   Report.summarize_speedup points ~clients:top ~base:S.Zookeeper ~ext:S.Ezk
     ~what:"Counter";
   Report.summarize_speedup points ~clients:top ~base:S.Depspace ~ext:S.Eds
-    ~what:"Counter"
+    ~what:"Counter";
+  write_points_suite ~suite:"counter" points
 
 let fig8 cfg =
   let points =
@@ -78,7 +100,8 @@ let fig8 cfg =
   Report.summarize_speedup points ~clients:top ~base:S.Zookeeper ~ext:S.Ezk
     ~what:"Queue";
   Report.summarize_speedup points ~clients:top ~base:S.Depspace ~ext:S.Eds
-    ~what:"Queue"
+    ~what:"Queue";
+  write_points_suite ~suite:"queue" points
 
 let fig10 cfg =
   let points =
@@ -667,7 +690,38 @@ let linearize quick =
 
 let micro () =
   Report.section "Micro-benchmarks (Bechamel, real time per call)";
-  Micro.run_all ()
+  Micro.run_all ();
+  Report.section
+    "Staged compilation / indexed dispatch matrix (interpreter vs compiled, scan vs indexed)";
+  let rows, speedups = Micro.run_matrix () in
+  Bench_json.write_suite ~suite:"micro"
+    [
+      ( "results",
+        Bench_json.List
+          (List.map
+             (fun (r : Micro.matrix_row) ->
+               Bench_json.Obj
+                 [
+                   ("name", Bench_json.Str r.Micro.m_name);
+                   ("variant", Bench_json.Str r.Micro.m_variant);
+                   ("extensions", Bench_json.Int r.Micro.m_extensions);
+                   ("ns_per_call", Bench_json.Float r.Micro.m_ns_per_call);
+                 ])
+             rows) );
+      ( "speedups",
+        Bench_json.List
+          (List.map
+             (fun (name, base, contender, n, s) ->
+               Bench_json.Obj
+                 [
+                   ("name", Bench_json.Str name);
+                   ("baseline", Bench_json.Str base);
+                   ("contender", Bench_json.Str contender);
+                   ("extensions", Bench_json.Int n);
+                   ("speedup", Bench_json.Float s);
+                 ])
+             speedups) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

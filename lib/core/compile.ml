@@ -1,0 +1,479 @@
+(** Registration-time staging of extension handlers (the perf half of the
+    paper's "verify once, trigger cheaply" claim, §4.1–4.2).
+
+    [compile] lowers a verified handler AST into a tree of OCaml closures:
+
+    - variable references become array-slot loads in a preallocated frame
+      (no per-access [Hashtbl] hashing);
+    - request parameters become positional slots bound once per run (no
+      per-access [List.assoc]);
+    - builtins are resolved and arity-checked once, at compile time — the
+      hot path keeps only the (semantics-preserving) runtime raise;
+    - closed constant subexpressions are folded, carrying the *exact* step
+      count the interpreter would have charged.
+
+    The non-negotiable invariant is budget parity with {!Sandbox}: replicas
+    must reach identical results, identical (steps, service-call) usage on
+    success, and identical abort verdicts at limit boundaries, or the
+    replicated state machines diverge.  Every closure therefore charges the
+    same budgets at the same points as the interpreter, and conversions go
+    through the shared {!Sandbox} helpers so error text matches byte for
+    byte.  The differential QCheck suite in [test/test_compile.ml] enforces
+    this against random verified programs. *)
+
+(** Per-invocation mutable state: the compiled analogue of [Sandbox.env],
+    with array frames instead of hash tables. *)
+type rt = {
+  proxy : Sandbox.proxy;
+  limits : Sandbox.limits;
+  vars : Value.t option array;  (** [None] = unbound *)
+  params : Value.t option array;  (** prebound positionally, [None] = absent *)
+  mutable steps : int;
+  mutable service_calls : int;
+  mutable creates : int;
+}
+
+type t = {
+  n_vars : int;
+  param_names : string array;  (** slot [i] binds [param_names.(i)] *)
+  body : rt -> unit;
+}
+
+exception Returned of Value.t
+
+let charge_step rt =
+  rt.steps <- rt.steps + 1;
+  if rt.steps > rt.limits.Sandbox.max_steps then
+    raise (Sandbox.Abort_exec Sandbox.Fuel_exhausted)
+
+(* Bulk form for folded constants: charging [n] at once raises
+   [Fuel_exhausted] iff charging [n] times sequentially would — the counter
+   only grows, and on [Error] counters are not reported, so the verdict is
+   what must (and does) agree. *)
+let charge_steps rt n =
+  rt.steps <- rt.steps + n;
+  if rt.steps > rt.limits.Sandbox.max_steps then
+    raise (Sandbox.Abort_exec Sandbox.Fuel_exhausted)
+
+let charge_service rt =
+  rt.service_calls <- rt.service_calls + 1;
+  if rt.service_calls > rt.limits.Sandbox.max_service_calls then
+    raise (Sandbox.Abort_exec Sandbox.Service_call_limit)
+
+let charge_create rt =
+  rt.creates <- rt.creates + 1;
+  if rt.creates > rt.limits.Sandbox.max_creates then
+    raise (Sandbox.Abort_exec Sandbox.Create_limit)
+
+let charge_value rt v =
+  let n = Value.size v in
+  if n > rt.limits.Sandbox.max_value_bytes then
+    raise (Sandbox.Abort_exec (Sandbox.Value_too_large n))
+
+(* --- compile-time slot assignment --- *)
+
+type ctx = {
+  var_slots : (string, int) Hashtbl.t;
+  mutable n_vars : int;
+  param_slots : (string, int) Hashtbl.t;
+  mutable rev_params : string list;  (* newest first *)
+}
+
+let new_ctx () =
+  {
+    var_slots = Hashtbl.create 8;
+    n_vars = 0;
+    param_slots = Hashtbl.create 4;
+    rev_params = [];
+  }
+
+let var_slot ctx name =
+  match Hashtbl.find_opt ctx.var_slots name with
+  | Some i -> i
+  | None ->
+      let i = ctx.n_vars in
+      Hashtbl.add ctx.var_slots name i;
+      ctx.n_vars <- i + 1;
+      i
+
+let param_slot ctx name =
+  match Hashtbl.find_opt ctx.param_slots name with
+  | Some i -> i
+  | None ->
+      let i = List.length ctx.rev_params in
+      Hashtbl.add ctx.param_slots name i;
+      ctx.rev_params <- name :: ctx.rev_params;
+      i
+
+(* --- constant folding ---
+
+   Folds closed expressions over literals, recording the exact step count
+   the interpreter would charge and — for expressions that fault — the
+   error it would raise after exactly that many steps.  Excluded on
+   purpose: [Concat] (its result is charged against the *runtime* value
+   budget) and anything touching state, params, builtins, or services. *)
+
+let rec fold_expr (e : Ast.expr) : (int * (Value.t, Sandbox.error) result) option =
+  match e with
+  | Ast.Unit_lit -> Some (1, Ok Value.Unit)
+  | Ast.Bool_lit b -> Some (1, Ok (Value.Bool b))
+  | Ast.Int_lit i -> Some (1, Ok (Value.Int i))
+  | Ast.Str_lit s -> Some (1, Ok (Value.Str s))
+  | Ast.Not e -> (
+      match fold_expr e with
+      | Some (n, Ok v) -> Some (1 + n, Ok (Value.Bool (not (Value.truthy v))))
+      | Some (n, Error err) -> Some (1 + n, Error err)
+      | None -> None)
+  | Ast.Neg e -> (
+      match fold_expr e with
+      | Some (n, Ok v) ->
+          Some
+            ( 1 + n,
+              try Ok (Value.Int (-Sandbox.as_int v))
+              with Sandbox.Abort_exec err -> Error err )
+      | Some (n, Error err) -> Some (1 + n, Error err)
+      | None -> None)
+  | Ast.Binop (Ast.And, a, b) -> (
+      match fold_expr a with
+      | None -> None
+      | Some (na, Error err) -> Some (1 + na, Error err)
+      | Some (na, Ok va) when not (Value.truthy va) ->
+          Some (1 + na, Ok (Value.Bool false))
+      | Some (na, Ok _) -> (
+          match fold_expr b with
+          | None -> None
+          | Some (nb, Error err) -> Some (1 + na + nb, Error err)
+          | Some (nb, Ok vb) ->
+              Some (1 + na + nb, Ok (Value.Bool (Value.truthy vb)))))
+  | Ast.Binop (Ast.Or, a, b) -> (
+      match fold_expr a with
+      | None -> None
+      | Some (na, Error err) -> Some (1 + na, Error err)
+      | Some (na, Ok va) when Value.truthy va ->
+          Some (1 + na, Ok (Value.Bool true))
+      | Some (na, Ok _) -> (
+          match fold_expr b with
+          | None -> None
+          | Some (nb, Error err) -> Some (1 + na + nb, Error err)
+          | Some (nb, Ok vb) ->
+              Some (1 + na + nb, Ok (Value.Bool (Value.truthy vb)))))
+  | Ast.Binop (Ast.Concat, _, _) -> None
+  | Ast.Binop (op, a, b) -> (
+      match fold_expr a with
+      | None -> None
+      | Some (na, Error err) -> Some (1 + na, Error err)
+      | Some (na, Ok va) -> (
+          match fold_expr b with
+          | None -> None
+          | Some (nb, Error err) -> Some (1 + na + nb, Error err)
+          | Some (nb, Ok vb) ->
+              Some
+                ( 1 + na + nb,
+                  try Ok (Sandbox.apply_strict_binop op va vb)
+                  with Sandbox.Abort_exec err -> Error err )))
+  | Ast.Var _ | Ast.Param _ | Ast.Field _ | Ast.Call _ | Ast.Svc _ -> None
+
+(* --- expression compilation --- *)
+
+let rec compile_expr ctx (e : Ast.expr) : rt -> Value.t =
+  match fold_expr e with
+  | Some (n, Ok v) ->
+      fun rt ->
+        charge_steps rt n;
+        v
+  | Some (n, Error err) ->
+      fun rt ->
+        charge_steps rt n;
+        raise (Sandbox.Abort_exec err)
+  | None -> (
+      match e with
+      | Ast.Unit_lit | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.Str_lit _ ->
+          assert false (* always folded *)
+      | Ast.Var name ->
+          let i = var_slot ctx name in
+          fun rt -> (
+            charge_step rt;
+            match rt.vars.(i) with
+            | Some v -> v
+            | None -> raise (Sandbox.Abort_exec (Sandbox.Undefined_variable name)))
+      | Ast.Param p ->
+          let i = param_slot ctx p in
+          let missing = "param " ^ p in
+          fun rt -> (
+            charge_step rt;
+            match rt.params.(i) with
+            | Some v -> v
+            | None ->
+                raise (Sandbox.Abort_exec (Sandbox.Undefined_variable missing)))
+      | Ast.Field (e, name) ->
+          let f = compile_expr ctx e in
+          fun rt -> (
+            charge_step rt;
+            let v = f rt in
+            match Value.field v name with
+            | Some value -> value
+            | None -> Sandbox.type_error "no field %S in %a" name Value.pp v)
+      | Ast.Not e ->
+          let f = compile_expr ctx e in
+          fun rt ->
+            charge_step rt;
+            Value.Bool (not (Value.truthy (f rt)))
+      | Ast.Neg e ->
+          let f = compile_expr ctx e in
+          fun rt ->
+            charge_step rt;
+            Value.Int (-Sandbox.as_int (f rt))
+      | Ast.Binop (Ast.And, a, b) ->
+          let fa = compile_expr ctx a in
+          let fb = compile_expr ctx b in
+          fun rt ->
+            charge_step rt;
+            if Value.truthy (fa rt) then Value.Bool (Value.truthy (fb rt))
+            else Value.Bool false
+      | Ast.Binop (Ast.Or, a, b) ->
+          let fa = compile_expr ctx a in
+          let fb = compile_expr ctx b in
+          fun rt ->
+            charge_step rt;
+            if Value.truthy (fa rt) then Value.Bool true
+            else Value.Bool (Value.truthy (fb rt))
+      | Ast.Binop (Ast.Concat, a, b) ->
+          let fa = compile_expr ctx a in
+          let fb = compile_expr ctx b in
+          fun rt ->
+            charge_step rt;
+            let va = fa rt in
+            let vb = fb rt in
+            let v = Sandbox.apply_strict_binop Ast.Concat va vb in
+            charge_value rt v;
+            v
+      | Ast.Binop (op, a, b) ->
+          let fa = compile_expr ctx a in
+          let fb = compile_expr ctx b in
+          fun rt ->
+            charge_step rt;
+            let va = fa rt in
+            let vb = fb rt in
+            Sandbox.apply_strict_binop op va vb
+      | Ast.Call (name, args) -> compile_call ctx name args
+      | Ast.Svc (op, args) -> compile_svc ctx op args)
+
+and compile_call ctx name args =
+  let fargs = Array.of_list (List.map (compile_expr ctx) args) in
+  let nargs = Array.length fargs in
+  (* mirrors the interpreter: evaluate args left-to-right, then charge fuel
+     per list element so builtins cannot smuggle unbounded scans *)
+  let eval_args rt =
+    let vals = Array.make nargs Value.Unit in
+    for i = 0 to nargs - 1 do
+      vals.(i) <- fargs.(i) rt
+    done;
+    for i = 0 to nargs - 1 do
+      match vals.(i) with
+      | Value.List items -> charge_steps rt (List.length items)
+      | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Record _
+        ->
+          ()
+    done;
+    vals
+  in
+  (* builtin resolution and arity checks happen here, once; the hot path
+     keeps only the raise the interpreter would perform after arg eval *)
+  match Builtins.find name with
+  | None ->
+      fun rt ->
+        charge_step rt;
+        ignore (eval_args rt : Value.t array);
+        raise (Sandbox.Abort_exec (Sandbox.Unknown_builtin name))
+  | Some b when nargs <> b.Builtins.arity ->
+      let msg = Printf.sprintf "%s expects %d arguments" name b.Builtins.arity in
+      fun rt ->
+        charge_step rt;
+        ignore (eval_args rt : Value.t array);
+        raise (Sandbox.Abort_exec (Sandbox.Type_error msg))
+  | Some _ when name = "clock" ->
+      fun rt ->
+        charge_step rt;
+        ignore (eval_args rt : Value.t array);
+        Value.Int (rt.proxy.Sandbox.p_clock ())
+  | Some b -> (
+      let fn = b.Builtins.fn in
+      fun rt ->
+        charge_step rt;
+        let vals = eval_args rt in
+        match fn (Array.to_list vals) with
+        | Ok v ->
+            charge_value rt v;
+            v
+        | Error msg -> raise (Sandbox.Abort_exec (Sandbox.Type_error msg)))
+
+and compile_svc ctx op args =
+  let fargs = List.map (compile_expr ctx) args in
+  let open Sandbox in
+  match (op, fargs) with
+  | Ast.Svc_read, [ f0 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        let oid = as_str (f0 rt) in
+        let v = svc_result (rt.proxy.p_read oid) in
+        charge_value rt v;
+        v
+  | Ast.Svc_exists, [ f0 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        Value.Bool (rt.proxy.p_exists (as_str (f0 rt)))
+  | Ast.Svc_sub_objects, [ f0 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        let oid = as_str (f0 rt) in
+        let v = Value.List (svc_result (rt.proxy.p_sub_objects oid)) in
+        charge_value rt v;
+        v
+  | Ast.Svc_create, [ f0; f1 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        charge_create rt;
+        let oid = as_str (f0 rt) in
+        let data = as_str (f1 rt) in
+        Value.Str (svc_result (rt.proxy.p_create ~sequential:false ~oid ~data))
+  | Ast.Svc_create_sequential, [ f0; f1 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        charge_create rt;
+        let oid = as_str (f0 rt) in
+        let data = as_str (f1 rt) in
+        Value.Str (svc_result (rt.proxy.p_create ~sequential:true ~oid ~data))
+  | Ast.Svc_update, [ f0; f1 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        let oid = as_str (f0 rt) in
+        let data = as_str (f1 rt) in
+        Value.Int (svc_result (rt.proxy.p_update ~oid ~data))
+  | Ast.Svc_cas, [ f0; f1; f2 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        let oid = as_str (f0 rt) in
+        let expected = as_str (f1 rt) in
+        let data = as_str (f2 rt) in
+        Value.Bool (svc_result (rt.proxy.p_cas ~oid ~expected ~data))
+  | Ast.Svc_delete, [ f0 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        Value.Bool (svc_result (rt.proxy.p_delete (as_str (f0 rt))))
+  | Ast.Svc_block, [ f0 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        svc_result (rt.proxy.p_block (as_str (f0 rt)));
+        Value.Unit
+  | Ast.Svc_monitor, [ f0 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        charge_create rt;
+        svc_result (rt.proxy.p_monitor (as_str (f0 rt)));
+        Value.Unit
+  | Ast.Svc_notify, [ f0; f1 ] ->
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        let client = as_int (f0 rt) in
+        let oid = as_str (f1 rt) in
+        svc_result (rt.proxy.p_notify ~client ~oid);
+        Value.Unit
+  | _ ->
+      (* wrong arity: the interpreter charges the service call, then faults
+         without evaluating any argument *)
+      fun rt ->
+        charge_step rt;
+        charge_service rt;
+        Sandbox.type_error "wrong arity for service call"
+
+(* --- statement compilation --- *)
+
+let rec compile_stmt ctx (s : Ast.stmt) : rt -> unit =
+  match s with
+  | Ast.Let (v, e) | Ast.Assign (v, e) ->
+      let i = var_slot ctx v in
+      let f = compile_expr ctx e in
+      fun rt ->
+        charge_step rt;
+        let value = f rt in
+        charge_value rt value;
+        rt.vars.(i) <- Some value
+  | Ast.If (c, a, b) ->
+      let fc = compile_expr ctx c in
+      let fa = compile_block ctx a in
+      let fb = compile_block ctx b in
+      fun rt ->
+        charge_step rt;
+        if Value.truthy (fc rt) then fa rt else fb rt
+  | Ast.For_each (v, e, body) ->
+      let i = var_slot ctx v in
+      let f = compile_expr ctx e in
+      let fbody = compile_block ctx body in
+      fun rt ->
+        charge_step rt;
+        let items = Sandbox.as_list (f rt) in
+        let saved = rt.vars.(i) in
+        List.iter
+          (fun item ->
+            rt.vars.(i) <- Some item;
+            fbody rt)
+          items;
+        rt.vars.(i) <- saved
+  | Ast.Return e ->
+      let f = compile_expr ctx e in
+      fun rt ->
+        charge_step rt;
+        raise (Returned (f rt))
+  | Ast.Do e ->
+      let f = compile_expr ctx e in
+      fun rt ->
+        charge_step rt;
+        ignore (f rt : Value.t)
+  | Ast.Abort msg ->
+      fun rt ->
+        charge_step rt;
+        raise (Sandbox.Abort_exec (Sandbox.Aborted msg))
+
+and compile_block ctx body : rt -> unit =
+  let fs = Array.of_list (List.map (compile_stmt ctx) body) in
+  fun rt ->
+    for i = 0 to Array.length fs - 1 do
+      fs.(i) rt
+    done
+
+let compile (handler : Program.handler) : t =
+  let ctx = new_ctx () in
+  let body = compile_block ctx handler in
+  {
+    n_vars = ctx.n_vars;
+    param_names = Array.of_list (List.rev ctx.rev_params);
+    body;
+  }
+
+let run ?(limits = Sandbox.default_limits) ~proxy ~params (c : t) =
+  let rt =
+    {
+      proxy;
+      limits;
+      vars = Array.make c.n_vars None;
+      params = Array.map (fun name -> List.assoc_opt name params) c.param_names;
+      steps = 0;
+      service_calls = 0;
+      creates = 0;
+    }
+  in
+  match c.body rt with
+  | () -> Ok (Value.Unit, rt.steps, rt.service_calls)
+  | exception Returned v -> Ok (v, rt.steps, rt.service_calls)
+  | exception Sandbox.Abort_exec e -> Error e

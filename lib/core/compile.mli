@@ -1,0 +1,22 @@
+(** Registration-time staging of extension handlers.
+
+    [compile] lowers a verified handler AST into closures with array-slot
+    variable frames, positional parameter slots, compile-time builtin
+    resolution, and constant folding; [run] then matches the {!Sandbox}
+    interpreter exactly — same result, same (steps, service-calls) usage on
+    success, same abort verdict at every limit boundary — so replicas may
+    mix engines without diverging.  Compile once per registration (the
+    manager caches the result in its registry, including after snapshot
+    reload) and reuse across triggers. *)
+
+type t
+
+val compile : Program.handler -> t
+
+(** Drop-in replacement for {!Sandbox.run} on a pre-compiled handler. *)
+val run :
+  ?limits:Sandbox.limits ->
+  proxy:Sandbox.proxy ->
+  params:(string * Value.t) list ->
+  t ->
+  (Value.t * int * int, Sandbox.error) result

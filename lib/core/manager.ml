@@ -21,12 +21,35 @@
     those objects being created/deleted in the committed state — which
     happens identically on every replica and again on recovery replay. *)
 
+module Int_set = Set.Make (Int)
+
 type entry = {
   program : Program.t;
   owner : int;
-  mutable acked : int list;  (** clients that may trigger it (incl. owner) *)
+  mutable acked : Int_set.t;  (** clients that may trigger it (incl. owner) *)
   reg_seq : int;  (** registration order; later registrations win (§3.3) *)
+  compiled_op : Compile.t option;
+      (** operation handler staged at registration time (once per replica
+          per registration, including snapshot reload) *)
+  compiled_ev : Compile.t option;
 }
+
+(* The dispatch index: one bucket per (op_kind | event_kind), holding only
+   entries that both subscribe to that kind *and* have the corresponding
+   handler.  Within a bucket, [Exact] patterns hash on the full oid,
+   [Under]/[Starts_with] patterns hash on their prefix (probed once per
+   distinct stored prefix length), and [Any_oid] entries are scanned.
+   Matching a request costs O(#distinct prefix lengths + hits) instead of
+   O(#registered extensions).  Acknowledgment is checked at query time, so
+   ack churn never rebuilds the index. *)
+type bucket = {
+  b_exact : (string, entry list) Hashtbl.t;
+  b_prefix : (string, (Subscription.oid_pattern * entry) list) Hashtbl.t;
+  mutable b_prefix_lengths : int list;  (** distinct, ascending *)
+  mutable b_any : entry list;
+}
+
+type index = { op_buckets : bucket array; ev_buckets : bucket array }
 
 type t = {
   mode : Verify.mode;
@@ -38,6 +61,7 @@ type t = {
           the determinism check still run (consistency is not optional) *)
   extensions : (string, entry) Hashtbl.t;
   mutable next_reg_seq : int;
+  mutable index : index;
 }
 
 let em_root = "/em"
@@ -65,6 +89,84 @@ let classify_path path =
         | Some _ | None -> Not_em)
     | _ -> Not_em
 
+let new_bucket () =
+  {
+    b_exact = Hashtbl.create 8;
+    b_prefix = Hashtbl.create 8;
+    b_prefix_lengths = [];
+    b_any = [];
+  }
+
+let new_index () =
+  {
+    op_buckets = Array.init Subscription.n_op_kinds (fun _ -> new_bucket ());
+    ev_buckets = Array.init Subscription.n_event_kinds (fun _ -> new_bucket ());
+  }
+
+let bucket_add b pattern e =
+  match pattern with
+  | Subscription.Exact oid ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt b.b_exact oid) in
+      Hashtbl.replace b.b_exact oid (e :: cur)
+  | Subscription.Under p | Subscription.Starts_with p ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt b.b_prefix p) in
+      Hashtbl.replace b.b_prefix p ((pattern, e) :: cur);
+      let l = String.length p in
+      if not (List.mem l b.b_prefix_lengths) then
+        b.b_prefix_lengths <- List.sort Int.compare (l :: b.b_prefix_lengths)
+  | Subscription.Any_oid -> b.b_any <- e :: b.b_any
+
+let rebuild_index t =
+  let idx = new_index () in
+  Hashtbl.iter
+    (fun _ e ->
+      if e.compiled_op <> None then
+        List.iter
+          (fun sub ->
+            List.iter
+              (fun kind ->
+                bucket_add
+                  idx.op_buckets.(Subscription.op_kind_index kind)
+                  sub.Subscription.op_oid e)
+              sub.Subscription.op_kinds)
+          e.program.Program.op_subs;
+      if e.compiled_ev <> None then
+        List.iter
+          (fun sub ->
+            List.iter
+              (fun kind ->
+                bucket_add
+                  idx.ev_buckets.(Subscription.event_kind_index kind)
+                  sub.Subscription.ev_oid e)
+              sub.Subscription.ev_kinds)
+          e.program.Program.event_subs)
+    t.extensions;
+  t.index <- idx
+
+(* All entries whose subscription (of the bucket's kind) matches [oid],
+   possibly with duplicates when several subscriptions of one extension
+   match; callers dedupe on [reg_seq], which is unique per entry. *)
+let bucket_candidates b oid =
+  let acc =
+    match Hashtbl.find_opt b.b_exact oid with Some es -> es | None -> []
+  in
+  let olen = String.length oid in
+  let acc =
+    List.fold_left
+      (fun acc l ->
+        if l > olen then acc
+        else
+          match Hashtbl.find_opt b.b_prefix (String.sub oid 0 l) with
+          | None -> acc
+          | Some pats ->
+              List.fold_left
+                (fun acc (pat, e) ->
+                  if Subscription.oid_matches pat oid then e :: acc else acc)
+                acc pats)
+      acc b.b_prefix_lengths
+  in
+  List.rev_append b.b_any acc
+
 let create ?(verify_limits = Verify.default_limits)
     ?(sandbox_limits = Sandbox.default_limits) ?(verification_enabled = true)
     ~mode () =
@@ -75,6 +177,7 @@ let create ?(verify_limits = Verify.default_limits)
     verification_enabled;
     extensions = Hashtbl.create 16;
     next_reg_seq = 0;
+    index = new_index ();
   }
 
 let sandbox_limits t = t.sandbox_limits
@@ -119,36 +222,83 @@ let apply_registration t ~name ~owner ~code =
       else begin
         let reg_seq = t.next_reg_seq in
         t.next_reg_seq <- reg_seq + 1;
+        (* stage the handlers now, while we are off the request path;
+           every later trigger reuses the compiled form *)
+        let compiled_op = Option.map Compile.compile program.Program.on_operation in
+        let compiled_ev = Option.map Compile.compile program.Program.on_event in
         Hashtbl.replace t.extensions name
-          { program; owner; acked = [ owner ]; reg_seq };
+          {
+            program;
+            owner;
+            acked = Int_set.singleton owner;
+            reg_seq;
+            compiled_op;
+            compiled_ev;
+          };
+        rebuild_index t;
         Ok program
       end
 
-let apply_deregistration t ~name = Hashtbl.remove t.extensions name
+let apply_deregistration t ~name =
+  if Hashtbl.mem t.extensions name then begin
+    Hashtbl.remove t.extensions name;
+    rebuild_index t
+  end
 
 (** [clear t] drops all registrations (a replica about to reload from a
     snapshot, §3.8). *)
-let clear t = Hashtbl.reset t.extensions
+let clear t =
+  Hashtbl.reset t.extensions;
+  t.index <- new_index ()
 
 (** [apply_ack t ~name ~client] — the client has acknowledged use of the
-    extension (one-time, §3.6). *)
+    extension (one-time, §3.6).  Ack churn only touches the entry's set;
+    the dispatch index is untouched. *)
 let apply_ack t ~name ~client =
   match Hashtbl.find_opt t.extensions name with
-  | Some e -> if not (List.mem client e.acked) then e.acked <- client :: e.acked
+  | Some e -> e.acked <- Int_set.add client e.acked
   | None -> ()
 
 let apply_unack t ~name ~client =
   match Hashtbl.find_opt t.extensions name with
-  | Some e -> e.acked <- List.filter (fun c -> c <> client) e.acked
+  | Some e -> e.acked <- Int_set.remove client e.acked
   | None -> ()
 
-let client_acked e ~client = List.mem client e.acked
+let client_acked e ~client = Int_set.mem client e.acked
 
 (** [match_operation t ~client ~kind ~oid] finds the extension to run for a
     client request: among extensions the client acknowledged whose
     operation subscriptions match, the most recently registered wins
     (execution model of §3.3). *)
 let match_operation t ~client ~kind ~oid =
+  let b = t.index.op_buckets.(Subscription.op_kind_index kind) in
+  List.fold_left
+    (fun best e ->
+      if client_acked e ~client then
+        match best with
+        | Some b when b.reg_seq > e.reg_seq -> best
+        | _ -> Some e
+      else best)
+    None (bucket_candidates b oid)
+
+(** [match_events t ~kind ~oid] returns all event extensions subscribed to
+    this state change, in registration order (§3.3: "one after another, in
+    the order of their registration"). *)
+let match_events t ~kind ~oid =
+  let b = t.index.ev_buckets.(Subscription.event_kind_index kind) in
+  bucket_candidates b oid
+  |> List.sort_uniq (fun a b -> Int.compare a.reg_seq b.reg_seq)
+
+(** [client_has_event_match t ~client ~kind ~oid] — used to decide whether
+    a client's original notification should be suppressed (§5.1.2). *)
+let client_has_event_match t ~client ~kind ~oid =
+  let b = t.index.ev_buckets.(Subscription.event_kind_index kind) in
+  List.exists (fun e -> client_acked e ~client) (bucket_candidates b oid)
+
+(* Reference implementations: the pre-index linear scans, kept for
+   differential tests and the indexed-vs-scan bench ablation. *)
+
+let match_operation_scan t ~client ~kind ~oid =
   Hashtbl.fold
     (fun _ e best ->
       if
@@ -164,10 +314,7 @@ let match_operation t ~client ~kind ~oid =
       else best)
     t.extensions None
 
-(** [match_events t ~kind ~oid] returns all event extensions subscribed to
-    this state change, in registration order (§3.3: "one after another, in
-    the order of their registration"). *)
-let match_events t ~kind ~oid =
+let match_events_scan t ~kind ~oid =
   Hashtbl.fold
     (fun _ e acc ->
       if
@@ -180,9 +327,7 @@ let match_events t ~kind ~oid =
     t.extensions []
   |> List.sort (fun a b -> Int.compare a.reg_seq b.reg_seq)
 
-(** [client_has_event_match t ~client ~kind ~oid] — used to decide whether
-    a client's original notification should be suppressed (§5.1.2). *)
-let client_has_event_match t ~client ~kind ~oid =
+let client_has_event_match_scan t ~client ~kind ~oid =
   Hashtbl.fold
     (fun _ e acc ->
       acc
@@ -193,21 +338,21 @@ let client_has_event_match t ~client ~kind ~oid =
               e.program.Program.event_subs))
     t.extensions false
 
-(** [run_operation t entry ~proxy ~params] executes the operation handler
-    in the sandbox. *)
+(** [run_operation t entry ~proxy ~params] executes the staged operation
+    handler (compiled at registration time). *)
 let run_operation t entry ~proxy ~params =
-  match entry.program.Program.on_operation with
+  match entry.compiled_op with
   | None -> Error (Sandbox.Aborted "no operation handler")
-  | Some handler ->
+  | Some c ->
       Result.map (fun (v, _, _) -> v)
-        (Sandbox.run ~limits:t.sandbox_limits ~proxy ~params handler)
+        (Compile.run ~limits:t.sandbox_limits ~proxy ~params c)
 
 let run_event t entry ~proxy ~params =
-  match entry.program.Program.on_event with
+  match entry.compiled_ev with
   | None -> Error (Sandbox.Aborted "no event handler")
-  | Some handler ->
+  | Some c ->
       Result.map (fun (v, _, _) -> v)
-        (Sandbox.run ~limits:t.sandbox_limits ~proxy ~params handler)
+        (Compile.run ~limits:t.sandbox_limits ~proxy ~params c)
 
 let registered_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.extensions [] |> List.sort compare

@@ -7,11 +7,15 @@
     stateless across faults: everything needed to rebuild it lives in
     ordinary replicated data objects (§3.8). *)
 
+module Int_set : Set.S with type elt = int
+
 type entry = {
   program : Program.t;
   owner : int;  (** client that registered the extension *)
-  mutable acked : int list;  (** clients that may trigger it (incl. owner) *)
+  mutable acked : Int_set.t;  (** clients that may trigger it (incl. owner) *)
   reg_seq : int;  (** registration order; later registrations win (§3.3) *)
+  compiled_op : Compile.t option;  (** staged at registration time *)
+  compiled_ev : Compile.t option;
 }
 
 type t
@@ -84,6 +88,19 @@ val match_events :
 
 (** Should this client's original notification be suppressed (§5.1.2)? *)
 val client_has_event_match :
+  t -> client:int -> kind:Subscription.event_kind -> oid:string -> bool
+
+(** Reference implementations: the pre-index linear scans over the whole
+    registry, kept for differential tests and bench ablations.  Must agree
+    with the indexed matchers on every input. *)
+
+val match_operation_scan :
+  t -> client:int -> kind:Subscription.op_kind -> oid:string -> entry option
+
+val match_events_scan :
+  t -> kind:Subscription.event_kind -> oid:string -> entry list
+
+val client_has_event_match_scan :
   t -> client:int -> kind:Subscription.event_kind -> oid:string -> bool
 
 val run_operation :

@@ -106,6 +106,49 @@ let svc_result = function
   | Ok v -> v
   | Error msg -> raise (Abort_exec (Service_error msg))
 
+let compare_values va vb =
+  match (va, vb) with
+  | Value.Int a, Value.Int b -> Int.compare a b
+  | Value.Str a, Value.Str b -> String.compare a b
+  | _ -> type_error "cannot order %a and %a" Value.pp va Value.pp vb
+
+(* Strict (non-short-circuit) binary operators, shared with the staged
+   compiler ({!Compile}) so both engines agree on operand conversion order
+   and error text.  Conversions are explicitly left-to-right.  The caller
+   charges the value budget for [Concat] results. *)
+let apply_strict_binop op va vb =
+  let open Ast in
+  match op with
+  | Add ->
+      let a = as_int va in
+      let b = as_int vb in
+      Value.Int (a + b)
+  | Sub ->
+      let a = as_int va in
+      let b = as_int vb in
+      Value.Int (a - b)
+  | Mul ->
+      let a = as_int va in
+      let b = as_int vb in
+      Value.Int (a * b)
+  | Div ->
+      let d = as_int vb in
+      if d = 0 then type_error "division by zero" else Value.Int (as_int va / d)
+  | Mod ->
+      let d = as_int vb in
+      if d = 0 then type_error "modulo by zero" else Value.Int (as_int va mod d)
+  | Eq -> Value.Bool (Value.equal va vb)
+  | Ne -> Value.Bool (not (Value.equal va vb))
+  | Lt -> Value.Bool (compare_values va vb < 0)
+  | Le -> Value.Bool (compare_values va vb <= 0)
+  | Gt -> Value.Bool (compare_values va vb > 0)
+  | Ge -> Value.Bool (compare_values va vb >= 0)
+  | Concat ->
+      let a = as_str va in
+      let b = as_str vb in
+      Value.Str (a ^ b)
+  | And | Or -> assert false
+
 let rec eval env (e : Ast.expr) : Value.t =
   charge_step env;
   match e with
@@ -161,36 +204,12 @@ and eval_binop env op a b =
   (* short-circuit boolean connectives *)
   | And -> if Value.truthy (eval env a) then Value.Bool (Value.truthy (eval env b)) else Value.Bool false
   | Or -> if Value.truthy (eval env a) then Value.Bool true else Value.Bool (Value.truthy (eval env b))
-  | _ -> (
+  | _ ->
       let va = eval env a in
       let vb = eval env b in
-      match op with
-      | Add -> Value.Int (as_int va + as_int vb)
-      | Sub -> Value.Int (as_int va - as_int vb)
-      | Mul -> Value.Int (as_int va * as_int vb)
-      | Div ->
-          let d = as_int vb in
-          if d = 0 then type_error "division by zero" else Value.Int (as_int va / d)
-      | Mod ->
-          let d = as_int vb in
-          if d = 0 then type_error "modulo by zero" else Value.Int (as_int va mod d)
-      | Eq -> Value.Bool (Value.equal va vb)
-      | Ne -> Value.Bool (not (Value.equal va vb))
-      | Lt -> Value.Bool (compare_values va vb < 0)
-      | Le -> Value.Bool (compare_values va vb <= 0)
-      | Gt -> Value.Bool (compare_values va vb > 0)
-      | Ge -> Value.Bool (compare_values va vb >= 0)
-      | Concat ->
-          let v = Value.Str (as_str va ^ as_str vb) in
-          charge_value env v;
-          v
-      | And | Or -> assert false)
-
-and compare_values va vb =
-  match (va, vb) with
-  | Value.Int a, Value.Int b -> Int.compare a b
-  | Value.Str a, Value.Str b -> String.compare a b
-  | _ -> type_error "cannot order %a and %a" Value.pp va Value.pp vb
+      let v = apply_strict_binop op va vb in
+      (match op with Concat -> charge_value env v | _ -> ());
+      v
 
 and eval_svc env op args =
   charge_service env;

@@ -45,6 +45,27 @@ type proxy = {
   p_clock : unit -> int;
 }
 
+(** Raised internally on budget exhaustion or runtime faults; exposed so
+    the staged compiler ({!Compile}) can charge the same budgets and
+    surface the same verdicts as the interpreter. *)
+exception Abort_exec of error
+
+(** Shared evaluation helpers.  The staged compiler must agree with the
+    interpreter on conversions, error text, and ordering down to the
+    byte, or replicas running different engines would diverge. *)
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val as_int : Value.t -> int
+val as_str : Value.t -> string
+val as_list : Value.t -> Value.t list
+val svc_result : ('a, string) result -> 'a
+val compare_values : Value.t -> Value.t -> int
+
+(** [apply_strict_binop op va vb] applies a non-short-circuit operator with
+    explicit left-to-right conversion order.  The caller charges the value
+    budget for [Concat] results.  [And]/[Or] are the caller's job. *)
+val apply_strict_binop : Ast.binop -> Value.t -> Value.t -> Value.t
+
 (** [run ?limits ~proxy ~params handler] executes a handler; [params] bind
     the request attributes ([oid], [data], [client], [kind]).  On success
     returns the handler's value plus (steps, service calls) consumed; on

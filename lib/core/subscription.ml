@@ -26,6 +26,32 @@ type event_kind = E_created | E_deleted | E_changed | E_unblocked
 type operation_sub = { op_kinds : op_kind list; op_oid : oid_pattern }
 type event_sub = { ev_kinds : event_kind list; ev_oid : oid_pattern }
 
+(* Dense kind numbering for the manager's dispatch index. *)
+
+let n_op_kinds = 7
+
+let op_kind_index = function
+  | K_read -> 0
+  | K_create -> 1
+  | K_update -> 2
+  | K_cas -> 3
+  | K_delete -> 4
+  | K_sub_objects -> 5
+  | K_block -> 6
+
+let all_op_kinds =
+  [ K_read; K_create; K_update; K_cas; K_delete; K_sub_objects; K_block ]
+
+let n_event_kinds = 4
+
+let event_kind_index = function
+  | E_created -> 0
+  | E_deleted -> 1
+  | E_changed -> 2
+  | E_unblocked -> 3
+
+let all_event_kinds = [ E_created; E_deleted; E_changed; E_unblocked ]
+
 let oid_matches pattern oid =
   match pattern with
   | Any_oid -> true

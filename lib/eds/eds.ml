@@ -468,6 +468,8 @@ let install ?(monitor_lease = Sim_time.sec 8) server =
   Ds_server.set_hook_intercept server (fun _srv ~client ~rseq ~ts op ->
       intercept t ~client ~rseq ~ts op);
   Ds_server.set_hook_fast_path_allowed server (fun _srv ~client op ->
+      Manager.extension_count t.manager = 0
+      ||
       match op_info op with
       | Some (kind, oid, _) ->
           Manager.match_operation t.manager ~client ~kind ~oid = None

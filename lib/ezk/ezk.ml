@@ -390,10 +390,14 @@ let on_applied t server (txn : Txn.t) =
 (* ------------------------------------------------------------------ *)
 
 let read_needs_leader t _server ~session op =
-  match op_info op with
-  | Some (kind, oid, _) ->
-      Manager.match_operation t.manager ~client:session ~kind ~oid <> None
-  | None -> false
+  (* no registrations at all is the overwhelmingly common state on the
+     regular read path (§6.2's overhead experiment): skip matching *)
+  if Manager.extension_count t.manager = 0 then false
+  else
+    match op_info op with
+    | Some (kind, oid, _) ->
+        Manager.match_operation t.manager ~client:session ~kind ~oid <> None
+    | None -> false
 
 let watch_event_kind = function
   | P.Node_created -> Subscription.E_created
@@ -402,8 +406,9 @@ let watch_event_kind = function
   | P.Children_changed -> Subscription.E_changed
 
 let suppress_watch t _server ~session ~path kind =
-  Manager.client_has_event_match t.manager ~client:session
-    ~kind:(watch_event_kind kind) ~oid:path
+  Manager.extension_count t.manager <> 0
+  && Manager.client_has_event_match t.manager ~client:session
+       ~kind:(watch_event_kind kind) ~oid:path
 
 (* ------------------------------------------------------------------ *)
 (* Installation and recovery                                           *)

@@ -148,23 +148,28 @@ let apply_set t ~path ~data ~version =
 (* Snapshot images (state transfer, §3.8)                              *)
 (* ------------------------------------------------------------------ *)
 
-(** A serializable image of the whole tree.  The image shares the live
-    [Znode.t] records, so it must be serialized (e.g. [Marshal]ed into a
-    snapshot blob) before the tree mutates again. *)
+(** A serializable image of the whole tree.  Nodes are deep-copied on
+    export, so the image is a stable value: an image taken before a
+    mutation still shows the pre-mutation state no matter when it is
+    serialized or re-imported. *)
 type image = { img_nodes : (string * Znode.t) list; img_next_czxid : int }
 
 let export t =
   {
-    img_nodes = Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.nodes [];
+    img_nodes =
+      Hashtbl.fold (fun p n acc -> (p, Znode.copy n) :: acc) t.nodes [];
     img_next_czxid = t.next_czxid;
   }
 
-(** [import t image] replaces the tree's contents (ephemeral index
-    rebuilt from the nodes). *)
+(** [import t image] replaces the tree's contents (ephemeral index rebuilt
+    from the nodes).  Nodes are copied in, so the image stays reusable —
+    importing the same image twice yields two independent trees. *)
 let import t image =
   Hashtbl.reset t.nodes;
   Hashtbl.reset t.ephemerals;
-  List.iter (fun (p, n) -> Hashtbl.replace t.nodes p n) image.img_nodes;
+  List.iter
+    (fun (p, n) -> Hashtbl.replace t.nodes p (Znode.copy n))
+    image.img_nodes;
   List.iter
     (fun (p, (n : Znode.t)) ->
       match n.Znode.ephemeral_owner with

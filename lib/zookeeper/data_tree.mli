@@ -44,8 +44,9 @@ val apply_create :
 val apply_delete : t -> path:string -> unit
 val apply_set : t -> path:string -> data:string -> version:int -> unit
 
-(** Snapshot images (state transfer, §3.8).  [export]'s image shares live
-    node records: serialize it before the tree mutates again. *)
+(** Snapshot images (state transfer, §3.8).  Nodes are deep-copied both on
+    [export] and [import], so an image is a stable value: it survives later
+    tree mutations and can be imported any number of times. *)
 
 type image = { img_nodes : (string * Znode.t) list; img_next_czxid : int }
 

@@ -33,6 +33,10 @@ let create ~data ~czxid ~ephemeral_owner =
     ephemeral_owner;
   }
 
+(** Fresh record with the same contents; [children] is an immutable set, so
+    a field-level copy fully detaches the node from the original. *)
+let copy n = { n with data = n.data }
+
 let is_ephemeral n = n.ephemeral_owner <> None
 
 let stat n =

@@ -1,0 +1,525 @@
+(* Differential tests for the staged compiler (Compile) against the
+   reference interpreter (Sandbox), plus unit and property tests for the
+   manager's dispatch index against its linear-scan reference.
+
+   The compiled engine must be observably identical to the interpreter:
+   same result value, same (steps, service-calls) usage on success, same
+   abort verdict at every limit boundary, and same sequence of effects on
+   the state proxy.  Replicas may then mix engines without diverging. *)
+
+open Edc_core
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic mock proxy (same semantics as test_core's)            *)
+(* ------------------------------------------------------------------ *)
+
+let mock_proxy () =
+  let store : (string, string * int * int) Hashtbl.t = Hashtbl.create 8 in
+  let next_ctime = ref 0 in
+  let record oid =
+    match Hashtbl.find_opt store oid with
+    | Some (data, version, ctime) -> Ok (Value.obj ~id:oid ~data ~version ~ctime)
+    | None -> Error ("no object " ^ oid)
+  in
+  let blocked = ref [] in
+  let proxy =
+    {
+      Sandbox.p_read = record;
+      p_exists = (fun oid -> Hashtbl.mem store oid);
+      p_sub_objects =
+        (fun oid ->
+          let prefix = oid ^ "/" in
+          Ok
+            (Hashtbl.fold
+               (fun id (data, version, ctime) acc ->
+                 if
+                   String.length id > String.length prefix
+                   && String.sub id 0 (String.length prefix) = prefix
+                 then Value.obj ~id ~data ~version ~ctime :: acc
+                 else acc)
+               store []
+            |> List.sort compare));
+      p_create =
+        (fun ~sequential ~oid ~data ->
+          let oid =
+            if sequential then Printf.sprintf "%s%010d" oid !next_ctime else oid
+          in
+          if Hashtbl.mem store oid then Error "exists"
+          else begin
+            incr next_ctime;
+            Hashtbl.replace store oid (data, 0, !next_ctime);
+            Ok oid
+          end);
+      p_update =
+        (fun ~oid ~data ->
+          match Hashtbl.find_opt store oid with
+          | Some (_, v, c) ->
+              Hashtbl.replace store oid (data, v + 1, c);
+              Ok (v + 1)
+          | None -> Error "no object");
+      p_cas =
+        (fun ~oid ~expected ~data ->
+          match Hashtbl.find_opt store oid with
+          | Some (cur, v, c) when cur = expected ->
+              Hashtbl.replace store oid (data, v + 1, c);
+              Ok true
+          | Some _ -> Ok false
+          | None -> Error "no object");
+      p_delete =
+        (fun oid -> Ok (Hashtbl.mem store oid && (Hashtbl.remove store oid; true)));
+      p_block =
+        (fun oid ->
+          blocked := oid :: !blocked;
+          Ok ());
+      p_monitor =
+        (fun oid ->
+          Hashtbl.replace store oid ("", 0, 0);
+          Ok ());
+      p_notify = (fun ~client:_ ~oid:_ -> Ok ());
+      p_clock = (fun () -> 12345);
+    }
+  in
+  (proxy, store, blocked)
+
+let seed_store store =
+  List.iter
+    (fun (oid, v) -> Hashtbl.replace store oid v)
+    [
+      ("/obj", ("7", 0, 1));
+      ("/obj/a", ("1", 0, 2));
+      ("/obj/b", ("2", 0, 3));
+      ("/ctr", ("41", 1, 4));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: interpreter vs compiled                      *)
+(* ------------------------------------------------------------------ *)
+
+let store_snapshot store =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] |> List.sort compare
+
+let pp_outcome = function
+  | Ok (v, steps, svcs) -> Fmt.str "Ok (%a, steps=%d, svcs=%d)" Value.pp v steps svcs
+  | Error e -> "Error: " ^ Sandbox.error_to_string e
+
+(* Run [handler] under both engines against identically-seeded proxies and
+   demand indistinguishable outcomes and effects. *)
+let check_differential ?limits handler params =
+  let proxy_i, store_i, blocked_i = mock_proxy () in
+  let proxy_c, store_c, blocked_c = mock_proxy () in
+  seed_store store_i;
+  seed_store store_c;
+  let ri = Sandbox.run ?limits ~proxy:proxy_i ~params handler in
+  let rc = Compile.run ?limits ~proxy:proxy_c ~params (Compile.compile handler) in
+  if ri <> rc then
+    QCheck.Test.fail_reportf "engines disagree:@.interp:   %s@.compiled: %s"
+      (pp_outcome ri) (pp_outcome rc)
+  else if store_snapshot store_i <> store_snapshot store_c then
+    QCheck.Test.fail_reportf "stores diverged (outcome %s)" (pp_outcome ri)
+  else if !blocked_i <> !blocked_c then
+    QCheck.Test.fail_reportf "blocked sets diverged (outcome %s)" (pp_outcome ri)
+  else true
+
+(* Handler generator: biased toward meaningful programs — real builtin
+   names, oids that exist in the seeded store, the params the hosts
+   actually bind — with enough junk (unknown builtins/params, type
+   mismatches, constant faults like division by zero) to exercise every
+   error path on both engines. *)
+let handler_gen =
+  let open QCheck.Gen in
+  let ident = oneofl [ "x"; "y"; "z"; "acc" ] in
+  let param = oneofl [ "oid"; "data"; "client"; "kind"; "ghost" ] in
+  let oid_lit =
+    oneofl [ "/obj"; "/obj/a"; "/obj/b"; "/ctr"; "/missing"; "/new" ]
+  in
+  let builtin_name =
+    frequency
+      [ (6, oneofl Builtins.names); (1, oneofl [ "bogus"; "frobnicate" ]) ]
+  in
+  let binop =
+    oneofl
+      Ast.[ Add; Sub; Mul; Div; Mod; Eq; Ne; Lt; Le; Gt; Ge; And; Or; Concat ]
+  in
+  let svc_op =
+    oneofl
+      Ast.
+        [
+          Svc_read; Svc_exists; Svc_sub_objects; Svc_create;
+          Svc_create_sequential; Svc_update; Svc_cas; Svc_delete; Svc_block;
+          Svc_monitor; Svc_notify;
+        ]
+  in
+  let base_expr =
+    frequency
+      [
+        (1, return Ast.Unit_lit);
+        (2, map (fun b -> Ast.Bool_lit b) bool);
+        (3, map (fun i -> Ast.Int_lit i) (int_range (-5) 5));
+        (3, map (fun s -> Ast.Str_lit s) oid_lit);
+        (2, map (fun s -> Ast.Str_lit s) (oneofl [ ""; "41"; "abc" ]));
+        (3, map (fun s -> Ast.Var s) ident);
+        (3, map (fun s -> Ast.Param s) param);
+      ]
+  in
+  let rec expr d =
+    if d = 0 then base_expr
+    else
+      frequency
+        [
+          (4, base_expr);
+          (1, map (fun e -> Ast.Not e) (expr (d - 1)));
+          (1, map (fun e -> Ast.Neg e) (expr (d - 1)));
+          ( 3,
+            map3 (fun op a b -> Ast.Binop (op, a, b)) binop (expr (d - 1))
+              (expr (d - 1)) );
+          ( 1,
+            map2 (fun e f -> Ast.Field (e, f)) (expr (d - 1))
+              (oneofl [ "id"; "data"; "version"; "ctime"; "nope" ]) );
+          ( 2,
+            map2
+              (fun n args -> Ast.Call (n, args))
+              builtin_name
+              (list_size (int_range 0 3) (expr (d - 1))) );
+          ( 2,
+            map2
+              (fun op args -> Ast.Svc (op, args))
+              svc_op
+              (list_size (int_range 0 3) (expr (d - 1))) );
+        ]
+  in
+  let rec stmt d =
+    let flat =
+      frequency
+        [
+          (3, map2 (fun x e -> Ast.Let (x, e)) ident (expr 2));
+          (2, map2 (fun x e -> Ast.Assign (x, e)) ident (expr 2));
+          (1, map (fun e -> Ast.Return e) (expr 2));
+          (2, map (fun e -> Ast.Do e) (expr 2));
+          (1, map (fun s -> Ast.Abort s) (oneofl [ "boom"; "" ]));
+        ]
+    in
+    if d = 0 then flat
+    else
+      frequency
+        [
+          (5, flat);
+          ( 1,
+            map3
+              (fun c a b -> Ast.If (c, a, b))
+              (expr 2)
+              (list_size (int_range 0 2) (stmt (d - 1)))
+              (list_size (int_range 0 2) (stmt (d - 1))) );
+          ( 1,
+            map3
+              (fun x e body -> Ast.For_each (x, e, body))
+              ident (expr 2)
+              (list_size (int_range 1 2) (stmt (d - 1))) );
+        ]
+  in
+  list_size (int_range 1 5) (stmt 2)
+
+let handler_arb =
+  QCheck.make
+    ~print:(fun h -> Codec.serialize (Program.make "gen" ~on_operation:h ()))
+    handler_gen
+
+let host_params =
+  [
+    ("oid", Value.Str "/obj");
+    ("data", Value.Str "41");
+    ("client", Value.Int 7);
+    ("kind", Value.Str "update");
+  ]
+
+let prop_differential_default_limits =
+  QCheck.Test.make ~name:"interpreter = compiled (default limits)" ~count:1000
+    handler_arb
+    (fun h -> check_differential h host_params)
+
+(* Tight random limits drive both engines into every abort verdict right
+   at the boundary; the verdicts must still be identical. *)
+let tight_limits_gen =
+  let open QCheck.Gen in
+  let* max_steps = int_range 0 40 in
+  let* max_service_calls = int_range 0 3 in
+  let* max_creates = int_range 0 2 in
+  let* max_value_bytes = oneofl [ 0; 8; 40; 4096 ] in
+  return { Sandbox.max_steps; max_service_calls; max_creates; max_value_bytes }
+
+let prop_differential_tight_limits =
+  QCheck.Test.make ~name:"interpreter = compiled (tight limits)" ~count:1000
+    (QCheck.make
+       ~print:(fun (h, (l : Sandbox.limits)) ->
+         Fmt.str "steps<=%d svcs<=%d creates<=%d bytes<=%d@.%s" l.max_steps
+           l.max_service_calls l.max_creates l.max_value_bytes
+           (Codec.serialize (Program.make "gen" ~on_operation:h ())))
+       QCheck.Gen.(pair handler_gen tight_limits_gen))
+    (fun (h, limits) -> check_differential ~limits h host_params)
+
+(* Pinpoint cases the random walk may only rarely hit. *)
+let test_differential_corners () =
+  let open Ast in
+  let cases =
+    [
+      (* constant folding over faults: division by zero, type error under Neg *)
+      [ Return (Binop (Div, Int_lit 1, Int_lit 0)) ];
+      [ Return (Binop (Div, Str_lit "x", Int_lit 0)) ];
+      [ Return (Neg (Str_lit "x")) ];
+      [ Return (Binop (And, Bool_lit false, Binop (Div, Int_lit 1, Int_lit 0))) ];
+      [ Return (Binop (Or, Bool_lit true, Str_lit "never")) ];
+      (* unknown builtin / wrong arity still evaluate (and charge) args *)
+      [ Do (Call ("bogus", [ Svc (Svc_sub_objects, [ Str_lit "/obj" ]) ])) ];
+      [ Do (Call ("min", [ Int_lit 1 ])) ];
+      [ Do (Call ("clock", [])) ];
+      (* wrong service arity faults before evaluating arguments *)
+      [ Do (Svc (Svc_read, [])) ];
+      [ Do (Svc (Svc_create, [ Str_lit "/new" ])) ];
+      (* param visibility and for-each scoping *)
+      [ Return (Param "ghost") ];
+      [
+        Let ("x", Int_lit 1);
+        For_each ("x", Svc (Svc_sub_objects, [ Str_lit "/obj" ]),
+          [ Do (Var "x") ]);
+        Return (Var "x");
+      ];
+      [ For_each ("fresh", Str_lit "/obj", [ Do (Var "fresh") ]) ];
+    ]
+  in
+  List.iteri
+    (fun i h ->
+      ignore (check_differential h host_params : bool);
+      (* and once more under a starvation budget *)
+      ignore
+        (check_differential
+           ~limits:
+             {
+               Sandbox.max_steps = 3;
+               max_service_calls = 1;
+               max_creates = 1;
+               max_value_bytes = 16;
+             }
+           h host_params
+          : bool);
+      ignore i)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch index                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reg m ~name ~owner ?(op_subs = []) ?(event_subs = []) ?on_operation
+    ?on_event () =
+  let p = Program.make name ~op_subs ~event_subs ?on_operation ?on_event () in
+  match Manager.apply_registration m ~name ~owner ~code:(Codec.serialize p) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "registration %s failed: %s" name e
+
+let ret_handler k = [ Ast.Return (Ast.Int_lit k) ]
+
+let op_sub kinds pat = { Subscription.op_kinds = kinds; op_oid = pat }
+let ev_sub kinds pat = { Subscription.ev_kinds = kinds; ev_oid = pat }
+
+let entry_name m (e : Manager.entry) =
+  ignore m;
+  e.Manager.program.Program.name
+
+let test_latest_registration_wins () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  reg m ~name:"first" ~owner:1
+    ~op_subs:[ op_sub [ Subscription.K_update ] (Subscription.Exact "/x") ]
+    ~on_operation:(ret_handler 1) ();
+  reg m ~name:"second" ~owner:1
+    ~op_subs:[ op_sub [ Subscription.K_update ] (Subscription.Under "/") ]
+    ~on_operation:(ret_handler 2) ();
+  let pick () =
+    match
+      Manager.match_operation m ~client:1 ~kind:Subscription.K_update ~oid:"/x"
+    with
+    | Some e -> entry_name m e
+    | None -> Alcotest.fail "expected a match"
+  in
+  Alcotest.(check string) "later registration wins" "second" (pick ());
+  (* re-registering bumps reg_seq: "first" becomes the latest *)
+  reg m ~name:"first" ~owner:1
+    ~op_subs:[ op_sub [ Subscription.K_update ] (Subscription.Exact "/x") ]
+    ~on_operation:(ret_handler 1) ();
+  Alcotest.(check string) "re-registration wins" "first" (pick ());
+  (* unsubscribed kind and oid never match *)
+  Alcotest.(check bool)
+    "kind respected" true
+    (Manager.match_operation m ~client:1 ~kind:Subscription.K_delete ~oid:"/x"
+    = None);
+  Alcotest.(check bool)
+    "oid respected" true
+    (Manager.match_operation m ~client:1 ~kind:Subscription.K_update ~oid:"/"
+    = None)
+
+let test_event_order_is_registration_order () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  (* three extensions land in three different index buckets (exact,
+     prefix, any) but must come back in registration order *)
+  reg m ~name:"e-exact" ~owner:1
+    ~event_subs:[ ev_sub [ Subscription.E_created ] (Subscription.Exact "/q/a") ]
+    ~on_event:(ret_handler 1) ();
+  reg m ~name:"e-under" ~owner:1
+    ~event_subs:[ ev_sub [ Subscription.E_created ] (Subscription.Under "/q") ]
+    ~on_event:(ret_handler 2) ();
+  reg m ~name:"e-any" ~owner:1
+    ~event_subs:[ ev_sub [ Subscription.E_created ] Subscription.Any_oid ]
+    ~on_event:(ret_handler 3) ();
+  let names =
+    Manager.match_events m ~kind:Subscription.E_created ~oid:"/q/a"
+    |> List.map (entry_name m)
+  in
+  Alcotest.(check (list string))
+    "registration order" [ "e-exact"; "e-under"; "e-any" ] names;
+  (* overlapping subscriptions of one extension yield it once *)
+  reg m ~name:"e-both" ~owner:1
+    ~event_subs:
+      [
+        ev_sub [ Subscription.E_created ] (Subscription.Under "/q");
+        ev_sub [ Subscription.E_created ] (Subscription.Starts_with "/q/");
+      ]
+    ~on_event:(ret_handler 4) ();
+  let names =
+    Manager.match_events m ~kind:Subscription.E_created ~oid:"/q/a"
+    |> List.map (entry_name m)
+  in
+  Alcotest.(check (list string))
+    "no duplicates" [ "e-exact"; "e-under"; "e-any"; "e-both" ] names
+
+let test_ack_visibility () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  reg m ~name:"ext" ~owner:1
+    ~op_subs:[ op_sub [ Subscription.K_read ] Subscription.Any_oid ]
+    ~event_subs:[ ev_sub [ Subscription.E_changed ] Subscription.Any_oid ]
+    ~on_operation:(ret_handler 1) ~on_event:(ret_handler 2) ();
+  let sees client =
+    Manager.match_operation m ~client ~kind:Subscription.K_read ~oid:"/x"
+    <> None
+  in
+  let hears client =
+    Manager.client_has_event_match m ~client ~kind:Subscription.E_changed
+      ~oid:"/x"
+  in
+  Alcotest.(check bool) "owner sees it" true (sees 1);
+  Alcotest.(check bool) "owner hears it" true (hears 1);
+  Alcotest.(check bool) "stranger blind" false (sees 2);
+  Alcotest.(check bool) "stranger deaf" false (hears 2);
+  Manager.apply_ack m ~name:"ext" ~client:2;
+  Alcotest.(check bool) "acked sees it" true (sees 2);
+  Alcotest.(check bool) "acked hears it" true (hears 2);
+  (* event *execution* matching is ack-independent (§3.3): the extension
+     runs for the state change regardless of who is listening *)
+  Alcotest.(check int)
+    "event execution is ack-independent" 1
+    (List.length (Manager.match_events m ~kind:Subscription.E_changed ~oid:"/x"));
+  Manager.apply_unack m ~name:"ext" ~client:2;
+  Alcotest.(check bool) "unacked blind again" false (sees 2);
+  Alcotest.(check bool) "unacked deaf again" false (hears 2)
+
+let test_compiled_cached_on_entry () =
+  let m = Manager.create ~mode:Verify.Passive () in
+  reg m ~name:"ext" ~owner:1
+    ~op_subs:[ op_sub [ Subscription.K_read ] Subscription.Any_oid ]
+    ~on_operation:(ret_handler 42) ();
+  match Manager.find m "ext" with
+  | None -> Alcotest.fail "missing entry"
+  | Some e ->
+      Alcotest.(check bool) "op handler staged" true (e.Manager.compiled_op <> None);
+      Alcotest.(check bool) "no event handler" true (e.Manager.compiled_ev = None);
+      let proxy, _, _ = mock_proxy () in
+      (match Manager.run_operation m e ~proxy ~params:[] with
+      | Ok (Value.Int 42) -> ()
+      | Ok v -> Alcotest.failf "unexpected %a" Value.pp v
+      | Error err -> Alcotest.failf "error: %s" (Sandbox.error_to_string err))
+
+(* Property: the indexed matchers agree with the linear-scan reference on
+   randomized registries and queries. *)
+let registry_spec_gen =
+  let open QCheck.Gen in
+  let oid_pool =
+    [ ""; "/"; "/a"; "/a/b"; "/a/bb"; "/ab"; "/q"; "/q/x"; "/q/x/deep" ]
+  in
+  let pattern =
+    frequency
+      [
+        (3, map (fun o -> Subscription.Exact o) (oneofl oid_pool));
+        (3, map (fun o -> Subscription.Under o) (oneofl oid_pool));
+        (3, map (fun o -> Subscription.Starts_with o) (oneofl oid_pool));
+        (1, return Subscription.Any_oid);
+      ]
+  in
+  let op_kinds = oneofl Subscription.all_op_kinds >|= fun k -> [ k ] in
+  let ev_kinds = oneofl Subscription.all_event_kinds >|= fun k -> [ k ] in
+  let ext =
+    let* owner = int_range 1 4 in
+    let* nops = int_range 0 2 in
+    let* nevs = int_range 0 2 in
+    let* ops = list_repeat nops (map2 op_sub op_kinds pattern) in
+    let* evs = list_repeat nevs (map2 ev_sub ev_kinds pattern) in
+    let* acks = list_size (int_range 0 3) (int_range 1 4) in
+    return (owner, ops, evs, acks)
+  in
+  let* exts = list_size (int_range 0 8) ext in
+  let query =
+    let* client = int_range 1 5 in
+    let* opk = oneofl Subscription.all_op_kinds in
+    let* evk = oneofl Subscription.all_event_kinds in
+    let* oid = oneofl ("/zzz" :: "/q/x0000000001" :: oid_pool) in
+    return (client, opk, evk, oid)
+  in
+  let* queries = list_size (int_range 1 20) query in
+  return (exts, queries)
+
+let prop_index_matches_scan =
+  QCheck.Test.make ~name:"dispatch index = linear scan" ~count:300
+    (QCheck.make registry_spec_gen)
+    (fun (exts, queries) ->
+      let m = Manager.create ~mode:Verify.Passive () in
+      List.iteri
+        (fun i (owner, ops, evs, acks) ->
+          let name = Printf.sprintf "ext%d" i in
+          reg m ~name ~owner ~op_subs:ops ~event_subs:evs
+            ~on_operation:(ret_handler i)
+            ?on_event:(if evs = [] then None else Some (ret_handler (100 + i)))
+            ();
+          List.iter (fun client -> Manager.apply_ack m ~name ~client) acks)
+        exts;
+      List.for_all
+        (fun (client, opk, evk, oid) ->
+          let seq = function None -> -1 | Some (e : Manager.entry) -> e.Manager.reg_seq in
+          let seqs = List.map (fun (e : Manager.entry) -> e.Manager.reg_seq) in
+          seq (Manager.match_operation m ~client ~kind:opk ~oid)
+          = seq (Manager.match_operation_scan m ~client ~kind:opk ~oid)
+          && seqs (Manager.match_events m ~kind:evk ~oid)
+             = seqs (Manager.match_events_scan m ~kind:evk ~oid)
+          && Manager.client_has_event_match m ~client ~kind:evk ~oid
+             = Manager.client_has_event_match_scan m ~client ~kind:evk ~oid)
+        queries)
+
+(* ------------------------------------------------------------------ *)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "edc_compile"
+    [
+      ( "differential",
+        [
+          qc prop_differential_default_limits;
+          qc prop_differential_tight_limits;
+          Alcotest.test_case "corner cases" `Quick test_differential_corners;
+        ] );
+      ( "dispatch-index",
+        [
+          Alcotest.test_case "latest registration wins" `Quick
+            test_latest_registration_wins;
+          Alcotest.test_case "event order = registration order" `Quick
+            test_event_order_is_registration_order;
+          Alcotest.test_case "ack/unack visibility" `Quick test_ack_visibility;
+          Alcotest.test_case "compiled handler cached" `Quick
+            test_compiled_cached_on_entry;
+          qc prop_index_matches_scan;
+        ] );
+    ]

@@ -101,6 +101,31 @@ let test_tree_anomaly_detection () =
   Alcotest.(check int) "anomalies counted" 2 (Data_tree.anomalies tr);
   Alcotest.(check bool) "tree unharmed" false (Data_tree.mem tr "/x/y")
 
+(* Regression: [export] used to share live znode records with the tree, so
+   mutations after the export silently rewrote the "snapshot". *)
+let test_tree_snapshot_isolation () =
+  let tr = Data_tree.create () in
+  Data_tree.apply_create tr ~path:"/a" ~data:"old" ~ephemeral_owner:None;
+  let image = Data_tree.export tr in
+  Data_tree.apply_set tr ~path:"/a" ~data:"new" ~version:1;
+  Data_tree.apply_create tr ~path:"/a/b" ~data:"" ~ephemeral_owner:None;
+  let restored = Data_tree.create () in
+  Data_tree.import restored image;
+  (match Data_tree.get_data restored "/a" with
+  | Ok (data, stat) ->
+      Alcotest.(check string) "pre-mutation data" "old" data;
+      Alcotest.(check int) "pre-mutation version" 0 stat.Znode.version;
+      Alcotest.(check int) "pre-mutation children" 0 stat.Znode.num_children
+  | Error _ -> Alcotest.fail "/a missing from restored tree");
+  (* the image must also be reusable: mutate the restored tree and import
+     again into a second one *)
+  Data_tree.apply_set restored ~path:"/a" ~data:"mutated" ~version:9;
+  let restored2 = Data_tree.create () in
+  Data_tree.import restored2 image;
+  match Data_tree.get_data restored2 "/a" with
+  | Ok (data, _) -> Alcotest.(check string) "image is stable" "old" data
+  | Error _ -> Alcotest.fail "/a missing from second restore"
+
 let test_tree_children_with_data () =
   let tr = Data_tree.create () in
   Data_tree.apply_create tr ~path:"/q" ~data:"" ~ephemeral_owner:None;
@@ -575,6 +600,7 @@ let () =
           Alcotest.test_case "ephemeral index" `Quick test_tree_ephemeral_index;
           Alcotest.test_case "anomaly detection" `Quick test_tree_anomaly_detection;
           Alcotest.test_case "children with data" `Quick test_tree_children_with_data;
+          Alcotest.test_case "snapshot isolation" `Quick test_tree_snapshot_isolation;
         ] );
       ( "spec_view",
         [
