@@ -5,7 +5,7 @@
    Usage:
      bench/main.exe [targets] [--quick]
    where targets ⊆ {table1 table2 fig6 fig8 fig10 fig12 fig13 overhead
-                    ablation batching chaos linearize micro all};
+                    ablation batching snapshot chaos linearize micro all};
    default: all. *)
 
 open Edc_simnet
@@ -454,6 +454,7 @@ let chaos quick =
   in
   Report.availability_table points;
   Report.fault_summary points;
+  Report.snapshot_summary points;
   Report.error_taxonomy points;
   Report.invariant_failures points;
   Report.fault_trace (List.hd points);
@@ -734,7 +735,8 @@ let () =
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
-        "overhead"; "ablation"; "batching"; "chaos"; "linearize"; "micro" ]
+        "overhead"; "ablation"; "batching"; "snapshot"; "chaos"; "linearize";
+        "micro" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -751,6 +753,11 @@ let () =
       | "overhead" -> overhead cfg
       | "ablation" -> ablation cfg
       | "batching" -> batching cfg
+      | "snapshot" ->
+          Report.section
+            "Snapshot pipeline: COW capture, lazy serialization, chunked \
+             transfer";
+          Snapshot_bench.run ~quick
       | "chaos" -> chaos quick
       | "linearize" -> linearize quick
       | "micro" -> micro ()

@@ -26,6 +26,7 @@ module Int_set = Set.Make (Int)
 type entry = {
   program : Program.t;
   owner : int;
+  code : string;  (** registration bytes; lets reloads skip recompilation *)
   mutable acked : Int_set.t;  (** clients that may trigger it (incl. owner) *)
   reg_seq : int;  (** registration order; later registrations win (§3.3) *)
   compiled_op : Compile.t option;
@@ -62,6 +63,9 @@ type t = {
   extensions : (string, entry) Hashtbl.t;
   mutable next_reg_seq : int;
   mutable index : index;
+  mutable compile_reuses : int;
+      (** reloads that kept an entry's staged compiled handlers because the
+          registration bytes were unchanged (snapshot-install reloads) *)
 }
 
 let em_root = "/em"
@@ -178,6 +182,7 @@ let create ?(verify_limits = Verify.default_limits)
     extensions = Hashtbl.create 16;
     next_reg_seq = 0;
     index = new_index ();
+    compile_reuses = 0;
   }
 
 let sandbox_limits t = t.sandbox_limits
@@ -230,6 +235,7 @@ let apply_registration t ~name ~owner ~code =
           {
             program;
             owner;
+            code;
             acked = Int_set.singleton owner;
             reg_seq;
             compiled_op;
@@ -238,6 +244,25 @@ let apply_registration t ~name ~owner ~code =
         rebuild_index t;
         Ok program
       end
+
+(** [reload_registration t ~name ~owner ~code] — {!apply_registration} for
+    recovery reloads (restart, snapshot install): when the registration
+    bytes are identical to what is already staged, the existing entry —
+    its verified program and compiled handlers — is reused instead of
+    re-verified and recompiled.  Only the ack set is reset (to the owner):
+    the freshly installed tree is the authority on acknowledgments, and
+    the caller re-applies them from it.  Chunked snapshot installs on a
+    busy replica would otherwise recompile every extension on every
+    catch-up even though the registry rarely changes. *)
+let reload_registration t ~name ~owner ~code =
+  match Hashtbl.find_opt t.extensions name with
+  | Some e when String.equal e.code code && e.owner = owner ->
+      e.acked <- Int_set.singleton owner;
+      t.compile_reuses <- t.compile_reuses + 1;
+      Ok e.program
+  | _ -> apply_registration t ~name ~owner ~code
+
+let compile_reuses t = t.compile_reuses
 
 let apply_deregistration t ~name =
   if Hashtbl.mem t.extensions name then begin

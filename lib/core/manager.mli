@@ -12,6 +12,7 @@ module Int_set : Set.S with type elt = int
 type entry = {
   program : Program.t;
   owner : int;  (** client that registered the extension *)
+  code : string;  (** registration bytes; lets reloads skip recompilation *)
   mutable acked : Int_set.t;  (** clients that may trigger it (incl. owner) *)
   reg_seq : int;  (** registration order; later registrations win (§3.3) *)
   compiled_op : Compile.t option;  (** staged at registration time *)
@@ -64,6 +65,17 @@ val verify_code : t -> string -> (Program.t, string) result
     replica (and again on recovery reload) and re-verifies the code. *)
 val apply_registration :
   t -> name:string -> owner:int -> code:string -> (Program.t, string) result
+
+(** [reload_registration t ~name ~owner ~code] — registration replay on a
+    snapshot-driven reload.  When the extension is already present with
+    identical code and owner, the staged compilation artifacts are reused
+    (no re-verify, no re-compile) and only the acknowledgment set is reset
+    to the owner; otherwise falls back to {!apply_registration}. *)
+val reload_registration :
+  t -> name:string -> owner:int -> code:string -> (Program.t, string) result
+
+(** Reloads that reused an already-compiled extension (no recompilation). *)
+val compile_reuses : t -> int
 
 val apply_deregistration : t -> name:string -> unit
 

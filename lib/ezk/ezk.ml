@@ -426,16 +426,20 @@ let rec install server =
   Server.set_hook_suppress_watch server (fun srv ~session ~path kind ->
       suppress_watch t srv ~session ~path kind);
   Server.set_hook_on_snapshot_installed server (fun _srv ->
-      (* the registry is derived state: rebuild it from the freshly
-         installed tree (§3.8) *)
-      Manager.clear t.manager;
+      (* the registry is derived state: reconcile it against the freshly
+         installed tree (§3.8).  Differential, not clear-and-rebuild:
+         extensions whose code and owner survived the install keep their
+         staged compilation artifacts, so a chunked state transfer does
+         not force a recompile storm. *)
       reload t);
   t
 
-(** [reload t] rebuilds the manager from the committed tree (§3.8): reads
-    the index object, then each extension's code, owner and acks from
-    their data objects.  Called after a replica restart or snapshot
-    install. *)
+(** [reload t] reconciles the manager with the committed tree (§3.8):
+    reads the index object, then each extension's code, owner and acks
+    from their data objects.  Registrations already present with identical
+    code and owner keep their compiled handlers; everything else is
+    (re)compiled, and registrations absent from the tree are dropped.
+    Called after a replica restart or snapshot install. *)
 and reload t =
   let tree = Server.tree t.server in
   let names =
@@ -449,16 +453,23 @@ and reload t =
         | Error _ -> [])
   in
   List.iter
+    (fun stale ->
+      if not (List.mem stale names) then
+        Manager.apply_deregistration t.manager ~name:stale)
+    (Manager.registered_names t.manager);
+  List.iter
     (fun name ->
       match Data_tree.get_data tree (Manager.extension_object name) with
-      | Error _ -> ()
+      | Error _ ->
+          (* indexed but gone from the tree: drop any stale registration *)
+          Manager.apply_deregistration t.manager ~name
       | Ok (code, _) ->
           let owner =
             match Data_tree.get_data tree (owner_object name) with
             | Ok (d, _) -> Option.value ~default:0 (int_of_string_opt d)
             | Error _ -> 0
           in
-          (match Manager.apply_registration t.manager ~name ~owner ~code with
+          (match Manager.reload_registration t.manager ~name ~owner ~code with
           | Ok _ -> ()
           | Error msg ->
               Logs.warn (fun m -> m "reload refused extension %s: %s" name msg));

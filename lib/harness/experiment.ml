@@ -569,6 +569,9 @@ type chaos_point = {
       (** per-object linearizability verdicts over the captured history
           (empty when the run was started with [~check:false]) *)
   ch_history_events : int;
+  ch_snap : Systems.snapshot_stats;
+      (** snapshot/state-transfer activity during the run (zeros for the
+          BFT deployments) *)
 }
 
 (** Counter incrementers plus queue producers/consumers on resilient
@@ -580,11 +583,11 @@ type chaos_point = {
     [confirmed <= final <= confirmed + maybe] for the counter, and a
     confirmed queue element may only be missing if some remove concluded
     ambiguously. *)
-let chaos_point ?(seed = 42) ?net_config ?zab_config
+let chaos_point ?(seed = 42) ?net_config ?zab_config ?server_config
     ?(schedule = Nemesis.standard_schedule) ?(horizon = Sim_time.sec 22)
     ?(check = true) ?lin_max_steps kind =
   let sim = Sim.create ~seed () in
-  let sys = Systems.make ?net_config ?zab_config kind sim in
+  let sys = Systems.make ?net_config ?zab_config ?server_config kind sim in
   let history = Ck_history.create ~sim () in
   let maybe_wrap api = if check then Instrument.wrap history api else api in
   let extensible = Systems.is_extensible kind in
@@ -827,4 +830,5 @@ let chaos_point ?(seed = 42) ?net_config ?zab_config
     ch_trace = Nemesis.trace_to_string nem;
     ch_lin = lin;
     ch_history_events = Ck_history.n_events history;
+    ch_snap = sys.Systems.snapshot_stats ();
   }

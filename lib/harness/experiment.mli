@@ -158,17 +158,23 @@ type chaos_point = {
           recorded counter and queue operations, including the final
           state reads, must admit a legal sequential ordering *)
   ch_history_events : int;
+  ch_snap : Systems.snapshot_stats;
+      (** snapshot/state-transfer activity during the run (zeros for the
+          BFT deployments) *)
 }
 
 (** [check] (default [true]) wraps every chaos client in the
     history-capturing instrument and runs a WGL linearizability search
-    per object after the run.  [zab_config] reaches the Zab deployments
-    only — the mutation self-test uses it to re-enable a known-bad
-    behaviour and assert the checker notices. *)
+    per object after the run.  [zab_config] and [server_config] reach
+    the Zab deployments only — the mutation self-test uses the former to
+    re-enable a known-bad behaviour and assert the checker notices; the
+    snapshot tests use the latter to tighten the snapshot interval so
+    crash recovery goes through the chunked state transfer. *)
 val chaos_point :
   ?seed:int ->
   ?net_config:Net.config ->
   ?zab_config:Edc_replication.Zab.config ->
+  ?server_config:Edc_zookeeper.Server.config ->
   ?schedule:Nemesis.schedule ->
   ?horizon:Sim_time.t ->
   ?check:bool ->

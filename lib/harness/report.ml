@@ -151,6 +151,34 @@ let fault_summary points =
         p.Experiment.ch_consumed p.Experiment.ch_adds_confirmed)
     points
 
+let snapshot_summary points =
+  (* only meaningful for the Zab deployments; skip the table entirely when
+     no run saw snapshot activity (e.g. a BFT-only sweep) *)
+  let active =
+    List.exists
+      (fun (p : Experiment.chaos_point) ->
+        p.Experiment.ch_snap <> Systems.snapshot_stats_zero)
+      points
+  in
+  if active then begin
+    Printf.printf
+      "\n%-10s %5s | %8s %6s %7s | %6s %8s %9s | %7s %7s\n" "system" "seed"
+      "captures" "serial" "skipped" "xfers" "chunks" "bytes" "retx" "resume";
+    hline 96;
+    List.iter
+      (fun (p : Experiment.chaos_point) ->
+        let s = p.Experiment.ch_snap in
+        Printf.printf
+          "%-10s %5d | %8d %6d %7d | %3d/%-3d %8d %9d | %7d %7d\n"
+          (Systems.kind_name p.Experiment.ch_kind)
+          p.Experiment.ch_seed s.Systems.ss_captures s.Systems.ss_serializations
+          s.Systems.ss_skipped s.Systems.ss_transfers_completed
+          s.Systems.ss_transfers_started s.Systems.ss_chunks_sent
+          s.Systems.ss_bytes_streamed s.Systems.ss_chunk_retx
+          s.Systems.ss_resumes)
+      points
+  end
+
 let error_taxonomy points =
   let tbl = Hashtbl.create 16 in
   List.iter

@@ -50,6 +50,11 @@ val availability_table : Experiment.chaos_point list -> unit
 (** Fault counts per run plus confirmed-vs-observed state recap. *)
 val fault_summary : Experiment.chaos_point list -> unit
 
+(** Snapshot/state-transfer activity per run (captures vs. forced
+    serializations, chunk and resume counts); silent when no run saw any
+    snapshot activity. *)
+val snapshot_summary : Experiment.chaos_point list -> unit
+
 (** Aggregate non-ok outcome counts across runs, most frequent first. *)
 val error_taxonomy : Experiment.chaos_point list -> unit
 

@@ -21,6 +21,33 @@ let is_extensible = function Ezk | Eds -> true | Zookeeper | Depspace -> false
 
 let all = [ Zookeeper; Ezk; Depspace; Eds ]
 
+type snapshot_stats = {
+  ss_captures : int;
+  ss_serializations : int;
+  ss_skipped : int;
+  ss_installs : int;
+  ss_chunks_sent : int;
+  ss_chunk_retx : int;
+  ss_bytes_streamed : int;
+  ss_transfers_started : int;
+  ss_transfers_completed : int;
+  ss_resumes : int;
+}
+
+let snapshot_stats_zero =
+  {
+    ss_captures = 0;
+    ss_serializations = 0;
+    ss_skipped = 0;
+    ss_installs = 0;
+    ss_chunks_sent = 0;
+    ss_chunk_retx = 0;
+    ss_bytes_streamed = 0;
+    ss_transfers_started = 0;
+    ss_transfers_completed = 0;
+    ss_resumes = 0;
+  }
+
 type t = {
   sim : Sim.t;
   kind : kind;
@@ -41,7 +68,32 @@ type t = {
   anomalies : unit -> int;
       (** replication-safety violations detected by the state machines
           (must stay 0 in every run) *)
+  snapshot_stats : unit -> snapshot_stats;
 }
+
+(* Sum the server-side capture counters and the Zab transfer counters over
+   a ZooKeeper-style replica array. *)
+let zk_snapshot_stats servers () =
+  Array.fold_left
+    (fun acc s ->
+      let x = Edc_replication.Zab.xfer_stats (Zk.Server.zab s) in
+      {
+        ss_captures = acc.ss_captures + Zk.Server.snapshot_captures s;
+        ss_serializations =
+          acc.ss_serializations + Zk.Server.snapshot_serializations s;
+        ss_skipped = acc.ss_skipped + Zk.Server.snapshots_skipped s;
+        ss_installs = acc.ss_installs + Zk.Server.snapshot_installs s;
+        ss_chunks_sent = acc.ss_chunks_sent + x.Edc_replication.Zab.chunks_sent;
+        ss_chunk_retx = acc.ss_chunk_retx + x.Edc_replication.Zab.chunk_retx;
+        ss_bytes_streamed =
+          acc.ss_bytes_streamed + x.Edc_replication.Zab.bytes_streamed;
+        ss_transfers_started =
+          acc.ss_transfers_started + x.Edc_replication.Zab.transfers_started;
+        ss_transfers_completed =
+          acc.ss_transfers_completed + x.Edc_replication.Zab.transfers_completed;
+        ss_resumes = acc.ss_resumes + x.Edc_replication.Zab.resumes;
+      })
+    snapshot_stats_zero servers
 
 (* Fault-heavy runs want clients that notice a dead replica quickly; the
    4 s defaults would dominate every recovery-time measurement. *)
@@ -105,10 +157,10 @@ let ds_nemesis_target name net servers ~crash ~restart =
 let zk_replica_ids cluster =
   List.init (Array.length (Zk.Cluster.servers cluster)) Fun.id
 
-let make ?net_config ?batch ?zab_config kind sim =
+let make ?net_config ?batch ?zab_config ?server_config kind sim =
   match kind with
   | Zookeeper ->
-      let cluster = Zk.Cluster.create ?net_config ?zab_config ?batch sim in
+      let cluster = Zk.Cluster.create ?net_config ?server_config ?zab_config ?batch sim in
       {
         sim;
         kind;
@@ -144,9 +196,11 @@ let make ?net_config ?batch ?zab_config kind sim =
             Array.fold_left
               (fun acc s -> acc + Zk.Data_tree.anomalies (Zk.Server.tree s))
               0 (Zk.Cluster.servers cluster));
+        snapshot_stats =
+          (fun () -> zk_snapshot_stats (Zk.Cluster.servers cluster) ());
       }
   | Ezk ->
-      let cluster = Ezk_cluster.create ?net_config ?zab_config ?batch sim in
+      let cluster = Ezk_cluster.create ?net_config ?server_config ?zab_config ?batch sim in
       {
         sim;
         kind;
@@ -176,6 +230,8 @@ let make ?net_config ?batch ?zab_config kind sim =
             Array.fold_left
               (fun acc s -> acc + Zk.Data_tree.anomalies (Zk.Server.tree s))
               0 (Ezk_cluster.servers cluster));
+        snapshot_stats =
+          (fun () -> zk_snapshot_stats (Ezk_cluster.servers cluster) ());
       }
   | Depspace ->
       ignore zab_config (* BFT deployments do not run Zab *);
@@ -208,6 +264,7 @@ let make ?net_config ?batch ?zab_config kind sim =
           (fun () -> Net.dropped_messages (Ds.Ds_cluster.net cluster));
         n_replicas = 4;
         anomalies = (fun () -> 0);
+        snapshot_stats = (fun () -> snapshot_stats_zero);
       }
   | Eds ->
       ignore zab_config;
@@ -237,4 +294,5 @@ let make ?net_config ?batch ?zab_config kind sim =
           (fun () -> Net.dropped_messages (Edc_eds.Eds_cluster.net cluster));
         n_replicas = 4;
         anomalies = (fun () -> 0);
+        snapshot_stats = (fun () -> snapshot_stats_zero);
       }

@@ -7,6 +7,24 @@ open Edc_recipes
 
 type kind = Zookeeper | Ezk | Depspace | Eds
 
+(** Snapshot-pipeline counters summed over the deployment's replicas
+    (all-zero for the BFT deployments, which do not run the Zab chunked
+    state transfer). *)
+type snapshot_stats = {
+  ss_captures : int;  (** O(1) copy-on-write captures *)
+  ss_serializations : int;  (** captures actually marshaled for a transfer *)
+  ss_skipped : int;  (** interval fired but log already compacted *)
+  ss_installs : int;  (** complete blobs imported atomically *)
+  ss_chunks_sent : int;
+  ss_chunk_retx : int;
+  ss_bytes_streamed : int;
+  ss_transfers_started : int;
+  ss_transfers_completed : int;
+  ss_resumes : int;  (** transfers continued after a stall/leader change *)
+}
+
+val snapshot_stats_zero : snapshot_stats
+
 val kind_name : kind -> string
 val is_extensible : kind -> bool
 
@@ -37,6 +55,8 @@ type t = {
   anomalies : unit -> int;
       (** replication-safety violations detected by the state machines
           (must stay 0 in every run) *)
+  snapshot_stats : unit -> snapshot_stats;
+      (** snapshot/state-transfer counters summed over replicas *)
 }
 
 (** [make ?net_config ?batch ?zab_config kind sim] — [batch] configures
@@ -44,11 +64,14 @@ type t = {
     ({!Edc_replication.Batching.off} when omitted).  [zab_config] applies
     to the Zab-replicated deployments only (ZooKeeper/EZK; ignored for
     the BFT ones) — the linearizability mutation self-test uses it to
-    re-enable a known-bad protocol behaviour. *)
+    re-enable a known-bad protocol behaviour.  [server_config] likewise
+    reaches only ZooKeeper/EZK (e.g. to tighten [snapshot_interval] so a
+    run exercises the chunked state transfer). *)
 val make :
   ?net_config:Net.config ->
   ?batch:Edc_replication.Batching.config ->
   ?zab_config:Edc_replication.Zab.config ->
+  ?server_config:Edc_zookeeper.Server.config ->
   kind ->
   Sim.t ->
   t

@@ -62,15 +62,26 @@ type 'p msg =
   | Sync_request of { epoch : int; have : int }
       (** follower asks the leader for entries from index [have] *)
   | Sync of { epoch : int; from : int; entries : 'p entry list; committed : int }
-  | Snapshot_install of {
+  | Snapshot_begin of {
       epoch : int;
       base : int;  (** the snapshot covers entries [0, base) *)
-      blob : string;  (** opaque application snapshot *)
-      entries : 'p entry list;  (** log suffix starting at [base] *)
+      total : int;  (** blob size in bytes *)
+      chunk_size : int;
+      digest : string;  (** of the whole blob; guards chunk-resume *)
       committed : int;
     }
-      (** state transfer for followers that lag behind the leader's log
-          compaction horizon (ZooKeeper's snapshot + txn-log recovery) *)
+      (** opens a chunked state transfer to a follower that lags behind the
+          leader's log-compaction horizon (ZooKeeper's snapshot + txn-log
+          recovery).  The blob itself follows in [Snapshot_chunk]s under
+          flow control; the retained log suffix is fetched afterwards via
+          the ordinary [Sync_request]/[Sync] path. *)
+  | Snapshot_chunk of { epoch : int; base : int; seq : int; data : string }
+      (** chunk [seq] (0-based) of the snapshot blob for horizon [base] *)
+  | Snapshot_ack of { epoch : int; base : int; received : int }
+      (** cumulative: the follower holds the contiguous chunk prefix
+          [0, received).  A duplicate ack (no progress since the last one)
+          doubles as a retransmit solicit after drops or a partition heal —
+          the leader resumes from [received], never from chunk 0. *)
 
 type role = Leader | Follower | Candidate
 
@@ -92,6 +103,12 @@ type config = {
       (** TEST ONLY: disable the follower-side log-matching checks below,
           resurrecting the divergent-tail double-apply bug for the
           linearizability checker's mutation self-test *)
+  snapshot_chunk_size : int;
+      (** state transfer streams the snapshot blob in pieces of this many
+          bytes (counted by the deployment's [wire_size]) *)
+  snapshot_window : int;
+      (** chunks the leader keeps in flight beyond the follower's
+          cumulative ack *)
 }
 
 let default_config =
@@ -101,6 +118,8 @@ let default_config =
     election_stagger = Sim_time.ms 40;
     batch = Batching.off;
     unsafe_skip_log_matching = false;
+    snapshot_chunk_size = 8192;
+    snapshot_window = 8;
   }
 
 type 'p t = {
@@ -115,7 +134,13 @@ type 'p t = {
   log : 'p entry Vec.t;  (** entries [base, base + Vec.length log) *)
   mutable base : int;  (** log-compaction horizon: absolute index of log.(0) *)
   mutable last_compacted_zxid : zxid;
-  mutable snapshot_blob : string;  (** app snapshot covering [0, base) *)
+  mutable snap_take : (unit -> string) option;
+      (** lazy serializer for the app snapshot covering [0, base): captured
+          (cheaply) at compaction time, forced only when a state transfer
+          actually needs the bytes *)
+  mutable snap_cache : (int * string) option;
+      (** (base, blob): the forced serialization, reused until the next
+          compaction moves the horizon *)
   mutable install_snapshot : (string -> unit) option;
   mutable current_epoch : int;
   mutable voted_epoch : int;  (** highest epoch we granted a vote in *)
@@ -140,6 +165,50 @@ type 'p t = {
   mutable batcher : (zxid * 'p) Batching.t option;  (** set right after create *)
   mutable delivered : int;  (** length of the prefix passed to on_deliver *)
   mutable last_leader_contact : Sim_time.t;
+  xfers : (int, xfer) Hashtbl.t;
+      (** leader: per-follower in-flight snapshot transfer (volatile) *)
+  mutable pending_snap : pending_snap option;
+      (** follower: partially received snapshot (volatile; chunks are
+          buffered in memory and only installed once complete) *)
+  mutable stats : xfer_stats;
+}
+
+(** Leader-side transfer state for one follower. *)
+and xfer = {
+  x_base : int;
+  x_total : int;
+  x_chunks : int;
+  mutable x_acked : int;  (** cumulative ack: follower holds [0, x_acked) *)
+  mutable x_sent : int;  (** high-water chunk sent so far *)
+  mutable x_retx_after : Sim_time.t;
+      (** earliest time the next duplicate-ack rewind is honoured: damps
+          redundant solicits (ping re-acks, [Snapshot_begin] acks) that
+          would otherwise each rewind and retransmit the same window *)
+}
+
+(** Follower-side partial transfer: the contiguous chunk prefix received. *)
+and pending_snap = {
+  ps_base : int;
+  ps_total : int;
+  ps_chunks : int;
+  ps_digest : string;
+  ps_buf : Buffer.t;
+  mutable ps_received : int;
+}
+
+and xfer_stats = {
+  mutable serializations : int;
+      (** times the lazy snapshot was actually marshaled *)
+  mutable chunks_sent : int;
+  mutable chunk_retx : int;  (** chunks re-sent below the high-water mark *)
+  mutable bytes_streamed : int;  (** chunk payload bytes put on the wire *)
+  mutable transfers_started : int;
+  mutable transfers_completed : int;  (** leader saw the final cumulative ack *)
+  mutable resumes : int;
+      (** transfers continued from a non-zero chunk after drops/heal *)
+  mutable last_resume_from : int;
+      (** chunk index the latest resume restarted from (0 = none yet) *)
+  mutable installs : int;  (** follower: complete blobs handed to the app *)
 }
 
 let quorum t = (List.length t.peers / 2) + 1
@@ -162,6 +231,82 @@ let committed_length t = t.committed
 let compaction_base t = t.base
 
 let set_install_snapshot t f = t.install_snapshot <- Some f
+let xfer_stats t = t.stats
+let delivered_length t = t.delivered
+
+(* Force (or reuse) the serialized snapshot for the current horizon.
+   Followers that never fall behind never call this, so they never pay the
+   Marshal cost — compaction only stores the thunk. *)
+let snapshot_blob t =
+  match t.snap_cache with
+  | Some (b, blob) when b = t.base -> blob
+  | _ ->
+      let blob = match t.snap_take with Some f -> f () | None -> "" in
+      t.stats.serializations <- t.stats.serializations + 1;
+      t.snap_cache <- Some (t.base, blob);
+      blob
+
+let chunk_count ~total ~chunk_size =
+  if total = 0 then 0 else ((total - 1) / chunk_size) + 1
+
+(* Stream the next window of chunks to [dst]: everything between the
+   high-water mark and [acked + window].  Called on transfer start and on
+   every ack, so the window self-clocks off the follower's progress. *)
+let send_chunks t ~dst =
+  match Hashtbl.find_opt t.xfers dst with
+  | None -> ()
+  | Some x ->
+      let blob = snapshot_blob t in
+      let cs = t.config.snapshot_chunk_size in
+      let limit = Stdlib.min x.x_chunks (x.x_acked + t.config.snapshot_window) in
+      while x.x_sent < limit do
+        let seq = x.x_sent in
+        let off = seq * cs in
+        let len = Stdlib.min cs (x.x_total - off) in
+        let data = String.sub blob off len in
+        t.stats.chunks_sent <- t.stats.chunks_sent + 1;
+        t.stats.bytes_streamed <- t.stats.bytes_streamed + len;
+        t.send ~dst
+          (Snapshot_chunk { epoch = t.current_epoch; base = x.x_base; seq; data });
+        x.x_sent <- seq + 1
+      done
+
+(* Open (or re-open after a leader change / recompaction) a chunked state
+   transfer to [dst].  [resume_from] carries the follower's cumulative ack
+   when known, so a new leader with the same horizon — deterministic
+   serialization makes its blob byte-identical, which the digest in
+   [Snapshot_begin] lets the follower verify — continues where the old one
+   stopped. *)
+let begin_snapshot_xfer ?(resume_from = 0) t ~dst =
+  let blob = snapshot_blob t in
+  let total = String.length blob in
+  let cs = t.config.snapshot_chunk_size in
+  let chunks = chunk_count ~total ~chunk_size:cs in
+  let resume_from = Stdlib.min resume_from chunks in
+  (match Hashtbl.find_opt t.xfers dst with
+  | Some x when x.x_base = t.base -> ()
+  | _ ->
+      Hashtbl.replace t.xfers dst
+        {
+          x_base = t.base;
+          x_total = total;
+          x_chunks = chunks;
+          x_acked = resume_from;
+          x_sent = resume_from;
+          x_retx_after = Sim.now t.sim;
+        };
+      t.stats.transfers_started <- t.stats.transfers_started + 1);
+  t.send ~dst
+    (Snapshot_begin
+       {
+         epoch = t.current_epoch;
+         base = t.base;
+         total;
+         chunk_size = cs;
+         digest = Digest.string blob;
+         committed = t.committed;
+       });
+  send_chunks t ~dst
 
 let batcher t =
   match t.batcher with Some b -> b | None -> invalid_arg "zab not wired"
@@ -179,7 +324,12 @@ let deliver_ready t =
 
 let set_role t role =
   if t.role <> role then begin
-    if t.role = Leader then Batching.reset (batcher t);
+    if t.role = Leader then begin
+      Batching.reset (batcher t);
+      (* a deposed leader's transfer state is meaningless: the follower
+         will re-solicit from whoever leads next *)
+      Hashtbl.reset t.xfers
+    end;
     t.role <- role;
     Trace.debugf t.sim "zab[%d] -> %a (epoch %d)" t.id pp_role role
       t.current_epoch;
@@ -270,29 +420,23 @@ let become_leader t =
   t.next_counter <- 0;
   t.verified <- abs_len t;
   Hashtbl.reset t.match_len;
-  (* Synchronize followers: ship the retained log suffix, preceded by the
-     snapshot when entries before the compaction horizon are gone. *)
+  Hashtbl.reset t.xfers;
+  (* Synchronize followers: ship the retained log suffix.  A follower whose
+     own state does not reach our compaction horizon answers the Sync with
+     a [Sync_request { have < base }] (or a [Snapshot_ack] if it holds a
+     partial transfer from the deposed leader), which opens — or resumes —
+     a chunked state transfer.  Followers that kept up never see snapshot
+     traffic at all. *)
   List.iter
     (fun dst ->
-      if t.base = 0 then
-        t.send ~dst
-          (Sync
-             {
-               epoch = t.current_epoch;
-               from = 0;
-               entries = Vec.to_list t.log;
-               committed = t.committed;
-             })
-      else
-        t.send ~dst
-          (Snapshot_install
-             {
-               epoch = t.current_epoch;
-               base = t.base;
-               blob = t.snapshot_blob;
-               entries = Vec.to_list t.log;
-               committed = t.committed;
-             }))
+      t.send ~dst
+        (Sync
+           {
+             epoch = t.current_epoch;
+             from = t.base;
+             entries = Vec.to_list t.log;
+             committed = t.committed;
+           }))
     (others t);
   broadcast t (Ping { epoch = t.current_epoch; committed = t.committed })
 
@@ -350,7 +494,9 @@ let epoch_of_msg = function
   | Vote { epoch }
   | Sync_request { epoch; _ }
   | Sync { epoch; _ }
-  | Snapshot_install { epoch; _ } ->
+  | Snapshot_begin { epoch; _ }
+  | Snapshot_chunk { epoch; _ }
+  | Snapshot_ack { epoch; _ } ->
       epoch
 
 (* Raft's term rule, applied to every message: a higher epoch proves our
@@ -375,7 +521,7 @@ let maybe_adopt_epoch t epoch =
     end
   end
 
-let handle t ~src msg =
+let rec handle t ~src msg =
   if t.alive then begin
     maybe_adopt_epoch t (epoch_of_msg msg);
     match msg with
@@ -384,10 +530,19 @@ let handle t ~src msg =
           note_leader t ~src ~epoch;
           follower_commit t committed;
           if committed > t.verified then
-            (* the leader has committed past what we know matches its log
-               (e.g. the post-election sync was lost): re-sync from the
-               verified prefix so the graft can repair our tail *)
-            t.send ~dst:src (Sync_request { epoch; have = t.verified })
+            match t.pending_snap with
+            | Some ps ->
+                (* mid-transfer and the stream stalled (drops, partition):
+                   re-issue the cumulative ack so the leader resumes from
+                   the last contiguous chunk instead of starting over *)
+                t.send ~dst:src
+                  (Snapshot_ack
+                     { epoch; base = ps.ps_base; received = ps.ps_received })
+            | None ->
+                (* the leader has committed past what we know matches its
+                   log (e.g. the post-election sync was lost): re-sync from
+                   the verified prefix so the graft can repair our tail *)
+                t.send ~dst:src (Sync_request { epoch; have = t.verified })
         end
     | Propose { epoch; index = _; _ } when epoch < t.current_epoch ->
         () (* stale leader; drop *)
@@ -478,17 +633,9 @@ let handle t ~src msg =
         if t.role = Leader && epoch = t.current_epoch then
           let have = Stdlib.min have (abs_len t) in
           if have < t.base then
-            (* the follower needs entries we compacted away: state
-               transfer via snapshot (§3.8's recovery path) *)
-            t.send ~dst:src
-              (Snapshot_install
-                 {
-                   epoch;
-                   base = t.base;
-                   blob = t.snapshot_blob;
-                   entries = Vec.to_list t.log;
-                   committed = t.committed;
-                 })
+            (* the follower needs entries we compacted away: chunked state
+               transfer (§3.8's recovery path) *)
+            begin_snapshot_xfer t ~dst:src
           else
             t.send ~dst:src
               (Sync
@@ -508,30 +655,165 @@ let handle t ~src msg =
             graft_entries t ~src ~epoch ~from entries;
             follower_commit t committed
           end
-          else t.send ~dst:src (Sync_request { epoch; have = t.committed })
+          else begin
+            match t.pending_snap with
+            | Some ps when ps.ps_base = from ->
+                (* a new leader covers the same horizon as our partial
+                   transfer (deterministic serialization makes its blob
+                   identical — the next [Snapshot_begin]'s digest checks
+                   that): ask it to resume, not restart *)
+                t.send ~dst:src
+                  (Snapshot_ack { epoch; base = from; received = ps.ps_received })
+            | _ -> t.send ~dst:src (Sync_request { epoch; have = t.committed })
+          end
         end
-    | Snapshot_install { epoch; base; blob; entries; committed } ->
+    | Snapshot_begin { epoch; base; total; chunk_size; digest; committed } ->
         if epoch >= t.current_epoch then begin
           note_leader t ~src ~epoch;
-          if base > abs_len t || t.delivered < base then begin
-            (* we cannot bridge the gap from our own state: jump to the
-               leader's snapshot, then apply the shipped suffix *)
-            (match t.install_snapshot with Some f -> f blob | None -> ());
-            t.base <- base;
-            t.delivered <- base;
-            t.committed <- base;
-            Vec.clear t.log;
-            List.iter (Vec.push t.log) entries;
-            t.send ~dst:src (Ack { epoch; upto = abs_len t });
-            follower_commit t committed
-          end
+          if base <= abs_len t && t.delivered >= base then
+            (* our state already covers the snapshot: decline the transfer
+               and fetch the retained suffix through the normal path *)
+            t.send ~dst:src (Sync_request { epoch; have = t.verified })
           else begin
-            (* our state already covers the snapshot: just graft *)
-            graft_entries t ~src ~epoch ~from:base entries;
-            follower_commit t committed
+            (match t.pending_snap with
+            | Some ps when ps.ps_base = base && ps.ps_digest = digest ->
+                () (* keep the partial prefix: the ack below resumes it *)
+            | _ ->
+                t.pending_snap <-
+                  Some
+                    {
+                      ps_base = base;
+                      ps_total = total;
+                      ps_chunks = chunk_count ~total ~chunk_size;
+                      ps_digest = digest;
+                      ps_buf = Buffer.create (Stdlib.max total 16);
+                      ps_received = 0;
+                    });
+            follower_commit t committed;
+            let ps = Option.get t.pending_snap in
+            if ps.ps_received >= ps.ps_chunks then
+              finish_snapshot_install t ~src ~epoch
+            else if ps.ps_received > 0 then
+              (* resuming: tell the (possibly new) leader where we are.  On
+                 a fresh transfer the leader already assumes chunk 0 and
+                 has the first window in flight — acking here would read as
+                 a duplicate ack and trigger a spurious retransmit. *)
+              t.send ~dst:src
+                (Snapshot_ack { epoch; base; received = ps.ps_received })
+          end
+        end
+    | Snapshot_chunk { epoch; base; seq; data } ->
+        if epoch >= t.current_epoch then begin
+          note_leader t ~src ~epoch;
+          match t.pending_snap with
+          | Some ps when ps.ps_base = base ->
+              if seq = ps.ps_received then begin
+                Buffer.add_string ps.ps_buf data;
+                ps.ps_received <- ps.ps_received + 1;
+                if ps.ps_received >= ps.ps_chunks then
+                  finish_snapshot_install t ~src ~epoch
+                else
+                  t.send ~dst:src
+                    (Snapshot_ack { epoch; base; received = ps.ps_received })
+              end
+              else if seq > ps.ps_received then
+                (* gap: a chunk below [seq] was dropped — the duplicate
+                   cumulative ack solicits a retransmit *)
+                t.send ~dst:src
+                  (Snapshot_ack { epoch; base; received = ps.ps_received })
+              (* [seq < ps_received] is a stale duplicate from a window
+                 retransmit we already advanced past.  Acking it would hand
+                 the leader another duplicate ack and re-trigger the very
+                 retransmit that produced it (a self-sustaining storm);
+                 staying silent is safe because any genuine stall is broken
+                 by the ping-driven re-ack. *)
+          | _ -> () (* stale transfer (horizon moved on); drop *)
+        end
+    | Snapshot_ack { epoch; base; received } ->
+        if t.role = Leader && epoch = t.current_epoch then begin
+          if base <> t.base then
+            (* we compacted past the transfer's horizon: restart at the new
+               one (the follower drops its stale prefix on Snapshot_begin) *)
+            begin_snapshot_xfer t ~dst:src
+          else begin
+            (match Hashtbl.find_opt t.xfers src with
+            | None ->
+                (* no transfer state (leader change or restart): adopt the
+                   follower's progress and continue from there *)
+                t.stats.resumes <- t.stats.resumes + 1;
+                t.stats.last_resume_from <-
+                  Stdlib.max t.stats.last_resume_from received;
+                begin_snapshot_xfer ~resume_from:received t ~dst:src
+            | Some x ->
+                if received > x.x_acked then begin
+                  (* forward progress: slide the window *)
+                  x.x_acked <- received;
+                  send_chunks t ~dst:src
+                end
+                else if
+                  Sim_time.compare (Sim.now t.sim) x.x_retx_after >= 0
+                  && x.x_sent > received
+                then begin
+                  (* duplicate ack: chunks past [received] were dropped
+                     (link cut, partition).  Rewind the high-water mark and
+                     retransmit the window — from [received], not from 0.
+                     At most once per heartbeat: several solicits can
+                     arrive for the same loss (ping re-acks, gap acks) and
+                     honouring each would retransmit the window as many
+                     times over. *)
+                  t.stats.resumes <- t.stats.resumes + 1;
+                  t.stats.last_resume_from <-
+                    Stdlib.max t.stats.last_resume_from received;
+                  t.stats.chunk_retx <- t.stats.chunk_retx + (x.x_sent - received);
+                  x.x_acked <- received;
+                  x.x_sent <- received;
+                  x.x_retx_after <-
+                    Sim_time.add (Sim.now t.sim) t.config.heartbeat_interval;
+                  send_chunks t ~dst:src
+                end);
+            match Hashtbl.find_opt t.xfers src with
+            | Some x when x.x_acked >= x.x_chunks ->
+                t.stats.transfers_completed <- t.stats.transfers_completed + 1;
+                Hashtbl.remove t.xfers src
+            | _ -> ()
           end
         end
   end
+
+(* The whole blob arrived: verify it against the digest from
+   [Snapshot_begin], hand it to the application in ONE atomic step, and
+   adopt the leader's horizon.  Chunked delivery never exposes a partially
+   installed state — the application sees either its old tree or the
+   complete new one.  The retained log suffix is fetched afterwards through
+   the ordinary sync path. *)
+and finish_snapshot_install t ~src ~epoch =
+  match t.pending_snap with
+  | None -> ()
+  | Some ps ->
+      let blob = Buffer.contents ps.ps_buf in
+      t.pending_snap <- None;
+      if Digest.string blob <> ps.ps_digest then
+        (* corrupted assembly (should be impossible on FIFO links): restart
+           the transfer from scratch *)
+        t.send ~dst:src (Sync_request { epoch; have = t.committed })
+      else begin
+        (match t.install_snapshot with Some f -> f blob | None -> ());
+        t.stats.installs <- t.stats.installs + 1;
+        t.base <- ps.ps_base;
+        t.delivered <- ps.ps_base;
+        t.committed <- ps.ps_base;
+        t.verified <- ps.ps_base;
+        Vec.clear t.log;
+        (* our own snapshot of [0, base) is exactly the blob we installed:
+           cache it, so if we lead later we can serve transfers without
+           re-serializing *)
+        t.snap_take <- Some (fun () -> blob);
+        t.snap_cache <- Some (ps.ps_base, blob);
+        t.send ~dst:src
+          (Snapshot_ack { epoch; base = ps.ps_base; received = ps.ps_chunks });
+        (* fetch the retained suffix *)
+        t.send ~dst:src (Sync_request { epoch; have = ps.ps_base })
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Timers                                                              *)
@@ -578,7 +860,8 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
       log = Vec.create ();
       base = 0;
       last_compacted_zxid = zxid_zero;
-      snapshot_blob = "";
+      snap_take = None;
+      snap_cache = None;
       install_snapshot = None;
       current_epoch = 0;
       voted_epoch = 0;
@@ -594,6 +877,20 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
       batcher = None;
       delivered = 0;
       last_leader_contact = Sim.now sim;
+      xfers = Hashtbl.create 4;
+      pending_snap = None;
+      stats =
+        {
+          serializations = 0;
+          chunks_sent = 0;
+          chunk_retx = 0;
+          bytes_streamed = 0;
+          transfers_started = 0;
+          transfers_completed = 0;
+          resumes = 0;
+          last_resume_from = 0;
+          installs = 0;
+        };
     }
   in
   t.batcher <-
@@ -619,6 +916,11 @@ let crash t =
   t.role <- Follower;
   t.votes <- [];
   Hashtbl.reset t.match_len;
+  (* in-flight transfers are volatile: partially received chunks live in
+     memory, so a crashed follower restarts its transfer from scratch
+     (resume is for link drops, which lose no local state) *)
+  Hashtbl.reset t.xfers;
+  t.pending_snap <- None;
   Batching.reset (batcher t)
 
 (** [restart t] brings a crashed replica back as a follower; it will catch
@@ -641,11 +943,15 @@ let restart t =
 (** [compact t ~take] discards the delivered log prefix after capturing an
     application snapshot that covers exactly the delivered entries
     (ZooKeeper's fuzzy-snapshot-plus-log made crisp by the simulator's
-    synchronous apply).  Future state transfer ships the snapshot plus the
-    retained suffix. *)
+    synchronous apply).  [take ()] runs now — it must pin the state at the
+    horizon — but only returns a serializer; the Marshal work happens the
+    first time a state transfer needs the bytes, and the result is cached
+    until the next compaction.  A replica that never serves a transfer
+    never serializes at all. *)
 let compact t ~take =
   if t.alive && t.delivered > t.base then begin
-    t.snapshot_blob <- take ();
+    t.snap_take <- Some (take ());
+    t.snap_cache <- None;
     t.last_compacted_zxid <- (log_get t (t.delivered - 1)).zxid;
     let suffix = Vec.sub t.log (t.delivered - t.base) (abs_len t - t.delivered) in
     Vec.replace_from t.log 0 suffix;
@@ -665,8 +971,6 @@ let msg_size ~payload_size = function
   | Sync_request _ -> 24
   | Sync { entries; _ } ->
       List.fold_left (fun acc e -> acc + 48 + payload_size e.payload) 32 entries
-  | Snapshot_install { blob; entries; _ } ->
-      List.fold_left
-        (fun acc e -> acc + 48 + payload_size e.payload)
-        (48 + String.length blob)
-        entries
+  | Snapshot_begin { digest; _ } -> 56 + String.length digest
+  | Snapshot_chunk { data; _ } -> 40 + String.length data
+  | Snapshot_ack _ -> 32

@@ -41,13 +41,23 @@ type 'p msg =
   | Vote of { epoch : int }
   | Sync_request of { epoch : int; have : int }
   | Sync of { epoch : int; from : int; entries : 'p entry list; committed : int }
-  | Snapshot_install of {
+  | Snapshot_begin of {
       epoch : int;
       base : int;  (** the snapshot covers entries [0, base) *)
-      blob : string;  (** opaque application snapshot *)
-      entries : 'p entry list;  (** retained log suffix starting at [base] *)
+      total : int;  (** blob size in bytes *)
+      chunk_size : int;
+      digest : string;
+          (** of the whole blob: lets a follower resume a partial transfer
+              under a new leader only when the bytes are provably the same *)
       committed : int;
     }
+      (** opens a chunked, flow-controlled state transfer; the blob follows
+          in [Snapshot_chunk]s, the retained log suffix is fetched
+          afterwards via the normal [Sync] path *)
+  | Snapshot_chunk of { epoch : int; base : int; seq : int; data : string }
+  | Snapshot_ack of { epoch : int; base : int; received : int }
+      (** cumulative chunk ack; a duplicate doubles as a retransmit solicit
+          so transfers resume from the last contiguous chunk after drops *)
 
 type role = Leader | Follower | Candidate
 
@@ -68,6 +78,10 @@ type config = {
           linearizability checker's mutation self-test to prove the
           checker catches real consistency violations; never enable
           outside tests. *)
+  snapshot_chunk_size : int;
+      (** bytes of snapshot blob per [Snapshot_chunk] *)
+  snapshot_window : int;
+      (** chunks kept in flight beyond the follower's cumulative ack *)
 }
 
 val default_config : config
@@ -112,14 +126,41 @@ val committed_length : 'p t -> int
 (** Absolute index of the oldest retained log entry. *)
 val compaction_base : 'p t -> int
 
+(** Length of the prefix handed to [on_deliver] (equals the applied
+    prefix, since delivery is synchronous). *)
+val delivered_length : 'p t -> int
+
 (** [set_install_snapshot t f] — the application hook that replaces local
-    state with a received snapshot blob. *)
+    state with a received snapshot blob (called once per completed chunked
+    transfer, with the fully assembled blob: the import is atomic even
+    though delivery is streamed). *)
 val set_install_snapshot : 'p t -> (string -> unit) -> unit
 
-(** [compact t ~take] snapshots the delivered prefix via [take] and drops
-    it from the log; lagging replicas then recover via
-    [Snapshot_install]. *)
-val compact : 'p t -> take:(unit -> string) -> unit
+(** [compact t ~take] snapshots the delivered prefix and drops it from the
+    log; lagging replicas then recover via chunked state transfer.
+    [take ()] runs at compaction time and must capture the state at the
+    horizon cheaply; the serializer it returns is forced only when a state
+    transfer actually needs the bytes (cached until the next
+    compaction). *)
+val compact : 'p t -> take:(unit -> unit -> string) -> unit
+
+(** State-transfer counters (cumulative over the replica's lifetime). *)
+type xfer_stats = {
+  mutable serializations : int;
+      (** times the lazy snapshot was actually marshaled *)
+  mutable chunks_sent : int;
+  mutable chunk_retx : int;  (** chunks re-sent below the high-water mark *)
+  mutable bytes_streamed : int;  (** chunk payload bytes sent *)
+  mutable transfers_started : int;
+  mutable transfers_completed : int;
+  mutable resumes : int;  (** transfers continued after a stall or leader change *)
+  mutable last_resume_from : int;
+      (** chunk index the latest resume restarted from (never rewinds to 0
+          unless the follower actually lost its prefix) *)
+  mutable installs : int;  (** complete blobs handed to the application *)
+}
+
+val xfer_stats : 'p t -> xfer_stats
 
 (** [crash t] stops the replica; the log/epoch persist (the on-disk
     transaction log).  [restart t] rejoins as a follower and catches up. *)

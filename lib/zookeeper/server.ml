@@ -114,6 +114,14 @@ type t = {
   mutable reads_served : int;
   mutable txns_applied : int;
   mutable proposals : int;
+  (* snapshots *)
+  mutable snap_image : Data_tree.image option;
+      (** COW handle pinning the latest capture; released when superseded *)
+  mutable txns_since_snapshot : int;
+  mutable snap_captures : int;
+  mutable snap_serializations : int;  (** captures actually marshaled *)
+  mutable snap_skipped : int;  (** interval fired with nothing to compact *)
+  mutable snap_installs : int;
 }
 
 let tree t = t.tree
@@ -125,6 +133,10 @@ let spec t = t.spec
 let reads_served t = t.reads_served
 let txns_applied t = t.txns_applied
 let proposals t = t.proposals
+let snapshot_captures t = t.snap_captures
+let snapshot_serializations t = t.snap_serializations
+let snapshots_skipped t = t.snap_skipped
+let snapshot_installs t = t.snap_installs
 let session_exists t session = Hashtbl.mem t.sessions session
 
 let session_owned_here t session =
@@ -250,38 +262,72 @@ let apply_op t op =
 (* --- snapshots (§3.8 state transfer) --- *)
 
 type snapshot = {
-  snap_tree : Data_tree.image;
+  snap_tree : Data_tree.portable;
   snap_sessions : (int * session_info) list;
   snap_blocked : (string * (int * int * int) list) list;
 }
 
-(** Serialize the replica's whole replicated state (tree, sessions, parked
+(** Capture the replica's whole replicated state (tree, sessions, parked
     blocking calls).  Must correspond exactly to the delivered prefix —
-    guaranteed because the simulator applies transactions synchronously. *)
-let take_snapshot t =
-  let snap =
-    {
-      snap_tree = Data_tree.export t.tree;
-      snap_sessions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sessions [];
-      snap_blocked = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.blocked [];
-    }
+    guaranteed because the simulator applies transactions synchronously.
+
+    The capture itself is O(sessions + blocked), NOT O(tree): the tree is
+    pinned by a copy-on-write handle ({!Data_tree.export}), and the
+    returned closure does the materialize + [Marshal] work only if a state
+    transfer ever needs the bytes.  Sessions and blocked entries are
+    snapshotted eagerly (they are small, and [session_info] is mutable so
+    sharing it with the live table would let later moves corrupt the
+    image), sorted so the serialized blob is byte-identical across
+    replicas in the same state. *)
+let capture_snapshot t =
+  (match t.snap_image with Some h -> Data_tree.release h | None -> ());
+  let image = Data_tree.export t.tree in
+  t.snap_image <- Some image;
+  t.snap_captures <- t.snap_captures + 1;
+  let snap_sessions =
+    Hashtbl.fold
+      (fun k (v : session_info) acc ->
+        (k, { v with owner_replica = v.owner_replica }) :: acc)
+      t.sessions []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
-  Marshal.to_string snap []
+  let snap_blocked =
+    Hashtbl.fold (fun k v acc -> (k, List.sort compare !v) :: acc) t.blocked []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  fun () ->
+    t.snap_serializations <- t.snap_serializations + 1;
+    Marshal.to_string
+      { snap_tree = Data_tree.materialize image; snap_sessions; snap_blocked }
+      []
 
 let install_snapshot t blob =
   let snap : snapshot = Marshal.from_string blob 0 in
-  Data_tree.import t.tree snap.snap_tree;
+  Data_tree.import_portable t.tree snap.snap_tree;
   Hashtbl.reset t.sessions;
   List.iter (fun (k, v) -> Hashtbl.replace t.sessions k v) snap.snap_sessions;
   Hashtbl.reset t.blocked;
   List.iter (fun (k, v) -> Hashtbl.replace t.blocked k (ref v)) snap.snap_blocked;
+  t.snap_installs <- t.snap_installs + 1;
+  (* the installed blob puts us exactly at a snapshot horizon: restart the
+     interval so we do not immediately re-capture state we just received *)
+  t.txns_since_snapshot <- 0;
   t.hook_on_snapshot_installed t
 
 let maybe_compact t =
-  if
-    t.config.snapshot_interval > 0
-    && t.txns_applied mod t.config.snapshot_interval = 0
-  then Zab.compact (zab t) ~take:(fun () -> take_snapshot t)
+  if t.config.snapshot_interval > 0 then begin
+    t.txns_since_snapshot <- t.txns_since_snapshot + 1;
+    if t.txns_since_snapshot >= t.config.snapshot_interval then
+      let z = zab t in
+      if Zab.delivered_length z > Zab.compaction_base z then begin
+        t.txns_since_snapshot <- 0;
+        Zab.compact z ~take:(fun () -> capture_snapshot t)
+      end
+      else
+        (* the log prefix is already compacted to this horizon (e.g. we
+           just installed a snapshot): no state to capture *)
+        t.snap_skipped <- t.snap_skipped + 1
+  end
 
 let final_process t (txn : Txn.t) =
   List.iter (apply_op t) txn.ops;
@@ -621,6 +667,12 @@ let create ?(config = default_config) ?zab_config ~sim ~net ~id ~replica_ids
       reads_served = 0;
       txns_applied = 0;
       proposals = 0;
+      snap_image = None;
+      txns_since_snapshot = 0;
+      snap_captures = 0;
+      snap_serializations = 0;
+      snap_skipped = 0;
+      snap_installs = 0;
     }
   in
   (* The spec view must wrap the server's own tree. *)

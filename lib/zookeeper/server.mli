@@ -83,6 +83,22 @@ val reads_served : t -> int
 val txns_applied : t -> int
 val proposals : t -> int
 
+(** Snapshot pipeline counters. *)
+
+(** O(1) copy-on-write captures taken at compaction points. *)
+val snapshot_captures : t -> int
+
+(** Captures that were actually serialized (a state transfer needed the
+    bytes); stays 0 on replicas whose peers never fall behind. *)
+val snapshot_serializations : t -> int
+
+(** Times [snapshot_interval] fired with the log already compacted to the
+    horizon, so no capture was taken. *)
+val snapshots_skipped : t -> int
+
+(** Complete state-transfer blobs imported atomically. *)
+val snapshot_installs : t -> int
+
 (** Leader-side entry point for service-internal multi-transactions
     (bootstrap objects, event-extension follow-ups).  [quiet] transactions
     do not trigger event extensions. *)

@@ -21,6 +21,14 @@ type t = {
           changes via the replicated tree *)
   czxid : int;
   ephemeral_owner : int option;
+  mutable stamp : int;
+      (** copy-on-write generation: the tree's generation when this node
+          was created or last mutated.  A snapshot handle taken at
+          generation [g] still sees the node's live record iff
+          [stamp <= g]; the first mutation with a newer live generation
+          preserves a copy into every active handle before touching the
+          record.  Never serialized (zeroed in images) — it is replica-
+          local bookkeeping, not replicated state. *)
 }
 
 let create ~data ~czxid ~ephemeral_owner =
@@ -31,6 +39,7 @@ let create ~data ~czxid ~ephemeral_owner =
     cversion = 0;
     czxid;
     ephemeral_owner;
+    stamp = 0;
   }
 
 (** Fresh record with the same contents; [children] is an immutable set, so

@@ -20,6 +20,10 @@ type t = {
           sequential-name counter, so it survives leader changes *)
   czxid : int;
   ephemeral_owner : int option;
+  mutable stamp : int;
+      (** copy-on-write generation: the tree's generation when the node was
+          created or last mutated (see {!Data_tree.export}).  Replica-local
+          bookkeeping, zeroed in serialized images. *)
 }
 
 val create : data:string -> czxid:int -> ephemeral_owner:int option -> t
