@@ -5,7 +5,8 @@
    Usage:
      bench/main.exe [targets] [--quick]
    where targets ⊆ {table1 table2 fig6 fig8 fig10 fig12 fig13 overhead
-                    ablation batching snapshot chaos linearize micro all};
+                    ablation batching snapshot chaos linearize micro wire
+                    all};
    default: all. *)
 
 open Edc_simnet
@@ -736,7 +737,7 @@ let () =
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
         "overhead"; "ablation"; "batching"; "snapshot"; "chaos"; "linearize";
-        "micro" ]
+        "micro"; "wire" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -761,6 +762,11 @@ let () =
       | "chaos" -> chaos quick
       | "linearize" -> linearize quick
       | "micro" -> micro ()
+      | "wire" ->
+          Report.section
+            "Wire codec: frame encode/decode vs Marshal, rejection cost, \
+             TCP end to end";
+          Wire_bench.run ~quick
       | other -> Printf.eprintf "unknown target %S (skipped)\n" other)
     targets;
   Printf.printf "\nTotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

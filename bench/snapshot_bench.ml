@@ -176,17 +176,36 @@ let make_cluster ?zab_config ?(seed = 7) () =
 
 let run_for c d = Sim.run ~until:(Sim_time.add (Sim.now c.sim) d) c.sim
 
+let hist_encode (hist : (Zab.zxid * string) list) =
+  Edc_wire.Wire.encode
+    (Edc_wire.Wire.List
+       (List.map
+          (fun ((z : Zab.zxid), s) ->
+            Edc_wire.Wire.(List [ Int z.epoch; Int z.counter; Str s ]))
+          hist))
+
+let hist_decode blob : ((Zab.zxid * string) list, string) result =
+  Result.bind (Edc_wire.Wire.decode blob) (fun w ->
+      Edc_wire.Wire.map_list
+        (function
+          | Edc_wire.Wire.List
+              [ Edc_wire.Wire.Int epoch; Edc_wire.Wire.Int counter;
+                Edc_wire.Wire.Str s ] ->
+              Ok ({ Zab.epoch; counter }, s)
+          | _ -> Error "bad history entry")
+        w)
+
 let compact_survivors c ids =
   List.iter
     (fun i ->
       Zab.compact c.replicas.(i) ~take:(fun () ->
           let hist = c.delivered.(i) in
-          fun () -> Marshal.to_string hist []))
+          fun () -> hist_encode hist))
     ids
 
 let arm_install c i =
   Zab.set_install_snapshot c.replicas.(i) (fun blob ->
-      c.delivered.(i) <- (Marshal.from_string blob 0 : (Zab.zxid * string) list))
+      Result.map (fun h -> c.delivered.(i) <- h) (hist_decode blob))
 
 (* Run until [pred] holds, in [step]-sized slices, at most [limit]. *)
 let run_until c ~step ~limit pred =

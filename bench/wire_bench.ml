@@ -1,0 +1,300 @@
+(* Wire codec benchmarks (PR: untrusted-bytes binary codec + pluggable
+   transport).
+
+   Three experiments, results in BENCH_wire.json:
+   - codec: encode/decode wall-clock throughput of the Wire frame codec
+     against the unchecked [Marshal] baseline it replaced, on the two
+     shapes that dominate traffic — a group-committed transaction batch
+     and a full snapshot image.  Marshal appears here only as the
+     yardstick; the servers no longer link it.
+   - decode_reject: time to reject corrupt input (truncated and
+     bit-flipped blobs) — the untrusted path must fail fast, not scale
+     with the declared (attacker-chosen) sizes
+   - tcp: the counter workload end to end over real loopback sockets via
+     {!Edc_wire.Tcp_transport}, reported as wall-clock ops/s next to the
+     same workload on the in-sim transport *)
+
+open Edc_simnet
+module Zk = Edc_zookeeper
+module Dt = Zk.Data_tree
+module Txn = Zk.Txn
+module Zab = Edc_replication.Zab
+module Zab_wire = Edc_replication.Zab_wire
+module Wire = Edc_wire.Wire
+module Tcp_transport = Edc_wire.Tcp_transport
+module J = Bench_json
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let time_us ~reps f =
+  let t0 = now_us () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (now_us () -. t0) /. float_of_int reps
+
+(* ------------------------------------------------------------------ *)
+(* Representative payloads                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a group-committed Propose carrying [n] set transactions *)
+let txn_batch n : Txn.t Zab.msg =
+  let entries =
+    List.init n (fun i ->
+        {
+          Zab.zxid = { Zab.epoch = 3; counter = 1000 + i };
+          payload =
+            {
+              Txn.origin = Some (i mod 3);
+              session = 7_000_000 + i;
+              xid = i;
+              ops =
+                [
+                  Txn.Tset
+                    {
+                      path = Printf.sprintf "/bench/n%04d" (i mod 64);
+                      data = Printf.sprintf "value-%06d" i;
+                      version = i;
+                    };
+                ];
+              result = Zk.Protocol.Set { version = i };
+              quiet = false;
+            };
+        })
+  in
+  Zab.Propose
+    { epoch = 3; index = 1000; prev_zxid = { epoch = 3; counter = 999 }; entries }
+
+let snapshot_portable n =
+  let t = Dt.create () in
+  Dt.apply_create t ~path:"/b" ~data:"" ~ephemeral_owner:None;
+  for i = 0 to n - 1 do
+    Dt.apply_create t
+      ~path:(Printf.sprintf "/b/n%06d" i)
+      ~data:(Printf.sprintf "payload-%06d" i)
+      ~ephemeral_owner:None
+  done;
+  let img = Dt.export t in
+  let p = Dt.materialize img in
+  Dt.release img;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Codec throughput vs the Marshal baseline                            *)
+(* ------------------------------------------------------------------ *)
+
+type codec_row = {
+  c_shape : string;
+  c_codec : string;
+  c_bytes : int;
+  c_encode_us : float;
+  c_decode_us : float;
+}
+
+let codec_experiment ~quick =
+  let reps = if quick then 200 else 2_000 in
+  let batch = txn_batch 64 in
+  let portable = snapshot_portable (if quick then 2_000 else 10_000) in
+  let batch_to_wire m = Zab_wire.to_wire ~payload:Zk.Wire_format.txn_to_wire m in
+  let batch_of_wire w = Zab_wire.of_wire ~payload:Zk.Wire_format.txn_of_wire w in
+  let shapes =
+    [
+      ( "txn_batch_64",
+        (fun () -> Wire.encode (batch_to_wire batch)),
+        fun s ->
+          match Result.bind (Wire.decode s) batch_of_wire with
+          | Ok _ -> ()
+          | Error e -> failwith e );
+      ( "snapshot_10k",
+        (fun () -> Wire.encode (Zk.Wire_format.portable_to_wire portable)),
+        fun s ->
+          match Result.bind (Wire.decode s) Zk.Wire_format.portable_of_wire with
+          | Ok _ -> ()
+          | Error e -> failwith e );
+    ]
+  in
+  let marshal_shapes =
+    [
+      ( "txn_batch_64",
+        (fun () -> Marshal.to_string batch []),
+        fun s -> ignore (Marshal.from_string s 0 : Txn.t Zab.msg) );
+      ( "snapshot_10k",
+        (fun () -> Marshal.to_string portable []),
+        fun s -> ignore (Marshal.from_string s 0 : Dt.portable) );
+    ]
+  in
+  Printf.printf "\n  codec throughput (mean wall clock, %d reps):\n" reps;
+  Printf.printf "  %14s %9s %9s %12s %12s\n" "shape" "codec" "bytes" "encode us"
+    "decode us";
+  let measure codec (shape, enc, dec) =
+    let bytes = String.length (enc ()) in
+    let blob = enc () in
+    let encode_us = time_us ~reps (fun () -> ignore (enc () : string)) in
+    let decode_us = time_us ~reps (fun () -> dec blob) in
+    Printf.printf "  %14s %9s %9d %12.2f %12.2f\n%!" shape codec bytes encode_us
+      decode_us;
+    { c_shape = shape; c_codec = codec; c_bytes = bytes; c_encode_us = encode_us;
+      c_decode_us = decode_us }
+  in
+  let wire_rows = List.map (measure "wire") shapes in
+  let marshal_rows = List.map (measure "marshal") marshal_shapes in
+  let rows = wire_rows @ marshal_rows in
+  Printf.printf
+    "  (marshal is the unchecked baseline the servers no longer link)\n";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Rejection cost: corrupt input must fail fast                        *)
+(* ------------------------------------------------------------------ *)
+
+type reject_row = { r_case : string; r_us : float }
+
+let reject_experiment ~quick =
+  let reps = if quick then 1_000 else 10_000 in
+  let portable = snapshot_portable (if quick then 2_000 else 10_000) in
+  let blob = Wire.encode (Zk.Wire_format.portable_to_wire portable) in
+  let truncated = String.sub blob 0 (String.length blob / 2) in
+  let flipped =
+    let b = Bytes.of_string blob in
+    Bytes.set b 1 (Char.chr (Char.code (Bytes.get b 1) lxor 0xff));
+    Bytes.to_string b
+  in
+  (* a 5-byte input claiming a multi-gigabyte payload *)
+  let bomb = "\x02\xff\xff\xff\xff\x1f" in
+  let cases =
+    [ ("truncated_snapshot", truncated); ("flipped_header", flipped);
+      ("length_bomb", bomb) ]
+  in
+  Printf.printf "\n  rejection cost (mean wall clock, %d reps):\n" reps;
+  Printf.printf "  %20s %12s\n" "case" "us";
+  List.map
+    (fun (name, s) ->
+      let us =
+        time_us ~reps (fun () ->
+            match Wire.decode s with Ok _ -> failwith name | Error _ -> ())
+      in
+      Printf.printf "  %20s %12.3f\n%!" name us;
+      { r_case = name; r_us = us })
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* End to end: counter workload, in-sim vs real sockets                *)
+(* ------------------------------------------------------------------ *)
+
+type e2e_row = { e_transport : string; e_ops : int; e_wall_s : float; e_ops_s : float }
+
+let counter_workload client ~increments =
+  (match Zk.Client.create_node client "/ctr" "0" with
+  | Ok _ -> ()
+  | Error e -> failwith (Format.asprintf "create: %a" Zk.Zerror.pp e));
+  for i = 1 to increments do
+    match Zk.Client.set_data client "/ctr" (string_of_int i) with
+    | Ok _ -> ()
+    | Error e -> failwith (Format.asprintf "set %d: %a" i Zk.Zerror.pp e)
+  done
+
+let e2e_tcp ~increments =
+  let sim = Sim.create ~seed:5 () in
+  let base_port = 22000 + (Unix.getpid () mod 18000) in
+  let hub =
+    Tcp_transport.create ~sim ~base_port ~encode:Zk.Server_wire.encode
+      ~decode:Zk.Server_wire.decode ()
+  in
+  let tr = Tcp_transport.transport hub in
+  let replica_ids = [ 0; 1; 2 ] in
+  let servers =
+    List.map
+      (fun id -> Zk.Server.create ~sim ~net:tr ~id ~replica_ids ~initial_leader:0 ())
+      replica_ids
+  in
+  List.iter Zk.Server.start servers;
+  let client = Zk.Client.create ~sim ~net:tr ~addr:100 ~replica:1 () in
+  let t0 = Unix.gettimeofday () in
+  let fin =
+    Proc.async sim (fun () ->
+        Zk.Client.connect client;
+        counter_workload client ~increments)
+  in
+  let deadline = t0 +. 120. in
+  while (not (Proc.is_fulfilled fin)) && Unix.gettimeofday () < deadline do
+    Tcp_transport.drive hub ~wall:0.05
+  done;
+  Tcp_transport.shutdown hub;
+  if not (Proc.is_fulfilled fin) then failwith "tcp workload did not finish";
+  let wall = Unix.gettimeofday () -. t0 in
+  let ops = increments + 1 in
+  { e_transport = "tcp"; e_ops = ops; e_wall_s = wall;
+    e_ops_s = float_of_int ops /. wall }
+
+let e2e_sim ~increments =
+  let sim = Sim.create ~seed:5 () in
+  let cluster = Zk.Cluster.create sim in
+  let t0 = Unix.gettimeofday () in
+  let fin =
+    Proc.async sim (fun () ->
+        let client = Zk.Cluster.connected_client cluster () in
+        counter_workload client ~increments)
+  in
+  Sim.run ~until:(Sim_time.sec 60) sim;
+  if not (Proc.is_fulfilled fin) then failwith "sim workload did not finish";
+  let wall = Unix.gettimeofday () -. t0 in
+  let ops = increments + 1 in
+  { e_transport = "sim"; e_ops = ops; e_wall_s = wall;
+    e_ops_s = float_of_int ops /. wall }
+
+let e2e_experiment ~quick =
+  let increments = if quick then 100 else 500 in
+  Printf.printf
+    "\n  end to end, identical replica code (counter workload, %d updates):\n"
+    increments;
+  Printf.printf "  %9s %8s %10s %12s\n" "transport" "ops" "wall s" "ops/s";
+  let rows = [ e2e_sim ~increments; e2e_tcp ~increments ] in
+  List.iter
+    (fun r ->
+      Printf.printf "  %9s %8d %10.2f %12.1f\n%!" r.e_transport r.e_ops r.e_wall_s
+        r.e_ops_s)
+    rows;
+  Printf.printf
+    "  (tcp wall time includes real socket round trips; the sim row is the\n\
+    \   same workload on the virtual-time message plane)\n";
+  rows
+
+(* ------------------------------------------------------------------ *)
+
+let run ~quick =
+  let codec_rows = codec_experiment ~quick in
+  let reject_rows = reject_experiment ~quick in
+  let e2e_rows = e2e_experiment ~quick in
+  J.write_suite ~suite:"wire"
+    [
+      ( "codec",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("shape", J.Str r.c_shape);
+                   ("codec", J.Str r.c_codec);
+                   ("bytes", J.Int r.c_bytes);
+                   ("encode_us", J.Float r.c_encode_us);
+                   ("decode_us", J.Float r.c_decode_us);
+                 ])
+             codec_rows) );
+      ( "reject",
+        J.List
+          (List.map
+             (fun r -> J.Obj [ ("case", J.Str r.r_case); ("us", J.Float r.r_us) ])
+             reject_rows) );
+      ( "e2e",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("transport", J.Str r.e_transport);
+                   ("ops", J.Int r.e_ops);
+                   ("wall_s", J.Float r.e_wall_s);
+                   ("ops_per_s", J.Float r.e_ops_s);
+                 ])
+             e2e_rows) );
+    ]

@@ -9,6 +9,29 @@ open Ast
 
 let ( let* ) = Result.bind
 
+(* Canonical decimal integers only.  [int_of_string] also accepts 0x/0o/0b
+   radix prefixes, '_' separators, a leading '+', and leading zeros — any
+   of which would let two different registration payloads alias to one
+   program (e.g. ["0x10"] and ["16"]). *)
+let canonical_int_of_string s =
+  let n = String.length s in
+  let all_digits from =
+    let ok = ref (from < n) in
+    for j = from to n - 1 do
+      match s.[j] with '0' .. '9' -> () | _ -> ok := false
+    done;
+    !ok
+  in
+  let canonical =
+    if n = 0 then false
+    else
+      let i = if s.[0] = '-' then 1 else 0 in
+      all_digits i
+      && (not (n - i > 1 && s.[i] = '0')) (* no leading zeros *)
+      && s <> "-0"
+  in
+  if canonical then int_of_string_opt s else None
+
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -133,7 +156,9 @@ let rec expr_of_sexp sx =
   | List [ Atom "b"; Atom b ] -> (
       match bool_of_string_opt b with Some b -> Ok (Bool_lit b) | None -> Error "bad bool")
   | List [ Atom "i"; Atom i ] -> (
-      match int_of_string_opt i with Some i -> Ok (Int_lit i) | None -> Error "bad int")
+      match canonical_int_of_string i with
+      | Some i -> Ok (Int_lit i)
+      | None -> Error "bad int")
   | List [ Atom "s"; Atom s ] -> Ok (Str_lit s)
   | List [ Atom "var"; Atom v ] -> Ok (Var v)
   | List [ Atom "param"; Atom p ] -> Ok (Param p)

@@ -18,7 +18,10 @@ let atom_needs_quoting s =
        (fun c ->
          match c with
          | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true
-         | _ -> false)
+         (* bytes outside printable ASCII ride inside quotes: a bare atom
+            with control or high bytes would not survive a print/parse
+            round-trip byte-for-byte *)
+         | c -> c < ' ' || c > '~')
        s
 
 let quote_atom s =
@@ -81,12 +84,22 @@ let parse_quoted st =
     | Some '"' -> advance st
     | Some '\\' -> (
         advance st;
+        (* Exactly the escapes {!quote_atom} emits.  Accepting unknown
+           escapes (historically [\x] → [x]) made distinct byte strings
+           decode to equal programs — a non-canonical wire format. *)
         match peek st with
         | Some 'n' -> advance st; Buffer.add_char buf '\n'; loop ()
         | Some 'r' -> advance st; Buffer.add_char buf '\r'; loop ()
         | Some 't' -> advance st; Buffer.add_char buf '\t'; loop ()
-        | Some c -> advance st; Buffer.add_char buf c; loop ()
+        | Some '"' -> advance st; Buffer.add_char buf '"'; loop ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; loop ()
+        | Some c -> raise (Parse_error (Printf.sprintf "unknown escape \\%c" c))
         | None -> raise (Parse_error "dangling escape"))
+    | Some (('\n' | '\r' | '\t') as c) ->
+        (* these have mandated escape forms; a raw control byte here would
+           be a second spelling of the same atom *)
+        ignore c;
+        raise (Parse_error "unescaped control character in string")
     | Some c ->
         advance st;
         Buffer.add_char buf c;

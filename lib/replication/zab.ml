@@ -141,7 +141,7 @@ type 'p t = {
   mutable snap_cache : (int * string) option;
       (** (base, blob): the forced serialization, reused until the next
           compaction moves the horizon *)
-  mutable install_snapshot : (string -> unit) option;
+  mutable install_snapshot : (string -> (unit, string) result) option;
   mutable current_epoch : int;
   mutable voted_epoch : int;  (** highest epoch we granted a vote in *)
   mutable committed : int;  (** length of the committed log prefix *)
@@ -209,6 +209,8 @@ and xfer_stats = {
   mutable last_resume_from : int;
       (** chunk index the latest resume restarted from (0 = none yet) *)
   mutable installs : int;  (** follower: complete blobs handed to the app *)
+  mutable install_rejects : int;
+      (** follower: assembled blobs the application refused to decode *)
 }
 
 let quorum t = (List.length t.peers / 2) + 1
@@ -236,7 +238,7 @@ let delivered_length t = t.delivered
 
 (* Force (or reuse) the serialized snapshot for the current horizon.
    Followers that never fall behind never call this, so they never pay the
-   Marshal cost — compaction only stores the thunk. *)
+   serialization cost — compaction only stores the thunk. *)
 let snapshot_blob t =
   match t.snap_cache with
   | Some (b, blob) when b = t.base -> blob
@@ -797,22 +799,32 @@ and finish_snapshot_install t ~src ~epoch =
            the transfer from scratch *)
         t.send ~dst:src (Sync_request { epoch; have = t.committed })
       else begin
-        (match t.install_snapshot with Some f -> f blob | None -> ());
-        t.stats.installs <- t.stats.installs + 1;
-        t.base <- ps.ps_base;
-        t.delivered <- ps.ps_base;
-        t.committed <- ps.ps_base;
-        t.verified <- ps.ps_base;
-        Vec.clear t.log;
-        (* our own snapshot of [0, base) is exactly the blob we installed:
-           cache it, so if we lead later we can serve transfers without
-           re-serializing *)
-        t.snap_take <- Some (fun () -> blob);
-        t.snap_cache <- Some (ps.ps_base, blob);
-        t.send ~dst:src
-          (Snapshot_ack { epoch; base = ps.ps_base; received = ps.ps_chunks });
-        (* fetch the retained suffix *)
-        t.send ~dst:src (Sync_request { epoch; have = ps.ps_base })
+        match
+          match t.install_snapshot with Some f -> f blob | None -> Ok ()
+        with
+        | Error _ ->
+            (* the application refused the blob (it failed to decode): our
+               state is untouched — reject the snapshot cleanly and ask the
+               leader to sync us again instead of dying on bad bytes *)
+            t.stats.install_rejects <- t.stats.install_rejects + 1;
+            t.send ~dst:src (Sync_request { epoch; have = t.committed })
+        | Ok () ->
+            t.stats.installs <- t.stats.installs + 1;
+            t.base <- ps.ps_base;
+            t.delivered <- ps.ps_base;
+            t.committed <- ps.ps_base;
+            t.verified <- ps.ps_base;
+            Vec.clear t.log;
+            (* our own snapshot of [0, base) is exactly the blob we
+               installed: cache it, so if we lead later we can serve
+               transfers without re-serializing *)
+            t.snap_take <- Some (fun () -> blob);
+            t.snap_cache <- Some (ps.ps_base, blob);
+            t.send ~dst:src
+              (Snapshot_ack
+                 { epoch; base = ps.ps_base; received = ps.ps_chunks });
+            (* fetch the retained suffix *)
+            t.send ~dst:src (Sync_request { epoch; have = ps.ps_base })
       end
 
 (* ------------------------------------------------------------------ *)
@@ -890,6 +902,7 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
           resumes = 0;
           last_resume_from = 0;
           installs = 0;
+          install_rejects = 0;
         };
     }
   in
@@ -944,7 +957,7 @@ let restart t =
     application snapshot that covers exactly the delivered entries
     (ZooKeeper's fuzzy-snapshot-plus-log made crisp by the simulator's
     synchronous apply).  [take ()] runs now — it must pin the state at the
-    horizon — but only returns a serializer; the Marshal work happens the
+    horizon — but only returns a serializer; the encoding work happens the
     first time a state transfer needs the bytes, and the result is cached
     until the next compaction.  A replica that never serves a transfer
     never serializes at all. *)

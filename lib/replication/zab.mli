@@ -133,8 +133,11 @@ val delivered_length : 'p t -> int
 (** [set_install_snapshot t f] — the application hook that replaces local
     state with a received snapshot blob (called once per completed chunked
     transfer, with the fully assembled blob: the import is atomic even
-    though delivery is streamed). *)
-val set_install_snapshot : 'p t -> (string -> unit) -> unit
+    though delivery is streamed).  The blob is untrusted bytes: the hook
+    returns [Error] if it does not decode, in which case local state must
+    be untouched — the transfer layer rejects the snapshot, keeps its
+    horizon, and re-requests a sync instead of dying. *)
+val set_install_snapshot : 'p t -> (string -> (unit, string) result) -> unit
 
 (** [compact t ~take] snapshots the delivered prefix and drops it from the
     log; lagging replicas then recover via chunked state transfer.
@@ -158,6 +161,9 @@ type xfer_stats = {
       (** chunk index the latest resume restarted from (never rewinds to 0
           unless the follower actually lost its prefix) *)
   mutable installs : int;  (** complete blobs handed to the application *)
+  mutable install_rejects : int;
+      (** assembled blobs the application refused to decode (corrupt or
+          truncated bytes rejected through the codec's [Error] path) *)
 }
 
 val xfer_stats : 'p t -> xfer_stats

@@ -1,0 +1,94 @@
+(** Binary codec for {!Zab} protocol messages (DESIGN.md §6g).
+
+    Parametric in the payload codec, like ['p Zab.msg] itself: the
+    deployment supplies [payload]/[of_payload] for its transaction type.
+    Every variant is a list frame headed by a small integer tag; the
+    decoder is total — malformed shapes come back as [Error]. *)
+
+open Edc_wire
+
+let ( let* ) = Result.bind
+
+let zxid_to_wire (z : Zab.zxid) = Wire.List [ Int z.epoch; Int z.counter ]
+
+let zxid_of_wire = function
+  | Wire.List [ Wire.Int epoch; Wire.Int counter ] ->
+      Ok { Zab.epoch; counter }
+  | _ -> Error "bad zxid"
+
+let entry_to_wire payload (e : 'p Zab.entry) =
+  Wire.List [ zxid_to_wire e.zxid; payload e.payload ]
+
+let entry_of_wire of_payload = function
+  | Wire.List [ z; p ] ->
+      let* zxid = zxid_of_wire z in
+      let* payload = of_payload p in
+      Ok { Zab.zxid; payload }
+  | _ -> Error "bad log entry"
+
+let to_wire ~payload (m : 'p Zab.msg) =
+  let open Wire in
+  match m with
+  | Zab.Ping { epoch; committed } -> List [ Int 0; Int epoch; Int committed ]
+  | Zab.Propose { epoch; index; prev_zxid; entries } ->
+      List
+        [ Int 1; Int epoch; Int index; zxid_to_wire prev_zxid;
+          List (List.map (entry_to_wire payload) entries) ]
+  | Zab.Ack { epoch; upto } -> List [ Int 2; Int epoch; Int upto ]
+  | Zab.Commit { epoch; index } -> List [ Int 3; Int epoch; Int index ]
+  | Zab.Request_vote { epoch; candidate; last_zxid } ->
+      List [ Int 4; Int epoch; Int candidate; zxid_to_wire last_zxid ]
+  | Zab.Vote { epoch } -> List [ Int 5; Int epoch ]
+  | Zab.Sync_request { epoch; have } -> List [ Int 6; Int epoch; Int have ]
+  | Zab.Sync { epoch; from; entries; committed } ->
+      List
+        [ Int 7; Int epoch; Int from;
+          List (List.map (entry_to_wire payload) entries); Int committed ]
+  | Zab.Snapshot_begin { epoch; base; total; chunk_size; digest; committed }
+    ->
+      List
+        [ Int 8; Int epoch; Int base; Int total; Int chunk_size; Str digest;
+          Int committed ]
+  | Zab.Snapshot_chunk { epoch; base; seq; data } ->
+      List [ Int 9; Int epoch; Int base; Int seq; Str data ]
+  | Zab.Snapshot_ack { epoch; base; received } ->
+      List [ Int 10; Int epoch; Int base; Int received ]
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+        match f x with Ok y -> go (y :: acc) rest | Error _ as e -> e)
+  in
+  go [] l
+
+let of_wire ~payload:of_payload w =
+  let open Wire in
+  match w with
+  | List [ Int 0; Int epoch; Int committed ] ->
+      Ok (Zab.Ping { epoch; committed })
+  | List [ Int 1; Int epoch; Int index; prev; List entries ] ->
+      let* prev_zxid = zxid_of_wire prev in
+      let* entries = map_result (entry_of_wire of_payload) entries in
+      Ok (Zab.Propose { epoch; index; prev_zxid; entries })
+  | List [ Int 2; Int epoch; Int upto ] -> Ok (Zab.Ack { epoch; upto })
+  | List [ Int 3; Int epoch; Int index ] -> Ok (Zab.Commit { epoch; index })
+  | List [ Int 4; Int epoch; Int candidate; z ] ->
+      let* last_zxid = zxid_of_wire z in
+      Ok (Zab.Request_vote { epoch; candidate; last_zxid })
+  | List [ Int 5; Int epoch ] -> Ok (Zab.Vote { epoch })
+  | List [ Int 6; Int epoch; Int have ] -> Ok (Zab.Sync_request { epoch; have })
+  | List [ Int 7; Int epoch; Int from; List entries; Int committed ] ->
+      let* entries = map_result (entry_of_wire of_payload) entries in
+      Ok (Zab.Sync { epoch; from; entries; committed })
+  | List
+      [ Int 8; Int epoch; Int base; Int total; Int chunk_size; Str digest;
+        Int committed ] ->
+      Ok
+        (Zab.Snapshot_begin
+           { epoch; base; total; chunk_size; digest; committed })
+  | List [ Int 9; Int epoch; Int base; Int seq; Str data ] ->
+      Ok (Zab.Snapshot_chunk { epoch; base; seq; data })
+  | List [ Int 10; Int epoch; Int base; Int received ] ->
+      Ok (Zab.Snapshot_ack { epoch; base; received })
+  | _ -> Error "bad zab message"

@@ -1,0 +1,22 @@
+(** Message-plane abstraction over {!Net} (see the interface). *)
+
+module type S = sig
+  type 'm t
+
+  val send : 'm t -> src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit
+  val register : 'm t -> Net.addr -> 'm Net.handler -> unit
+end
+
+type 'm t = {
+  send : src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit;
+  register : Net.addr -> 'm Net.handler -> unit;
+}
+
+let send t ~src ~dst ~size msg = t.send ~src ~dst ~size msg
+let register t addr handler = t.register addr handler
+
+let of_net net =
+  {
+    send = (fun ~src ~dst ~size msg -> Net.send net ~src ~dst ~size msg);
+    register = (fun addr handler -> Net.register net addr handler);
+  }

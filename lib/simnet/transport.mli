@@ -1,0 +1,37 @@
+(** The message plane replica code is written against.
+
+    {!Net} is one implementation (simulated links, modelled latency and
+    byte accounting); a real-socket implementation lives outside the
+    simulator (see [Edc_wire.Tcp_transport]).  Replica and client code
+    takes an ['m t] and never mentions the backing network, so the same
+    deployment runs in-sim and on the wire.
+
+    The signature is deliberately the minimal message plane: typed
+    point-to-point sends carrying a modelled size, and per-address handler
+    registration.  Failure injection and byte accounting stay on the
+    concrete {!Net} — they are properties of the simulated network, not of
+    the abstraction. *)
+
+(** What an implementation must provide.  First-class values of type
+    ['m t] below are records of exactly these two operations, so replica
+    code can be polymorphic over implementations without functorization. *)
+module type S = sig
+  type 'm t
+
+  val send : 'm t -> src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit
+  val register : 'm t -> Net.addr -> 'm Net.handler -> unit
+end
+
+type 'm t = {
+  send : src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit;
+      (** fire-and-forget; delivery may silently fail (node down, link
+          cut, connection refused) — protocols must tolerate loss *)
+  register : Net.addr -> 'm Net.handler -> unit;
+      (** install (or replace) the handler for a local address *)
+}
+
+val send : 'm t -> src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit
+val register : 'm t -> Net.addr -> 'm Net.handler -> unit
+
+(** The simulated-network implementation. *)
+val of_net : 'm Net.t -> 'm t

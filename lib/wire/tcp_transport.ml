@@ -1,0 +1,247 @@
+(** Loopback-TCP transport hub (see the interface). *)
+
+open Edc_simnet
+
+(* Hard ceiling on a declared frame length: a stream that claims more is
+   corrupt (or hostile) and the connection is dropped — we never allocate
+   attacker-declared amounts beyond it. *)
+let max_frame = 64 * 1024 * 1024
+
+type conn = {
+  fd : Unix.file_descr;
+  dst_addr : int;  (** local address this connection delivers to *)
+  mutable inbuf : Bytes.t;
+  mutable in_len : int;
+}
+
+type 'm t = {
+  sim : Sim.t;
+  base_port : int;
+  encode : 'm -> string;
+  decode : string -> ('m, string) result;
+  handlers : (int, 'm Net.handler) Hashtbl.t;
+  listeners : (int, Unix.file_descr) Hashtbl.t;  (** local addr -> socket *)
+  accepted : (Unix.file_descr, conn) Hashtbl.t;
+  outbound : (int * int, Unix.file_descr) Hashtbl.t;  (** (src, dst) *)
+  mutable n_decode_errors : int;
+  mutable n_send_failures : int;
+  mutable n_frames_received : int;
+  mutable n_bytes_sent : int;
+  mutable closed : bool;
+}
+
+let create ~sim ~base_port ~encode ~decode () =
+  {
+    sim;
+    base_port;
+    encode;
+    decode;
+    handlers = Hashtbl.create 16;
+    listeners = Hashtbl.create 16;
+    accepted = Hashtbl.create 16;
+    outbound = Hashtbl.create 16;
+    n_decode_errors = 0;
+    n_send_failures = 0;
+    n_frames_received = 0;
+    n_bytes_sent = 0;
+    closed = false;
+  }
+
+let decode_errors t = t.n_decode_errors
+let send_failures t = t.n_send_failures
+let frames_received t = t.n_frames_received
+let bytes_sent t = t.n_bytes_sent
+
+let loopback port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let register t addr handler =
+  if not (Hashtbl.mem t.listeners addr) then begin
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (loopback (t.base_port + addr));
+    Unix.listen fd 64;
+    Hashtbl.replace t.listeners addr fd
+  end;
+  Hashtbl.replace t.handlers addr handler
+
+let drop_outbound t key =
+  match Hashtbl.find_opt t.outbound key with
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Hashtbl.remove t.outbound key
+  | None -> ()
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+(* Fire-and-forget, like the simulated network: any socket error drops the
+   message, closes the connection, and replication-level retransmission
+   recovers. *)
+let send t ~src ~dst ~size:_ msg =
+  if not t.closed then begin
+    let key = (src, dst) in
+    let body = t.encode msg in
+    let frame = Bytes.create (8 + String.length body) in
+    put_u32 frame 0 (4 + String.length body);
+    put_u32 frame 4 src;
+    Bytes.blit_string body 0 frame 8 (String.length body);
+    let attempt fd = write_all fd frame in
+    let fresh () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      Unix.connect fd (loopback (t.base_port + dst));
+      Hashtbl.replace t.outbound key fd;
+      fd
+    in
+    match
+      match Hashtbl.find_opt t.outbound key with
+      | Some fd -> attempt fd
+      | None -> attempt (fresh ())
+    with
+    | () -> t.n_bytes_sent <- t.n_bytes_sent + Bytes.length frame
+    | exception Unix.Unix_error _ -> (
+        drop_outbound t key;
+        (* one reconnect: the old connection may just have gone stale *)
+        match attempt (fresh ()) with
+        | () -> t.n_bytes_sent <- t.n_bytes_sent + Bytes.length frame
+        | exception Unix.Unix_error _ ->
+            drop_outbound t key;
+            t.n_send_failures <- t.n_send_failures + 1)
+  end
+
+let transport t = { Transport.send = send t; register = register t }
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove t.accepted conn.fd
+
+(* Extract every complete frame from [conn]'s buffer and dispatch it. *)
+let dispatch t conn =
+  let again = ref true in
+  while !again do
+    again := false;
+    if conn.in_len >= 4 then begin
+      let len = get_u32 conn.inbuf 0 in
+      if len < 4 || len > max_frame then begin
+        t.n_decode_errors <- t.n_decode_errors + 1;
+        close_conn t conn (* framing is lost; no way to resync *)
+      end
+      else if conn.in_len >= 4 + len then begin
+        let src = get_u32 conn.inbuf 4 in
+        let body = Bytes.sub_string conn.inbuf 8 (len - 4) in
+        let rest = conn.in_len - (4 + len) in
+        Bytes.blit conn.inbuf (4 + len) conn.inbuf 0 rest;
+        conn.in_len <- rest;
+        t.n_frames_received <- t.n_frames_received + 1;
+        (match t.decode body with
+        | Error _ -> t.n_decode_errors <- t.n_decode_errors + 1
+        | Ok msg -> (
+            match Hashtbl.find_opt t.handlers conn.dst_addr with
+            | Some handler ->
+                handler ~src ~size:(String.length body) msg
+            | None -> ()));
+        again := Hashtbl.mem t.accepted conn.fd
+      end
+    end
+  done
+
+let read_conn t conn =
+  let chunk = 65536 in
+  if Bytes.length conn.inbuf - conn.in_len < chunk then begin
+    let bigger =
+      Bytes.create (Stdlib.max (2 * Bytes.length conn.inbuf) (conn.in_len + chunk))
+    in
+    Bytes.blit conn.inbuf 0 bigger 0 conn.in_len;
+    conn.inbuf <- bigger
+  end;
+  match Unix.read conn.fd conn.inbuf conn.in_len chunk with
+  | 0 -> close_conn t conn
+  | n ->
+      conn.in_len <- conn.in_len + n;
+      dispatch t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let poll t ~timeout =
+  if not t.closed then begin
+    let listener_fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.listeners [] in
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.accepted [] in
+    match Unix.select (listener_fds @ conn_fds) [] [] timeout with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt t.accepted fd with
+            | Some conn -> read_conn t conn
+            | None -> (
+                (* a listener: accept and attach the connection to the
+                   listening address *)
+                let addr =
+                  Hashtbl.fold
+                    (fun a lfd acc -> if lfd = fd then Some a else acc)
+                    t.listeners None
+                in
+                match addr with
+                | None -> ()
+                | Some dst_addr -> (
+                    match Unix.accept fd with
+                    | conn_fd, _ ->
+                        Hashtbl.replace t.accepted conn_fd
+                          {
+                            fd = conn_fd;
+                            dst_addr;
+                            inbuf = Bytes.create 65536;
+                            in_len = 0;
+                          }
+                    | exception Unix.Unix_error _ -> ())))
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end
+
+let drive t ~wall =
+  let t0 = Unix.gettimeofday () in
+  let virtual0 = Sim.now t.sim in
+  let fin = ref false in
+  while not !fin do
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed >= wall then fin := true
+    else begin
+      Sim.run t.sim ~until:(Sim_time.add virtual0 (Sim_time.of_float_s elapsed));
+      poll t ~timeout:0.001
+    end
+  done
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.iter
+      (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listeners;
+    Hashtbl.iter
+      (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.accepted;
+    Hashtbl.iter
+      (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.outbound;
+    Hashtbl.reset t.listeners;
+    Hashtbl.reset t.accepted;
+    Hashtbl.reset t.outbound
+  end

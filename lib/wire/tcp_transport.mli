@@ -1,0 +1,62 @@
+(** Real-socket implementation of {!Edc_simnet.Transport}.
+
+    A hub multiplexes any number of local addresses (replicas and clients
+    of one process) over loopback TCP: address [a] listens on
+    [base_port + a], sends open one outbound connection per (src, dst)
+    pair, and {!poll} drains readable sockets and dispatches complete
+    frames to registered handlers.
+
+    Stream framing (independent of the {!Wire} frame inside):
+
+    {v [u32 BE frame length] [u32 BE source address] [message bytes] v}
+
+    where the length covers the source word and the message.  Reads are
+    buffered per connection, so frames split across TCP segments are
+    reassembled; malformed messages (decoder [Error]) and oversized
+    declared lengths are counted and dropped without raising — the wire
+    is as untrusted as in-sim bytes.
+
+    Sends are fire-and-forget, matching {!Edc_simnet.Net}: a refused
+    connection or broken pipe drops the message (and is counted), and the
+    replication layer's retransmission recovers, exactly as it does from
+    simulated link loss.
+
+    The event loop bridges wall clock and virtual clock: {!drive} runs the
+    simulator's timers against elapsed real time and polls the sockets in
+    between, so unmodified [Sim]-scheduled replica code (heartbeats,
+    elections, client fibers) runs in real time. *)
+
+type 'm t
+
+(** [create ~sim ~base_port ~encode ~decode ()] — a hub for one process.
+    [decode] is applied to every received message body; [Error] counts as
+    a decode failure and the frame is dropped. *)
+val create :
+  sim:Edc_simnet.Sim.t ->
+  base_port:int ->
+  encode:('m -> string) ->
+  decode:(string -> ('m, string) result) ->
+  unit ->
+  'm t
+
+(** The {!Edc_simnet.Transport} view: hand this to servers and clients. *)
+val transport : 'm t -> 'm Edc_simnet.Transport.t
+
+(** [poll t ~timeout] — accept, read, reassemble, dispatch; returns after
+    [timeout] seconds if nothing is readable. *)
+val poll : 'm t -> timeout:float -> unit
+
+(** [drive t ~wall] — pump loop: advance the simulator's virtual clock in
+    step with elapsed wall-clock time and poll sockets, for [wall]
+    seconds. *)
+val drive : 'm t -> wall:float -> unit
+
+(** Close every socket (listeners and connections). *)
+val shutdown : 'm t -> unit
+
+(** Counters. *)
+
+val decode_errors : 'm t -> int
+val send_failures : 'm t -> int
+val frames_received : 'm t -> int
+val bytes_sent : 'm t -> int

@@ -1,0 +1,195 @@
+(** Binary framing: tag + minimal varint length + payload (see the
+    interface and DESIGN.md §6g). *)
+
+type t = Int of int | Str of string | List of t list
+
+let max_depth = 64
+
+(* Tag registry — never reuse a retired value (§6g). *)
+let tag_int = 0x01
+let tag_str = 0x02
+let tag_list = 0x03
+
+(* ------------------------------------------------------------------ *)
+(* Varints                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Unsigned LEB128 over the full 63-bit word; the operand is treated as a
+   bit pattern, so zigzagged negatives (top bit set) encode in ≤ 9 bytes. *)
+
+let varint_size n =
+  let rec go n acc = if n lsr 7 = 0 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag u = (u lsr 1) lxor (- (u land 1))
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec payload_size depth v =
+  match v with
+  | Int n -> varint_size (zigzag n)
+  | Str s -> String.length s
+  | List l ->
+      if depth >= max_depth then
+        invalid_arg "Wire.encode: tree deeper than max_depth";
+      List.fold_left (fun acc c -> acc + frame_size (depth + 1) c) 0 l
+
+and frame_size depth v =
+  let p = payload_size depth v in
+  1 + varint_size p + p
+
+let size v = frame_size 1 v
+
+let encode v =
+  let total = frame_size 1 v in
+  let b = Bytes.create total in
+  let pos = ref 0 in
+  let put_byte c =
+    Bytes.unsafe_set b !pos (Char.unsafe_chr c);
+    incr pos
+  in
+  let put_varint n =
+    let n = ref n in
+    let fin = ref false in
+    while not !fin do
+      let byte = !n land 0x7f in
+      n := !n lsr 7;
+      if !n = 0 then begin
+        put_byte byte;
+        fin := true
+      end
+      else put_byte (byte lor 0x80)
+    done
+  in
+  let rec go depth v =
+    match v with
+    | Int n ->
+        put_byte tag_int;
+        let z = zigzag n in
+        put_varint (varint_size z);
+        put_varint z
+    | Str s ->
+        put_byte tag_str;
+        let len = String.length s in
+        put_varint len;
+        Bytes.blit_string s 0 b !pos len;
+        pos := !pos + len
+    | List l ->
+        put_byte tag_list;
+        put_varint (payload_size depth v);
+        List.iter (go (depth + 1)) l
+  in
+  go 1 v;
+  Bytes.unsafe_to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding (total: any input, clean [Error])                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of string
+
+let decode s =
+  let input_len = String.length s in
+  let get pos = Char.code (String.unsafe_get s pos) in
+  (* Minimal-length check: a multi-byte varint whose final (most
+     significant) group is zero has a shorter encoding — reject, so each
+     value has exactly one accepted byte string. *)
+  let read_varint pos limit =
+    let value = ref 0
+    and shift = ref 0
+    and p = ref pos
+    and last = ref 0
+    and count = ref 0
+    and fin = ref false in
+    while not !fin do
+      if !p >= limit then raise (Fail "truncated varint");
+      if !count >= 9 then raise (Fail "varint too long");
+      let b = get !p in
+      incr p;
+      incr count;
+      last := b land 0x7f;
+      value := !value lor (!last lsl !shift);
+      shift := !shift + 7;
+      if b land 0x80 = 0 then fin := true
+    done;
+    if !count > 1 && !last = 0 then raise (Fail "non-minimal varint");
+    (!value, !p)
+  in
+  (* [limit] is the end of the enclosing payload: a frame may never read —
+     or declare a length reaching — past it, which kills length bombs
+     before any allocation. *)
+  let rec parse depth pos limit =
+    if depth > max_depth then raise (Fail "nesting too deep");
+    if pos >= limit then raise (Fail "truncated frame");
+    let tag = get pos in
+    let len, p = read_varint (pos + 1) limit in
+    if len < 0 || len > limit - p then
+      raise (Fail "declared length exceeds input");
+    let pend = p + len in
+    if tag = tag_int then begin
+      let z, q = read_varint p pend in
+      if q <> pend then raise (Fail "int payload length mismatch");
+      (Int (unzigzag z), pend)
+    end
+    else if tag = tag_str then (Str (String.sub s p len), pend)
+    else if tag = tag_list then begin
+      let items = ref [] in
+      let q = ref p in
+      while !q < pend do
+        let v, q' = parse (depth + 1) !q pend in
+        items := v :: !items;
+        q := q'
+      done;
+      (List (List.rev !items), pend)
+    end
+    else raise (Fail (Printf.sprintf "unknown tag 0x%02x" tag))
+  in
+  match parse 1 0 input_len with
+  | v, pos -> if pos <> input_len then Error "trailing bytes" else Ok v
+  | exception Fail msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kind = function Int _ -> "int" | Str _ -> "str" | List _ -> "list"
+let to_int = function Int n -> Ok n | v -> Error ("expected int, got " ^ kind v)
+let to_str = function Str s -> Ok s | v -> Error ("expected str, got " ^ kind v)
+
+let to_list = function
+  | List l -> Ok l
+  | v -> Error ("expected list, got " ^ kind v)
+
+let bool_ b = Int (if b then 1 else 0)
+
+let to_bool = function
+  | Int 0 -> Ok false
+  | Int 1 -> Ok true
+  | v -> Error ("expected bool, got " ^ kind v)
+
+let option f = function None -> List [] | Some x -> List [ f x ]
+
+let to_option f = function
+  | List [] -> Ok None
+  | List [ x ] -> Result.map Option.some (f x)
+  | v -> Error ("expected option, got " ^ kind v)
+
+let map_list f v =
+  match v with
+  | List l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match f x with Ok y -> go (y :: acc) rest | Error _ as e -> e)
+      in
+      go [] l
+  | v -> Error ("expected list, got " ^ kind v)
+
+let rec pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+  | List l ->
+      Format.fprintf ppf "(@[%a@])" (Format.pp_print_list ~pp_sep:Format.pp_print_space pp) l

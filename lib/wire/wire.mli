@@ -1,0 +1,63 @@
+(** Self-describing, length-prefixed binary framing.
+
+    The deployment's untrusted-bytes codec: snapshot blobs, Zab/PBFT
+    messages, and the TCP transport all speak frames of this shape
+    (DESIGN.md §6g).  A frame is
+
+    {v tag(1 byte)  length(varint)  payload(length bytes) v}
+
+    with three tags: [0x01] signed integer (zigzag varint payload),
+    [0x02] byte string (raw payload), [0x03] list (payload is the
+    concatenation of the child frames).  Records and variants are encoded
+    as lists by the layer above.
+
+    Two properties the rest of the system leans on:
+
+    - {b Deterministic}: [encode] is a pure function of the tree — no
+      sharing, no OCaml-version dependence — so equal states produce
+      byte-identical blobs (snapshot digests, chunk-transfer resume).
+      Varints are minimal-length, so [decode] accepts exactly one byte
+      string per tree (canonical form; non-minimal varints are rejected).
+    - {b Total}: [decode] treats its input as untrusted.  Truncated,
+      malformed, over-long, over-deep, or non-canonical bytes yield a
+      clean [Error] — never an exception, never an allocation driven by
+      an attacker-declared length beyond the input's actual size. *)
+
+type t = Int of int | Str of string | List of t list
+
+(** Nesting depth [decode] accepts (and [encode] emits) before rejecting;
+    bounds stack use against length-bomb inputs. *)
+val max_depth : int
+
+(** Size in bytes of the encoded frame. *)
+val size : t -> int
+
+(** [encode v] renders one frame.  Raises [Invalid_argument] if the tree
+    is deeper than {!max_depth} (a programming error on the {e sending}
+    side; decoding never raises). *)
+val encode : t -> string
+
+(** [decode s] parses exactly one frame spanning the whole of [s].
+    Trailing bytes, truncation, unknown tags, non-minimal varints,
+    depth/length violations: all [Error] with a description. *)
+val decode : string -> (t, string) result
+
+(** {2 Accessors} — shape checks for untrusted trees, as [result]s so
+    decoders compose with [let*]. *)
+
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+
+val bool_ : bool -> t
+val to_bool : t -> (bool, string) result
+
+(** [None] ↦ [List []]; [Some x] ↦ [List [f x]]. *)
+val option : ('a -> t) -> 'a option -> t
+
+val to_option : (t -> ('a, string) result) -> t -> ('a option, string) result
+
+(** Decode every element of a [List] frame. *)
+val map_list : (t -> ('a, string) result) -> t -> ('a list, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -18,7 +18,7 @@ let default_config =
 
 type t = {
   sim : Sim.t;
-  net : Server.wire Net.t;
+  net : Server.wire Transport.t;
   addr : int;
   config : config;
   mutable replica : int;
@@ -87,7 +87,7 @@ let create ?(config = default_config) ~sim ~net ~addr ~replica () =
       replies_received = 0;
     }
   in
-  Net.register net addr (fun ~src:_ ~size:_ msg ->
+  Transport.register net addr (fun ~src:_ ~size:_ msg ->
       match msg with
       | Server.Server_msg m -> handle_server_msg t m
       | Server.Client_msg _ | Server.Zab_msg _ | Server.Forward _
@@ -97,7 +97,7 @@ let create ?(config = default_config) ~sim ~net ~addr ~replica () =
   t
 
 let send_client_msg t msg =
-  Net.send t.net ~src:t.addr ~dst:t.replica
+  Transport.send t.net ~src:t.addr ~dst:t.replica
     ~size:(Server.wire_size (Server.Client_msg msg))
     (Server.Client_msg msg)
 

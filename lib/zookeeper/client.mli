@@ -16,7 +16,7 @@ type t
 val create :
   ?config:config ->
   sim:Sim.t ->
-  net:Server.wire Net.t ->
+  net:Server.wire Transport.t ->
   addr:int ->
   replica:int ->
   unit ->

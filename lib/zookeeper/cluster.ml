@@ -8,7 +8,8 @@ open Edc_simnet
 
 type t = {
   sim : Sim.t;
-  net : Server.wire Net.t;
+  net : Server.wire Net.t;  (** failure injection and byte accounting *)
+  transport : Server.wire Transport.t;  (** the message plane servers see *)
   servers : Server.t array;
   mutable next_client_addr : int;
   mutable next_replica : int;
@@ -32,15 +33,17 @@ let create ?(n_replicas = 3) ?net_config ?server_config ?zab_config ?batch sim
         Some { base with Edc_replication.Zab.batch = b }
   in
   let replica_ids = List.init n_replicas Fun.id in
+  let transport = Transport.of_net net in
   let servers =
     Array.init n_replicas (fun id ->
-        Server.create ?config:server_config ?zab_config ~sim ~net ~id
-          ~replica_ids ~initial_leader:0 ())
+        Server.create ?config:server_config ?zab_config ~sim ~net:transport
+          ~id ~replica_ids ~initial_leader:0 ())
   in
   Array.iter Server.start servers;
   {
     sim;
     net;
+    transport;
     servers;
     next_client_addr = client_addr_base;
     next_replica = 0;
@@ -73,7 +76,7 @@ let client ?config ?replica t () =
         t.next_replica <- (t.next_replica + 1) mod Array.length t.servers;
         r
   in
-  Client.create ?config ~sim:t.sim ~net:t.net ~addr ~replica ()
+  Client.create ?config ~sim:t.sim ~net:t.transport ~addr ~replica ()
 
 (** [connected_client t ()] spawns nothing: call from within a fiber; it
     allocates and connects in one step. *)

@@ -18,6 +18,7 @@
 
 open Edc_simnet
 open Edc_replication
+open Edc_wire
 module P = Protocol
 
 (* ------------------------------------------------------------------ *)
@@ -84,7 +85,7 @@ let default_config =
 
 type t = {
   sim : Sim.t;
-  net : wire Net.t;
+  net : wire Transport.t;
   id : int;
   replica_ids : int list;
   config : config;
@@ -149,10 +150,14 @@ let client_addr_of t session =
 
 let send_to_client t session msg =
   match client_addr_of t session with
-  | Some addr -> Net.send t.net ~src:t.id ~dst:addr ~size:(wire_size (Server_msg msg)) (Server_msg msg)
+  | Some addr ->
+      Transport.send t.net ~src:t.id ~dst:addr
+        ~size:(wire_size (Server_msg msg))
+        (Server_msg msg)
   | None -> ()
 
-let send_wire t ~dst msg = Net.send t.net ~src:t.id ~dst ~size:(wire_size msg) msg
+let send_wire t ~dst msg =
+  Transport.send t.net ~src:t.id ~dst ~size:(wire_size msg) msg
 
 (* ------------------------------------------------------------------ *)
 (* Final processor: apply committed transactions                       *)
@@ -267,13 +272,69 @@ type snapshot = {
   snap_blocked : (string * (int * int * int) list) list;
 }
 
+(* Snapshot blobs cross the wire and are re-read by other replicas (and,
+   eventually, other OCaml versions): they go through the deterministic
+   binary codec, never [Marshal].  Inputs are pre-sorted by
+   {!capture_snapshot}, so equal states yield byte-identical frames. *)
+let snapshot_to_wire s =
+  let open Wire in
+  List
+    [ Wire_format.portable_to_wire s.snap_tree;
+      List
+        (List.map
+           (fun (session, (info : session_info)) ->
+             List [ Int session; Int info.client_addr; Int info.owner_replica ])
+           s.snap_sessions);
+      List
+        (List.map
+           (fun (path, waiters) ->
+             List
+               [ Str path;
+                 List
+                   (List.map
+                      (fun (s, o, x) -> List [ Int s; Int o; Int x ])
+                      waiters) ])
+           s.snap_blocked) ]
+
+let snapshot_of_wire w =
+  let open Wire in
+  let ( let* ) = Result.bind in
+  match w with
+  | List [ tree; sessions; blocked ] ->
+      let* snap_tree = Wire_format.portable_of_wire tree in
+      let* snap_sessions =
+        map_list
+          (function
+            | List [ Int session; Int client_addr; Int owner_replica ] ->
+                Ok (session, { client_addr; owner_replica })
+            | _ -> Error "bad session entry")
+          sessions
+      in
+      let* snap_blocked =
+        map_list
+          (function
+            | List [ Str path; waiters ] ->
+                let* waiters =
+                  map_list
+                    (function
+                      | List [ Int s; Int o; Int x ] -> Ok (s, o, x)
+                      | _ -> Error "bad blocked waiter")
+                    waiters
+                in
+                Ok (path, waiters)
+            | _ -> Error "bad blocked entry")
+          blocked
+      in
+      Ok { snap_tree; snap_sessions; snap_blocked }
+  | _ -> Error "bad snapshot"
+
 (** Capture the replica's whole replicated state (tree, sessions, parked
     blocking calls).  Must correspond exactly to the delivered prefix —
     guaranteed because the simulator applies transactions synchronously.
 
     The capture itself is O(sessions + blocked), NOT O(tree): the tree is
     pinned by a copy-on-write handle ({!Data_tree.export}), and the
-    returned closure does the materialize + [Marshal] work only if a state
+    returned closure does the materialize + encode work only if a state
     transfer ever needs the bytes.  Sessions and blocked entries are
     snapshotted eagerly (they are small, and [session_info] is mutable so
     sharing it with the live table would let later moves corrupt the
@@ -297,22 +358,33 @@ let capture_snapshot t =
   in
   fun () ->
     t.snap_serializations <- t.snap_serializations + 1;
-    Marshal.to_string
-      { snap_tree = Data_tree.materialize image; snap_sessions; snap_blocked }
-      []
+    Wire.encode
+      (snapshot_to_wire
+         { snap_tree = Data_tree.materialize image; snap_sessions; snap_blocked })
 
+let snapshot_bytes t = (capture_snapshot t) ()
+
+(** The blob is untrusted bytes off the wire: decode fully (a pure step)
+    before touching any state, so a corrupt or truncated blob leaves the
+    replica exactly as it was and the transfer layer can re-request. *)
 let install_snapshot t blob =
-  let snap : snapshot = Marshal.from_string blob 0 in
-  Data_tree.import_portable t.tree snap.snap_tree;
-  Hashtbl.reset t.sessions;
-  List.iter (fun (k, v) -> Hashtbl.replace t.sessions k v) snap.snap_sessions;
-  Hashtbl.reset t.blocked;
-  List.iter (fun (k, v) -> Hashtbl.replace t.blocked k (ref v)) snap.snap_blocked;
-  t.snap_installs <- t.snap_installs + 1;
-  (* the installed blob puts us exactly at a snapshot horizon: restart the
-     interval so we do not immediately re-capture state we just received *)
-  t.txns_since_snapshot <- 0;
-  t.hook_on_snapshot_installed t
+  match Result.bind (Wire.decode blob) snapshot_of_wire with
+  | Error _ as e -> e
+  | Ok snap ->
+      Data_tree.import_portable t.tree snap.snap_tree;
+      Hashtbl.reset t.sessions;
+      List.iter (fun (k, v) -> Hashtbl.replace t.sessions k v) snap.snap_sessions;
+      Hashtbl.reset t.blocked;
+      List.iter
+        (fun (k, v) -> Hashtbl.replace t.blocked k (ref v))
+        snap.snap_blocked;
+      t.snap_installs <- t.snap_installs + 1;
+      (* the installed blob puts us exactly at a snapshot horizon: restart
+         the interval so we do not immediately re-capture state we just
+         received *)
+      t.txns_since_snapshot <- 0;
+      t.hook_on_snapshot_installed t;
+      Ok ()
 
 let maybe_compact t =
   if t.config.snapshot_interval > 0 then begin
@@ -358,7 +430,7 @@ let reply_direct t ~session ~xid result =
   match client_addr_of t session with
   | Some addr ->
       let msg = Server_msg (P.Reply { xid; result }) in
-      Net.send t.net ~src:t.id ~dst:addr ~size:(wire_size msg) msg
+      Transport.send t.net ~src:t.id ~dst:addr ~size:(wire_size msg) msg
   | None -> ()
 
 let propose t (txn : Txn.t) =
@@ -553,7 +625,7 @@ let is_read_op = function
 let handle_request t ~src ~session ~xid op =
   if not (session_exists t session) then
     let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Session_expired }) in
-    Net.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
+    Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
   else if is_read_op op && not (t.hook_read_needs_leader t ~session op) then
     Cpu.exec t.cpu ~cost:t.config.read_cost (fun () ->
         serve_read t ~session ~xid op)
@@ -567,7 +639,7 @@ let handle_client_msg t ~src = function
   | P.Ping { session } ->
       if session_exists t session then forward_to_leader t (Touch { session })
       else
-        Net.send t.net ~src:t.id ~dst:src
+        Transport.send t.net ~src:t.id ~dst:src
           ~size:(wire_size (Server_msg P.Expired))
           (Server_msg P.Expired)
   | P.Close_session { session } -> forward_to_leader t (Forward_close { session })
@@ -689,7 +761,7 @@ let create ?(config = default_config) ?zab_config ~sim ~net ~id ~replica_ids
   Zab.set_install_snapshot z (fun blob -> install_snapshot t blob);
   Zab.set_on_role_change z (fun role -> on_role_change t role);
   t.leader_ready <- Zab.is_leader z;
-  Net.register net id (fun ~src ~size:_ msg -> handle_wire t ~src msg);
+  Transport.register net id (fun ~src ~size:_ msg -> handle_wire t ~src msg);
   t
 
 let start t =

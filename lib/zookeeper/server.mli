@@ -54,7 +54,7 @@ val create :
   ?config:config ->
   ?zab_config:Zab.config ->
   sim:Sim.t ->
-  net:wire Net.t ->
+  net:wire Transport.t ->
   id:int ->
   replica_ids:int list ->
   initial_leader:int ->
@@ -98,6 +98,21 @@ val snapshots_skipped : t -> int
 
 (** Complete state-transfer blobs imported atomically. *)
 val snapshot_installs : t -> int
+
+(** {2 Snapshot blobs (state transfer, §3.8)}
+
+    Blobs are framed by the deterministic binary codec ([Edc_wire.Wire]):
+    equal replicated states serialize to byte-identical bytes, across COW
+    histories and OCaml versions. *)
+
+(** Capture and serialize the replica's current replicated state. *)
+val snapshot_bytes : t -> string
+
+(** [install_snapshot t blob] replaces the replica's state with an
+    untrusted blob.  The blob is decoded in full before any state is
+    touched: on [Error] (corrupt, truncated, or bit-flipped bytes) the
+    replica is left exactly as it was. *)
+val install_snapshot : t -> string -> (unit, string) result
 
 (** Leader-side entry point for service-internal multi-transactions
     (bootstrap objects, event-extension follow-ups).  [quiet] transactions

@@ -49,6 +49,50 @@ let prop_sexp_roundtrip =
   QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:300 sexp_arb
     (fun sx -> Sexp.of_string (Sexp.to_string sx) = Ok sx)
 
+(* like [sexp_arb] but atoms range over arbitrary bytes, not just printable
+   ASCII — the canonical-form properties must hold for any payload *)
+let sexp_bytes_arb =
+  let open QCheck.Gen in
+  let any_string =
+    string_size ~gen:(char_range '\000' '\255') (int_range 0 12)
+  in
+  let atom = map (fun s -> Sexp.Atom s) any_string in
+  let rec gen depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [ (3, atom); (1, map (fun l -> Sexp.List l) (list_size (int_range 0 4) (gen (depth - 1)))) ]
+  in
+  QCheck.make (gen 4)
+
+let prop_sexp_roundtrip_bytes =
+  QCheck.Test.make ~name:"sexp roundtrip over arbitrary bytes" ~count:500
+    sexp_bytes_arb (fun sx -> Sexp.of_string (Sexp.to_string sx) = Ok sx)
+
+(* canonical bytes: printing what we parsed back from our own output
+   reproduces the output exactly, so equal values have equal encodings *)
+let prop_sexp_encoding_fixpoint =
+  QCheck.Test.make ~name:"sexp encoding is a fixpoint" ~count:500
+    sexp_bytes_arb (fun sx ->
+      let enc = Sexp.to_string sx in
+      match Sexp.of_string enc with
+      | Error _ -> false
+      | Ok sx' -> Sexp.to_string sx' = enc)
+
+let test_sexp_rejects_unknown_escape () =
+  List.iter
+    (fun s ->
+      match Sexp.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should reject %S" s)
+    [
+      {|"\x41"|} (* hex escapes were never emitted, only silently eaten *);
+      {|"\0"|};
+      {|"a\qb"|};
+      "\"raw\ttab\"" (* control bytes with escape forms must use them *);
+      "\"raw\nnewline\"";
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Value                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -129,6 +173,38 @@ let test_codec_rejects_unknown_ops () =
   match Codec.deserialize bad with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "must reject unknown service op"
+
+let test_codec_rejects_noncanonical_ints () =
+  let s = Codec.serialize counter_program in
+  (match Codec.deserialize s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "baseline program rejected: %s" e);
+  let replace_first ~pat ~by s =
+    let plen = String.length pat in
+    let rec find i =
+      if i + plen > String.length s then None
+      else if String.sub s i plen = pat then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.failf "pattern %S not found in %S" pat s
+    | Some i ->
+        String.sub s 0 i ^ by ^ String.sub s (i + plen) (String.length s - i - plen)
+  in
+  (* every spelling below parses with [int_of_string] but is not the
+     canonical decimal rendering of the value, so two different byte
+     strings would alias to one program *)
+  List.iter
+    (fun spelling ->
+      let doctored = replace_first ~pat:"(i 1)" ~by:("(i " ^ spelling ^ ")") s in
+      match Codec.deserialize doctored with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "must reject int spelling %S" spelling)
+    [ "0x1"; "0o1"; "0b1"; "1_"; "1_000"; "+1"; "01"; "007"; "-0" ];
+  (* canonical negatives still pass *)
+  match Codec.deserialize (replace_first ~pat:"(i 1)" ~by:"(i -7)" s) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "canonical negative rejected: %s" e
 
 (* Generators for whole programs, used by the codec properties below.
    Identifiers are kept alphanumeric (that is all the verifier admits
@@ -940,7 +1016,11 @@ let () =
         [
           Alcotest.test_case "roundtrip basics" `Quick test_sexp_roundtrip_basic;
           Alcotest.test_case "rejects garbage" `Quick test_sexp_rejects_garbage;
+          Alcotest.test_case "rejects unknown escapes" `Quick
+            test_sexp_rejects_unknown_escape;
           qc prop_sexp_roundtrip;
+          qc prop_sexp_roundtrip_bytes;
+          qc prop_sexp_encoding_fixpoint;
         ] );
       ( "value",
         [
@@ -951,6 +1031,8 @@ let () =
         [
           Alcotest.test_case "program roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "rejects unknown ops" `Quick test_codec_rejects_unknown_ops;
+          Alcotest.test_case "rejects non-canonical ints" `Quick
+            test_codec_rejects_noncanonical_ints;
           qc prop_codec_roundtrip;
           qc prop_codec_rejects_truncated;
           qc prop_codec_garbage_is_graceful;

@@ -39,6 +39,26 @@ let make_zab_cluster ?(n = 3) ?(seed = 1) ?zab_config () =
     replicas;
   { zsim = sim; znet = net; zreplicas = replicas; zdelivered = delivered }
 
+(* Toy payload-history codec for state-transfer tests. *)
+let hist_encode (hist : (Zab.zxid * string) list) =
+  Edc_wire.Wire.encode
+    (Edc_wire.Wire.List
+       (List.map
+          (fun ((z : Zab.zxid), s) ->
+            Edc_wire.Wire.(List [ Int z.epoch; Int z.counter; Str s ]))
+          hist))
+
+let hist_decode blob : ((Zab.zxid * string) list, string) result =
+  Result.bind (Edc_wire.Wire.decode blob) (fun w ->
+      Edc_wire.Wire.map_list
+        (function
+          | Edc_wire.Wire.List
+              [ Edc_wire.Wire.Int epoch; Edc_wire.Wire.Int counter;
+                Edc_wire.Wire.Str s ] ->
+              Ok ({ Zab.epoch; counter }, s)
+          | _ -> Error "bad history entry")
+        w)
+
 let zab_log c i = List.rev_map snd c.zdelivered.(i)
 
 let crash_zab c i =
@@ -169,17 +189,16 @@ let test_zab_snapshot_recovery () =
   (* compact the survivors: blob = their delivered history *)
   List.iter
     (fun i ->
-      (* capture now, marshal only if a transfer asks *)
+      (* capture now, serialize only if a transfer asks *)
       Zab.compact c.zreplicas.(i) ~take:(fun () ->
           let hist = c.zdelivered.(i) in
-          fun () -> Marshal.to_string hist []))
+          fun () -> hist_encode hist))
     [ 0; 1 ];
   Alcotest.(check bool) "leader log compacted" true
     (Zab.compaction_base c.zreplicas.(0) > 0);
   (* the restarting follower installs the snapshot into its app state *)
   Zab.set_install_snapshot c.zreplicas.(2) (fun blob ->
-      let history : (Zab.zxid * string) list = Marshal.from_string blob 0 in
-      c.zdelivered.(2) <- history);
+      Result.map (fun h -> c.zdelivered.(2) <- h) (hist_decode blob));
   Net.set_node_up c.znet 2;
   Zab.restart c.zreplicas.(2);
   run_for c (Sim_time.sec 2);

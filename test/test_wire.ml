@@ -1,0 +1,606 @@
+(* The untrusted-bytes surface: fuzz corpus over the binary frame parser
+   (round-trips, truncation at every byte offset, random garbage, crafted
+   depth/length bombs — the decoder must never raise), round-trips for
+   every message and snapshot codec built on it, the corrupt-snapshot
+   regression (truncated and bit-flipped blobs yield a clean [Error] and
+   leave the replica untouched; a rejecting follower re-requests instead
+   of dying), and the first wall-clock end-to-end run: a 3-replica Zab
+   cluster serving the counter workload over real loopback TCP. *)
+
+open Edc_simnet
+open Edc_wire
+module Zk = Edc_zookeeper
+module Txn = Zk.Txn
+module P = Zk.Protocol
+module Zab = Edc_replication.Zab
+module Zab_wire = Edc_replication.Zab_wire
+module Pbft = Edc_replication.Pbft
+module Pbft_wire = Edc_replication.Pbft_wire
+
+let qc = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec: fuzz corpus                                            *)
+(* ------------------------------------------------------------------ *)
+
+let wire_arb =
+  let open QCheck.Gen in
+  let any_string =
+    string_size ~gen:(char_range '\000' '\255') (int_range 0 16)
+  in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Wire.Int i) int;
+        (* small ints exercise the 1-byte varint paths *)
+        map (fun i -> Wire.Int i) (int_range (-300) 300);
+        map (fun s -> Wire.Str s) any_string;
+      ]
+  in
+  let rec gen depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          (1, map (fun l -> Wire.List l) (list_size (int_range 0 5) (gen (depth - 1))));
+        ]
+  in
+  QCheck.make (gen 4)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode roundtrip" ~count:500 wire_arb
+    (fun v -> Wire.decode (Wire.encode v) = Ok v)
+
+let prop_wire_size =
+  QCheck.Test.make ~name:"wire size matches encoded length" ~count:500
+    wire_arb (fun v -> Wire.size v = String.length (Wire.encode v))
+
+(* truncation at EVERY byte offset must be a clean [Error] *)
+let prop_wire_truncation =
+  QCheck.Test.make ~name:"wire decode of every truncation errors" ~count:200
+    wire_arb (fun v ->
+      let s = Wire.encode v in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        match Wire.decode (String.sub s 0 k) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      !ok)
+
+let prop_wire_garbage =
+  QCheck.Test.make ~name:"wire decode never raises on garbage" ~count:1000
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s -> match Wire.decode s with Ok _ | Error _ -> true)
+
+(* flipping any single byte of a valid frame must not raise (it may still
+   decode: a flip inside a [Str] payload is a different, valid frame) *)
+let prop_wire_bitflip =
+  QCheck.Test.make ~name:"wire decode never raises on bit flips" ~count:200
+    wire_arb (fun v ->
+      let s = Wire.encode v in
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+          let b = Bytes.of_string s in
+          Bytes.set b i (Char.chr (Char.code c lxor 0x40));
+          match Wire.decode (Bytes.to_string b) with
+          | Ok _ | Error _ -> ()
+          | exception _ -> ok := false)
+        s;
+      !ok)
+
+(* manual varint for crafting malformed frames *)
+let craft_varint n =
+  let buf = Buffer.create 4 in
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n;
+  Buffer.contents buf
+
+let check_rejected name s =
+  match Wire.decode s with
+  | Error _ -> ()
+  | Ok v -> Alcotest.failf "%s decoded to %s" name (Format.asprintf "%a" Wire.pp v)
+
+let test_wire_crafted_bombs () =
+  (* depth bomb: a list nested past [max_depth] *)
+  let deep = ref (Wire.encode (Wire.Int 0)) in
+  for _ = 1 to Wire.max_depth + 4 do
+    deep := "\x03" ^ craft_varint (String.length !deep) ^ !deep
+  done;
+  check_rejected "depth bomb" !deep;
+  (* length bomb: a tiny input declaring a gigantic payload must be
+     rejected up front, not drive an allocation *)
+  check_rejected "length bomb (str)" ("\x02" ^ craft_varint 0x40_0000_0000 ^ "ab");
+  check_rejected "length bomb (list)" ("\x03" ^ craft_varint max_int);
+  (* a child frame declaring more bytes than its parent holds *)
+  check_rejected "child overruns parent"
+    ("\x03" ^ craft_varint 5 ^ "\x02" ^ craft_varint 200 ^ "abc");
+  (* non-minimal varints: same value, longer spelling — not canonical *)
+  check_rejected "non-minimal length varint" ("\x02\x81\x00" ^ "a");
+  check_rejected "non-minimal int payload" "\x01\x02\x80\x00";
+  (* varint longer than 9 bytes *)
+  check_rejected "varint too long"
+    ("\x02" ^ String.make 9 '\x80' ^ "\x01");
+  check_rejected "unknown tag" "\x07\x01a";
+  check_rejected "trailing bytes" (Wire.encode (Wire.Int 3) ^ "x");
+  check_rejected "int payload length mismatch" "\x01\x03\x02\x02\x02";
+  check_rejected "empty input" ""
+
+let test_wire_encode_rejects_overdeep () =
+  (* the leaf counts as one level, so [max_depth - 1] wrappers is the
+     deepest encodable tree *)
+  let rec nest d v = if d = 0 then v else nest (d - 1) (Wire.List [ v ]) in
+  (match Wire.encode (nest (Wire.max_depth - 1) (Wire.Int 1)) with
+  | _ -> ()
+  | exception Invalid_argument _ -> Alcotest.fail "max_depth itself must encode");
+  match Wire.encode (nest Wire.max_depth (Wire.Int 1)) with
+  | _ -> Alcotest.fail "over-deep tree must not encode"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Message codecs: round-trip every variant                            *)
+(* ------------------------------------------------------------------ *)
+
+let zxid : Zab.zxid = { epoch = 3; counter = 41 }
+
+let zab_samples : string Zab.msg list =
+  [
+    Ping { epoch = 1; committed = 7 };
+    Propose
+      {
+        epoch = 2;
+        index = 5;
+        prev_zxid = zxid;
+        entries =
+          [ { zxid; payload = "a" }; { zxid = { epoch = 3; counter = 42 }; payload = "" } ];
+      };
+    Ack { epoch = 2; upto = 6 };
+    Commit { epoch = 2; index = 6 };
+    Request_vote { epoch = 4; candidate = 1; last_zxid = zxid };
+    Vote { epoch = 4 };
+    Sync_request { epoch = 4; have = 3 };
+    Sync { epoch = 4; from = 4; entries = [ { zxid; payload = "p" } ]; committed = 5 };
+    Snapshot_begin
+      { epoch = 4; base = 100; total = 1536; chunk_size = 512; digest = "d"; committed = 99 };
+    Snapshot_chunk { epoch = 4; base = 100; seq = 1; data = String.make 64 '\x00' };
+    Snapshot_ack { epoch = 4; base = 100; received = 2 };
+  ]
+
+let test_zab_msg_roundtrip () =
+  List.iter
+    (fun m ->
+      let w = Zab_wire.to_wire ~payload:(fun s -> Wire.Str s) m in
+      match Result.bind (Wire.decode (Wire.encode w)) (Zab_wire.of_wire ~payload:Wire.to_str) with
+      | Ok m' -> Alcotest.(check bool) "zab msg" true (m = m')
+      | Error e -> Alcotest.failf "zab msg decode: %s" e)
+    zab_samples
+
+let pbft_samples : string Pbft.msg list =
+  let rid : Pbft.request_id = { client = 9; rseq = 2 } in
+  [
+    Pre_prepare { view = 0; seq = 3; batch = [ (rid, "op") ]; ts = Sim_time.ms 5 };
+    Prepare { view = 0; seq = 3 };
+    Commit { view = 0; seq = 3 };
+    View_change { new_view = 1; delivered = [ (rid, "a") ]; pending = [] };
+    New_view { view = 1 };
+    Recover_request;
+    Recover_reply { view = 1 };
+  ]
+
+let test_pbft_msg_roundtrip () =
+  List.iter
+    (fun m ->
+      let w = Pbft_wire.to_wire ~payload:(fun s -> Wire.Str s) m in
+      match Result.bind (Wire.decode (Wire.encode w)) (Pbft_wire.of_wire ~payload:Wire.to_str) with
+      | Ok m' -> Alcotest.(check bool) "pbft msg" true (m = m')
+      | Error e -> Alcotest.failf "pbft msg decode: %s" e)
+    pbft_samples
+
+let stat : Edc_zookeeper.Znode.stat =
+  { version = 2; czxid = 17; ephemeral_owner = Some 5; num_children = 1; data_length = 3 }
+
+let op_samples : P.op list =
+  [
+    Create { path = "/a"; data = "d"; ephemeral = true; sequential = false };
+    Delete { path = "/a"; version = Some 2 };
+    Delete { path = "/a"; version = None };
+    Set_data { path = "/a"; data = ""; expected_version = None };
+    Get_data { path = "/a"; watch = true };
+    Get_children { path = "/"; watch = false };
+    Exists { path = "/x"; watch = true };
+    Block { path = "/b" };
+    Sync;
+  ]
+
+let result_samples : P.result list =
+  [
+    Created "/a0000000001";
+    Deleted;
+    Set { version = 4 };
+    Data ("bytes\x00\xff", stat);
+    Children [ "a"; "b" ];
+    Stat_of (Some stat);
+    Stat_of None;
+    Unblocked "v";
+    Ext "serialized";
+    Synced;
+    Error Zk.Zerror.No_node;
+    Error (Zk.Zerror.Extension_error "boom");
+  ]
+
+let txn_samples : Txn.t list =
+  [
+    {
+      origin = Some 1;
+      session = 42;
+      xid = 7;
+      ops =
+        [
+          Tcreate { path = "/a"; data = "d"; ephemeral_owner = Some 42 };
+          Tdelete { path = "/b" };
+          Tset { path = "/a"; data = "x"; version = 3 };
+          Tsession_open { session = 42; client_addr = 1000; owner_replica = 1 };
+          Tsession_close { session = 41 };
+          Tsession_move { session = 42; owner_replica = 2 };
+          Tblock { session = 42; origin = 1; xid = 7; path = "/gate" };
+          Tnotify { session = 42; path = "/gate"; kind = P.Node_created };
+          Terror;
+        ];
+      result = P.Created "/a";
+      quiet = false;
+    };
+    Txn.internal ~quiet:true [ Tdelete { path = "/tmp" } ];
+  ]
+
+let server_wire_samples : Zk.Server.wire list =
+  [
+    Client_msg Connect;
+    Client_msg (Reconnect { session = 9 });
+    Client_msg (Request { session = 9; xid = 1; op = List.hd op_samples });
+    Client_msg (Ping { session = 9 });
+    Client_msg (Close_session { session = 9 });
+    Server_msg (Connect_ok { session = 9 });
+    Server_msg (Reply { xid = 1; result = P.Deleted });
+    Server_msg (Watch_event { path = "/w"; kind = P.Children_changed });
+    Server_msg Expired;
+    Zab_msg (Ping { epoch = 1; committed = 0 });
+    Forward { origin = 2; session = 9; xid = 3; op = P.Sync };
+    Forward_connect { origin = 2; client_addr = 1001 };
+    Forward_reconnect { origin = 0; session = 9 };
+    Forward_close { session = 9 };
+    Touch { session = 9 };
+  ]
+
+let test_protocol_roundtrip () =
+  let module WF = Zk.Wire_format in
+  List.iter
+    (fun op ->
+      match Result.bind (Wire.decode (Wire.encode (WF.op_to_wire op))) WF.op_of_wire with
+      | Ok op' -> Alcotest.(check bool) "op" true (op = op')
+      | Error e -> Alcotest.failf "op decode: %s" e)
+    op_samples;
+  List.iter
+    (fun r ->
+      match
+        Result.bind (Wire.decode (Wire.encode (WF.result_to_wire r))) WF.result_of_wire
+      with
+      | Ok r' -> Alcotest.(check bool) "result" true (r = r')
+      | Error e -> Alcotest.failf "result decode: %s" e)
+    result_samples;
+  List.iter
+    (fun t ->
+      match Result.bind (Wire.decode (Wire.encode (WF.txn_to_wire t))) WF.txn_of_wire with
+      | Ok t' -> Alcotest.(check bool) "txn" true (t = t')
+      | Error e -> Alcotest.failf "txn decode: %s" e)
+    txn_samples
+
+let test_server_wire_roundtrip () =
+  List.iter
+    (fun m ->
+      match Zk.Server_wire.decode (Zk.Server_wire.encode m) with
+      | Ok m' -> Alcotest.(check bool) "server wire" true (m = m')
+      | Error e -> Alcotest.failf "server wire decode: %s" e)
+    server_wire_samples;
+  (* truncations of a full server message never raise and never pass *)
+  let s = Zk.Server_wire.encode (List.nth server_wire_samples 2) in
+  for k = 0 to String.length s - 1 do
+    match Zk.Server_wire.decode (String.sub s 0 k) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d decoded" k
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot blobs: corrupt bytes are rejected, state untouched         *)
+(* ------------------------------------------------------------------ *)
+
+let run_until sim ~step ~limit pred =
+  let deadline = Sim_time.add (Sim.now sim) limit in
+  let rec go () =
+    if pred () then true
+    else if Sim_time.compare (Sim.now sim) deadline >= 0 then false
+    else begin
+      Sim.run ~until:(Sim_time.add (Sim.now sim) step) sim;
+      go ()
+    end
+  in
+  go ()
+
+let test_snapshot_corrupt_blob_rejected () =
+  let sim = Sim.create ~seed:11 () in
+  let cluster = Zk.Cluster.create sim in
+  Proc.spawn sim (fun () ->
+      let c = Zk.Cluster.connected_client cluster () in
+      ignore (Zk.Client.create_node c "/a" "alpha");
+      ignore (Zk.Client.create_node c "/a/b" "beta");
+      for i = 1 to 5 do
+        ignore (Zk.Client.set_data c "/a" (string_of_int i))
+      done);
+  Sim.run ~until:(Sim_time.sec 2) sim;
+  let s0 = (Zk.Cluster.servers cluster).(0) in
+  let blob = Zk.Server.snapshot_bytes s0 in
+  Alcotest.(check bool) "capture is deterministic" true
+    (String.equal blob (Zk.Server.snapshot_bytes s0));
+  (* victim replica in a second deployment; corrupt installs must leave
+     its state byte-identical *)
+  let vsim = Sim.create ~seed:12 () in
+  let victim = (Zk.Cluster.servers (Zk.Cluster.create vsim)).(0) in
+  let baseline () = Zk.Server.snapshot_bytes victim in
+  let before = baseline () in
+  (* the intact blob is installable — the corruptions below fail for
+     their corruption, not for some unrelated reason *)
+  (match Zk.Server.install_snapshot victim blob with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "intact blob rejected: %s" e);
+  (match Zk.Server.install_snapshot victim before with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore rejected: %s" e);
+  (* every truncation: clean Error, no state change *)
+  for k = 0 to String.length blob - 1 do
+    match Zk.Server.install_snapshot victim (String.sub blob 0 k) with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "truncation at %d installed" k
+  done;
+  Alcotest.(check bool) "state untouched after truncations" true
+    (String.equal before (baseline ()));
+  (* every single-byte corruption: never raises; on Error the state is
+     untouched (a flip inside a data payload can still be a valid blob) *)
+  let rejected = ref 0 in
+  String.iteri
+    (fun i c ->
+      let b = Bytes.of_string blob in
+      Bytes.set b i (Char.chr (Char.code c lxor 0xff));
+      match Zk.Server.install_snapshot victim (Bytes.to_string b) with
+      | Ok () ->
+          (* structurally valid mutant: restore the baseline *)
+          ignore (Zk.Server.install_snapshot victim before)
+      | Error _ ->
+          incr rejected;
+          if not (String.equal before (baseline ())) then
+            Alcotest.failf "rejected install at byte %d mutated state" i)
+    blob;
+  Alcotest.(check bool) "some corruptions structurally rejected" true (!rejected > 0)
+
+(* a follower whose install hook rejects the blob re-requests the
+   transfer instead of dying; once the hook accepts, it catches up *)
+
+let hist_encode (hist : (Zab.zxid * string) list) =
+  Wire.encode
+    (Wire.List
+       (List.map
+          (fun ((z : Zab.zxid), s) ->
+            Wire.List [ Wire.Int z.epoch; Wire.Int z.counter; Wire.Str s ])
+          hist))
+
+let hist_decode blob =
+  let ( let* ) = Result.bind in
+  let* w = Wire.decode blob in
+  Wire.map_list
+    (fun item ->
+      let* l = Wire.to_list item in
+      match l with
+      | [ e; c; s ] ->
+          let* epoch = Wire.to_int e in
+          let* counter = Wire.to_int c in
+          let* s = Wire.to_str s in
+          Ok (({ Zab.epoch; counter } : Zab.zxid), s)
+      | _ -> Error "history entry shape")
+    w
+
+let test_follower_rerequests_on_reject () =
+  let n = 3 in
+  let sim = Sim.create ~seed:21 () in
+  let net = Net.create sim in
+  let peers = List.init n Fun.id in
+  let delivered = Array.make n [] in
+  let send_from i ~dst msg =
+    Net.send net ~src:i ~dst ~size:(Zab.msg_size ~payload_size:String.length msg) msg
+  in
+  let replicas =
+    Array.init n (fun i ->
+        Zab.create ~sim ~id:i ~peers ~send:(send_from i)
+          ~on_deliver:(fun zxid p -> delivered.(i) <- (zxid, p) :: delivered.(i))
+          ~initial_leader:0 ())
+  in
+  Array.iteri
+    (fun i r ->
+      Net.register net i (fun ~src ~size:_ msg -> Zab.handle r ~src msg);
+      Zab.start r)
+    replicas;
+  let run_for d = Sim.run ~until:(Sim_time.add (Sim.now sim) d) sim in
+  run_for (Sim_time.ms 10);
+  Zab.crash replicas.(2);
+  Net.set_node_down net 2;
+  for k = 1 to 200 do
+    ignore (Zab.propose replicas.(0) (Printf.sprintf "%06d" k) : Zab.zxid option)
+  done;
+  run_for (Sim_time.sec 1);
+  List.iter
+    (fun i ->
+      Zab.compact replicas.(i) ~take:(fun () ->
+          let hist = delivered.(i) in
+          fun () -> hist_encode hist))
+    [ 0; 1 ];
+  (* reject the first two completed transfers, accept from then on *)
+  let rejections = ref 2 in
+  Zab.set_install_snapshot replicas.(2) (fun blob ->
+      if !rejections > 0 then begin
+        decr rejections;
+        Error "injected reject"
+      end
+      else Result.map (fun h -> delivered.(2) <- h) (hist_decode blob));
+  Net.set_node_up net 2;
+  Zab.restart replicas.(2);
+  let caught_up () = List.length delivered.(2) >= 200 in
+  let ok = run_until sim ~step:(Sim_time.ms 10) ~limit:(Sim_time.sec 30) caught_up in
+  Alcotest.(check bool) "follower caught up after rejects" true ok;
+  let stats = Zab.xfer_stats replicas.(2) in
+  Alcotest.(check int) "both rejects counted" 2 stats.Zab.install_rejects;
+  Alcotest.(check bool) "follower state equals the leader's" true
+    (delivered.(2) = delivered.(0))
+
+(* ------------------------------------------------------------------ *)
+(* End to end over real sockets                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcp_counter_workload () =
+  let sim = Sim.create ~seed:31 () in
+  (* pid-derived port block so parallel test runners don't collide *)
+  let base_port = 20000 + (Unix.getpid () mod 20000) in
+  let hub =
+    Tcp_transport.create ~sim ~base_port ~encode:Zk.Server_wire.encode
+      ~decode:Zk.Server_wire.decode ()
+  in
+  let tr = Tcp_transport.transport hub in
+  let replica_ids = [ 0; 1; 2 ] in
+  let servers =
+    List.map
+      (fun id ->
+        Zk.Server.create ~sim ~net:tr ~id ~replica_ids ~initial_leader:0 ())
+      replica_ids
+  in
+  List.iter Zk.Server.start servers;
+  let increments = 10 in
+  let client = Zk.Client.create ~sim ~net:tr ~addr:100 ~replica:1 () in
+  let outcome =
+    Proc.async sim (fun () ->
+        Zk.Client.connect client;
+        match Zk.Client.create_node client "/ctr" "0" with
+        | Error e -> Error (Format.asprintf "create: %a" Zk.Zerror.pp e)
+        | Ok _ ->
+            let rec bump i =
+              if i > increments then Ok ()
+              else
+                match Zk.Client.set_data client "/ctr" (string_of_int i) with
+                | Ok _ -> bump (i + 1)
+                | Error e -> Error (Format.asprintf "set %d: %a" i Zk.Zerror.pp e)
+            in
+            (match bump 1 with
+            | Error _ as e -> e
+            | Ok () -> (
+                match Zk.Client.get_data client "/ctr" with
+                | Ok (v, _) -> Ok v
+                | Error e -> Error (Format.asprintf "get: %a" Zk.Zerror.pp e))))
+  in
+  let deadline = Unix.gettimeofday () +. 60. in
+  while (not (Proc.is_fulfilled outcome)) && Unix.gettimeofday () < deadline do
+    Tcp_transport.drive hub ~wall:0.05
+  done;
+  Tcp_transport.shutdown hub;
+  (match Proc.value_opt outcome with
+  | None ->
+      Alcotest.failf "workload did not finish (frames=%d decode_errors=%d)"
+        (Tcp_transport.frames_received hub)
+        (Tcp_transport.decode_errors hub)
+  | Some (Error e) -> Alcotest.failf "workload failed: %s" e
+  | Some (Ok v) ->
+      Alcotest.(check string) "counter value read back over TCP"
+        (string_of_int increments) v);
+  Alcotest.(check bool) "traffic actually crossed the sockets" true
+    (Tcp_transport.frames_received hub > 0 && Tcp_transport.bytes_sent hub > 0);
+  Alcotest.(check int) "no undecodable frames" 0 (Tcp_transport.decode_errors hub)
+
+(* a hub whose peer speaks garbage: decoder errors are counted and
+   dropped, the process does not die *)
+let test_tcp_garbage_is_dropped () =
+  let sim = Sim.create ~seed:32 () in
+  let base_port = 40000 + (Unix.getpid () mod 9000) in
+  let hub =
+    Tcp_transport.create ~sim ~base_port ~encode:Zk.Server_wire.encode
+      ~decode:Zk.Server_wire.decode ()
+  in
+  let tr = Tcp_transport.transport hub in
+  let received = ref 0 in
+  Transport.register tr 0 (fun ~src:_ ~size:_ _ -> incr received);
+  Tcp_transport.poll hub ~timeout:0.01;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port));
+  let put_u32 b off v =
+    Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b (off + 3) (Char.chr (v land 0xff))
+  in
+  (* a well-framed message whose body is not a decodable Wire frame *)
+  let body = "this is not a frame" in
+  let msg = Bytes.create (8 + String.length body) in
+  put_u32 msg 0 (4 + String.length body);
+  put_u32 msg 4 7 (* claimed source address *);
+  Bytes.blit_string body 0 msg 8 (String.length body);
+  ignore (Unix.write sock msg 0 (Bytes.length msg));
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Tcp_transport.decode_errors hub = 0 && Unix.gettimeofday () < deadline do
+    Tcp_transport.poll hub ~timeout:0.05
+  done;
+  Unix.close sock;
+  Tcp_transport.shutdown hub;
+  Alcotest.(check int) "garbage counted as decode error" 1
+    (Tcp_transport.decode_errors hub);
+  Alcotest.(check int) "garbage not dispatched" 0 !received
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "edc_wire"
+    [
+      ( "codec",
+        [
+          qc prop_wire_roundtrip;
+          qc prop_wire_size;
+          qc prop_wire_truncation;
+          qc prop_wire_garbage;
+          qc prop_wire_bitflip;
+          Alcotest.test_case "crafted bombs rejected" `Quick test_wire_crafted_bombs;
+          Alcotest.test_case "encode rejects over-deep trees" `Quick
+            test_wire_encode_rejects_overdeep;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "zab messages roundtrip" `Quick test_zab_msg_roundtrip;
+          Alcotest.test_case "pbft messages roundtrip" `Quick test_pbft_msg_roundtrip;
+          Alcotest.test_case "protocol ops/results/txns roundtrip" `Quick
+            test_protocol_roundtrip;
+          Alcotest.test_case "server wire roundtrip" `Quick test_server_wire_roundtrip;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "corrupt blobs rejected, state untouched" `Quick
+            test_snapshot_corrupt_blob_rejected;
+          Alcotest.test_case "rejecting follower re-requests" `Quick
+            test_follower_rerequests_on_reject;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "3-replica counter workload over TCP" `Quick
+            test_tcp_counter_workload;
+          Alcotest.test_case "garbage frames dropped, not fatal" `Quick
+            test_tcp_garbage_is_dropped;
+        ] );
+    ]
