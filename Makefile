@@ -1,5 +1,5 @@
 # Tier-1 verification in one command (see ROADMAP.md).
-.PHONY: all build test check bench-quick chaos linearize clean
+.PHONY: all build test check bench-quick chaos linearize membership clean
 
 all: build
 
@@ -25,6 +25,12 @@ chaos:
 # (re-enables the divergent-tail bug and asserts the checker convicts).
 linearize:
 	dune exec bench/main.exe -- linearize
+
+# Elastic membership: seeded 3->5->3 joint-consensus autoscaling runs
+# under a reconfiguration-targeted nemesis (leader killed mid-reconfig,
+# learner links cut mid-bootstrap); writes BENCH_membership.json.
+membership:
+	dune exec bench/main.exe -- membership
 
 clean:
 	dune clean

@@ -5,8 +5,8 @@
    Usage:
      bench/main.exe [targets] [--quick]
    where targets ⊆ {table1 table2 fig6 fig8 fig10 fig12 fig13 overhead
-                    ablation batching snapshot chaos linearize micro wire
-                    all};
+                    ablation batching snapshot chaos membership linearize
+                    micro wire all};
    default: all. *)
 
 open Edc_simnet
@@ -456,6 +456,7 @@ let chaos quick =
   Report.availability_table points;
   Report.fault_summary points;
   Report.snapshot_summary points;
+  Report.reconfig_summary points;
   Report.error_taxonomy points;
   Report.invariant_failures points;
   Report.fault_trace (List.hd points);
@@ -687,6 +688,138 @@ let linearize quick =
   else Printf.printf "\nall linearizability checks passed\n"
 
 (* ------------------------------------------------------------------ *)
+(* Elastic membership: 3 -> 5 -> 3 autoscaling under chaos             *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_json = function
+  | Ck_wgl.Linearizable _ -> "linearizable"
+  | Ck_wgl.Non_linearizable _ -> "violation"
+  | Ck_wgl.Budget_exhausted _ -> "inconclusive"
+
+let json_of_membership (p : E.membership_point) =
+  let r = p.E.mp_reconfig in
+  let floats fs = Bench_json.List (List.map (fun f -> Bench_json.Float f) fs) in
+  Bench_json.Obj
+    [
+      ("system", Bench_json.Str (S.kind_name p.E.mp_kind));
+      ("seed", Bench_json.Int p.E.mp_seed);
+      ("ops_ok", Bench_json.Int p.E.mp_ops_ok);
+      ("ops_maybe", Bench_json.Int p.E.mp_ops_maybe);
+      ("ops_failed", Bench_json.Int p.E.mp_ops_failed);
+      ( "members_final",
+        Bench_json.List
+          (List.map (fun i -> Bench_json.Int i) p.E.mp_members_final) );
+      ("grow_ms", floats p.E.mp_grow_ms);
+      ("shrink_ms", floats p.E.mp_shrink_ms);
+      ("joins_attempted", Bench_json.Int r.E.rs_joins_attempted);
+      ("joins_completed", Bench_json.Int r.E.rs_joins_completed);
+      ("leaves_attempted", Bench_json.Int r.E.rs_leaves_attempted);
+      ("leaves_completed", Bench_json.Int r.E.rs_leaves_completed);
+      ("joint_commits", Bench_json.Int r.E.rs_joint_commits);
+      ("finals_committed", Bench_json.Int r.E.rs_finals_committed);
+      ("aborted", Bench_json.Int r.E.rs_aborted);
+      ("fenced", Bench_json.Int r.E.rs_fenced);
+      ("catchup_ms", floats r.E.rs_catchup_ms);
+      ("reconfig_kills", Bench_json.Int p.E.mp_reconfig_kills);
+      ("crashes", Bench_json.Int p.E.mp_crashes);
+      ("leader_kills", Bench_json.Int p.E.mp_leader_kills);
+      ("steady_ops_s", Bench_json.Float p.E.mp_steady_ops_s);
+      ("trough_ops_s", Bench_json.Float p.E.mp_trough_ops_s);
+      ("recovery_s", floats p.E.mp_recovery_s);
+      ("unrecovered", Bench_json.Int p.E.mp_unrecovered);
+      ( "bootstrap_resume_from_chunk",
+        Bench_json.Int p.E.mp_snap.S.ss_last_resume_from );
+      ("snapshot_resumes", Bench_json.Int p.E.mp_snap.S.ss_resumes);
+      ("anomalies", Bench_json.Int p.E.mp_anomalies);
+      ( "invariant_failures",
+        Bench_json.List
+          (List.map (fun s -> Bench_json.Str s) p.E.mp_invariant_failures) );
+      ( "linearizability",
+        Bench_json.List
+          (List.map
+             (fun (obj, v) ->
+               Bench_json.Obj
+                 [
+                   ("object", Bench_json.Str obj);
+                   ("verdict", Bench_json.Str (verdict_json v));
+                 ])
+             p.E.mp_lin) );
+      ("history_events", Bench_json.Int p.E.mp_history_events);
+    ]
+
+let membership quick =
+  Report.section
+    "Elastic membership: 3 -> 5 -> 3 joint-consensus autoscaling under chaos";
+  let seeds = if quick then [ 42; 43; 44 ] else List.init 10 (fun i -> 42 + i) in
+  let kinds = if quick then [ S.Ezk ] else [ S.Zookeeper; S.Ezk ] in
+  Printf.printf
+    "  diurnal writes; joiners bootstrap as learners through the chunked\n\
+    \  snapshot transfer (first joiner's links cut mid-bootstrap); from t=8s\n\
+    \  a reconfiguration-targeted nemesis kills the leader within 120 ms of\n\
+    \  any in-flight config change; seeds %s\n%!"
+    (String.concat ", " (List.map string_of_int seeds));
+  let points =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun seed ->
+            let p = E.membership_point ~seed kind in
+            Printf.printf "  %-10s seed=%d done\n%!" (S.kind_name kind) seed;
+            p)
+          seeds)
+      kinds
+  in
+  Report.membership_table points;
+  Report.membership_reconfig_summary points;
+  Report.membership_invariant_failures points;
+  let p0 = List.hd points in
+  Printf.printf "\nfault trace (%s, seed %d):\n%s"
+    (S.kind_name p0.E.mp_kind) p0.E.mp_seed p0.E.mp_trace;
+  (* Determinism: the same seed must reproduce the same fault trace. *)
+  let rerun = E.membership_point ~seed:p0.E.mp_seed p0.E.mp_kind in
+  let deterministic = String.equal rerun.E.mp_trace p0.E.mp_trace in
+  Printf.printf "\nsame-seed rerun reproduces the fault trace: %b\n"
+    deterministic;
+  let broken = List.exists (fun p -> p.E.mp_invariant_failures <> []) points in
+  let violations =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun (obj, v) ->
+            match v with
+            | Ck_wgl.Non_linearizable _ ->
+                Some (S.kind_name p.E.mp_kind, p.E.mp_seed, obj)
+            | _ -> None)
+          p.E.mp_lin)
+      points
+  in
+  let kills = List.fold_left (fun a p -> a + p.E.mp_reconfig_kills) 0 points in
+  let unrecovered = List.fold_left (fun a p -> a + p.E.mp_unrecovered) 0 points in
+  let worst_recovery =
+    List.fold_left
+      (fun a p -> List.fold_left Float.max a p.E.mp_recovery_s)
+      0.0 points
+  in
+  Printf.printf
+    "coverage: %d mid-reconfig leader kills across all runs; worst throughput\n\
+     recovery %.1f s; %d reconfiguration events never returned to 90%% of\n\
+     steady state\n"
+    kills worst_recovery unrecovered;
+  List.iter
+    (fun (k, s, obj) ->
+      Printf.printf "WGL VIOLATION [%s seed=%d] object %s\n" k s obj)
+    violations;
+  Bench_json.write_suite ~suite:"membership"
+    [ ("runs", Bench_json.List (List.map json_of_membership points)) ];
+  if
+    broken || violations <> [] || kills = 0 || unrecovered > 0
+    || worst_recovery > 8.0 || not deterministic
+  then begin
+    Printf.printf "MEMBERSHIP RUN FAILED ACCEPTANCE CHECKS\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -736,8 +869,8 @@ let () =
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
-        "overhead"; "ablation"; "batching"; "snapshot"; "chaos"; "linearize";
-        "micro"; "wire" ]
+        "overhead"; "ablation"; "batching"; "snapshot"; "chaos"; "membership";
+        "linearize"; "micro"; "wire" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -760,6 +893,7 @@ let () =
              transfer";
           Snapshot_bench.run ~quick
       | "chaos" -> chaos quick
+      | "membership" -> membership quick
       | "linearize" -> linearize quick
       | "micro" -> micro ()
       | "wire" ->

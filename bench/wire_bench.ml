@@ -44,22 +44,23 @@ let txn_batch n : Txn.t Zab.msg =
         {
           Zab.zxid = { Zab.epoch = 3; counter = 1000 + i };
           payload =
-            {
-              Txn.origin = Some (i mod 3);
-              session = 7_000_000 + i;
-              xid = i;
-              ops =
-                [
-                  Txn.Tset
-                    {
-                      path = Printf.sprintf "/bench/n%04d" (i mod 64);
-                      data = Printf.sprintf "value-%06d" i;
-                      version = i;
-                    };
-                ];
-              result = Zk.Protocol.Set { version = i };
-              quiet = false;
-            };
+            Zab.App
+              {
+                Txn.origin = Some (i mod 3);
+                session = 7_000_000 + i;
+                xid = i;
+                ops =
+                  [
+                    Txn.Tset
+                      {
+                        path = Printf.sprintf "/bench/n%04d" (i mod 64);
+                        data = Printf.sprintf "value-%06d" i;
+                        version = i;
+                      };
+                  ];
+                result = Zk.Protocol.Set { version = i };
+                quiet = false;
+              };
         })
   in
   Zab.Propose

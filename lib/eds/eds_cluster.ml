@@ -64,6 +64,8 @@ let nemesis_target t =
     heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
     silence = Net.set_node_down net;
     unsilence = Net.set_node_up net;
+    (* PBFT membership is static in this deployment *)
+    reconfig_in_flight = (fun () -> false);
   }
 
 let run_for t d = Ds_cluster.run_for t.cluster d

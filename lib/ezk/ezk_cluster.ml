@@ -5,7 +5,7 @@
 open Edc_simnet
 open Edc_zookeeper
 
-type t = { cluster : Cluster.t; ezks : Ezk.t array }
+type t = { cluster : Cluster.t; mutable ezks : Ezk.t array }
 
 let create ?n_replicas ?net_config ?server_config ?zab_config ?batch sim =
   let cluster =
@@ -30,6 +30,17 @@ let connected_client ?config ?replica t () =
 
 let crash_server t i = Cluster.crash_server t.cluster i
 
+(** Grow the ensemble: the learner gets its extension manager at boot, and
+    the manager reconciles itself from the replicated tree as the snapshot
+    bootstrap lands (the [on_snapshot_installed] hook). *)
+let add_server t =
+  let id = Cluster.add_server t.cluster in
+  let fresh = Ezk.install (Cluster.servers t.cluster).(id) in
+  t.ezks <- Array.append t.ezks [| fresh |];
+  id
+
+let remove_server t ~id = Cluster.remove_server t.cluster ~id
+
 (** Restart a replica and reload its extension manager from the replicated
     tree (§3.8). *)
 let restart_server t i =
@@ -42,15 +53,15 @@ let restart_server t i =
 
 let nemesis_target t =
   let net = Cluster.net t.cluster in
-  let servers = Cluster.servers t.cluster in
-  let n = Array.length servers in
+  (* re-read the server array in every closure: it grows via add_server *)
   {
     Nemesis.name = "ezk";
-    nodes = List.init n Fun.id;
+    nodes = List.init (Array.length (Cluster.servers t.cluster)) Fun.id;
     leader =
       (fun () ->
+        let servers = Cluster.servers t.cluster in
         let rec find i =
-          if i >= n then None
+          if i >= Array.length servers then None
           else if Server.is_leader servers.(i) then Some i
           else find (i + 1)
         in
@@ -63,6 +74,18 @@ let nemesis_target t =
     heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
     silence = Net.set_node_down net;
     unsilence = Net.set_node_up net;
+    reconfig_in_flight =
+      (fun () ->
+        (* arm from learner adoption (bootstrap underway) to final commit;
+           skip fenced replicas: a removed node may hold a joint view
+           forever (nobody replicates to it anymore) *)
+        Array.exists
+          (fun s ->
+            let z = Server.zab s in
+            (not (Edc_replication.Zab.is_fenced z))
+            && (Edc_replication.Zab.reconfig_in_flight z
+               || Edc_replication.Zab.learners z <> []))
+          (Cluster.servers t.cluster));
   }
 
 let run_for t d = Cluster.run_for t.cluster d

@@ -33,6 +33,14 @@ val crash_server : t -> int -> unit
     replicated tree (§3.8). *)
 val restart_server : t -> int -> unit
 
+(** Elastic growth: boot a learner replica with its extension manager
+    installed; the manager reconciles itself from the replicated tree as
+    the snapshot bootstrap lands.  Returns the new replica id. *)
+val add_server : t -> int
+
+(** Joint-consensus removal of replica [id] via the current leader. *)
+val remove_server : t -> id:int -> (unit, string) result
+
 (** Bind nemesis actions to this deployment (leader = Zab leader). *)
 val nemesis_target : t -> Nemesis.target
 

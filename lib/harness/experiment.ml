@@ -536,6 +536,33 @@ let lin_recipes_point ?(seed = 42) ?(contenders = 3) ?(rounds = 6)
 (* Chaos: availability under the nemesis fault schedule               *)
 (* ------------------------------------------------------------------ *)
 
+(** Membership-change outcome counters for one run, distilled from the
+    cluster-wide {!Edc_replication.Zab.reconfig_stats} aggregation. *)
+type reconfig_summary = {
+  rs_joins_attempted : int;
+  rs_joins_completed : int;
+  rs_leaves_attempted : int;
+  rs_leaves_completed : int;
+  rs_joint_commits : int;
+  rs_finals_committed : int;
+  rs_aborted : int;  (** joint entries truncated uncommitted *)
+  rs_fenced : int;  (** replica-fencing events *)
+  rs_catchup_ms : float list;  (** per-promoted-learner bootstrap times *)
+}
+
+let reconfig_summary_of_stats (r : Edc_replication.Zab.reconfig_stats) =
+  {
+    rs_joins_attempted = r.Edc_replication.Zab.joins_requested;
+    rs_joins_completed = r.Edc_replication.Zab.joins_completed;
+    rs_leaves_attempted = r.Edc_replication.Zab.leaves_requested;
+    rs_leaves_completed = r.Edc_replication.Zab.leaves_completed;
+    rs_joint_commits = r.Edc_replication.Zab.joint_commits;
+    rs_finals_committed = r.Edc_replication.Zab.finals_committed;
+    rs_aborted = r.Edc_replication.Zab.aborted;
+    rs_fenced = r.Edc_replication.Zab.fences;
+    rs_catchup_ms = r.Edc_replication.Zab.catchup_ms;
+  }
+
 type chaos_point = {
   ch_kind : Systems.kind;
   ch_seed : int;
@@ -572,6 +599,10 @@ type chaos_point = {
   ch_snap : Systems.snapshot_stats;
       (** snapshot/state-transfer activity during the run (zeros for the
           BFT deployments) *)
+  ch_reconfig : reconfig_summary;
+      (** membership-change activity (all-zero when the schedule contains
+          no reconfiguration and none was driven externally) *)
+  ch_reconfig_kills : int;  (** reconfiguration-targeted leader strikes *)
 }
 
 (** Counter incrementers plus queue producers/consumers on resilient
@@ -831,4 +862,491 @@ let chaos_point ?(seed = 42) ?net_config ?zab_config ?server_config
     ch_lin = lin;
     ch_history_events = Ck_history.n_events history;
     ch_snap = sys.Systems.snapshot_stats ();
+    ch_reconfig = reconfig_summary_of_stats (sys.Systems.reconfig_stats ());
+    ch_reconfig_kills = Nemesis.reconfig_kills nem;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elastic membership: 3 -> 5 -> 3 autoscaling under chaos             *)
+(* ------------------------------------------------------------------ *)
+
+type membership_point = {
+  mp_kind : Systems.kind;
+  mp_seed : int;
+  mp_ops_ok : int;
+  mp_ops_maybe : int;
+  mp_ops_failed : int;
+  mp_errors : (string * int) list;
+  mp_members_final : int list;
+  mp_grow_ms : float list;  (** add_replica -> stable config, per join *)
+  mp_shrink_ms : float list;  (** remove accepted -> stable config *)
+  mp_reconfig : reconfig_summary;
+  mp_reconfig_kills : int;
+  mp_crashes : int;
+  mp_leader_kills : int;
+  mp_steady_ops_s : float;  (** pre-reconfiguration write throughput *)
+  mp_trough_ops_s : float;  (** worst bucket during the elastic phase *)
+  mp_recovery_s : float list;
+      (** per reconfiguration event: time until bucket throughput is back
+          to >= 90% of steady state *)
+  mp_unrecovered : int;
+  mp_counter_confirmed : int;
+  mp_counter_maybe : int;
+  mp_counter_final : int;
+  mp_anomalies : int;
+  mp_invariant_failures : string list;
+  mp_lin : (string * Ck_wgl.verdict) list;
+  mp_history_events : int;
+  mp_trace : string;
+  mp_snap : Systems.snapshot_stats;
+}
+
+(** The autoscaling scenario: a 3-replica ensemble under a diurnal write
+    curve grows to 5 (each joiner bootstrapped as a learner via chunked
+    snapshot transfer) and shrinks back to 3, while a reconfiguration-
+    targeted nemesis kills the leader mid-change and the first learner's
+    links are cut mid-bootstrap (the transfer must resume, not restart).
+    Safety is checked three ways: the replication anomaly counters, the
+    counter/queue conservation invariants, and a WGL linearizability pass
+    over the full client history spanning every config boundary. *)
+let membership_point ?(seed = 42) ?net_config ?(check = true) ?lin_max_steps
+    kind =
+  let sim = Sim.create ~seed () in
+  (* a regional (few-ms) network, not the 100 us LAN: agreement rounds and
+     the learner bootstrap must span real time or every race window the
+     nemesis aims for closes within a single poll *)
+  let net_config =
+    match net_config with
+    | Some c -> Some c
+    | None -> Some { Net.lan_config with Net.base_latency = Sim_time.ms 3 }
+  in
+  (* a tight snapshot interval + small chunks so a joiner always
+     bootstraps through a multi-chunk state transfer *)
+  let server_config =
+    {
+      Edc_zookeeper.Server.default_config with
+      Edc_zookeeper.Server.snapshot_interval = 40;
+    }
+  in
+  let zab_config =
+    {
+      Edc_replication.Zab.default_config with
+      Edc_replication.Zab.snapshot_chunk_size = 192;
+      snapshot_window = 4;
+    }
+  in
+  let sys =
+    Systems.make ?net_config ~zab_config ~server_config kind sim
+  in
+  let history = Ck_history.create ~sim () in
+  let maybe_wrap api = if check then Instrument.wrap history api else api in
+  let extensible = Systems.is_extensible kind in
+  let ops_end = Sim_time.sec 21 in
+  let horizon = Sim_time.sec 16 in
+  let deadline =
+    Option.value Edc_core.Retry.default_policy.Edc_core.Retry.deadline
+      ~default:(Sim_time.sec 30)
+  in
+  let verify_at = Sim_time.add ops_end (Sim_time.add deadline (Sim_time.sec 1)) in
+  let ok = ref 0 and maybe = ref 0 and failed = ref 0 in
+  let taxonomy : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let tax e =
+    Hashtbl.replace taxonomy e
+      (1 + Option.value ~default:0 (Hashtbl.find_opt taxonomy e))
+  in
+  let success_times = ref [] in
+  let succeed () =
+    incr ok;
+    success_times := Sim.now sim :: !success_times
+  in
+  let classify e ~on_maybe =
+    if e = "maybe applied" then begin
+      on_maybe ();
+      incr maybe
+    end
+    else incr failed;
+    tax e
+  in
+  let confirmed_incr = ref 0 and maybe_incr = ref 0 in
+  let confirmed_adds : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let maybe_adds : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let consumed = ref [] in
+  let maybe_removes = ref 0 in
+  let invariant_failures = ref [] in
+  let invariant name cond =
+    if not cond then invariant_failures := name :: !invariant_failures
+  in
+  let grow_ms = ref [] and shrink_ms = ref [] in
+  let reconfig_marks = ref [] in  (* initiation times, for recovery windows *)
+  let nemesis = ref None in
+  let failure = ref None in
+  (* fiber-side helpers *)
+  let wait_until ?(poll = Sim_time.ms 50) ~timeout pred =
+    let wait_deadline = Sim_time.add (Sim.now sim) timeout in
+    let rec go () =
+      if pred () then true
+      else if Sim_time.(wait_deadline <= Sim.now sim) then false
+      else begin
+        Proc.sleep sim poll;
+        go ()
+      end
+    in
+    go ()
+  in
+  let stable_members n () =
+    (not (sys.Systems.reconfig_in_flight ()))
+    && List.length (sys.Systems.members ()) = n
+  in
+  (* diurnal write curve: think time swings 12..28 ms on an 8 s period *)
+  let diurnal_sleep () =
+    let t = Sim_time.to_float_s (Sim.now sim) in
+    let phase = sin (2. *. Float.pi *. t /. 8.) in
+    Sim_time.of_float_s (0.012 +. 0.016 *. (1. +. phase) /. 2.)
+  in
+  Proc.spawn sim (fun () ->
+      try
+        let admin, _ = sys.Systems.new_api () in
+        fail_on_error "counter setup" (Counter.setup admin);
+        fail_on_error "queue setup" (Queue.setup admin);
+        if extensible then begin
+          fail_on_error "register counter" (Counter.register admin);
+          fail_on_error "register queue" (Queue.register admin)
+        end;
+        (* the only scheduled chaos: from t=8s, strike the leader within
+           120 ms whenever a reconfiguration is in flight *)
+        nemesis :=
+          Some
+            (Nemesis.start ~sim
+               ~target:(sys.Systems.nemesis_target ())
+               ~horizon
+               [
+                 {
+                   Nemesis.start = Sim_time.sec 8;
+                   period = Some (Sim_time.ms 1200);
+                   action =
+                     Nemesis.Reconfig_kill
+                       {
+                         grace = Sim_time.ms 120;
+                         downtime = Sim_time.ms 1200;
+                       };
+                 };
+               ]);
+        (* three counter incrementers on the diurnal curve *)
+        for _ = 1 to 3 do
+          Proc.spawn sim (fun () ->
+              let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
+              if extensible then ack_if_ext api Counter.extension_name;
+              let rec loop () =
+                if Sim_time.(Sim.now sim < ops_end) then begin
+                  (match
+                     if extensible then Counter.increment_ext api
+                     else Counter.increment_traditional api
+                   with
+                  | Ok _ ->
+                      incr confirmed_incr;
+                      succeed ()
+                  | Error e ->
+                      classify e ~on_maybe:(fun () -> incr maybe_incr));
+                  Proc.sleep sim (diurnal_sleep ());
+                  loop ()
+                end
+              in
+              loop ())
+        done;
+        (* one producer / one consumer so the history spans two object
+           types across every config boundary *)
+        Proc.spawn sim (fun () ->
+            let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
+            if extensible then ack_if_ext api Queue.extension_name;
+            let i = ref 0 in
+            let rec loop () =
+              if Sim_time.(Sim.now sim < ops_end) then begin
+                incr i;
+                let eid = Queue.make_eid api !i in
+                (match Queue.add api ~eid ~data:eid with
+                | Ok () ->
+                    Hashtbl.replace confirmed_adds eid ();
+                    succeed ()
+                | Error e ->
+                    classify e ~on_maybe:(fun () ->
+                        Hashtbl.replace maybe_adds eid ()));
+                Proc.sleep sim (Sim_time.ms 40);
+                loop ()
+              end
+            in
+            loop ());
+        Proc.spawn sim (fun () ->
+            let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
+            if extensible then ack_if_ext api Queue.extension_name;
+            let rec loop () =
+              if Sim_time.(Sim.now sim < ops_end) then begin
+                (match
+                   if extensible then Queue.remove_ext api
+                   else Queue.remove_traditional api
+                 with
+                | Ok { Queue.data = Some d; _ } ->
+                    consumed := d :: !consumed;
+                    succeed ()
+                | Ok { Queue.data = None; _ } ->
+                    succeed ();
+                    Proc.sleep sim (Sim_time.ms 60)
+                | Error e ->
+                    classify e ~on_maybe:(fun () -> incr maybe_removes));
+                Proc.sleep sim (Sim_time.ms 30);
+                loop ()
+              end
+            in
+            loop ());
+        (* the autoscaling driver: 3 -> 4 -> 5 -> 4 -> 3 *)
+        Proc.spawn sim (fun () ->
+            try
+              let grow ~cut_bootstrap ~timeout =
+                let t0 = Sim.now sim in
+                reconfig_marks := t0 :: !reconfig_marks;
+                match sys.Systems.add_replica () with
+                | Error e ->
+                    invariant (Printf.sprintf "add_replica accepted (%s)" e)
+                      false
+                | Ok lid ->
+                    if cut_bootstrap then
+                      Proc.spawn sim (fun () ->
+                          (* isolate the learner once its chunked bootstrap
+                             is demonstrably in flight; on heal the
+                             transfer must resume from chunk > 0 *)
+                          let tgt = sys.Systems.nemesis_target () in
+                          let peers =
+                            List.filter (fun n -> n <> lid)
+                              (sys.Systems.members ())
+                          in
+                          if
+                            wait_until ~poll:(Sim_time.ms 2)
+                              ~timeout:(Sim_time.sec 4) (fun () ->
+                                (sys.Systems.snapshot_stats ())
+                                  .Systems.ss_chunks_sent >= 3)
+                          then begin
+                            List.iter (fun o -> tgt.Nemesis.cut lid o) peers;
+                            Proc.sleep sim (Sim_time.ms 400);
+                            List.iter (fun o -> tgt.Nemesis.heal lid o) peers
+                          end);
+                    let n = List.length (sys.Systems.members ()) + 1 in
+                    if wait_until ~timeout (stable_members n) then
+                      grow_ms :=
+                        Sim_time.to_float_ms (Sim_time.sub (Sim.now sim) t0)
+                        :: !grow_ms
+                    else
+                      invariant
+                        (Printf.sprintf "grow to %d members completed" n)
+                        false
+              in
+              let shrink ~id ~timeout =
+                let t0 = Sim.now sim in
+                reconfig_marks := t0 :: !reconfig_marks;
+                let accept_deadline =
+                  Sim_time.add (Sim.now sim) (Sim_time.sec 6)
+                in
+                let rec request () =
+                  match sys.Systems.remove_replica id with
+                  | Ok () -> true
+                  | Error _ ->
+                      if Sim_time.(accept_deadline <= Sim.now sim) then false
+                      else begin
+                        Proc.sleep sim (Sim_time.ms 100);
+                        request ()
+                      end
+                in
+                if not (request ()) then
+                  invariant
+                    (Printf.sprintf "remove_replica %d accepted" id)
+                    false
+                else
+                  let n = List.length (sys.Systems.members ()) - 1 in
+                  if
+                    wait_until ~timeout (fun () ->
+                        stable_members n ()
+                        && not (List.mem id (sys.Systems.members ())))
+                  then
+                    shrink_ms :=
+                      Sim_time.to_float_ms (Sim_time.sub (Sim.now sim) t0)
+                      :: !shrink_ms
+                  else
+                    invariant
+                      (Printf.sprintf "shrink past replica %d completed" id)
+                      false
+              in
+              Proc.sleep sim (Sim_time.sec 4);
+              (* join 1: clean of scheduled chaos (the nemesis arms at
+                 t=8s), but the learner's links are cut mid-bootstrap *)
+              grow ~cut_bootstrap:true ~timeout:(Sim_time.sec 8);
+              (* join 2 lands inside the nemesis window: the leader dies
+                 within 120 ms of the change getting underway *)
+              Proc.sleep sim (Sim_time.sec 4);
+              grow ~cut_bootstrap:false ~timeout:(Sim_time.sec 10);
+              Proc.sleep sim (Sim_time.ms 500);
+              (* scale back down under the same fire *)
+              shrink ~id:4 ~timeout:(Sim_time.sec 10);
+              shrink ~id:3 ~timeout:(Sim_time.sec 10)
+            with e -> failure := Some e)
+      with e -> failure := Some e);
+  Sim.run ~until:verify_at sim;
+  (match !failure with Some e -> raise e | None -> ());
+  (* final state through a fresh resilient client (fenced replicas must
+     refuse it, so it lands on a live member) *)
+  let final_counter = ref 0 in
+  let remaining = ref [] in
+  Proc.spawn sim (fun () ->
+      try
+        let api = maybe_wrap (fst (sys.Systems.new_resilient_api ())) in
+        (match api.Api.read ~oid:Counter.counter_oid with
+        | Ok (Some o) -> final_counter := int_of_string o.Api.data
+        | Ok None -> failwith "counter object vanished"
+        | Error e -> failwith ("final counter read: " ^ e));
+        match api.Api.sub_objects ~oid:Queue.root with
+        | Ok objs ->
+            remaining := List.map (fun (o : Api.obj) -> o.Api.data) objs
+        | Error e -> failwith ("final queue read: " ^ e)
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.add verify_at (Sim_time.sec 10)) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  let nem = Option.get !nemesis in
+  let anomalies = sys.Systems.anomalies () in
+  let snap = sys.Systems.snapshot_stats () in
+  let reconfig = reconfig_summary_of_stats (sys.Systems.reconfig_stats ()) in
+  (* safety invariants: exactly the chaos ones, plus the membership
+     life-cycle outcomes *)
+  invariant "replication anomalies = 0" (anomalies = 0);
+  invariant "counter >= confirmed increments" (!final_counter >= !confirmed_incr);
+  invariant "counter <= confirmed + ambiguous increments"
+    (!final_counter <= !confirmed_incr + !maybe_incr);
+  let sorted_consumed = List.sort compare !consumed in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | _ -> false
+  in
+  invariant "no queue element consumed twice" (not (has_dup sorted_consumed));
+  invariant "consumed elements were added"
+    (List.for_all
+       (fun d -> Hashtbl.mem confirmed_adds d || Hashtbl.mem maybe_adds d)
+       !consumed);
+  let consumed_set : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace consumed_set d ()) !consumed;
+  let remaining_set : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace remaining_set d ()) !remaining;
+  let missing =
+    Hashtbl.fold
+      (fun eid () acc ->
+        if Hashtbl.mem consumed_set eid || Hashtbl.mem remaining_set eid then
+          acc
+        else acc + 1)
+      confirmed_adds 0
+  in
+  invariant "lost queue elements covered by ambiguous removes"
+    (missing <= !maybe_removes);
+  let members_final = sys.Systems.members () in
+  invariant "membership returned to the original three"
+    (members_final = [ 0; 1; 2 ]);
+  invariant "both joins completed" (reconfig.rs_joins_completed >= 2);
+  invariant "both leaves completed" (reconfig.rs_leaves_completed >= 2);
+  invariant "interrupted learner bootstrap resumed from chunk > 0"
+    (snap.Systems.ss_last_resume_from > 0);
+  (* throughput: 500 ms buckets; steady state = the pre-reconfiguration
+     plateau; recovery = time from each reconfiguration event until a
+     bucket is back to >= 90% of steady *)
+  let bucket = 0.5 in
+  let n_buckets =
+    int_of_float (ceil (Sim_time.to_float_s ops_end /. bucket))
+  in
+  let rates = Array.make (Stdlib.max n_buckets 1) 0. in
+  List.iter
+    (fun ts ->
+      let i = int_of_float (Sim_time.to_float_s ts /. bucket) in
+      if i >= 0 && i < Array.length rates then
+        rates.(i) <- rates.(i) +. (1. /. bucket))
+    !success_times;
+  let mean_over lo hi =
+    let sum = ref 0. and n = ref 0 in
+    Array.iteri
+      (fun i r ->
+        let start = float_of_int i *. bucket in
+        if start >= lo && start < hi then begin
+          sum := !sum +. r;
+          incr n
+        end)
+      rates;
+    if !n = 0 then 0. else !sum /. float_of_int !n
+  in
+  let steady = mean_over 1.0 4.0 in
+  let events =
+    List.rev_map Sim_time.to_float_s !reconfig_marks
+    @ List.filter_map
+        (fun { Nemesis.at; fault } ->
+          match fault with
+          | Nemesis.Reconfig_fault _ -> Some (Sim_time.to_float_s at)
+          | _ -> None)
+        (Nemesis.trace nem)
+  in
+  let recovery_s = ref [] and unrecovered = ref 0 in
+  List.iter
+    (fun te ->
+      let rec scan i =
+        if i >= Array.length rates then incr unrecovered
+        else
+          let start = float_of_int i *. bucket in
+          if start +. bucket <= te then scan (i + 1)
+          else if rates.(i) >= 0.9 *. steady then
+            recovery_s := Float.max 0. (start +. bucket -. te) :: !recovery_s
+          else scan (i + 1)
+      in
+      scan 0)
+    events;
+  let trough =
+    let m = ref infinity in
+    Array.iteri
+      (fun i r ->
+        let start = float_of_int i *. bucket in
+        if start >= 4.0 && start +. bucket <= Sim_time.to_float_s ops_end then
+          m := Float.min !m r)
+      rates;
+    if !m = infinity then 0. else !m
+  in
+  let errors =
+    Hashtbl.fold (fun e n acc -> (e, n) :: acc) taxonomy []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let lin =
+    if not check then []
+    else
+      Ck_history.entries history
+      |> Ck_history.split
+      |> List.filter_map (fun (obj, es) ->
+             Ck_model.for_object obj
+             |> Option.map (fun m ->
+                    (obj, Ck_wgl.check ?max_steps:lin_max_steps m es)))
+  in
+  {
+    mp_kind = kind;
+    mp_seed = seed;
+    mp_ops_ok = !ok;
+    mp_ops_maybe = !maybe;
+    mp_ops_failed = !failed;
+    mp_errors = errors;
+    mp_members_final = members_final;
+    mp_grow_ms = List.rev !grow_ms;
+    mp_shrink_ms = List.rev !shrink_ms;
+    mp_reconfig = reconfig;
+    mp_reconfig_kills = Nemesis.reconfig_kills nem;
+    mp_crashes = Nemesis.crashes nem;
+    mp_leader_kills = Nemesis.leader_kills nem;
+    mp_steady_ops_s = steady;
+    mp_trough_ops_s = trough;
+    mp_recovery_s = List.rev !recovery_s;
+    mp_unrecovered = !unrecovered;
+    mp_counter_confirmed = !confirmed_incr;
+    mp_counter_maybe = !maybe_incr;
+    mp_counter_final = !final_counter;
+    mp_anomalies = anomalies;
+    mp_invariant_failures = List.rev !invariant_failures;
+    mp_lin = lin;
+    mp_history_events = Ck_history.n_events history;
+    mp_trace = Nemesis.trace_to_string nem;
+    mp_snap = snap;
   }

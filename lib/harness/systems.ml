@@ -32,6 +32,7 @@ type snapshot_stats = {
   ss_transfers_started : int;
   ss_transfers_completed : int;
   ss_resumes : int;
+  ss_last_resume_from : int;
 }
 
 let snapshot_stats_zero =
@@ -46,6 +47,7 @@ let snapshot_stats_zero =
     ss_transfers_started = 0;
     ss_transfers_completed = 0;
     ss_resumes = 0;
+    ss_last_resume_from = 0;
   }
 
 type t = {
@@ -69,6 +71,20 @@ type t = {
       (** replication-safety violations detected by the state machines
           (must stay 0 in every run) *)
   snapshot_stats : unit -> snapshot_stats;
+  (* elastic membership (joint-consensus reconfiguration through the
+     log); the BFT deployments are static and return [Error]/zeros *)
+  add_replica : unit -> (int, string) result;
+      (** boot a learner, hand it to the leader for bootstrap + admission;
+          returns its replica id *)
+  remove_replica : int -> (unit, string) result;
+      (** ask the leader to remove a replica through the log *)
+  members : unit -> int list;
+      (** current voter set (the leader's view when one exists) *)
+  reconfig_in_flight : unit -> bool;
+  reconfig_stats : unit -> Edc_replication.Zab.reconfig_stats;
+      (** cluster-wide aggregation: leader-side counters summed across
+          replicas that led, commit-side counters maxed (every live
+          replica counts each committed config entry) *)
 }
 
 (* Sum the server-side capture counters and the Zab transfer counters over
@@ -92,6 +108,9 @@ let zk_snapshot_stats servers () =
         ss_transfers_completed =
           acc.ss_transfers_completed + x.Edc_replication.Zab.transfers_completed;
         ss_resumes = acc.ss_resumes + x.Edc_replication.Zab.resumes;
+        ss_last_resume_from =
+          max acc.ss_last_resume_from
+            x.Edc_replication.Zab.last_resume_from;
       })
     snapshot_stats_zero servers
 
@@ -106,16 +125,18 @@ let chaos_ds_client_config =
     Ds.Ds_client.request_timeout = Sim_time.sec 1;
   }
 
+(* [servers] is a getter because elastic clusters grow their replica
+   array at runtime; every closure re-reads it. *)
 let zk_nemesis_target name net servers ~crash ~restart =
-  let n = Array.length servers in
   {
     Nemesis.name;
-    nodes = List.init n Fun.id;
+    nodes = List.init (Array.length (servers ())) Fun.id;
     leader =
       (fun () ->
+        let ss = servers () in
         let rec find i =
-          if i >= n then None
-          else if Zk.Server.is_leader servers.(i) then Some i
+          if i >= Array.length ss then None
+          else if Zk.Server.is_leader ss.(i) then Some i
           else find (i + 1)
         in
         find 0);
@@ -127,6 +148,18 @@ let zk_nemesis_target name net servers ~crash ~restart =
     heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
     silence = Net.set_node_down net;
     unsilence = Net.set_node_up net;
+    reconfig_in_flight =
+      (fun () ->
+        (* arm from the moment a learner is adopted (bootstrap counts as
+           "change underway") until the final config entry commits; a
+           fenced replica's stale joint view does not count *)
+        Array.exists
+          (fun s ->
+            let z = Zk.Server.zab s in
+            (not (Edc_replication.Zab.is_fenced z))
+            && (Edc_replication.Zab.reconfig_in_flight z
+               || Edc_replication.Zab.learners z <> []))
+          (servers ()));
   }
 
 let ds_nemesis_target name net servers ~crash ~restart =
@@ -152,10 +185,74 @@ let ds_nemesis_target name net servers ~crash ~restart =
     heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
     silence = Net.set_node_down net;
     unsilence = Net.set_node_up net;
+    reconfig_in_flight = (fun () -> false);
   }
 
 let zk_replica_ids cluster =
   List.init (Array.length (Zk.Cluster.servers cluster)) Fun.id
+
+module Zab = Edc_replication.Zab
+
+let reconfig_stats_zero () =
+  {
+    Zab.joins_requested = 0;
+    joint_proposed = 0;
+    joint_commits = 0;
+    finals_committed = 0;
+    joins_completed = 0;
+    leaves_requested = 0;
+    leaves_completed = 0;
+    aborted = 0;
+    fences = 0;
+    catchup_ms = [];
+  }
+
+(* Leader-side counters (adoptions, proposals, removals, catch-up times)
+   live on whichever replicas led and sum cleanly; commit-side counters
+   increment on EVERY replica that applies the config entry, so the
+   cluster-wide value is the max, not the sum. *)
+let zk_reconfig_stats servers () =
+  let acc = reconfig_stats_zero () in
+  Array.iter
+    (fun s ->
+      let r = Zab.reconfig_stats (Zk.Server.zab s) in
+      acc.Zab.joins_requested <- acc.Zab.joins_requested + r.Zab.joins_requested;
+      acc.Zab.joint_proposed <- acc.Zab.joint_proposed + r.Zab.joint_proposed;
+      acc.Zab.joint_commits <- max acc.Zab.joint_commits r.Zab.joint_commits;
+      acc.Zab.finals_committed <-
+        max acc.Zab.finals_committed r.Zab.finals_committed;
+      acc.Zab.joins_completed <-
+        max acc.Zab.joins_completed r.Zab.joins_completed;
+      acc.Zab.leaves_requested <-
+        acc.Zab.leaves_requested + r.Zab.leaves_requested;
+      acc.Zab.leaves_completed <-
+        max acc.Zab.leaves_completed r.Zab.leaves_completed;
+      acc.Zab.aborted <- max acc.Zab.aborted r.Zab.aborted;
+      acc.Zab.fences <- acc.Zab.fences + r.Zab.fences;
+      acc.Zab.catchup_ms <- r.Zab.catchup_ms @ acc.Zab.catchup_ms)
+    (servers ());
+  acc
+
+let zk_members servers () =
+  let ss = servers () in
+  match Array.find_opt Zk.Server.is_leader ss with
+  | Some l -> Zab.members (Zk.Server.zab l)
+  | None ->
+      Array.fold_left
+        (fun acc s ->
+          let z = Zk.Server.zab s in
+          if Zab.is_fenced z then acc
+          else List.sort_uniq compare (acc @ Zab.members z))
+        [] ss
+
+let zk_reconfig_in_flight servers () =
+  (* a fenced replica's opinion is history: it was removed mid-change and
+     may sit on a joint view forever (nobody replicates to it anymore) *)
+  Array.exists
+    (fun s ->
+      let z = Zk.Server.zab s in
+      (not (Zab.is_fenced z)) && Zab.reconfig_in_flight z)
+    (servers ())
 
 let make ?net_config ?batch ?zab_config ?server_config kind sim =
   match kind with
@@ -185,7 +282,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         nemesis_target =
           (fun () ->
             zk_nemesis_target "zookeeper" (Zk.Cluster.net cluster)
-              (Zk.Cluster.servers cluster)
+              (fun () -> Zk.Cluster.servers cluster)
               ~crash:(Zk.Cluster.crash_server cluster)
               ~restart:(Zk.Cluster.restart_server cluster));
         dropped_messages =
@@ -198,6 +295,13 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
               0 (Zk.Cluster.servers cluster));
         snapshot_stats =
           (fun () -> zk_snapshot_stats (Zk.Cluster.servers cluster) ());
+        add_replica = (fun () -> Ok (Zk.Cluster.add_server cluster));
+        remove_replica = (fun id -> Zk.Cluster.remove_server cluster ~id);
+        members = zk_members (fun () -> Zk.Cluster.servers cluster);
+        reconfig_in_flight =
+          zk_reconfig_in_flight (fun () -> Zk.Cluster.servers cluster);
+        reconfig_stats =
+          zk_reconfig_stats (fun () -> Zk.Cluster.servers cluster);
       }
   | Ezk ->
       let cluster = Ezk_cluster.create ?net_config ?server_config ?zab_config ?batch sim in
@@ -232,6 +336,13 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
               0 (Ezk_cluster.servers cluster));
         snapshot_stats =
           (fun () -> zk_snapshot_stats (Ezk_cluster.servers cluster) ());
+        add_replica = (fun () -> Ok (Ezk_cluster.add_server cluster));
+        remove_replica = (fun id -> Ezk_cluster.remove_server cluster ~id);
+        members = zk_members (fun () -> Ezk_cluster.servers cluster);
+        reconfig_in_flight =
+          zk_reconfig_in_flight (fun () -> Ezk_cluster.servers cluster);
+        reconfig_stats =
+          zk_reconfig_stats (fun () -> Ezk_cluster.servers cluster);
       }
   | Depspace ->
       ignore zab_config (* BFT deployments do not run Zab *);
@@ -265,6 +376,11 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         n_replicas = 4;
         anomalies = (fun () -> 0);
         snapshot_stats = (fun () -> snapshot_stats_zero);
+        add_replica = (fun () -> Error "DepSpace membership is static");
+        remove_replica = (fun _ -> Error "DepSpace membership is static");
+        members = (fun () -> List.init 4 Fun.id);
+        reconfig_in_flight = (fun () -> false);
+        reconfig_stats = (fun () -> reconfig_stats_zero ());
       }
   | Eds ->
       ignore zab_config;
@@ -295,4 +411,9 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         n_replicas = 4;
         anomalies = (fun () -> 0);
         snapshot_stats = (fun () -> snapshot_stats_zero);
+        add_replica = (fun () -> Error "EDS membership is static");
+        remove_replica = (fun _ -> Error "EDS membership is static");
+        members = (fun () -> List.init 4 Fun.id);
+        reconfig_in_flight = (fun () -> false);
+        reconfig_stats = (fun () -> reconfig_stats_zero ());
       }

@@ -21,6 +21,9 @@ type snapshot_stats = {
   ss_transfers_started : int;
   ss_transfers_completed : int;
   ss_resumes : int;  (** transfers continued after a stall/leader change *)
+  ss_last_resume_from : int;
+      (** chunk index the latest resume restarted from, maxed over
+          replicas ([> 0] proves a resumed transfer kept its prefix) *)
 }
 
 val snapshot_stats_zero : snapshot_stats
@@ -57,6 +60,22 @@ type t = {
           (must stay 0 in every run) *)
   snapshot_stats : unit -> snapshot_stats;
       (** snapshot/state-transfer counters summed over replicas *)
+  add_replica : unit -> (int, string) result;
+      (** elastic growth: boot a non-voting learner that the leader
+          bootstraps (snapshot + log sync) and admits through the
+          joint-consensus log path; returns the new replica id.  [Error]
+          for the static BFT deployments. *)
+  remove_replica : int -> (unit, string) result;
+      (** ask the leader to remove a replica through the log; the replica
+          is fenced once the final config commits *)
+  members : unit -> int list;
+      (** current voter set (the leader's view when one exists) *)
+  reconfig_in_flight : unit -> bool;
+  reconfig_stats : unit -> Edc_replication.Zab.reconfig_stats;
+      (** cluster-wide aggregation: leader-side counters (adoptions,
+          proposals, removals, catch-up times) summed; commit-side
+          counters maxed (each committed config entry is counted by every
+          live replica) *)
 }
 
 (** [make ?net_config ?batch ?zab_config kind sim] — [batch] configures

@@ -17,6 +17,21 @@
     failure, cf. §3.8), which is what our fault-tolerance experiments
     exercise.
 
+    Membership is dynamic: the member set itself is replicated through the
+    log using joint consensus (Raft §6 / ZooKeeper reconfig).  A change
+    from [c_old] to [c_new] is proposed as a [Cc_joint] entry; from the
+    moment that entry is *appended*, commits and elections require
+    majorities of BOTH sets, so no decision can be made by [c_old] alone or
+    [c_new] alone — the two-quorum overlap is what makes the transition
+    safe under leader failure.  Once the joint entry commits, the leader
+    proposes the [Cc_final] entry that collapses membership to [c_new].
+    New replicas join as non-voting learners: they are bootstrapped with
+    the chunked snapshot transfer plus log sync and only enter a config
+    (gaining a vote) once caught up.  Replicas outside the config are
+    fenced: voters ignore their campaigns and the leader tells them to
+    stand down, so a deposed member can never win an election (and the
+    deployment uses {!is_fenced} to refuse serving reads).
+
     The module is transport-agnostic: the deployment supplies a [send]
     function and feeds incoming messages to {!handle}.  All timers run on
     the shared simulator. *)
@@ -36,7 +51,35 @@ let zxid_geq a b = zxid_compare a b >= 0
 
 let pp_zxid ppf z = Fmt.pf ppf "%d.%d" z.epoch z.counter
 
-type 'p entry = { zxid : zxid; payload : 'p }
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type member_set = int list
+
+type membership =
+  | Stable of member_set
+  | Joint of { c_old : member_set; c_new : member_set }
+
+type config_change =
+  | Cc_joint of { c_old : member_set; c_new : member_set }
+  | Cc_final of { members : member_set }
+
+let pp_member_set ppf m = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) m
+
+let pp_membership ppf = function
+  | Stable m -> pp_member_set ppf m
+  | Joint { c_old; c_new } ->
+      Fmt.pf ppf "joint(%a->%a)" pp_member_set c_old pp_member_set c_new
+
+let pp_config_change ppf = function
+  | Cc_joint { c_old; c_new } ->
+      Fmt.pf ppf "joint(%a->%a)" pp_member_set c_old pp_member_set c_new
+  | Cc_final { members } -> Fmt.pf ppf "final(%a)" pp_member_set members
+
+type 'p payload = App of 'p | Config of config_change
+
+type 'p entry = { zxid : zxid; payload : 'p payload }
 
 type 'p msg =
   | Ping of { epoch : int; committed : int }
@@ -69,6 +112,10 @@ type 'p msg =
       chunk_size : int;
       digest : string;  (** of the whole blob; guards chunk-resume *)
       committed : int;
+      config : membership;
+          (** membership in effect at [base]: config entries below the
+              compaction horizon live only here, so a bootstrapping
+              learner can reconstruct the member set *)
     }
       (** opens a chunked state transfer to a follower that lags behind the
           leader's log-compaction horizon (ZooKeeper's snapshot + txn-log
@@ -82,6 +129,15 @@ type 'p msg =
           [0, received).  A duplicate ack (no progress since the last one)
           doubles as a retransmit solicit after drops or a partition heal —
           the leader resumes from [received], never from chunk 0. *)
+  | Join_request of { epoch : int; id : int }
+      (** learner handshake: a non-member asks the leader to adopt it as a
+          non-voting learner and bootstrap it (snapshot + log sync);
+          re-broadcast on silence, so it survives leader changes and
+          crash/restart of a half-bootstrapped learner *)
+  | Fence of { epoch : int }
+      (** leader to a replica outside the config: stand down.  The
+          recipient stops campaigning and stops serving reads; it unfences
+          only if a later config readmits it. *)
 
 type role = Leader | Follower | Candidate
 
@@ -103,6 +159,13 @@ type config = {
       (** TEST ONLY: disable the follower-side log-matching checks below,
           resurrecting the divergent-tail double-apply bug for the
           linearizability checker's mutation self-test *)
+  unsafe_single_step_reconfig : bool;
+      (** TEST ONLY: apply a [Cc_joint] entry as [Stable c_new] the moment
+          it is appended — the classic one-step reconfiguration bug.
+          During the transition a majority of [c_old] and a majority of
+          [c_new] can be disjoint, so two leaders can commit independently
+          and committed entries are lost.  Used to prove the checker and
+          the regression tests convict exactly this. *)
   snapshot_chunk_size : int;
       (** state transfer streams the snapshot blob in pieces of this many
           bytes (counted by the deployment's [wire_size]) *)
@@ -118,14 +181,34 @@ let default_config =
     election_stagger = Sim_time.ms 40;
     batch = Batching.off;
     unsafe_skip_log_matching = false;
+    unsafe_single_step_reconfig = false;
     snapshot_chunk_size = 8192;
     snapshot_window = 8;
   }
 
+type reconfig_stats = {
+  mutable joins_requested : int;
+      (** leader: distinct learners adopted after a [Join_request] *)
+  mutable joint_proposed : int;  (** leader: [Cc_joint] entries proposed *)
+  mutable joint_commits : int;  (** [Cc_joint] entries committed (delivered) *)
+  mutable finals_committed : int;  (** [Cc_final] entries committed *)
+  mutable joins_completed : int;
+      (** members that entered the stable config via a committed final *)
+  mutable leaves_requested : int;  (** leader: [remove_server] accepted *)
+  mutable leaves_completed : int;
+      (** members that left the stable config via a committed final *)
+  mutable aborted : int;
+      (** joint entries truncated away uncommitted (a new leader that never
+          saw the joint entry rewrote the tail) *)
+  mutable fences : int;  (** times this replica was fenced *)
+  mutable catchup_ms : float list;
+      (** leader: per-promoted-learner bootstrap time, newest first — from
+          [Join_request] adoption to the ack that proved it caught up *)
+}
+
 type 'p t = {
   sim : Sim.t;
   id : int;
-  peers : int list;  (** all replica ids, including [id] *)
   send : dst:int -> 'p msg -> unit;
   on_deliver : zxid -> 'p -> unit;
   mutable on_role_change : role -> unit;
@@ -153,6 +236,30 @@ type 'p t = {
           to [committed] (always consistent, by the election rule) when a
           new epoch is adopted.  Invariant: committed <= verified <=
           abs_len. *)
+  mutable base_config : membership;
+      (** membership in effect just below [base]: the fold of every config
+          entry that was compacted away, starting from the creation-time
+          member set (persistent, moves only at compaction/installation) *)
+  mutable members : membership;
+      (** membership per this replica's log: [base_config] folded over the
+          retained config entries.  Configs take effect at APPEND time
+          (Raft §6), so this can run ahead of the committed prefix. *)
+  mutable config_index : int;
+      (** absolute index of the entry that set [members]; [base - 1] when
+          no retained entry did (i.e. [members = base_config]) *)
+  mutable last_stable : member_set;
+      (** the last committed stable config (for join/leave accounting) *)
+  mutable fenced : bool;
+      (** outside the config per the leader (or a committed final): don't
+          campaign, don't serve reads.  Persists across crash/restart;
+          cleared if a config readmits us. *)
+  created_learner : bool;
+  mutable joining : bool;
+      (** we are a learner still working toward a vote: keep broadcasting
+          [Join_request] on silence until a committed final admits us *)
+  mutable finalized : bool;
+      (** a committed final admitted us at least once (always true for
+          replicas created as members) *)
   (* --- volatile state --- *)
   mutable role : role;
   mutable leader_hint : int option;
@@ -162,7 +269,16 @@ type 'p t = {
   mutable next_counter : int;  (** leader: next zxid counter to assign *)
   match_len : (int, int) Hashtbl.t;
       (** leader: per-follower acked prefix length in [current_epoch] *)
-  mutable batcher : (zxid * 'p) Batching.t option;  (** set right after create *)
+  mutable learners : int list;
+      (** leader: adopted non-voting learners (receive the replication
+          stream, excluded from quorums); volatile — learners re-adopt
+          themselves at the next leader via [Join_request] *)
+  mutable pending_joins : (int * Sim_time.t) list;
+      (** leader: learners awaiting promotion, with adoption time *)
+  mutable pending_joint : bool;  (** leader: a [Cc_joint] sits in the batcher *)
+  mutable pending_final : bool;  (** leader: a [Cc_final] sits in the batcher *)
+  mutable batcher : (zxid * 'p payload) Batching.t option;
+      (** set right after create *)
   mutable delivered : int;  (** length of the prefix passed to on_deliver *)
   mutable last_leader_contact : Sim_time.t;
   xfers : (int, xfer) Hashtbl.t;
@@ -171,6 +287,7 @@ type 'p t = {
       (** follower: partially received snapshot (volatile; chunks are
           buffered in memory and only installed once complete) *)
   mutable stats : xfer_stats;
+  reconfig : reconfig_stats;
 }
 
 (** Leader-side transfer state for one follower. *)
@@ -184,6 +301,11 @@ and xfer = {
       (** earliest time the next duplicate-ack rewind is honoured: damps
           redundant solicits (ping re-acks, [Snapshot_begin] acks) that
           would otherwise each rewind and retransmit the same window *)
+  mutable x_activity : Sim_time.t;
+      (** last time the follower acked anything on this transfer: an
+          active transfer pins the compaction horizon (see [compact]), so
+          a follower that went silent past the TTL is abandoned rather
+          than allowed to pin the log forever *)
 }
 
 (** Follower-side partial transfer: the contiguous chunk prefix received. *)
@@ -192,6 +314,7 @@ and pending_snap = {
   ps_total : int;
   ps_chunks : int;
   ps_digest : string;
+  ps_config : membership;  (** membership at [ps_base], from [Snapshot_begin] *)
   ps_buf : Buffer.t;
   mutable ps_received : int;
 }
@@ -213,7 +336,24 @@ and xfer_stats = {
       (** follower: assembled blobs the application refused to decode *)
 }
 
-let quorum t = (List.length t.peers / 2) + 1
+let set_union a b = List.sort_uniq compare (a @ b)
+
+let voters t =
+  match t.members with
+  | Stable m -> m
+  | Joint { c_old; c_new } -> set_union c_old c_new
+
+(* [majority s ids]: do [ids] contain a majority of member set [s]? *)
+let majority s ids =
+  let n = List.length (List.filter (fun x -> List.mem x ids) s) in
+  n >= (List.length s / 2) + 1
+
+(* The election/decision quorum under the current membership: a single
+   majority when stable, majorities of BOTH sets during a joint phase. *)
+let quorum_met t ids =
+  match t.members with
+  | Stable m -> majority m ids
+  | Joint { c_old; c_new } -> majority c_old ids && majority c_new ids
 
 (* absolute log length and indexed access over the compacted log *)
 let abs_len t = t.base + Vec.length t.log
@@ -235,6 +375,15 @@ let compaction_base t = t.base
 let set_install_snapshot t f = t.install_snapshot <- Some f
 let xfer_stats t = t.stats
 let delivered_length t = t.delivered
+let members t = voters t
+let membership t = t.members
+let learners t = t.learners
+let is_fenced t = t.fenced
+let reconfig_stats t = t.reconfig
+
+let reconfig_in_flight t =
+  t.pending_joint || t.pending_final
+  || (match t.members with Joint _ -> true | Stable _ -> false)
 
 (* Force (or reuse) the serialized snapshot for the current horizon.
    Followers that never fall behind never call this, so they never pay the
@@ -296,8 +445,11 @@ let begin_snapshot_xfer ?(resume_from = 0) t ~dst =
           x_acked = resume_from;
           x_sent = resume_from;
           x_retx_after = Sim.now t.sim;
+          x_activity = Sim.now t.sim;
         };
       t.stats.transfers_started <- t.stats.transfers_started + 1);
+  Trace.debugf t.sim "zab[%d] snapshot xfer -> %d base=%d chunks=%d resume=%d"
+    t.id dst t.base chunks resume_from;
   t.send ~dst
     (Snapshot_begin
        {
@@ -307,22 +459,83 @@ let begin_snapshot_xfer ?(resume_from = 0) t ~dst =
          chunk_size = cs;
          digest = Digest.string blob;
          committed = t.committed;
+         config = t.base_config;
        });
   send_chunks t ~dst
 
 let batcher t =
   match t.batcher with Some b -> b | None -> invalid_arg "zab not wired"
 
-let others t = List.filter (fun p -> p <> t.id) t.peers
+(* Everybody this replica talks to: the voters of its current membership
+   view plus (on a leader) the adopted learners, which receive the full
+   replication stream without counting toward quorums. *)
+let others t =
+  List.filter (fun p -> p <> t.id) (set_union (voters t) t.learners)
 
 let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
 
-let deliver_ready t =
-  while t.delivered < t.committed do
-    let e = log_get t t.delivered in
-    t.delivered <- t.delivered + 1;
-    t.on_deliver e.zxid e.payload
-  done
+(* ------------------------------------------------------------------ *)
+(* Membership bookkeeping                                              *)
+(* ------------------------------------------------------------------ *)
+
+let apply_cc t cc =
+  match cc with
+  | Cc_joint { c_old; c_new } ->
+      if t.config.unsafe_single_step_reconfig then Stable c_new
+      else Joint { c_old; c_new }
+  | Cc_final { members } -> Stable members
+
+(* React to a membership-view change: a config that readmits us lifts the
+   fence; a leader drops learners that just became voters (they keep
+   receiving the stream as members). *)
+let refresh_membership_flags t =
+  let v = voters t in
+  if List.mem t.id v && t.fenced then begin
+    t.fenced <- false;
+    Trace.debugf t.sim "zab[%d] unfenced by config %a" t.id pp_membership
+      t.members
+  end;
+  t.learners <- List.filter (fun l -> not (List.mem l v)) t.learners
+
+(* A config entry was appended at absolute index [idx]: configs take
+   effect at APPEND time, not commit time (Raft §6). *)
+let note_appended t idx (e : 'p entry) =
+  match e.payload with
+  | App _ -> ()
+  | Config cc ->
+      t.members <- apply_cc t cc;
+      t.config_index <- idx;
+      (match cc with
+      | Cc_joint _ -> t.pending_joint <- false
+      | Cc_final _ -> t.pending_final <- false);
+      Trace.debugf t.sim "zab[%d] config@%d -> %a" t.id idx pp_membership
+        t.members;
+      refresh_membership_flags t
+
+(* Recompute [members] from scratch after a truncating graft or snapshot
+   install: [base_config] folded over the retained config entries.  A
+   previously known joint entry that vanished means the reconfiguration it
+   started was aborted (its proposer lost leadership before commit). *)
+let recompute_membership t =
+  let was = t.members and was_idx = t.config_index in
+  let m = ref t.base_config and idx = ref (t.base - 1) in
+  Vec.iteri
+    (fun i e ->
+      match e.payload with
+      | Config cc ->
+          m := apply_cc t cc;
+          idx := t.base + i
+      | App _ -> ())
+    t.log;
+  t.members <- !m;
+  t.config_index <- !idx;
+  (match was with
+  | Joint _ when t.config_index < was_idx ->
+      t.reconfig.aborted <- t.reconfig.aborted + 1;
+      Trace.debugf t.sim "zab[%d] reconfig aborted (joint@%d truncated)" t.id
+        was_idx
+  | _ -> ());
+  refresh_membership_flags t
 
 let set_role t role =
   if t.role <> role then begin
@@ -330,7 +543,14 @@ let set_role t role =
       Batching.reset (batcher t);
       (* a deposed leader's transfer state is meaningless: the follower
          will re-solicit from whoever leads next *)
-      Hashtbl.reset t.xfers
+      Hashtbl.reset t.xfers;
+      (* so is its reconfiguration state: adopted learners re-announce
+         themselves to the next leader, and any config entry still in the
+         batcher died with the reset above *)
+      t.learners <- [];
+      t.pending_joins <- [];
+      t.pending_joint <- false;
+      t.pending_final <- false
     end;
     t.role <- role;
     Trace.debugf t.sim "zab[%d] -> %a (epoch %d)" t.id pp_role role
@@ -339,22 +559,145 @@ let set_role t role =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Delivery and the config state machine                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [propose_config], [config_committed] and [maybe_promote] recurse
+   through [deliver_ready]: committing a joint entry makes the leader
+   propose the final one, and (with batching off) Batching.add flushes
+   synchronously into the append/commit path. *)
+let rec deliver_ready t =
+  while t.delivered < t.committed do
+    let e = log_get t t.delivered in
+    t.delivered <- t.delivered + 1;
+    match e.payload with
+    | App p -> t.on_deliver e.zxid p
+    | Config cc -> config_committed t cc
+  done
+
+and config_committed t cc =
+  match cc with
+  | Cc_joint { c_new; _ } ->
+      t.reconfig.joint_commits <- t.reconfig.joint_commits + 1;
+      (* the joint entry is committed under both majorities: the leader
+         finalizes by proposing the entry that collapses to [c_new] *)
+      if t.role = Leader && not t.pending_final then begin
+        match t.members with
+        | Joint _ -> propose_config t (Cc_final { members = c_new })
+        | Stable _ -> ()
+      end
+  | Cc_final { members = m } ->
+      t.reconfig.finals_committed <- t.reconfig.finals_committed + 1;
+      let joined = List.filter (fun x -> not (List.mem x t.last_stable)) m in
+      let left = List.filter (fun x -> not (List.mem x m)) t.last_stable in
+      t.reconfig.joins_completed <-
+        t.reconfig.joins_completed + List.length joined;
+      t.reconfig.leaves_completed <-
+        t.reconfig.leaves_completed + List.length left;
+      t.last_stable <- m;
+      let was_leader = t.role = Leader in
+      if List.mem t.id m then begin
+        t.fenced <- false;
+        t.joining <- false;
+        t.finalized <- true
+      end
+      else begin
+        (* removed: fence ourselves.  A leader that removed itself led
+           until the final entry committed (Raft §6) and steps down now —
+           the Commit broadcast already went out above us on the stack. *)
+        if not t.fenced then begin
+          t.fenced <- true;
+          t.reconfig.fences <- t.reconfig.fences + 1;
+          Trace.debugf t.sim "zab[%d] fenced: removed by committed final"
+            t.id
+        end;
+        if t.role <> Follower then set_role t Follower
+      end;
+      (* Farewell: departed replicas just left the broadcast set, so this
+         Commit is the last thing they would ever hear from us — without
+         an explicit stand-down they would sit on their joint view and
+         campaign forever.  (Lost farewells are repaired by the fence
+         echo on their eventual vote refusal.) *)
+      if was_leader then
+        List.iter
+          (fun r ->
+            if r <> t.id then
+              t.send ~dst:r (Fence { epoch = t.current_epoch }))
+          left;
+      if t.role = Leader then maybe_promote t
+
+(* Promote at most one caught-up learner at a time: membership changes are
+   serialized — the next promotion waits until the previous change's final
+   entry committed and delivered. *)
+and maybe_promote t =
+  if t.role = Leader && not (reconfig_in_flight t) then
+    match t.members with
+    | Joint _ -> ()
+    | Stable m -> (
+        let ready =
+          List.find_opt
+            (fun (jid, _) ->
+              (not (List.mem jid m))
+              &&
+              match Hashtbl.find_opt t.match_len jid with
+              | Some n -> n >= t.committed
+              | None -> false)
+            (List.rev t.pending_joins)
+        in
+        match ready with
+        | None -> ()
+        | Some (jid, t0) ->
+            t.pending_joins <-
+              List.filter (fun (j, _) -> j <> jid) t.pending_joins;
+            t.reconfig.catchup_ms <-
+              Sim_time.to_float_ms (Sim_time.sub (Sim.now t.sim) t0)
+              :: t.reconfig.catchup_ms;
+            t.reconfig.joint_proposed <- t.reconfig.joint_proposed + 1;
+            Trace.debugf t.sim "zab[%d] promotes learner %d" t.id jid;
+            propose_config t
+              (Cc_joint { c_old = m; c_new = set_union [ jid ] m }))
+
+(* Config entries ride the ordinary group-commit batcher so zxids stay in
+   assignment order relative to concurrent app proposals. *)
+and propose_config t cc =
+  if t.alive && t.role = Leader then begin
+    let zxid = { epoch = t.current_epoch; counter = t.next_counter } in
+    t.next_counter <- t.next_counter + 1;
+    (match cc with
+    | Cc_joint _ -> t.pending_joint <- true
+    | Cc_final _ -> t.pending_final <- true);
+    Trace.debugf t.sim "zab[%d] proposes config %a" t.id pp_config_change cc;
+    Batching.add (batcher t) (zxid, Config cc)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Leader side                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let leader_commit_check t =
-  (* Advance the commit horizon to the longest prefix held by a quorum
-     (our own log counts as an implicit ack; followers report cumulative
-     acked prefix lengths, so the quorum-th largest is committed). *)
+(* The longest prefix committable by member set [s]: the (majority)-th
+   largest acked length among its members (our own log is an implicit
+   ack). *)
+let commit_target_of_set t s =
   let lens =
     List.map
       (fun p ->
         if p = t.id then abs_len t
         else match Hashtbl.find_opt t.match_len p with Some n -> n | None -> 0)
-      t.peers
+      s
   in
   let sorted = List.sort (fun a b -> Int.compare b a) lens in
-  let target = List.nth sorted (quorum t - 1) in
+  List.nth sorted ((List.length s / 2) + 1 - 1)
+
+let leader_commit_check t =
+  (* Advance the commit horizon to the longest prefix held by a quorum.
+     During a joint phase that means a majority of BOTH member sets — the
+     defining property of joint consensus. *)
+  let target =
+    match t.members with
+    | Stable m -> commit_target_of_set t m
+    | Joint { c_old; c_new } ->
+        Stdlib.min (commit_target_of_set t c_old) (commit_target_of_set t c_new)
+  in
   if target > t.committed then begin
     t.committed <- target;
     broadcast t (Commit { epoch = t.current_epoch; index = t.committed });
@@ -369,13 +712,17 @@ let commit_batch t items =
   if t.alive && t.role = Leader then begin
     (* a stale flush can straddle a re-election; drop foreign-epoch items *)
     let items =
-      List.filter (fun (zxid, _) -> zxid.epoch = t.current_epoch) items
+      List.filter (fun ((zxid : zxid), _) -> zxid.epoch = t.current_epoch) items
     in
     if items <> [] then begin
       let index = abs_len t in
       let prev_zxid = last_zxid t in
       let entries = List.map (fun (zxid, payload) -> { zxid; payload }) items in
-      List.iter (Vec.push t.log) entries;
+      List.iteri
+        (fun i e ->
+          Vec.push t.log e;
+          note_appended t (index + i) e)
+        entries;
       broadcast t
         (Propose { epoch = t.current_epoch; index; prev_zxid; entries });
       (* A single-replica ensemble commits immediately. *)
@@ -392,29 +739,55 @@ let propose t payload =
   else begin
     let zxid = { epoch = t.current_epoch; counter = t.next_counter } in
     t.next_counter <- t.next_counter + 1;
-    Batching.add (batcher t) (zxid, payload);
+    Batching.add (batcher t) (zxid, App payload);
     Some zxid
   end
+
+(** [remove_server t ~id] — leader only — starts the joint-consensus
+    removal of [id] from the stable config.  At most one reconfiguration
+    runs at a time. *)
+let remove_server t ~id =
+  if (not t.alive) || t.role <> Leader then Error "not leader"
+  else if reconfig_in_flight t then Error "reconfiguration already in flight"
+  else
+    match t.members with
+    | Joint _ -> Error "reconfiguration already in flight"
+    | Stable m ->
+        if not (List.mem id m) then Error "not a member"
+        else if List.length m <= 1 then Error "cannot remove the last member"
+        else begin
+          t.reconfig.leaves_requested <- t.reconfig.leaves_requested + 1;
+          t.reconfig.joint_proposed <- t.reconfig.joint_proposed + 1;
+          propose_config t
+            (Cc_joint { c_old = m; c_new = List.filter (fun x -> x <> id) m });
+          Ok ()
+        end
+
+let reconfigure t ~c_new =
+  let c_new = List.sort_uniq Int.compare c_new in
+  if (not t.alive) || t.role <> Leader then Error "not leader"
+  else if reconfig_in_flight t then Error "reconfiguration already in flight"
+  else
+    match t.members with
+    | Joint _ -> Error "reconfiguration already in flight"
+    | Stable m ->
+        if c_new = [] then Error "empty member set"
+        else if c_new = m then Error "no change"
+        else begin
+          let joins = List.filter (fun x -> not (List.mem x m)) c_new in
+          let leaves = List.filter (fun x -> not (List.mem x c_new)) m in
+          t.reconfig.joins_requested <-
+            t.reconfig.joins_requested + List.length joins;
+          t.reconfig.leaves_requested <-
+            t.reconfig.leaves_requested + List.length leaves;
+          t.reconfig.joint_proposed <- t.reconfig.joint_proposed + 1;
+          propose_config t (Cc_joint { c_old = m; c_new });
+          Ok ()
+        end
 
 (* ------------------------------------------------------------------ *)
 (* Election                                                            *)
 (* ------------------------------------------------------------------ *)
-
-let start_election t =
-  t.current_epoch <- t.current_epoch + 1;
-  t.voted_epoch <- t.current_epoch;
-  t.votes <- [ t.id ];
-  t.leader_hint <- None;
-  set_role t Candidate;
-  Trace.debugf t.sim "zab[%d] starts election for epoch %d" t.id
-    t.current_epoch;
-  broadcast t
-    (Request_vote
-       { epoch = t.current_epoch; candidate = t.id; last_zxid = last_zxid t });
-  if List.length t.votes >= quorum t then begin
-    (* Single-replica ensemble. *)
-    t.votes <- []
-  end
 
 let become_leader t =
   set_role t Leader;
@@ -423,6 +796,10 @@ let become_leader t =
   t.verified <- abs_len t;
   Hashtbl.reset t.match_len;
   Hashtbl.reset t.xfers;
+  t.learners <- [];
+  t.pending_joins <- [];
+  t.pending_joint <- false;
+  t.pending_final <- false;
   (* Synchronize followers: ship the retained log suffix.  A follower whose
      own state does not reach our compaction horizon answers the Sync with
      a [Sync_request { have < base }] (or a [Snapshot_ack] if it holds a
@@ -440,7 +817,30 @@ let become_leader t =
              committed = t.committed;
            }))
     (others t);
-  broadcast t (Ping { epoch = t.current_epoch; committed = t.committed })
+  broadcast t (Ping { epoch = t.current_epoch; committed = t.committed });
+  (* An inherited joint phase is now our job to finish.  If its entry is
+     already delivered, the commit-time trigger fired on the old leader
+     (or on us as a follower, uselessly): re-propose the final entry.
+     Otherwise [config_committed] fires when it commits under us. *)
+  match t.members with
+  | Joint { c_new; _ } when t.config_index < t.delivered ->
+      propose_config t (Cc_final { members = c_new })
+  | _ -> ()
+
+let start_election t =
+  t.current_epoch <- t.current_epoch + 1;
+  t.voted_epoch <- t.current_epoch;
+  t.votes <- [ t.id ];
+  t.leader_hint <- None;
+  set_role t Candidate;
+  Trace.debugf t.sim "zab[%d] starts election for epoch %d" t.id
+    t.current_epoch;
+  broadcast t
+    (Request_vote
+       { epoch = t.current_epoch; candidate = t.id; last_zxid = last_zxid t });
+  (* A single-replica ensemble (or one whose quorum is just us) elects
+     itself immediately. *)
+  if quorum_met t t.votes then become_leader t
 
 (* ------------------------------------------------------------------ *)
 (* Message handling                                                    *)
@@ -453,6 +853,14 @@ let note_leader t ~src ~epoch =
   end;
   if epoch = t.current_epoch then begin
     if t.role <> Follower then set_role t Follower;
+    (* replication traffic from the current leader proves we are inside
+       its world — leaders address only voters and adopted learners — so
+       any fence we carry is stale (e.g. from a deposed minority leader
+       that had not seen the config that readmitted us) *)
+    if t.fenced then begin
+      t.fenced <- false;
+      Trace.debugf t.sim "zab[%d] unfenced by leader %d contact" t.id src
+    end;
     t.leader_hint <- Some src;
     t.last_leader_contact <- Sim.now t.sim
   end
@@ -470,22 +878,24 @@ let follower_commit t upto =
 (* Graft a leader-shipped suffix starting at absolute index [from] onto our
    (possibly compacted) log, then cumulatively ack the prefix we now hold. *)
 let graft_entries t ~src ~epoch ~from entries =
-  if from >= t.base then begin
-    Vec.replace_from t.log (from - t.base) entries;
-    t.verified <- abs_len t;
-    t.send ~dst:src (Ack { epoch; upto = abs_len t })
-  end
-  else begin
-    (* the shipped suffix starts before our own compaction horizon: drop
-       what we already snapshotted *)
-    let drop = t.base - from in
-    if List.length entries >= drop then begin
-      let keep = List.filteri (fun i _ -> i >= drop) entries in
-      Vec.replace_from t.log 0 keep;
-      t.verified <- abs_len t;
-      t.send ~dst:src (Ack { epoch; upto = abs_len t })
-    end
-  end
+  (if from >= t.base then begin
+     Vec.replace_from t.log (from - t.base) entries;
+     t.verified <- abs_len t;
+     recompute_membership t;
+     t.send ~dst:src (Ack { epoch; upto = abs_len t })
+   end
+   else begin
+     (* the shipped suffix starts before our own compaction horizon: drop
+        what we already snapshotted *)
+     let drop = t.base - from in
+     if List.length entries >= drop then begin
+       let keep = List.filteri (fun i _ -> i >= drop) entries in
+       Vec.replace_from t.log 0 keep;
+       t.verified <- abs_len t;
+       recompute_membership t;
+       t.send ~dst:src (Ack { epoch; upto = abs_len t })
+     end
+   end)
 
 let epoch_of_msg = function
   | Ping { epoch; _ }
@@ -498,7 +908,9 @@ let epoch_of_msg = function
   | Sync { epoch; _ }
   | Snapshot_begin { epoch; _ }
   | Snapshot_chunk { epoch; _ }
-  | Snapshot_ack { epoch; _ } ->
+  | Snapshot_ack { epoch; _ }
+  | Join_request { epoch; _ }
+  | Fence { epoch } ->
       epoch
 
 (* Raft's term rule, applied to every message: a higher epoch proves our
@@ -523,9 +935,28 @@ let maybe_adopt_epoch t epoch =
     end
   end
 
+(* Whether a message's epoch participates in the term rule.  A campaign by
+   a non-member must not drag the config's epochs upward (that is exactly
+   the disruption fencing exists to prevent), and a [Fence] is an order to
+   stand down, not evidence about the current leader's epoch. *)
+let adopts_epoch t = function
+  | Request_vote { candidate; _ } -> List.mem candidate (voters t)
+  | Fence _ -> false
+  | _ -> true
+
+(* Is [src] inside the leader's world — a voter or an adopted learner?
+   Anything else is a deposed/foreign replica and gets fenced. *)
+let known t src = List.mem src (voters t) || List.mem src t.learners
+
+(* [epoch] echoes the epoch the offender used: a removed replica keeps
+   bumping its own epoch with every failed campaign, so a fence carrying
+   only our (lower) epoch would fail its staleness check and never land. *)
+let fence ?(epoch = 0) t ~dst =
+  t.send ~dst (Fence { epoch = Stdlib.max t.current_epoch epoch })
+
 let rec handle t ~src msg =
   if t.alive then begin
-    maybe_adopt_epoch t (epoch_of_msg msg);
+    if adopts_epoch t msg then maybe_adopt_epoch t (epoch_of_msg msg);
     match msg with
     | Ping { epoch; committed } ->
         if epoch >= t.current_epoch then begin
@@ -546,6 +977,12 @@ let rec handle t ~src msg =
                    the verified prefix so the graft can repair our tail *)
                 t.send ~dst:src (Sync_request { epoch; have = t.verified })
         end
+        else if not (List.mem src (voters t)) then
+          (* a deposed leader outside our config pings from a dead epoch:
+             it can never hear the new epoch through replication (nobody
+             sends to it), so tell it to stand down — this is what stops a
+             removed ex-leader from serving stale reads forever *)
+          fence t ~dst:src
     | Propose { epoch; index = _; _ } when epoch < t.current_epoch ->
         () (* stale leader; drop *)
     | Propose { epoch; index; prev_zxid; entries } ->
@@ -590,21 +1027,30 @@ let rec handle t ~src msg =
              the batch lands atomically.  Within an epoch the leader's log
              is append-only, so overlapping entries are identical and a
              duplicate never truncates what we already hold. *)
-          let fresh =
-            List.filteri (fun i _ -> index + i >= abs_len t) entries
-          in
-          List.iter (Vec.push t.log) fresh;
+          let start = abs_len t in
+          let fresh = List.filteri (fun i _ -> index + i >= start) entries in
+          List.iteri
+            (fun i e ->
+              Vec.push t.log e;
+              note_appended t (start + i) e)
+            fresh;
           t.verified <- abs_len t;
           t.send ~dst:src (Ack { epoch; upto = abs_len t })
         end
     | Ack { epoch; upto } ->
         if t.role = Leader && epoch = t.current_epoch then begin
-          let prev =
-            match Hashtbl.find_opt t.match_len src with Some n -> n | None -> 0
-          in
-          if upto > prev then begin
-            Hashtbl.replace t.match_len src upto;
-            leader_commit_check t
+          if not (known t src) then fence t ~dst:src
+          else begin
+            let prev =
+              match Hashtbl.find_opt t.match_len src with
+              | Some n -> n
+              | None -> 0
+            in
+            if upto > prev then begin
+              Hashtbl.replace t.match_len src upto;
+              leader_commit_check t;
+              maybe_promote t
+            end
           end
         end
     | Commit { epoch; index } ->
@@ -613,10 +1059,18 @@ let rec handle t ~src msg =
           follower_commit t index
         end
     | Request_vote { epoch; candidate; last_zxid = candidate_last } ->
-        (* the epoch itself was adopted above; grant at most one vote per
-           epoch, and only to a log at least as up to date as ours *)
-        if
-          epoch = t.current_epoch && epoch > t.voted_epoch
+        if not (List.mem candidate (voters t)) then begin
+          (* a replica outside our config can never win here: refuse
+             without adopting its epoch, and (as leader, authoritatively)
+             order it to stand down *)
+          if t.role = Leader then fence t ~epoch ~dst:candidate
+        end
+        else if
+          (* the epoch itself was adopted above; grant at most one vote per
+             epoch, and only to a log at least as up to date as ours — and
+             never while fenced, so a deposed replica cannot help elect *)
+          (not t.fenced)
+          && epoch = t.current_epoch && epoch > t.voted_epoch
           && zxid_geq candidate_last (last_zxid t)
         then begin
           t.voted_epoch <- epoch;
@@ -629,24 +1083,29 @@ let rec handle t ~src msg =
     | Vote { epoch } ->
         if t.role = Candidate && epoch = t.current_epoch then begin
           if not (List.mem src t.votes) then t.votes <- src :: t.votes;
-          if List.length t.votes >= quorum t then become_leader t
+          (* during a joint phase the election needs majorities of BOTH
+             member sets (votes from non-members never help: quorum_met
+             intersects with the sets) *)
+          if quorum_met t t.votes then become_leader t
         end
     | Sync_request { epoch; have } ->
         if t.role = Leader && epoch = t.current_epoch then
-          let have = Stdlib.min have (abs_len t) in
-          if have < t.base then
-            (* the follower needs entries we compacted away: chunked state
-               transfer (§3.8's recovery path) *)
-            begin_snapshot_xfer t ~dst:src
+          if not (known t src) then fence t ~dst:src
           else
-            t.send ~dst:src
-              (Sync
-                 {
-                   epoch;
-                   from = have;
-                   entries = Vec.sub t.log (have - t.base) (abs_len t - have);
-                   committed = t.committed;
-                 })
+            let have = Stdlib.min have (abs_len t) in
+            if have < t.base then
+              (* the follower needs entries we compacted away: chunked state
+                 transfer (§3.8's recovery path) *)
+              begin_snapshot_xfer t ~dst:src
+            else
+              t.send ~dst:src
+                (Sync
+                   {
+                     epoch;
+                     from = have;
+                     entries = Vec.sub t.log (have - t.base) (abs_len t - have);
+                     committed = t.committed;
+                   })
     | Sync { epoch; from; entries; committed } ->
         if epoch >= t.current_epoch then begin
           note_leader t ~src ~epoch;
@@ -669,7 +1128,8 @@ let rec handle t ~src msg =
             | _ -> t.send ~dst:src (Sync_request { epoch; have = t.committed })
           end
         end
-    | Snapshot_begin { epoch; base; total; chunk_size; digest; committed } ->
+    | Snapshot_begin { epoch; base; total; chunk_size; digest; committed; config }
+      ->
         if epoch >= t.current_epoch then begin
           note_leader t ~src ~epoch;
           if base <= abs_len t && t.delivered >= base then
@@ -688,6 +1148,7 @@ let rec handle t ~src msg =
                       ps_total = total;
                       ps_chunks = chunk_count ~total ~chunk_size;
                       ps_digest = digest;
+                      ps_config = config;
                       ps_buf = Buffer.create (Stdlib.max total 16);
                       ps_received = 0;
                     });
@@ -733,7 +1194,8 @@ let rec handle t ~src msg =
         end
     | Snapshot_ack { epoch; base; received } ->
         if t.role = Leader && epoch = t.current_epoch then begin
-          if base <> t.base then
+          if not (known t src) then fence t ~dst:src
+          else if base <> t.base then
             (* we compacted past the transfer's horizon: restart at the new
                one (the follower drops its stale prefix on Snapshot_begin) *)
             begin_snapshot_xfer t ~dst:src
@@ -747,8 +1209,21 @@ let rec handle t ~src msg =
                   Stdlib.max t.stats.last_resume_from received;
                 begin_snapshot_xfer ~resume_from:received t ~dst:src
             | Some x ->
+                x.x_activity <- Sim.now t.sim;
                 if received > x.x_acked then begin
-                  (* forward progress: slide the window *)
+                  (* forward progress: slide the window.  A jump of more
+                     than one chunk means our view of the follower was
+                     stale — its acks were lost (cut link, partition) while
+                     our chunks got through — and this ack is really the
+                     post-heal resume solicitation, so record it as one. *)
+                  if received > x.x_acked + 1 then begin
+                    t.stats.resumes <- t.stats.resumes + 1;
+                    t.stats.last_resume_from <-
+                      Stdlib.max t.stats.last_resume_from received;
+                    Trace.debugf t.sim
+                      "zab[%d] snapshot to %d resumes at chunk %d (acked %d)"
+                      t.id src received x.x_acked
+                  end;
                   x.x_acked <- received;
                   send_chunks t ~dst:src
                 end
@@ -779,6 +1254,44 @@ let rec handle t ~src msg =
                 Hashtbl.remove t.xfers src
             | _ -> ()
           end
+        end
+    | Join_request { epoch = _; id = jid } ->
+        if t.role = Leader && jid <> t.id then begin
+          if (not (List.mem jid (voters t))) && not (List.mem jid t.learners)
+          then begin
+            (* adopt as a non-voting learner: it receives the replication
+               stream (so its acks track its catch-up) but never counts
+               toward a quorum until a committed config admits it *)
+            t.learners <- jid :: t.learners;
+            t.pending_joins <- (jid, Sim.now t.sim) :: t.pending_joins;
+            t.reconfig.joins_requested <- t.reconfig.joins_requested + 1;
+            Trace.debugf t.sim "zab[%d] adopts learner %d" t.id jid
+          end;
+          (* bootstrap (or re-bootstrap after a stall): ship the retained
+             log; a learner behind our compaction horizon answers with
+             [Sync_request { have < base }], which opens the chunked
+             snapshot transfer *)
+          t.send ~dst:jid
+            (Sync
+               {
+                 epoch = t.current_epoch;
+                 from = t.base;
+                 entries = Vec.to_list t.log;
+                 committed = t.committed;
+               })
+        end
+    | Fence { epoch } ->
+        if epoch >= t.current_epoch then begin
+          if not t.fenced then begin
+            t.fenced <- true;
+            t.reconfig.fences <- t.reconfig.fences + 1;
+            Trace.debugf t.sim "zab[%d] fenced by %d (epoch %d)" t.id src epoch
+          end;
+          t.votes <- [];
+          if t.role <> Follower then set_role t Follower;
+          (* a learner whose half-finished join was aborted (its joint
+             entry died with the old leader) starts the join over *)
+          if t.created_learner && not t.finalized then t.joining <- true
         end
   end
 
@@ -815,6 +1328,10 @@ and finish_snapshot_install t ~src ~epoch =
             t.committed <- ps.ps_base;
             t.verified <- ps.ps_base;
             Vec.clear t.log;
+            (* the blob covers every config entry below [base] too: adopt
+               the membership the leader snapshotted with it *)
+            t.base_config <- ps.ps_config;
+            recompute_membership t;
             (* our own snapshot of [0, base) is exactly the blob we
                installed: cache it, so if we lead later we can serve
                transfers without re-serializing *)
@@ -844,7 +1361,11 @@ let rec tick t generation () =
         let silence = Sim_time.sub (Sim.now t.sim) t.last_leader_contact in
         if Sim_time.(election_deadline t <= silence) then begin
           t.last_leader_contact <- Sim.now t.sim;
-          start_election t
+          if List.mem t.id (voters t) && not t.fenced then start_election t
+          else if t.joining then
+            (* learners never campaign: they (re-)announce themselves to
+               whoever leads now *)
+            broadcast t (Join_request { epoch = t.current_epoch; id = t.id })
         end);
     Sim.schedule t.sim ~after:t.config.heartbeat_interval (tick t generation)
   end
@@ -856,15 +1377,21 @@ let rec tick t generation () =
 let start t =
   t.generation <- t.generation + 1;
   t.last_leader_contact <- Sim.now t.sim;
-  Sim.schedule t.sim ~after:Sim_time.zero (tick t t.generation)
+  Sim.schedule t.sim ~after:Sim_time.zero (tick t t.generation);
+  if t.joining then
+    (* announce immediately; the tick path re-broadcasts on silence *)
+    broadcast t (Join_request { epoch = t.current_epoch; id = t.id })
 
-let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
-    ~on_deliver () =
+let create ?(config = default_config) ?initial_leader ?(learner = false) ~sim
+    ~id ~peers ~send ~on_deliver () =
+  let peers = List.sort_uniq compare peers in
+  let initial_members =
+    if learner then List.filter (fun p -> p <> id) peers else peers
+  in
   let t =
     {
       sim;
       id;
-      peers;
       send;
       on_deliver;
       on_role_change = (fun _ -> ());
@@ -879,6 +1406,14 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
       voted_epoch = 0;
       committed = 0;
       verified = 0;
+      base_config = Stable initial_members;
+      members = Stable initial_members;
+      config_index = -1;
+      last_stable = initial_members;
+      fenced = false;
+      created_learner = learner;
+      joining = learner;
+      finalized = not learner;
       role = Follower;
       leader_hint = None;
       alive = true;
@@ -886,6 +1421,10 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
       votes = [];
       next_counter = 0;
       match_len = Hashtbl.create 8;
+      learners = [];
+      pending_joins = [];
+      pending_joint = false;
+      pending_final = false;
       batcher = None;
       delivered = 0;
       last_leader_contact = Sim.now sim;
@@ -903,6 +1442,19 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
           last_resume_from = 0;
           installs = 0;
           install_rejects = 0;
+        };
+      reconfig =
+        {
+          joins_requested = 0;
+          joint_proposed = 0;
+          joint_commits = 0;
+          finals_committed = 0;
+          joins_completed = 0;
+          leaves_requested = 0;
+          leaves_completed = 0;
+          aborted = 0;
+          fences = 0;
+          catchup_ms = [];
         };
     }
   in
@@ -922,7 +1474,8 @@ let create ?(config = default_config) ?initial_leader ~sim ~id ~peers ~send
 let set_on_role_change t f = t.on_role_change <- f
 
 (** [crash t] stops the replica.  Persistent state (log, epoch, committed
-    prefix) is retained, modeling ZooKeeper's on-disk transaction log. *)
+    prefix, membership) is retained, modeling ZooKeeper's on-disk
+    transaction log. *)
 let crash t =
   t.alive <- false;
   t.generation <- t.generation + 1;
@@ -934,6 +1487,10 @@ let crash t =
      (resume is for link drops, which lose no local state) *)
   Hashtbl.reset t.xfers;
   t.pending_snap <- None;
+  t.learners <- [];
+  t.pending_joins <- [];
+  t.pending_joint <- false;
+  t.pending_final <- false;
   Batching.reset (batcher t)
 
 (** [restart t] brings a crashed replica back as a follower; it will catch
@@ -944,14 +1501,18 @@ let restart t =
   t.verified <- t.committed;
   t.last_leader_contact <- Sim.now t.sim;
   start t;
-  (* Proactively ask whoever leads now for the missing suffix: we cannot
-     address them yet, so we ask everyone; non-leaders ignore it. *)
-  List.iter
-    (fun dst ->
-      (* ask from the committed prefix: our uncommitted tail may predate
-         the crash and diverge from the current leader's log *)
-      t.send ~dst (Sync_request { epoch = t.current_epoch; have = t.committed }))
-    (others t)
+  if not t.joining then
+    (* Proactively ask whoever leads now for the missing suffix: we cannot
+       address them yet, so we ask everyone; non-leaders ignore it.  (A
+       still-joining learner already re-announced itself in [start]: a
+       [Sync_request] from a non-member would just get it fenced.) *)
+    List.iter
+      (fun dst ->
+        (* ask from the committed prefix: our uncommitted tail may predate
+           the crash and diverge from the current leader's log *)
+        t.send ~dst
+          (Sync_request { epoch = t.current_epoch; have = t.committed }))
+      (others t)
 
 (** [compact t ~take] discards the delivered log prefix after capturing an
     application snapshot that covers exactly the delivered entries
@@ -962,28 +1523,78 @@ let restart t =
     until the next compaction.  A replica that never serves a transfer
     never serializes at all. *)
 let compact t ~take =
-  if t.alive && t.delivered > t.base then begin
+  (* An in-flight state transfer pins the compaction horizon: the
+     follower's partial prefix is only resumable while the blob at
+     [t.base] stays the serialization source — moving the base would
+     force every interrupted bootstrap to restart from chunk 0.  A
+     follower that stopped acking (crashed learner, permanent partition)
+     is abandoned after a TTL so one silent peer can't pin the log
+     forever. *)
+  let xfer_ttl = Sim_time.scale t.config.heartbeat_interval 20. in
+  let stale =
+    Hashtbl.fold
+      (fun dst x acc ->
+        if Sim_time.(compare (sub (Sim.now t.sim) x.x_activity) xfer_ttl > 0)
+        then dst :: acc
+        else acc)
+      t.xfers []
+  in
+  List.iter
+    (fun dst ->
+      Trace.debugf t.sim "zab[%d] abandons stalled snapshot xfer -> %d" t.id
+        dst;
+      Hashtbl.remove t.xfers dst)
+    stale;
+  if t.alive && Hashtbl.length t.xfers = 0 && t.delivered > t.base then begin
     t.snap_take <- Some (take ());
     t.snap_cache <- None;
     t.last_compacted_zxid <- (log_get t (t.delivered - 1)).zxid;
+    (* config entries about to be dropped fold into the base config, so
+       [members] stays reconstructible from [base_config] + retained log *)
+    for i = t.base to t.delivered - 1 do
+      match (log_get t i).payload with
+      | Config cc -> t.base_config <- apply_cc t cc
+      | App _ -> ()
+    done;
     let suffix = Vec.sub t.log (t.delivered - t.base) (abs_len t - t.delivered) in
     Vec.replace_from t.log 0 suffix;
     t.base <- t.delivered
   end
 
+(* modelled wire sizes for membership data: ~8 bytes per member id *)
+let member_set_size m = 8 * List.length m
+
+let membership_size = function
+  | Stable m -> 8 + member_set_size m
+  | Joint { c_old; c_new } -> 8 + member_set_size c_old + member_set_size c_new
+
+let config_change_size = function
+  | Cc_joint { c_old; c_new } ->
+      16 + member_set_size c_old + member_set_size c_new
+  | Cc_final { members } -> 16 + member_set_size members
+
 (** [msg_size ~payload_size msg] models the wire size of a protocol
     message: a fixed header plus the payload. *)
-let msg_size ~payload_size = function
+let msg_size ~payload_size =
+  let entry_size (e : _ entry) =
+    match e.payload with
+    | App p -> 48 + payload_size p
+    | Config cc -> 48 + config_change_size cc
+  in
+  function
   | Ping _ -> 24
   | Propose { entries; _ } ->
-      List.fold_left (fun acc e -> acc + 48 + payload_size e.payload) 0 entries
+      List.fold_left (fun acc e -> acc + entry_size e) 0 entries
   | Ack _ -> 24
   | Commit _ -> 24
   | Request_vote _ -> 32
   | Vote _ -> 16
   | Sync_request _ -> 24
   | Sync { entries; _ } ->
-      List.fold_left (fun acc e -> acc + 48 + payload_size e.payload) 32 entries
-  | Snapshot_begin { digest; _ } -> 56 + String.length digest
+      List.fold_left (fun acc e -> acc + entry_size e) 32 entries
+  | Snapshot_begin { digest; config; _ } ->
+      56 + String.length digest + membership_size config
   | Snapshot_chunk { data; _ } -> 40 + String.length data
   | Snapshot_ack _ -> 32
+  | Join_request _ -> 24
+  | Fence _ -> 16

@@ -7,6 +7,15 @@
     transaction, followed by log synchronization — the property §3.8 of
     the paper relies on.
 
+    Membership is dynamic and goes through the log (joint consensus): a
+    change from [c_old] to [c_new] is a replicated [Cc_joint] entry that —
+    from the moment it is appended — makes commits and elections require
+    majorities of BOTH sets; once it commits, a [Cc_final] entry collapses
+    membership to [c_new].  New replicas join as non-voting learners
+    bootstrapped by the chunked snapshot transfer and gain a vote only when
+    caught up; replicas outside the config are fenced (never win elections,
+    and the deployment refuses their reads via {!is_fenced}).
+
     Transport-agnostic: the deployment supplies [send] and feeds incoming
     messages to {!handle}; timers run on the shared simulator. *)
 
@@ -18,7 +27,28 @@ val zxid_zero : zxid
 val zxid_compare : zxid -> zxid -> int
 val pp_zxid : Format.formatter -> zxid -> unit
 
-type 'p entry = { zxid : zxid; payload : 'p }
+(** A member set: sorted, duplicate-free replica ids. *)
+type member_set = int list
+
+type membership =
+  | Stable of member_set
+  | Joint of { c_old : member_set; c_new : member_set }
+      (** transition in progress: decisions need majorities of both sets *)
+
+(** The two log-entry kinds a reconfiguration replicates. *)
+type config_change =
+  | Cc_joint of { c_old : member_set; c_new : member_set }
+  | Cc_final of { members : member_set }
+
+val pp_membership : Format.formatter -> membership -> unit
+val pp_config_change : Format.formatter -> config_change -> unit
+
+(** What a log entry carries: an application payload or a config change
+    (config entries are consumed by the protocol and never reach
+    [on_deliver]). *)
+type 'p payload = App of 'p | Config of config_change
+
+type 'p entry = { zxid : zxid; payload : 'p payload }
 
 type 'p msg =
   | Ping of { epoch : int; committed : int }
@@ -50,6 +80,10 @@ type 'p msg =
           (** of the whole blob: lets a follower resume a partial transfer
               under a new leader only when the bytes are provably the same *)
       committed : int;
+      config : membership;
+          (** membership in effect at [base], so a bootstrapping learner
+              can reconstruct the member set past compacted config
+              entries *)
     }
       (** opens a chunked, flow-controlled state transfer; the blob follows
           in [Snapshot_chunk]s, the retained log suffix is fetched
@@ -58,6 +92,12 @@ type 'p msg =
   | Snapshot_ack of { epoch : int; base : int; received : int }
       (** cumulative chunk ack; a duplicate doubles as a retransmit solicit
           so transfers resume from the last contiguous chunk after drops *)
+  | Join_request of { epoch : int; id : int }
+      (** learner handshake: a non-member asks the leader to adopt and
+          bootstrap it; re-broadcast on silence so it survives leader
+          changes and crash/restart of a half-bootstrapped learner *)
+  | Fence of { epoch : int }
+      (** stand-down order from the leader to a replica outside the config *)
 
 type role = Leader | Follower | Candidate
 
@@ -78,6 +118,13 @@ type config = {
           linearizability checker's mutation self-test to prove the
           checker catches real consistency violations; never enable
           outside tests. *)
+  unsafe_single_step_reconfig : bool;
+      (** TEST ONLY — the classic one-step reconfiguration bug: a
+          [Cc_joint] entry applies as [Stable c_new] immediately, so during
+          the transition a majority of [c_old] and a majority of [c_new]
+          can be disjoint and commit independently, losing committed
+          entries.  Used by regression tests to prove the joint phase is
+          what prevents exactly this; never enable outside tests. *)
   snapshot_chunk_size : int;
       (** bytes of snapshot blob per [Snapshot_chunk] *)
   snapshot_window : int;
@@ -89,12 +136,18 @@ val default_config : config
 type 'p t
 
 (** [create ~sim ~id ~peers ~send ~on_deliver ()] — one replica.
-    [on_deliver] receives committed payloads in order, exactly once per
-    lifetime.  With [initial_leader] the ensemble boots with an elected
-    leader of epoch 1 (skips the cold election). *)
+    [on_deliver] receives committed application payloads in order, exactly
+    once per lifetime (config entries are consumed internally).  With
+    [initial_leader] the ensemble boots with an elected leader of epoch 1
+    (skips the cold election).  With [learner:true] the replica starts as
+    a non-voting learner whose member set is [peers] minus itself: it
+    announces itself via [Join_request], is bootstrapped by the leader
+    (snapshot + log sync), and becomes a voter only when a committed
+    config admits it. *)
 val create :
   ?config:config ->
   ?initial_leader:int ->
+  ?learner:bool ->
   sim:Sim.t ->
   id:int ->
   peers:int list ->
@@ -105,7 +158,8 @@ val create :
 
 val set_on_role_change : 'p t -> (role -> unit) -> unit
 
-(** [start t] begins heartbeat/election timers. *)
+(** [start t] begins heartbeat/election timers (and, for a learner, the
+    join handshake). *)
 val start : 'p t -> unit
 
 (** [propose t payload] — leader only; assigns a zxid and enqueues the
@@ -113,6 +167,22 @@ val start : 'p t -> unit
     disseminated synchronously).  Returns the assigned zxid, [None] if
     this replica does not lead. *)
 val propose : 'p t -> 'p -> zxid option
+
+(** [remove_server t ~id] — leader only; starts the joint-consensus
+    removal of [id].  Refused while another reconfiguration is in flight,
+    for non-members, and for the last remaining member.  The removed
+    replica is fenced once the final entry commits. *)
+val remove_server : 'p t -> id:int -> (unit, string) result
+
+(** [reconfigure t ~c_new] — leader only; starts the joint-consensus
+    transition to the complete target ensemble [c_new] (ZooKeeper-style
+    reconfig: the caller names the new member set, so a multi-server
+    change goes through one joint entry rather than a sequence of
+    single-server steps).  Refused while another change is in flight,
+    for an empty set, and when nothing changes.  New members are synced
+    by the ordinary recovery path once the joint entry puts them in the
+    broadcast set. *)
+val reconfigure : 'p t -> c_new:member_set -> (unit, string) result
 
 val handle : 'p t -> src:int -> 'p msg -> unit
 
@@ -129,6 +199,24 @@ val compaction_base : 'p t -> int
 (** Length of the prefix handed to [on_deliver] (equals the applied
     prefix, since delivery is synchronous). *)
 val delivered_length : 'p t -> int
+
+(** Current voters per this replica's membership view (the union of both
+    sets during a joint phase). *)
+val members : 'p t -> int list
+
+val membership : 'p t -> membership
+
+(** Leader only: adopted non-voting learners still being bootstrapped. *)
+val learners : 'p t -> int list
+
+(** The replica has been told (by a committed config or the leader's
+    [Fence]) that it is outside the member set: it never campaigns or
+    votes, and the deployment must refuse to serve its reads. *)
+val is_fenced : 'p t -> bool
+
+(** A membership change is underway (joint phase, or a config entry
+    waiting in the batcher). *)
+val reconfig_in_flight : 'p t -> bool
 
 (** [set_install_snapshot t f] — the application hook that replaces local
     state with a received snapshot blob (called once per completed chunked
@@ -168,8 +256,32 @@ type xfer_stats = {
 
 val xfer_stats : 'p t -> xfer_stats
 
-(** [crash t] stops the replica; the log/epoch persist (the on-disk
-    transaction log).  [restart t] rejoins as a follower and catches up. *)
+(** Reconfiguration counters (cumulative; leader-side counters only move
+    on replicas that led). *)
+type reconfig_stats = {
+  mutable joins_requested : int;
+      (** leader: distinct learners adopted after a [Join_request] *)
+  mutable joint_proposed : int;  (** leader: [Cc_joint] entries proposed *)
+  mutable joint_commits : int;  (** [Cc_joint] entries committed *)
+  mutable finals_committed : int;  (** [Cc_final] entries committed *)
+  mutable joins_completed : int;
+      (** members that entered the stable config via a committed final *)
+  mutable leaves_requested : int;  (** leader: [remove_server] accepted *)
+  mutable leaves_completed : int;
+      (** members that left the stable config via a committed final *)
+  mutable aborted : int;
+      (** joint entries truncated away uncommitted (proposer lost
+          leadership before the joint entry committed) *)
+  mutable fences : int;  (** times this replica was fenced *)
+  mutable catchup_ms : float list;
+      (** leader: per-promoted-learner bootstrap time, newest first *)
+}
+
+val reconfig_stats : 'p t -> reconfig_stats
+
+(** [crash t] stops the replica; the log/epoch/membership persist (the
+    on-disk transaction log).  [restart t] rejoins as a follower — or, for
+    a still-joining learner, re-announces itself — and catches up. *)
 val crash : 'p t -> unit
 
 val restart : 'p t -> unit

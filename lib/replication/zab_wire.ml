@@ -1,9 +1,16 @@
-(** Binary codec for {!Zab} protocol messages (DESIGN.md §6g).
+(** Binary codec for {!Zab} protocol messages (DESIGN.md §6g/§6h).
 
     Parametric in the payload codec, like ['p Zab.msg] itself: the
     deployment supplies [payload]/[of_payload] for its transaction type.
     Every variant is a list frame headed by a small integer tag; the
-    decoder is total — malformed shapes come back as [Error]. *)
+    decoder is total — malformed shapes come back as [Error].
+
+    Tag registry (append-only; never reuse a retired value):
+    0 Ping, 1 Propose, 2 Ack, 3 Commit, 4 Request_vote, 5 Vote,
+    6 Sync_request, 7 Sync, 8 Snapshot_begin, 9 Snapshot_chunk,
+    10 Snapshot_ack, 11 Join_request, 12 Fence.
+    Entry payloads are themselves tagged: 0 App, 1 Cc_joint, 2 Cc_final.
+    Membership frames: 0 Stable, 1 Joint. *)
 
 open Edc_wire
 
@@ -16,13 +23,68 @@ let zxid_of_wire = function
       Ok { Zab.epoch; counter }
   | _ -> Error "bad zxid"
 
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+        match f x with Ok y -> go (y :: acc) rest | Error _ as e -> e)
+  in
+  go [] l
+
+let member_set_to_wire m = Wire.List (List.map (fun i -> Wire.Int i) m)
+
+let member_set_of_wire = function
+  | Wire.List ids ->
+      map_result
+        (function Wire.Int i -> Ok i | _ -> Error "bad member id")
+        ids
+  | _ -> Error "bad member set"
+
+let membership_to_wire = function
+  | Zab.Stable m -> Wire.List [ Int 0; member_set_to_wire m ]
+  | Zab.Joint { c_old; c_new } ->
+      Wire.List [ Int 1; member_set_to_wire c_old; member_set_to_wire c_new ]
+
+let membership_of_wire = function
+  | Wire.List [ Wire.Int 0; m ] ->
+      let* m = member_set_of_wire m in
+      Ok (Zab.Stable m)
+  | Wire.List [ Wire.Int 1; old_; new_ ] ->
+      let* c_old = member_set_of_wire old_ in
+      let* c_new = member_set_of_wire new_ in
+      Ok (Zab.Joint { c_old; c_new })
+  | _ -> Error "bad membership"
+
+(* Entry payloads are tagged so config changes travel inside the ordinary
+   Propose/Sync frames: 0 = application payload, 1 = joint config entry,
+   2 = final config entry. *)
+let payload_to_wire payload = function
+  | Zab.App p -> Wire.List [ Int 0; payload p ]
+  | Zab.Config (Zab.Cc_joint { c_old; c_new }) ->
+      Wire.List [ Int 1; member_set_to_wire c_old; member_set_to_wire c_new ]
+  | Zab.Config (Zab.Cc_final { members }) ->
+      Wire.List [ Int 2; member_set_to_wire members ]
+
+let payload_of_wire of_payload = function
+  | Wire.List [ Wire.Int 0; p ] ->
+      let* p = of_payload p in
+      Ok (Zab.App p)
+  | Wire.List [ Wire.Int 1; old_; new_ ] ->
+      let* c_old = member_set_of_wire old_ in
+      let* c_new = member_set_of_wire new_ in
+      Ok (Zab.Config (Zab.Cc_joint { c_old; c_new }))
+  | Wire.List [ Wire.Int 2; m ] ->
+      let* members = member_set_of_wire m in
+      Ok (Zab.Config (Zab.Cc_final { members }))
+  | _ -> Error "bad entry payload"
+
 let entry_to_wire payload (e : 'p Zab.entry) =
-  Wire.List [ zxid_to_wire e.zxid; payload e.payload ]
+  Wire.List [ zxid_to_wire e.zxid; payload_to_wire payload e.payload ]
 
 let entry_of_wire of_payload = function
   | Wire.List [ z; p ] ->
       let* zxid = zxid_of_wire z in
-      let* payload = of_payload p in
+      let* payload = payload_of_wire of_payload p in
       Ok { Zab.zxid; payload }
   | _ -> Error "bad log entry"
 
@@ -44,23 +106,17 @@ let to_wire ~payload (m : 'p Zab.msg) =
       List
         [ Int 7; Int epoch; Int from;
           List (List.map (entry_to_wire payload) entries); Int committed ]
-  | Zab.Snapshot_begin { epoch; base; total; chunk_size; digest; committed }
-    ->
+  | Zab.Snapshot_begin
+      { epoch; base; total; chunk_size; digest; committed; config } ->
       List
         [ Int 8; Int epoch; Int base; Int total; Int chunk_size; Str digest;
-          Int committed ]
+          Int committed; membership_to_wire config ]
   | Zab.Snapshot_chunk { epoch; base; seq; data } ->
       List [ Int 9; Int epoch; Int base; Int seq; Str data ]
   | Zab.Snapshot_ack { epoch; base; received } ->
       List [ Int 10; Int epoch; Int base; Int received ]
-
-let map_result f l =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | x :: rest -> (
-        match f x with Ok y -> go (y :: acc) rest | Error _ as e -> e)
-  in
-  go [] l
+  | Zab.Join_request { epoch; id } -> List [ Int 11; Int epoch; Int id ]
+  | Zab.Fence { epoch } -> List [ Int 12; Int epoch ]
 
 let of_wire ~payload:of_payload w =
   let open Wire in
@@ -83,12 +139,15 @@ let of_wire ~payload:of_payload w =
       Ok (Zab.Sync { epoch; from; entries; committed })
   | List
       [ Int 8; Int epoch; Int base; Int total; Int chunk_size; Str digest;
-        Int committed ] ->
+        Int committed; config ] ->
+      let* config = membership_of_wire config in
       Ok
         (Zab.Snapshot_begin
-           { epoch; base; total; chunk_size; digest; committed })
+           { epoch; base; total; chunk_size; digest; committed; config })
   | List [ Int 9; Int epoch; Int base; Int seq; Str data ] ->
       Ok (Zab.Snapshot_chunk { epoch; base; seq; data })
   | List [ Int 10; Int epoch; Int base; Int received ] ->
       Ok (Zab.Snapshot_ack { epoch; base; received })
+  | List [ Int 11; Int epoch; Int id ] -> Ok (Zab.Join_request { epoch; id })
+  | List [ Int 12; Int epoch ] -> Ok (Zab.Fence { epoch })
   | _ -> Error "bad zab message"

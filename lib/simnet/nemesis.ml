@@ -15,6 +15,7 @@ type target = {
   heal_one_way : src:int -> dst:int -> unit;
   silence : int -> unit;
   unsilence : int -> unit;
+  reconfig_in_flight : unit -> bool;
 }
 
 type fault =
@@ -24,6 +25,7 @@ type fault =
   | Heal of { isolated : int }
   | Storm_start of { node : int }
   | Storm_end of { node : int }
+  | Reconfig_fault of { node : int; kind : string }
 
 type event = { at : Sim_time.t; fault : fault }
 
@@ -33,6 +35,9 @@ type action =
   | Crash_restart of { downtime : Sim_time.t; victim : victim }
   | Isolate of { duration : Sim_time.t; victim : victim; asymmetric : bool }
   | Storm of { duration : Sim_time.t; victim : victim }
+  | Reconfig_kill of { grace : Sim_time.t; downtime : Sim_time.t }
+      (* polls until a reconfiguration is in flight, then kills the
+         proposing leader within [grace] of detection *)
 
 type item = {
   start : Sim_time.t;
@@ -96,6 +101,7 @@ type t = {
   mutable partitions : int;
   mutable healed : int;
   mutable storms : int;
+  mutable reconfig_kills : int;
 }
 
 let retry_delay = Sim_time.ms 300
@@ -112,7 +118,9 @@ let record t fault =
           (if asymmetric then " (asymmetric)" else "")
     | Heal { isolated } -> Printf.sprintf "heal node=%d" isolated
     | Storm_start { node } -> Printf.sprintf "storm start node=%d" node
-    | Storm_end { node } -> Printf.sprintf "storm end node=%d" node)
+    | Storm_end { node } -> Printf.sprintf "storm end node=%d" node
+    | Reconfig_fault { node; kind } ->
+        Printf.sprintf "reconfig fault node=%d kind=%s" node kind)
 
 let pick_victim t = function
   | Node n -> Some n
@@ -158,22 +166,56 @@ let perform t action node =
           t.target.unsilence node;
           record t (Storm_end { node });
           t.busy <- false)
+  | Reconfig_kill { grace; downtime } ->
+      (* [node] is the leader that was driving the reconfiguration when we
+         detected it; strike it within [grace] even if leadership moves in
+         the meantime — that IS the race under test. *)
+      t.reconfig_kills <- t.reconfig_kills + 1;
+      record t (Reconfig_fault { node; kind = "leader-kill-mid-reconfig" });
+      let delay = Sim_time.scale grace (Rng.float t.rng) in
+      Sim.schedule t.sim ~after:delay (fun () ->
+          let leader = t.target.leader () = Some node in
+          t.crashes <- t.crashes + 1;
+          if leader then t.leader_kills <- t.leader_kills + 1;
+          t.target.crash node;
+          record t (Crash { node; leader });
+          Sim.schedule t.sim ~after:downtime (fun () ->
+              t.target.restart node;
+              record t (Restart { node });
+              t.busy <- false))
 
 let rec fire t item () =
   if Sim_time.(Sim.now t.sim <= t.horizon) then begin
+    let armed =
+      match item.action with
+      | Reconfig_kill _ ->
+          (* poll: only strike while a membership change is in flight *)
+          t.target.reconfig_in_flight ()
+      | Crash_restart _ | Isolate _ | Storm _ -> true
+    in
     let fired =
-      (not t.busy)
+      (not t.busy) && armed
       &&
       match pick_victim t (match item.action with
           | Crash_restart { victim; _ } | Isolate { victim; _ }
-          | Storm { victim; _ } -> victim)
+          | Storm { victim; _ } -> victim
+          | Reconfig_kill _ -> Leader)
       with
       | None -> false  (* e.g. leader-targeted mid-election: re-arm below *)
       | Some node -> perform t item.action node; true
     in
     let next =
       if fired then Option.map (Sim_time.add (Sim.now t.sim)) item.period
-      else Some (Sim_time.add (Sim.now t.sim) retry_delay)
+      else
+        (* an unarmed Reconfig_kill is a poll, not a backoff: membership
+           changes commit in tens of milliseconds, so a coarse retry would
+           miss every window *)
+        let delay =
+          match item.action with
+          | Reconfig_kill _ -> Sim_time.ms 10
+          | Crash_restart _ | Isolate _ | Storm _ -> retry_delay
+        in
+        Some (Sim_time.add (Sim.now t.sim) delay)
     in
     match next with
     | Some at when Sim_time.(at <= t.horizon) ->
@@ -196,6 +238,7 @@ let start ?rng ~sim ~target ~horizon schedule =
       partitions = 0;
       healed = 0;
       storms = 0;
+      reconfig_kills = 0;
     }
   in
   List.iter
@@ -212,6 +255,7 @@ let leader_kills t = t.leader_kills
 let partitions t = t.partitions
 let partitions_healed t = t.healed
 let storms t = t.storms
+let reconfig_kills t = t.reconfig_kills
 let busy t = t.busy
 
 let pp_fault ppf = function
@@ -225,6 +269,8 @@ let pp_fault ppf = function
   | Heal { isolated } -> Fmt.pf ppf "heal node=%d" isolated
   | Storm_start { node } -> Fmt.pf ppf "storm-start node=%d" node
   | Storm_end { node } -> Fmt.pf ppf "storm-end node=%d" node
+  | Reconfig_fault { node; kind } ->
+      Fmt.pf ppf "reconfig-fault node=%d kind=%s" node kind
 
 let pp_event ppf { at; fault } =
   Fmt.pf ppf "%9.4fs %a" (Sim_time.to_float_s at) pp_fault fault

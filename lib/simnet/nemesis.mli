@@ -27,6 +27,10 @@ type target = {
   heal_one_way : src:int -> dst:int -> unit;
   silence : int -> unit;  (** drop the node's traffic, process keeps running *)
   unsilence : int -> unit;
+  reconfig_in_flight : unit -> bool;
+      (** a membership change is underway somewhere in the cluster (arms
+          {!Reconfig_kill}); targets without dynamic membership return
+          [false] *)
 }
 
 (** One entry of the fault trace. *)
@@ -39,6 +43,10 @@ type fault =
   | Heal of { isolated : int }
   | Storm_start of { node : int }
   | Storm_end of { node : int }
+  | Reconfig_fault of { node : int; kind : string }
+      (** a reconfiguration-targeted strike was armed against [node] (the
+          leader driving the change); the kill itself follows as a normal
+          [Crash]/[Restart] pair *)
 
 type event = { at : Sim_time.t; fault : fault }
 
@@ -52,6 +60,10 @@ type action =
   | Crash_restart of { downtime : Sim_time.t; victim : victim }
   | Isolate of { duration : Sim_time.t; victim : victim; asymmetric : bool }
   | Storm of { duration : Sim_time.t; victim : victim }
+  | Reconfig_kill of { grace : Sim_time.t; downtime : Sim_time.t }
+      (** poll [target.reconfig_in_flight]; when it turns true, crash the
+          current leader after a uniform draw from [0, grace) — the
+          "leader dies between the joint and final config entries" race *)
 
 type item = {
   start : Sim_time.t;  (** first firing time *)
@@ -89,6 +101,9 @@ val leader_kills : t -> int
 val partitions : t -> int
 val partitions_healed : t -> int
 val storms : t -> int
+
+(** Reconfiguration-targeted leader kills armed. *)
+val reconfig_kills : t -> int
 
 (** [true] while a disruption is in flight. *)
 val busy : t -> bool

@@ -105,8 +105,17 @@ let decode s =
     and count = ref 0
     and fin = ref false in
     while not !fin do
-      if !p >= limit then raise (Fail "truncated varint");
-      if !count >= 9 then raise (Fail "varint too long");
+      if !p >= limit then
+        raise
+          (Fail
+             (Printf.sprintf
+                "truncated varint at byte %d (input ends at byte %d)" !p limit));
+      if !count >= 9 then
+        raise
+          (Fail
+             (Printf.sprintf
+                "varint too long at byte %d (10th continuation byte; max 9)"
+                pos));
       let b = get !p in
       incr p;
       incr count;
@@ -115,23 +124,46 @@ let decode s =
       shift := !shift + 7;
       if b land 0x80 = 0 then fin := true
     done;
-    if !count > 1 && !last = 0 then raise (Fail "non-minimal varint");
+    if !count > 1 && !last = 0 then
+      raise
+        (Fail
+           (Printf.sprintf
+              "non-minimal varint at byte %d (final group is zero)" pos));
     (!value, !p)
   in
   (* [limit] is the end of the enclosing payload: a frame may never read —
      or declare a length reaching — past it, which kills length bombs
      before any allocation. *)
   let rec parse depth pos limit =
-    if depth > max_depth then raise (Fail "nesting too deep");
-    if pos >= limit then raise (Fail "truncated frame");
+    if depth > max_depth then
+      raise
+        (Fail
+           (Printf.sprintf "nesting deeper than %d at byte %d" max_depth pos));
+    if pos >= limit then
+      raise
+        (Fail
+           (Printf.sprintf
+              "truncated frame: expected a tag at byte %d but input ends at \
+               byte %d"
+              pos limit));
     let tag = get pos in
     let len, p = read_varint (pos + 1) limit in
     if len < 0 || len > limit - p then
-      raise (Fail "declared length exceeds input");
+      raise
+        (Fail
+           (Printf.sprintf
+              "declared length %d at byte %d exceeds the %d bytes available"
+              len (pos + 1) (limit - p)));
     let pend = p + len in
     if tag = tag_int then begin
       let z, q = read_varint p pend in
-      if q <> pend then raise (Fail "int payload length mismatch");
+      if q <> pend then
+        raise
+          (Fail
+             (Printf.sprintf
+                "int payload length mismatch at byte %d: varint ends at byte \
+                 %d, declared end is byte %d"
+                p q pend));
       (Int (unzigzag z), pend)
     end
     else if tag = tag_str then (Str (String.sub s p len), pend)
@@ -145,10 +177,21 @@ let decode s =
       done;
       (List (List.rev !items), pend)
     end
-    else raise (Fail (Printf.sprintf "unknown tag 0x%02x" tag))
+    else
+      raise
+        (Fail
+           (Printf.sprintf
+              "unknown tag 0x%02x at byte %d (expected 0x%02x int, 0x%02x \
+               str, or 0x%02x list)"
+              tag pos tag_int tag_str tag_list))
   in
   match parse 1 0 input_len with
-  | v, pos -> if pos <> input_len then Error "trailing bytes" else Ok v
+  | v, pos ->
+      if pos <> input_len then
+        Error
+          (Printf.sprintf "trailing bytes: frame ends at byte %d of %d" pos
+             input_len)
+      else Ok v
   | exception Fail msg -> Error msg
 
 (* ------------------------------------------------------------------ *)

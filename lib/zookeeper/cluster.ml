@@ -10,7 +10,10 @@ type t = {
   sim : Sim.t;
   net : Server.wire Net.t;  (** failure injection and byte accounting *)
   transport : Server.wire Transport.t;  (** the message plane servers see *)
-  servers : Server.t array;
+  mutable servers : Server.t array;  (** grows via {!add_server}; ids = index *)
+  server_config : Server.config option;
+  zab_config : Edc_replication.Zab.config option;
+      (** effective config (post [?batch] override), reused by late joiners *)
   mutable next_client_addr : int;
   mutable next_replica : int;
 }
@@ -45,6 +48,8 @@ let create ?(n_replicas = 3) ?net_config ?server_config ?zab_config ?batch sim
     net;
     transport;
     servers;
+    server_config;
+    zab_config;
     next_client_addr = client_addr_base;
     next_replica = 0;
   }
@@ -84,6 +89,33 @@ let connected_client ?config ?replica t () =
   let c = client ?config ?replica t () in
   Client.connect c;
   c
+
+(** [add_server t] grows the ensemble at runtime: a fresh replica boots as
+    a non-voting learner on the same message plane, announces itself to
+    the leader, bootstraps via snapshot + log sync, and is admitted to the
+    member set through the joint-consensus log path once caught up.
+    Returns the new replica's id. *)
+let add_server t =
+  let id = Array.length t.servers in
+  (* the learner's peer list is the current ensemble; its own vote arrives
+     only through a committed config *)
+  let replica_ids = List.init (id + 1) Fun.id in
+  let s =
+    Server.create ?config:t.server_config ?zab_config:t.zab_config
+      ~learner:true ~sim:t.sim ~net:t.transport ~id ~replica_ids ()
+  in
+  t.servers <- Array.append t.servers [| s |];
+  Server.start s;
+  id
+
+(** [remove_server t ~id] asks the current leader to start the
+    joint-consensus removal of replica [id]; the replica is fenced once
+    the final config commits (it stays on the wire plane, refusing reads,
+    until the caller crashes it). *)
+let remove_server t ~id =
+  match leader t with
+  | None -> Error "no leader to drive the removal"
+  | Some l -> Edc_replication.Zab.remove_server (Server.zab l) ~id
 
 (** [crash_server t i] fails replica [i] (process + network). *)
 let crash_server t i =

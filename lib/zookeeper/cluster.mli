@@ -29,6 +29,20 @@ val client : ?config:Client.config -> ?replica:int -> t -> unit -> Client.t
 val connected_client :
   ?config:Client.config -> ?replica:int -> t -> unit -> Client.t
 
+(** {2 Elastic membership}
+
+    Reconfiguration rides the replicated log (joint consensus): growth
+    admits a caught-up learner, shrinkage fences the removed replica. *)
+
+(** Boot a fresh replica as a non-voting learner and hand it to the leader
+    for bootstrap + admission; returns its id. *)
+val add_server : t -> int
+
+(** Ask the current leader to remove replica [id] through the log.
+    [Error] if no leader is known or the leader refuses (reconfig already
+    in flight, unknown id, or last member). *)
+val remove_server : t -> id:int -> (unit, string) result
+
 (** Failure injection (process + network). *)
 
 val crash_server : t -> int -> unit

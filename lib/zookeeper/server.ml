@@ -626,6 +626,16 @@ let handle_request t ~src ~session ~xid op =
   if not (session_exists t session) then
     let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Session_expired }) in
     Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
+  else if
+    is_read_op op
+    && (Zab.is_fenced (zab t) || not (List.mem t.id (Zab.members (zab t))))
+  then
+    (* Fenced (removed from the member set) or a still-joining learner:
+       local committed state may be arbitrarily stale, so refuse the read
+       fast path.  [Not_leader] makes resilient sessions fail over to a
+       live member. *)
+    let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Not_leader }) in
+    Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
   else if is_read_op op && not (t.hook_read_needs_leader t ~session op) then
     Cpu.exec t.cpu ~cost:t.config.read_cost (fun () ->
         serve_read t ~session ~xid op)
@@ -708,8 +718,8 @@ let check_ready t =
     drain_deferred t
   end
 
-let create ?(config = default_config) ?zab_config ~sim ~net ~id ~replica_ids
-    ~initial_leader () =
+let create ?(config = default_config) ?zab_config ?initial_leader
+    ?(learner = false) ~sim ~net ~id ~replica_ids () =
   let t =
     {
       sim;
@@ -751,11 +761,12 @@ let create ?(config = default_config) ?zab_config ~sim ~net ~id ~replica_ids
   let t = { t with spec = Spec_view.create t.tree } in
   let send ~dst msg = send_wire t ~dst (Zab_msg msg) in
   let z =
-    Zab.create ?config:zab_config ~sim ~id ~peers:replica_ids ~send
+    Zab.create ?config:zab_config ?initial_leader ~learner ~sim ~id
+      ~peers:replica_ids ~send
       ~on_deliver:(fun _zxid txn ->
         final_process t txn;
         check_ready t)
-      ~initial_leader ()
+      ()
   in
   t.zab <- Some z;
   Zab.set_install_snapshot z (fun blob -> install_snapshot t blob);

@@ -50,14 +50,21 @@ val default_config : config
 
 type t
 
+(** [create ~sim ~net ~id ~replica_ids ()] — one server replica.  With
+    [initial_leader] the ensemble boots pre-elected.  With [learner:true]
+    the server starts as a non-voting Zab learner outside the member set:
+    it announces itself to the leader, is bootstrapped by snapshot + log
+    sync, and gains a vote when a committed config admits it (used by
+    {!Cluster.add_server} for elastic growth). *)
 val create :
   ?config:config ->
   ?zab_config:Zab.config ->
+  ?initial_leader:int ->
+  ?learner:bool ->
   sim:Sim.t ->
   net:wire Transport.t ->
   id:int ->
   replica_ids:int list ->
-  initial_leader:int ->
   unit ->
   t
 

@@ -241,6 +241,208 @@ let prop_zab_prefix_agreement =
       List.length l0 = nops && l0 = l1 && l1 = l2)
 
 (* ------------------------------------------------------------------ *)
+(* Zab membership reconfiguration                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A cluster with spare replica slots: ids [>= voters] boot as non-voting
+   learners (registered on the net at creation, started by the test when
+   they should announce themselves) and join through the replicated
+   config. *)
+let make_elastic_cluster ?(seed = 11) ?zab_config ~voters ~slots () =
+  let sim = Sim.create ~seed () in
+  let net = Net.create sim in
+  let delivered = Array.make slots [] in
+  let send_from i ~dst msg =
+    Net.send net ~src:i ~dst
+      ~size:(Zab.msg_size ~payload_size:String.length msg)
+      msg
+  in
+  let voter_peers = List.init voters Fun.id in
+  let replicas =
+    Array.init slots (fun i ->
+        let learner = i >= voters in
+        let peers = if learner then voter_peers @ [ i ] else voter_peers in
+        Zab.create ?config:zab_config ~learner
+          ?initial_leader:(if learner then None else Some 0)
+          ~sim ~id:i ~peers ~send:(send_from i)
+          ~on_deliver:(fun zxid p ->
+            delivered.(i) <- (zxid, p) :: delivered.(i))
+          ())
+  in
+  Array.iteri
+    (fun i r ->
+      Net.register net i (fun ~src ~size:_ msg -> Zab.handle r ~src msg);
+      if i < voters then Zab.start r)
+    replicas;
+  { zsim = sim; znet = net; zreplicas = replicas; zdelivered = delivered }
+
+(* Step the simulator in fine increments until [pred] holds, so a test can
+   catch a protocol state that only exists for a fraction of a network
+   round trip (e.g. "joint entry committed, final entry not yet"). *)
+let run_until c ~timeout pred =
+  let deadline = Sim_time.add (Sim.now c.zsim) timeout in
+  let step = Sim_time.us 50 in
+  let rec go () =
+    if pred () then true
+    else if Sim_time.compare (Sim.now c.zsim) deadline >= 0 then false
+    else begin
+      Sim.run ~until:(Sim_time.add (Sim.now c.zsim) step) c.zsim;
+      go ()
+    end
+  in
+  go ()
+
+(* The tentpole race: the leader dies after the joint entry commits but
+   before the final entry does.  The new leader must inherit the joint
+   phase (elected by majorities of BOTH sets), re-propose the final entry,
+   and finish the join without losing anything committed. *)
+let test_zab_leader_killed_between_joint_and_final () =
+  let c = make_elastic_cluster ~voters:3 ~slots:4 () in
+  run_for c (Sim_time.ms 10);
+  for k = 1 to 5 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "a%d" k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.ms 300);
+  let expected = List.init 5 (fun k -> Printf.sprintf "a%d" (k + 1)) in
+  Alcotest.(check (list string)) "prefix committed before reconfig" expected
+    (zab_log c 0);
+  (* the learner announces itself; the leader bootstraps and promotes it *)
+  Zab.start c.zreplicas.(3);
+  let r0 = c.zreplicas.(0) in
+  let in_window () =
+    (Zab.reconfig_stats r0).Zab.joint_commits >= 1
+    && (Zab.reconfig_stats r0).Zab.finals_committed = 0
+  in
+  Alcotest.(check bool) "caught the joint->final window" true
+    (run_until c ~timeout:(Sim_time.sec 5) in_window);
+  (* the leader's own view is already [Stable c_new] — configs apply at
+     append time, and it appended the final when proposing it — but the
+     followers have not seen the final yet: the ensemble is mid-transition *)
+  Alcotest.(check bool) "followers are mid-transition" true
+    (match Zab.membership c.zreplicas.(1) with
+    | Zab.Joint _ -> true
+    | Zab.Stable _ -> false);
+  crash_zab c 0;
+  let finished () =
+    List.for_all
+      (fun i -> Zab.membership c.zreplicas.(i) = Zab.Stable [ 0; 1; 2; 3 ])
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "survivors finish the join" true
+    (run_until c ~timeout:(Sim_time.sec 10) finished);
+  (* no committed entry was lost across the config boundary *)
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "replica %d kept the committed prefix" i)
+        expected (zab_log c i))
+    [ 1; 2; 3 ];
+  (* the grown ensemble makes progress under its new leader *)
+  Alcotest.(check bool) "a survivor leads the grown ensemble" true
+    (run_until c ~timeout:(Sim_time.sec 5) (fun () ->
+         List.exists (fun i -> Zab.is_leader c.zreplicas.(i)) [ 1; 2; 3 ]));
+  let leader =
+    List.find (fun i -> Zab.is_leader c.zreplicas.(i)) [ 1; 2; 3 ]
+  in
+  for k = 1 to 3 do
+    ignore
+      (Zab.propose c.zreplicas.(leader) (Printf.sprintf "b%d" k)
+        : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  let expected2 = expected @ List.init 3 (fun k -> Printf.sprintf "b%d" (k + 1)) in
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "replica %d converged post-join" i)
+        expected2 (zab_log c i))
+    [ 1; 2; 3 ];
+  (* the crashed ex-leader rejoins the grown config as a follower *)
+  Net.set_node_up c.znet 0;
+  Zab.restart r0;
+  run_for c (Sim_time.sec 2);
+  Alcotest.(check bool) "ex-leader adopted the new config" true
+    (Zab.membership r0 = Zab.Stable [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list string)) "ex-leader caught up" expected2 (zab_log c 0)
+
+(* Mutation test for the joint phase itself.  A multi-server shrink
+   {0..4} -> {0,1} has disjoint majorities ({0,1} vs {2,3,4}); with
+   [unsafe_single_step_reconfig] the config applies as [Stable c_new]
+   immediately, so the cut-off leader commits client ops with acks from
+   {0,1} alone while {2,3,4} elect their own leader — two "committed"
+   histories, one of which must be thrown away.  The default joint phase
+   blocks the commit (it still needs a majority of c_old) and the same
+   orchestration loses nothing. *)
+let reconfig_disjoint_quorum_scenario ~single_step =
+  let zab_config =
+    { Zab.default_config with unsafe_single_step_reconfig = single_step }
+  in
+  let c = make_elastic_cluster ~zab_config ~voters:3 ~slots:5 () in
+  run_for c (Sim_time.ms 10);
+  for k = 1 to 3 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "a%d" k) : Zab.zxid option)
+  done;
+  run_for c (Sim_time.ms 200);
+  (* grow to five voters through the normal learner path *)
+  Zab.start c.zreplicas.(3);
+  Zab.start c.zreplicas.(4);
+  let grown () =
+    List.for_all
+      (fun i ->
+        Zab.membership c.zreplicas.(i) = Zab.Stable [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  if not (run_until c ~timeout:(Sim_time.sec 10) grown) then
+    Alcotest.fail "growth to 5 voters did not converge";
+  (* isolate the leader with only replica 1, then shrink to {0,1}: the
+     joint entry reaches 1 but never a majority of c_old *)
+  List.iter (fun o -> Net.cut_link c.znet 0 o) [ 2; 3; 4 ];
+  Alcotest.(check (result unit string)) "shrink accepted" (Ok ())
+    (Zab.reconfigure c.zreplicas.(0) ~c_new:[ 0; 1 ]);
+  ignore (Zab.propose c.zreplicas.(0) "x1" : Zab.zxid option);
+  (* let the majority side elect its own leader and move the history on *)
+  let other_leader () =
+    List.exists (fun i -> Zab.is_leader c.zreplicas.(i)) [ 2; 3; 4 ]
+  in
+  if not (run_until c ~timeout:(Sim_time.sec 10) other_leader) then
+    Alcotest.fail "majority side never elected a leader";
+  let leader = List.find (fun i -> Zab.is_leader c.zreplicas.(i)) [ 2; 3; 4 ] in
+  ignore (Zab.propose c.zreplicas.(leader) "y1" : Zab.zxid option);
+  run_for c (Sim_time.sec 1);
+  let x1_committed_on_0 = List.mem "x1" (zab_log c 0) in
+  (* heal and converge: epoch supremacy decides which history survives *)
+  List.iter (fun o -> Net.heal_link c.znet 0 o) [ 2; 3; 4 ];
+  run_for c (Sim_time.sec 3);
+  (x1_committed_on_0, zab_log c 0, zab_log c leader)
+
+let test_zab_joint_phase_blocks_disjoint_quorums () =
+  let x1_committed, log0, logl =
+    reconfig_disjoint_quorum_scenario ~single_step:false
+  in
+  (* the joint phase refused to commit with a majority of c_new alone *)
+  Alcotest.(check bool) "x1 never committed on the minority side" false
+    x1_committed;
+  Alcotest.(check (list string)) "histories converged without loss"
+    [ "a1"; "a2"; "a3"; "y1" ] log0;
+  Alcotest.(check (list string)) "leader log matches" log0 logl
+
+let test_zab_single_step_reconfig_loses_committed_entry () =
+  let x1_committed, log0, logl =
+    reconfig_disjoint_quorum_scenario ~single_step:true
+  in
+  (* the bug: x1 was acked as committed on the minority side... *)
+  Alcotest.(check bool) "single-step commits x1 with a c_new quorum" true
+    x1_committed;
+  (* ...but the surviving history (the {2,3,4} leader's, which wins on
+     epoch) never contains it — a client-acknowledged write is gone, and
+     the two replicas delivered divergent sequences.  Delivery is
+     append-only, so x1 stays visible in 0's history as the evidence. *)
+  Alcotest.(check bool) "x1 absent from the surviving history" false
+    (List.mem "x1" logl);
+  Alcotest.(check bool) "delivered histories diverged" true
+    (List.mem "x1" log0 && not (List.mem "x1" logl))
+
+(* ------------------------------------------------------------------ *)
 (* PBFT harness                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -627,6 +829,12 @@ let () =
           Alcotest.test_case "single-replica ensemble" `Quick
             test_zab_single_replica_ensemble;
           Alcotest.test_case "snapshot recovery" `Quick test_zab_snapshot_recovery;
+          Alcotest.test_case "leader killed between joint and final" `Quick
+            test_zab_leader_killed_between_joint_and_final;
+          Alcotest.test_case "joint phase blocks disjoint quorums" `Quick
+            test_zab_joint_phase_blocks_disjoint_quorums;
+          Alcotest.test_case "single-step reconfig loses committed entry"
+            `Quick test_zab_single_step_reconfig_loses_committed_entry;
           Alcotest.test_case "deterministic reruns" `Quick
             test_zab_deterministic_runs;
           qc prop_zab_prefix_agreement;

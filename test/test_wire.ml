@@ -160,18 +160,70 @@ let zab_samples : string Zab.msg list =
         index = 5;
         prev_zxid = zxid;
         entries =
-          [ { zxid; payload = "a" }; { zxid = { epoch = 3; counter = 42 }; payload = "" } ];
+          [
+            { zxid; payload = App "a" };
+            { zxid = { epoch = 3; counter = 42 }; payload = App "" };
+          ];
+      };
+    (* config-change entries travel inside the ordinary Propose frames *)
+    Propose
+      {
+        epoch = 2;
+        index = 7;
+        prev_zxid = zxid;
+        entries =
+          [
+            {
+              zxid = { epoch = 3; counter = 43 };
+              payload = Config (Cc_joint { c_old = [ 0; 1; 2 ]; c_new = [ 0; 1; 2; 3 ] });
+            };
+            {
+              zxid = { epoch = 3; counter = 44 };
+              payload = Config (Cc_final { members = [ 0; 1; 2; 3 ] });
+            };
+          ];
       };
     Ack { epoch = 2; upto = 6 };
     Commit { epoch = 2; index = 6 };
     Request_vote { epoch = 4; candidate = 1; last_zxid = zxid };
     Vote { epoch = 4 };
     Sync_request { epoch = 4; have = 3 };
-    Sync { epoch = 4; from = 4; entries = [ { zxid; payload = "p" } ]; committed = 5 };
+    Sync
+      { epoch = 4; from = 4; entries = [ { zxid; payload = App "p" } ]; committed = 5 };
+    Sync
+      {
+        epoch = 4;
+        from = 4;
+        entries =
+          [ { zxid; payload = Config (Cc_joint { c_old = [ 0 ]; c_new = [] }) } ];
+        committed = 5;
+      };
     Snapshot_begin
-      { epoch = 4; base = 100; total = 1536; chunk_size = 512; digest = "d"; committed = 99 };
+      {
+        epoch = 4;
+        base = 100;
+        total = 1536;
+        chunk_size = 512;
+        digest = "d";
+        committed = 99;
+        config = Stable [ 0; 1; 2 ];
+      };
+    Snapshot_begin
+      {
+        epoch = 5;
+        base = 100;
+        total = 1536;
+        chunk_size = 512;
+        digest = "d";
+        committed = 99;
+        config = Joint { c_old = [ 0; 1; 2 ]; c_new = [ 1; 2; 3 ] };
+      };
     Snapshot_chunk { epoch = 4; base = 100; seq = 1; data = String.make 64 '\x00' };
     Snapshot_ack { epoch = 4; base = 100; received = 2 };
+    (* learner handshake + fencing (tags 11/12) *)
+    Join_request { epoch = 0; id = 4 };
+    Join_request { epoch = 6; id = 3 };
+    Fence { epoch = 6 };
   ]
 
 let test_zab_msg_roundtrip () =
