@@ -1,5 +1,5 @@
 # Tier-1 verification in one command (see ROADMAP.md).
-.PHONY: all build test check bench-quick chaos linearize membership clean
+.PHONY: all build test check bench-quick chaos linearize membership reads clean
 
 all: build
 
@@ -31,6 +31,13 @@ linearize:
 # learner links cut mid-bootstrap); writes BENCH_membership.json.
 membership:
 	dune exec bench/main.exe -- membership
+
+# Scale-free read path: observer read scaling at 3 voters, leader-lease
+# economics (coordination bytes/latency vs the quorum path), and the
+# stale-read detector self-test (safe default passes, the lease-expiry
+# mutation is convicted on every seed); writes BENCH_reads.json.
+reads:
+	dune exec bench/main.exe -- reads
 
 clean:
 	dune clean

@@ -3,11 +3,13 @@
    core extension machinery.
 
    Usage:
-     bench/main.exe [targets] [--quick]
+     bench/main.exe [targets] [--quick] [--trace]
    where targets ⊆ {table1 table2 fig6 fig8 fig10 fig12 fig13 overhead
                     ablation batching snapshot chaos membership linearize
-                    micro wire all};
-   default: all. *)
+                    reads micro wire all};
+   default: all.  [--trace] turns on the debug simulation trace (stderr) —
+   CI greps it to prove protocol-level invariants, e.g. that no observer
+   replica ever casts a vote. *)
 
 open Edc_simnet
 open Edc_harness
@@ -820,6 +822,189 @@ let membership quick =
   end
 
 (* ------------------------------------------------------------------ *)
+(* §6i: the scale-free read path                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_read_scaling (p : E.read_scaling_point) =
+  Bench_json.Obj
+    [
+      ("observers", Bench_json.Int p.E.rp_observers);
+      ("clients", Bench_json.Int p.E.rp_clients);
+      ("reads", Bench_json.Int p.E.rp_reads);
+      ("throughput_ops_s", Bench_json.Float p.E.rp_throughput);
+      ("mean_ms", Bench_json.Float p.E.rp_mean_ms);
+      ("p99_ms", Bench_json.Float p.E.rp_p99_ms);
+      ("observer_reads", Bench_json.Int p.E.rp_observer_reads);
+      ( "invariant_failures",
+        Bench_json.List
+          (List.map (fun s -> Bench_json.Str s) p.E.rp_invariant_failures) );
+    ]
+
+let json_of_lease_cost (p : E.lease_cost_point) =
+  Bench_json.Obj
+    [
+      ("leases", Bench_json.Bool p.E.lc_leases);
+      ("reads", Bench_json.Int p.E.lc_reads);
+      ("lease_reads", Bench_json.Int p.E.lc_lease_reads);
+      ("quorum_reads", Bench_json.Int p.E.lc_quorum_reads);
+      ("mean_ms", Bench_json.Float p.E.lc_mean_ms);
+      ("p99_ms", Bench_json.Float p.E.lc_p99_ms);
+      ("bytes_per_read", Bench_json.Float p.E.lc_bytes_per_read);
+      ( "invariant_failures",
+        Bench_json.List
+          (List.map (fun s -> Bench_json.Str s) p.E.lc_invariant_failures) );
+    ]
+
+let json_of_stale_read (p : E.stale_read_point) =
+  Bench_json.Obj
+    [
+      ("seed", Bench_json.Int p.E.sr_seed);
+      ("unsafe", Bench_json.Bool p.E.sr_unsafe);
+      ("violations", Bench_json.Int p.E.sr_violations);
+      ( "witnesses",
+        Bench_json.List (List.map (fun s -> Bench_json.Str s) p.E.sr_witnesses)
+      );
+      ("reads_ok", Bench_json.Int p.E.sr_reads_ok);
+      ("reads_refused", Bench_json.Int p.E.sr_reads_refused);
+      ("writes_ok", Bench_json.Int p.E.sr_writes_ok);
+      ("clock_skews", Bench_json.Int p.E.sr_clock_skews);
+      ("partitions", Bench_json.Int p.E.sr_partitions);
+      ("lease_reads", Bench_json.Int p.E.sr_lease_reads);
+    ]
+
+let reads quick =
+  Report.section
+    "Scale-free read path: observer scaling, leader leases, stale-read \
+     detector";
+  let warmup = Sim_time.ms 500 in
+  let measure = if quick then Sim_time.sec 1 else Sim_time.sec 2 in
+  (* 1. observer scaling: fixed 3-voter ensemble, saturating read load *)
+  let n_clients = 48 in
+  Printf.printf
+    "  3 voters, read_cost 200 us, %d clients round-robin over all replicas\n%!"
+    n_clients;
+  let scaling =
+    List.map
+      (fun observers ->
+        let p = E.read_scaling_point ~warmup ~measure ~observers n_clients in
+        Printf.printf
+          "  observers=%d  %8.0f reads/s  mean %5.2f ms  p99 %5.2f ms%s\n%!"
+          observers p.E.rp_throughput p.E.rp_mean_ms p.E.rp_p99_ms
+          (if p.E.rp_invariant_failures = [] then ""
+           else "  INVARIANT FAILURES: "
+                ^ String.concat "; " p.E.rp_invariant_failures);
+        p)
+      [ 0; 2; 4 ]
+  in
+  let tp obs =
+    (List.find (fun p -> p.E.rp_observers = obs) scaling).E.rp_throughput
+  in
+  let t_0 = tp 0 and t_2 = tp 2 and t_4 = tp 4 in
+  Printf.printf
+    "  scaling: x%.2f with 2 observers, x%.2f with 4 (gates: >=1.35, >=1.80)\n"
+    (t_2 /. t_0) (t_4 /. t_0);
+  (* 2. lease economics: linearizable reads with and without leases *)
+  let lease_on = E.lease_cost_point ~warmup ~measure ~leases:true () in
+  let lease_off = E.lease_cost_point ~warmup ~measure ~leases:false () in
+  let pr (p : E.lease_cost_point) =
+    Printf.printf
+      "  linearizable reads, leases %-3s: %6d reads  %7.1f coord B/read  mean \
+       %5.3f ms (%d lease / %d quorum)%s\n"
+      (if p.E.lc_leases then "on" else "off")
+      p.E.lc_reads p.E.lc_bytes_per_read p.E.lc_mean_ms p.E.lc_lease_reads
+      p.E.lc_quorum_reads
+      (if p.E.lc_invariant_failures = [] then ""
+       else "  INVARIANT FAILURES: "
+            ^ String.concat "; " p.E.lc_invariant_failures)
+  in
+  pr lease_on;
+  pr lease_off;
+  let byte_ratio =
+    lease_off.E.lc_bytes_per_read /. Float.max 1e-9 lease_on.E.lc_bytes_per_read
+  in
+  let lat_ratio = lease_off.E.lc_mean_ms /. Float.max 1e-9 lease_on.E.lc_mean_ms in
+  Printf.printf
+    "  leases make reads x%.1f cheaper in coordination bytes (gate: >=5) and \
+     x%.1f faster\n"
+    byte_ratio lat_ratio;
+  (* 3. stale-read detector self-test: the safe protocol must pass and the
+     lease-expiry mutation must be convicted, on every seed *)
+  let seeds = if quick then [ 42; 43 ] else List.init 5 (fun i -> 42 + i) in
+  Printf.printf
+    "  detector self-test: deposed leader under clock-skew + partition \
+     nemesis, seeds %s\n%!"
+    (String.concat ", " (List.map string_of_int seeds));
+  let detector =
+    List.map
+      (fun seed ->
+        let safe = E.stale_read_point ~seed ~unsafe:false () in
+        let mutated = E.stale_read_point ~seed ~unsafe:true () in
+        Printf.printf
+          "  seed %d: safe %d violations (%d lease reads, %d refused \
+           post-expiry) | mutated %d violations\n%!"
+          seed safe.E.sr_violations safe.E.sr_lease_reads
+          safe.E.sr_reads_refused mutated.E.sr_violations;
+        (safe, mutated))
+      seeds
+  in
+  (match detector with
+  | (_, m0) :: _ ->
+      List.iter (fun w -> Printf.printf "    witness: %s\n" w) m0.E.sr_witnesses
+  | [] -> ());
+  (* determinism: the same seed must reproduce the same fault trace *)
+  let deterministic =
+    match detector with
+    | (safe0, _) :: _ ->
+        let rerun = E.stale_read_point ~seed:safe0.E.sr_seed ~unsafe:false () in
+        String.equal rerun.E.sr_trace safe0.E.sr_trace
+    | [] -> true
+  in
+  Printf.printf "  same-seed rerun reproduces the fault trace: %b\n"
+    deterministic;
+  Bench_json.write_suite ~suite:"reads"
+    [
+      ("scaling", Bench_json.List (List.map json_of_read_scaling scaling));
+      ( "lease_cost",
+        Bench_json.Obj
+          [
+            ("on", json_of_lease_cost lease_on);
+            ("off", json_of_lease_cost lease_off);
+            ("byte_ratio", Bench_json.Float byte_ratio);
+            ("latency_ratio", Bench_json.Float lat_ratio);
+          ] );
+      ( "detector",
+        Bench_json.List
+          (List.concat_map
+             (fun (s, m) -> [ json_of_stale_read s; json_of_stale_read m ])
+             detector) );
+    ];
+  let scaling_broken =
+    List.exists (fun p -> p.E.rp_invariant_failures <> []) scaling
+  in
+  let lease_broken =
+    lease_on.E.lc_invariant_failures <> []
+    || lease_off.E.lc_invariant_failures <> []
+  in
+  (* the mutation must be convicted on EVERY seed; the safe run must never
+     be, and must show both lease serving and post-expiry refusals *)
+  let detector_bad =
+    List.exists
+      (fun ((s : E.stale_read_point), (m : E.stale_read_point)) ->
+        s.E.sr_violations > 0 || m.E.sr_violations = 0
+        || s.E.sr_lease_reads = 0 || s.E.sr_reads_refused = 0
+        || s.E.sr_clock_skews = 0 || s.E.sr_partitions = 0)
+      detector
+  in
+  if
+    scaling_broken || lease_broken || detector_bad || (not deterministic)
+    || t_2 < 1.35 *. t_0 || t_4 < 1.80 *. t_0 || byte_ratio < 5.0
+    || lat_ratio < 1.5
+  then begin
+    Printf.printf "READ-PATH RUN FAILED ACCEPTANCE CHECKS\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -865,12 +1050,16 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  if List.mem "--trace" args then
+    Edc_simnet.Trace.setup_logging (Some Logs.Debug);
   let cfg = if quick then quick_config else full_config in
-  let targets = List.filter (fun a -> a <> "--quick") args in
+  let targets =
+    List.filter (fun a -> a <> "--quick" && a <> "--trace") args
+  in
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
         "overhead"; "ablation"; "batching"; "snapshot"; "chaos"; "membership";
-        "linearize"; "micro"; "wire" ]
+        "linearize"; "reads"; "micro"; "wire" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -895,6 +1084,7 @@ let () =
       | "chaos" -> chaos quick
       | "membership" -> membership quick
       | "linearize" -> linearize quick
+      | "reads" -> reads quick
       | "micro" -> micro ()
       | "wire" ->
           Report.section

@@ -66,6 +66,7 @@ let nemesis_target t =
     unsilence = Net.set_node_up net;
     (* PBFT membership is static in this deployment *)
     reconfig_in_flight = (fun () -> false);
+    set_skew = (fun _ _ -> ()) (* no leases, no virtual clock *);
   }
 
 let run_for t d = Ds_cluster.run_for t.cluster d

@@ -39,6 +39,15 @@ let add_server t =
   t.ezks <- Array.append t.ezks [| fresh |];
   id
 
+(** Attach a permanent non-voting observer with its extension manager
+    installed (reconciled from the replicated tree as the bootstrap
+    snapshot lands). *)
+let add_observer t =
+  let id = Cluster.add_observer t.cluster in
+  let fresh = Ezk.install (Cluster.servers t.cluster).(id) in
+  t.ezks <- Array.append t.ezks [| fresh |];
+  id
+
 let remove_server t ~id = Cluster.remove_server t.cluster ~id
 
 (** Restart a replica and reload its extension manager from the replicated
@@ -86,6 +95,11 @@ let nemesis_target t =
             && (Edc_replication.Zab.reconfig_in_flight z
                || Edc_replication.Zab.learners z <> []))
           (Cluster.servers t.cluster));
+    set_skew =
+      (fun node skew ->
+        let servers = Cluster.servers t.cluster in
+        if node < Array.length servers then
+          Edc_replication.Zab.set_clock_skew (Server.zab servers.(node)) skew);
   }
 
 let run_for t d = Cluster.run_for t.cluster d

@@ -38,6 +38,10 @@ val restart_server : t -> int -> unit
     the snapshot bootstrap lands.  Returns the new replica id. *)
 val add_server : t -> int
 
+(** Attach a permanent non-voting observer replica with its extension
+    manager installed.  Returns the new replica id. *)
+val add_observer : t -> int
+
 (** Joint-consensus removal of replica [id] via the current leader. *)
 val remove_server : t -> id:int -> (unit, string) result
 

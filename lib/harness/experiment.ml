@@ -1350,3 +1350,463 @@ let membership_point ?(seed = 42) ?net_config ?(check = true) ?lin_max_steps
     mp_trace = Nemesis.trace_to_string nem;
     mp_snap = snap;
   }
+
+(* ------------------------------------------------------------------ *)
+(* §6i: the scale-free read path — observer scaling, lease economics,  *)
+(* and the stale-read detector self-test                               *)
+(* ------------------------------------------------------------------ *)
+
+module Zk = Edc_zookeeper
+module Ck_freshness = Edc_checker.Freshness
+
+type read_scaling_point = {
+  rp_observers : int;
+  rp_clients : int;
+  rp_reads : int;  (** completed inside the measure window *)
+  rp_throughput : float;  (** reads per second *)
+  rp_mean_ms : float;
+  rp_p99_ms : float;
+  rp_observer_reads : int;  (** reads served by observer replicas *)
+  rp_invariant_failures : string list;
+}
+
+(** Read throughput of a fixed 3-voter ensemble as permanent observers
+    are attached.  [read_cost] is raised well above the LAN round trip so
+    the replicas' serial read CPU — the resource observers multiply — is
+    the bottleneck; clients are allocated after the observers bootstrap
+    and round-robin across the whole deployment.  Write quorums, election
+    quorums and lease quorums stay at 2-of-3 throughout: the observers
+    only widen the read plane. *)
+let read_scaling_point ?(seed = 42) ?net_config ?(read_cost = Sim_time.us 200)
+    ~warmup ~measure ~observers n_clients =
+  let sim = Sim.create ~seed () in
+  let server_config = { Zk.Server.default_config with Zk.Server.read_cost } in
+  let cluster =
+    Zk.Cluster.create ~n_replicas:3 ?net_config ~server_config sim
+  in
+  let reads = ref 0 in
+  let lat = Stats.Series.create () in
+  let invariant_failures = ref [] in
+  let invariant name cond =
+    if not cond then invariant_failures := name :: !invariant_failures
+  in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin = Zk.Cluster.connected_client ~replica:0 cluster () in
+        (match Zk.Client.create_node admin "/obj" (String.make 64 'x') with
+        | Ok _ -> ()
+        | Error e -> failwith ("setup: " ^ Zk.Zerror.to_string e));
+        let obs_ids =
+          List.init observers (fun _ -> Zk.Cluster.add_observer cluster)
+        in
+        (* let the chunked bootstraps land before attaching load *)
+        Proc.sleep sim (Sim_time.ms 800);
+        let servers = Zk.Cluster.servers cluster in
+        List.iter
+          (fun oid ->
+            invariant
+              (Printf.sprintf "observer %d applied the commit stream" oid)
+              (Zk.Server.txns_applied servers.(oid) > 0))
+          obs_ids;
+        let window_start = Sim_time.add (Sim.now sim) warmup in
+        let window_end = Sim_time.add window_start measure in
+        for _ = 1 to n_clients do
+          Proc.spawn sim (fun () ->
+              let c = Zk.Cluster.connected_client cluster () in
+              let rec loop () =
+                if Sim_time.(Sim.now sim < window_end) then begin
+                  let t0 = Sim.now sim in
+                  (match Zk.Client.get_data c "/obj" with
+                  | Ok _ ->
+                      let t1 = Sim.now sim in
+                      if
+                        Sim_time.(window_start <= t0)
+                        && Sim_time.(t1 <= window_end)
+                      then begin
+                        incr reads;
+                        Stats.Series.add lat
+                          (Sim_time.to_float_ms (Sim_time.sub t1 t0))
+                      end
+                  | Error _ -> ());
+                  loop ()
+                end
+              in
+              loop ())
+        done
+      with e -> failure := Some e);
+  Sim.run
+    ~until:(Sim_time.add (Sim_time.add warmup measure) (Sim_time.sec 3))
+    sim;
+  (match !failure with Some e -> raise e | None -> ());
+  let servers = Zk.Cluster.servers cluster in
+  let obs_reads = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if i >= 3 then begin
+        obs_reads := !obs_reads + Zk.Server.reads_served s;
+        let z = Zk.Server.zab s in
+        invariant
+          (Printf.sprintf "observer %d is marked observer" i)
+          (Edc_replication.Zab.is_observer z);
+        invariant
+          (Printf.sprintf "observer %d stayed out of the voter set" i)
+          (not (List.mem i (Edc_replication.Zab.members z)));
+        invariant
+          (Printf.sprintf "observer %d never led" i)
+          (not (Zk.Server.is_leader s));
+        invariant
+          (Printf.sprintf "observer %d served reads" i)
+          (Zk.Server.reads_served s > 0)
+      end)
+    servers;
+  {
+    rp_observers = observers;
+    rp_clients = n_clients;
+    rp_reads = !reads;
+    rp_throughput = float_of_int !reads /. Sim_time.to_float_s measure;
+    rp_mean_ms = Stats.Series.mean lat;
+    rp_p99_ms = Stats.Series.p99 lat;
+    rp_observer_reads = !obs_reads;
+    rp_invariant_failures = List.rev !invariant_failures;
+  }
+
+type lease_cost_point = {
+  lc_leases : bool;
+  lc_reads : int;  (** leader-accounted linearizable reads in the window *)
+  lc_lease_reads : int;  (** of which lease-served (window delta) *)
+  lc_quorum_reads : int;  (** of which commit-path fallbacks *)
+  lc_mean_ms : float;
+  lc_p99_ms : float;
+  lc_bytes_per_read : float;
+      (** server-to-server coordination bytes per linearizable read
+          (proposals, acks, commits, heartbeats, lease grants): the cost
+          the lease removes.  Client request/response bytes are excluded
+          — identical in both modes. *)
+  lc_invariant_failures : string list;
+}
+
+(** The economics of the lease fast path: the same linearizable-read
+    workload with leases on (every read served locally at the leader under
+    a majority lease) versus off ([lease_duration = 0], so every read is
+    ordered through the commit path as a quiet no-op).  Compared on
+    coordination bytes per read and latency. *)
+let lease_cost_point ?(seed = 42) ?net_config ~warmup ~measure ~leases () =
+  let sim = Sim.create ~seed () in
+  let server_config =
+    { Zk.Server.default_config with Zk.Server.linearizable_reads = true }
+  in
+  let zab_config =
+    if leases then Edc_replication.Zab.default_config
+    else
+      {
+        Edc_replication.Zab.default_config with
+        Edc_replication.Zab.lease_duration = Sim_time.zero;
+      }
+  in
+  let cluster =
+    Zk.Cluster.create ~n_replicas:3 ?net_config ~server_config ~zab_config sim
+  in
+  let net = Zk.Cluster.net cluster in
+  (* Server-to-server bytes only: everything servers received minus what
+     clients sent (clients only ever address servers), leaving proposals,
+     acks, commits, heartbeats and lease grants — the coordination plane.
+     Client requests and responses are identical in both modes and would
+     dilute the comparison. *)
+  let server_bytes () =
+    let sent =
+      Net.bytes_sent_by net 0 + Net.bytes_sent_by net 1
+      + Net.bytes_sent_by net 2
+    and recv =
+      Net.bytes_received_by net 0 + Net.bytes_received_by net 1
+      + Net.bytes_received_by net 2
+    in
+    recv - (Net.total_bytes_sent net - sent)
+  in
+  let lease_quorum () =
+    Array.fold_left
+      (fun (l, q) s -> (l + Zk.Server.lease_reads s, q + Zk.Server.quorum_reads s))
+      (0, 0) (Zk.Cluster.servers cluster)
+  in
+  let lat = Stats.Series.create () in
+  let marks = ref None in  (* (bytes0, lease0, quorum0, bytes1, lease1, quorum1) *)
+  let invariant_failures = ref [] in
+  let invariant name cond =
+    if not cond then invariant_failures := name :: !invariant_failures
+  in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin = Zk.Cluster.connected_client ~replica:0 cluster () in
+        (match Zk.Client.create_node admin "/obj" (String.make 64 'x') with
+        | Ok _ -> ()
+        | Error e -> failwith ("setup: " ^ Zk.Zerror.to_string e));
+        let window_start = Sim_time.add (Sim.now sim) warmup in
+        let window_end = Sim_time.add window_start measure in
+        (* bracket the window with byte/counter snapshots *)
+        Proc.spawn sim (fun () ->
+            Proc.sleep sim (Sim_time.sub window_start (Sim.now sim));
+            let b0 = server_bytes () and l0, q0 = lease_quorum () in
+            Proc.sleep sim measure;
+            let b1 = server_bytes () and l1, q1 = lease_quorum () in
+            marks := Some (b0, l0, q0, b1, l1, q1));
+        for _ = 1 to 4 do
+          Proc.spawn sim (fun () ->
+              let c = Zk.Cluster.connected_client cluster () in
+              let rec loop () =
+                if Sim_time.(Sim.now sim < window_end) then begin
+                  let t0 = Sim.now sim in
+                  (match Zk.Client.get_data c "/obj" with
+                  | Ok _ ->
+                      let t1 = Sim.now sim in
+                      if
+                        Sim_time.(window_start <= t0)
+                        && Sim_time.(t1 <= window_end)
+                      then
+                        Stats.Series.add lat
+                          (Sim_time.to_float_ms (Sim_time.sub t1 t0))
+                  | Error _ -> ());
+                  loop ()
+                end
+              in
+              loop ())
+        done
+      with e -> failure := Some e);
+  Sim.run
+    ~until:(Sim_time.add (Sim_time.add warmup measure) (Sim_time.sec 3))
+    sim;
+  (match !failure with Some e -> raise e | None -> ());
+  let b0, l0, q0, b1, l1, q1 =
+    match !marks with Some m -> m | None -> failwith "window never closed"
+  in
+  let lease_reads = l1 - l0 and quorum_reads = q1 - q0 in
+  let reads = lease_reads + quorum_reads in
+  if leases then begin
+    invariant "lease mode: reads were lease-served" (lease_reads > 0);
+    invariant "lease mode: no read fell back to the commit path"
+      (quorum_reads = 0)
+  end
+  else begin
+    invariant "quorum mode: reads took the commit path" (quorum_reads > 0);
+    invariant "quorum mode: no lease read possible" (lease_reads = 0)
+  end;
+  {
+    lc_leases = leases;
+    lc_reads = reads;
+    lc_lease_reads = lease_reads;
+    lc_quorum_reads = quorum_reads;
+    lc_mean_ms = Stats.Series.mean lat;
+    lc_p99_ms = Stats.Series.p99 lat;
+    lc_bytes_per_read =
+      (if reads = 0 then 0. else float_of_int (b1 - b0) /. float_of_int reads);
+    lc_invariant_failures = List.rev !invariant_failures;
+  }
+
+type stale_read_point = {
+  sr_seed : int;
+  sr_unsafe : bool;
+  sr_violations : int;  (** real-time freshness convictions *)
+  sr_witnesses : string list;  (** first few, pretty-printed *)
+  sr_reads_ok : int;
+  sr_reads_refused : int;
+      (** reads the deposed leader refused (timed out on the dead commit
+          path) instead of serving stale *)
+  sr_writes_ok : int;
+  sr_clock_skews : int;
+  sr_partitions : int;
+  sr_lease_reads : int;  (** lease-served reads at the initial leader *)
+  sr_trace : string;
+}
+
+(** The stale-read detector's conviction scenario (§6i): a reader pinned
+    to the initial leader while a clock-skew + partition nemesis isolates
+    that leader mid-lease and a writer fails over to the new majority's
+    leader.  With the safe default the deposed leader's lease expires
+    (2ε early) before the new leader can commit anything, so post-expiry
+    reads are refused — they fall back to a commit path that cannot
+    commit — and {!Edc_checker.Freshness.check_realtime} finds nothing.
+    With [unsafe:true] ([unsafe_ignore_lease_expiry]) the deposed leader
+    keeps serving its stale tree and the detector must convict. *)
+let stale_read_point ?(seed = 42) ?net_config ~unsafe () =
+  let sim = Sim.create ~seed () in
+  let server_config =
+    { Zk.Server.default_config with Zk.Server.linearizable_reads = true }
+  in
+  let zab_config =
+    {
+      Edc_replication.Zab.default_config with
+      Edc_replication.Zab.unsafe_ignore_lease_expiry = unsafe;
+    }
+  in
+  let cluster =
+    Zk.Cluster.create ~n_replicas:3 ?net_config ~server_config ~zab_config sim
+  in
+  let net = Zk.Cluster.net cluster in
+  let servers () = Zk.Cluster.servers cluster in
+  let target =
+    {
+      Nemesis.name = "zookeeper";
+      nodes = [ 0; 1; 2 ];
+      leader =
+        (fun () ->
+          let ss = servers () in
+          let rec find i =
+            if i >= Array.length ss then None
+            else if Zk.Server.is_leader ss.(i) then Some i
+            else find (i + 1)
+          in
+          find 0);
+      crash = Zk.Cluster.crash_server cluster;
+      restart = Zk.Cluster.restart_server cluster;
+      cut = Net.cut_link net;
+      heal = Net.heal_link net;
+      cut_one_way = (fun ~src ~dst -> Net.cut_link_one_way net ~src ~dst);
+      heal_one_way = (fun ~src ~dst -> Net.heal_link_one_way net ~src ~dst);
+      silence = Net.set_node_down net;
+      unsilence = Net.set_node_up net;
+      reconfig_in_flight = (fun () -> false);
+      set_skew =
+        (fun node skew ->
+          let ss = servers () in
+          if node < Array.length ss then
+            Edc_replication.Zab.set_clock_skew (Zk.Server.zab ss.(node)) skew);
+    }
+  in
+  (* drifts stay inside the protocol's ±ε bound (10 ms): the safe run must
+     survive them, which is exactly the 2ε margin's job *)
+  let schedule =
+    [
+      {
+        Nemesis.start = Sim_time.ms 200;
+        period = Some (Sim_time.ms 900);
+        action =
+          Nemesis.Clock_skew
+            {
+              duration = Sim_time.ms 250;
+              victim = Nemesis.Any_replica;
+              skew = Sim_time.ms 8;
+            };
+      };
+      {
+        Nemesis.start = Sim_time.ms 650;
+        period = Some (Sim_time.ms 900);
+        action =
+          Nemesis.Clock_skew
+            {
+              duration = Sim_time.ms 250;
+              victim = Nemesis.Any_replica;
+              skew = Sim_time.ms (-8);
+            };
+      };
+      (* the kill shot: isolate the initial leader mid-lease *)
+      {
+        Nemesis.start = Sim_time.sec 1;
+        period = None;
+        action =
+          Nemesis.Isolate
+            {
+              duration = Sim_time.sec 4;
+              victim = Nemesis.Node 0;
+              asymmetric = false;
+            };
+      };
+    ]
+  in
+  let history = Ck_history.create ~sim () in
+  let ops_end = Sim_time.sec 6 in
+  let reads_ok = ref 0 and reads_refused = ref 0 and writes_ok = ref 0 in
+  let nemesis = ref None in
+  let failure = ref None in
+  Proc.spawn sim (fun () ->
+      try
+        let admin = Zk.Cluster.connected_client ~replica:1 cluster () in
+        (match Zk.Client.create_node admin "/ctr" "0" with
+        | Ok _ -> ()
+        | Error e -> failwith ("setup: " ^ Zk.Zerror.to_string e));
+        nemesis :=
+          Some (Nemesis.start ~sim ~target ~horizon:ops_end schedule);
+        (* reader pinned to the initial leader; a short timeout so refused
+           lease reads surface as errors rather than stalls *)
+        Proc.spawn sim (fun () ->
+            let c =
+              Zk.Cluster.connected_client
+                ~config:
+                  {
+                    Zk.Client.request_timeout = Sim_time.ms 300;
+                    ping_interval = Sim_time.ms 500;
+                  }
+                ~replica:0 cluster ()
+            in
+            let rec loop () =
+              if Sim_time.(Sim.now sim < ops_end) then begin
+                let id =
+                  Ck_history.invoke history ~client:0 Ck_history.Ctr_read
+                in
+                (match Zk.Client.get_data c "/ctr" with
+                | Ok (data, stat) ->
+                    incr reads_ok;
+                    Ck_history.ok history id
+                      (Ck_history.R_obj
+                         { data; version = stat.Zk.Znode.version })
+                | Error e ->
+                    incr reads_refused;
+                    Ck_history.fail history id (Zk.Zerror.to_string e));
+                Proc.sleep sim (Sim_time.ms 25);
+                loop ()
+              end
+            in
+            loop ());
+        (* writer on a resilient session over the survivors: after the
+           partition it lands on the new majority's leader *)
+        Proc.spawn sim (fun () ->
+            let c =
+              Zk.Cluster.connected_client
+                ~config:
+                  {
+                    Zk.Client.request_timeout = Sim_time.ms 500;
+                    ping_interval = Sim_time.ms 500;
+                  }
+                ~replica:1 cluster ()
+            in
+            let s = Zk.Session.wrap ~sim ~replicas:[ 1; 2 ] c in
+            let i = ref 0 in
+            let rec loop () =
+              if Sim_time.(Sim.now sim < ops_end) then begin
+                incr i;
+                let v = !i in
+                let id = Ck_history.invoke history ~client:1 Ck_history.Incr in
+                (match
+                   Zk.Session.call s
+                     ~op:(Zk.Session.Write { idempotent = true })
+                     (fun c -> Zk.Client.set_data c "/ctr" (string_of_int v))
+                 with
+                | Ok _ ->
+                    incr writes_ok;
+                    Ck_history.ok history id (Ck_history.R_int v)
+                | Error e ->
+                    Ck_history.fail history id (Zk.Zerror.to_string e));
+                Proc.sleep sim (Sim_time.ms 40);
+                loop ()
+              end
+            in
+            loop ())
+      with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.add ops_end (Sim_time.sec 3)) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  let nem = Option.get !nemesis in
+  let violations = Ck_freshness.check_realtime (Ck_history.entries history) in
+  {
+    sr_seed = seed;
+    sr_unsafe = unsafe;
+    sr_violations = List.length violations;
+    sr_witnesses =
+      List.filteri (fun i _ -> i < 3) violations
+      |> List.map (fun v -> Fmt.str "%a" Ck_freshness.pp_violation v);
+    sr_reads_ok = !reads_ok;
+    sr_reads_refused = !reads_refused;
+    sr_writes_ok = !writes_ok;
+    sr_clock_skews = Nemesis.clock_skews nem;
+    sr_partitions = Nemesis.partitions nem;
+    sr_lease_reads = Zk.Server.lease_reads (Zk.Cluster.servers cluster).(0);
+    sr_trace = Nemesis.trace_to_string nem;
+  }

@@ -252,3 +252,88 @@ val membership_point :
   ?lin_max_steps:int ->
   Systems.kind ->
   membership_point
+
+(** {2 The scale-free read path (§6i)} *)
+
+(** Observer scaling: read throughput of a fixed 3-voter ensemble with
+    [observers] permanent non-voting replicas attached.  [read_cost]
+    (default 200 µs) keeps the replicas' serial read CPU the bottleneck,
+    so throughput should grow near-linearly with the number of
+    read-serving replicas while every quorum stays 2-of-3. *)
+type read_scaling_point = {
+  rp_observers : int;
+  rp_clients : int;
+  rp_reads : int;  (** completed inside the measure window *)
+  rp_throughput : float;  (** reads per second *)
+  rp_mean_ms : float;
+  rp_p99_ms : float;
+  rp_observer_reads : int;  (** reads served by observer replicas *)
+  rp_invariant_failures : string list;
+      (** empty = every observer bootstrapped, applied the commit stream,
+          served reads, and stayed out of the voter set *)
+}
+
+val read_scaling_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  ?read_cost:Sim_time.t ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  observers:int ->
+  int ->
+  read_scaling_point
+
+(** Lease economics: the same linearizable-read workload with leases on
+    (reads served locally at the leader under a majority lease) versus
+    off (every read ordered through the commit path as a quiet no-op),
+    compared on coordination bytes per read and latency. *)
+type lease_cost_point = {
+  lc_leases : bool;
+  lc_reads : int;  (** leader-accounted linearizable reads in the window *)
+  lc_lease_reads : int;
+  lc_quorum_reads : int;
+  lc_mean_ms : float;
+  lc_p99_ms : float;
+  lc_bytes_per_read : float;
+      (** server-to-server coordination bytes per read (client
+          request/response traffic excluded) *)
+  lc_invariant_failures : string list;
+}
+
+val lease_cost_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  warmup:Sim_time.t ->
+  measure:Sim_time.t ->
+  leases:bool ->
+  unit ->
+  lease_cost_point
+
+(** The stale-read detector's self-test scenario: a reader pinned to the
+    initial leader while a clock-skew + partition nemesis isolates that
+    leader mid-lease and a writer fails over to the new majority.  With
+    the safe default, post-expiry reads at the deposed leader are refused
+    and the detector must find nothing; with [unsafe:true]
+    ([Zab.config.unsafe_ignore_lease_expiry]) the deposed leader keeps
+    serving its stale tree and the detector must convict. *)
+type stale_read_point = {
+  sr_seed : int;
+  sr_unsafe : bool;
+  sr_violations : int;  (** real-time freshness convictions *)
+  sr_witnesses : string list;  (** first few, pretty-printed *)
+  sr_reads_ok : int;
+  sr_reads_refused : int;
+      (** reads the deposed leader refused instead of serving stale *)
+  sr_writes_ok : int;
+  sr_clock_skews : int;
+  sr_partitions : int;
+  sr_lease_reads : int;  (** lease-served reads at the initial leader *)
+  sr_trace : string;  (** equal seeds produce equal traces *)
+}
+
+val stale_read_point :
+  ?seed:int ->
+  ?net_config:Net.config ->
+  unsafe:bool ->
+  unit ->
+  stale_read_point

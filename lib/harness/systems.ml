@@ -76,6 +76,10 @@ type t = {
   add_replica : unit -> (int, string) result;
       (** boot a learner, hand it to the leader for bootstrap + admission;
           returns its replica id *)
+  add_observer : unit -> (int, string) result;
+      (** attach a permanent non-voting observer: bootstrapped like a
+          learner (chunked snapshot transfer), it consumes the commit
+          stream and serves reads but never votes or joins any quorum *)
   remove_replica : int -> (unit, string) result;
       (** ask the leader to remove a replica through the log *)
   members : unit -> int list;
@@ -160,6 +164,11 @@ let zk_nemesis_target name net servers ~crash ~restart =
             && (Edc_replication.Zab.reconfig_in_flight z
                || Edc_replication.Zab.learners z <> []))
           (servers ()));
+    set_skew =
+      (fun node skew ->
+        let ss = servers () in
+        if node < Array.length ss then
+          Edc_replication.Zab.set_clock_skew (Zk.Server.zab ss.(node)) skew);
   }
 
 let ds_nemesis_target name net servers ~crash ~restart =
@@ -186,6 +195,7 @@ let ds_nemesis_target name net servers ~crash ~restart =
     silence = Net.set_node_down net;
     unsilence = Net.set_node_up net;
     reconfig_in_flight = (fun () -> false);
+    set_skew = (fun _ _ -> ()) (* PBFT has no leases, no virtual clock *);
   }
 
 let zk_replica_ids cluster =
@@ -296,6 +306,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         snapshot_stats =
           (fun () -> zk_snapshot_stats (Zk.Cluster.servers cluster) ());
         add_replica = (fun () -> Ok (Zk.Cluster.add_server cluster));
+        add_observer = (fun () -> Ok (Zk.Cluster.add_observer cluster));
         remove_replica = (fun id -> Zk.Cluster.remove_server cluster ~id);
         members = zk_members (fun () -> Zk.Cluster.servers cluster);
         reconfig_in_flight =
@@ -337,6 +348,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         snapshot_stats =
           (fun () -> zk_snapshot_stats (Ezk_cluster.servers cluster) ());
         add_replica = (fun () -> Ok (Ezk_cluster.add_server cluster));
+        add_observer = (fun () -> Ok (Ezk_cluster.add_observer cluster));
         remove_replica = (fun id -> Ezk_cluster.remove_server cluster ~id);
         members = zk_members (fun () -> Ezk_cluster.servers cluster);
         reconfig_in_flight =
@@ -377,6 +389,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         anomalies = (fun () -> 0);
         snapshot_stats = (fun () -> snapshot_stats_zero);
         add_replica = (fun () -> Error "DepSpace membership is static");
+        add_observer = (fun () -> Error "DepSpace membership is static");
         remove_replica = (fun _ -> Error "DepSpace membership is static");
         members = (fun () -> List.init 4 Fun.id);
         reconfig_in_flight = (fun () -> false);
@@ -412,6 +425,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         anomalies = (fun () -> 0);
         snapshot_stats = (fun () -> snapshot_stats_zero);
         add_replica = (fun () -> Error "EDS membership is static");
+        add_observer = (fun () -> Error "EDS membership is static");
         remove_replica = (fun _ -> Error "EDS membership is static");
         members = (fun () -> List.init 4 Fun.id);
         reconfig_in_flight = (fun () -> false);

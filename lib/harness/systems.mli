@@ -65,6 +65,12 @@ type t = {
           bootstraps (snapshot + log sync) and admits through the
           joint-consensus log path; returns the new replica id.  [Error]
           for the static BFT deployments. *)
+  add_observer : unit -> (int, string) result;
+      (** attach a permanent non-voting observer replica: bootstrapped by
+          the chunked snapshot transfer like a learner, it consumes the
+          commit stream and serves sequentially-consistent reads but never
+          votes, campaigns, or counts toward any quorum.  [Error] for the
+          static BFT deployments. *)
   remove_replica : int -> (unit, string) result;
       (** ask the leader to remove a replica through the log; the replica
           is fenced once the final config commits *)

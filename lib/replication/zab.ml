@@ -82,9 +82,14 @@ type 'p payload = App of 'p | Config of config_change
 type 'p entry = { zxid : zxid; payload : 'p payload }
 
 type 'p msg =
-  | Ping of { epoch : int; committed : int }
+  | Ping of { epoch : int; committed : int; sent : Sim_time.t }
       (** leader heartbeat; also carries the commit horizon so idle
-          followers still learn about commits *)
+          followers still learn about commits.  [sent] is the leader's
+          local (possibly skewed) clock reading at transmission time: the
+          lease grant echoes it back, so the leader can anchor the lease
+          expiry at its own send time — the only anchor that is provably
+          on the follower's side of the promise under bounded clock
+          error (see {!Lease_grant}). *)
   | Propose of {
       epoch : int;
       index : int;
@@ -138,6 +143,20 @@ type 'p msg =
       (** leader to a replica outside the config: stand down.  The
           recipient stops campaigning and stops serving reads; it unfences
           only if a later config readmits it. *)
+  | Lease_grant of { epoch : int; sent : Sim_time.t }
+      (** a voter's answer to a [Ping]: "I promise not to grant any vote
+          for the next [lease_duration] on my clock".  [sent] echoes the
+          ping's send timestamp; the leader treats the grant as live until
+          [sent + lease_duration - 2ε] on its OWN clock — anchoring at the
+          grant's receive time would be unsound, since message delay can
+          push a receive-anchored expiry past the end of the follower's
+          promise. *)
+  | Observer_request of { epoch : int; id : int }
+      (** observer handshake: a permanent non-voting replica asks the
+          leader to feed it the commit stream (bootstrap via snapshot +
+          log sync, same as a learner) — but unlike [Join_request] it
+          never leads to promotion; re-broadcast on silence so it
+          survives leader changes *)
 
 type role = Leader | Follower | Candidate
 
@@ -172,6 +191,27 @@ type config = {
   snapshot_window : int;
       (** chunks the leader keeps in flight beyond the follower's
           cumulative ack *)
+  lease_duration : Sim_time.t;
+      (** leader-lease length [D].  Voters answering a heartbeat promise
+          not to grant votes (or campaign) for [D] on their local clock;
+          the leader holding live grants from a majority serves
+          linearizable reads locally.  Must stay below
+          [election_timeout], so a promise never outlives the silence
+          that triggers elections and availability is unaffected.
+          [Sim_time.zero] disables leases entirely. *)
+  clock_skew_bound : Sim_time.t;
+      (** ε: the assumed bound on any replica's virtual-clock offset from
+          real time.  The leader subtracts 2ε from every grant (its own
+          clock may read up to ε late at expiry while the follower's read
+          up to ε early at the promise), so lease reads stay linearizable
+          for any skew within ±ε; skew beyond the bound voids the
+          safety argument (which is what the clock-skew nemesis probes) *)
+  unsafe_ignore_lease_expiry : bool;
+      (** TEST ONLY: the leader treats every grant it ever received as
+          live forever, so a deposed leader keeps serving "linearizable"
+          reads from stale state.  Exists to prove the checker's
+          stale-read detector convicts exactly this; never enable outside
+          tests. *)
 }
 
 let default_config =
@@ -184,7 +224,21 @@ let default_config =
     unsafe_single_step_reconfig = false;
     snapshot_chunk_size = 8192;
     snapshot_window = 8;
+    lease_duration = Sim_time.ms 120;
+    clock_skew_bound = Sim_time.ms 10;
+    unsafe_ignore_lease_expiry = false;
   }
+
+type lease_stats = {
+  mutable grants_sent : int;  (** follower: promises made (Lease_grants sent) *)
+  mutable grants_received : int;  (** leader: grants accepted from voters *)
+  mutable reads_held : int;  (** leader: {!can_serve_lease_read} said yes *)
+  mutable reads_expired : int;
+      (** leader: {!can_serve_lease_read} said no (expired/never acquired) *)
+  mutable vote_refusals : int;
+      (** votes (or own campaigns) refused because a promise was
+          outstanding *)
+}
 
 type reconfig_stats = {
   mutable joins_requested : int;
@@ -254,6 +308,10 @@ type 'p t = {
           campaign, don't serve reads.  Persists across crash/restart;
           cleared if a config readmits us. *)
   created_learner : bool;
+  created_observer : bool;
+      (** permanent non-voting member: consumes the commit stream and
+          serves sequentially-consistent reads, never promoted, never in
+          any quorum or election *)
   mutable joining : bool;
       (** we are a learner still working toward a vote: keep broadcasting
           [Join_request] on silence until a committed final admits us *)
@@ -273,6 +331,23 @@ type 'p t = {
       (** leader: adopted non-voting learners (receive the replication
           stream, excluded from quorums); volatile — learners re-adopt
           themselves at the next leader via [Join_request] *)
+  mutable observers : int list;
+      (** leader: adopted observers — like learners they receive the full
+          replication stream and count toward no quorum, but they are
+          never promoted; volatile, observers re-announce via
+          [Observer_request] *)
+  mutable clock_skew : Sim_time.t;
+      (** offset of this replica's virtual clock from simulated real time
+          (nemesis-settable, may be negative).  Skew affects only local
+          clock READINGS — lease promises and expiries — never the
+          simulator's timer scheduling. *)
+  mutable lease_promise_until : Sim_time.t;
+      (** voter: end (on the LOCAL clock) of the no-vote promise made
+          with the latest lease grant; never shrinks *)
+  lease_grants : (int, Sim_time.t) Hashtbl.t;
+      (** leader: per-voter expiry (on the leader's LOCAL clock) of the
+          latest grant: ping-send time + lease_duration - 2ε *)
+  lease : lease_stats;
   mutable pending_joins : (int * Sim_time.t) list;
       (** leader: learners awaiting promotion, with adoption time *)
   mutable pending_joint : bool;  (** leader: a [Cc_joint] sits in the batcher *)
@@ -380,6 +455,68 @@ let membership t = t.members
 let learners t = t.learners
 let is_fenced t = t.fenced
 let reconfig_stats t = t.reconfig
+let is_observer t = t.created_observer
+let observers t = t.observers
+let lease_stats t = t.lease
+
+(* ------------------------------------------------------------------ *)
+(* Leader leases                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The replica's virtual clock: simulated real time plus a (nemesis-
+   settable) offset.  Everything lease-related reads THIS clock, never
+   [Sim.now] directly, so clock-skew faults hit exactly the code whose
+   correctness depends on the ε assumption. *)
+let local_now t = Sim_time.add (Sim.now t.sim) t.clock_skew
+let set_clock_skew t d = t.clock_skew <- d
+let clock_skew t = t.clock_skew
+let leases_on t = Sim_time.compare t.config.lease_duration Sim_time.zero > 0
+
+(* A voter that promised (by granting a lease) must not help elect a new
+   leader — or campaign itself — until the promise runs out on its own
+   clock.  Both majorities (lease grants counted by the old leader, votes
+   counted by a candidate) draw from the voter set, so they intersect in
+   at least one voter whose promise proves the old leader's lease expired
+   before the new leader could commit anything. *)
+let lease_promise_outstanding t =
+  leases_on t
+  && Sim_time.compare (local_now t) t.lease_promise_until < 0
+
+(* Is [v]'s grant still live on the leader's clock?  The grant expires at
+   [ping_sent + D - 2ε]: the follower's promise holds until at least
+   [ping_sent + D] in real time minus its own skew (≤ ε), and our clock
+   may read up to ε ahead, hence the 2ε margin.  The leader always counts
+   itself (it cannot vote against itself while it believes it leads). *)
+let grant_live t v =
+  v = t.id
+  ||
+  match Hashtbl.find_opt t.lease_grants v with
+  | None -> false
+  | Some expiry ->
+      t.config.unsafe_ignore_lease_expiry
+      || Sim_time.compare (local_now t) expiry < 0
+
+(* The lease mirrors the commit rule: a majority of the stable set, or —
+   during a joint phase — majorities of BOTH sets (the intersection rule:
+   a new leader elected under either configuration must overlap the set
+   that promised us the lease). *)
+let lease_valid t =
+  t.alive && t.role = Leader && leases_on t
+  &&
+  let live = List.filter (grant_live t) (voters t) in
+  match t.members with
+  | Stable m -> majority m live
+  | Joint { c_old; c_new } -> majority c_old live && majority c_new live
+
+(* [can_serve_lease_read t]: the deployment's fast-path gate, with
+   accounting.  False means the read must fall back to the commit path
+   (quorum round trip through the log). *)
+let can_serve_lease_read t =
+  let ok = lease_valid t in
+  if t.role = Leader && leases_on t then
+    if ok then t.lease.reads_held <- t.lease.reads_held + 1
+    else t.lease.reads_expired <- t.lease.reads_expired + 1;
+  ok
 
 let reconfig_in_flight t =
   t.pending_joint || t.pending_final
@@ -467,10 +604,12 @@ let batcher t =
   match t.batcher with Some b -> b | None -> invalid_arg "zab not wired"
 
 (* Everybody this replica talks to: the voters of its current membership
-   view plus (on a leader) the adopted learners, which receive the full
-   replication stream without counting toward quorums. *)
+   view plus (on a leader) the adopted learners and observers, which
+   receive the full replication stream without counting toward quorums. *)
 let others t =
-  List.filter (fun p -> p <> t.id) (set_union (voters t) t.learners)
+  List.filter
+    (fun p -> p <> t.id)
+    (set_union (voters t) (set_union t.learners t.observers))
 
 let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
 
@@ -548,9 +687,13 @@ let set_role t role =
          themselves to the next leader, and any config entry still in the
          batcher died with the reset above *)
       t.learners <- [];
+      t.observers <- [];
       t.pending_joins <- [];
       t.pending_joint <- false;
-      t.pending_final <- false
+      t.pending_final <- false;
+      (* a deposed leader's grants are dead weight: if it leads again it
+         must re-acquire the lease from scratch in the new epoch *)
+      Hashtbl.reset t.lease_grants
     end;
     t.role <- role;
     Trace.debugf t.sim "zab[%d] -> %a (epoch %d)" t.id pp_role role
@@ -796,7 +939,9 @@ let become_leader t =
   t.verified <- abs_len t;
   Hashtbl.reset t.match_len;
   Hashtbl.reset t.xfers;
+  Hashtbl.reset t.lease_grants;
   t.learners <- [];
+  t.observers <- [];
   t.pending_joins <- [];
   t.pending_joint <- false;
   t.pending_final <- false;
@@ -817,7 +962,9 @@ let become_leader t =
              committed = t.committed;
            }))
     (others t);
-  broadcast t (Ping { epoch = t.current_epoch; committed = t.committed });
+  broadcast t
+    (Ping
+       { epoch = t.current_epoch; committed = t.committed; sent = local_now t });
   (* An inherited joint phase is now our job to finish.  If its entry is
      already delivered, the commit-time trigger fired on the old leader
      (or on us as a follower, uselessly): re-propose the final entry.
@@ -910,7 +1057,9 @@ let epoch_of_msg = function
   | Snapshot_chunk { epoch; _ }
   | Snapshot_ack { epoch; _ }
   | Join_request { epoch; _ }
-  | Fence { epoch } ->
+  | Fence { epoch }
+  | Lease_grant { epoch; _ }
+  | Observer_request { epoch; _ } ->
       epoch
 
 (* Raft's term rule, applied to every message: a higher epoch proves our
@@ -944,9 +1093,12 @@ let adopts_epoch t = function
   | Fence _ -> false
   | _ -> true
 
-(* Is [src] inside the leader's world — a voter or an adopted learner?
-   Anything else is a deposed/foreign replica and gets fenced. *)
-let known t src = List.mem src (voters t) || List.mem src t.learners
+(* Is [src] inside the leader's world — a voter, an adopted learner, or an
+   adopted observer?  Anything else is a deposed/foreign replica and gets
+   fenced. *)
+let known t src =
+  List.mem src (voters t) || List.mem src t.learners
+  || List.mem src t.observers
 
 (* [epoch] echoes the epoch the offender used: a removed replica keeps
    bumping its own epoch with every failed campaign, so a fence carrying
@@ -958,9 +1110,22 @@ let rec handle t ~src msg =
   if t.alive then begin
     if adopts_epoch t msg then maybe_adopt_epoch t (epoch_of_msg msg);
     match msg with
-    | Ping { epoch; committed } ->
+    | Ping { epoch; committed; sent } ->
         if epoch >= t.current_epoch then begin
           note_leader t ~src ~epoch;
+          (* Lease grant piggybacks on the heartbeat: record the no-vote
+             promise FIRST (on our clock), then echo the leader's send
+             timestamp so it can anchor the expiry at its own send time.
+             Only voters grant — an observer's promise would be
+             meaningless (it never votes) and must not count. *)
+          if leases_on t && (not t.fenced) && List.mem t.id (voters t)
+          then begin
+            t.lease_promise_until <-
+              Sim_time.max t.lease_promise_until
+                (Sim_time.add (local_now t) t.config.lease_duration);
+            t.lease.grants_sent <- t.lease.grants_sent + 1;
+            t.send ~dst:src (Lease_grant { epoch; sent })
+          end;
           follower_commit t committed;
           if committed > t.verified then
             match t.pending_snap with
@@ -1068,17 +1233,34 @@ let rec handle t ~src msg =
         else if
           (* the epoch itself was adopted above; grant at most one vote per
              epoch, and only to a log at least as up to date as ours — and
-             never while fenced, so a deposed replica cannot help elect *)
+             never while fenced, so a deposed replica cannot help elect,
+             and only if we hold a vote at all (observers and other
+             non-members have none to give) *)
           (not t.fenced)
+          && List.mem t.id (voters t)
           && epoch = t.current_epoch && epoch > t.voted_epoch
           && zxid_geq candidate_last (last_zxid t)
         then begin
-          t.voted_epoch <- epoch;
-          t.leader_hint <- None;
-          (* Reset the clock so we do not immediately start a competing
-             election while the new leader synchronizes. *)
-          t.last_leader_contact <- Sim.now t.sim;
-          t.send ~dst:candidate (Vote { epoch })
+          if lease_promise_outstanding t then begin
+            (* the no-vote promise behind a lease grant: refusing here is
+               exactly what keeps a still-leased leader's local reads
+               linearizable — no new leader can form until the promises
+               (and with them, by the 2ε margin, the lease) have run out *)
+            t.lease.vote_refusals <- t.lease.vote_refusals + 1;
+            Trace.debugf t.sim
+              "zab[%d] refuses vote for %d (epoch %d): lease promise held"
+              t.id candidate epoch
+          end
+          else begin
+            t.voted_epoch <- epoch;
+            t.leader_hint <- None;
+            (* Reset the clock so we do not immediately start a competing
+               election while the new leader synchronizes. *)
+            t.last_leader_contact <- Sim.now t.sim;
+            Trace.debugf t.sim "zab[%d] votes for %d (epoch %d)" t.id
+              candidate epoch;
+            t.send ~dst:candidate (Vote { epoch })
+          end
         end
     | Vote { epoch } ->
         if t.role = Candidate && epoch = t.current_epoch then begin
@@ -1280,19 +1462,76 @@ let rec handle t ~src msg =
                  committed = t.committed;
                })
         end
-    | Fence { epoch } ->
-        if epoch >= t.current_epoch then begin
-          if not t.fenced then begin
-            t.fenced <- true;
-            t.reconfig.fences <- t.reconfig.fences + 1;
-            Trace.debugf t.sim "zab[%d] fenced by %d (epoch %d)" t.id src epoch
-          end;
-          t.votes <- [];
-          if t.role <> Follower then set_role t Follower;
-          (* a learner whose half-finished join was aborted (its joint
-             entry died with the old leader) starts the join over *)
-          if t.created_learner && not t.finalized then t.joining <- true
+    | Lease_grant { epoch; sent } ->
+        if
+          t.role = Leader && epoch = t.current_epoch
+          && List.mem src (voters t)
+        then begin
+          (* Anchor the expiry at OUR send time of the ping this grant
+             echoes: the follower's promise covers at least
+             [sent + D] minus its skew in real time, and our clock may
+             read up to ε ahead of real time, so [sent + D - 2ε] on our
+             clock is provably inside the promise.  (Anchoring at receive
+             time would not be: the network delay between send and
+             receive has no bound that helps us.) *)
+          let expiry =
+            Sim_time.sub
+              (Sim_time.add sent t.config.lease_duration)
+              (Sim_time.scale t.config.clock_skew_bound 2.)
+          in
+          let prev =
+            Option.value ~default:Sim_time.zero
+              (Hashtbl.find_opt t.lease_grants src)
+          in
+          t.lease.grants_received <- t.lease.grants_received + 1;
+          Hashtbl.replace t.lease_grants src (Sim_time.max prev expiry)
         end
+    | Observer_request { epoch = _; id = oid } ->
+        if t.role = Leader && oid <> t.id then begin
+          if (not (List.mem oid (voters t))) && not (List.mem oid t.observers)
+          then begin
+            (* adopt as a permanent non-voting observer: it gets the full
+               replication stream (so it can serve sequentially-consistent
+               reads from its applied prefix) but — unlike a learner — is
+               never queued for promotion and never enters a quorum *)
+            t.observers <- oid :: t.observers;
+            Trace.debugf t.sim "zab[%d] adopts observer %d" t.id oid
+          end;
+          (* bootstrap (or re-bootstrap after a stall): same path as a
+             learner — ship the retained log; an observer behind our
+             compaction horizon answers with [Sync_request { have < base }],
+             which opens the chunked snapshot transfer *)
+          t.send ~dst:oid
+            (Sync
+               {
+                 epoch = t.current_epoch;
+                 from = t.base;
+                 entries = Vec.to_list t.log;
+                 committed = t.committed;
+               })
+        end
+    | Fence { epoch } ->
+        if epoch >= t.current_epoch then
+          if t.created_observer then
+            (* an observer is outside every config by design, so a fence
+               from a new leader that has not adopted it yet is routine:
+               re-announce instead of standing down (its reads are only
+               sequentially consistent, so serving from the applied prefix
+               stays correct) *)
+            broadcast t (Observer_request { epoch = t.current_epoch; id = t.id })
+          else begin
+            if not t.fenced then begin
+              t.fenced <- true;
+              t.reconfig.fences <- t.reconfig.fences + 1;
+              Trace.debugf t.sim "zab[%d] fenced by %d (epoch %d)" t.id src
+                epoch
+            end;
+            t.votes <- [];
+            if t.role <> Follower then set_role t Follower;
+            (* a learner whose half-finished join was aborted (its joint
+               entry died with the old leader) starts the join over *)
+            if t.created_learner && not t.finalized then t.joining <- true
+          end
   end
 
 (* The whole blob arrived: verify it against the digest from
@@ -1356,16 +1595,41 @@ let rec tick t generation () =
   if t.alive && generation = t.generation then begin
     (match t.role with
     | Leader ->
-        broadcast t (Ping { epoch = t.current_epoch; committed = t.committed })
+        broadcast t
+          (Ping
+             {
+               epoch = t.current_epoch;
+               committed = t.committed;
+               sent = local_now t;
+             })
     | Follower | Candidate ->
         let silence = Sim_time.sub (Sim.now t.sim) t.last_leader_contact in
         if Sim_time.(election_deadline t <= silence) then begin
-          t.last_leader_contact <- Sim.now t.sim;
-          if List.mem t.id (voters t) && not t.fenced then start_election t
-          else if t.joining then
-            (* learners never campaign: they (re-)announce themselves to
-               whoever leads now *)
-            broadcast t (Join_request { epoch = t.current_epoch; id = t.id })
+          if List.mem t.id (voters t) && not t.fenced then begin
+            if lease_promise_outstanding t then
+              (* our own campaign counts as a vote for ourselves: a live
+                 no-vote promise defers it (retried next tick; the promise
+                 is shorter than the election timeout, so this never
+                 delays an election that real silence justifies) *)
+              t.lease.vote_refusals <- t.lease.vote_refusals + 1
+            else begin
+              t.last_leader_contact <- Sim.now t.sim;
+              start_election t
+            end
+          end
+          else begin
+            t.last_leader_contact <- Sim.now t.sim;
+            if t.joining then
+              (* learners never campaign: they (re-)announce themselves to
+                 whoever leads now *)
+              broadcast t
+                (Join_request { epoch = t.current_epoch; id = t.id })
+            else if t.created_observer then
+              (* observers re-announce on silence too, so they survive
+                 leader changes and find whoever leads now *)
+              broadcast t
+                (Observer_request { epoch = t.current_epoch; id = t.id })
+          end
         end);
     Sim.schedule t.sim ~after:t.config.heartbeat_interval (tick t generation)
   end
@@ -1381,12 +1645,14 @@ let start t =
   if t.joining then
     (* announce immediately; the tick path re-broadcasts on silence *)
     broadcast t (Join_request { epoch = t.current_epoch; id = t.id })
+  else if t.created_observer then
+    broadcast t (Observer_request { epoch = t.current_epoch; id = t.id })
 
-let create ?(config = default_config) ?initial_leader ?(learner = false) ~sim
-    ~id ~peers ~send ~on_deliver () =
+let create ?(config = default_config) ?initial_leader ?(learner = false)
+    ?(observer = false) ~sim ~id ~peers ~send ~on_deliver () =
   let peers = List.sort_uniq compare peers in
   let initial_members =
-    if learner then List.filter (fun p -> p <> id) peers else peers
+    if learner || observer then List.filter (fun p -> p <> id) peers else peers
   in
   let t =
     {
@@ -1412,6 +1678,7 @@ let create ?(config = default_config) ?initial_leader ?(learner = false) ~sim
       last_stable = initial_members;
       fenced = false;
       created_learner = learner;
+      created_observer = observer;
       joining = learner;
       finalized = not learner;
       role = Follower;
@@ -1422,6 +1689,18 @@ let create ?(config = default_config) ?initial_leader ?(learner = false) ~sim
       next_counter = 0;
       match_len = Hashtbl.create 8;
       learners = [];
+      observers = [];
+      clock_skew = Sim_time.zero;
+      lease_promise_until = Sim_time.zero;
+      lease_grants = Hashtbl.create 8;
+      lease =
+        {
+          grants_sent = 0;
+          grants_received = 0;
+          reads_held = 0;
+          reads_expired = 0;
+          vote_refusals = 0;
+        };
       pending_joins = [];
       pending_joint = false;
       pending_final = false;
@@ -1488,6 +1767,12 @@ let crash t =
   Hashtbl.reset t.xfers;
   t.pending_snap <- None;
   t.learners <- [];
+  t.observers <- [];
+  (* leader-side grants are volatile; the follower-side no-vote promise
+     ([lease_promise_until]) deliberately survives — modeling a promise
+     persisted to disk, since forgetting it across a quick crash/restart
+     would let us vote inside a window another leader still leases *)
+  Hashtbl.reset t.lease_grants;
   t.pending_joins <- [];
   t.pending_joint <- false;
   t.pending_final <- false;
@@ -1501,7 +1786,7 @@ let restart t =
   t.verified <- t.committed;
   t.last_leader_contact <- Sim.now t.sim;
   start t;
-  if not t.joining then
+  if (not t.joining) && not t.created_observer then
     (* Proactively ask whoever leads now for the missing suffix: we cannot
        address them yet, so we ask everyone; non-leaders ignore it.  (A
        still-joining learner already re-announced itself in [start]: a
@@ -1582,7 +1867,7 @@ let msg_size ~payload_size =
     | Config cc -> 48 + config_change_size cc
   in
   function
-  | Ping _ -> 24
+  | Ping _ -> 32
   | Propose { entries; _ } ->
       List.fold_left (fun acc e -> acc + entry_size e) 0 entries
   | Ack _ -> 24
@@ -1598,3 +1883,5 @@ let msg_size ~payload_size =
   | Snapshot_ack _ -> 32
   | Join_request _ -> 24
   | Fence _ -> 16
+  | Lease_grant _ -> 24
+  | Observer_request _ -> 24

@@ -51,7 +51,9 @@ type 'p payload = App of 'p | Config of config_change
 type 'p entry = { zxid : zxid; payload : 'p payload }
 
 type 'p msg =
-  | Ping of { epoch : int; committed : int }
+  | Ping of { epoch : int; committed : int; sent : Sim_time.t }
+      (** heartbeat; [sent] is the leader's local-clock reading at
+          transmission, echoed back by lease grants *)
   | Propose of {
       epoch : int;
       index : int;
@@ -98,6 +100,15 @@ type 'p msg =
           changes and crash/restart of a half-bootstrapped learner *)
   | Fence of { epoch : int }
       (** stand-down order from the leader to a replica outside the config *)
+  | Lease_grant of { epoch : int; sent : Sim_time.t }
+      (** a voter's promise, answering a [Ping], not to grant any vote for
+          the next [lease_duration] on its clock; [sent] echoes the ping's
+          send timestamp so the leader anchors the expiry at its own send
+          time *)
+  | Observer_request of { epoch : int; id : int }
+      (** observer handshake: a permanent non-voting replica asks the
+          leader for the commit stream; bootstrapped like a learner but
+          never promoted; re-broadcast on silence *)
 
 type role = Leader | Follower | Candidate
 
@@ -129,6 +140,21 @@ type config = {
       (** bytes of snapshot blob per [Snapshot_chunk] *)
   snapshot_window : int;
       (** chunks kept in flight beyond the follower's cumulative ack *)
+  lease_duration : Sim_time.t;
+      (** leader-lease length: voters answering a heartbeat promise not to
+          grant votes for this long on their local clocks, and a leader
+          holding live grants from a majority serves linearizable reads
+          locally.  Must be below [election_timeout]; [Sim_time.zero]
+          disables leases. *)
+  clock_skew_bound : Sim_time.t;
+      (** ε: assumed bound on any replica's virtual-clock offset from real
+          time.  The leader expires each grant 2ε early, which keeps lease
+          reads linearizable for any skew within ±ε. *)
+  unsafe_ignore_lease_expiry : bool;
+      (** TEST ONLY — the leader treats grants as live forever, so a
+          deposed, partitioned leader keeps serving stale "linearizable"
+          reads.  Exists so the checker's stale-read detector can prove it
+          convicts exactly this; never enable outside tests. *)
 }
 
 val default_config : config
@@ -143,11 +169,16 @@ type 'p t
     a non-voting learner whose member set is [peers] minus itself: it
     announces itself via [Join_request], is bootstrapped by the leader
     (snapshot + log sync), and becomes a voter only when a committed
-    config admits it. *)
+    config admits it.  With [observer:true] the replica is a permanent
+    non-voting observer: bootstrapped the same way (via
+    [Observer_request]), it consumes the commit stream forever, serves
+    sequentially-consistent reads from its applied prefix, and never
+    appears in any quorum or election. *)
 val create :
   ?config:config ->
   ?initial_leader:int ->
   ?learner:bool ->
+  ?observer:bool ->
   sim:Sim.t ->
   id:int ->
   peers:int list ->
@@ -208,6 +239,47 @@ val membership : 'p t -> membership
 
 (** Leader only: adopted non-voting learners still being bootstrapped. *)
 val learners : 'p t -> int list
+
+(** Leader only: adopted observers (permanent non-voting members). *)
+val observers : 'p t -> int list
+
+(** The replica was created as an observer. *)
+val is_observer : 'p t -> bool
+
+(** Leader leases (virtual-clock based; see [config.lease_duration]). *)
+
+(** The leader currently holds live lease grants from a majority of every
+    voting set (both sets during a joint phase — the intersection rule),
+    so a local read is linearizable.  Always false on non-leaders and
+    with leases disabled. *)
+val lease_valid : 'p t -> bool
+
+(** Same check, with accounting: the deployment's read-path gate.  False
+    means the read must take the commit path instead. *)
+val can_serve_lease_read : 'p t -> bool
+
+(** This voter made a no-vote promise that has not yet run out on its
+    local clock. *)
+val lease_promise_outstanding : 'p t -> bool
+
+(** Virtual clock: [Sim.now] plus a settable per-replica offset (the
+    clock-skew nemesis hook).  Skew affects only lease arithmetic, never
+    simulator timers. *)
+val set_clock_skew : 'p t -> Sim_time.t -> unit
+
+val clock_skew : 'p t -> Sim_time.t
+val local_now : 'p t -> Sim_time.t
+
+type lease_stats = {
+  mutable grants_sent : int;  (** follower: promises made *)
+  mutable grants_received : int;  (** leader: grants accepted from voters *)
+  mutable reads_held : int;  (** leader: fast-path checks that said yes *)
+  mutable reads_expired : int;  (** leader: checks that fell back *)
+  mutable vote_refusals : int;
+      (** votes/campaigns refused under an outstanding promise *)
+}
+
+val lease_stats : 'p t -> lease_stats
 
 (** The replica has been told (by a committed config or the leader's
     [Fence]) that it is outside the member set: it never campaigns or

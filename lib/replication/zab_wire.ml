@@ -8,7 +8,10 @@
     Tag registry (append-only; never reuse a retired value):
     0 Ping, 1 Propose, 2 Ack, 3 Commit, 4 Request_vote, 5 Vote,
     6 Sync_request, 7 Sync, 8 Snapshot_begin, 9 Snapshot_chunk,
-    10 Snapshot_ack, 11 Join_request, 12 Fence.
+    10 Snapshot_ack, 11 Join_request, 12 Fence, 13 Lease_grant,
+    14 Observer_request.
+    Timestamps ([Ping.sent], [Lease_grant.sent]) travel as integer
+    nanoseconds of the sender's virtual clock.
     Entry payloads are themselves tagged: 0 App, 1 Cc_joint, 2 Cc_final.
     Membership frames: 0 Stable, 1 Joint. *)
 
@@ -91,7 +94,8 @@ let entry_of_wire of_payload = function
 let to_wire ~payload (m : 'p Zab.msg) =
   let open Wire in
   match m with
-  | Zab.Ping { epoch; committed } -> List [ Int 0; Int epoch; Int committed ]
+  | Zab.Ping { epoch; committed; sent } ->
+      List [ Int 0; Int epoch; Int committed; Int (Edc_simnet.Sim_time.to_ns sent) ]
   | Zab.Propose { epoch; index; prev_zxid; entries } ->
       List
         [ Int 1; Int epoch; Int index; zxid_to_wire prev_zxid;
@@ -117,12 +121,15 @@ let to_wire ~payload (m : 'p Zab.msg) =
       List [ Int 10; Int epoch; Int base; Int received ]
   | Zab.Join_request { epoch; id } -> List [ Int 11; Int epoch; Int id ]
   | Zab.Fence { epoch } -> List [ Int 12; Int epoch ]
+  | Zab.Lease_grant { epoch; sent } ->
+      List [ Int 13; Int epoch; Int (Edc_simnet.Sim_time.to_ns sent) ]
+  | Zab.Observer_request { epoch; id } -> List [ Int 14; Int epoch; Int id ]
 
 let of_wire ~payload:of_payload w =
   let open Wire in
   match w with
-  | List [ Int 0; Int epoch; Int committed ] ->
-      Ok (Zab.Ping { epoch; committed })
+  | List [ Int 0; Int epoch; Int committed; Int sent ] ->
+      Ok (Zab.Ping { epoch; committed; sent = Edc_simnet.Sim_time.ns sent })
   | List [ Int 1; Int epoch; Int index; prev; List entries ] ->
       let* prev_zxid = zxid_of_wire prev in
       let* entries = map_result (entry_of_wire of_payload) entries in
@@ -150,4 +157,7 @@ let of_wire ~payload:of_payload w =
       Ok (Zab.Snapshot_ack { epoch; base; received })
   | List [ Int 11; Int epoch; Int id ] -> Ok (Zab.Join_request { epoch; id })
   | List [ Int 12; Int epoch ] -> Ok (Zab.Fence { epoch })
+  | List [ Int 13; Int epoch; Int sent ] ->
+      Ok (Zab.Lease_grant { epoch; sent = Edc_simnet.Sim_time.ns sent })
+  | List [ Int 14; Int epoch; Int id ] -> Ok (Zab.Observer_request { epoch; id })
   | _ -> Error "bad zab message"

@@ -16,6 +16,7 @@ type target = {
   silence : int -> unit;
   unsilence : int -> unit;
   reconfig_in_flight : unit -> bool;
+  set_skew : int -> Sim_time.t -> unit;
 }
 
 type fault =
@@ -26,6 +27,8 @@ type fault =
   | Storm_start of { node : int }
   | Storm_end of { node : int }
   | Reconfig_fault of { node : int; kind : string }
+  | Skew_set of { node : int; skew : Sim_time.t }
+  | Skew_clear of { node : int }
 
 type event = { at : Sim_time.t; fault : fault }
 
@@ -38,6 +41,9 @@ type action =
   | Reconfig_kill of { grace : Sim_time.t; downtime : Sim_time.t }
       (* polls until a reconfiguration is in flight, then kills the
          proposing leader within [grace] of detection *)
+  | Clock_skew of { duration : Sim_time.t; victim : victim; skew : Sim_time.t }
+      (* jump the victim's virtual clock by [skew] (either sign) for
+         [duration], then snap it back; only lease arithmetic sees it *)
 
 type item = {
   start : Sim_time.t;
@@ -102,6 +108,7 @@ type t = {
   mutable healed : int;
   mutable storms : int;
   mutable reconfig_kills : int;
+  mutable skews : int;
 }
 
 let retry_delay = Sim_time.ms 300
@@ -120,7 +127,10 @@ let record t fault =
     | Storm_start { node } -> Printf.sprintf "storm start node=%d" node
     | Storm_end { node } -> Printf.sprintf "storm end node=%d" node
     | Reconfig_fault { node; kind } ->
-        Printf.sprintf "reconfig fault node=%d kind=%s" node kind)
+        Printf.sprintf "reconfig fault node=%d kind=%s" node kind
+    | Skew_set { node; skew } ->
+        Printf.sprintf "skew node=%d by=%dns" node (Sim_time.to_ns skew)
+    | Skew_clear { node } -> Printf.sprintf "skew clear node=%d" node)
 
 let pick_victim t = function
   | Node n -> Some n
@@ -166,6 +176,14 @@ let perform t action node =
           t.target.unsilence node;
           record t (Storm_end { node });
           t.busy <- false)
+  | Clock_skew { duration; skew; _ } ->
+      t.skews <- t.skews + 1;
+      t.target.set_skew node skew;
+      record t (Skew_set { node; skew });
+      Sim.schedule t.sim ~after:duration (fun () ->
+          t.target.set_skew node Sim_time.zero;
+          record t (Skew_clear { node });
+          t.busy <- false)
   | Reconfig_kill { grace; downtime } ->
       (* [node] is the leader that was driving the reconfiguration when we
          detected it; strike it within [grace] even if leadership moves in
@@ -191,14 +209,14 @@ let rec fire t item () =
       | Reconfig_kill _ ->
           (* poll: only strike while a membership change is in flight *)
           t.target.reconfig_in_flight ()
-      | Crash_restart _ | Isolate _ | Storm _ -> true
+      | Crash_restart _ | Isolate _ | Storm _ | Clock_skew _ -> true
     in
     let fired =
       (not t.busy) && armed
       &&
       match pick_victim t (match item.action with
           | Crash_restart { victim; _ } | Isolate { victim; _ }
-          | Storm { victim; _ } -> victim
+          | Storm { victim; _ } | Clock_skew { victim; _ } -> victim
           | Reconfig_kill _ -> Leader)
       with
       | None -> false  (* e.g. leader-targeted mid-election: re-arm below *)
@@ -213,7 +231,7 @@ let rec fire t item () =
         let delay =
           match item.action with
           | Reconfig_kill _ -> Sim_time.ms 10
-          | Crash_restart _ | Isolate _ | Storm _ -> retry_delay
+          | Crash_restart _ | Isolate _ | Storm _ | Clock_skew _ -> retry_delay
         in
         Some (Sim_time.add (Sim.now t.sim) delay)
     in
@@ -239,6 +257,7 @@ let start ?rng ~sim ~target ~horizon schedule =
       healed = 0;
       storms = 0;
       reconfig_kills = 0;
+      skews = 0;
     }
   in
   List.iter
@@ -256,6 +275,7 @@ let partitions t = t.partitions
 let partitions_healed t = t.healed
 let storms t = t.storms
 let reconfig_kills t = t.reconfig_kills
+let clock_skews t = t.skews
 let busy t = t.busy
 
 let pp_fault ppf = function
@@ -271,6 +291,9 @@ let pp_fault ppf = function
   | Storm_end { node } -> Fmt.pf ppf "storm-end node=%d" node
   | Reconfig_fault { node; kind } ->
       Fmt.pf ppf "reconfig-fault node=%d kind=%s" node kind
+  | Skew_set { node; skew } ->
+      Fmt.pf ppf "skew node=%d by=%dns" node (Sim_time.to_ns skew)
+  | Skew_clear { node } -> Fmt.pf ppf "skew-clear node=%d" node
 
 let pp_event ppf { at; fault } =
   Fmt.pf ppf "%9.4fs %a" (Sim_time.to_float_s at) pp_fault fault

@@ -31,6 +31,10 @@ type target = {
       (** a membership change is underway somewhere in the cluster (arms
           {!Reconfig_kill}); targets without dynamic membership return
           [false] *)
+  set_skew : int -> Sim_time.t -> unit;
+      (** offset the node's virtual clock (lease arithmetic only; the
+          simulator's timers are unaffected); [Sim_time.zero] clears.
+          Targets without virtual clocks ignore it. *)
 }
 
 (** One entry of the fault trace. *)
@@ -47,6 +51,9 @@ type fault =
       (** a reconfiguration-targeted strike was armed against [node] (the
           leader driving the change); the kill itself follows as a normal
           [Crash]/[Restart] pair *)
+  | Skew_set of { node : int; skew : Sim_time.t }
+      (** the node's virtual clock jumped by [skew] (either sign) *)
+  | Skew_clear of { node : int }
 
 type event = { at : Sim_time.t; fault : fault }
 
@@ -64,6 +71,11 @@ type action =
       (** poll [target.reconfig_in_flight]; when it turns true, crash the
           current leader after a uniform draw from [0, grace) — the
           "leader dies between the joint and final config entries" race *)
+  | Clock_skew of { duration : Sim_time.t; victim : victim; skew : Sim_time.t }
+      (** jump the victim's virtual clock by [skew] for [duration], then
+          snap it back to true time.  Skews within the protocol's ±ε bound
+          exercise the lease safety margin; skews beyond it model the
+          broken-assumption regime the stale-read detector must catch *)
 
 type item = {
   start : Sim_time.t;  (** first firing time *)
@@ -104,6 +116,9 @@ val storms : t -> int
 
 (** Reconfiguration-targeted leader kills armed. *)
 val reconfig_kills : t -> int
+
+(** Clock-skew windows opened. *)
+val clock_skews : t -> int
 
 (** [true] while a disruption is in flight. *)
 val busy : t -> bool

@@ -29,6 +29,9 @@ type t = {
   outstanding : (int, P.result Proc.promise) Hashtbl.t;
   mutable connect_waiter : int Proc.promise option;
   watch_waiters : (string, (string * P.watch_kind) Proc.promise list ref) Hashtbl.t;
+  mutable on_watch_event : string -> P.watch_kind -> unit;
+      (** fires on every delivered watch event, waiters or not — the
+          session cache's invalidation feed *)
   mutable generation : int;
   (* statistics *)
   mutable requests_sent : int;
@@ -58,6 +61,7 @@ let handle_server_msg t msg =
           ignore (Proc.try_fulfill p result : bool)
       | None -> () (* reply raced with a timeout; drop *))
   | P.Watch_event { path; kind } -> (
+      t.on_watch_event path kind;
       match Hashtbl.find_opt t.watch_waiters path with
       | Some waiters ->
           Hashtbl.remove t.watch_waiters path;
@@ -82,6 +86,7 @@ let create ?(config = default_config) ~sim ~net ~addr ~replica () =
       outstanding = Hashtbl.create 8;
       connect_waiter = None;
       watch_waiters = Hashtbl.create 8;
+      on_watch_event = (fun _ _ -> ());
       generation = 0;
       requests_sent = 0;
       replies_received = 0;
@@ -167,6 +172,8 @@ let watch_waiter t path =
   | None -> Hashtbl.replace t.watch_waiters path (ref [ p ]));
   p
 
+let set_on_watch_event t f = t.on_watch_event <- f
+
 (* ------------------------------------------------------------------ *)
 (* Convenience wrappers (Table 2, ZooKeeper column)                    *)
 (* ------------------------------------------------------------------ *)
@@ -204,6 +211,16 @@ let get_children t ?(watch = false) path =
 let exists t ?(watch = false) path =
   match request t (P.Exists { path; watch }) with
   | P.Stat_of s -> Ok s
+  | P.Error e -> Error e
+  | _ -> Error Zerror.Unsupported
+
+(** [sync t] — read-your-writes barrier: the reply travels through the
+    commit path and back via the replica this client is connected to, so
+    once it returns, that replica (and any session cache flushed on it)
+    has applied every update ordered before the barrier. *)
+let sync t =
+  match request t P.Sync with
+  | P.Synced -> Ok ()
   | P.Error e -> Error e
   | _ -> Error Zerror.Unsupported
 

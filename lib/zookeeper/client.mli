@@ -43,6 +43,11 @@ val request : t -> P.op -> P.result
     call it *before* the read that arms the server-side watch. *)
 val watch_waiter : t -> string -> (string * P.watch_kind) Proc.promise
 
+(** [set_on_watch_event t f] — [f path kind] fires on every watch event
+    delivered to this client, independent of {!watch_waiter} parking.
+    Used by {!Session} as the cache-invalidation feed. *)
+val set_on_watch_event : t -> (string -> P.watch_kind -> unit) -> unit
+
 (** Convenience wrappers (Table 2, ZooKeeper column). *)
 
 val create_node :
@@ -54,6 +59,11 @@ val set_data : t -> ?expected_version:int -> string -> string -> (int, Zerror.t)
 val get_data : t -> ?watch:bool -> string -> (string * Znode.stat, Zerror.t) result
 val get_children : t -> ?watch:bool -> string -> (string list, Zerror.t) result
 val exists : t -> ?watch:bool -> string -> (Znode.stat option, Zerror.t) result
+
+(** [sync t] — read-your-writes barrier: replies only after the replica
+    this client is connected to has applied every update ordered before
+    the barrier (travels through the leader's commit path). *)
+val sync : t -> (unit, Zerror.t) result
 
 (** [block t path] — Table 2's [block(o)] for plain ZooKeeper: exists-watch
     plus wait for the creation event (client-side, multiple steps). *)

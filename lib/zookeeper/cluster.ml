@@ -108,6 +108,22 @@ let add_server t =
   Server.start s;
   id
 
+(** [add_observer t] attaches a permanent non-voting observer replica: it
+    announces itself to the leader, bootstraps via snapshot + log sync,
+    consumes the commit stream forever, and serves sequentially-consistent
+    local reads — but never appears in any quorum or election.  Returns
+    the new replica's id. *)
+let add_observer t =
+  let id = Array.length t.servers in
+  let replica_ids = List.init (id + 1) Fun.id in
+  let s =
+    Server.create ?config:t.server_config ?zab_config:t.zab_config
+      ~observer:true ~sim:t.sim ~net:t.transport ~id ~replica_ids ()
+  in
+  t.servers <- Array.append t.servers [| s |];
+  Server.start s;
+  id
+
 (** [remove_server t ~id] asks the current leader to start the
     joint-consensus removal of replica [id]; the replica is fenced once
     the final config commits (it stays on the wire plane, refusing reads,

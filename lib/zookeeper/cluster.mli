@@ -38,6 +38,12 @@ val connected_client :
     for bootstrap + admission; returns its id. *)
 val add_server : t -> int
 
+(** Boot a permanent non-voting observer replica: bootstrapped like a
+    learner, it consumes the commit stream and serves sequentially-
+    consistent local reads but never joins the member set, votes, or
+    counts toward any quorum.  Returns its id. *)
+val add_observer : t -> int
+
 (** Ask the current leader to remove replica [id] through the log.
     [Error] if no leader is known or the leader refuses (reconfig already
     in flight, unknown id, or last member). *)

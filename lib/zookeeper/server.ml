@@ -70,6 +70,12 @@ type config = {
           transactions; [0] disables (ZooKeeper's snapCount) *)
   preprocess_cost : Sim_time.t;  (** CPU cost of validating one update *)
   read_cost : Sim_time.t;  (** CPU cost of serving one local read *)
+  linearizable_reads : bool;
+      (** route every read through the leader: served locally there under
+          a valid lease ({!Zab.can_serve_lease_read}), otherwise ordered
+          through the commit path as a quiet no-op barrier (§6i).  The
+          default [false] keeps ZooKeeper's sequentially-consistent local
+          read fast path. *)
 }
 
 let default_config =
@@ -81,6 +87,7 @@ let default_config =
        the throughput envelope of the paper's 4-core testbed (§6, §7.1) *)
     preprocess_cost = Sim_time.us 35;
     read_cost = Sim_time.us 10;
+    linearizable_reads = false;
   }
 
 type t = {
@@ -113,6 +120,8 @@ type t = {
   mutable hook_on_snapshot_installed : t -> unit;
   (* statistics *)
   mutable reads_served : int;
+  mutable lease_reads : int;  (** leader reads served under a valid lease *)
+  mutable quorum_reads : int;  (** leader reads ordered through the commit path *)
   mutable txns_applied : int;
   mutable proposals : int;
   (* snapshots *)
@@ -132,6 +141,8 @@ let id t = t.id
 let sim t = t.sim
 let spec t = t.spec
 let reads_served t = t.reads_served
+let lease_reads t = t.lease_reads
+let quorum_reads t = t.quorum_reads
 let txns_applied t = t.txns_applied
 let proposals t = t.proposals
 let snapshot_captures t = t.snap_captures
@@ -448,6 +459,25 @@ let propose t (txn : Txn.t) =
 (* Preprocessor stage (leader only)                                    *)
 (* ------------------------------------------------------------------ *)
 
+(** Leader-side read reply (§6i).  Under a valid lease the committed tree
+    is served directly: a voting majority has promised not to elect
+    another leader before our lease expires, so no later write can have
+    committed elsewhere.  Without the lease the read result rides a quiet
+    no-op through the commit path — the reply only reaches the client if
+    the barrier commits, which proves this replica was still the leader
+    at the read's serialization point. *)
+let reply_read t ~origin ~session ~xid result =
+  if not t.config.linearizable_reads then reply_direct t ~session ~xid result
+  else if Zab.can_serve_lease_read (zab t) then begin
+    t.lease_reads <- t.lease_reads + 1;
+    reply_direct t ~session ~xid result
+  end
+  else begin
+    t.quorum_reads <- t.quorum_reads + 1;
+    propose t
+      { origin = Some origin; session; xid; ops = [ Txn.Terror ]; result; quiet = true }
+  end
+
 let preprocess_normal t ~origin ~session ~xid op =
   match op with
   | P.Create { path; data; ephemeral; sequential } -> (
@@ -476,27 +506,35 @@ let preprocess_normal t ~origin ~session ~xid op =
           propose t
             { origin = Some origin; session; xid; ops = [ Txn.Terror ]; result = P.Error e; quiet = false })
   | P.Get_data { path; _ } ->
-      (* An extension-matched read whose extension vanished: serve from
-         committed state here at the leader. *)
+      (* Leader-served read: either an extension-matched read whose
+         extension vanished, or any read under [linearizable_reads]. *)
       let result =
         match Data_tree.get_data t.tree path with
         | Ok (d, s) -> P.Data (d, s)
         | Error e -> P.Error e
       in
-      reply_direct t ~session ~xid result
+      reply_read t ~origin ~session ~xid result
   | P.Get_children { path; _ } ->
       let result =
         match Data_tree.get_children t.tree path with
         | Ok c -> P.Children c
         | Error e -> P.Error e
       in
-      reply_direct t ~session ~xid result
+      reply_read t ~origin ~session ~xid result
   | P.Exists { path; _ } ->
-      reply_direct t ~session ~xid (P.Stat_of (Data_tree.exists t.tree path))
+      reply_read t ~origin ~session ~xid (P.Stat_of (Data_tree.exists t.tree path))
   | P.Block _ ->
       (* Blocking calls only exist through operation extensions. *)
       reply_direct t ~session ~xid (P.Error Zerror.Unsupported)
-  | P.Sync -> reply_direct t ~session ~xid P.Synced
+  | P.Sync ->
+      (* Commit-path barrier: [Synced] is delivered from the origin
+         replica only after that replica has applied every transaction
+         ordered before the barrier — read-your-writes for the issuing
+         client even when its reads are served by an observer or a
+         session cache. *)
+      propose t
+        { origin = Some origin; session; xid; ops = [ Txn.Terror ];
+          result = P.Synced; quiet = true }
 
 let preprocess t ~origin ~session ~xid op =
   if not (session_exists t session) then
@@ -622,24 +660,55 @@ let is_read_op = function
   | P.Get_data _ | P.Get_children _ | P.Exists _ | P.Sync -> true
   | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ -> false
 
+(* [Sync] counts as a read for refusal purposes but is never served from
+   local state: it always travels to the leader and back through the
+   commit path so it can act as a read-your-writes barrier. *)
+let is_local_read_op = function
+  | P.Get_data _ | P.Get_children _ | P.Exists _ -> true
+  | P.Sync | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ -> false
+
+(* Reads that travel to the leader still arm their watch at the origin
+   replica: watch events are delivered by the replica owning the session.
+   Registering before the read completes is safe — at worst the watch
+   fires for a change the read already observed, a spurious
+   invalidation. *)
+let register_read_watch t ~session op =
+  match op with
+  | P.Get_data { path; watch = true } | P.Exists { path; watch = true } ->
+      Watch_manager.add t.watch Watch_manager.Data path session
+  | P.Get_children { path; watch = true } ->
+      Watch_manager.add t.watch Watch_manager.Children path session
+  | _ -> ()
+
 let handle_request t ~src ~session ~xid op =
   if not (session_exists t session) then
     let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Session_expired }) in
     Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
   else if
     is_read_op op
-    && (Zab.is_fenced (zab t) || not (List.mem t.id (Zab.members (zab t))))
+    && (Zab.is_fenced (zab t)
+       || not (Zab.is_observer (zab t) || List.mem t.id (Zab.members (zab t))))
   then
     (* Fenced (removed from the member set) or a still-joining learner:
        local committed state may be arbitrarily stale, so refuse the read
        fast path.  [Not_leader] makes resilient sessions fail over to a
-       live member. *)
+       live member.  Observers are permanent consumers of the commit
+       stream and serve sequentially-consistent reads even though they
+       are outside the voting member set. *)
     let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Not_leader }) in
     Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
-  else if is_read_op op && not (t.hook_read_needs_leader t ~session op) then
+  else if
+    is_local_read_op op
+    && (not t.config.linearizable_reads)
+    && not (t.hook_read_needs_leader t ~session op)
+  then
     Cpu.exec t.cpu ~cost:t.config.read_cost (fun () ->
         serve_read t ~session ~xid op)
-  else forward_to_leader t (Forward { origin = t.id; session; xid; op })
+  else begin
+    if t.config.linearizable_reads && is_local_read_op op then
+      register_read_watch t ~session op;
+    forward_to_leader t (Forward { origin = t.id; session; xid; op })
+  end
 
 let handle_client_msg t ~src = function
   | P.Connect -> forward_to_leader t (Forward_connect { origin = t.id; client_addr = src })
@@ -719,7 +788,7 @@ let check_ready t =
   end
 
 let create ?(config = default_config) ?zab_config ?initial_leader
-    ?(learner = false) ~sim ~net ~id ~replica_ids () =
+    ?(learner = false) ?(observer = false) ~sim ~net ~id ~replica_ids () =
   let t =
     {
       sim;
@@ -747,6 +816,8 @@ let create ?(config = default_config) ?zab_config ?initial_leader
       hook_suppress_watch = (fun _ ~session:_ ~path:_ _ -> false);
       hook_on_snapshot_installed = (fun _ -> ());
       reads_served = 0;
+      lease_reads = 0;
+      quorum_reads = 0;
       txns_applied = 0;
       proposals = 0;
       snap_image = None;
@@ -761,7 +832,7 @@ let create ?(config = default_config) ?zab_config ?initial_leader
   let t = { t with spec = Spec_view.create t.tree } in
   let send ~dst msg = send_wire t ~dst (Zab_msg msg) in
   let z =
-    Zab.create ?config:zab_config ?initial_leader ~learner ~sim ~id
+    Zab.create ?config:zab_config ?initial_leader ~learner ~observer ~sim ~id
       ~peers:replica_ids ~send
       ~on_deliver:(fun _zxid txn ->
         final_process t txn;

@@ -44,6 +44,12 @@ type config = {
           transactions; [0] disables (ZooKeeper's snapCount) *)
   preprocess_cost : Sim_time.t;  (** serial CPU per validated update *)
   read_cost : Sim_time.t;  (** serial CPU per locally served read *)
+  linearizable_reads : bool;
+      (** route every read through the leader: served locally there under
+          a valid lease ({!Zab.can_serve_lease_read}), otherwise ordered
+          through the commit path as a quiet no-op barrier (§6i).  The
+          default [false] keeps ZooKeeper's sequentially-consistent local
+          read fast path. *)
 }
 
 val default_config : config
@@ -55,12 +61,16 @@ type t
     the server starts as a non-voting Zab learner outside the member set:
     it announces itself to the leader, is bootstrapped by snapshot + log
     sync, and gains a vote when a committed config admits it (used by
-    {!Cluster.add_server} for elastic growth). *)
+    {!Cluster.add_server} for elastic growth).  With [observer:true] the
+    server is a permanent non-voting consumer of the commit stream: it
+    bootstraps like a learner but never joins the member set, never votes,
+    and serves sequentially-consistent local reads. *)
 val create :
   ?config:config ->
   ?zab_config:Zab.config ->
   ?initial_leader:int ->
   ?learner:bool ->
+  ?observer:bool ->
   sim:Sim.t ->
   net:wire Transport.t ->
   id:int ->
@@ -87,6 +97,13 @@ val session_exists : t -> int -> bool
 (** Statistics. *)
 
 val reads_served : t -> int
+
+(** Leader reads served locally under a valid lease / ordered through the
+    commit path because the lease had lapsed (both only grow when
+    [linearizable_reads] is on). *)
+
+val lease_reads : t -> int
+val quorum_reads : t -> int
 val txns_applied : t -> int
 val proposals : t -> int
 

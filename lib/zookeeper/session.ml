@@ -11,6 +11,13 @@ type stats = {
   mutable gave_up : int;
 }
 
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable flushes : int;
+}
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -22,22 +29,42 @@ type t = {
   mutable reconnect_failures : int;
   mutable degraded : bool;
   stats : stats;
+  (* invalidation cache: get_data results keyed by path, dropped whenever
+     the watch machinery delivers an event for that path *)
+  cache_enabled : bool;
+  cache : (string, string * Znode.stat) Hashtbl.t;
+  cache_stats : cache_stats;
 }
 
-let wrap ?(policy = Retry.default_policy) ~sim ~replicas client =
-  {
-    sim;
-    rng = Rng.split (Sim.rng sim);
-    client;
-    replicas = Array.of_list replicas;
-    policy;
-    current = 0;
-    pending_failover = false;
-    reconnect_failures = 0;
-    degraded = false;
-    stats =
-      { calls = 0; retries = 0; failovers = 0; maybe_applied = 0; gave_up = 0 };
-  }
+let wrap ?(policy = Retry.default_policy) ?(cache = false) ~sim ~replicas
+    client =
+  let t =
+    {
+      sim;
+      rng = Rng.split (Sim.rng sim);
+      client;
+      replicas = Array.of_list replicas;
+      policy;
+      current = 0;
+      pending_failover = false;
+      reconnect_failures = 0;
+      degraded = false;
+      stats =
+        { calls = 0; retries = 0; failovers = 0; maybe_applied = 0; gave_up = 0 };
+      cache_enabled = cache;
+      cache = Hashtbl.create 16;
+      cache_stats = { hits = 0; misses = 0; invalidations = 0; flushes = 0 };
+    }
+  in
+  if cache then
+    (* Every cached read arms a one-shot server watch, so the first change
+       to the node after the read produces exactly one event here. *)
+    Client.set_on_watch_event client (fun path _kind ->
+        if Hashtbl.mem t.cache path then begin
+          Hashtbl.remove t.cache path;
+          t.cache_stats.invalidations <- t.cache_stats.invalidations + 1
+        end);
+  t
 
 let client t = t.client
 let stats t = t.stats
@@ -56,6 +83,12 @@ let ensure_connected t =
   if t.pending_failover || not (Client.is_connected t.client) then begin
     t.pending_failover <- false;
     t.stats.failovers <- t.stats.failovers + 1;
+    (* Watches live on the replica that served the read: switching replicas
+       orphans them, so cached entries would never be invalidated. *)
+    if t.cache_enabled && Hashtbl.length t.cache > 0 then begin
+      Hashtbl.reset t.cache;
+      t.cache_stats.flushes <- t.cache_stats.flushes + 1
+    end;
     let r = next_replica t in
     if Client.reconnect t.client ~replica:r then t.reconnect_failures <- 0
     else begin
@@ -117,6 +150,47 @@ let call t ~op f =
       | Read -> ());
       Error error
   | Retry.Rejected { error; _ } -> Error error
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation-cached reads (§6i layer 3)                             *)
+(* ------------------------------------------------------------------ *)
+
+let cache_stats t = t.cache_stats
+
+(** [cached_get_data t path] — serve from the local cache when the entry
+    is still covered by its watch; on a miss, read with [watch:true] so
+    the next change to the node invalidates the entry.  Sequential
+    consistency: the cache only ever holds values this session read, and
+    they are dropped the moment the session learns of a newer write. *)
+let cached_get_data t path =
+  match if t.cache_enabled then Hashtbl.find_opt t.cache path else None with
+  | Some (d, s) ->
+      t.cache_stats.hits <- t.cache_stats.hits + 1;
+      Ok (d, s)
+  | None ->
+      let res =
+        call t ~op:Read (fun c -> Client.get_data c ~watch:t.cache_enabled path)
+      in
+      (match res with
+      | Ok (d, s) when t.cache_enabled ->
+          t.cache_stats.misses <- t.cache_stats.misses + 1;
+          Hashtbl.replace t.cache path (d, s)
+      | _ -> ());
+      res
+
+(** [sync t] — read-your-writes barrier.  The [Sync] reply arrives only
+    after this session's replica has applied everything ordered before the
+    barrier; flushing the cache afterwards forces the next reads to that
+    caught-up state, closing the window where an invalidation event is
+    still in flight. *)
+let sync t =
+  let res = call t ~op:Read (fun c -> Client.sync c) in
+  (match res with
+  | Ok () when t.cache_enabled ->
+      Hashtbl.reset t.cache;
+      t.cache_stats.flushes <- t.cache_stats.flushes + 1
+  | _ -> ());
+  res
 
 (* Extension results carry stringified errors; map the retriable ones back
    onto the typed classification so one policy governs both paths. *)

@@ -32,13 +32,22 @@ type stats = {
   mutable gave_up : int;
 }
 
+type cache_stats = {
+  mutable hits : int;  (** reads served without touching the network *)
+  mutable misses : int;  (** reads fetched and cached *)
+  mutable invalidations : int;  (** entries dropped by watch events *)
+  mutable flushes : int;  (** whole-cache drops (sync barriers, failover) *)
+}
+
 type t
 
 (** [wrap ~sim ~replicas client] — [replicas] are the server ids eligible
-    for failover.  The client should already be connected. *)
+    for failover.  The client should already be connected.  [cache:true]
+    enables the invalidation-based read cache used by
+    {!cached_get_data}. *)
 val wrap :
-  ?policy:Edc_core.Retry.policy -> sim:Sim.t -> replicas:int list ->
-  Client.t -> t
+  ?policy:Edc_core.Retry.policy -> ?cache:bool -> sim:Sim.t ->
+  replicas:int list -> Client.t -> t
 
 val client : t -> Client.t
 val stats : t -> stats
@@ -58,3 +67,21 @@ val call :
     path); ambiguous outcomes surface as ["maybe applied"]. *)
 val call_str :
   t -> op:op_kind -> (Client.t -> ('a, string) result) -> ('a, string) result
+
+(** {2 Invalidation-cached reads (§6i)}
+
+    The cache holds [get_data] results keyed by path.  Each cached read
+    arms a one-shot server watch, and the resulting event drops the entry
+    — sequential consistency for cached reads.  Failover flushes the whole
+    cache (the old replica's watches are orphaned). *)
+
+(** Serve [get_data] from the cache when a watch still covers the entry;
+    otherwise read with [watch:true] and cache the result. *)
+val cached_get_data :
+  t -> string -> (string * Znode.stat, Zerror.t) result
+
+(** Read-your-writes barrier: waits for this session's replica to catch up
+    past the barrier through the commit path, then flushes the cache. *)
+val sync : t -> (unit, Zerror.t) result
+
+val cache_stats : t -> cache_stats

@@ -456,6 +456,94 @@ let test_zab_mutation_caught () =
         "re-enabled divergent-tail bug, but no seed produced a \
          non-linearizable verdict"
 
+(* --- stale-read freshness detector (§6i) --------------------------- *)
+
+module F = Edc_checker.Freshness
+
+let test_freshness_clean_history_passes () =
+  let h =
+    [
+      entry ~client:1 0 H.Incr ~inv:0 ~ret:10 (H.Done (H.R_int 1));
+      entry ~client:2 1 H.Ctr_read ~inv:20 ~ret:30
+        (H.Done (H.R_obj { data = "1"; version = 1 }));
+      entry ~client:1 2 H.Incr ~inv:40 ~ret:50 (H.Done (H.R_int 2));
+      entry ~client:2 3 H.Ctr_read ~inv:60 ~ret:70
+        (H.Done (H.R_obj { data = "2"; version = 2 }));
+    ]
+  in
+  Alcotest.(check int) "session clean" 0 (List.length (F.check_session h));
+  Alcotest.(check int) "realtime clean" 0 (List.length (F.check_realtime h))
+
+let test_freshness_realtime_convicts_stale_read () =
+  (* client 1's increment to 2 completes at t=50; client 2's read starts
+     at t=60 yet returns 1 — stale in real time even though client 2's own
+     session is monotone *)
+  let h =
+    [
+      entry ~client:1 0 H.Incr ~inv:0 ~ret:10 (H.Done (H.R_int 1));
+      entry ~client:1 1 H.Incr ~inv:40 ~ret:50 (H.Done (H.R_int 2));
+      entry ~client:2 2 H.Ctr_read ~inv:60 ~ret:70
+        (H.Done (H.R_obj { data = "1"; version = 1 }));
+    ]
+  in
+  (match F.check_realtime h with
+  | [ v ] ->
+      Alcotest.(check int) "convicted read" 2 v.F.v_op;
+      Alcotest.(check int) "returned" 1 v.F.v_observed;
+      Alcotest.(check int) "already observed" 2 v.F.v_expected;
+      Alcotest.(check int) "witnessing op" 1 v.F.v_witness
+  | vs -> Alcotest.failf "expected exactly one violation, got %d"
+            (List.length vs));
+  Alcotest.(check int) "per-session sweep cannot see it" 0
+    (List.length (F.check_session h))
+
+let test_freshness_concurrent_ops_impose_no_bound () =
+  (* the read overlaps the increment (and the tie at t=50 counts as
+     concurrent): returning the old value is fresh enough *)
+  let h =
+    [
+      entry ~client:1 0 H.Incr ~inv:0 ~ret:50 (H.Done (H.R_int 2));
+      entry ~client:2 1 H.Ctr_read ~inv:50 ~ret:60
+        (H.Done (H.R_obj { data = "1"; version = 1 }));
+      entry ~client:3 2 H.Ctr_read ~inv:30 ~ret:80
+        (H.Done (H.R_obj { data = "1"; version = 1 }));
+    ]
+  in
+  Alcotest.(check int) "no violation" 0 (List.length (F.check_realtime h))
+
+let test_freshness_session_convicts_non_monotone_reads () =
+  (* observer failover symptom: one client sees 2 then 1 *)
+  let h =
+    [
+      entry ~client:7 0 H.Ctr_read ~inv:0 ~ret:10
+        (H.Done (H.R_obj { data = "2"; version = 2 }));
+      entry ~client:7 1 H.Ctr_read ~inv:20 ~ret:30
+        (H.Done (H.R_obj { data = "1"; version = 1 }));
+      (* a DIFFERENT client reading 1 afterwards is fine per-session *)
+      entry ~client:8 2 H.Ctr_read ~inv:40 ~ret:50
+        (H.Done (H.R_obj { data = "1"; version = 1 }));
+    ]
+  in
+  match F.check_session h with
+  | [ v ] ->
+      Alcotest.(check int) "client" 7 v.F.v_client;
+      Alcotest.(check int) "convicted read" 1 v.F.v_op;
+      Alcotest.(check int) "witness" 0 v.F.v_witness
+  | vs ->
+      Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+let test_freshness_ignores_pending_and_failed () =
+  let h =
+    [
+      entry ~client:1 0 H.Incr ~inv:0 ~ret:10 (H.Done (H.R_int 5));
+      (* timed out: no return, never observed *)
+      entry ~client:2 1 H.Ctr_read ~inv:20 (H.Open None);
+      entry ~client:3 2 H.Ctr_read ~inv:30 ~ret:40 (H.Failed "refused");
+    ]
+  in
+  Alcotest.(check int) "nothing convictable" 0
+    (List.length (F.check_realtime h))
+
 let () =
   Alcotest.run "edc_checker"
     [
@@ -501,6 +589,19 @@ let () =
           Alcotest.test_case "recorder" `Quick test_recorder;
           Alcotest.test_case "error classification" `Quick
             test_error_classification;
+        ] );
+      ( "freshness",
+        [
+          Alcotest.test_case "clean history passes" `Quick
+            test_freshness_clean_history_passes;
+          Alcotest.test_case "realtime convicts stale read" `Quick
+            test_freshness_realtime_convicts_stale_read;
+          Alcotest.test_case "concurrency imposes no bound" `Quick
+            test_freshness_concurrent_ops_impose_no_bound;
+          Alcotest.test_case "session convicts non-monotone reads" `Quick
+            test_freshness_session_convicts_non_monotone_reads;
+          Alcotest.test_case "pending and failed ignored" `Quick
+            test_freshness_ignores_pending_and_failed;
         ] );
       ( "integration",
         [

@@ -443,6 +443,257 @@ let test_zab_single_step_reconfig_loses_committed_entry () =
     (List.mem "x1" log0 && not (List.mem "x1" logl))
 
 (* ------------------------------------------------------------------ *)
+(* Observers and leader leases (§6i)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Voters [0, voters), learner slots next, observer slots last.  Only the
+   voters are started; tests start learners/observers when the scenario
+   calls for them. *)
+let make_mixed_cluster ?(seed = 21) ?zab_config ~voters ~learners ~observers
+    () =
+  let slots = voters + learners + observers in
+  let sim = Sim.create ~seed () in
+  let net = Net.create sim in
+  let delivered = Array.make slots [] in
+  let send_from i ~dst msg =
+    Net.send net ~src:i ~dst
+      ~size:(Zab.msg_size ~payload_size:String.length msg)
+      msg
+  in
+  let voter_peers = List.init voters Fun.id in
+  let replicas =
+    Array.init slots (fun i ->
+        let voter = i < voters in
+        let observer = i >= voters + learners in
+        let peers = if voter then voter_peers else voter_peers @ [ i ] in
+        Zab.create ?config:zab_config ~learner:(not (voter || observer))
+          ~observer
+          ?initial_leader:(if voter then Some 0 else None)
+          ~sim ~id:i ~peers ~send:(send_from i)
+          ~on_deliver:(fun zxid p ->
+            delivered.(i) <- (zxid, p) :: delivered.(i))
+          ())
+  in
+  Array.iteri
+    (fun i r ->
+      Net.register net i (fun ~src ~size:_ msg -> Zab.handle r ~src msg);
+      if i < voters then Zab.start r)
+    replicas;
+  { zsim = sim; znet = net; zreplicas = replicas; zdelivered = delivered }
+
+(* The observer exclusion invariant, end to end: across a 3 -> 5 -> 3
+   reconfiguration, a leader crash election, and a quorum-starved commit
+   attempt, the observer consumes every committed entry but never votes,
+   never campaigns, never makes a no-vote promise, and never substitutes
+   for a voter in any quorum. *)
+let test_zab_observer_excluded_across_grow_shrink () =
+  let c = make_mixed_cluster ~voters:3 ~learners:2 ~observers:1 () in
+  let obs = c.zreplicas.(5) in
+  let obs_roles = ref [] in
+  Zab.set_on_role_change obs (fun r -> obs_roles := r :: !obs_roles);
+  run_for c (Sim_time.ms 10);
+  Zab.start obs;
+  for k = 1 to 5 do
+    ignore (Zab.propose c.zreplicas.(0) (Printf.sprintf "a%d" k) : Zab.zxid option)
+  done;
+  let expected = List.init 5 (fun k -> Printf.sprintf "a%d" (k + 1)) in
+  Alcotest.(check bool) "observer consumed the commit stream" true
+    (run_until c ~timeout:(Sim_time.sec 5) (fun () ->
+         zab_log c 5 = expected));
+  (* grow to five voters through the learner path; the observer stays out *)
+  Zab.start c.zreplicas.(3);
+  Zab.start c.zreplicas.(4);
+  let grown () =
+    List.for_all
+      (fun i -> Zab.membership c.zreplicas.(i) = Zab.Stable [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "grew to 5 voters" true
+    (run_until c ~timeout:(Sim_time.sec 10) grown);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d's member set excludes the observer" i)
+        false
+        (List.mem 5 (Zab.members c.zreplicas.(i))))
+    [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "leader tracks the observer separately" [ 5 ]
+    (Zab.observers c.zreplicas.(0));
+  (* shrink back to three; the observer still rides the commit stream *)
+  Alcotest.(check (result unit string)) "shrink accepted" (Ok ())
+    (Zab.reconfigure c.zreplicas.(0) ~c_new:[ 0; 1; 2 ]);
+  let shrunk () =
+    List.for_all
+      (fun i -> Zab.membership c.zreplicas.(i) = Zab.Stable [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "shrank to 3 voters" true
+    (run_until c ~timeout:(Sim_time.sec 10) shrunk);
+  (* leader crash: the two surviving voters elect; the observer must not
+     participate, and must keep applying the new leader's commits *)
+  crash_zab c 0;
+  Alcotest.(check bool) "survivors elected without the observer" true
+    (run_until c ~timeout:(Sim_time.sec 10) (fun () ->
+         Zab.is_leader c.zreplicas.(1) || Zab.is_leader c.zreplicas.(2)));
+  let leader = if Zab.is_leader c.zreplicas.(1) then 1 else 2 in
+  ignore (Zab.propose c.zreplicas.(leader) "post" : Zab.zxid option);
+  Alcotest.(check bool) "observer applied the new leader's commit" true
+    (run_until c ~timeout:(Sim_time.sec 5) (fun () ->
+         zab_log c 5 = expected @ [ "post" ]));
+  (* quorum starvation: with only the leader and the observer reachable,
+     nothing may commit — the observer is not a quorum substitute *)
+  let other = if leader = 1 then 2 else 1 in
+  crash_zab c other;
+  ignore (Zab.propose c.zreplicas.(leader) "orphan" : Zab.zxid option);
+  run_for c (Sim_time.sec 2);
+  Alcotest.(check bool) "no commit with only an observer reachable" false
+    (List.mem "orphan" (zab_log c leader));
+  Alcotest.(check bool) "observer never applied the unquorate entry" false
+    (List.mem "orphan" (zab_log c 5));
+  (* the observer's whole life: follower role only, no votes, no promises *)
+  Alcotest.(check bool) "observer never campaigned or led" true
+    (List.for_all (( = ) Zab.Follower) !obs_roles);
+  Alcotest.(check bool) "observer flagged as such" true (Zab.is_observer obs);
+  Alcotest.(check int) "observer made no no-vote promise" 0
+    (Zab.lease_stats obs).Zab.grants_sent
+
+(* ISSUE regression: an observer bootstrapping through the chunked
+   snapshot transfer survives a mid-transfer partition by RESUMING from
+   its last contiguous chunk (> 0), not restarting from scratch. *)
+let test_zab_observer_bootstrap_resumes_mid_partition () =
+  let zab_config =
+    { Zab.default_config with snapshot_chunk_size = 512; snapshot_window = 2 }
+  in
+  let c =
+    make_mixed_cluster ~zab_config ~voters:3 ~learners:0 ~observers:1 ()
+  in
+  run_for c (Sim_time.ms 10);
+  for k = 1 to 40 do
+    ignore
+      (Zab.propose c.zreplicas.(0)
+         (Printf.sprintf "s%02d%s" k (String.make 60 'x'))
+        : Zab.zxid option)
+  done;
+  run_for c (Sim_time.sec 1);
+  (* compact the voters so the observer can only bootstrap via snapshot *)
+  List.iter
+    (fun i ->
+      Zab.compact c.zreplicas.(i) ~take:(fun () ->
+          let hist = c.zdelivered.(i) in
+          fun () -> hist_encode hist))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "leader log compacted" true
+    (Zab.compaction_base c.zreplicas.(0) > 0);
+  let obs = c.zreplicas.(3) in
+  Zab.set_install_snapshot obs (fun blob ->
+      Result.map (fun h -> c.zdelivered.(3) <- h) (hist_decode blob));
+  Zab.start obs;
+  let lead_x = Zab.xfer_stats c.zreplicas.(0) in
+  let obs_x = Zab.xfer_stats obs in
+  let mid_flight () = lead_x.Zab.chunks_sent > 0 && obs_x.Zab.installs = 0 in
+  Alcotest.(check bool) "caught the transfer mid-flight" true
+    (run_until c ~timeout:(Sim_time.sec 5) mid_flight);
+  Net.cut_link c.znet 0 3;
+  run_for c (Sim_time.sec 1);
+  Net.heal_link c.znet 0 3;
+  let caught_up () = List.length c.zdelivered.(3) >= 40 in
+  Alcotest.(check bool) "bootstrap completed after the heal" true
+    (run_until c ~timeout:(Sim_time.sec 30) caught_up);
+  let resumes = max lead_x.Zab.resumes obs_x.Zab.resumes in
+  let resume_from =
+    max lead_x.Zab.last_resume_from obs_x.Zab.last_resume_from
+  in
+  Alcotest.(check bool) "transfer resumed at least once" true (resumes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "resumed mid-blob (from chunk %d), not from 0" resume_from)
+    true (resume_from > 0);
+  Alcotest.(check bool) "observer state equals the leader's" true
+    (c.zdelivered.(3) = c.zdelivered.(0));
+  (* bootstrapped, the observer is still not a member *)
+  Alcotest.(check bool) "observer still outside the member set" false
+    (List.mem 3 (Zab.members c.zreplicas.(0)));
+  Alcotest.(check (list int)) "observer adopted as observer" [ 3 ]
+    (Zab.observers c.zreplicas.(0))
+
+(* ISSUE regression, paired with its mutation: partition the leader
+   mid-lease; the majority side elects a new leader and commits past it.
+   With the safe default there is NO instant at which the old leader's
+   lease is valid while the new leader exists (the no-vote promises
+   outlive the 2ε-trimmed lease), so its post-expiry lease read is
+   refused.  With [unsafe_ignore_lease_expiry] the deposed leader keeps
+   claiming the lease — exactly the stale window the checker's freshness
+   detector convicts in the bench self-test. *)
+let lease_partition_scenario ~unsafe =
+  let zab_config =
+    { Zab.default_config with unsafe_ignore_lease_expiry = unsafe }
+  in
+  let c = make_zab_cluster ~seed:5 ~zab_config () in
+  run_for c (Sim_time.ms 10);
+  ignore (Zab.propose c.zreplicas.(0) "w0" : Zab.zxid option);
+  run_for c (Sim_time.ms 300);
+  Alcotest.(check bool) "leader lease live before the partition" true
+    (Zab.lease_valid c.zreplicas.(0));
+  Net.cut_link c.znet 0 1;
+  Net.cut_link c.znet 0 2;
+  (* a backward clock jump on follower 2 stretches its no-vote promise in
+     real time — the conservative direction (it can only delay the
+     election, never break the lease) — and forces the refusal paths to
+     fire deterministically before the promise lapses *)
+  Zab.set_clock_skew c.zreplicas.(2) (Sim_time.ms (-150));
+  (* sample at fine steps: does the old leader ever hold a valid lease
+     while a new leader exists? *)
+  let overlap = ref false in
+  let new_leader () =
+    Zab.is_leader c.zreplicas.(1) || Zab.is_leader c.zreplicas.(2)
+  in
+  let elected =
+    run_until c ~timeout:(Sim_time.sec 5) (fun () ->
+        let nl = new_leader () in
+        if nl && Zab.lease_valid c.zreplicas.(0) then overlap := true;
+        nl)
+  in
+  Alcotest.(check bool) "majority side elected a new leader" true elected;
+  let leader = if Zab.is_leader c.zreplicas.(1) then 1 else 2 in
+  ignore (Zab.propose c.zreplicas.(leader) "w1" : Zab.zxid option);
+  run_for c (Sim_time.ms 500);
+  if Zab.lease_valid c.zreplicas.(0) then overlap := true;
+  Alcotest.(check bool) "new leader committed past the old one" true
+    (List.mem "w1" (zab_log c leader));
+  Alcotest.(check bool) "old leader never saw the new write" false
+    (List.mem "w1" (zab_log c 0));
+  let refusals =
+    (Zab.lease_stats c.zreplicas.(1)).Zab.vote_refusals
+    + (Zab.lease_stats c.zreplicas.(2)).Zab.vote_refusals
+  in
+  let old_leader_claims = Zab.can_serve_lease_read c.zreplicas.(0) in
+  (!overlap, old_leader_claims, refusals,
+   (Zab.lease_stats c.zreplicas.(0)).Zab.reads_expired)
+
+let test_zab_deposed_leader_lease_read_refused () =
+  let overlap, old_leader_claims, refusals, expired =
+    lease_partition_scenario ~unsafe:false
+  in
+  Alcotest.(check bool) "old lease never overlaps the new leader" false
+    overlap;
+  Alcotest.(check bool) "post-expiry lease read refused, not served" false
+    old_leader_claims;
+  Alcotest.(check bool)
+    "the promises did the blocking (votes/campaigns refused)" true
+    (refusals > 0);
+  Alcotest.(check bool) "the refusal was accounted as an expired check" true
+    (expired > 0)
+
+let test_zab_ignored_lease_expiry_serves_stale () =
+  let overlap, old_leader_claims, _, _ =
+    lease_partition_scenario ~unsafe:true
+  in
+  (* the mutation: the deposed leader's lease outlives the new leader's
+     election and it keeps claiming the linearizable fast path *)
+  Alcotest.(check bool) "stale lease overlaps the new leader" true overlap;
+  Alcotest.(check bool) "deposed leader still serves lease reads" true
+    old_leader_claims
+
+(* ------------------------------------------------------------------ *)
 (* PBFT harness                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -838,6 +1089,17 @@ let () =
           Alcotest.test_case "deterministic reruns" `Quick
             test_zab_deterministic_runs;
           qc prop_zab_prefix_agreement;
+        ] );
+      ( "read path",
+        [
+          Alcotest.test_case "observer excluded across grow/shrink" `Quick
+            test_zab_observer_excluded_across_grow_shrink;
+          Alcotest.test_case "observer bootstrap resumes mid-partition" `Quick
+            test_zab_observer_bootstrap_resumes_mid_partition;
+          Alcotest.test_case "deposed leader's lease read refused" `Quick
+            test_zab_deposed_leader_lease_read_refused;
+          Alcotest.test_case "ignored lease expiry serves stale" `Quick
+            test_zab_ignored_lease_expiry_serves_stale;
         ] );
       ( "pbft",
         [

@@ -153,7 +153,8 @@ let zxid : Zab.zxid = { epoch = 3; counter = 41 }
 
 let zab_samples : string Zab.msg list =
   [
-    Ping { epoch = 1; committed = 7 };
+    Ping { epoch = 1; committed = 7; sent = Sim_time.ms 350 };
+    Ping { epoch = 2; committed = 0; sent = Sim_time.zero };
     Propose
       {
         epoch = 2;
@@ -224,6 +225,13 @@ let zab_samples : string Zab.msg list =
     Join_request { epoch = 0; id = 4 };
     Join_request { epoch = 6; id = 3 };
     Fence { epoch = 6 };
+    (* lease grants + observer handshake (tags 13/14) *)
+    Lease_grant { epoch = 6; sent = Sim_time.ms 1234 };
+    Lease_grant { epoch = 1; sent = Sim_time.zero };
+    (* a skewed clock can legitimately read negative early in a run *)
+    Lease_grant { epoch = 2; sent = Sim_time.ns (-5_000_000) };
+    Observer_request { epoch = 0; id = 5 };
+    Observer_request { epoch = 9; id = 3 };
   ]
 
 let test_zab_msg_roundtrip () =
@@ -234,6 +242,73 @@ let test_zab_msg_roundtrip () =
       | Ok m' -> Alcotest.(check bool) "zab msg" true (m = m')
       | Error e -> Alcotest.failf "zab msg decode: %s" e)
     zab_samples
+
+(* fuzz the read-path frames (tags 0/13/14): round-trip for arbitrary
+   field values, truncation at every byte offset is a clean [Error], and
+   garbage/mutated frames never raise out of the zab decoder *)
+let lease_frame_arb =
+  let open QCheck.Gen in
+  let gen =
+    let* tag = int_range 0 2 in
+    let* epoch = int_range 0 1_000_000 in
+    let* a = int in
+    match tag with
+    | 0 ->
+        let* committed = int_range 0 1_000_000 in
+        return (Zab.Ping { epoch; committed; sent = Sim_time.ns a })
+    | 1 -> return (Zab.Lease_grant { epoch; sent = Sim_time.ns a })
+    | _ -> return (Zab.Observer_request { epoch; id = a land 0xff })
+  in
+  QCheck.make gen
+
+let encode_zab (m : string Zab.msg) =
+  Wire.encode (Zab_wire.to_wire ~payload:(fun s -> Wire.Str s) m)
+
+let decode_zab s =
+  Result.bind (Wire.decode s) (Zab_wire.of_wire ~payload:Wire.to_str)
+
+let prop_lease_frames_roundtrip =
+  QCheck.Test.make ~name:"lease/observer frames roundtrip" ~count:500
+    lease_frame_arb (fun m -> decode_zab (encode_zab m) = Ok m)
+
+let prop_lease_frames_truncation =
+  QCheck.Test.make ~name:"lease/observer frame truncations all error"
+    ~count:200 lease_frame_arb (fun m ->
+      let s = encode_zab m in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        match decode_zab (String.sub s 0 k) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      !ok)
+
+let prop_zab_decoder_garbage =
+  QCheck.Test.make ~name:"zab decoder never raises on garbage frames"
+    ~count:500 wire_arb (fun w ->
+      match Zab_wire.of_wire ~payload:Wire.to_str w with
+      | Ok _ | Error _ -> true)
+
+let test_lease_frames_malformed () =
+  (* wrong arity / wrong field kinds on the new tags must come back as the
+     standard decode error, same convention as the PR 6/7 frames *)
+  List.iter
+    (fun (name, w) ->
+      match Zab_wire.of_wire ~payload:Wire.to_str w with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s decoded" name)
+    [
+      (* three-field Ping: the pre-lease shape no longer parses *)
+      ("ping missing sent", Wire.List [ Wire.Int 0; Wire.Int 1; Wire.Int 7 ]);
+      ("lease grant missing sent", Wire.List [ Wire.Int 13; Wire.Int 1 ]);
+      ( "lease grant trailing field",
+        Wire.List [ Wire.Int 13; Wire.Int 1; Wire.Int 2; Wire.Int 3 ] );
+      ("lease grant str sent", Wire.List [ Wire.Int 13; Wire.Int 1; Wire.Str "t" ]);
+      ("observer request bare", Wire.List [ Wire.Int 14; Wire.Int 1 ]);
+      ( "observer request nested id",
+        Wire.List [ Wire.Int 14; Wire.Int 1; Wire.List [] ] );
+      ("unknown tag 15", Wire.List [ Wire.Int 15; Wire.Int 1 ]);
+    ]
 
 let pbft_samples : string Pbft.msg list =
   let rid : Pbft.request_id = { client = 9; rseq = 2 } in
@@ -323,7 +398,7 @@ let server_wire_samples : Zk.Server.wire list =
     Server_msg (Reply { xid = 1; result = P.Deleted });
     Server_msg (Watch_event { path = "/w"; kind = P.Children_changed });
     Server_msg Expired;
-    Zab_msg (Ping { epoch = 1; committed = 0 });
+    Zab_msg (Ping { epoch = 1; committed = 0; sent = Sim_time.ms 50 });
     Forward { origin = 2; session = 9; xid = 3; op = P.Sync };
     Forward_connect { origin = 2; client_addr = 1001 };
     Forward_reconnect { origin = 0; session = 9 };
@@ -636,6 +711,11 @@ let () =
       ( "messages",
         [
           Alcotest.test_case "zab messages roundtrip" `Quick test_zab_msg_roundtrip;
+          qc prop_lease_frames_roundtrip;
+          qc prop_lease_frames_truncation;
+          qc prop_zab_decoder_garbage;
+          Alcotest.test_case "malformed lease/observer frames rejected" `Quick
+            test_lease_frames_malformed;
           Alcotest.test_case "pbft messages roundtrip" `Quick test_pbft_msg_roundtrip;
           Alcotest.test_case "protocol ops/results/txns roundtrip" `Quick
             test_protocol_roundtrip;

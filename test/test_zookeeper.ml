@@ -583,9 +583,69 @@ let test_cluster_deterministic () =
 
 let qc = QCheck_alcotest.to_alcotest
 
+(* ------------------------------------------------------------------ *)
+(* Invalidation-cached sessions (§6i)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_cache_invalidated_by_watch () =
+  in_cluster (fun cluster ->
+      let sim = Cluster.sim cluster in
+      let writer = Cluster.connected_client ~replica:0 cluster () in
+      ignore (ok "init" (Client.create_node writer "/cfg" "v0") : string);
+      let s =
+        Session.wrap ~cache:true ~sim ~replicas:[ 1 ]
+          (Cluster.connected_client ~replica:1 cluster ())
+      in
+      Proc.sleep sim (Sim_time.ms 50);
+      let d0, _ = ok "miss fills" (Session.cached_get_data s "/cfg") in
+      Alcotest.(check string) "first read fetched" "v0" d0;
+      let d1, _ = ok "hit" (Session.cached_get_data s "/cfg") in
+      Alcotest.(check string) "second read cached" "v0" d1;
+      let cs = Session.cache_stats s in
+      Alcotest.(check int) "one miss" 1 cs.Session.misses;
+      Alcotest.(check int) "one hit" 1 cs.Session.hits;
+      (* a remote write must reach this session through the watch
+         machinery and drop the entry — no polling, no TTL *)
+      ignore (ok "update" (Client.set_data writer "/cfg" "v1") : int);
+      Proc.sleep sim (Sim_time.ms 200);
+      Alcotest.(check int) "watch invalidated the entry" 1
+        (Session.cache_stats s).Session.invalidations;
+      let d2, _ = ok "refetch" (Session.cached_get_data s "/cfg") in
+      Alcotest.(check string) "fresh after invalidation" "v1" d2;
+      Alcotest.(check int) "refetch was a miss" 2
+        (Session.cache_stats s).Session.misses)
+
+let test_session_sync_flushes_cache () =
+  in_cluster (fun cluster ->
+      let sim = Cluster.sim cluster in
+      let writer = Cluster.connected_client ~replica:0 cluster () in
+      ignore (ok "init" (Client.create_node writer "/k" "a") : string);
+      let s =
+        Session.wrap ~cache:true ~sim ~replicas:[ 2 ]
+          (Cluster.connected_client ~replica:2 cluster ())
+      in
+      Proc.sleep sim (Sim_time.ms 50);
+      let d0, _ = ok "warm" (Session.cached_get_data s "/k") in
+      Alcotest.(check string) "warm read" "a" d0;
+      ignore (ok "update" (Client.set_data writer "/k" "b") : int);
+      (* do NOT wait for the watch: sync must flush the cache and wait for
+         the replica to catch up past the write just acknowledged *)
+      ok "sync" (Session.sync s);
+      Alcotest.(check bool) "sync flushed the cache" true
+        ((Session.cache_stats s).Session.flushes >= 1);
+      let d1, _ = ok "read-your-writes" (Session.cached_get_data s "/k") in
+      Alcotest.(check string) "barrier read sees the write" "b" d1)
+
 let () =
   Alcotest.run "edc_zookeeper"
     [
+      ( "session cache",
+        [
+          Alcotest.test_case "watch invalidates cached read" `Quick
+            test_session_cache_invalidated_by_watch;
+          Alcotest.test_case "sync is a read-your-writes barrier" `Quick
+            test_session_sync_flushes_cache;
+        ] );
       ( "zpath",
         [
           Alcotest.test_case "validity" `Quick test_path_validity;
