@@ -1,5 +1,5 @@
 # Tier-1 verification in one command (see ROADMAP.md).
-.PHONY: all build test check bench-quick chaos linearize membership reads clean
+.PHONY: all build test check bench-quick chaos linearize membership reads sharding clean
 
 all: build
 
@@ -38,6 +38,15 @@ membership:
 # mutation is convicted on every seed); writes BENCH_reads.json.
 reads:
 	dune exec bench/main.exe -- reads
+
+# Sharded namespace: write-throughput scaling across 1/2/4/8 replication
+# groups (gates >=3x at 4 and >=5x at 8 on a 0%-cross-shard workload),
+# the cross-shard 2PC latency/throughput ablation, and seeded chaos runs
+# (coordinator leader kills + shard-targeted inter-shard partitions)
+# gated on per-shard WGL linearizability and deployment-wide atomicity;
+# writes BENCH_sharding.json.
+sharding:
+	dune exec bench/main.exe -- sharding
 
 clean:
 	dune clean

@@ -1059,7 +1059,7 @@ let () =
   let targets = if targets = [] || List.mem "all" targets then
       [ "table1"; "table2"; "fig6"; "fig8"; "fig10"; "fig12"; "fig13";
         "overhead"; "ablation"; "batching"; "snapshot"; "chaos"; "membership";
-        "linearize"; "reads"; "micro"; "wire" ]
+        "linearize"; "reads"; "micro"; "wire"; "sharding" ]
     else targets
   in
   let t0 = Unix.gettimeofday () in
@@ -1091,6 +1091,11 @@ let () =
             "Wire codec: frame encode/decode vs Marshal, rejection cost, \
              TCP end to end";
           Wire_bench.run ~quick
+      | "sharding" ->
+          Report.section
+            "Sharded namespace: group scaling, cross-shard 2PC ablation, \
+             chaos acceptance";
+          Sharding_bench.run ~quick
       | other -> Printf.eprintf "unknown target %S (skipped)\n" other)
     targets;
   Printf.printf "\nTotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

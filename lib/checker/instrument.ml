@@ -27,7 +27,10 @@ let is_definite_error e =
   match e with
   | "no node" | "node exists" | "bad version" | "not empty"
   | "no children for ephemerals" | "invalid path" | "unsupported operation"
-  | "not extensible" | "no tuple" | "tuple exists" ->
+  | "not extensible" | "no tuple" | "tuple exists" | "locked"
+  | "txn conflict" ->
+      (* [locked] and [txn conflict] are definite rejections: the write
+         was refused before ordering / aborted on every shard (§6j) *)
       true
   | _ ->
       (* extension programs reject with "extension error: ..." *)

@@ -49,7 +49,9 @@ let op_info = function
   | P.Get_children { path; _ } -> Some (Subscription.K_sub_objects, path, "")
   | P.Exists { path; _ } -> Some (Subscription.K_read, path, "")
   | P.Block { path } -> Some (Subscription.K_block, path, "")
-  | P.Sync -> None
+  (* Multi is never intercepted by operation extensions: its atomicity
+     contract (possibly cross-shard, §6j) would not survive rewriting. *)
+  | P.Sync | P.Multi _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* The state proxy (Figure 2)                                          *)
@@ -260,7 +262,9 @@ let em_intercept t ~session op =
       match Manager.classify_path path with
       | Manager.Not_em -> None
       | _ -> Some (Server.Reject (Zerror.Extension_error "extension objects are immutable")))
-  | P.Get_data _ | P.Get_children _ | P.Exists _ | P.Block _ | P.Sync -> None
+  | P.Get_data _ | P.Get_children _ | P.Exists _ | P.Block _ | P.Sync
+  | P.Multi _ ->
+      None
 
 (* ------------------------------------------------------------------ *)
 (* Operation extensions at the preprocessor                            *)
@@ -361,7 +365,8 @@ let on_applied t server (txn : Txn.t) =
           | Manager.Em_ack (name, client) -> Manager.apply_unack t.manager ~name ~client
           | Manager.Em_root | Manager.Em_index | Manager.Not_em -> ())
       | Txn.Tset _ | Txn.Tsession_open _ | Txn.Tsession_close _
-      | Txn.Tsession_move _ | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror ->
+      | Txn.Tsession_move _ | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror
+      | Txn.Tprep _ | Txn.Tdecide _ | Txn.Tresolve _ ->
           ())
     txn.ops;
   (* Event extensions execute at the leader (passive replication: one
@@ -376,7 +381,8 @@ let on_applied t server (txn : Txn.t) =
           | Txn.Tdelete { path } -> Some (Subscription.E_deleted, path)
           | Txn.Tset { path; _ } -> Some (Subscription.E_changed, path)
           | Txn.Tsession_open _ | Txn.Tsession_close _ | Txn.Tsession_move _
-          | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror ->
+          | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror | Txn.Tprep _
+          | Txn.Tdecide _ | Txn.Tresolve _ ->
               None
         in
         match ev with

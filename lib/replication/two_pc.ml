@@ -1,0 +1,152 @@
+(** Two-phase commit over independent replication groups (DESIGN.md §6j).
+
+    The cross-shard atomic-commit protocol is layered {e on top of} the
+    per-shard Zab groups: every protocol step that must survive a leader
+    change travels through the participant shard's own replicated log
+    (prepare, resolve) or the coordinator shard's log (the commit
+    decision), so 2PC state is exactly as durable as the shards
+    themselves.  This module holds the pieces shared by all deployments:
+    the write-op payload a prepare carries, the inter-shard frames, and
+    their canonical wire codec.
+
+    Protocol shape (presumed abort):
+
+    - the coordinator (leader of the lowest-numbered participant shard)
+      sends [Prepare] to every participant's leader;
+    - a participant validates + locks through its own log and answers
+      [Prepare_ack];
+    - all yes-votes ⇒ the coordinator logs the commit decision in its own
+      shard's log — the commit point — and pushes [Commit]; any no-vote
+      or a coordinator timeout ⇒ [Abort] (aborts need no log record);
+    - a prepared participant that hears nothing asks the coordinator
+      shard with [Status]; the answer is derived from the coordinator
+      shard's {e replicated} decision table, so it survives coordinator
+      leader kills: decision logged ⇒ that decision; no decision ⇒ the
+      inquiry itself aborts the transaction (no later commit is possible
+      because only the enquired leader's volatile round could have
+      committed it, and it now never will). *)
+
+open Edc_wire
+
+let ( let* ) = Result.bind
+
+(** One write of a cross-shard transaction, in the owning shard's
+    namespace.  Deliberately smaller than the full client op set:
+    cross-shard transactions move plain data nodes (the sharded queue's
+    element hand-off); ephemerals and sequentials stay single-shard. *)
+type wop =
+  | Wcreate of { path : string; data : string }
+  | Wset of { path : string; data : string }
+  | Wdelete of { path : string }
+
+let wop_path = function
+  | Wcreate { path; _ } | Wset { path; _ } | Wdelete { path } -> path
+
+let wop_size = function
+  | Wcreate { path; data } | Wset { path; data } ->
+      16 + String.length path + String.length data
+  | Wdelete { path } -> 12 + String.length path
+
+(** Inter-shard frames, leader to leader.  [txid] strings are minted by
+    the coordinator ("shard.epoch.counter") and globally unique. *)
+type frame =
+  | Prepare of {
+      txid : string;
+      coord : int;  (** coordinator shard id (target of [Status]) *)
+      participants : int list;
+      ops : wop list;  (** this participant's slice of the transaction *)
+    }
+  | Prepare_ack of { txid : string; shard : int; ok : bool }
+  | Commit of { txid : string }
+  | Abort of { txid : string }
+  | Status of { txid : string; from_shard : int }
+      (** in-doubt participant asks the coordinator shard for the outcome *)
+
+let frame_txid = function
+  | Prepare { txid; _ }
+  | Prepare_ack { txid; _ }
+  | Commit { txid }
+  | Abort { txid }
+  | Status { txid; _ } ->
+      txid
+
+let frame_size = function
+  | Prepare { txid; participants; ops; _ } ->
+      24 + String.length txid
+      + (4 * List.length participants)
+      + List.fold_left (fun acc o -> acc + wop_size o) 0 ops
+  | Prepare_ack { txid; _ } -> 16 + String.length txid
+  | Commit { txid } | Abort { txid } -> 12 + String.length txid
+  | Status { txid; _ } -> 16 + String.length txid
+
+(* ------------------------------------------------------------------ *)
+(* Canonical wire codec (append-only tag registries)                   *)
+(*   wop:   0 Wcreate, 1 Wset, 2 Wdelete                               *)
+(*   frame: 0 Prepare, 1 Prepare_ack, 2 Commit, 3 Abort, 4 Status     *)
+(* ------------------------------------------------------------------ *)
+
+let wop_to_wire = function
+  | Wcreate { path; data } -> Wire.List [ Int 0; Str path; Str data ]
+  | Wset { path; data } -> Wire.List [ Int 1; Str path; Str data ]
+  | Wdelete { path } -> Wire.List [ Int 2; Str path ]
+
+let wop_of_wire = function
+  | Wire.List [ Wire.Int 0; Wire.Str path; Wire.Str data ] ->
+      Ok (Wcreate { path; data })
+  | Wire.List [ Wire.Int 1; Wire.Str path; Wire.Str data ] ->
+      Ok (Wset { path; data })
+  | Wire.List [ Wire.Int 2; Wire.Str path ] -> Ok (Wdelete { path })
+  | _ -> Error "bad 2pc wop"
+
+let shard_list_to_wire l = Wire.List (List.map (fun s -> Wire.Int s) l)
+
+let shard_list_of_wire w =
+  Wire.map_list
+    (function Wire.Int s -> Ok s | _ -> Error "bad shard id")
+    w
+
+let frame_to_wire = function
+  | Prepare { txid; coord; participants; ops } ->
+      Wire.List
+        [ Int 0; Str txid; Int coord; shard_list_to_wire participants;
+          List (List.map wop_to_wire ops) ]
+  | Prepare_ack { txid; shard; ok } ->
+      Wire.List [ Int 1; Str txid; Int shard; Wire.bool_ ok ]
+  | Commit { txid } -> Wire.List [ Int 2; Str txid ]
+  | Abort { txid } -> Wire.List [ Int 3; Str txid ]
+  | Status { txid; from_shard } -> Wire.List [ Int 4; Str txid; Int from_shard ]
+
+let frame_of_wire = function
+  | Wire.List [ Wire.Int 0; Wire.Str txid; Wire.Int coord; participants; ops ]
+    ->
+      let* participants = shard_list_of_wire participants in
+      let* ops = Wire.map_list wop_of_wire ops in
+      Ok (Prepare { txid; coord; participants; ops })
+  | Wire.List [ Wire.Int 1; Wire.Str txid; Wire.Int shard; ok ] ->
+      let* ok = Wire.to_bool ok in
+      Ok (Prepare_ack { txid; shard; ok })
+  | Wire.List [ Wire.Int 2; Wire.Str txid ] -> Ok (Commit { txid })
+  | Wire.List [ Wire.Int 3; Wire.Str txid ] -> Ok (Abort { txid })
+  | Wire.List [ Wire.Int 4; Wire.Str txid; Wire.Int from_shard ] ->
+      Ok (Status { txid; from_shard })
+  | _ -> Error "bad 2pc frame"
+
+let pp_wop ppf = function
+  | Wcreate { path; _ } -> Fmt.pf ppf "create %s" path
+  | Wset { path; _ } -> Fmt.pf ppf "set %s" path
+  | Wdelete { path } -> Fmt.pf ppf "delete %s" path
+
+let pp_frame ppf = function
+  | Prepare { txid; coord; participants; ops } ->
+      Fmt.pf ppf "prepare %s coord=%d parts=[%a] ops=[%a]" txid coord
+        Fmt.(list ~sep:comma int)
+        participants
+        Fmt.(list ~sep:comma pp_wop)
+        ops
+  | Prepare_ack { txid; shard; ok } ->
+      Fmt.pf ppf "prepare-ack %s shard=%d %s" txid shard
+        (if ok then "yes" else "no")
+  | Commit { txid } -> Fmt.pf ppf "commit %s" txid
+  | Abort { txid } -> Fmt.pf ppf "abort %s" txid
+  | Status { txid; from_shard } ->
+      Fmt.pf ppf "status? %s from=%d" txid from_shard

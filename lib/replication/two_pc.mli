@@ -1,0 +1,38 @@
+(** Two-phase commit over independent replication groups (DESIGN.md §6j):
+    the write-op payload of a prepare, the inter-shard frames, and their
+    canonical wire codec.  The engine lives in the deployment's server
+    (its steps must ride the shard's own replicated log); this module is
+    the shared, transport-level vocabulary. *)
+
+type wop =
+  | Wcreate of { path : string; data : string }
+  | Wset of { path : string; data : string }
+  | Wdelete of { path : string }
+
+val wop_path : wop -> string
+val wop_size : wop -> int
+
+type frame =
+  | Prepare of {
+      txid : string;
+      coord : int;
+      participants : int list;
+      ops : wop list;
+    }
+  | Prepare_ack of { txid : string; shard : int; ok : bool }
+  | Commit of { txid : string }
+  | Abort of { txid : string }
+  | Status of { txid : string; from_shard : int }
+
+val frame_txid : frame -> string
+val frame_size : frame -> int
+
+(** Canonical binary codec (total decoders, append-only tags). *)
+
+val wop_to_wire : wop -> Edc_wire.Wire.t
+val wop_of_wire : Edc_wire.Wire.t -> (wop, string) result
+val frame_to_wire : frame -> Edc_wire.Wire.t
+val frame_of_wire : Edc_wire.Wire.t -> (frame, string) result
+
+val pp_wop : Format.formatter -> wop -> unit
+val pp_frame : Format.formatter -> frame -> unit

@@ -1,0 +1,139 @@
+(** Routing tier: classify client operations and extension programs
+    against a {!Shard_map} (§6j).
+
+    Every router in the deployment — client sessions picking a
+    connection, server preprocessors slicing a multi, the registration
+    path deciding whether an extension may run — evaluates the same pure
+    function of the shard map, so they can never disagree about where an
+    object lives. *)
+
+open Edc_zookeeper
+module P = Protocol
+module Ast = Edc_core.Ast
+module Subscription = Edc_core.Subscription
+module Program = Edc_core.Program
+
+type placement =
+  [ `Shard of int  (** single owning shard *)
+  | `Cross of int list  (** participant shards, ascending *)
+  | `All  (** session-scoped; every shard the session touches *) ]
+
+let sorted_shards = List.sort_uniq compare
+
+(** Owning shard(s) of one client operation.  Path-addressed operations
+    have exactly one owner; [Sync] is a session barrier ([`All]); a multi
+    owns every shard its writes touch. *)
+let classify_op map (op : P.op) : placement =
+  match op with
+  | P.Create { path; _ }
+  | P.Delete { path; _ }
+  | P.Set_data { path; _ }
+  | P.Get_data { path; _ }
+  | P.Get_children { path; _ }
+  | P.Exists { path; _ }
+  | P.Block { path } ->
+      `Shard (Shard_map.route map path)
+  | P.Sync -> `All
+  | P.Multi { ops } -> (
+      match
+        sorted_shards
+          (List.map
+             (fun w -> Shard_map.route map (Edc_replication.Two_pc.wop_path w))
+             ops)
+      with
+      | [] -> `All
+      | [ s ] -> `Shard s
+      | shards -> `Cross shards)
+
+(* --- extension programs --- *)
+
+(** Where an oid expression can point.  [`Same] means "the object the
+    subscription matched" (the [oid] parameter, or a slash-suffix of it
+    — both stay inside the matched object's subtree, hence its shard). *)
+let rec oid_class (e : Ast.expr) =
+  match e with
+  | Ast.Param "oid" -> `Same
+  | Ast.Str_lit s -> `Lit s
+  | Ast.Binop (Ast.Concat, a, Ast.Str_lit suffix)
+    when suffix <> "" && suffix.[0] = '/' ->
+      oid_class a
+  | Ast.Binop (Ast.Concat, a, _) -> (
+      (* appending arbitrary bytes can only preserve placement when the
+         head already pins a complete first component *)
+      match oid_class a with
+      | `Lit p when String.length p > 1 && String.contains_from p 1 '/' ->
+          `Lit p
+      | _ -> `Unknown)
+  | _ -> `Unknown
+
+let svc_oid_arg op (args : Ast.expr list) =
+  match (op, args) with
+  | Ast.Svc_notify, _ :: oid :: _ -> Some oid (* notify(client, oid) *)
+  | Ast.Svc_notify, _ -> None
+  | _, oid :: _ -> Some oid
+  | _, [] -> None
+
+(** Fold every service-call target in the handlers. *)
+let program_oid_classes (p : Program.t) =
+  let acc = ref [] in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Svc (op, args) ->
+        (match svc_oid_arg op args with
+        | Some oid -> acc := oid_class oid :: !acc
+        | None -> acc := `Unknown :: !acc);
+        List.iter expr args
+    | Ast.Field (e, _) | Ast.Not e | Ast.Neg e -> expr e
+    | Ast.Binop (_, a, b) -> expr a; expr b
+    | Ast.Call (_, args) -> List.iter expr args
+    | Ast.Unit_lit | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.Str_lit _
+    | Ast.Var _ | Ast.Param _ ->
+        ()
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Ast.Let (_, e) | Ast.Assign (_, e) | Ast.Return e | Ast.Do e -> expr e
+    | Ast.Abort _ -> ()
+    | Ast.If (c, a, b) -> expr c; List.iter stmt a; List.iter stmt b
+    | Ast.For_each (_, e, body) -> expr e; List.iter stmt body
+  in
+  List.iter (List.iter stmt)
+    (List.filter_map Fun.id [ p.Program.on_operation; p.Program.on_event ]);
+  !acc
+
+(** [classify_program map p] — [`Single s] when every subscription pattern
+    resolves to shard [s] and every service-call target provably stays on
+    [s]; otherwise [`Cross shards] (conservative: an unresolvable target
+    flags the program cross-shard).  Single-shard programs run on their
+    shard exactly as on an unsharded deployment. *)
+let classify_program map (p : Program.t) =
+  let all = List.init (Shard_map.n_shards map) Fun.id in
+  let sub_placements =
+    List.map
+      (fun (s : Subscription.operation_sub) ->
+        Shard_map.shards_of_pattern map s.Subscription.op_oid)
+      p.Program.op_subs
+    @ List.map
+        (fun (s : Subscription.event_sub) ->
+          Shard_map.shards_of_pattern map s.Subscription.ev_oid)
+        p.Program.event_subs
+  in
+  let cross = ref false in
+  let shards = ref [] in
+  List.iter
+    (function
+      | `Shard s -> shards := s :: !shards
+      | `Cross _ -> cross := true)
+    sub_placements;
+  List.iter
+    (function
+      | `Same -> () (* rides whatever shard the subscription matched on *)
+      | `Lit path -> shards := Shard_map.route map path :: !shards
+      | `Unknown -> cross := true)
+    (program_oid_classes p);
+  if !cross then `Cross all
+  else
+    match sorted_shards !shards with
+    | [ s ] -> `Single s
+    | [] -> `Cross all (* nothing pins it anywhere: refuse to guess *)
+    | shards -> `Cross shards

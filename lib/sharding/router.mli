@@ -1,0 +1,25 @@
+(** Routing tier: pure classification of client operations and extension
+    programs against a {!Shard_map} (§6j).  Client sessions, server
+    preprocessors, and the registration gate all evaluate the same
+    function, so placement decisions never diverge. *)
+
+open Edc_zookeeper
+
+type placement =
+  [ `Shard of int  (** single owning shard *)
+  | `Cross of int list  (** participant shards, ascending *)
+  | `All  (** session-scoped; every shard the session touches *) ]
+
+(** Owning shard(s) of one client operation: path-addressed operations
+    have one owner, [Sync] is a session barrier, a multi owns every shard
+    its writes touch. *)
+val classify_op : Shard_map.t -> Protocol.op -> placement
+
+(** Where an extension program can reach: [`Single s] when all its
+    subscription patterns resolve to shard [s] and every service-call
+    target provably stays there (literal paths, the matched [oid], or
+    slash-suffixes of it); [`Cross shards] otherwise — unresolvable
+    targets are conservatively cross-shard.  Single-shard programs run
+    unchanged on their group. *)
+val classify_program :
+  Shard_map.t -> Edc_core.Program.t -> [ `Single of int | `Cross of int list ]

@@ -1,0 +1,66 @@
+(** Shard-aware client session (§6j): one logical session multiplexed
+    over one connection per replication group.
+
+    Each underlying connection is an ordinary {!Edc_zookeeper.Client} —
+    FIFO to its group, so the per-shard program order ZooKeeper promises
+    a session is preserved; the session adds deterministic routing on
+    top.  Cross-shard multis are sent to their lowest participant shard,
+    whose leader coordinates the 2PC round. *)
+
+open Edc_zookeeper
+module P = Protocol
+module Two_pc = Edc_replication.Two_pc
+
+type t = { map : Shard_map.t; conns : Client.t array }
+
+(** Connect one client per group; call from a fiber. *)
+let connect ?config cluster =
+  let conns =
+    Array.init (Shard_cluster.n_groups cluster) (fun shard ->
+        Shard_cluster.connected_client ?config cluster ~shard ())
+  in
+  { map = Shard_cluster.map cluster; conns }
+
+let conn t shard = t.conns.(shard)
+let route t path = Shard_map.route t.map path
+let on_owner t path f = f t.conns.(route t path)
+
+(* Table-2 surface, deterministically routed. *)
+
+let create_node t ?ephemeral ?sequential path data =
+  on_owner t path (fun c -> Client.create_node c ?ephemeral ?sequential path data)
+
+let delete t ?version path = on_owner t path (fun c -> Client.delete c ?version path)
+
+let set_data t ?expected_version path data =
+  on_owner t path (fun c -> Client.set_data c ?expected_version path data)
+
+let get_data t ?watch path = on_owner t path (fun c -> Client.get_data c ?watch path)
+
+let get_children t ?watch path =
+  on_owner t path (fun c -> Client.get_children c ?watch path)
+
+let exists t ?watch path = on_owner t path (fun c -> Client.exists c ?watch path)
+
+(** Read-your-writes barrier on every shard the session can reach. *)
+let sync t =
+  Array.fold_left
+    (fun acc c -> match Client.sync c with Ok () -> acc | Error e -> Error e)
+    (Ok ()) t.conns
+
+(** Atomic multi-write.  Single-shard bundles commit as one ordinary
+    transaction on their group; cross-shard bundles go to the lowest
+    participant, whose leader runs the 2PC round. *)
+let multi t ops =
+  match Router.classify_op t.map (P.Multi { ops }) with
+  | `Shard s -> Client.multi t.conns.(s) ops
+  | `Cross (s :: _) -> Client.multi t.conns.(s) ops
+  | `Cross [] | `All -> Ok ()
+
+(** Registration gate for extension programs: single-shard programs are
+    admitted on their owning group; cross-shard programs are flagged and
+    must be refused (their handlers could observe a non-atomic frontier
+    across groups). *)
+let classify_program t p = Router.classify_program t.map p
+
+let close t = Array.iter Client.close t.conns

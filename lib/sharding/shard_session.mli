@@ -1,0 +1,49 @@
+(** Shard-aware client session (§6j): one logical session multiplexed
+    over one FIFO connection per replication group, with deterministic
+    routing on top — per-shard session program order is exactly the
+    underlying client's. *)
+
+open Edc_zookeeper
+
+type t
+
+(** Connect one client per group; call from a fiber. *)
+val connect : ?config:Client.config -> Shard_cluster.t -> t
+
+val conn : t -> int -> Client.t
+val route : t -> string -> int
+
+(** Table-2 surface, routed to the owning shard. *)
+
+val create_node :
+  t -> ?ephemeral:bool -> ?sequential:bool -> string -> string ->
+  (string, Zerror.t) result
+
+val delete : t -> ?version:int -> string -> (unit, Zerror.t) result
+
+val set_data :
+  t -> ?expected_version:int -> string -> string -> (int, Zerror.t) result
+
+val get_data :
+  t -> ?watch:bool -> string -> (string * Znode.stat, Zerror.t) result
+
+val get_children :
+  t -> ?watch:bool -> string -> (string list, Zerror.t) result
+
+val exists : t -> ?watch:bool -> string -> (Znode.stat option, Zerror.t) result
+
+(** Read-your-writes barrier on every shard. *)
+val sync : t -> (unit, Zerror.t) result
+
+(** Atomic multi-write: single-shard bundles commit as one transaction on
+    their group; cross-shard bundles are coordinated by the lowest
+    participant shard's leader via 2PC. *)
+val multi :
+  t -> Edc_replication.Two_pc.wop list -> (unit, Zerror.t) result
+
+(** Registration gate: single-shard extension programs are admitted on
+    their owning group; cross-shard ones must be refused. *)
+val classify_program :
+  t -> Edc_core.Program.t -> [ `Single of int | `Cross of int list ]
+
+val close : t -> unit

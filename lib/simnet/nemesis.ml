@@ -29,6 +29,8 @@ type fault =
   | Reconfig_fault of { node : int; kind : string }
   | Skew_set of { node : int; skew : Sim_time.t }
   | Skew_clear of { node : int }
+  | Custom_start of { node : int; name : string }
+  | Custom_end of { node : int; name : string }
 
 type event = { at : Sim_time.t; fault : fault }
 
@@ -44,6 +46,16 @@ type action =
   | Clock_skew of { duration : Sim_time.t; victim : victim; skew : Sim_time.t }
       (* jump the victim's virtual clock by [skew] (either sign) for
          [duration], then snap it back; only lease arithmetic sees it *)
+  | Custom of {
+      name : string;
+      duration : Sim_time.t;
+      victim : victim;
+      start_fn : int -> unit;
+      stop_fn : int -> unit;
+    }
+      (* deployment-specific disruption (e.g. a sharded deployment cutting
+         one shard off the inter-shard plane) riding the same interlock,
+         victim draw, and trace as the built-ins *)
 
 type item = {
   start : Sim_time.t;
@@ -109,6 +121,7 @@ type t = {
   mutable storms : int;
   mutable reconfig_kills : int;
   mutable skews : int;
+  mutable customs : int;
 }
 
 let retry_delay = Sim_time.ms 300
@@ -130,7 +143,11 @@ let record t fault =
         Printf.sprintf "reconfig fault node=%d kind=%s" node kind
     | Skew_set { node; skew } ->
         Printf.sprintf "skew node=%d by=%dns" node (Sim_time.to_ns skew)
-    | Skew_clear { node } -> Printf.sprintf "skew clear node=%d" node)
+    | Skew_clear { node } -> Printf.sprintf "skew clear node=%d" node
+    | Custom_start { node; name } ->
+        Printf.sprintf "custom %s start node=%d" name node
+    | Custom_end { node; name } ->
+        Printf.sprintf "custom %s end node=%d" name node)
 
 let pick_victim t = function
   | Node n -> Some n
@@ -184,6 +201,14 @@ let perform t action node =
           t.target.set_skew node Sim_time.zero;
           record t (Skew_clear { node });
           t.busy <- false)
+  | Custom { name; duration; start_fn; stop_fn; _ } ->
+      t.customs <- t.customs + 1;
+      start_fn node;
+      record t (Custom_start { node; name });
+      Sim.schedule t.sim ~after:duration (fun () ->
+          stop_fn node;
+          record t (Custom_end { node; name });
+          t.busy <- false)
   | Reconfig_kill { grace; downtime } ->
       (* [node] is the leader that was driving the reconfiguration when we
          detected it; strike it within [grace] even if leadership moves in
@@ -209,14 +234,16 @@ let rec fire t item () =
       | Reconfig_kill _ ->
           (* poll: only strike while a membership change is in flight *)
           t.target.reconfig_in_flight ()
-      | Crash_restart _ | Isolate _ | Storm _ | Clock_skew _ -> true
+      | Crash_restart _ | Isolate _ | Storm _ | Clock_skew _ | Custom _ ->
+          true
     in
     let fired =
       (not t.busy) && armed
       &&
       match pick_victim t (match item.action with
           | Crash_restart { victim; _ } | Isolate { victim; _ }
-          | Storm { victim; _ } | Clock_skew { victim; _ } -> victim
+          | Storm { victim; _ } | Clock_skew { victim; _ }
+          | Custom { victim; _ } -> victim
           | Reconfig_kill _ -> Leader)
       with
       | None -> false  (* e.g. leader-targeted mid-election: re-arm below *)
@@ -231,7 +258,9 @@ let rec fire t item () =
         let delay =
           match item.action with
           | Reconfig_kill _ -> Sim_time.ms 10
-          | Crash_restart _ | Isolate _ | Storm _ | Clock_skew _ -> retry_delay
+          | Crash_restart _ | Isolate _ | Storm _ | Clock_skew _ | Custom _
+            ->
+              retry_delay
         in
         Some (Sim_time.add (Sim.now t.sim) delay)
     in
@@ -258,6 +287,7 @@ let start ?rng ~sim ~target ~horizon schedule =
       storms = 0;
       reconfig_kills = 0;
       skews = 0;
+      customs = 0;
     }
   in
   List.iter
@@ -276,6 +306,7 @@ let partitions_healed t = t.healed
 let storms t = t.storms
 let reconfig_kills t = t.reconfig_kills
 let clock_skews t = t.skews
+let customs t = t.customs
 let busy t = t.busy
 
 let pp_fault ppf = function
@@ -294,6 +325,9 @@ let pp_fault ppf = function
   | Skew_set { node; skew } ->
       Fmt.pf ppf "skew node=%d by=%dns" node (Sim_time.to_ns skew)
   | Skew_clear { node } -> Fmt.pf ppf "skew-clear node=%d" node
+  | Custom_start { node; name } ->
+      Fmt.pf ppf "custom-%s-start node=%d" name node
+  | Custom_end { node; name } -> Fmt.pf ppf "custom-%s-end node=%d" name node
 
 let pp_event ppf { at; fault } =
   Fmt.pf ppf "%9.4fs %a" (Sim_time.to_float_s at) pp_fault fault

@@ -54,6 +54,9 @@ type fault =
   | Skew_set of { node : int; skew : Sim_time.t }
       (** the node's virtual clock jumped by [skew] (either sign) *)
   | Skew_clear of { node : int }
+  | Custom_start of { node : int; name : string }
+      (** a deployment-specific {!Custom} disruption began *)
+  | Custom_end of { node : int; name : string }
 
 type event = { at : Sim_time.t; fault : fault }
 
@@ -76,6 +79,18 @@ type action =
           snap it back to true time.  Skews within the protocol's ±ε bound
           exercise the lease safety margin; skews beyond it model the
           broken-assumption regime the stale-read detector must catch *)
+  | Custom of {
+      name : string;
+      duration : Sim_time.t;
+      victim : victim;
+      start_fn : int -> unit;
+      stop_fn : int -> unit;
+    }
+      (** deployment-specific disruption (e.g. cutting one shard off a
+          sharded deployment's inter-shard plane) that rides the same
+          interlock, victim draw, and trace as the built-in actions:
+          [start_fn node] opens it, [stop_fn node] undoes it after
+          [duration] *)
 
 type item = {
   start : Sim_time.t;  (** first firing time *)
@@ -119,6 +134,9 @@ val reconfig_kills : t -> int
 
 (** Clock-skew windows opened. *)
 val clock_skews : t -> int
+
+(** Custom disruptions started. *)
+val customs : t -> int
 
 (** [true] while a disruption is in flight. *)
 val busy : t -> bool

@@ -224,6 +224,14 @@ let sync t =
   | P.Error e -> Error e
   | _ -> Error Zerror.Unsupported
 
+(** [multi t ops] — atomic multi-write; on a sharded deployment, ops
+    spanning shards commit via 2PC (§6j). *)
+let multi t ops =
+  match request t (P.Multi { ops }) with
+  | P.Multi_ok -> Ok ()
+  | P.Error e -> Error e
+  | _ -> Error Zerror.Unsupported
+
 (** [block t path] — Table 2's [block(o)] for plain ZooKeeper: set an
     exists-watch and wait for the creation event (two to three RPC-ish
     steps client-side). *)

@@ -65,6 +65,12 @@ val exists : t -> ?watch:bool -> string -> (Znode.stat option, Zerror.t) result
     the barrier (travels through the leader's commit path). *)
 val sync : t -> (unit, Zerror.t) result
 
+(** [multi t ops] — atomic multi-write: all ops apply or none do.  On a
+    sharded deployment, ops spanning shards commit via two-phase commit
+    (§6j); [Error Txn_conflict] means the transaction aborted everywhere. *)
+val multi :
+  t -> Edc_replication.Two_pc.wop list -> (unit, Zerror.t) result
+
 (** [block t path] — Table 2's [block(o)] for plain ZooKeeper: exists-watch
     plus wait for the creation event (client-side, multiple steps). *)
 val block : t -> string -> (unit, Zerror.t) result

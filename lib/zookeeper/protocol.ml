@@ -14,6 +14,10 @@ type op =
       (** server-side blocking read; only meaningful when an operation
           extension subscribes to it (EZK), otherwise rejected *)
   | Sync
+  | Multi of { ops : Edc_replication.Two_pc.wop list }
+      (** atomic multi-write.  All ops within the receiving shard commit
+          as one transaction; ops spanning shards commit through 2PC
+          (§6j).  On an unsharded deployment every op is local. *)
 
 type result =
   | Created of string  (** actual path (sequential suffix resolved) *)
@@ -25,6 +29,7 @@ type result =
   | Unblocked of string  (** data of the awaited object *)
   | Ext of string  (** serialized extension-produced value (piggybacked) *)
   | Synced
+  | Multi_ok  (** the atomic multi-write committed (on every shard) *)
   | Error of Zerror.t
 
 type watch_kind = Node_created | Node_deleted | Node_changed | Children_changed
@@ -58,12 +63,16 @@ let op_size = function
   | Exists { path; _ } -> header_size + String.length path + 1
   | Block { path } -> header_size + String.length path
   | Sync -> header_size
+  | Multi { ops } ->
+      List.fold_left
+        (fun acc o -> acc + Edc_replication.Two_pc.wop_size o)
+        header_size ops
 
 let stat_size = 32
 
 let result_size = function
   | Created path -> header_size + String.length path
-  | Deleted | Synced -> header_size
+  | Deleted | Synced | Multi_ok -> header_size
   | Set _ -> header_size + 4
   | Data (d, _) -> header_size + String.length d + stat_size
   | Children names ->
@@ -104,4 +113,5 @@ let pp_result ppf = function
   | Unblocked d -> Fmt.pf ppf "unblocked %S" d
   | Ext s -> Fmt.pf ppf "ext %S" s
   | Synced -> Fmt.string ppf "synced"
+  | Multi_ok -> Fmt.string ppf "multi ok"
   | Error e -> Fmt.pf ppf "error %a" Zerror.pp e

@@ -14,6 +14,8 @@ type op =
       (** server-side blocking read; only meaningful when an operation
           extension subscribes to it (EZK), otherwise rejected *)
   | Sync
+  | Multi of { ops : Edc_replication.Two_pc.wop list }
+      (** atomic multi-write; ops spanning shards commit via 2PC (§6j) *)
 
 type result =
   | Created of string  (** actual path (sequential suffix resolved) *)
@@ -25,6 +27,7 @@ type result =
   | Unblocked of string  (** data of the awaited object *)
   | Ext of string  (** serialized extension-produced value (piggybacked) *)
   | Synced
+  | Multi_ok  (** the atomic multi-write committed (on every shard) *)
   | Error of Zerror.t
 
 type watch_kind = Node_created | Node_deleted | Node_changed | Children_changed

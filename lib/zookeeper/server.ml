@@ -76,6 +76,12 @@ type config = {
           through the commit path as a quiet no-op barrier (§6i).  The
           default [false] keeps ZooKeeper's sequentially-consistent local
           read fast path. *)
+  txn_retry_interval : Sim_time.t;
+      (** 2PC coordinator: re-send [Prepare] to silent participants (§6j) *)
+  txn_coord_timeout : Sim_time.t;
+      (** 2PC coordinator: presumed-abort deadline for an open round *)
+  txn_status_interval : Sim_time.t;
+      (** 2PC participant: in-doubt [Status] inquiry cadence *)
 }
 
 let default_config =
@@ -88,7 +94,24 @@ let default_config =
     preprocess_cost = Sim_time.us 35;
     read_cost = Sim_time.us 10;
     linearizable_reads = false;
+    txn_retry_interval = Sim_time.ms 400;
+    txn_coord_timeout = Sim_time.ms 2500;
+    txn_status_interval = Sim_time.ms 1200;
   }
+
+(** One open coordinator round (§6j).  Leader-volatile by design: the
+    only durable coordinator state is the decision record in this shard's
+    log — presumed abort covers everything a dead leader forgets. *)
+type coord_round = {
+  cr_participants : int list;
+  cr_slices : (int * Two_pc.wop list) list;  (** per-shard op slices *)
+  mutable cr_acks : int list;  (** shards that voted yes *)
+  mutable cr_done : bool;  (** decision reached (either way) *)
+  cr_origin : int;
+  cr_session : int;
+  cr_xid : int;
+  cr_started : Sim_time.t;
+}
 
 type t = {
   sim : Sim.t;
@@ -132,6 +155,27 @@ type t = {
   mutable snap_serializations : int;  (** captures actually marshaled *)
   mutable snap_skipped : int;  (** interval fired with nothing to compact *)
   mutable snap_installs : int;
+  (* sharding / cross-shard commit (§6j) *)
+  mutable shard_id : int;  (** this replica's shard; [0] when unsharded *)
+  mutable shard_route : (string -> int) option;  (** path -> owning shard *)
+  mutable shard_send : (int -> Two_pc.frame -> unit) option;
+      (** leader-to-leader inter-shard plane, installed by the deployment *)
+  locks : (string, string) Hashtbl.t;  (** path -> txid; replicated *)
+  prepared : (string, int * Two_pc.wop list) Hashtbl.t;
+      (** txid -> (coordinator shard, parked writes); replicated *)
+  decisions : (string, bool) Hashtbl.t;  (** txid -> committed; replicated *)
+  mutable txn_audit : (string * bool) list;
+      (** resolve outcomes, newest first; replicated — the atomicity
+          checker's evidence *)
+  coord_rounds : (string, coord_round) Hashtbl.t;  (** leader-volatile *)
+  spec_locks : (string, string) Hashtbl.t;
+      (** locks of our own proposed-but-unapplied [Tprep]s; leader-volatile *)
+  proposed_preps : (string, unit) Hashtbl.t;  (** dedup per leader reign *)
+  proposed_resolves : (string, unit) Hashtbl.t;
+  mutable txn_counter : int;
+  mutable txns_coordinated : int;
+  mutable txns_committed : int;  (** rounds this replica decided commit *)
+  mutable txns_aborted : int;  (** rounds this replica decided abort *)
 }
 
 let tree t = t.tree
@@ -150,6 +194,21 @@ let snapshot_serializations t = t.snap_serializations
 let snapshots_skipped t = t.snap_skipped
 let snapshot_installs t = t.snap_installs
 let session_exists t session = Hashtbl.mem t.sessions session
+let shard_id t = t.shard_id
+let txn_audit t = List.rev t.txn_audit
+let decided t txid = Hashtbl.find_opt t.decisions txid
+
+let prepared_txns t =
+  Hashtbl.fold (fun txid (coord, _) acc -> (txid, coord) :: acc) t.prepared []
+  |> List.sort compare
+
+let locked_paths t =
+  Hashtbl.fold (fun path txid acc -> (path, txid) :: acc) t.locks []
+  |> List.sort compare
+
+let txns_coordinated t = t.txns_coordinated
+let txns_committed t = t.txns_committed
+let txns_aborted t = t.txns_aborted
 
 let session_owned_here t session =
   match Hashtbl.find_opt t.sessions session with
@@ -218,7 +277,91 @@ let drop_blocked_session t session =
     t.blocked;
   List.iter (Hashtbl.remove t.blocked) !doomed
 
-let apply_op t op =
+(* --- cross-shard commit, apply side (§6j) ---
+
+   Everything below runs identically on every replica of the shard (it is
+   driven by applied log records), except the explicitly leader-gated
+   sends: acks, outcome pushes, and client replies come from whoever is
+   leader when the record applies — which is exactly how a new leader
+   resumes a dead one's protocol duties. *)
+
+let shard_send_frame t dst frame =
+  match t.shard_send with Some f -> f dst frame | None -> ()
+
+(** Lock footprint of a prepared write: the path and its parent (a
+    parked create/delete also changes the parent's child set, so sibling
+    transactions and parent deletions must conflict). *)
+let lock_paths ops =
+  List.concat_map
+    (fun op ->
+      let path = Two_pc.wop_path op in
+      match Zpath.parent path with
+      | Some parent -> [ path; parent ]
+      | None -> [ path ])
+    ops
+  |> List.sort_uniq String.compare
+
+(** Deterministic prepare-time validation against the committed tree —
+    every replica reaches the same vote from the same log prefix. *)
+let wop_valid t op =
+  match op with
+  | Two_pc.Wcreate { path; _ } -> (
+      (not (Data_tree.mem t.tree path))
+      &&
+      match Zpath.parent path with
+      | None -> false
+      | Some parent -> (
+          match Data_tree.exists t.tree parent with
+          | Some stat -> stat.Znode.ephemeral_owner = None
+          | None -> false))
+  | Two_pc.Wset { path; _ } -> Data_tree.mem t.tree path
+  | Two_pc.Wdelete { path } -> (
+      match Data_tree.get_children t.tree path with
+      | Ok [] -> true
+      | Ok _ | Error _ -> false)
+
+let locks_free t ~txid ops =
+  List.for_all
+    (fun path ->
+      match Hashtbl.find_opt t.locks path with
+      | Some owner -> String.equal owner txid
+      | None -> true)
+    (lock_paths ops)
+
+let release_txn_locks t txid ops =
+  List.iter
+    (fun path ->
+      match Hashtbl.find_opt t.locks path with
+      | Some owner when String.equal owner txid -> Hashtbl.remove t.locks path
+      | _ -> ())
+    (lock_paths ops);
+  let mine =
+    Hashtbl.fold
+      (fun path owner acc -> if String.equal owner txid then path :: acc else acc)
+      t.spec_locks []
+  in
+  List.iter (Hashtbl.remove t.spec_locks) mine
+
+let audited t txid = List.mem_assoc txid t.txn_audit
+
+(** In-doubt participant loop: while [txid] stays prepared, the current
+    leader of this shard periodically asks the coordinator shard for the
+    outcome.  The chain is armed on every replica when the [Tprep]
+    applies (and re-armed on snapshot install) but only the leader of the
+    moment speaks — so the inquiry survives any single replica's death. *)
+let arm_status_probe t txid =
+  let rec probe () =
+    match Hashtbl.find_opt t.prepared txid with
+    | None -> ()
+    | Some (coord, _) ->
+        if is_leader t then
+          shard_send_frame t coord
+            (Two_pc.Status { txid; from_shard = t.shard_id });
+        Sim.schedule t.sim ~after:t.config.txn_status_interval probe
+  in
+  Sim.schedule t.sim ~after:t.config.txn_status_interval probe
+
+let rec apply_op t op =
   match op with
   | Txn.Tcreate { path; data; ephemeral_owner } ->
       Data_tree.apply_create t.tree ~path ~data ~ephemeral_owner;
@@ -274,6 +417,71 @@ let apply_op t op =
       if session_owned_here t session then
         send_to_client t session (P.Watch_event { path; kind })
   | Txn.Terror -> ()
+  | Txn.Tprep { txid; coord; ops } ->
+      if not (Hashtbl.mem t.prepared txid || audited t txid) then begin
+        let ok = locks_free t ~txid ops && List.for_all (wop_valid t) ops in
+        if ok then begin
+          List.iter
+            (fun path -> Hashtbl.replace t.locks path txid)
+            (lock_paths ops);
+          Hashtbl.replace t.prepared txid (coord, ops);
+          arm_status_probe t txid
+        end;
+        (* the leader of the moment reports the (replica-deterministic)
+           vote; a no-vote leaves no trace — presumed abort *)
+        if is_leader t then
+          shard_send_frame t coord
+            (Two_pc.Prepare_ack { txid; shard = t.shard_id; ok })
+      end
+  | Txn.Tdecide { txid; commit; participants } ->
+      if not (Hashtbl.mem t.decisions txid) then begin
+        Hashtbl.replace t.decisions txid commit;
+        if is_leader t then begin
+          List.iter
+            (fun shard ->
+              shard_send_frame t shard
+                (if commit then Two_pc.Commit { txid }
+                 else Two_pc.Abort { txid }))
+            participants;
+          match Hashtbl.find_opt t.coord_rounds txid with
+          | Some cr ->
+              cr.cr_done <- true;
+              if cr.cr_session <> 0 then
+                send_to_client t cr.cr_session
+                  (P.Reply
+                     { xid = cr.cr_xid;
+                       result =
+                         (if commit then P.Multi_ok
+                          else P.Error Zerror.Txn_conflict) });
+              Hashtbl.remove t.coord_rounds txid
+          | None -> ()
+        end
+      end
+  | Txn.Tresolve { txid; commit } -> (
+      match Hashtbl.find_opt t.prepared txid with
+      | None -> () (* duplicate or unknown outcome push: nothing parked *)
+      | Some (_coord, ops) ->
+          Hashtbl.remove t.prepared txid;
+          Hashtbl.remove t.proposed_resolves txid;
+          release_txn_locks t txid ops;
+          t.txn_audit <- (txid, commit) :: t.txn_audit;
+          if commit then
+            List.iter
+              (fun op ->
+                match op with
+                | Two_pc.Wcreate { path; data } ->
+                    apply_op t
+                      (Txn.Tcreate { path; data; ephemeral_owner = None })
+                | Two_pc.Wset { path; data } ->
+                    let version =
+                      match Data_tree.get_data t.tree path with
+                      | Ok (_, stat) -> stat.Znode.version + 1
+                      | Error _ -> 1
+                    in
+                    apply_op t (Txn.Tset { path; data; version })
+                | Two_pc.Wdelete { path } ->
+                    apply_op t (Txn.Tdelete { path }))
+              ops)
 
 (* --- snapshots (§3.8 state transfer) --- *)
 
@@ -281,6 +489,10 @@ type snapshot = {
   snap_tree : Data_tree.portable;
   snap_sessions : (int * session_info) list;
   snap_blocked : (string * (int * int * int) list) list;
+  snap_locks : (string * string) list;  (** 2PC path locks (§6j) *)
+  snap_prepared : (string * (int * Two_pc.wop list)) list;
+  snap_decisions : (string * bool) list;
+  snap_audit : (string * bool) list;  (** oldest first *)
 }
 
 (* Snapshot blobs cross the wire and are re-read by other replicas (and,
@@ -305,13 +517,32 @@ let snapshot_to_wire s =
                    (List.map
                       (fun (s, o, x) -> List [ Int s; Int o; Int x ])
                       waiters) ])
-           s.snap_blocked) ]
+           s.snap_blocked);
+      List
+        (List.map
+           (fun (path, txid) -> List [ Str path; Str txid ])
+           s.snap_locks);
+      List
+        (List.map
+           (fun (txid, (coord, ops)) ->
+             List
+               [ Str txid; Int coord;
+                 List (List.map Two_pc.wop_to_wire ops) ])
+           s.snap_prepared);
+      List
+        (List.map
+           (fun (txid, commit) -> List [ Str txid; bool_ commit ])
+           s.snap_decisions);
+      List
+        (List.map
+           (fun (txid, commit) -> List [ Str txid; bool_ commit ])
+           s.snap_audit) ]
 
 let snapshot_of_wire w =
   let open Wire in
   let ( let* ) = Result.bind in
   match w with
-  | List [ tree; sessions; blocked ] ->
+  | List [ tree; sessions; blocked; locks; prepared; decisions; audit ] ->
       let* snap_tree = Wire_format.portable_of_wire tree in
       let* snap_sessions =
         map_list
@@ -336,7 +567,33 @@ let snapshot_of_wire w =
             | _ -> Error "bad blocked entry")
           blocked
       in
-      Ok { snap_tree; snap_sessions; snap_blocked }
+      let* snap_locks =
+        map_list
+          (function
+            | List [ Str path; Str txid ] -> Ok (path, txid)
+            | _ -> Error "bad lock entry")
+          locks
+      in
+      let* snap_prepared =
+        map_list
+          (function
+            | List [ Str txid; Int coord; ops ] ->
+                let* ops = map_list Two_pc.wop_of_wire ops in
+                Ok (txid, (coord, ops))
+            | _ -> Error "bad prepared entry")
+          prepared
+      in
+      let decided_entry = function
+        | List [ Str txid; commit ] ->
+            let* commit = to_bool commit in
+            Ok (txid, commit)
+        | _ -> Error "bad decision entry"
+      in
+      let* snap_decisions = map_list decided_entry decisions in
+      let* snap_audit = map_list decided_entry audit in
+      Ok
+        { snap_tree; snap_sessions; snap_blocked; snap_locks; snap_prepared;
+          snap_decisions; snap_audit }
   | _ -> Error "bad snapshot"
 
 (** Capture the replica's whole replicated state (tree, sessions, parked
@@ -367,11 +624,20 @@ let capture_snapshot t =
     Hashtbl.fold (fun k v acc -> (k, List.sort compare !v) :: acc) t.blocked []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  let sorted_of_tbl tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let snap_locks = sorted_of_tbl t.locks in
+  let snap_prepared = sorted_of_tbl t.prepared in
+  let snap_decisions = sorted_of_tbl t.decisions in
+  let snap_audit = List.rev t.txn_audit in
   fun () ->
     t.snap_serializations <- t.snap_serializations + 1;
     Wire.encode
       (snapshot_to_wire
-         { snap_tree = Data_tree.materialize image; snap_sessions; snap_blocked })
+         { snap_tree = Data_tree.materialize image; snap_sessions; snap_blocked;
+           snap_locks; snap_prepared; snap_decisions; snap_audit })
 
 let snapshot_bytes t = (capture_snapshot t) ()
 
@@ -389,6 +655,19 @@ let install_snapshot t blob =
       List.iter
         (fun (k, v) -> Hashtbl.replace t.blocked k (ref v))
         snap.snap_blocked;
+      Hashtbl.reset t.locks;
+      List.iter (fun (k, v) -> Hashtbl.replace t.locks k v) snap.snap_locks;
+      Hashtbl.reset t.prepared;
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace t.prepared k v;
+          arm_status_probe t k)
+        snap.snap_prepared;
+      Hashtbl.reset t.decisions;
+      List.iter
+        (fun (k, v) -> Hashtbl.replace t.decisions k v)
+        snap.snap_decisions;
+      t.txn_audit <- List.rev snap.snap_audit;
       t.snap_installs <- t.snap_installs + 1;
       (* the installed blob puts us exactly at a snapshot horizon: restart
          the interval so we do not immediately re-capture state we just
@@ -456,6 +735,262 @@ let propose t (txn : Txn.t) =
           (P.Error Zerror.Not_leader)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-shard commit, coordinator + participant front ends (§6j)      *)
+(* ------------------------------------------------------------------ *)
+
+(** Decide an open round.  Commit rides this shard's log ([Tdecide] — the
+    commit point; pushes and the client reply happen when it applies, on
+    whoever is leader then).  Abort is presumed: no record, just pushes
+    and the reply — any state a dead leader forgets aborts by default. *)
+let decide_round t txid cr commit =
+  if not cr.cr_done then
+    if commit then begin
+      cr.cr_done <- true;
+      t.txns_committed <- t.txns_committed + 1;
+      propose t
+        (Txn.internal
+           [ Txn.Tdecide
+               { txid; commit = true; participants = cr.cr_participants } ])
+    end
+    else begin
+      cr.cr_done <- true;
+      t.txns_aborted <- t.txns_aborted + 1;
+      List.iter
+        (fun shard -> shard_send_frame t shard (Two_pc.Abort { txid }))
+        cr.cr_participants;
+      if cr.cr_session <> 0 then
+        reply_direct t ~session:cr.cr_session ~xid:cr.cr_xid
+          (P.Error Zerror.Txn_conflict);
+      Hashtbl.remove t.coord_rounds txid
+    end
+
+(** Coordinator heartbeat: re-send [Prepare] to silent participants,
+    presumed-abort the round past the deadline. *)
+let rec coord_tick t txid () =
+  match Hashtbl.find_opt t.coord_rounds txid with
+  | None -> ()
+  | Some cr when cr.cr_done -> ()
+  | Some cr ->
+      if
+        Sim_time.(
+          t.config.txn_coord_timeout
+          <= Sim_time.sub (Sim.now t.sim) cr.cr_started)
+      then decide_round t txid cr false
+      else begin
+        List.iter
+          (fun (shard, ops) ->
+            if not (List.mem shard cr.cr_acks) then
+              shard_send_frame t shard
+                (Two_pc.Prepare
+                   { txid; coord = t.shard_id;
+                     participants = cr.cr_participants; ops }))
+          cr.cr_slices;
+        Sim.schedule t.sim ~after:t.config.txn_retry_interval
+          (coord_tick t txid)
+      end
+
+let start_cross_shard t ~session ~xid slices =
+  t.txn_counter <- t.txn_counter + 1;
+  let txid =
+    Fmt.str "s%d.e%d.%d" t.shard_id (Zab.epoch (zab t)) t.txn_counter
+  in
+  let participants = List.map fst slices in
+  let cr =
+    {
+      cr_participants = participants;
+      cr_slices = slices;
+      cr_acks = [];
+      cr_done = false;
+      cr_origin = 0;
+      cr_session = session;
+      cr_xid = xid;
+      cr_started = Sim.now t.sim;
+    }
+  in
+  Hashtbl.replace t.coord_rounds txid cr;
+  t.txns_coordinated <- t.txns_coordinated + 1;
+  List.iter
+    (fun (shard, ops) ->
+      shard_send_frame t shard
+        (Two_pc.Prepare { txid; coord = t.shard_id; participants; ops }))
+    slices;
+  Sim.schedule t.sim ~after:t.config.txn_retry_interval (coord_tick t txid)
+
+let handle_prepare_ack t txid shard ok =
+  match Hashtbl.find_opt t.coord_rounds txid with
+  | None -> () (* a previous leader's round; participants recover via Status *)
+  | Some cr when cr.cr_done -> ()
+  | Some cr ->
+      if not ok then decide_round t txid cr false
+      else begin
+        if not (List.mem shard cr.cr_acks) then
+          cr.cr_acks <- shard :: cr.cr_acks;
+        if
+          List.for_all (fun s -> List.mem s cr.cr_acks) cr.cr_participants
+        then decide_round t txid cr true
+      end
+
+(** Answer an in-doubt participant from replicated state.  No decision
+    record and no live collecting round means no commit can ever be
+    decided — presumed abort.  A still-collecting round is aborted on the
+    spot: the inquiry proves a participant already timed out. *)
+let handle_status t txid from_shard =
+  match Hashtbl.find_opt t.decisions txid with
+  | Some true -> shard_send_frame t from_shard (Two_pc.Commit { txid })
+  | Some false -> shard_send_frame t from_shard (Two_pc.Abort { txid })
+  | None -> (
+      match Hashtbl.find_opt t.coord_rounds txid with
+      | Some cr when not cr.cr_done -> decide_round t txid cr false
+      | _ -> shard_send_frame t from_shard (Two_pc.Abort { txid }))
+
+(** Speculative prepare validation at the participant leader: same
+    predicates as the apply-time vote, but against the speculative view
+    (so in-flight normal writes are visible) plus both lock tables.  A
+    spec-level no is answered without a log record. *)
+let spec_wop_valid t op =
+  match op with
+  | Two_pc.Wcreate { path; _ } -> (
+      Spec_view.exists t.spec path = None
+      &&
+      match Zpath.parent path with
+      | None -> false
+      | Some parent -> (
+          match Spec_view.exists t.spec parent with
+          | Some stat -> stat.Znode.ephemeral_owner = None
+          | None -> false))
+  | Two_pc.Wset { path; _ } -> Spec_view.exists t.spec path <> None
+  | Two_pc.Wdelete { path } -> (
+      match Spec_view.children t.spec path with Ok [] -> true | _ -> false)
+
+let handle_prepare t ~txid ~coord ops =
+  if audited t txid then
+    (* already resolved here: re-tell the coordinator the final state *)
+    shard_send_frame t coord
+      (Two_pc.Prepare_ack
+         { txid; shard = t.shard_id; ok = List.assoc txid t.txn_audit })
+  else if Hashtbl.mem t.prepared txid then
+    shard_send_frame t coord
+      (Two_pc.Prepare_ack { txid; shard = t.shard_id; ok = true })
+  else if Hashtbl.mem t.proposed_preps txid then
+    () (* prepare already in our log pipeline; the vote rides its apply *)
+  else begin
+    let paths = lock_paths ops in
+    let lock_ok =
+      List.for_all
+        (fun p ->
+          (not (Hashtbl.mem t.locks p)) && not (Hashtbl.mem t.spec_locks p))
+        paths
+    in
+    if lock_ok && List.for_all (spec_wop_valid t) ops then begin
+      List.iter (fun p -> Hashtbl.replace t.spec_locks p txid) paths;
+      Hashtbl.replace t.proposed_preps txid ();
+      propose t (Txn.internal [ Txn.Tprep { txid; coord; ops } ])
+    end
+    else
+      shard_send_frame t coord
+        (Two_pc.Prepare_ack { txid; shard = t.shard_id; ok = false })
+  end
+
+let handle_outcome t txid commit =
+  if Hashtbl.mem t.prepared txid && not (Hashtbl.mem t.proposed_resolves txid)
+  then begin
+    Hashtbl.replace t.proposed_resolves txid ();
+    propose t (Txn.internal [ Txn.Tresolve { txid; commit } ])
+  end
+
+(** Entry point for the deployment's inter-shard plane: frames only mean
+    something to a ready leader — anyone else drops them and lets the
+    sender's retry/inquiry loop find the new leader. *)
+let handle_shard_frame t frame =
+  if is_leader t && t.leader_ready then
+    match frame with
+    | Two_pc.Prepare { txid; coord; participants = _; ops } ->
+        handle_prepare t ~txid ~coord ops
+    | Two_pc.Prepare_ack { txid; shard; ok } ->
+        handle_prepare_ack t txid shard ok
+    | Two_pc.Commit { txid } -> handle_outcome t txid true
+    | Two_pc.Abort { txid } -> handle_outcome t txid false
+    | Two_pc.Status { txid; from_shard } -> handle_status t txid from_shard
+
+(** A path is write-blocked while a prepared transaction holds it (or its
+    parent): the parked write will apply unconditionally at resolve, so
+    nothing conflicting may slip into the log in between. *)
+let write_locked t path =
+  let l p = Hashtbl.mem t.locks p || Hashtbl.mem t.spec_locks p in
+  l path || (match Zpath.parent path with Some p -> l p | None -> false)
+
+(** Single-shard slice of a multi: all-or-nothing through the speculative
+    view, one ordinary multi-op transaction. *)
+let preprocess_local_multi t ~origin ~session ~xid ops =
+  let reply_err e =
+    propose t
+      { origin = Some origin; session; xid; ops = [ Txn.Terror ];
+        result = P.Error e; quiet = false }
+  in
+  if List.exists (fun op -> write_locked t (Two_pc.wop_path op)) ops then
+    reply_err Zerror.Locked
+  else begin
+    Spec_view.begin_txn t.spec;
+    let rec mint acc = function
+      | [] -> Ok (List.rev acc)
+      | op :: rest -> (
+          let minted =
+            match op with
+            | Two_pc.Wcreate { path; data } ->
+                Result.map
+                  (fun (_, top) -> top)
+                  (Spec_view.create_node t.spec ~path ~data
+                     ~ephemeral_owner:None ~sequential:false)
+            | Two_pc.Wset { path; data } ->
+                Result.map
+                  (fun (top, _) -> top)
+                  (Spec_view.set_node t.spec ~path ~data
+                     ~expected_version:None)
+            | Two_pc.Wdelete { path } ->
+                Spec_view.delete_node t.spec ~path ~version:None
+          in
+          match minted with
+          | Ok top -> mint (top :: acc) rest
+          | Error e -> Error e)
+    in
+    match mint [] ops with
+    | Ok tops ->
+        Spec_view.commit_txn t.spec;
+        propose t
+          { origin = Some origin; session; xid; ops = tops;
+            result = P.Multi_ok; quiet = false }
+    | Error e ->
+        Spec_view.rollback_txn t.spec;
+        reply_err e
+  end
+
+let preprocess_multi t ~origin ~session ~xid ops =
+  let slices =
+    match t.shard_route with
+    | None -> [ (t.shard_id, ops) ]
+    | Some route ->
+        let tbl = Hashtbl.create 4 in
+        let order = ref [] in
+        List.iter
+          (fun op ->
+            let s = route (Two_pc.wop_path op) in
+            match Hashtbl.find_opt tbl s with
+            | Some slice -> slice := op :: !slice
+            | None ->
+                Hashtbl.replace tbl s (ref [ op ]);
+                order := s :: !order)
+          ops;
+        List.rev_map (fun s -> (s, List.rev !(Hashtbl.find tbl s))) !order
+  in
+  match slices with
+  | [] -> reply_direct t ~session ~xid P.Multi_ok
+  | [ (shard, ops) ] when shard = t.shard_id ->
+      preprocess_local_multi t ~origin ~session ~xid ops
+  | _ when t.shard_send = None ->
+      reply_direct t ~session ~xid (P.Error Zerror.Unsupported)
+  | _ -> start_cross_shard t ~session ~xid slices
+
+(* ------------------------------------------------------------------ *)
 (* Preprocessor stage (leader only)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -479,7 +1014,22 @@ let reply_read t ~origin ~session ~xid result =
   end
 
 let preprocess_normal t ~origin ~session ~xid op =
+  let locked_target =
+    (* A prepared cross-shard transaction holds its paths (and their
+       parents) until resolution; conflicting normal writes must not be
+       ordered in between (§6j). *)
+    match op with
+    | P.Create { path; _ } | P.Delete { path; _ } | P.Set_data { path; _ } ->
+        write_locked t path
+    | _ -> false
+  in
+  if locked_target then
+    propose t
+      { origin = Some origin; session; xid; ops = [ Txn.Terror ];
+        result = P.Error Zerror.Locked; quiet = false }
+  else
   match op with
+  | P.Multi { ops } -> preprocess_multi t ~origin ~session ~xid ops
   | P.Create { path; data; ephemeral; sequential } -> (
       let ephemeral_owner = if ephemeral then Some session else None in
       match Spec_view.create_node t.spec ~path ~data ~ephemeral_owner ~sequential with
@@ -630,7 +1180,7 @@ let serve_read t ~session ~xid op =
       if watch then Watch_manager.add t.watch Watch_manager.Data path session;
       reply (P.Stat_of (Data_tree.exists t.tree path))
   | P.Sync -> reply P.Synced
-  | P.Block _ | P.Create _ | P.Delete _ | P.Set_data _ ->
+  | P.Block _ | P.Create _ | P.Delete _ | P.Set_data _ | P.Multi _ ->
       reply (P.Error Zerror.Unsupported)
 
 (* ------------------------------------------------------------------ *)
@@ -658,14 +1208,15 @@ let forward_to_leader t msg =
 
 let is_read_op = function
   | P.Get_data _ | P.Get_children _ | P.Exists _ | P.Sync -> true
-  | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ -> false
+  | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ | P.Multi _ -> false
 
 (* [Sync] counts as a read for refusal purposes but is never served from
    local state: it always travels to the leader and back through the
    commit path so it can act as a read-your-writes barrier. *)
 let is_local_read_op = function
   | P.Get_data _ | P.Get_children _ | P.Exists _ -> true
-  | P.Sync | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ -> false
+  | P.Sync | P.Create _ | P.Delete _ | P.Set_data _ | P.Block _ | P.Multi _ ->
+      false
 
 (* Reads that travel to the leader still arm their watch at the origin
    replica: watch events are delivered by the replica owning the session.
@@ -761,12 +1312,23 @@ let rec expiry_tick t generation () =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let reset_2pc_volatile t =
+  (* Leader-volatile 2PC state: open coordinator rounds die with their
+     leader (participants recover through Status inquiries against the
+     replicated decision table); speculative locks and proposal dedup
+     marks are rebuilt from the log as it applies. *)
+  Hashtbl.reset t.coord_rounds;
+  Hashtbl.reset t.spec_locks;
+  Hashtbl.reset t.proposed_preps;
+  Hashtbl.reset t.proposed_resolves
+
 let on_role_change t role =
   match role with
   | Zab.Leader ->
       t.ready_barrier <- Zab.log_length (zab t);
       Spec_view.reset t.spec;
       t.outstanding <- 0;
+      reset_2pc_volatile t;
       t.leader_ready <- Zab.committed_length (zab t) >= t.ready_barrier;
       if t.leader_ready then drain_deferred t;
       (* Sessions: adopt last_touch for all known sessions so they do not
@@ -776,7 +1338,8 @@ let on_role_change t role =
         t.sessions
   | Zab.Follower | Zab.Candidate ->
       t.leader_ready <- false;
-      t.deferred <- []
+      t.deferred <- [];
+      reset_2pc_volatile t
 
 let check_ready t =
   if
@@ -826,6 +1389,21 @@ let create ?(config = default_config) ?zab_config ?initial_leader
       snap_serializations = 0;
       snap_skipped = 0;
       snap_installs = 0;
+      shard_id = 0;
+      shard_route = None;
+      shard_send = None;
+      locks = Hashtbl.create 16;
+      prepared = Hashtbl.create 16;
+      decisions = Hashtbl.create 16;
+      txn_audit = [];
+      coord_rounds = Hashtbl.create 16;
+      spec_locks = Hashtbl.create 16;
+      proposed_preps = Hashtbl.create 16;
+      proposed_resolves = Hashtbl.create 16;
+      txn_counter = 0;
+      txns_coordinated = 0;
+      txns_committed = 0;
+      txns_aborted = 0;
     }
   in
   (* The spec view must wrap the server's own tree. *)
@@ -864,6 +1442,15 @@ let restart t =
   Zab.restart (zab t);
   Sim.schedule t.sim ~after:t.config.expiry_check_interval
     (expiry_tick t t.generation)
+
+(** [set_sharding] plugs the replica into a sharded deployment: its own
+    shard id, the deployment's path router (classifies multi ops), and a
+    sender on the inter-shard plane (frames addressed by shard id; the
+    deployment delivers them to that shard's current leader). *)
+let set_sharding t ~shard_id ~route ~send =
+  t.shard_id <- shard_id;
+  t.shard_route <- Some route;
+  t.shard_send <- Some send
 
 (* Hook installation (used by EZK) *)
 let set_hook_intercept t f = t.hook_intercept <- f

@@ -50,6 +50,16 @@ type config = {
           through the commit path as a quiet no-op barrier (§6i).  The
           default [false] keeps ZooKeeper's sequentially-consistent local
           read fast path. *)
+  txn_retry_interval : Sim_time.t;
+      (** coordinator heartbeat: re-send [Prepare] to silent participant
+          shards at this interval (§6j) *)
+  txn_coord_timeout : Sim_time.t;
+      (** coordinator presumed-aborts a cross-shard transaction that has
+          not gathered every vote within this budget *)
+  txn_status_interval : Sim_time.t;
+      (** participant in-doubt inquiry interval: while a prepared
+          transaction is unresolved, the participant leader asks the
+          coordinator shard for the outcome this often *)
 }
 
 val default_config : config
@@ -142,6 +152,51 @@ val install_snapshot : t -> string -> (unit, string) result
     (bootstrap objects, event-extension follow-ups).  [quiet] transactions
     do not trigger event extensions. *)
 val propose_internal : t -> ?quiet:bool -> Txn.op list -> unit
+
+(** {2 Sharded deployments (§6j)}
+
+    A replica can serve as one member of a sharded deployment: the
+    namespace is partitioned across independent replication groups, and
+    atomic cross-shard multi-writes commit via presumed-abort two-phase
+    commit whose coordinator and participant state both ride the groups'
+    replicated logs. *)
+
+(** [set_sharding t ~shard_id ~route ~send] plugs the replica into a
+    sharded deployment: its own shard id, the deployment's path router,
+    and a sender on the inter-shard plane ([send dst frame] delivers
+    [frame] to shard [dst]'s current leader). *)
+val set_sharding :
+  t ->
+  shard_id:int ->
+  route:(string -> int) ->
+  send:(int -> Two_pc.frame -> unit) ->
+  unit
+
+val shard_id : t -> int
+
+(** Deliver an inter-shard 2PC frame to this replica.  Frames are only
+    meaningful to a ready leader; anyone else drops them and lets the
+    sender's retry / in-doubt inquiry loop find the new leader. *)
+val handle_shard_frame : t -> Two_pc.frame -> unit
+
+(** Resolved cross-shard outcomes on this replica, oldest first — the
+    atomicity checker's observation stream. *)
+val txn_audit : t -> (string * bool) list
+
+(** Replicated coordinator decision for [txid], if one was logged here. *)
+val decided : t -> string -> bool option
+
+(** In-doubt transactions parked on this replica (txid, coordinator). *)
+val prepared_txns : t -> (string * int) list
+
+(** Paths currently write-locked by prepared transactions (path, txid). *)
+val locked_paths : t -> (string * string) list
+
+(** 2PC statistics (coordinator side). *)
+
+val txns_coordinated : t -> int
+val txns_committed : t -> int
+val txns_aborted : t -> int
 
 (** Hook installation (used by EZK). *)
 

@@ -256,7 +256,8 @@ let on_applied_op t = function
   | Txn.Tcreate _ ->
       if t.pending_creates > 0 then t.pending_creates <- t.pending_creates - 1
   | Txn.Tdelete _ | Txn.Tset _ | Txn.Tsession_open _ | Txn.Tsession_close _
-  | Txn.Tsession_move _ | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror ->
+  | Txn.Tsession_move _ | Txn.Tblock _ | Txn.Tnotify _ | Txn.Terror
+  | Txn.Tprep _ | Txn.Tdecide _ | Txn.Tresolve _ ->
       ()
 
 let pending_count t = Hashtbl.length t.pending

@@ -21,6 +21,22 @@ type op =
   | Tnotify of { session : int; path : string; kind : Protocol.watch_kind }
       (** custom notification emitted by an event extension *)
   | Terror  (** ordered no-op carrying an error result back to the client *)
+  | Tprep of {
+      txid : string;
+      coord : int;  (** coordinator shard (target of in-doubt inquiries) *)
+      ops : Edc_replication.Two_pc.wop list;
+    }
+      (** participant-side prepare record of a cross-shard transaction
+          (§6j): on apply, every replica deterministically validates the
+          buffered writes against the committed tree, locks their paths,
+          and parks the ops until the matching [Tresolve] *)
+  | Tdecide of { txid : string; commit : bool; participants : int list }
+      (** coordinator-side decision record — the commit point of the
+          cross-shard transaction; replicated so any later coordinator
+          leader can answer in-doubt participants *)
+  | Tresolve of { txid : string; commit : bool }
+      (** participant-side outcome record: apply the parked writes (or
+          discard them) and release the locks *)
 
 type t = {
   origin : int option;
@@ -47,6 +63,14 @@ let op_size = function
   | Tblock { path; _ } -> 24 + String.length path
   | Tnotify { path; _ } -> 20 + String.length path
   | Terror -> 8
+  | Tprep { txid; ops; _ } ->
+      24 + String.length txid
+      + List.fold_left
+          (fun acc o -> acc + Edc_replication.Two_pc.wop_size o)
+          0 ops
+  | Tdecide { txid; participants; _ } ->
+      20 + String.length txid + (4 * List.length participants)
+  | Tresolve { txid; _ } -> 16 + String.length txid
 
 let size t =
   List.fold_left (fun acc op -> acc + op_size op) (24 + Protocol.result_size t.result) t.ops
@@ -62,5 +86,11 @@ let pp_op ppf = function
   | Tblock { path; session; _ } -> Fmt.pf ppf "block %s by %d" path session
   | Tnotify { path; session; _ } -> Fmt.pf ppf "notify %d about %s" session path
   | Terror -> Fmt.string ppf "error"
+  | Tprep { txid; ops; _ } ->
+      Fmt.pf ppf "prep %s (%d ops)" txid (List.length ops)
+  | Tdecide { txid; commit; _ } ->
+      Fmt.pf ppf "decide %s %s" txid (if commit then "commit" else "abort")
+  | Tresolve { txid; commit } ->
+      Fmt.pf ppf "resolve %s %s" txid (if commit then "commit" else "abort")
 
 let pp ppf t = Fmt.pf ppf "txn[%a]" Fmt.(list ~sep:comma pp_op) t.ops

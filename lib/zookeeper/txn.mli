@@ -20,6 +20,16 @@ type op =
   | Tnotify of { session : int; path : string; kind : Protocol.watch_kind }
       (** custom notification emitted by an event extension *)
   | Terror  (** ordered no-op carrying an error result to the client *)
+  | Tprep of {
+      txid : string;
+      coord : int;
+      ops : Edc_replication.Two_pc.wop list;
+    }
+      (** cross-shard prepare: validate, lock, and park the writes (§6j) *)
+  | Tdecide of { txid : string; commit : bool; participants : int list }
+      (** coordinator decision record — the transaction's commit point *)
+  | Tresolve of { txid : string; commit : bool }
+      (** participant outcome: apply or discard parked writes, unlock *)
 
 type t = {
   origin : int option;  (** replica that owns the request and must reply *)

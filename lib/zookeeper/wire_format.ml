@@ -39,6 +39,8 @@ let zerror_to_wire (e : Zerror.t) =
   | Zerror.Timeout -> Int 9
   | Zerror.Maybe_applied -> Int 10
   | Zerror.Extension_error msg -> List [ Int 11; Str msg ]
+  | Zerror.Locked -> Int 12
+  | Zerror.Txn_conflict -> Int 13
 
 let zerror_of_wire w =
   let open Wire in
@@ -55,6 +57,8 @@ let zerror_of_wire w =
   | Int 9 -> Ok Zerror.Timeout
   | Int 10 -> Ok Zerror.Maybe_applied
   | List [ Int 11; Str msg ] -> Ok (Zerror.Extension_error msg)
+  | Int 12 -> Ok Zerror.Locked
+  | Int 13 -> Ok Zerror.Txn_conflict
   | _ -> Error "bad error code"
 
 let watch_kind_to_wire (k : Protocol.watch_kind) =
@@ -159,6 +163,8 @@ let op_to_wire (op : Protocol.op) =
   | Protocol.Exists { path; watch } -> List [ Int 5; Str path; bool_ watch ]
   | Protocol.Block { path } -> List [ Int 6; Str path ]
   | Protocol.Sync -> List [ Int 7 ]
+  | Protocol.Multi { ops } ->
+      List [ Int 8; List (List.map Edc_replication.Two_pc.wop_to_wire ops) ]
 
 let op_of_wire w =
   let open Wire in
@@ -184,6 +190,9 @@ let op_of_wire w =
       Ok (Protocol.Exists { path; watch })
   | List [ Int 6; Str path ] -> Ok (Protocol.Block { path })
   | List [ Int 7 ] -> Ok Protocol.Sync
+  | List [ Int 8; ops ] ->
+      let* ops = map_list Edc_replication.Two_pc.wop_of_wire ops in
+      Ok (Protocol.Multi { ops })
   | _ -> Error "bad operation"
 
 let result_to_wire (r : Protocol.result) =
@@ -199,6 +208,7 @@ let result_to_wire (r : Protocol.result) =
   | Protocol.Ext s -> List [ Int 7; Str s ]
   | Protocol.Synced -> List [ Int 8 ]
   | Protocol.Error e -> List [ Int 9; zerror_to_wire e ]
+  | Protocol.Multi_ok -> List [ Int 10 ]
 
 let result_of_wire w =
   let open Wire in
@@ -221,6 +231,7 @@ let result_of_wire w =
   | List [ Int 9; e ] ->
       let* e = zerror_of_wire e in
       Ok (Protocol.Error e)
+  | List [ Int 10 ] -> Ok Protocol.Multi_ok
   | _ -> Error "bad result"
 
 let client_msg_to_wire (m : Protocol.client_to_server) =
@@ -290,6 +301,15 @@ let txn_op_to_wire (op : Txn.op) =
   | Txn.Tnotify { session; path; kind } ->
       List [ Int 7; Int session; Str path; watch_kind_to_wire kind ]
   | Txn.Terror -> List [ Int 8 ]
+  | Txn.Tprep { txid; coord; ops } ->
+      List
+        [ Int 9; Str txid; Int coord;
+          List (List.map Edc_replication.Two_pc.wop_to_wire ops) ]
+  | Txn.Tdecide { txid; commit; participants } ->
+      List
+        [ Int 10; Str txid; bool_ commit;
+          List (List.map (fun s -> Int s) participants) ]
+  | Txn.Tresolve { txid; commit } -> List [ Int 11; Str txid; bool_ commit ]
 
 let txn_op_of_wire w =
   let open Wire in
@@ -311,6 +331,20 @@ let txn_op_of_wire w =
       let* kind = watch_kind_of_wire k in
       Ok (Txn.Tnotify { session; path; kind })
   | List [ Int 8 ] -> Ok Txn.Terror
+  | List [ Int 9; Str txid; Int coord; ops ] ->
+      let* ops = map_list Edc_replication.Two_pc.wop_of_wire ops in
+      Ok (Txn.Tprep { txid; coord; ops })
+  | List [ Int 10; Str txid; commit; participants ] ->
+      let* commit = to_bool commit in
+      let* participants =
+        map_list
+          (function Int s -> Ok s | _ -> Error "bad participant shard")
+          participants
+      in
+      Ok (Txn.Tdecide { txid; commit; participants })
+  | List [ Int 11; Str txid; commit ] ->
+      let* commit = to_bool commit in
+      Ok (Txn.Tresolve { txid; commit })
   | _ -> Error "bad transaction op"
 
 let txn_to_wire (t : Txn.t) =

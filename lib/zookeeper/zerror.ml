@@ -15,6 +15,12 @@ type t =
   | Maybe_applied
       (** a non-idempotent update timed out: it may or may not have
           executed, and resubmitting could double-apply (Session layer) *)
+  | Locked
+      (** the path is locked by a prepared cross-shard transaction;
+          definitely not applied — retry after the 2PC outcome (§6j) *)
+  | Txn_conflict
+      (** a cross-shard transaction aborted (validation failure, lock
+          conflict, or presumed-abort timeout); definitely not applied *)
 
 let to_string = function
   | No_node -> "no node"
@@ -29,6 +35,8 @@ let to_string = function
   | Extension_error msg -> "extension error: " ^ msg
   | Timeout -> "timeout"
   | Maybe_applied -> "maybe applied"
+  | Locked -> "locked"
+  | Txn_conflict -> "txn conflict"
 
 let pp ppf e = Fmt.string ppf (to_string e)
 let equal (a : t) b = a = b

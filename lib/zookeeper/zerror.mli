@@ -15,6 +15,9 @@ type t =
   | Maybe_applied
       (** a non-idempotent update timed out: it may or may not have
           executed, and resubmitting could double-apply ({!Session}) *)
+  | Locked
+      (** path held by a prepared cross-shard transaction; not applied *)
+  | Txn_conflict  (** cross-shard transaction aborted; not applied *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -1061,6 +1061,235 @@ let test_ezk_batched_extension_atomic () =
           Alcotest.failf "replica %d: %s" i (Zk.Zerror.to_string e))
     (Edc_ezk.Ezk_cluster.servers cluster)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded 2PC recovery regressions (§6j)                              *)
+(*                                                                     *)
+(* Deterministic fault interpositions against the cross-shard commit   *)
+(* protocol: a coordinator killed at each side of its commit record    *)
+(* must recover to the same outcome on every replica of every          *)
+(* participant shard, and a participant partitioned during prepare     *)
+(* must be presumed-aborted with its locks released.                   *)
+(* ------------------------------------------------------------------ *)
+
+module Shard_map = Edc_sharding.Shard_map
+module Shard_cluster = Edc_sharding.Shard_cluster
+module Shard_session = Edc_sharding.Shard_session
+module Zserver = Edc_zookeeper.Server
+module Zerror = Edc_zookeeper.Zerror
+module Atomicity = Edc_checker.Atomicity
+
+let in_2pc_cluster ?(seed = 11) f =
+  let sim = Sim.create ~seed () in
+  let rules =
+    [ { Shard_map.prefix = "/s0"; shard = 0 };
+      { Shard_map.prefix = "/s1"; shard = 1 } ]
+  in
+  let map = Shard_map.v ~rules 2 in
+  let cluster = Shard_cluster.create ~map sim in
+  let failure = ref None in
+  Proc.spawn sim (fun () -> try f cluster with e -> failure := Some e);
+  Sim.run ~until:(Sim_time.sec 120) sim;
+  (match !failure with Some e -> raise e | None -> ());
+  (* after quiescence: identical outcomes everywhere, nothing in doubt,
+     nothing locked *)
+  let vs =
+    Atomicity.check
+      ~audits:(Shard_cluster.audits cluster)
+      ~prepared:(Shard_cluster.residual_prepared cluster)
+      ~locks:(Shard_cluster.residual_locks cluster)
+      ()
+  in
+  if vs <> [] then
+    Alcotest.failf "atomicity violations: %a"
+      Fmt.(list ~sep:semi Atomicity.pp_violation)
+      vs
+
+let leader_index cluster ~shard =
+  let servers = Shard_cluster.servers cluster shard in
+  let idx = ref None in
+  Array.iteri (fun i s -> if Zserver.is_leader s then idx := Some i) servers;
+  match !idx with
+  | Some i -> i
+  | None -> Alcotest.failf "shard %d has no leader" shard
+
+let wait_until sim ~step_ms ~deadline_ms what cond =
+  let rec go waited =
+    if cond () then ()
+    else if waited >= deadline_ms then
+      Alcotest.failf "timed out waiting for %s" what
+    else (
+      Proc.sleep sim (Sim_time.ms step_ms);
+      go (waited + step_ms))
+  in
+  go 0
+
+let participant_prepared cluster shard () =
+  match Shard_cluster.shard_leader cluster shard with
+  | Some l -> Zserver.prepared_txns l <> []
+  | None -> false
+
+let check_uniform_outcome cluster ~committed =
+  let audits = Shard_cluster.audits cluster in
+  Alcotest.(check int) "all six replicas resolved the transaction" 6
+    (List.length audits);
+  List.iter
+    (fun (shard, replica, outs) ->
+      match outs with
+      | [ (_, c) ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d replica %d outcome" shard replica)
+            committed c
+      | _ ->
+          Alcotest.failf "shard %d replica %d resolved %d times" shard replica
+            (List.length outs))
+    audits
+
+let everywhere cluster shard path =
+  Array.for_all
+    (fun s -> Edc_zookeeper.Data_tree.mem (Zserver.tree s) path)
+    (Shard_cluster.servers cluster shard)
+
+let nowhere cluster shard path =
+  Array.for_all
+    (fun s -> not (Edc_zookeeper.Data_tree.mem (Zserver.tree s) path))
+    (Shard_cluster.servers cluster shard)
+
+(* Coordinator leader killed after the participants logged their prepare
+   records but before any commit decision was recorded.  The volatile
+   coordinator round dies with it; the in-doubt participants' status
+   probes must drive every replica of both shards to the same
+   presumed-abort outcome, with all locks released. *)
+let test_2pc_coordinator_crash_before_decision () =
+  in_2pc_cluster (fun cluster ->
+      let sim = Shard_cluster.sim cluster in
+      let net = Shard_cluster.ishard_net cluster in
+      let s = Shard_session.connect cluster in
+      (match Shard_session.create_node s "/s0" "" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "root /s0: %a" Zerror.pp e);
+      (match Shard_session.create_node s "/s1" "" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "root /s1: %a" Zerror.pp e);
+      (* block participant acks: the coordinator is pinned between its
+         prepare records and the commit decision *)
+      Net.cut_link_one_way net ~src:1 ~dst:0;
+      let outcome = ref `Pending in
+      Proc.spawn sim (fun () ->
+          match
+            Shard_session.multi s
+              [
+                Two_pc.Wcreate { path = "/s0/x"; data = "l" };
+                Two_pc.Wcreate { path = "/s1/y"; data = "r" };
+              ]
+          with
+          | Ok () -> outcome := `Committed
+          | Error _ -> outcome := `Aborted);
+      wait_until sim ~step_ms:10 ~deadline_ms:5_000 "participant prepare"
+        (participant_prepared cluster 1);
+      (* kill the coordinator while the decision is still unrecorded *)
+      let ci = leader_index cluster ~shard:0 in
+      Shard_cluster.crash_server cluster ~shard:0 ci;
+      Proc.sleep sim (Sim_time.sec 2);
+      Net.heal_link_one_way net ~src:1 ~dst:0;
+      Shard_cluster.restart_server cluster ~shard:0 ci;
+      (* status inquiries find no decision and no open round: abort *)
+      Proc.sleep sim (Sim_time.sec 20);
+      (match !outcome with
+      | `Committed -> Alcotest.fail "multi reported success without a decision"
+      | `Aborted | `Pending -> ());
+      check_uniform_outcome cluster ~committed:false;
+      Alcotest.(check bool) "no partial write on shard 0" true
+        (nowhere cluster 0 "/s0/x");
+      Alcotest.(check bool) "no partial write on shard 1" true
+        (nowhere cluster 1 "/s1/y"))
+
+(* Coordinator leader killed after its commit record was replicated but
+   with the outcome pushes to the participant lost: the decision table
+   survives in the coordinator shard's log, so the participant's status
+   probe must recover the transaction to commit on every replica. *)
+let test_2pc_coordinator_crash_after_commit_record () =
+  in_2pc_cluster ~seed:13 (fun cluster ->
+      let sim = Shard_cluster.sim cluster in
+      let net = Shard_cluster.ishard_net cluster in
+      let s = Shard_session.connect cluster in
+      (match Shard_session.create_node s "/s0" "" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "root /s0: %a" Zerror.pp e);
+      (match Shard_session.create_node s "/s1" "" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "root /s1: %a" Zerror.pp e);
+      (* interposer: the moment the participant logs its prepare, sever
+         the coordinator→participant direction so the commit push is
+         lost and the participant stays in doubt *)
+      Proc.spawn sim (fun () ->
+          wait_until sim ~step_ms:1 ~deadline_ms:5_000 "participant prepare"
+            (participant_prepared cluster 1);
+          Net.cut_link_one_way net ~src:0 ~dst:1);
+      (match
+         Shard_session.multi s
+           [
+             Two_pc.Wcreate { path = "/s0/x"; data = "l" };
+             Two_pc.Wcreate { path = "/s1/y"; data = "r" };
+           ]
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "cross-shard multi: %a" Zerror.pp e);
+      (* the decision is recorded (the client heard commit) but the
+         participant must not have resolved yet *)
+      Alcotest.(check bool) "participant still in doubt" true
+        (participant_prepared cluster 1 ());
+      (* kill the coordinator: recovery must come from the replicated
+         decision table, not the dead process *)
+      let ci = leader_index cluster ~shard:0 in
+      Shard_cluster.crash_server cluster ~shard:0 ci;
+      Proc.sleep sim (Sim_time.sec 2);
+      Net.heal_link_one_way net ~src:0 ~dst:1;
+      Shard_cluster.restart_server cluster ~shard:0 ci;
+      Proc.sleep sim (Sim_time.sec 20);
+      check_uniform_outcome cluster ~committed:true;
+      Alcotest.(check bool) "commit applied on shard 0" true
+        (everywhere cluster 0 "/s0/x");
+      Alcotest.(check bool) "commit applied on shard 1" true
+        (everywhere cluster 1 "/s1/y"))
+
+(* Participant shard partitioned off during prepare: its acks never
+   reach the coordinator, which must time out to presumed-abort; the
+   pushed abort releases the participant's locks. *)
+let test_2pc_participant_partition_presumed_abort () =
+  in_2pc_cluster ~seed:17 (fun cluster ->
+      let sim = Shard_cluster.sim cluster in
+      let net = Shard_cluster.ishard_net cluster in
+      let s = Shard_session.connect cluster in
+      (match Shard_session.create_node s "/s0" "" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "root /s0: %a" Zerror.pp e);
+      (match Shard_session.create_node s "/s1" "" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "root /s1: %a" Zerror.pp e);
+      Net.cut_link_one_way net ~src:1 ~dst:0;
+      (match
+         Shard_session.multi s
+           [
+             Two_pc.Wcreate { path = "/s0/x"; data = "l" };
+             Two_pc.Wcreate { path = "/s1/y"; data = "r" };
+           ]
+       with
+      | Ok () -> Alcotest.fail "multi committed without participant acks"
+      | Error Zerror.Txn_conflict -> ()
+      | Error e -> Alcotest.failf "expected txn conflict, got %a" Zerror.pp e);
+      Net.heal_link_one_way net ~src:1 ~dst:0;
+      Proc.sleep sim (Sim_time.sec 10);
+      check_uniform_outcome cluster ~committed:false;
+      (* the participant prepared and locked; the abort must have
+         released everything *)
+      Array.iter
+        (fun srv ->
+          Alcotest.(check (list (pair string string)))
+            "participant locks released" [] (Zserver.locked_paths srv))
+        (Shard_cluster.servers cluster 1);
+      Alcotest.(check bool) "nothing applied on shard 1" true
+        (nowhere cluster 1 "/s1/y"))
+
 let qc = QCheck_alcotest.to_alcotest
 
 let () =
@@ -1132,5 +1361,14 @@ let () =
             test_pbft_batched_view_change;
           Alcotest.test_case "ezk batched extension atomic" `Quick
             test_ezk_batched_extension_atomic;
+        ] );
+      ( "2pc recovery",
+        [
+          Alcotest.test_case "coordinator crash before decision" `Quick
+            test_2pc_coordinator_crash_before_decision;
+          Alcotest.test_case "coordinator crash after commit record" `Quick
+            test_2pc_coordinator_crash_after_commit_record;
+          Alcotest.test_case "participant partition presumed abort" `Quick
+            test_2pc_participant_partition_presumed_abort;
         ] );
     ]

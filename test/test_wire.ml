@@ -693,6 +693,171 @@ let test_tcp_garbage_is_dropped () =
   Alcotest.(check int) "garbage not dispatched" 0 !received
 
 (* ------------------------------------------------------------------ *)
+(* 2PC frames and shard-map payloads (§6j)                             *)
+(* ------------------------------------------------------------------ *)
+
+module Two_pc = Edc_replication.Two_pc
+module Shard_map = Edc_sharding.Shard_map
+
+let twopc_frame_arb =
+  let open QCheck.Gen in
+  let txid =
+    map3
+      (fun s e c -> Printf.sprintf "s%d.e%d.%d" s e c)
+      (int_range 0 15) (int_range 0 9) (int_range 0 999)
+  in
+  let path =
+    map
+      (fun comps -> "/" ^ String.concat "/" comps)
+      (list_size (int_range 1 3)
+         (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)))
+  in
+  let data = string_size ~gen:(char_range '\000' '\255') (int_range 0 24) in
+  let wop =
+    oneof
+      [
+        map2 (fun p d -> Two_pc.Wcreate { path = p; data = d }) path data;
+        map2 (fun p d -> Two_pc.Wset { path = p; data = d }) path data;
+        map (fun p -> Two_pc.Wdelete { path = p }) path;
+      ]
+  in
+  let frame =
+    oneof
+      [
+        (let* t = txid in
+         let* coord = int_range 0 15 in
+         let* participants = list_size (int_range 1 4) (int_range 0 15) in
+         let* ops = list_size (int_range 0 5) wop in
+         return (Two_pc.Prepare { txid = t; coord; participants; ops }));
+        map3
+          (fun t shard ok -> Two_pc.Prepare_ack { txid = t; shard; ok })
+          txid (int_range 0 15) bool;
+        map (fun t -> Two_pc.Commit { txid = t }) txid;
+        map (fun t -> Two_pc.Abort { txid = t }) txid;
+        map2
+          (fun t s -> Two_pc.Status { txid = t; from_shard = s })
+          txid (int_range 0 15);
+      ]
+  in
+  QCheck.make
+    ~print:(fun f -> Format.asprintf "%a" Two_pc.pp_frame f)
+    frame
+
+let twopc_encode f = Wire.encode (Two_pc.frame_to_wire f)
+
+let twopc_decode s =
+  match Wire.decode s with
+  | Error _ as e -> e
+  | Ok w -> Two_pc.frame_of_wire w
+
+let prop_twopc_roundtrip =
+  QCheck.Test.make ~name:"2pc frames roundtrip" ~count:500 twopc_frame_arb
+    (fun f -> twopc_decode (twopc_encode f) = Ok f)
+
+let prop_twopc_size =
+  QCheck.Test.make ~name:"2pc frame_size bounds payload" ~count:500
+    twopc_frame_arb (fun f -> Two_pc.frame_size f > 0)
+
+(* truncation at EVERY byte offset must be a clean [Error] *)
+let prop_twopc_truncation =
+  QCheck.Test.make ~name:"2pc frame truncations all rejected" ~count:200
+    twopc_frame_arb (fun f ->
+      let s = twopc_encode f in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        match twopc_decode (String.sub s 0 k) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      !ok)
+
+let prop_twopc_garbage =
+  QCheck.Test.make ~name:"2pc decoder total on garbage" ~count:1000
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s -> match twopc_decode s with Ok _ | Error _ -> true)
+
+(* random well-formed wire trees that are NOT 2pc frames must be refused
+   without raising *)
+let prop_twopc_wrong_shape =
+  QCheck.Test.make ~name:"2pc decoder refuses foreign wire trees" ~count:500
+    wire_arb (fun w ->
+      match Two_pc.frame_of_wire w with Ok _ | Error _ -> true)
+
+let test_twopc_crafted_malformed () =
+  let reject name s =
+    match twopc_decode s with
+    | Error _ -> ()
+    | Ok f ->
+        Alcotest.failf "%s decoded to %s" name
+          (Format.asprintf "%a" Two_pc.pp_frame f)
+  in
+  (* non-minimal varint inside an otherwise valid frame: re-spell the
+     leading length byte of the encoded frame as a 2-byte varint *)
+  let s = twopc_encode (Two_pc.Commit { txid = "s0.e1.2" }) in
+  (match Wire.decode s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid commit frame rejected: %s" e);
+  let n = Char.code s.[1] in
+  if n < 0x80 then
+    reject "non-minimal frame length varint"
+      (String.make 1 s.[0]
+      ^ String.make 1 (Char.chr (0x80 lor n))
+      ^ "\x00"
+      ^ String.sub s 2 (String.length s - 2));
+  (* truncated mid-frame and pure garbage *)
+  reject "truncated commit" (String.sub s 0 (String.length s - 1));
+  reject "garbage" "\xde\xad\xbe\xef";
+  (* structurally valid wire, wrong arity / tag *)
+  reject "unknown frame tag"
+    (Wire.encode (Wire.List [ Wire.Int 99; Wire.Str "t" ]));
+  reject "prepare with non-list ops"
+    (Wire.encode
+       (Wire.List [ Wire.Int 0; Wire.Str "t"; Wire.Int 1; Wire.Int 2 ]))
+
+let shard_map_arb =
+  let open QCheck.Gen in
+  let gen =
+    let* n = int_range 1 16 in
+    let* version = int_range 0 1000 in
+    let* rules =
+      list_size (int_range 0 5)
+        (map2
+           (fun c shard -> { Shard_map.prefix = "/" ^ c; shard })
+           (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+           (int_range 0 (n - 1)))
+    in
+    return (Shard_map.v ~version ~rules n)
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Shard_map.pp) gen
+
+let prop_shard_map_roundtrip =
+  QCheck.Test.make ~name:"shard-map payload roundtrip" ~count:500
+    shard_map_arb (fun m ->
+      match Shard_map.decode (Shard_map.encode m) with
+      | Ok m' ->
+          Shard_map.version m' = Shard_map.version m
+          && Shard_map.n_shards m' = Shard_map.n_shards m
+          && Shard_map.rules m' = Shard_map.rules m
+      | Error _ -> false)
+
+let prop_shard_map_truncation =
+  QCheck.Test.make ~name:"shard-map truncations all rejected" ~count:100
+    shard_map_arb (fun m ->
+      let s = Shard_map.encode m in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        match Shard_map.decode (String.sub s 0 k) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      !ok)
+
+let prop_shard_map_garbage =
+  QCheck.Test.make ~name:"shard-map decoder total on garbage" ~count:1000
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s -> match Shard_map.decode s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "edc_wire"
@@ -734,5 +899,18 @@ let () =
             test_tcp_counter_workload;
           Alcotest.test_case "garbage frames dropped, not fatal" `Quick
             test_tcp_garbage_is_dropped;
+        ] );
+      ( "2pc",
+        [
+          qc prop_twopc_roundtrip;
+          qc prop_twopc_size;
+          qc prop_twopc_truncation;
+          qc prop_twopc_garbage;
+          qc prop_twopc_wrong_shape;
+          Alcotest.test_case "crafted malformed 2pc frames rejected" `Quick
+            test_twopc_crafted_malformed;
+          qc prop_shard_map_roundtrip;
+          qc prop_shard_map_truncation;
+          qc prop_shard_map_garbage;
         ] );
     ]
