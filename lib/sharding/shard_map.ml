@@ -20,6 +20,11 @@ type t = {
 
 let v ?(version = 1) ?(rules = []) n_shards =
   if n_shards <= 0 then invalid_arg "Shard_map.v: n_shards must be positive";
+  List.iter
+    (fun r ->
+      if r.shard < 0 || r.shard >= n_shards then
+        invalid_arg "Shard_map.v: rule shard out of range")
+    rules;
   { version; n_shards; rules }
 
 let version t = t.version
@@ -55,7 +60,7 @@ let rule_matches r path =
 
 let route t path =
   match List.find_opt (fun r -> rule_matches r path) t.rules with
-  | Some r -> r.shard mod t.n_shards
+  | Some r -> r.shard (* validated in range by [v] and [of_wire] *)
   | None -> stable_hash (first_component path) mod t.n_shards
 
 (** Shards a subscription pattern can reach.  A pattern whose matches all

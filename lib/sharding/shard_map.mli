@@ -12,7 +12,8 @@ type t
 
 (** [v n_shards] — hash placement over [n_shards] groups; [rules] pin
     whole subtrees to named shards (first match wins).  Raises
-    [Invalid_argument] when [n_shards <= 0]. *)
+    [Invalid_argument] when [n_shards <= 0] or a rule's shard falls
+    outside [0, n_shards). *)
 val v : ?version:int -> ?rules:rule list -> int -> t
 
 val version : t -> int

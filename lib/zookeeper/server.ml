@@ -163,6 +163,9 @@ type t = {
   locks : (string, string) Hashtbl.t;  (** path -> txid; replicated *)
   prepared : (string, int * Two_pc.wop list) Hashtbl.t;
       (** txid -> (coordinator shard, parked writes); replicated *)
+  probing : (string, unit) Hashtbl.t;
+      (** txids with a live in-doubt probe chain; replica-local, keeps
+          [arm_status_probe] from stacking timers per txid *)
   decisions : (string, bool) Hashtbl.t;  (** txid -> committed; replicated *)
   mutable txn_audit : (string * bool) list;
       (** resolve outcomes, newest first; replicated — the atomicity
@@ -347,19 +350,26 @@ let audited t txid = List.mem_assoc txid t.txn_audit
 (** In-doubt participant loop: while [txid] stays prepared, the current
     leader of this shard periodically asks the coordinator shard for the
     outcome.  The chain is armed on every replica when the [Tprep]
-    applies (and re-armed on snapshot install) but only the leader of the
-    moment speaks — so the inquiry survives any single replica's death. *)
+    applies (and on snapshot install, for snapshots carrying prepared
+    txns) but only the leader of the moment speaks — so the inquiry
+    survives any single replica's death.  At most one chain runs per
+    txid: [t.probing] marks live chains so re-arming (e.g. a snapshot
+    install while the txn is still in doubt) is a no-op instead of a
+    second timer multiplying Status traffic. *)
 let arm_status_probe t txid =
-  let rec probe () =
-    match Hashtbl.find_opt t.prepared txid with
-    | None -> ()
-    | Some (coord, _) ->
-        if is_leader t then
-          shard_send_frame t coord
-            (Two_pc.Status { txid; from_shard = t.shard_id });
-        Sim.schedule t.sim ~after:t.config.txn_status_interval probe
-  in
-  Sim.schedule t.sim ~after:t.config.txn_status_interval probe
+  if not (Hashtbl.mem t.probing txid) then begin
+    Hashtbl.replace t.probing txid ();
+    let rec probe () =
+      match Hashtbl.find_opt t.prepared txid with
+      | None -> Hashtbl.remove t.probing txid
+      | Some (coord, _) ->
+          if is_leader t then
+            shard_send_frame t coord
+              (Two_pc.Status { txid; from_shard = t.shard_id });
+          Sim.schedule t.sim ~after:t.config.txn_status_interval probe
+    in
+    Sim.schedule t.sim ~after:t.config.txn_status_interval probe
+  end
 
 let rec apply_op t op =
   match op with
@@ -764,6 +774,10 @@ let decide_round t txid cr commit =
       Hashtbl.remove t.coord_rounds txid
     end
 
+let round_expired t cr =
+  Sim_time.(
+    t.config.txn_coord_timeout <= Sim_time.sub (Sim.now t.sim) cr.cr_started)
+
 (** Coordinator heartbeat: re-send [Prepare] to silent participants,
     presumed-abort the round past the deadline. *)
 let rec coord_tick t txid () =
@@ -771,11 +785,7 @@ let rec coord_tick t txid () =
   | None -> ()
   | Some cr when cr.cr_done -> ()
   | Some cr ->
-      if
-        Sim_time.(
-          t.config.txn_coord_timeout
-          <= Sim_time.sub (Sim.now t.sim) cr.cr_started)
-      then decide_round t txid cr false
+      if round_expired t cr then decide_round t txid cr false
       else begin
         List.iter
           (fun (shard, ops) ->
@@ -831,17 +841,30 @@ let handle_prepare_ack t txid shard ok =
       end
 
 (** Answer an in-doubt participant from replicated state.  No decision
-    record and no live collecting round means no commit can ever be
-    decided — presumed abort.  A still-collecting round is aborted on the
-    spot: the inquiry proves a participant already timed out. *)
+    record and no live round means no commit can ever be decided —
+    presumed abort.  A live round is NOT evidence either way: probes are
+    cadence-driven (the default [txn_status_interval] fires well inside
+    [txn_coord_timeout]), so a round that is still collecting votes is
+    left alone unless it is already past the coordinator deadline — then
+    it is aborted on the spot, the same presumed-abort the next
+    {!coord_tick} would apply.  A round whose commit decision is in
+    flight ([cr_done] set, [Tdecide] proposed but not yet applied) gets
+    no answer at all: answering Abort there lets one participant resolve
+    abort while the commit record lands and pushes Commit to the rest —
+    a partial commit.  Silence is safe — the probe retries, and by then
+    either the record applied (the decision table answers Commit) or
+    this leader fell (its volatile rounds die with it and the record,
+    never committed, resolves to presumed abort under the next one). *)
 let handle_status t txid from_shard =
   match Hashtbl.find_opt t.decisions txid with
   | Some true -> shard_send_frame t from_shard (Two_pc.Commit { txid })
   | Some false -> shard_send_frame t from_shard (Two_pc.Abort { txid })
   | None -> (
       match Hashtbl.find_opt t.coord_rounds txid with
-      | Some cr when not cr.cr_done -> decide_round t txid cr false
-      | _ -> shard_send_frame t from_shard (Two_pc.Abort { txid }))
+      | Some cr when not cr.cr_done ->
+          if round_expired t cr then decide_round t txid cr false
+      | Some _ -> () (* commit record in flight: answer after it applies *)
+      | None -> shard_send_frame t from_shard (Two_pc.Abort { txid }))
 
 (** Speculative prepare validation at the participant leader: same
     predicates as the apply-time vote, but against the speculative view
@@ -1394,6 +1417,7 @@ let create ?(config = default_config) ?zab_config ?initial_leader
       shard_send = None;
       locks = Hashtbl.create 16;
       prepared = Hashtbl.create 16;
+      probing = Hashtbl.create 16;
       decisions = Hashtbl.create 16;
       txn_audit = [];
       coord_rounds = Hashtbl.create 16;
