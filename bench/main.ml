@@ -458,6 +458,7 @@ let chaos quick =
   Report.availability_table points;
   Report.fault_summary points;
   Report.snapshot_summary points;
+  Report.wire_summary points;
   Report.reconfig_summary points;
   Report.error_taxonomy points;
   Report.invariant_failures points;

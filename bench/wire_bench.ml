@@ -1,18 +1,27 @@
 (* Wire codec benchmarks (PR: untrusted-bytes binary codec + pluggable
-   transport).
+   transport; PR: zero-tree streaming serialization + coalescing TCP).
 
-   Three experiments, results in BENCH_wire.json:
-   - codec: encode/decode wall-clock throughput of the Wire frame codec
-     against the unchecked [Marshal] baseline it replaced, on the two
+   Three experiments, results in BENCH_wire.json (schema 2):
+   - codec: encode/decode wall-clock of the Wire frame codec on the two
      shapes that dominate traffic — a group-committed transaction batch
-     and a full snapshot image.  Marshal appears here only as the
-     yardstick; the servers no longer link it.
+     and a full snapshot image — for three codecs: the tree codec
+     ("wire", builds a [Wire.t] first), the zero-tree streaming codec
+     ("wire_stream", [Wire.Writer]/[Wire.Reader]), and the unchecked
+     [Marshal] baseline the servers no longer link.  The streaming rows
+     are gated: in full mode they must land within 2x of Marshal both
+     ways on both shapes; in quick mode (CI) the measured
+     stream-vs-marshal ratios are compared against the committed
+     bench/wire_baseline.json with a 2x tolerance, so a codec regression
+     fails the job without depending on absolute runner speed.
    - decode_reject: time to reject corrupt input (truncated and
      bit-flipped blobs) — the untrusted path must fail fast, not scale
      with the declared (attacker-chosen) sizes
-   - tcp: the counter workload end to end over real loopback sockets via
-     {!Edc_wire.Tcp_transport}, reported as wall-clock ops/s next to the
-     same workload on the in-sim transport *)
+   - e2e: the counter workload end to end.  The sim row is the unchanged
+     synchronous workload on the virtual-time message plane; the tcp row
+     drives real loopback sockets through {!Edc_wire.Tcp_transport} with
+     a window of pipelined in-flight requests ([Client.request_async]),
+     a warmup phase, and per-op latency percentiles.  Full mode gates
+     tcp throughput at >= 6700 ops/s over >= 5000 timed ops. *)
 
 open Edc_simnet
 module Zk = Edc_zookeeper
@@ -23,6 +32,7 @@ module Zab_wire = Edc_replication.Zab_wire
 module Wire = Edc_wire.Wire
 module Tcp_transport = Edc_wire.Tcp_transport
 module J = Bench_json
+module P = Zk.Protocol
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
@@ -98,7 +108,9 @@ let codec_experiment ~quick =
   let portable = snapshot_portable (if quick then 2_000 else 10_000) in
   let batch_to_wire m = Zab_wire.to_wire ~payload:Zk.Wire_format.txn_to_wire m in
   let batch_of_wire w = Zab_wire.of_wire ~payload:Zk.Wire_format.txn_of_wire w in
-  let shapes =
+  let write_batch w m = Zab_wire.write ~payload:Zk.Wire_format.write_txn w m in
+  let read_batch r = Zab_wire.read ~payload:Zk.Wire_format.read_txn r in
+  let tree_shapes =
     [
       ( "txn_batch_64",
         (fun () -> Wire.encode (batch_to_wire batch)),
@@ -114,6 +126,24 @@ let codec_experiment ~quick =
           | Error e -> failwith e );
     ]
   in
+  let stream_shapes =
+    [
+      ( "txn_batch_64",
+        (fun () -> Wire.Writer.with_writer (fun w -> write_batch w batch)),
+        fun s ->
+          match Wire.Reader.run s read_batch with
+          | Ok _ -> ()
+          | Error e -> failwith e );
+      ( "snapshot_10k",
+        (fun () ->
+          Wire.Writer.with_writer (fun w ->
+              Zk.Wire_format.write_portable w portable)),
+        fun s ->
+          match Wire.Reader.run s Zk.Wire_format.read_portable with
+          | Ok _ -> ()
+          | Error e -> failwith e );
+    ]
+  in
   let marshal_shapes =
     [
       ( "txn_batch_64",
@@ -124,25 +154,119 @@ let codec_experiment ~quick =
         fun s -> ignore (Marshal.from_string s 0 : Dt.portable) );
     ]
   in
+  (* the streaming fast path must stay byte-identical to the tree codec —
+     a cheap standing check on top of the fuzz suite *)
+  List.iter2
+    (fun (shape, tree_enc, _) (_, stream_enc, _) ->
+      if not (String.equal (tree_enc ()) (stream_enc ())) then
+        failwith (shape ^ ": streaming encode is not byte-identical"))
+    tree_shapes stream_shapes;
   Printf.printf "\n  codec throughput (mean wall clock, %d reps):\n" reps;
-  Printf.printf "  %14s %9s %9s %12s %12s\n" "shape" "codec" "bytes" "encode us"
-    "decode us";
+  Printf.printf "  %14s %12s %9s %12s %12s\n" "shape" "codec" "bytes"
+    "encode us" "decode us";
   let measure codec (shape, enc, dec) =
     let bytes = String.length (enc ()) in
     let blob = enc () in
     let encode_us = time_us ~reps (fun () -> ignore (enc () : string)) in
     let decode_us = time_us ~reps (fun () -> dec blob) in
-    Printf.printf "  %14s %9s %9d %12.2f %12.2f\n%!" shape codec bytes encode_us
-      decode_us;
+    Printf.printf "  %14s %12s %9d %12.2f %12.2f\n%!" shape codec bytes
+      encode_us decode_us;
     { c_shape = shape; c_codec = codec; c_bytes = bytes; c_encode_us = encode_us;
       c_decode_us = decode_us }
   in
-  let wire_rows = List.map (measure "wire") shapes in
+  let tree_rows = List.map (measure "wire") tree_shapes in
+  let stream_rows = List.map (measure "wire_stream") stream_shapes in
   let marshal_rows = List.map (measure "marshal") marshal_shapes in
-  let rows = wire_rows @ marshal_rows in
+  let rows = tree_rows @ stream_rows @ marshal_rows in
   Printf.printf
     "  (marshal is the unchecked baseline the servers no longer link)\n";
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Codec gates                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find_row rows ~codec ~shape =
+  List.find (fun r -> r.c_codec = codec && r.c_shape = shape) rows
+
+(* stream-vs-marshal cost ratios per shape: the unit the gates and the
+   committed baseline speak (machine-independent, unlike raw us) *)
+let stream_ratios rows =
+  List.map
+    (fun shape ->
+      let s = find_row rows ~codec:"wire_stream" ~shape in
+      let m = find_row rows ~codec:"marshal" ~shape in
+      (shape, s.c_encode_us /. m.c_encode_us, s.c_decode_us /. m.c_decode_us))
+    [ "txn_batch_64"; "snapshot_10k" ]
+
+let baseline_path = Filename.concat "bench" "wire_baseline.json"
+
+(* Full mode: absolute gate — streaming must land within 2x of Marshal
+   both ways on both shapes.  Quick mode (CI): compare the measured
+   ratios against the committed baseline with a 2x tolerance, so the
+   guard tracks codec regressions without trusting runner speed. *)
+let codec_gates ~quick rows ~fail_gate =
+  let ratios = stream_ratios rows in
+  if quick then begin
+    match J.of_file baseline_path with
+    | Error e ->
+        Printf.printf "  [gate] no codec baseline (%s): %s — skipping\n"
+          baseline_path e
+    | Ok doc ->
+        let baseline_of shape =
+          match Option.bind (J.member "ratios" doc) J.to_list with
+          | None -> None
+          | Some rs ->
+              List.find_map
+                (fun r ->
+                  match Option.bind (J.member "shape" r) J.to_str with
+                  | Some s when s = shape ->
+                      Option.bind
+                        (Option.bind (J.member "encode_ratio" r) J.to_float)
+                        (fun e ->
+                          Option.map
+                            (fun d -> (e, d))
+                            (Option.bind (J.member "decode_ratio" r)
+                               J.to_float))
+                  | _ -> None)
+                rs
+        in
+        List.iter
+          (fun (shape, enc, dec) ->
+            match baseline_of shape with
+            | None -> fail_gate (shape ^ ": missing from codec baseline")
+            | Some (benc, bdec) ->
+                let check dir v b =
+                  if v > b *. 2.0 then
+                    fail_gate
+                      (Printf.sprintf
+                         "%s %s: stream/marshal ratio %.2f exceeds 2x \
+                          baseline %.2f"
+                         shape dir v b)
+                  else
+                    Printf.printf
+                      "  [gate] %s %s ratio %.2f within 2x baseline %.2f\n"
+                      shape dir v b
+                in
+                check "encode" enc benc;
+                check "decode" dec bdec)
+          ratios
+  end
+  else
+    List.iter
+      (fun (shape, enc, dec) ->
+        let check dir v =
+          if v > 2.0 then
+            fail_gate
+              (Printf.sprintf "%s %s: streaming is %.2fx Marshal (gate: 2x)"
+                 shape dir v)
+          else
+            Printf.printf "  [gate] %s %s: %.2fx Marshal (gate: 2x)\n" shape
+              dir v
+        in
+        check "encode" enc;
+        check "decode" dec)
+      ratios
 
 (* ------------------------------------------------------------------ *)
 (* Rejection cost: corrupt input must fail fast                        *)
@@ -182,7 +306,15 @@ let reject_experiment ~quick =
 (* End to end: counter workload, in-sim vs real sockets                *)
 (* ------------------------------------------------------------------ *)
 
-type e2e_row = { e_transport : string; e_ops : int; e_wall_s : float; e_ops_s : float }
+type e2e_row = {
+  e_transport : string;
+  e_ops : int;  (** timed operations *)
+  e_warmup : int;
+  e_window : int;  (** max pipelined in-flight requests *)
+  e_wall_s : float;
+  e_ops_s : float;
+  e_lat : (float * float * float) option;  (** p50/p95/p99 us, tcp only *)
+}
 
 let counter_workload client ~increments =
   (match Zk.Client.create_node client "/ctr" "0" with
@@ -194,12 +326,58 @@ let counter_workload client ~increments =
     | Error e -> failwith (Format.asprintf "set %d: %a" i Zk.Zerror.pp e)
   done
 
-let e2e_tcp ~increments =
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    (* nearest-rank *)
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* Pipelined counter workload: one fiber keeps up to [window] increments
+   in flight via [request_async]; the first [warmup] ops are untimed.
+   Returns (timed wall seconds, per-op latencies in us). *)
+let pipelined_workload sim client ~ops ~warmup ~window =
+  ignore sim;
+  (match Zk.Client.create_node client "/ctr" "0" with
+  | Ok _ -> ()
+  | Error e -> failwith (Format.asprintf "create: %a" Zk.Zerror.pp e));
+  let lats = ref [] in
+  let q = Queue.create () in
+  let t_start = ref 0.0 in
+  let submit i =
+    if i = warmup then t_start := Unix.gettimeofday ();
+    let timed = i >= warmup in
+    let t0 = Unix.gettimeofday () in
+    let p =
+      Zk.Client.request_async client
+        (P.Set_data
+           { path = "/ctr"; data = string_of_int i; expected_version = None })
+    in
+    Proc.on_fulfill p (fun r ->
+        (match r with
+        | P.Set _ -> ()
+        | P.Error e -> failwith (Format.asprintf "set %d: %a" i Zk.Zerror.pp e)
+        | _ -> failwith "unexpected reply");
+        if timed then lats := (Unix.gettimeofday () -. t0) *. 1e6 :: !lats);
+    Queue.add p q
+  in
+  let drain_one () = ignore (Proc.await (Queue.pop q) : P.result) in
+  for i = 0 to warmup + ops - 1 do
+    if Queue.length q >= window then drain_one ();
+    submit i
+  done;
+  while not (Queue.is_empty q) do
+    drain_one ()
+  done;
+  (Unix.gettimeofday () -. !t_start, !lats)
+
+let e2e_tcp ~ops ~warmup ~window =
   let sim = Sim.create ~seed:5 () in
   let base_port = 22000 + (Unix.getpid () mod 18000) in
   let hub =
     Tcp_transport.create ~sim ~base_port ~encode:Zk.Server_wire.encode
-      ~decode:Zk.Server_wire.decode ()
+      ~decode:Zk.Server_wire.decode_sub ()
   in
   let tr = Tcp_transport.transport hub in
   let replica_ids = [ 0; 1; 2 ] in
@@ -214,7 +392,7 @@ let e2e_tcp ~increments =
   let fin =
     Proc.async sim (fun () ->
         Zk.Client.connect client;
-        counter_workload client ~increments)
+        pipelined_workload sim client ~ops ~warmup ~window)
   in
   let deadline = t0 +. 120. in
   while (not (Proc.is_fulfilled fin)) && Unix.gettimeofday () < deadline do
@@ -222,10 +400,24 @@ let e2e_tcp ~increments =
   done;
   Tcp_transport.shutdown hub;
   if not (Proc.is_fulfilled fin) then failwith "tcp workload did not finish";
-  let wall = Unix.gettimeofday () -. t0 in
-  let ops = increments + 1 in
-  { e_transport = "tcp"; e_ops = ops; e_wall_s = wall;
-    e_ops_s = float_of_int ops /. wall }
+  let wall, lats =
+    match Proc.value_opt fin with Some v -> v | None -> assert false
+  in
+  let sorted = Array.of_list lats in
+  Array.sort compare sorted;
+  {
+    e_transport = "tcp";
+    e_ops = ops;
+    e_warmup = warmup;
+    e_window = window;
+    e_wall_s = wall;
+    e_ops_s = float_of_int ops /. wall;
+    e_lat =
+      Some
+        ( percentile sorted 0.50,
+          percentile sorted 0.95,
+          percentile sorted 0.99 );
+  }
 
 let e2e_sim ~increments =
   let sim = Sim.create ~seed:5 () in
@@ -240,20 +432,32 @@ let e2e_sim ~increments =
   if not (Proc.is_fulfilled fin) then failwith "sim workload did not finish";
   let wall = Unix.gettimeofday () -. t0 in
   let ops = increments + 1 in
-  { e_transport = "sim"; e_ops = ops; e_wall_s = wall;
-    e_ops_s = float_of_int ops /. wall }
+  { e_transport = "sim"; e_ops = ops; e_warmup = 0; e_window = 1;
+    e_wall_s = wall; e_ops_s = float_of_int ops /. wall; e_lat = None }
 
 let e2e_experiment ~quick =
   let increments = if quick then 100 else 500 in
+  let ops = if quick then 1_000 else 5_000 in
+  let warmup = if quick then 64 else 256 in
+  let window = 64 in
   Printf.printf
-    "\n  end to end, identical replica code (counter workload, %d updates):\n"
-    increments;
-  Printf.printf "  %9s %8s %10s %12s\n" "transport" "ops" "wall s" "ops/s";
-  let rows = [ e2e_sim ~increments; e2e_tcp ~increments ] in
+    "\n\
+    \  end to end, identical replica code (counter workload; sim: %d \
+     synchronous updates,\n\
+    \   tcp: %d pipelined updates after %d warmup, window %d):\n"
+    increments ops warmup window;
+  Printf.printf "  %9s %8s %10s %12s %10s %10s %10s\n" "transport" "ops"
+    "wall s" "ops/s" "p50 us" "p95 us" "p99 us";
+  let rows = [ e2e_sim ~increments; e2e_tcp ~ops ~warmup ~window ] in
   List.iter
     (fun r ->
-      Printf.printf "  %9s %8d %10.2f %12.1f\n%!" r.e_transport r.e_ops r.e_wall_s
-        r.e_ops_s)
+      match r.e_lat with
+      | Some (p50, p95, p99) ->
+          Printf.printf "  %9s %8d %10.2f %12.1f %10.1f %10.1f %10.1f\n%!"
+            r.e_transport r.e_ops r.e_wall_s r.e_ops_s p50 p95 p99
+      | None ->
+          Printf.printf "  %9s %8d %10.2f %12.1f %10s %10s %10s\n%!"
+            r.e_transport r.e_ops r.e_wall_s r.e_ops_s "-" "-" "-")
     rows;
   Printf.printf
     "  (tcp wall time includes real socket round trips; the sim row is the\n\
@@ -263,10 +467,29 @@ let e2e_experiment ~quick =
 (* ------------------------------------------------------------------ *)
 
 let run ~quick =
+  let gate_failures = ref [] in
+  let fail_gate msg =
+    Printf.printf "  [gate] FAILED: %s\n%!" msg;
+    gate_failures := msg :: !gate_failures
+  in
   let codec_rows = codec_experiment ~quick in
+  Printf.printf "\n  codec gates (%s):\n"
+    (if quick then "ratios vs committed baseline, 2x tolerance"
+     else "absolute, <= 2x Marshal");
+  codec_gates ~quick codec_rows ~fail_gate;
   let reject_rows = reject_experiment ~quick in
   let e2e_rows = e2e_experiment ~quick in
-  J.write_suite ~suite:"wire"
+  (if not quick then
+     let tcp = List.find (fun r -> r.e_transport = "tcp") e2e_rows in
+     if tcp.e_ops < 5_000 then
+       fail_gate (Printf.sprintf "tcp e2e ran %d ops (gate: >= 5000)" tcp.e_ops)
+     else if tcp.e_ops_s < 6_700.0 then
+       fail_gate
+         (Printf.sprintf "tcp e2e %.0f ops/s (gate: >= 6700)" tcp.e_ops_s)
+     else
+       Printf.printf "  [gate] tcp e2e %.0f ops/s over %d ops (gate: >= 6700)\n"
+         tcp.e_ops_s tcp.e_ops);
+  J.write_suite ~schema:2 ~suite:"wire"
     [
       ( "codec",
         J.List
@@ -291,11 +514,27 @@ let run ~quick =
           (List.map
              (fun r ->
                J.Obj
-                 [
-                   ("transport", J.Str r.e_transport);
-                   ("ops", J.Int r.e_ops);
-                   ("wall_s", J.Float r.e_wall_s);
-                   ("ops_per_s", J.Float r.e_ops_s);
-                 ])
+                 ([
+                    ("transport", J.Str r.e_transport);
+                    ("ops", J.Int r.e_ops);
+                    ("warmup", J.Int r.e_warmup);
+                    ("window", J.Int r.e_window);
+                    ("wall_s", J.Float r.e_wall_s);
+                    ("ops_per_s", J.Float r.e_ops_s);
+                  ]
+                 @
+                 match r.e_lat with
+                 | Some (p50, p95, p99) ->
+                     [
+                       ("p50_us", J.Float p50);
+                       ("p95_us", J.Float p95);
+                       ("p99_us", J.Float p99);
+                     ]
+                 | None -> []))
              e2e_rows) );
-    ]
+    ];
+  if !gate_failures <> [] then begin
+    Printf.printf "\n  wire bench gates FAILED:\n";
+    List.iter (Printf.printf "    - %s\n") (List.rev !gate_failures);
+    exit 1
+  end

@@ -599,6 +599,9 @@ type chaos_point = {
   ch_snap : Systems.snapshot_stats;
       (** snapshot/state-transfer activity during the run (zeros for the
           BFT deployments) *)
+  ch_wire : Systems.wire_stats;
+      (** serializer work during the run: frames encoded vs per-destination
+          sends (zeros for the BFT deployments) *)
   ch_reconfig : reconfig_summary;
       (** membership-change activity (all-zero when the schedule contains
           no reconfiguration and none was driven externally) *)
@@ -862,6 +865,7 @@ let chaos_point ?(seed = 42) ?net_config ?zab_config ?server_config
     ch_lin = lin;
     ch_history_events = Ck_history.n_events history;
     ch_snap = sys.Systems.snapshot_stats ();
+    ch_wire = sys.Systems.wire_stats ();
     ch_reconfig = reconfig_summary_of_stats (sys.Systems.reconfig_stats ());
     ch_reconfig_kills = Nemesis.reconfig_kills nem;
   }

@@ -178,6 +178,10 @@ type chaos_point = {
   ch_snap : Systems.snapshot_stats;
       (** snapshot/state-transfer activity during the run (zeros for the
           BFT deployments) *)
+  ch_wire : Systems.wire_stats;
+      (** serializer work during the run: frames encoded vs per-destination
+          sends — the gap is the encode-once broadcast saving (zeros for
+          the BFT deployments) *)
   ch_reconfig : reconfig_summary;
       (** membership-change activity (all-zero unless the run reconfigures) *)
   ch_reconfig_kills : int;

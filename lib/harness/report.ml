@@ -179,6 +179,33 @@ let snapshot_summary points =
       points
   end
 
+let wire_summary points =
+  (* serializer work (Zab deployments only): distinct frames encoded vs
+     per-destination sends; saved = sends - encodes is the serialization
+     work the encode-once broadcast avoided *)
+  let active =
+    List.exists
+      (fun (p : Experiment.chaos_point) ->
+        p.Experiment.ch_wire <> Systems.wire_stats_zero)
+      points
+  in
+  if active then begin
+    Printf.printf "\n%-10s %5s | %10s %10s %10s %6s\n" "system" "seed"
+      "encodes" "sends" "saved" "ratio";
+    hline 60;
+    List.iter
+      (fun (p : Experiment.chaos_point) ->
+        let w = p.Experiment.ch_wire in
+        if w <> Systems.wire_stats_zero then
+          Printf.printf "%-10s %5d | %10d %10d %10d %6.2f\n"
+            (Systems.kind_name p.Experiment.ch_kind)
+            p.Experiment.ch_seed w.Systems.ws_encodes w.Systems.ws_sends
+            (w.Systems.ws_sends - w.Systems.ws_encodes)
+            (float_of_int w.Systems.ws_sends
+            /. float_of_int (max 1 w.Systems.ws_encodes)))
+      points
+  end
+
 let reconfig_active (r : Experiment.reconfig_summary) =
   r.Experiment.rs_joins_attempted + r.Experiment.rs_leaves_attempted
   + r.Experiment.rs_joint_commits + r.Experiment.rs_fenced

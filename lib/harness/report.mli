@@ -55,6 +55,11 @@ val fault_summary : Experiment.chaos_point list -> unit
     snapshot activity. *)
 val snapshot_summary : Experiment.chaos_point list -> unit
 
+(** Serializer-work table (frames encoded vs per-destination sends; their
+    gap is the encode-once broadcast saving).  Skipped when no run
+    recorded wire activity. *)
+val wire_summary : Experiment.chaos_point list -> unit
+
 (** Membership-change activity per chaos run (joins/leaves
     attempted/completed, joint vs final commits, aborts, fences, targeted
     leader kills, learner catch-up times); silent when no run

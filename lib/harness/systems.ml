@@ -35,6 +35,10 @@ type snapshot_stats = {
   ss_last_resume_from : int;
 }
 
+type wire_stats = { ws_encodes : int; ws_sends : int }
+
+let wire_stats_zero = { ws_encodes = 0; ws_sends = 0 }
+
 let snapshot_stats_zero =
   {
     ss_captures = 0;
@@ -71,6 +75,10 @@ type t = {
       (** replication-safety violations detected by the state machines
           (must stay 0 in every run) *)
   snapshot_stats : unit -> snapshot_stats;
+  wire_stats : unit -> wire_stats;
+      (* serializer work summed over replicas: encodes (distinct frames) vs
+         per-destination sends; zeros for the BFT deployments, whose servers
+         do not expose the counters *)
   (* elastic membership (joint-consensus reconfiguration through the
      log); the BFT deployments are static and return [Error]/zeros *)
   add_replica : unit -> (int, string) result;
@@ -117,6 +125,15 @@ let zk_snapshot_stats servers () =
             x.Edc_replication.Zab.last_resume_from;
       })
     snapshot_stats_zero servers
+
+let zk_wire_stats servers () =
+  Array.fold_left
+    (fun acc s ->
+      {
+        ws_encodes = acc.ws_encodes + Zk.Server.wire_encodes s;
+        ws_sends = acc.ws_sends + Zk.Server.wire_sends s;
+      })
+    wire_stats_zero servers
 
 (* Fault-heavy runs want clients that notice a dead replica quickly; the
    4 s defaults would dominate every recovery-time measurement. *)
@@ -305,6 +322,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
               0 (Zk.Cluster.servers cluster));
         snapshot_stats =
           (fun () -> zk_snapshot_stats (Zk.Cluster.servers cluster) ());
+        wire_stats = (fun () -> zk_wire_stats (Zk.Cluster.servers cluster) ());
         add_replica = (fun () -> Ok (Zk.Cluster.add_server cluster));
         add_observer = (fun () -> Ok (Zk.Cluster.add_observer cluster));
         remove_replica = (fun id -> Zk.Cluster.remove_server cluster ~id);
@@ -347,6 +365,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
               0 (Ezk_cluster.servers cluster));
         snapshot_stats =
           (fun () -> zk_snapshot_stats (Ezk_cluster.servers cluster) ());
+        wire_stats = (fun () -> zk_wire_stats (Ezk_cluster.servers cluster) ());
         add_replica = (fun () -> Ok (Ezk_cluster.add_server cluster));
         add_observer = (fun () -> Ok (Ezk_cluster.add_observer cluster));
         remove_replica = (fun id -> Ezk_cluster.remove_server cluster ~id);
@@ -388,6 +407,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         n_replicas = 4;
         anomalies = (fun () -> 0);
         snapshot_stats = (fun () -> snapshot_stats_zero);
+        wire_stats = (fun () -> wire_stats_zero);
         add_replica = (fun () -> Error "DepSpace membership is static");
         add_observer = (fun () -> Error "DepSpace membership is static");
         remove_replica = (fun _ -> Error "DepSpace membership is static");
@@ -424,6 +444,7 @@ let make ?net_config ?batch ?zab_config ?server_config kind sim =
         n_replicas = 4;
         anomalies = (fun () -> 0);
         snapshot_stats = (fun () -> snapshot_stats_zero);
+        wire_stats = (fun () -> wire_stats_zero);
         add_replica = (fun () -> Error "EDS membership is static");
         add_observer = (fun () -> Error "EDS membership is static");
         remove_replica = (fun _ -> Error "EDS membership is static");

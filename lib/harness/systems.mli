@@ -28,6 +28,16 @@ type snapshot_stats = {
 
 val snapshot_stats_zero : snapshot_stats
 
+(** Serializer-work counters summed over the deployment's replicas:
+    [ws_encodes] counts distinct frames handed to the transport (one
+    serialization each on an encoding transport — an encode-once broadcast
+    counts once regardless of fan-out); [ws_sends] counts per-destination
+    deliveries.  Their gap is the work the encode-once broadcast saves.
+    All-zero for the BFT deployments. *)
+type wire_stats = { ws_encodes : int; ws_sends : int }
+
+val wire_stats_zero : wire_stats
+
 val kind_name : kind -> string
 val is_extensible : kind -> bool
 
@@ -60,6 +70,8 @@ type t = {
           (must stay 0 in every run) *)
   snapshot_stats : unit -> snapshot_stats;
       (** snapshot/state-transfer counters summed over replicas *)
+  wire_stats : unit -> wire_stats;
+      (** serializer-work counters summed over replicas *)
   add_replica : unit -> (int, string) result;
       (** elastic growth: boot a non-voting learner that the leader
           bootstraps (snapshot + log sync) and admits through the

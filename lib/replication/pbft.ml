@@ -86,6 +86,9 @@ type 'p t = {
   peers : int list;
   f : int;
   send : dst:int -> 'p msg -> unit;
+  send_many : dsts:int list -> 'p msg -> unit;
+      (** one message value to many peers; the TCP transport encodes it
+          once (encode-once broadcast) *)
   on_deliver : request_id -> 'p -> ts:Sim_time.t -> unit;
   config : config;
   mutable view : int;
@@ -119,7 +122,7 @@ let prepared_quorum t = 2 * t.f  (* plus the pre-prepare itself *)
 let commit_quorum t = (2 * t.f) + 1
 
 let others t = List.filter (fun p -> p <> t.id) t.peers
-let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
+let broadcast t msg = t.send_many ~dsts:(others t) msg
 
 let batcher t =
   match t.batcher with Some b -> b | None -> invalid_arg "pbft not wired"
@@ -380,9 +383,14 @@ let start t =
   t.generation <- t.generation + 1;
   Sim.schedule t.sim ~after:Sim_time.zero (tick t t.generation)
 
-let create ?(config = default_config) ~sim ~id ~peers ~f ~send ~on_deliver ()
-    =
+let create ?(config = default_config) ?send_many ~sim ~id ~peers ~f ~send
+    ~on_deliver () =
   assert (List.length peers >= (3 * f) + 1);
+  let send_many =
+    match send_many with
+    | Some f -> f
+    | None -> fun ~dsts msg -> List.iter (fun dst -> send ~dst msg) dsts
+  in
   let t =
     {
       sim;
@@ -390,6 +398,7 @@ let create ?(config = default_config) ~sim ~id ~peers ~f ~send ~on_deliver ()
       peers;
       f;
       send;
+      send_many;
       on_deliver;
       config;
       view = 0;

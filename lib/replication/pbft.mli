@@ -60,6 +60,7 @@ type 'p t
     the primary's timestamp. *)
 val create :
   ?config:config ->
+  ?send_many:(dsts:int list -> 'p msg -> unit) ->
   sim:Sim.t ->
   id:int ->
   peers:int list ->

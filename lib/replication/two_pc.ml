@@ -131,6 +131,48 @@ let frame_of_wire = function
       Ok (Status { txid; from_shard })
   | _ -> Error "bad 2pc frame"
 
+(* Streaming wop codec, byte-identical to [wop_to_wire]/[wop_of_wire];
+   the deployment's streaming message writers (Multi, 2PC txn ops)
+   compose with it. *)
+
+let write_wop w op =
+  let module W = Wire.Writer in
+  W.begin_list w;
+  (match op with
+  | Wcreate { path; data } ->
+      W.int w 0;
+      W.str w path;
+      W.str w data
+  | Wset { path; data } ->
+      W.int w 1;
+      W.str w path;
+      W.str w data
+  | Wdelete { path } ->
+      W.int w 2;
+      W.str w path);
+  W.end_list w
+
+let read_wop r =
+  let module R = Wire.Reader in
+  R.begin_list r;
+  let op =
+    match R.int r with
+    | 0 ->
+        let path = R.str r in
+        let data = R.str r in
+        Wcreate { path; data }
+    | 1 ->
+        let path = R.str r in
+        let data = R.str r in
+        Wset { path; data }
+    | 2 ->
+        let path = R.str r in
+        Wdelete { path }
+    | t -> R.error r (Printf.sprintf "bad 2pc wop tag %d" t)
+  in
+  R.end_list r;
+  op
+
 let pp_wop ppf = function
   | Wcreate { path; _ } -> Fmt.pf ppf "create %s" path
   | Wset { path; _ } -> Fmt.pf ppf "set %s" path

@@ -31,6 +31,11 @@ val frame_size : frame -> int
 
 val wop_to_wire : wop -> Edc_wire.Wire.t
 val wop_of_wire : Edc_wire.Wire.t -> (wop, string) result
+
+(** Streaming counterparts, byte-identical to the tree codec. *)
+
+val write_wop : Edc_wire.Wire.Writer.t -> wop -> unit
+val read_wop : Edc_wire.Wire.Reader.t -> wop
 val frame_to_wire : frame -> Edc_wire.Wire.t
 val frame_of_wire : Edc_wire.Wire.t -> (frame, string) result
 

@@ -264,6 +264,9 @@ type 'p t = {
   sim : Sim.t;
   id : int;
   send : dst:int -> 'p msg -> unit;
+  send_many : dsts:int list -> 'p msg -> unit;
+      (** one message value to many peers; the TCP transport encodes it
+          once (encode-once broadcast) *)
   on_deliver : zxid -> 'p -> unit;
   mutable on_role_change : role -> unit;
   config : config;
@@ -611,7 +614,11 @@ let others t =
     (fun p -> p <> t.id)
     (set_union (voters t) (set_union t.learners t.observers))
 
-let broadcast t msg = List.iter (fun dst -> t.send ~dst msg) (others t)
+(* Every broadcast goes through [send_many], so a transport that
+   serializes pays one encode per fan-out — Propose/Commit on the hot
+   path, and heartbeat [Ping]s, which PR 8's lease widening would
+   otherwise re-encode per follower every beat. *)
+let broadcast t msg = t.send_many ~dsts:(others t) msg
 
 (* ------------------------------------------------------------------ *)
 (* Membership bookkeeping                                              *)
@@ -951,17 +958,14 @@ let become_leader t =
      partial transfer from the deposed leader), which opens — or resumes —
      a chunked state transfer.  Followers that kept up never see snapshot
      traffic at all. *)
-  List.iter
-    (fun dst ->
-      t.send ~dst
-        (Sync
-           {
-             epoch = t.current_epoch;
-             from = t.base;
-             entries = Vec.to_list t.log;
-             committed = t.committed;
-           }))
-    (others t);
+  broadcast t
+    (Sync
+       {
+         epoch = t.current_epoch;
+         from = t.base;
+         entries = Vec.to_list t.log;
+         committed = t.committed;
+       });
   broadcast t
     (Ping
        { epoch = t.current_epoch; committed = t.committed; sent = local_now t });
@@ -1649,7 +1653,12 @@ let start t =
     broadcast t (Observer_request { epoch = t.current_epoch; id = t.id })
 
 let create ?(config = default_config) ?initial_leader ?(learner = false)
-    ?(observer = false) ~sim ~id ~peers ~send ~on_deliver () =
+    ?(observer = false) ?send_many ~sim ~id ~peers ~send ~on_deliver () =
+  let send_many =
+    match send_many with
+    | Some f -> f
+    | None -> fun ~dsts msg -> List.iter (fun dst -> send ~dst msg) dsts
+  in
   let peers = List.sort_uniq compare peers in
   let initial_members =
     if learner || observer then List.filter (fun p -> p <> id) peers else peers
@@ -1659,6 +1668,7 @@ let create ?(config = default_config) ?initial_leader ?(learner = false)
       sim;
       id;
       send;
+      send_many;
       on_deliver;
       on_role_change = (fun _ -> ());
       config;

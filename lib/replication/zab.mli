@@ -179,6 +179,7 @@ val create :
   ?initial_leader:int ->
   ?learner:bool ->
   ?observer:bool ->
+  ?send_many:(dsts:int list -> 'p msg -> unit) ->
   sim:Sim.t ->
   id:int ->
   peers:int list ->

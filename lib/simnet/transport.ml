@@ -4,19 +4,28 @@ module type S = sig
   type 'm t
 
   val send : 'm t -> src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit
+
+  val send_many :
+    'm t -> src:Net.addr -> dsts:Net.addr list -> size:int -> 'm -> unit
+
   val register : 'm t -> Net.addr -> 'm Net.handler -> unit
 end
 
 type 'm t = {
   send : src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit;
+  send_many : src:Net.addr -> dsts:Net.addr list -> size:int -> 'm -> unit;
   register : Net.addr -> 'm Net.handler -> unit;
 }
 
 let send t ~src ~dst ~size msg = t.send ~src ~dst ~size msg
+let send_many t ~src ~dsts ~size msg = t.send_many ~src ~dsts ~size msg
 let register t addr handler = t.register addr handler
 
 let of_net net =
   {
     send = (fun ~src ~dst ~size msg -> Net.send net ~src ~dst ~size msg);
+    send_many =
+      (fun ~src ~dsts ~size msg ->
+        List.iter (fun dst -> Net.send net ~src ~dst ~size msg) dsts);
     register = (fun addr handler -> Net.register net addr handler);
   }

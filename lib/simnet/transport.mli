@@ -19,6 +19,10 @@ module type S = sig
   type 'm t
 
   val send : 'm t -> src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit
+
+  val send_many :
+    'm t -> src:Net.addr -> dsts:Net.addr list -> size:int -> 'm -> unit
+
   val register : 'm t -> Net.addr -> 'm Net.handler -> unit
 end
 
@@ -26,11 +30,21 @@ type 'm t = {
   send : src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit;
       (** fire-and-forget; delivery may silently fail (node down, link
           cut, connection refused) — protocols must tolerate loss *)
+  send_many : src:Net.addr -> dsts:Net.addr list -> size:int -> 'm -> unit;
+      (** one message to many destinations, in list order.  Semantically
+          [List.iter (send ...) dsts]; implementations that serialize
+          (the TCP transport) encode the frame {e once} and enqueue the
+          same bytes on every connection, so an N-replica broadcast pays
+          one encode (encode-once broadcast, DESIGN.md §6g) *)
   register : Net.addr -> 'm Net.handler -> unit;
       (** install (or replace) the handler for a local address *)
 }
 
 val send : 'm t -> src:Net.addr -> dst:Net.addr -> size:int -> 'm -> unit
+
+val send_many :
+  'm t -> src:Net.addr -> dsts:Net.addr list -> size:int -> 'm -> unit
+
 val register : 'm t -> Net.addr -> 'm Net.handler -> unit
 
 (** The simulated-network implementation. *)

@@ -1,0 +1,66 @@
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unwritten byte *)
+  mutable stop : int; (* one past the last queued byte *)
+}
+
+let create ?(capacity = 4096) () = { buf = Bytes.create capacity; start = 0; stop = 0 }
+let pending t = t.stop - t.start
+
+let ensure t n =
+  let live = pending t in
+  let cap = Bytes.length t.buf in
+  if t.stop + n > cap then
+    if live + n <= cap && t.start > 0 then begin
+      (* enough room once the flushed prefix is reclaimed *)
+      Bytes.blit t.buf t.start t.buf 0 live;
+      t.start <- 0;
+      t.stop <- live
+    end
+    else begin
+      let cap = ref (max 64 (cap * 2)) in
+      while !cap < live + n do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.buf t.start nb 0 live;
+      t.buf <- nb;
+      t.start <- 0;
+      t.stop <- live
+    end
+
+let add_substring t s off len =
+  ensure t len;
+  Bytes.blit_string s off t.buf t.stop len;
+  t.stop <- t.stop + len
+
+let add_u32 t v =
+  ensure t 4;
+  Bytes.set t.buf t.stop (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set t.buf (t.stop + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set t.buf (t.stop + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set t.buf (t.stop + 3) (Char.chr (v land 0xff));
+  t.stop <- t.stop + 4
+
+let flush t ~write =
+  let total = ref 0 in
+  let stalled = ref false in
+  while pending t > 0 && not !stalled do
+    let n = write t.buf t.start (pending t) in
+    if n < 0 || n > pending t then
+      invalid_arg "Outbuf.flush: write returned an out-of-range count";
+    if n = 0 then stalled := true
+    else begin
+      t.start <- t.start + n;
+      total := !total + n
+    end
+  done;
+  if pending t = 0 then begin
+    t.start <- 0;
+    t.stop <- 0
+  end;
+  !total
+
+let clear t =
+  t.start <- 0;
+  t.stop <- 0

@@ -1,0 +1,32 @@
+(** Corked per-connection output buffer.
+
+    The TCP transport appends every outgoing frame here and flushes once
+    per drive step, so an N-message burst (a leader broadcast, a batch of
+    client replies) costs one [write] system call instead of N.  The
+    buffer owns the partial-write problem: {!flush} retains any suffix
+    the kernel didn't take, and the next flush resumes from it — the
+    transport never assumes a [write] took the whole buffer. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Bytes currently queued (written but not yet taken by [flush]). *)
+val pending : t -> int
+
+(** Append [len] bytes of [s] starting at [off]. *)
+val add_substring : t -> string -> int -> int -> unit
+
+(** Append a 32-bit big-endian integer (stream framing header field). *)
+val add_u32 : t -> int -> unit
+
+(** [flush t ~write] repeatedly offers the queued bytes to [write buf off
+    len] (which returns the number of bytes it accepted, [0] meaning
+    "try again later", e.g. [EAGAIN]) until the queue is empty or
+    [write] returns [0].  Unwritten bytes are retained, in order, for
+    the next call.  Returns the number of bytes written by this call.
+    Exceptions from [write] propagate with the queue intact. *)
+val flush : t -> write:(Bytes.t -> int -> int -> int) -> int
+
+(** Drop everything queued (connection teardown). *)
+val clear : t -> unit

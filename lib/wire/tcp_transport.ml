@@ -11,18 +11,22 @@ type conn = {
   fd : Unix.file_descr;
   dst_addr : int;  (** local address this connection delivers to *)
   mutable inbuf : Bytes.t;
-  mutable in_len : int;
+  mutable in_start : int;  (** first unconsumed byte *)
+  mutable in_len : int;  (** one past the last received byte *)
 }
+
+type out_conn = { ofd : Unix.file_descr; obuf : Outbuf.t }
 
 type 'm t = {
   sim : Sim.t;
   base_port : int;
   encode : 'm -> string;
-  decode : string -> ('m, string) result;
+  decode : string -> pos:int -> len:int -> ('m, string) result;
   handlers : (int, 'm Net.handler) Hashtbl.t;
   listeners : (int, Unix.file_descr) Hashtbl.t;  (** local addr -> socket *)
   accepted : (Unix.file_descr, conn) Hashtbl.t;
-  outbound : (int * int, Unix.file_descr) Hashtbl.t;  (** (src, dst) *)
+  outbound : (int * int, out_conn) Hashtbl.t;  (** (src, dst) *)
+  mutable n_encodes : int;
   mutable n_decode_errors : int;
   mutable n_send_failures : int;
   mutable n_frames_received : int;
@@ -40,6 +44,7 @@ let create ~sim ~base_port ~encode ~decode () =
     listeners = Hashtbl.create 16;
     accepted = Hashtbl.create 16;
     outbound = Hashtbl.create 16;
+    n_encodes = 0;
     n_decode_errors = 0;
     n_send_failures = 0;
     n_frames_received = 0;
@@ -47,6 +52,7 @@ let create ~sim ~base_port ~encode ~decode () =
     closed = false;
   }
 
+let encodes t = t.n_encodes
 let decode_errors t = t.n_decode_errors
 let send_failures t = t.n_send_failures
 let frames_received t = t.n_frames_received
@@ -66,16 +72,10 @@ let register t addr handler =
 
 let drop_outbound t key =
   match Hashtbl.find_opt t.outbound key with
-  | Some fd ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+  | Some oc ->
+      (try Unix.close oc.ofd with Unix.Unix_error _ -> ());
       Hashtbl.remove t.outbound key
   | None -> ()
-
-let put_u32 b off v =
-  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
-  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
-  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
-  Bytes.set b (off + 3) (Char.chr (v land 0xff))
 
 let get_u32 b off =
   (Char.code (Bytes.get b off) lsl 24)
@@ -83,84 +83,146 @@ let get_u32 b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 8)
   lor Char.code (Bytes.get b (off + 3))
 
-let write_all fd b =
-  let len = Bytes.length b in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd b !off (len - !off)
-  done
+(* [write] hook for {!Outbuf.flush}: 0 means "kernel buffer full, retry
+   on a later poll"; hard errors propagate to the caller. *)
+let write_some fd b off len =
+  match Unix.write fd b off len with
+  | n -> n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      0
+
+(* Flush [oc]'s corked bytes.  A partial write retains the unwritten
+   suffix inside the Outbuf; a hard error drops the connection and
+   everything queued on it (fire-and-forget, like simulated link loss). *)
+let flush_out t key oc =
+  match Outbuf.flush oc.obuf ~write:(write_some oc.ofd) with
+  | n -> t.n_bytes_sent <- t.n_bytes_sent + n
+  | exception Unix.Unix_error _ ->
+      t.n_send_failures <- t.n_send_failures + 1;
+      drop_outbound t key
+
+let flush_all t =
+  if Hashtbl.length t.outbound > 0 then begin
+    (* snapshot the keys: flush_out may remove entries on error *)
+    let live = Hashtbl.fold (fun k oc acc -> (k, oc) :: acc) t.outbound [] in
+    List.iter
+      (fun (key, oc) -> if Outbuf.pending oc.obuf > 0 then flush_out t key oc)
+      live
+  end
+
+(* If a connection's cork grows past this without a successful flush, we
+   try to drain it inline from the send path so memory stays bounded even
+   if the caller sends a burst without polling. *)
+let cork_soft_limit = 256 * 1024
+
+let out_conn t key dst =
+  match Hashtbl.find_opt t.outbound key with
+  | Some oc -> Some oc
+  | None -> (
+      match
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        (try Unix.connect fd (loopback (t.base_port + dst))
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        Unix.set_nonblock fd;
+        fd
+      with
+      | fd ->
+          let oc = { ofd = fd; obuf = Outbuf.create () } in
+          Hashtbl.replace t.outbound key oc;
+          Some oc
+      | exception Unix.Unix_error _ ->
+          t.n_send_failures <- t.n_send_failures + 1;
+          None)
+
+(* Append one framed message to [dst]'s cork; no syscall on this path
+   unless the cork is oversized. *)
+let enqueue t ~src ~dst body =
+  let key = (src, dst) in
+  match out_conn t key dst with
+  | None -> ()
+  | Some oc ->
+      let len = String.length body in
+      Outbuf.add_u32 oc.obuf (4 + len);
+      Outbuf.add_u32 oc.obuf src;
+      Outbuf.add_substring oc.obuf body 0 len;
+      if Outbuf.pending oc.obuf > cork_soft_limit then flush_out t key oc
 
 (* Fire-and-forget, like the simulated network: any socket error drops the
    message, closes the connection, and replication-level retransmission
    recovers. *)
 let send t ~src ~dst ~size:_ msg =
   if not t.closed then begin
-    let key = (src, dst) in
-    let body = t.encode msg in
-    let frame = Bytes.create (8 + String.length body) in
-    put_u32 frame 0 (4 + String.length body);
-    put_u32 frame 4 src;
-    Bytes.blit_string body 0 frame 8 (String.length body);
-    let attempt fd = write_all fd frame in
-    let fresh () =
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      (try Unix.setsockopt fd Unix.TCP_NODELAY true
-       with Unix.Unix_error _ -> ());
-      Unix.connect fd (loopback (t.base_port + dst));
-      Hashtbl.replace t.outbound key fd;
-      fd
-    in
-    match
-      match Hashtbl.find_opt t.outbound key with
-      | Some fd -> attempt fd
-      | None -> attempt (fresh ())
-    with
-    | () -> t.n_bytes_sent <- t.n_bytes_sent + Bytes.length frame
-    | exception Unix.Unix_error _ -> (
-        drop_outbound t key;
-        (* one reconnect: the old connection may just have gone stale *)
-        match attempt (fresh ()) with
-        | () -> t.n_bytes_sent <- t.n_bytes_sent + Bytes.length frame
-        | exception Unix.Unix_error _ ->
-            drop_outbound t key;
-            t.n_send_failures <- t.n_send_failures + 1)
+    t.n_encodes <- t.n_encodes + 1;
+    enqueue t ~src ~dst (t.encode msg)
   end
 
-let transport t = { Transport.send = send t; register = register t }
+(* Encode-once broadcast: one serialization, the same bytes corked on
+   every destination's connection. *)
+let send_many t ~src ~dsts ~size:_ msg =
+  if not t.closed then begin
+    t.n_encodes <- t.n_encodes + 1;
+    let body = t.encode msg in
+    List.iter (fun dst -> enqueue t ~src ~dst body) dsts
+  end
+
+let transport t =
+  {
+    Transport.send = send t;
+    send_many = send_many t;
+    register = register t;
+  }
 
 let close_conn t conn =
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   Hashtbl.remove t.accepted conn.fd
 
-(* Extract every complete frame from [conn]'s buffer and dispatch it. *)
+(* Extract every complete frame from [conn]'s buffer and dispatch it.
+   Frames are decoded in place from the reassembly buffer (no per-frame
+   copy); [in_start] advances over consumed frames and the residue is
+   compacted once per read, not once per frame. *)
 let dispatch t conn =
   let again = ref true in
   while !again do
     again := false;
-    if conn.in_len >= 4 then begin
-      let len = get_u32 conn.inbuf 0 in
+    if conn.in_len - conn.in_start >= 4 then begin
+      let len = get_u32 conn.inbuf conn.in_start in
       if len < 4 || len > max_frame then begin
         t.n_decode_errors <- t.n_decode_errors + 1;
         close_conn t conn (* framing is lost; no way to resync *)
       end
-      else if conn.in_len >= 4 + len then begin
-        let src = get_u32 conn.inbuf 4 in
-        let body = Bytes.sub_string conn.inbuf 8 (len - 4) in
-        let rest = conn.in_len - (4 + len) in
-        Bytes.blit conn.inbuf (4 + len) conn.inbuf 0 rest;
-        conn.in_len <- rest;
+      else if conn.in_len - conn.in_start >= 4 + len then begin
+        let src = get_u32 conn.inbuf (conn.in_start + 4) in
+        let body_pos = conn.in_start + 8 in
+        let body_len = len - 4 in
+        conn.in_start <- conn.in_start + 4 + len;
         t.n_frames_received <- t.n_frames_received + 1;
-        (match t.decode body with
+        (* The string view of the buffer is only read during this call,
+           before any further mutation of [inbuf], so the unsafe cast
+           cannot observe a change. *)
+        let view = Bytes.unsafe_to_string conn.inbuf in
+        (match t.decode view ~pos:body_pos ~len:body_len with
         | Error _ -> t.n_decode_errors <- t.n_decode_errors + 1
         | Ok msg -> (
             match Hashtbl.find_opt t.handlers conn.dst_addr with
-            | Some handler ->
-                handler ~src ~size:(String.length body) msg
+            | Some handler -> handler ~src ~size:body_len msg
             | None -> ()));
         again := Hashtbl.mem t.accepted conn.fd
       end
     end
-  done
+  done;
+  if Hashtbl.mem t.accepted conn.fd then begin
+    let live = conn.in_len - conn.in_start in
+    if conn.in_start > 0 then begin
+      if live > 0 then Bytes.blit conn.inbuf conn.in_start conn.inbuf 0 live;
+      conn.in_start <- 0;
+      conn.in_len <- live
+    end
+  end
 
 let read_conn t conn =
   let chunk = 65536 in
@@ -183,9 +245,12 @@ let read_conn t conn =
 
 let poll t ~timeout =
   if not t.closed then begin
+    (* uncork first so bytes produced since the last poll hit the wire
+       before we sleep in select *)
+    flush_all t;
     let listener_fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.listeners [] in
     let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.accepted [] in
-    match Unix.select (listener_fds @ conn_fds) [] [] timeout with
+    (match Unix.select (listener_fds @ conn_fds) [] [] timeout with
     | readable, _, _ ->
         List.iter
           (fun fd ->
@@ -209,11 +274,14 @@ let poll t ~timeout =
                             fd = conn_fd;
                             dst_addr;
                             inbuf = Bytes.create 65536;
+                            in_start = 0;
                             in_len = 0;
                           }
                     | exception Unix.Unix_error _ -> ())))
           readable
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* uncork replies produced by the handlers we just ran *)
+    flush_all t
   end
 
 let drive t ~wall =
@@ -231,6 +299,7 @@ let drive t ~wall =
 
 let shutdown t =
   if not t.closed then begin
+    flush_all t;
     t.closed <- true;
     Hashtbl.iter
       (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -239,7 +308,7 @@ let shutdown t =
       (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
       t.accepted;
     Hashtbl.iter
-      (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun _ oc -> try Unix.close oc.ofd with Unix.Unix_error _ -> ())
       t.outbound;
     Hashtbl.reset t.listeners;
     Hashtbl.reset t.accepted;

@@ -12,11 +12,21 @@
 
     where the length covers the source word and the message.  Reads are
     buffered per connection, so frames split across TCP segments are
-    reassembled; malformed messages (decoder [Error]) and oversized
-    declared lengths are counted and dropped without raising — the wire
-    is as untrusted as in-sim bytes.
+    reassembled, and complete frames are decoded {e in place} from the
+    reassembly buffer (no per-frame copy); malformed messages (decoder
+    [Error]) and oversized declared lengths are counted and dropped
+    without raising — the wire is as untrusted as in-sim bytes.
 
-    Sends are fire-and-forget, matching {!Edc_simnet.Net}: a refused
+    Sends are {e corked}: each outbound connection owns an {!Outbuf},
+    [send] appends a framed message to it without a syscall, and the
+    cork is flushed once per {!poll} / {!drive} step, so an N-message
+    burst costs one [write].  Partial writes retain the unwritten suffix
+    for the next flush.  [send_many] (via {!transport}) encodes the
+    message once and corks the same bytes on every destination —
+    encode-once broadcast.  Sockets use [TCP_NODELAY]; corking replaces
+    Nagle batching under our control.
+
+    Sends remain fire-and-forget, matching {!Edc_simnet.Net}: a refused
     connection or broken pipe drops the message (and is counted), and the
     replication layer's retransmission recovers, exactly as it does from
     simulated link loss.
@@ -29,13 +39,14 @@
 type 'm t
 
 (** [create ~sim ~base_port ~encode ~decode ()] — a hub for one process.
-    [decode] is applied to every received message body; [Error] counts as
-    a decode failure and the frame is dropped. *)
+    [decode s ~pos ~len] is applied to every received message body {e in
+    place} in the reassembly buffer (decoders must not retain [s]);
+    [Error] counts as a decode failure and the frame is dropped. *)
 val create :
   sim:Edc_simnet.Sim.t ->
   base_port:int ->
   encode:('m -> string) ->
-  decode:(string -> ('m, string) result) ->
+  decode:(string -> pos:int -> len:int -> ('m, string) result) ->
   unit ->
   'm t
 
@@ -56,6 +67,7 @@ val shutdown : 'm t -> unit
 
 (** Counters. *)
 
+val encodes : 'm t -> int
 val decode_errors : 'm t -> int
 val send_failures : 'm t -> int
 val frames_received : 'm t -> int

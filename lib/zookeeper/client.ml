@@ -163,6 +163,30 @@ let request t op =
             P.Error Zerror.Timeout)
   end
 
+(** [request_async t op] issues one operation without blocking: the
+    returned promise fulfills with the result (or [Error Timeout] after
+    [request_timeout]; blocking ops never time out).  Lets one fiber keep
+    a window of requests in flight — the TCP transport corks the whole
+    window into one write, and replies pipeline back.  [request] stays
+    the one-in-flight path the recipes are written against. *)
+let request_async t op =
+  let p = Proc.promise t.sim in
+  if not t.connected then ignore (Proc.try_fulfill p (P.Error Zerror.Session_expired) : bool)
+  else begin
+    t.xid <- t.xid + 1;
+    let xid = t.xid in
+    Hashtbl.replace t.outstanding xid p;
+    t.requests_sent <- t.requests_sent + 1;
+    send_client_msg t (P.Request { session = t.session; xid; op });
+    match op with
+    | P.Block _ -> ()
+    | _ ->
+        Sim.schedule t.sim ~after:t.config.request_timeout (fun () ->
+            if Proc.try_fulfill p (P.Error Zerror.Timeout) then
+              Hashtbl.remove t.outstanding xid)
+  end;
+  p
+
 (** [watch_waiter t path] registers interest in the next event on [path];
     must be called before issuing the read that sets the server watch. *)
 let watch_waiter t path =

@@ -39,6 +39,13 @@ val reconnect : t -> replica:int -> bool
     indefinitely, everything else times out with [Error Timeout]. *)
 val request : t -> P.op -> P.result
 
+(** [request_async t op] — issue without blocking; the promise fulfills
+    with the result, or [Error Timeout] after [request_timeout] ([Block]
+    never times out).  One fiber can keep a window of requests in flight:
+    the TCP transport corks the window into a single write and replies
+    pipeline back. *)
+val request_async : t -> P.op -> P.result Proc.promise
+
 (** [watch_waiter t path] registers interest in the next event on [path];
     call it *before* the read that arms the server-side watch. *)
 val watch_waiter : t -> string -> (string * P.watch_kind) Proc.promise

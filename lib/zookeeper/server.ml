@@ -147,6 +147,11 @@ type t = {
   mutable quorum_reads : int;  (** leader reads ordered through the commit path *)
   mutable txns_applied : int;
   mutable proposals : int;
+  mutable wire_encodes : int;
+      (** distinct message values handed to the transport — one
+          serialization each on an encoding transport, however wide the
+          fan-out ([send_many] counts once) *)
+  mutable wire_sends : int;  (** per-destination deliveries *)
   (* snapshots *)
   mutable snap_image : Data_tree.image option;
       (** COW handle pinning the latest capture; released when superseded *)
@@ -192,6 +197,8 @@ let lease_reads t = t.lease_reads
 let quorum_reads t = t.quorum_reads
 let txns_applied t = t.txns_applied
 let proposals t = t.proposals
+let wire_encodes t = t.wire_encodes
+let wire_sends t = t.wire_sends
 let snapshot_captures t = t.snap_captures
 let snapshot_serializations t = t.snap_serializations
 let snapshots_skipped t = t.snap_skipped
@@ -221,16 +228,25 @@ let session_owned_here t session =
 let client_addr_of t session =
   Option.map (fun i -> i.client_addr) (Hashtbl.find_opt t.sessions session)
 
-let send_to_client t session msg =
-  match client_addr_of t session with
-  | Some addr ->
-      Transport.send t.net ~src:t.id ~dst:addr
-        ~size:(wire_size (Server_msg msg))
-        (Server_msg msg)
-  | None -> ()
+let count_wire t ~fanout =
+  t.wire_encodes <- t.wire_encodes + 1;
+  t.wire_sends <- t.wire_sends + fanout
 
 let send_wire t ~dst msg =
+  count_wire t ~fanout:1;
   Transport.send t.net ~src:t.id ~dst ~size:(wire_size msg) msg
+
+(* One encode per broadcast: the fan-out shares a single message value,
+   so an encoding transport (TCP) frames it once and corks the same bytes
+   to every destination. *)
+let send_wire_many t ~dsts msg =
+  count_wire t ~fanout:(List.length dsts);
+  Transport.send_many t.net ~src:t.id ~dsts ~size:(wire_size msg) msg
+
+let send_to_client t session msg =
+  match client_addr_of t session with
+  | Some addr -> send_wire t ~dst:addr (Server_msg msg)
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Final processor: apply committed transactions                       *)
@@ -606,6 +622,61 @@ let snapshot_of_wire w =
           snap_decisions; snap_audit }
   | _ -> Error "bad snapshot"
 
+(* Streaming snapshot writer, byte-identical to [snapshot_to_wire] —
+   compaction serializes a 10k-node tree without building the Wire.t
+   first.  [snapshot_to_wire] stays as the reference oracle, exposed
+   through {!snapshot_bytes_tree} so tests can assert the identity. *)
+let write_snapshot w s =
+  let module W = Wire.Writer in
+  W.begin_list w;
+  Wire_format.write_portable w s.snap_tree;
+  W.list w
+    (fun w (session, (info : session_info)) ->
+      W.begin_list w;
+      W.int w session;
+      W.int w info.client_addr;
+      W.int w info.owner_replica;
+      W.end_list w)
+    s.snap_sessions;
+  W.list w
+    (fun w (path, waiters) ->
+      W.begin_list w;
+      W.str w path;
+      W.list w
+        (fun w (s, o, x) ->
+          W.begin_list w;
+          W.int w s;
+          W.int w o;
+          W.int w x;
+          W.end_list w)
+        waiters;
+      W.end_list w)
+    s.snap_blocked;
+  W.list w
+    (fun w (path, txid) ->
+      W.begin_list w;
+      W.str w path;
+      W.str w txid;
+      W.end_list w)
+    s.snap_locks;
+  W.list w
+    (fun w (txid, (coord, ops)) ->
+      W.begin_list w;
+      W.str w txid;
+      W.int w coord;
+      W.list w Two_pc.write_wop ops;
+      W.end_list w)
+    s.snap_prepared;
+  let decided_entry w (txid, commit) =
+    W.begin_list w;
+    W.str w txid;
+    W.bool w commit;
+    W.end_list w
+  in
+  W.list w decided_entry s.snap_decisions;
+  W.list w decided_entry s.snap_audit;
+  W.end_list w
+
 (** Capture the replica's whole replicated state (tree, sessions, parked
     blocking calls).  Must correspond exactly to the delivered prefix —
     guaranteed because the simulator applies transactions synchronously.
@@ -618,11 +689,7 @@ let snapshot_of_wire w =
     sharing it with the live table would let later moves corrupt the
     image), sorted so the serialized blob is byte-identical across
     replicas in the same state. *)
-let capture_snapshot t =
-  (match t.snap_image with Some h -> Data_tree.release h | None -> ());
-  let image = Data_tree.export t.tree in
-  t.snap_image <- Some image;
-  t.snap_captures <- t.snap_captures + 1;
+let snapshot_state t =
   let snap_sessions =
     Hashtbl.fold
       (fun k (v : session_info) acc ->
@@ -642,14 +709,25 @@ let capture_snapshot t =
   let snap_prepared = sorted_of_tbl t.prepared in
   let snap_decisions = sorted_of_tbl t.decisions in
   let snap_audit = List.rev t.txn_audit in
+  fun snap_tree ->
+    { snap_tree; snap_sessions; snap_blocked; snap_locks; snap_prepared;
+      snap_decisions; snap_audit }
+
+let capture_snapshot t =
+  (match t.snap_image with Some h -> Data_tree.release h | None -> ());
+  let image = Data_tree.export t.tree in
+  t.snap_image <- Some image;
+  t.snap_captures <- t.snap_captures + 1;
+  let of_tree = snapshot_state t in
   fun () ->
     t.snap_serializations <- t.snap_serializations + 1;
-    Wire.encode
-      (snapshot_to_wire
-         { snap_tree = Data_tree.materialize image; snap_sessions; snap_blocked;
-           snap_locks; snap_prepared; snap_decisions; snap_audit })
+    Wire.Writer.with_writer (fun w ->
+        write_snapshot w (of_tree (Data_tree.materialize image)))
 
 let snapshot_bytes t = (capture_snapshot t) ()
+
+let snapshot_bytes_tree t =
+  Wire.encode (snapshot_to_wire (snapshot_state t (Data_tree.export_eager t.tree)))
 
 (** The blob is untrusted bytes off the wire: decode fully (a pure step)
     before touching any state, so a corrupt or truncated blob leaves the
@@ -728,9 +806,7 @@ let reply_direct t ~session ~xid result =
   (* Used for errors detected before ordering and for leader-served reads:
      the reply goes straight to the client. *)
   match client_addr_of t session with
-  | Some addr ->
-      let msg = Server_msg (P.Reply { xid; result }) in
-      Transport.send t.net ~src:t.id ~dst:addr ~size:(wire_size msg) msg
+  | Some addr -> send_wire t ~dst:addr (Server_msg (P.Reply { xid; result }))
   | None -> ()
 
 let propose t (txn : Txn.t) =
@@ -1256,8 +1332,8 @@ let register_read_watch t ~session op =
 
 let handle_request t ~src ~session ~xid op =
   if not (session_exists t session) then
-    let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Session_expired }) in
-    Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
+    send_wire t ~dst:src
+      (Server_msg (P.Reply { xid; result = P.Error Zerror.Session_expired }))
   else if
     is_read_op op
     && (Zab.is_fenced (zab t)
@@ -1269,8 +1345,8 @@ let handle_request t ~src ~session ~xid op =
        live member.  Observers are permanent consumers of the commit
        stream and serve sequentially-consistent reads even though they
        are outside the voting member set. *)
-    let msg = Server_msg (P.Reply { xid; result = P.Error Zerror.Not_leader }) in
-    Transport.send t.net ~src:t.id ~dst:src ~size:(wire_size msg) msg
+    send_wire t ~dst:src
+      (Server_msg (P.Reply { xid; result = P.Error Zerror.Not_leader }))
   else if
     is_local_read_op op
     && (not t.config.linearizable_reads)
@@ -1291,10 +1367,7 @@ let handle_client_msg t ~src = function
   | P.Request { session; xid; op } -> handle_request t ~src ~session ~xid op
   | P.Ping { session } ->
       if session_exists t session then forward_to_leader t (Touch { session })
-      else
-        Transport.send t.net ~src:t.id ~dst:src
-          ~size:(wire_size (Server_msg P.Expired))
-          (Server_msg P.Expired)
+      else send_wire t ~dst:src (Server_msg P.Expired)
   | P.Close_session { session } -> forward_to_leader t (Forward_close { session })
 
 let handle_wire t ~src msg =
@@ -1406,6 +1479,8 @@ let create ?(config = default_config) ?zab_config ?initial_leader
       quorum_reads = 0;
       txns_applied = 0;
       proposals = 0;
+      wire_encodes = 0;
+      wire_sends = 0;
       snap_image = None;
       txns_since_snapshot = 0;
       snap_captures = 0;
@@ -1433,9 +1508,10 @@ let create ?(config = default_config) ?zab_config ?initial_leader
   (* The spec view must wrap the server's own tree. *)
   let t = { t with spec = Spec_view.create t.tree } in
   let send ~dst msg = send_wire t ~dst (Zab_msg msg) in
+  let send_many ~dsts msg = send_wire_many t ~dsts (Zab_msg msg) in
   let z =
     Zab.create ?config:zab_config ?initial_leader ~learner ~observer ~sim ~id
-      ~peers:replica_ids ~send
+      ~peers:replica_ids ~send ~send_many
       ~on_deliver:(fun _zxid txn ->
         final_process t txn;
         check_ready t)

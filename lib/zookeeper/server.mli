@@ -117,6 +117,15 @@ val quorum_reads : t -> int
 val txns_applied : t -> int
 val proposals : t -> int
 
+(** Serialization-cost observables: [wire_encodes] counts distinct message
+    values handed to the transport (one serialization each on an encoding
+    transport — a broadcast through [send_many] counts once, however wide
+    the fan-out); [wire_sends] counts per-destination deliveries.  The gap
+    between them is the work the encode-once broadcast saves. *)
+
+val wire_encodes : t -> int
+val wire_sends : t -> int
+
 (** Snapshot pipeline counters. *)
 
 (** O(1) copy-on-write captures taken at compaction points. *)
@@ -139,8 +148,13 @@ val snapshot_installs : t -> int
     equal replicated states serialize to byte-identical bytes, across COW
     histories and OCaml versions. *)
 
-(** Capture and serialize the replica's current replicated state. *)
+(** Capture and serialize the replica's current replicated state (via the
+    streaming writer — no intermediate [Wire.t]). *)
 val snapshot_bytes : t -> string
+
+(** Same state through the tree codec — the reference oracle; tests
+    assert it is byte-identical to {!snapshot_bytes}. *)
+val snapshot_bytes_tree : t -> string
 
 (** [install_snapshot t blob] replaces the replica's state with an
     untrusted blob.  The blob is decoded in full before any state is

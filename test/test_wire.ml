@@ -445,6 +445,251 @@ let test_server_wire_roundtrip () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Streaming codec (§6g): the zero-tree writer must be byte-identical  *)
+(* to the tree encoder, and the slice reader must accept exactly what  *)
+(* the tree decoder accepts — on the fuzz corpus AND on every message  *)
+(* shape above.  Byte-identity is what lets the hot paths skip the     *)
+(* tree without weakening the canonical-form guarantee.                *)
+(* ------------------------------------------------------------------ *)
+
+module W = Wire.Writer
+module R = Wire.Reader
+
+let stream_of_tree v = W.with_writer (fun w -> W.tree w v)
+let tree_of_stream s = R.run s R.tree
+
+let prop_writer_byte_identity =
+  QCheck.Test.make ~name:"streaming writer byte-identical to tree encoder"
+    ~count:500 wire_arb (fun v ->
+      String.equal (stream_of_tree v) (Wire.encode v))
+
+(* the two decoders agree: same accept/reject verdict, same value on
+   accept (error text may differ — messages are not part of the spec) *)
+let decoders_agree s =
+  match (Wire.decode s, tree_of_stream s) with
+  | Ok a, Ok b -> a = b
+  | Error _, Error _ -> true
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let prop_reader_differential_valid =
+  QCheck.Test.make ~name:"streaming reader decodes what the tree decoder does"
+    ~count:500 wire_arb (fun v -> tree_of_stream (Wire.encode v) = Ok v)
+
+let prop_reader_differential_truncation =
+  QCheck.Test.make ~name:"streaming reader rejects every truncation"
+    ~count:200 wire_arb (fun v ->
+      let s = Wire.encode v in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        let s' = String.sub s 0 k in
+        (match tree_of_stream s' with Error _ -> () | Ok _ -> ok := false);
+        if not (decoders_agree s') then ok := false
+      done;
+      !ok)
+
+let prop_reader_differential_garbage =
+  QCheck.Test.make ~name:"streaming reader ≡ tree decoder on garbage"
+    ~count:1000
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    decoders_agree
+
+let prop_reader_differential_bitflip =
+  QCheck.Test.make ~name:"streaming reader ≡ tree decoder on bit flips"
+    ~count:200 wire_arb (fun v ->
+      let s = Wire.encode v in
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+          let b = Bytes.of_string s in
+          Bytes.set b i (Char.chr (Char.code c lxor 0x40));
+          if not (decoders_agree (Bytes.to_string b)) then ok := false)
+        s;
+      !ok)
+
+(* reader errors name the byte offset where decoding failed *)
+let has_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_reader_errors_carry_offsets () =
+  let check name s =
+    match tree_of_stream s with
+    | Ok _ -> Alcotest.failf "%s decoded" name
+    | Error e ->
+        if not (has_substring ~sub:"byte" e) then
+          Alcotest.failf "%s: error lacks a byte offset: %S" name e
+  in
+  check "empty input" "";
+  check "truncated int" "\x01";
+  check "unknown tag" "\x07\x01a";
+  check "truncated str payload" ("\x02" ^ craft_varint 5 ^ "ab");
+  check "non-minimal varint" ("\x02\x81\x00" ^ "a");
+  check "trailing bytes" (Wire.encode (Wire.Int 1) ^ "x")
+
+(* the streaming writer enforces the same depth cap as the tree encoder *)
+let test_writer_rejects_overdeep () =
+  let rec nest d v = if d = 0 then v else nest (d - 1) (Wire.List [ v ]) in
+  (match stream_of_tree (nest (Wire.max_depth - 1) (Wire.Int 1)) with
+  | _ -> ()
+  | exception Invalid_argument _ ->
+      Alcotest.fail "max_depth itself must stream-encode");
+  match stream_of_tree (nest Wire.max_depth (Wire.Int 1)) with
+  | _ -> Alcotest.fail "over-deep tree must not stream-encode"
+  | exception Invalid_argument _ -> ()
+
+(* every message shape in this file: streaming writer output is
+   byte-identical to the tree encoder, and the streaming reader gets the
+   value back *)
+let check_identity name tree_bytes stream_bytes =
+  if not (String.equal tree_bytes stream_bytes) then
+    Alcotest.failf "%s: streaming encode differs from tree encode" name
+
+let test_stream_messages_byte_identical () =
+  let module WF = Zk.Wire_format in
+  List.iter
+    (fun m ->
+      let s = W.with_writer (fun w -> Zab_wire.write ~payload:W.str w m) in
+      check_identity "zab" (encode_zab m) s;
+      match R.run s (Zab_wire.read ~payload:R.str) with
+      | Ok m' when m = m' -> ()
+      | Ok _ -> Alcotest.fail "zab stream read mismatch"
+      | Error e -> Alcotest.failf "zab stream read: %s" e)
+    zab_samples;
+  List.iter
+    (fun m ->
+      let s = W.with_writer (fun w -> Pbft_wire.write ~payload:W.str w m) in
+      check_identity "pbft"
+        (Wire.encode (Pbft_wire.to_wire ~payload:(fun p -> Wire.Str p) m))
+        s;
+      match R.run s (Pbft_wire.read ~payload:R.str) with
+      | Ok m' when m = m' -> ()
+      | Ok _ -> Alcotest.fail "pbft stream read mismatch"
+      | Error e -> Alcotest.failf "pbft stream read: %s" e)
+    pbft_samples;
+  List.iter
+    (fun op ->
+      let s = W.with_writer (fun w -> WF.write_op w op) in
+      check_identity "op" (Wire.encode (WF.op_to_wire op)) s;
+      match R.run s WF.read_op with
+      | Ok op' when op = op' -> ()
+      | _ -> Alcotest.fail "op stream read mismatch")
+    op_samples;
+  List.iter
+    (fun r_ ->
+      let s = W.with_writer (fun w -> WF.write_result w r_) in
+      check_identity "result" (Wire.encode (WF.result_to_wire r_)) s;
+      match R.run s WF.read_result with
+      | Ok r' when r_ = r' -> ()
+      | _ -> Alcotest.fail "result stream read mismatch")
+    result_samples;
+  List.iter
+    (fun t ->
+      let s = W.with_writer (fun w -> WF.write_txn w t) in
+      check_identity "txn" (Wire.encode (WF.txn_to_wire t)) s;
+      match R.run s WF.read_txn with
+      | Ok t' when t = t' -> ()
+      | _ -> Alcotest.fail "txn stream read mismatch")
+    txn_samples;
+  List.iter
+    (fun m ->
+      check_identity "server wire" (Zk.Server_wire.encode_tree m)
+        (Zk.Server_wire.encode m))
+    server_wire_samples
+
+(* the server-wire streaming decoder (the TCP hot path) agrees with the
+   tree decoder on the corpus, every truncation, and every bit flip *)
+let test_server_wire_decode_differential () =
+  let agree name s =
+    match (Zk.Server_wire.decode s, Zk.Server_wire.decode_tree s) with
+    | Ok a, Ok b when a = b -> ()
+    | Error _, Error _ -> ()
+    | Ok _, Ok _ -> Alcotest.failf "%s: decoders return different values" name
+    | Ok _, Error _ -> Alcotest.failf "%s: streaming accepts, tree rejects" name
+    | Error _, Ok _ -> Alcotest.failf "%s: tree accepts, streaming rejects" name
+  in
+  List.iter
+    (fun m ->
+      let s = Zk.Server_wire.encode m in
+      agree "intact" s;
+      for k = 0 to String.length s - 1 do
+        agree (Printf.sprintf "truncation %d" k) (String.sub s 0 k)
+      done;
+      String.iteri
+        (fun i c ->
+          let b = Bytes.of_string s in
+          Bytes.set b i (Char.chr (Char.code c lxor 0x11));
+          agree (Printf.sprintf "bitflip %d" i) (Bytes.to_string b))
+        s)
+    server_wire_samples
+
+(* decode_sub reads a frame out of the middle of a reassembly buffer
+   without copying; bytes outside [pos, pos+len) are invisible *)
+let test_decode_sub_slice () =
+  let m = List.nth server_wire_samples 2 in
+  let s = Zk.Server_wire.encode m in
+  let padded = "\xde\xad" ^ s ^ "\xbe" in
+  (match Zk.Server_wire.decode_sub padded ~pos:2 ~len:(String.length s) with
+  | Ok m' -> Alcotest.(check bool) "slice decode" true (m = m')
+  | Error e -> Alcotest.failf "slice decode: %s" e);
+  (* a byte of trailing garbage inside the slice is rejected, exactly
+     like decoding a padded string would be *)
+  match Zk.Server_wire.decode_sub padded ~pos:2 ~len:(String.length s + 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "slice with trailing byte decoded"
+
+(* Outbuf owns the partial-write problem: a kernel that takes a few
+   bytes at a time (or none — EAGAIN) must see every byte exactly once,
+   in order, with the unwritten suffix retained across flushes *)
+let test_outbuf_short_writes () =
+  let ob = Outbuf.create ~capacity:8 () in
+  let u32 v = String.init 4 (fun i -> Char.chr ((v lsr (24 - (8 * i))) land 0xff)) in
+  let payload = String.init 64 (fun i -> Char.chr (i * 7 land 0xff)) in
+  Outbuf.add_u32 ob 0xAABBCCDD;
+  Outbuf.add_substring ob payload 0 (String.length payload);
+  let expect = u32 0xAABBCCDD ^ payload in
+  Alcotest.(check int) "pending counts queued bytes" (String.length expect)
+    (Outbuf.pending ob);
+  let out = Buffer.create 128 in
+  (* first flush: the fake kernel takes 3 bytes then stalls (EAGAIN) *)
+  let burst = ref true in
+  let take3_then_stall buf off len =
+    if not !burst then 0
+    else begin
+      burst := false;
+      let n = min 3 len in
+      Buffer.add_subbytes out buf off n;
+      n
+    end
+  in
+  let wrote = Outbuf.flush ob ~write:take3_then_stall in
+  Alcotest.(check int) "short write took 3 bytes" 3 wrote;
+  Alcotest.(check int) "suffix retained for the next flush"
+    (String.length expect - 3) (Outbuf.pending ob);
+  (* appending while a suffix is parked must not reorder anything *)
+  Outbuf.add_substring ob "TAIL" 0 4;
+  (* drain through a tiny window: ≤3 bytes per call, stalling every
+     third call — several flush rounds needed *)
+  let calls = ref 0 in
+  let tiny buf off len =
+    incr calls;
+    if !calls mod 3 = 0 then 0
+    else begin
+      let n = min 3 len in
+      Buffer.add_subbytes out buf off n;
+      n
+    end
+  in
+  let guard = ref 0 in
+  while Outbuf.pending ob > 0 && !guard < 1000 do
+    incr guard;
+    ignore (Outbuf.flush ob ~write:tiny : int)
+  done;
+  Alcotest.(check int) "queue fully drained" 0 (Outbuf.pending ob);
+  Alcotest.(check string) "byte stream preserved, in order" (expect ^ "TAIL")
+    (Buffer.contents out)
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot blobs: corrupt bytes are rejected, state untouched         *)
 (* ------------------------------------------------------------------ *)
 
@@ -475,6 +720,12 @@ let test_snapshot_corrupt_blob_rejected () =
   let blob = Zk.Server.snapshot_bytes s0 in
   Alcotest.(check bool) "capture is deterministic" true
     (String.equal blob (Zk.Server.snapshot_bytes s0));
+  (* the streaming snapshot writer (§6g) and the tree-building oracle
+     must produce the same bytes — snapshot digests stay comparable
+     across the two paths *)
+  Alcotest.(check bool) "streaming snapshot writer byte-identical to tree oracle"
+    true
+    (String.equal blob (Zk.Server.snapshot_bytes_tree s0));
   (* victim replica in a second deployment; corrupt installs must leave
      its state byte-identical *)
   let vsim = Sim.create ~seed:12 () in
@@ -603,7 +854,7 @@ let test_tcp_counter_workload () =
   let base_port = 20000 + (Unix.getpid () mod 20000) in
   let hub =
     Tcp_transport.create ~sim ~base_port ~encode:Zk.Server_wire.encode
-      ~decode:Zk.Server_wire.decode ()
+      ~decode:Zk.Server_wire.decode_sub ()
   in
   let tr = Tcp_transport.transport hub in
   let replica_ids = [ 0; 1; 2 ] in
@@ -661,7 +912,7 @@ let test_tcp_garbage_is_dropped () =
   let base_port = 40000 + (Unix.getpid () mod 9000) in
   let hub =
     Tcp_transport.create ~sim ~base_port ~encode:Zk.Server_wire.encode
-      ~decode:Zk.Server_wire.decode ()
+      ~decode:Zk.Server_wire.decode_sub ()
   in
   let tr = Tcp_transport.transport hub in
   let received = ref 0 in
@@ -699,13 +950,8 @@ let test_tcp_garbage_is_dropped () =
 module Two_pc = Edc_replication.Two_pc
 module Shard_map = Edc_sharding.Shard_map
 
-let twopc_frame_arb =
+let twopc_wop_gen =
   let open QCheck.Gen in
-  let txid =
-    map3
-      (fun s e c -> Printf.sprintf "s%d.e%d.%d" s e c)
-      (int_range 0 15) (int_range 0 9) (int_range 0 999)
-  in
   let path =
     map
       (fun comps -> "/" ^ String.concat "/" comps)
@@ -713,14 +959,33 @@ let twopc_frame_arb =
          (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)))
   in
   let data = string_size ~gen:(char_range '\000' '\255') (int_range 0 24) in
-  let wop =
-    oneof
-      [
-        map2 (fun p d -> Two_pc.Wcreate { path = p; data = d }) path data;
-        map2 (fun p d -> Two_pc.Wset { path = p; data = d }) path data;
-        map (fun p -> Two_pc.Wdelete { path = p }) path;
-      ]
+  oneof
+    [
+      map2 (fun p d -> Two_pc.Wcreate { path = p; data = d }) path data;
+      map2 (fun p d -> Two_pc.Wset { path = p; data = d }) path data;
+      map (fun p -> Two_pc.Wdelete { path = p }) path;
+    ]
+
+(* the wop streaming writer feeds the snapshot blob's prepared-txn
+   section: byte-identity with the tree encoder, and the streaming
+   reader inverts it *)
+let prop_twopc_wop_stream_identity =
+  QCheck.Test.make ~name:"2pc wop streaming writer byte-identical, reads back"
+    ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Two_pc.pp_wop) twopc_wop_gen)
+    (fun op ->
+      let stream = Wire.Writer.with_writer (fun w -> Two_pc.write_wop w op) in
+      String.equal stream (Wire.encode (Two_pc.wop_to_wire op))
+      && Wire.Reader.run stream Two_pc.read_wop = Ok op)
+
+let twopc_frame_arb =
+  let open QCheck.Gen in
+  let txid =
+    map3
+      (fun s e c -> Printf.sprintf "s%d.e%d.%d" s e c)
+      (int_range 0 15) (int_range 0 9) (int_range 0 999)
   in
+  let wop = twopc_wop_gen in
   let frame =
     oneof
       [
@@ -886,6 +1151,26 @@ let () =
             test_protocol_roundtrip;
           Alcotest.test_case "server wire roundtrip" `Quick test_server_wire_roundtrip;
         ] );
+      ( "streaming",
+        [
+          qc prop_writer_byte_identity;
+          qc prop_reader_differential_valid;
+          qc prop_reader_differential_truncation;
+          qc prop_reader_differential_garbage;
+          qc prop_reader_differential_bitflip;
+          Alcotest.test_case "reader errors carry byte offsets" `Quick
+            test_reader_errors_carry_offsets;
+          Alcotest.test_case "writer rejects over-deep trees" `Quick
+            test_writer_rejects_overdeep;
+          Alcotest.test_case "message writers byte-identical to tree encodes"
+            `Quick test_stream_messages_byte_identical;
+          Alcotest.test_case "server-wire streaming decoder ≡ tree decoder"
+            `Quick test_server_wire_decode_differential;
+          Alcotest.test_case "decode_sub reads frames out of a padded buffer"
+            `Quick test_decode_sub_slice;
+          Alcotest.test_case "outbuf survives short writes and stalls" `Quick
+            test_outbuf_short_writes;
+        ] );
       ( "snapshot",
         [
           Alcotest.test_case "corrupt blobs rejected, state untouched" `Quick
@@ -902,6 +1187,7 @@ let () =
         ] );
       ( "2pc",
         [
+          qc prop_twopc_wop_stream_identity;
           qc prop_twopc_roundtrip;
           qc prop_twopc_size;
           qc prop_twopc_truncation;
